@@ -1,0 +1,114 @@
+"""Ablation A1 (§3.1): the foveal-area trade-off.
+
+A larger foveal region costs bandwidth (more exact mesh shipped) but
+relieves the receiver (less periphery reconstructed at quality risk);
+a smaller one saves bandwidth but leans on keypoint reconstruction.
+The paper poses this trade-off; this sweep quantifies it, plus the
+gaze-prediction component that makes foveation usable at all.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import register
+from repro.bench.harness import ExperimentTable
+from repro.core.foveated import FoveatedHybridPipeline
+from repro.gaze.predict import (
+    NaiveGazePredictor,
+    SaccadeLandingPredictor,
+    prediction_error,
+)
+from repro.gaze.traces import generate_gaze_trace
+
+RADII = (5.0, 10.0, 20.0, 35.0)
+
+
+@pytest.fixture(scope="module")
+def foveation_sweep(bench_talking):
+    rows = {}
+    for radius in RADII:
+        pipe = FoveatedHybridPipeline(
+            foveal_radius_degrees=radius, peripheral_resolution=48
+        )
+        pipe.reset()
+        payloads, recon, fractions = [], [], []
+        for i in range(3):
+            frame = bench_talking.frame(i)
+            encoded = pipe.encode(frame)
+            payloads.append(encoded.payload_bytes)
+            fractions.append(encoded.metadata["foveal_fraction"])
+            decoded = pipe.decode(encoded)
+            recon.append(
+                decoded.timing.stages["peripheral_reconstruction"]
+            )
+        rows[radius] = {
+            "payload": float(np.mean(payloads)),
+            "recon": float(np.mean(recon)),
+            "fraction": float(np.mean(fractions)),
+        }
+    return rows
+
+
+def test_ablation_foveal_radius(foveation_sweep, benchmark):
+    table = ExperimentTable(
+        title="A1 — foveal radius vs. bandwidth vs. receiver load",
+        columns=["radius_deg", "payload_bytes", "Mbps@30",
+                 "foveal_fraction", "peripheral_recon_s"],
+        paper_note=(
+            "bigger fovea = more bandwidth, less reconstruction "
+            "burden (§3.1)"
+        ),
+    )
+    for radius in RADII:
+        row = foveation_sweep[radius]
+        table.add_row(
+            f"{radius:g}",
+            f"{row['payload']:.0f}",
+            f"{row['payload'] * 30 * 8 / 1e6:.2f}",
+            f"{row['fraction']:.2f}",
+            f"{row['recon']:.2f}",
+        )
+    table.show()
+
+    payloads = [foveation_sweep[r]["payload"] for r in RADII]
+    fractions = [foveation_sweep[r]["fraction"] for r in RADII]
+    # Payload grows monotonically with the foveal radius.
+    assert all(a < b for a, b in zip(payloads, payloads[1:]))
+    assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+    # Even the largest fovea stays far below full traditional size.
+    assert payloads[-1] * 30 * 8 / 1e6 < 25.0
+    register(benchmark, table.render)
+
+
+def test_ablation_gaze_prediction_enables_foveation(benchmark):
+    """Foveation needs gaze prediction (§3.1): the saccade-aware
+    predictor keeps the error within a practical foveal radius more
+    often than the naive one."""
+    trace = generate_gaze_trace(duration=10.0, seed=4)
+    horizon = 0.05  # one round trip of prediction lead
+    naive = prediction_error(trace, NaiveGazePredictor(), horizon)
+    landing = prediction_error(trace, SaccadeLandingPredictor(),
+                               horizon)
+
+    table = ExperimentTable(
+        title="A1b — gaze prediction error (degrees, 50 ms horizon)",
+        columns=["predictor", "fixation", "pursuit", "saccade",
+                 "overall"],
+        paper_note="saccade landing prediction (§3.1)",
+    )
+    for name, errors in (("naive", naive), ("saccade-aware", landing)):
+        table.add_row(
+            name,
+            f"{errors['fixation']:.2f}",
+            f"{errors['pursuit']:.2f}",
+            f"{errors['saccade']:.2f}",
+            f"{errors['overall']:.2f}",
+        )
+    table.show()
+
+    assert landing["saccade"] < naive["saccade"]
+    assert landing["overall"] < naive["overall"]
+    # Fixation/pursuit predictions stay within a 10-degree fovea.
+    assert landing["fixation"] < 5.0
+    assert landing["pursuit"] < 5.0
+    register(benchmark, table.render)

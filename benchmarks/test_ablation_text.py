@@ -1,0 +1,127 @@
+"""Ablation A4 (§3.3): text-semantics design choices.
+
+1. Inter-frame deltas vs. full captions — bytes and decoder compute.
+2. Two-step global+local encoding vs. local-only — dropping the global
+   channel loses overall body pose, producing gross reconstruction
+   error (the coherence argument of §3.3).
+3. Per-cell quality tiers (content reduction) — byte/quality trade.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import register
+from repro.bench.harness import ExperimentTable
+from repro.body.pose import BodyPose
+from repro.core.text_pipeline import TextSemanticPipeline
+from repro.geometry.distance import chamfer_distance
+from repro.textsem.captioner import BodyCaptioner
+from repro.textsem.cells import GLOBAL_CHANNEL
+from repro.textsem.generator import TextTo3DGenerator
+
+
+def test_ablation_deltas(bench_model, bench_talking, benchmark):
+    with_deltas = TextSemanticPipeline(model=bench_model, points=2000)
+    without = TextSemanticPipeline(
+        model=bench_model, points=2000, use_deltas=False
+    )
+    sizes = {"delta": [], "full": []}
+    for pipe, key in ((with_deltas, "delta"), (without, "full")):
+        pipe.reset()
+        for i in range(6):
+            sizes[key].append(
+                pipe.encode(bench_talking.frame(i)).payload_bytes
+            )
+
+    table = ExperimentTable(
+        title="A4 — inter-frame deltas vs. full captions (bytes/frame)",
+        columns=["frame", "delta", "full"],
+        paper_note="encode only differences from the preceding frame",
+    )
+    for i in range(6):
+        table.add_row(str(i), str(sizes["delta"][i]),
+                      str(sizes["full"][i]))
+    table.show()
+
+    # Steady-state deltas are smaller than full captions.
+    assert np.mean(sizes["delta"][1:]) < np.mean(sizes["full"][1:])
+    register(benchmark, table.render)
+
+
+def test_ablation_global_channel(bench_model, benchmark):
+    """Drop the global channel: local cells decode, but the body loses
+    its overall pose (rotation/translation) — gross error."""
+    pose = BodyPose.random(np.random.default_rng(3), scale=0.5)
+    pose.joint_rotations[0] = [0.0, 2.4, 0.0]  # strong body turn
+    pose.translation[:] = [0.6, 0.0, -0.4]
+
+    captioner = BodyCaptioner()
+    generator = TextTo3DGenerator(model=bench_model, points=4000)
+    truth = bench_model.forward(pose).mesh
+
+    full_frame = captioner.caption(pose)
+    full = generator.generate(full_frame)
+
+    captioner.reset()
+    crippled_frame = captioner.caption(pose)
+    crippled_frame.channels[GLOBAL_CHANNEL] = "body offset 0 0 0"
+    crippled = generator.generate(crippled_frame)
+
+    error_full = chamfer_distance(full.point_cloud, truth,
+                                  samples=3000)
+    error_crippled = chamfer_distance(crippled.point_cloud, truth,
+                                      samples=3000)
+
+    table = ExperimentTable(
+        title="A4b — two-step global+local encoding",
+        columns=["variant", "chamfer_m"],
+        paper_note=(
+            "a dedicated global channel keeps local cells coherent"
+        ),
+    )
+    table.add_row("global + local", f"{error_full:.3f}")
+    table.add_row("local only", f"{error_crippled:.3f}")
+    table.show()
+
+    assert error_crippled > error_full * 3
+    register(benchmark, table.render)
+
+
+def test_ablation_quality_tiers(bench_model, benchmark):
+    """Per-cell tier (content reduction): higher tiers cost bytes and
+    buy pose accuracy."""
+    pose = BodyPose.random(np.random.default_rng(5), scale=0.7)
+    generator = TextTo3DGenerator(model=bench_model, points=2000)
+    rows = {}
+    for tier in ("low", "medium", "high"):
+        captioner = BodyCaptioner(
+            tier_overrides={
+                cell: tier
+                for cell in (
+                    "head", "torso", "left_arm", "right_arm",
+                    "left_hand", "right_hand", "left_leg",
+                    "right_leg",
+                )
+            }
+        )
+        frame = captioner.caption(pose)
+        decoded_pose, _ = generator.decode_parameters(frame)
+        error = float(
+            np.abs(
+                decoded_pose.joint_rotations - pose.joint_rotations
+            ).max()
+        )
+        rows[tier] = {"bytes": frame.total_bytes(), "error": error}
+
+    table = ExperimentTable(
+        title="A4c — per-cell quality tiers",
+        columns=["tier", "bytes/frame", "max joint error (rad)"],
+        paper_note="reconstruct each channel at its own quality level",
+    )
+    for tier, row in rows.items():
+        table.add_row(tier, str(row["bytes"]), f"{row['error']:.3f}")
+    table.show()
+
+    assert rows["high"]["error"] < rows["low"]["error"]
+    assert rows["low"]["bytes"] <= rows["high"]["bytes"] * 1.1
+    register(benchmark, table.render)

@@ -1,0 +1,142 @@
+"""Ablation A6 (§3.1): delivering 2D texture alongside keypoints.
+
+The paper proposes shipping compressed 2D textures (high compression
+ratio, small size) and projection-mapping them onto the reconstructed
+geometry.  This ablation sweeps the texture quality and shipping
+interval, measuring the bandwidth/colour-fidelity trade and what
+projection mapping actually costs the receiver.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from conftest import register
+from repro.bench.harness import ExperimentTable
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.textured_keypoint import TexturedKeypointPipeline
+
+QUALITIES = (25, 60, 90)
+
+
+def _color_error(decoded_mesh, truth_mesh) -> float:
+    tree = cKDTree(truth_mesh.vertices)
+    distances, idx = tree.query(decoded_mesh.vertices)
+    near = distances < 0.03
+    return float(
+        np.abs(
+            decoded_mesh.vertex_colors[near]
+            - truth_mesh.vertex_colors[idx[near]]
+        ).mean()
+    )
+
+
+@pytest.fixture(scope="module")
+def texture_sweep(bench_talking):
+    frame = bench_talking.frame(2)
+    rows = {}
+    for quality in QUALITIES:
+        pipe = TexturedKeypointPipeline(
+            resolution=64, texture_quality=quality
+        )
+        pipe.reset()
+        encoded = pipe.encode(frame)
+        decoded = pipe.decode(encoded)
+        rows[quality] = {
+            "payload": encoded.payload_bytes,
+            "color_error": _color_error(
+                decoded.surface, frame.ground_truth_mesh
+            ),
+            "projection_s": decoded.timing.stages[
+                "projection_mapping"
+            ],
+        }
+    bare = KeypointSemanticPipeline(resolution=64)
+    bare.reset()
+    rows["bare"] = {
+        "payload": bare.encode(frame).payload_bytes,
+        "color_error": float("nan"),
+        "projection_s": 0.0,
+    }
+    return rows
+
+
+def test_ablation_texture_quality(texture_sweep, benchmark):
+    table = ExperimentTable(
+        title="A6 — texture delivery: quality vs. bytes vs. fidelity",
+        columns=["variant", "payload_B", "Mbps@30", "color_err",
+                 "projection_s"],
+        paper_note=(
+            "deliver compressed 2D texture + projection mapping "
+            "(§3.1); keypoints alone carry no texture"
+        ),
+    )
+    for quality in QUALITIES:
+        row = texture_sweep[quality]
+        table.add_row(
+            f"textured q={quality}",
+            str(row["payload"]),
+            f"{row['payload'] * 30 * 8 / 1e6:.2f}",
+            f"{row['color_error']:.3f}",
+            f"{row['projection_s']:.2f}",
+        )
+    bare = texture_sweep["bare"]
+    table.add_row(
+        "bare keypoints",
+        str(bare["payload"]),
+        f"{bare['payload'] * 30 * 8 / 1e6:.2f}",
+        "no texture",
+        "-",
+    )
+    table.show()
+
+    payloads = [texture_sweep[q]["payload"] for q in QUALITIES]
+    errors = [texture_sweep[q]["color_error"] for q in QUALITIES]
+    # Higher quality costs more bytes and lowers colour error.
+    assert payloads[0] < payloads[1] < payloads[2]
+    assert errors[2] <= errors[0]
+    # Even the best tier stays far below the raw-mesh stream and the
+    # broadband budget.
+    assert payloads[2] * 30 * 8 / 1e6 < 25.0
+    # Texture shipping dominates the payload vs. bare keypoints.
+    assert payloads[0] > bare["payload"] * 2
+    register(benchmark, table.render)
+
+
+def test_ablation_texture_interval(bench_talking, benchmark):
+    """Shipping textures every Nth frame amortises their cost while
+    the cached projection keeps the mesh coloured."""
+    sizes = {}
+    for interval in (1, 3):
+        pipe = TexturedKeypointPipeline(
+            resolution=48, texture_quality=60,
+            texture_interval=interval,
+        )
+        pipe.reset()
+        per_frame = []
+        last = None
+        for i in range(3):
+            encoded = pipe.encode(bench_talking.frame(i))
+            per_frame.append(encoded.payload_bytes)
+            last = pipe.decode(encoded)
+        sizes[interval] = per_frame
+        # The final frame is still textured from the cache.
+        assert last.surface.vertex_colors is not None
+        assert last.surface.vertex_colors.std() > 0.02
+
+    table = ExperimentTable(
+        title="A6b — texture shipping interval",
+        columns=["interval", "frame0_B", "frame1_B", "frame2_B",
+                 "mean_Mbps@30"],
+        paper_note="appearance changes slowly; geometry every frame",
+    )
+    for interval, per_frame in sizes.items():
+        table.add_row(
+            str(interval),
+            *[str(b) for b in per_frame],
+            f"{np.mean(per_frame) * 30 * 8 / 1e6:.2f}",
+        )
+    table.show()
+
+    assert np.mean(sizes[3][1:]) < np.mean(sizes[1][1:]) / 3
+    register(benchmark, table.render)

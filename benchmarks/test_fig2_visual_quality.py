@@ -1,0 +1,145 @@
+"""Figure 2: visual quality of keypoint reconstruction vs. resolution.
+
+The paper shows meshes reconstructed from keypoints at output
+resolutions 128/256/512/1024 next to the RGB-D ground truth: detail
+(hand joints, facial contours) improves with resolution, 512 is
+visually equivalent to 1024, and clothing folds are never recovered.
+
+We quantify those claims with surface metrics along two axes:
+- *discretisation error* against the converged surface (the highest-
+  resolution extraction), which isolates the resolution knob; and
+- *content error* against the clothed ground truth, which exposes the
+  information keypoints cannot carry (folds), at every resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.avatar.reconstructor import KeypointMeshReconstructor
+from conftest import register
+from repro.bench.harness import ExperimentTable
+from repro.geometry.distance import compare_surfaces, \
+    mesh_to_mesh_distance
+
+# 1024 runs in the Figure 4 timing bench; the quality sweep stops at
+# 512, which the paper itself reports as visually equivalent to 1024.
+RESOLUTIONS = (64, 128, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def figure2_data(bench_talking):
+    frame = bench_talking.frame(3)
+    meshes = {}
+    for resolution in RESOLUTIONS:
+        meshes[resolution] = KeypointMeshReconstructor(
+            resolution=resolution
+        ).reconstruct(
+            frame.body_state.pose,
+            expression=frame.body_state.expression,
+        ).mesh
+    reference = meshes[RESOLUTIONS[-1]]
+    rows = {}
+    for resolution in RESOLUTIONS:
+        rows[resolution] = {
+            "mesh": meshes[resolution],
+            "discretisation_mm": mesh_to_mesh_distance(
+                meshes[resolution], reference, samples=8000
+            ) * 1000.0,
+            "vs_clothed": compare_surfaces(
+                meshes[resolution], frame.ground_truth_mesh,
+                samples=8000,
+            ),
+            "vs_body": compare_surfaces(
+                meshes[resolution], frame.body_state.mesh,
+                samples=8000,
+            ),
+        }
+    return frame, rows
+
+
+def test_figure2_regenerates(figure2_data, benchmark):
+    frame, rows = figure2_data
+    table = ExperimentTable(
+        title="Figure 2 — reconstruction quality vs. output resolution",
+        columns=["resolution", "discretisation_mm", "chamfer_mm",
+                 "F@5mm", "F@2cm", "normal_consistency", "vertices"],
+        paper_note=(
+            "detail improves with resolution; 512 ~ 1024; clothing "
+            "folds never recovered (chamfer vs clothed truth floors)"
+        ),
+    )
+    for resolution in RESOLUTIONS:
+        cmp_clothed = rows[resolution]["vs_clothed"]
+        table.add_row(
+            str(resolution),
+            f"{rows[resolution]['discretisation_mm']:.2f}",
+            f"{cmp_clothed.chamfer * 1000:.2f}",
+            f"{cmp_clothed.f_score_fine:.3f}",
+            f"{cmp_clothed.f_score_coarse:.3f}",
+            f"{cmp_clothed.normal_consistency:.3f}",
+            str(rows[resolution]["mesh"].num_vertices),
+        )
+    table.show()
+
+    # Claim 1: detail improves monotonically with resolution — the
+    # distance to the converged surface shrinks at every step.
+    discretisation = [
+        rows[r]["discretisation_mm"] for r in RESOLUTIONS
+    ]
+    assert all(
+        a > b for a, b in zip(discretisation, discretisation[1:])
+    ), discretisation
+
+    # Claim 2: diminishing returns — 256 is already close to 512 (the
+    # paper's "512 looks like 1024"), while 64 is far from 128.
+    assert discretisation[2] < discretisation[0] / 3
+
+    # Claim 3: clothing folds are never recovered.  Against the
+    # unclothed body the reconstruction converges to ~sub-mm error;
+    # against the clothed truth a floor remains at every resolution.
+    for resolution in RESOLUTIONS[1:]:
+        vs_body = rows[resolution]["vs_body"].chamfer
+        vs_clothed = rows[resolution]["vs_clothed"].chamfer
+        assert vs_body < vs_clothed / 2, resolution
+    floor = [rows[r]["vs_clothed"].chamfer for r in RESOLUTIONS[1:]]
+    assert max(floor) - min(floor) < 0.002  # a flat fold floor
+
+    # Claim 4: thin structures (fingers) emerge: vertex count grows
+    # superlinearly as the grid resolves them.
+    counts = [rows[r]["mesh"].num_vertices for r in RESOLUTIONS]
+    assert counts[-1] > counts[0] * 20
+    register(benchmark, table.render)
+
+
+def test_figure2_expression_detail_emerges(bench_talking, benchmark):
+    """Facial contours appear with resolution (the paper's 1024 shows
+    'hand joints and facial contours')."""
+    from repro.geometry.distance import point_to_mesh_distance
+
+    frame = bench_talking.frame(3)
+    truth = frame.body_state.mesh
+    face_truth = truth.vertices[truth.vertices[:, 1] > 1.5]
+    errors = {}
+    for resolution in (48, 192):
+        mesh = KeypointMeshReconstructor(
+            resolution=resolution, expression_channels=20
+        ).reconstruct(
+            frame.body_state.pose,
+            expression=frame.body_state.expression,
+        ).mesh
+        errors[resolution] = float(
+            point_to_mesh_distance(face_truth, mesh).mean()
+        )
+    assert errors[192] < errors[48]
+    register(benchmark, point_to_mesh_distance, face_truth, mesh)
+
+
+def test_bench_reconstruct_128(benchmark, bench_talking):
+    frame = bench_talking.frame(3)
+    reconstructor = KeypointMeshReconstructor(resolution=128)
+    benchmark.pedantic(
+        reconstructor.reconstruct,
+        args=(frame.body_state.pose,),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Foveated hybrid streaming driven by a live gaze trace (§3.1).
+
+A viewer's eye movements (fixations, pursuit, saccades) are generated
+and classified online; the saccade-aware predictor picks the foveal
+target ahead of time, and the foveated pipeline ships exact mesh for
+that region plus keypoints for the rest.  The script reports per-frame
+foveal fractions, payload sizes, and what gaze prediction contributed.
+
+Run:  python examples/foveated_streaming.py
+"""
+
+import numpy as np
+
+from repro import BodyModel, FoveatedHybridPipeline, RGBDSequenceDataset
+from repro.bench.harness import ExperimentTable
+from repro.body.motion import waving
+from repro.gaze import (
+    SaccadeLandingPredictor,
+    VelocityThresholdClassifier,
+    generate_gaze_trace,
+)
+
+FRAMES = 6
+
+
+def main() -> None:
+    model = BodyModel(template_resolution=96)
+    dataset = RGBDSequenceDataset(
+        model=model, motion=waving(n_frames=FRAMES + 2)
+    )
+    pipeline = FoveatedHybridPipeline(
+        foveal_radius_degrees=12.0, peripheral_resolution=64
+    )
+
+    # The viewer's gaze, sampled at 120 Hz; the network round trip
+    # means we must predict ~50 ms ahead.
+    trace = generate_gaze_trace(duration=3.0, rate_hz=120.0, seed=5)
+    classifier = VelocityThresholdClassifier()
+    predictor = SaccadeLandingPredictor(classifier=classifier)
+    horizon = 0.05
+
+    table = ExperimentTable(
+        title="Foveated streaming with gaze prediction",
+        columns=["frame", "gaze_phase", "predicted_gaze_deg",
+                 "foveal_fraction", "payload_B"],
+    )
+    labels = classifier.classify(trace)
+    for i in range(FRAMES):
+        # Gaze sample corresponding to this video frame.
+        gaze_index = min(int(i / 30.0 * trace.rate_hz),
+                         len(trace) - 1)
+        predicted = predictor.predict(trace, gaze_index, horizon)
+        # Scale visual-field degrees onto the body: the subject spans
+        # ~2 m at 2.5 m distance ~ +/-22 deg.
+        pipeline.set_gaze(predicted * 0.4)
+        frame = dataset.frame(i)
+        encoded = pipeline.encode(frame)
+        table.add_row(
+            str(i),
+            labels[gaze_index].value,
+            f"({predicted[0]:+.1f}, {predicted[1]:+.1f})",
+            f"{encoded.metadata['foveal_fraction']:.2f}",
+            str(encoded.payload_bytes),
+        )
+        decoded = pipeline.decode(encoded)
+        assert decoded.surface.num_faces > 0
+    table.show()
+
+    print("\nsweeping the foveal radius (the §3.1 trade-off):")
+    frame = dataset.frame(0)
+    for radius in (5.0, 10.0, 20.0, 35.0):
+        sweep_pipe = FoveatedHybridPipeline(
+            foveal_radius_degrees=radius, peripheral_resolution=48
+        )
+        sweep_pipe.set_gaze(np.zeros(2))
+        encoded = sweep_pipe.encode(frame)
+        mbps = encoded.payload_bytes * 30 * 8 / 1e6
+        print(f"  radius {radius:5.1f} deg -> "
+              f"{encoded.payload_bytes:7d} B/frame "
+              f"({mbps:5.2f} Mbps @30)")
+
+
+if __name__ == "__main__":
+    main()

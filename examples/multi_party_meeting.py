@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A three-party meeting: why semantics matter more as meetings grow.
+
+Every participant uploads their stream to every other participant
+(full mesh), so uplink bandwidth scales with the fan-out.  A 3-person
+meeting over traditional raw meshes needs ~180 Mbps of uplink per
+person; keypoint semantics need well under 1 Mbps.
+
+Run:  python examples/multi_party_meeting.py
+"""
+
+from repro import BodyModel, RGBDSequenceDataset
+from repro.bench.harness import ExperimentTable
+from repro.body.motion import idle, talking, waving
+from repro.core import (
+    KeypointSemanticPipeline,
+    MultiPartySession,
+    Participant,
+    TraditionalMeshPipeline,
+)
+
+FRAMES = 3
+
+
+def roster(model, pipeline_factory):
+    motions = [talking(n_frames=FRAMES + 1),
+               waving(n_frames=FRAMES + 1),
+               idle(n_frames=FRAMES + 1)]
+    return [
+        Participant(
+            name=name,
+            dataset=RGBDSequenceDataset(model=model, motion=motion),
+            pipeline=pipeline_factory(),
+        )
+        for name, motion in zip(("alice", "bob", "carol"), motions)
+    ]
+
+
+def main() -> None:
+    model = BodyModel(template_resolution=96)
+
+    table = ExperimentTable(
+        title="Three-party meeting — uplink per participant",
+        columns=["scheme", "alice_Mbps", "bob_Mbps", "carol_Mbps",
+                 "interactive"],
+    )
+    schemes = [
+        ("traditional raw",
+         lambda: TraditionalMeshPipeline(compressed=False)),
+        ("traditional + draco",
+         lambda: TraditionalMeshPipeline(compressed=True)),
+        ("keypoint semantics",
+         lambda: KeypointSemanticPipeline(resolution=64)),
+    ]
+    for label, factory in schemes:
+        session = MultiPartySession(
+            roster(model, factory), decode=(label.startswith("keyp"))
+        )
+        summary = session.run(frames=FRAMES)
+        table.add_row(
+            label,
+            f"{summary.uplink_mbps['alice']:.2f}",
+            f"{summary.uplink_mbps['bob']:.2f}",
+            f"{summary.uplink_mbps['carol']:.2f}",
+            f"{summary.interactive_fraction:.2f}",
+        )
+    table.show()
+    print(
+        "\nuplink = payload x (N-1) receivers x frame rate.  The "
+        "traditional stream multiplies its\nalready-infeasible rate "
+        "by the fan-out; semantics keep even large meetings inside\n"
+        "a home connection's upload budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Image-based semantics with slimmable rate adaptation (§3.2).
+
+Streams 2D views through the NeRF pipeline while link capacity swings;
+the bandwidth estimator feeds the slimmable policy, which picks the
+image-resolution tier and the matching sub-network width per frame.
+
+Run:  python examples/nerf_rate_adaptation.py
+"""
+
+from repro import BodyModel, ImageSemanticPipeline, RGBDSequenceDataset
+from repro.bench.harness import ExperimentTable
+from repro.body.motion import talking
+from repro.capture import CaptureRig, DepthNoiseModel
+from repro.core.metrics import image_psnr
+from repro.geometry.camera import Intrinsics
+from repro.net import BandwidthTrace, HarmonicMeanEstimator
+
+FRAMES = 6
+
+
+def main() -> None:
+    model = BodyModel(template_resolution=96)
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(48, 36, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    dataset = RGBDSequenceDataset(
+        model=model,
+        motion=talking(n_frames=FRAMES + 2),
+        rig=rig,
+        samples_per_pixel=6.0,
+    )
+    pipeline = ImageSemanticPipeline(
+        pretrain_steps=120, finetune_steps=20, quality=70
+    )
+    pipeline.reset()
+
+    # Capacity drops mid-session, then recovers.
+    capacity = BandwidthTrace.step(
+        [(0.0, 40.0), (0.067, 4.0), (0.133, 40.0)]
+    )
+    estimator = HarmonicMeanEstimator(window=3)
+
+    table = ExperimentTable(
+        title="NeRF rate adaptation under a capacity drop",
+        columns=["frame", "capacity_Mbps", "estimate_Mbps", "tier",
+                 "width", "payload_B", "render_PSNR_dB"],
+    )
+    for i in range(FRAMES):
+        now = i / 30.0
+        estimate = estimator.update(capacity.at(now))
+        pipeline.set_bandwidth(estimate)
+        frame = dataset.frame(i)
+        encoded = pipeline.encode(frame)
+        decoded = pipeline.decode(encoded)
+        rendered = decoded.metadata["rendered"]
+        reference = decoded.metadata["views"][0].rgb
+        h, w = reference.shape[:2]
+        psnr = image_psnr(rendered[:h, :w], reference)
+        table.add_row(
+            str(i),
+            f"{capacity.at(now):.1f}",
+            f"{estimate:.1f}",
+            encoded.metadata["tier"],
+            f"{encoded.metadata['width_fraction']:g}",
+            str(encoded.payload_bytes),
+            f"{psnr:.1f}",
+        )
+    table.show()
+    print(
+        "\nthe tier (and sub-network width) follows the estimate: the "
+        "capacity drop pushes the\nstream down the ladder, and the "
+        "harmonic-mean estimator — dominated by its lowest\nsample — "
+        "keeps quality conservative until the drop leaves its window."
+    )
+
+
+if __name__ == "__main__":
+    main()

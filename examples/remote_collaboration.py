@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Remote collaboration: comparing all four communication schemes.
+
+The paper's motivating use case (§1): a presenter gestures and talks
+while remote colleagues watch through MR headsets.  This example runs
+the same presenting workload through the traditional, keypoint, text,
+and foveated pipelines over the same broadband path and prints a
+side-by-side comparison — the SemHolo argument in one table.
+
+Run:  python examples/remote_collaboration.py
+"""
+
+from repro import (
+    BandwidthTrace,
+    BodyModel,
+    FoveatedHybridPipeline,
+    KeypointSemanticPipeline,
+    NetworkLink,
+    RGBDSequenceDataset,
+    TelepresenceSession,
+    TextSemanticPipeline,
+    TraditionalMeshPipeline,
+)
+from repro.bench.harness import ExperimentTable
+from repro.body.motion import presenting
+from repro.core.metrics import qoe_score, visual_quality
+
+FRAMES = 5
+
+
+def broadband() -> NetworkLink:
+    return NetworkLink(
+        trace=BandwidthTrace.constant(25.0),
+        propagation_delay=0.025,
+        jitter=0.002,
+    )
+
+
+def main() -> None:
+    model = BodyModel(template_resolution=96)
+    dataset = RGBDSequenceDataset(
+        model=model, motion=presenting(n_frames=FRAMES + 2)
+    )
+
+    pipelines = [
+        TraditionalMeshPipeline(compressed=False),
+        TraditionalMeshPipeline(compressed=True),
+        KeypointSemanticPipeline(resolution=96),
+        KeypointSemanticPipeline(resolution=96, temporal=True),
+        TextSemanticPipeline(model=model, points=15000),
+        FoveatedHybridPipeline(peripheral_resolution=64),
+    ]
+
+    table = ExperimentTable(
+        title="Remote collaboration — scheme comparison",
+        columns=["pipeline", "Mbps@30", "e2e_ms", "fps",
+                 "chamfer_mm", "QoE"],
+    )
+    for pipeline in pipelines:
+        session = TelepresenceSession(dataset, pipeline,
+                                      link=broadband())
+        summary = session.run(frames=FRAMES)
+        final = session.reports[-1]
+        truth = dataset.frame(final.frame_index).ground_truth_mesh
+        if final.decoded is not None and final.decoded.surface is not None:
+            quality = visual_quality(final.decoded.surface, truth,
+                                     samples=3000)
+            chamfer = f"{quality.chamfer * 1000:.1f}"
+            qoe = qoe_score(
+                quality,
+                summary.mean_end_to_end,
+                summary.bandwidth_mbps,
+            )
+            qoe_text = f"{qoe:.2f}"
+        else:
+            chamfer, qoe_text = "-", "-"
+        table.add_row(
+            summary.pipeline,
+            f"{summary.bandwidth_mbps:.2f}",
+            f"{summary.mean_end_to_end * 1000:.0f}",
+            f"{summary.sustainable_fps:.1f}",
+            chamfer,
+            qoe_text,
+        )
+    table.show()
+    print(
+        "\nreading guide: traditional-raw blows the link (queueing), "
+        "keypoints are tiny but slow to\nreconstruct, the temporal "
+        "variant recovers frame rate, and the foveated hybrid buys\n"
+        "exact foveal geometry for intermediate bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Text-based semantics end to end (§3.3).
+
+Shows what actually crosses the wire: human-readable per-cell captions,
+a dedicated global channel, inter-frame deltas, and the generative
+reconstruction on the receiver.
+
+Run:  python examples/text_channels.py
+"""
+
+import numpy as np
+
+from repro import BodyModel
+from repro.body.motion import waving
+from repro.geometry.distance import chamfer_distance
+from repro.textsem import (
+    BodyCaptioner,
+    DeltaDecoder,
+    DeltaEncoder,
+    TextTo3DGenerator,
+)
+
+
+def main() -> None:
+    model = BodyModel(template_resolution=96)
+    motion = waving(n_frames=6)
+    captioner = BodyCaptioner()
+    generator = TextTo3DGenerator(model=model, points=8000)
+    encoder, decoder = DeltaEncoder(), DeltaDecoder()
+
+    print("=== what the wire carries ===")
+    total_bytes = 0
+    for i, frame in enumerate(motion):
+        caption = captioner.caption(frame.pose, frame.expression,
+                                    frame_index=i)
+        delta = encoder.encode(caption)
+        total_bytes += delta.total_bytes()
+        kind = "KEY  " if delta.is_keyframe else "delta"
+        print(f"frame {i} [{kind}] {delta.total_bytes():5d} B, "
+              f"{len(delta.changed)} channel(s) changed")
+        if i == 0:
+            print("  global     :", caption.channels["global"])
+            print("  right_arm  :", caption.channels["right_arm"])
+            head = caption.channels["head"]
+            print("  head       :", head[:110] + ("..." if len(head) >
+                                                  110 else ""))
+        restored = decoder.decode(delta)
+        assert restored.channels == caption.channels
+
+    mbps = total_bytes / len(motion) * 30 * 8 / 1e6
+    print(f"\nmean stream rate: {mbps:.3f} Mbps at 30 FPS")
+
+    print("\n=== receiver-side reconstruction ===")
+    final_caption = captioner.caption(
+        motion[-1].pose, motion[-1].expression,
+        frame_index=len(motion) - 1,
+    )
+    generated = generator.generate(final_caption)
+    truth = model.forward(
+        motion[-1].pose, expression=motion[-1].expression
+    ).mesh
+    error = chamfer_distance(generated.point_cloud, truth,
+                             samples=4000)
+    print(f"generated point cloud: {len(generated.point_cloud)} points")
+    print(f"chamfer vs true body : {error * 1000:.1f} mm "
+          f"(text-tier quantisation error)")
+    decoded_rotation = generated.pose.rotation("right_elbow")
+    true_rotation = motion[-1].pose.rotation("right_elbow")
+    print(f"right elbow decoded  : {np.round(decoded_rotation, 2)} "
+          f"(true {np.round(true_rotation, 2)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file
+exists so legacy editable installs (``python setup.py develop`` or
+``pip install -e .`` on toolchains without the ``wheel`` package)
+keep working.
+"""
+
+from setuptools import setup
+
+setup()

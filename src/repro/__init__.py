@@ -1,0 +1,68 @@
+"""SemHolo: semantic-driven holographic communication for telepresence.
+
+Reproduction of "Enriching Telepresence with Semantic-driven
+Holographic Communication" (HotNets 2023).  The public API re-exports
+the pieces most users need; subpackages hold the full substrates:
+
+- ``repro.core``: the four pipelines, sessions, QoE, taxonomy.
+- ``repro.body``: parametric human body (SMPL-X substitute).
+- ``repro.capture``: simulated multi-view RGB-D capture.
+- ``repro.keypoints``: detection, lifting, fitting, tracking.
+- ``repro.avatar``: mesh reconstruction from semantics.
+- ``repro.nerf``: image-based semantics (NumPy NeRF).
+- ``repro.textsem``: text-based semantics.
+- ``repro.compression``: all codecs.
+- ``repro.net``: network + edge-compute simulation.
+- ``repro.gaze``: gaze traces, classification, prediction, foveation.
+- ``repro.geometry``: meshes, point clouds, SDFs, metrics.
+"""
+
+from repro.body import BodyModel, BodyPose, ExpressionParams, ShapeParams
+from repro.capture import CaptureRig, RGBDSequenceDataset
+from repro.core import (
+    FoveatedHybridPipeline,
+    ImageSemanticPipeline,
+    KeypointSemanticPipeline,
+    TelepresenceSession,
+    TextSemanticPipeline,
+    TraditionalMeshPipeline,
+    TraditionalPointCloudPipeline,
+)
+from repro.errors import (
+    CaptureError,
+    CodecError,
+    FittingError,
+    GeometryError,
+    NetworkError,
+    PipelineError,
+    SemHoloError,
+)
+from repro.net import BandwidthTrace, NetworkLink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthTrace",
+    "BodyModel",
+    "BodyPose",
+    "CaptureError",
+    "CaptureRig",
+    "CodecError",
+    "ExpressionParams",
+    "FittingError",
+    "FoveatedHybridPipeline",
+    "GeometryError",
+    "ImageSemanticPipeline",
+    "KeypointSemanticPipeline",
+    "NetworkError",
+    "NetworkLink",
+    "PipelineError",
+    "RGBDSequenceDataset",
+    "SemHoloError",
+    "ShapeParams",
+    "TelepresenceSession",
+    "TextSemanticPipeline",
+    "TraditionalMeshPipeline",
+    "TraditionalPointCloudPipeline",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Avatar reconstruction from semantics (X-Avatar substitute)."""
+
+from repro.avatar.implicit import PosedBodyField
+from repro.avatar.pose2mesh import ModelFreeReconstructor
+from repro.avatar.reconstructor import (
+    SUPPORTED_RESOLUTIONS,
+    KeypointMeshReconstructor,
+    ReconstructionResult,
+)
+from repro.avatar.temporal import TemporalReconstructor
+from repro.avatar.texture import (
+    LearnedTextureModel,
+    project_texture,
+    transfer_texture,
+)
+
+__all__ = [
+    "KeypointMeshReconstructor",
+    "LearnedTextureModel",
+    "ModelFreeReconstructor",
+    "PosedBodyField",
+    "ReconstructionResult",
+    "SUPPORTED_RESOLUTIONS",
+    "TemporalReconstructor",
+    "project_texture",
+    "transfer_texture",
+]

@@ -1,0 +1,98 @@
+"""Model-free keypoint-to-mesh baseline (Pose2Mesh substitute).
+
+§3.1 discusses model-free methods that map keypoints directly to a mesh
+without a parametric model: they can exploit extra keypoints but work
+frame-by-frame, so noisy keypoints translate into temporal jitter.  Our
+substitute deforms the template by radial-basis interpolation of
+keypoint displacements — like the graph-network regressors it stands in
+for, it has no temporal model and no pose prior.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.avatar.reconstructor import ReconstructionResult
+from repro.body.keypoints_def import (
+    NUM_KEYPOINTS,
+    keypoint_rest_positions,
+)
+from repro.body.template import BodyTemplate, build_template
+from repro.errors import PipelineError
+from repro.geometry.mesh import TriangleMesh
+from repro.keypoints.lifter import Keypoints3D
+
+__all__ = ["ModelFreeReconstructor"]
+
+
+@dataclass
+class ModelFreeReconstructor:
+    """Direct keypoints -> mesh via RBF-interpolated displacements.
+
+    Attributes:
+        template: rest-pose template to deform (built on demand).
+        neighbours: keypoints blended per vertex.
+        kernel_width: RBF width (metres) — how far a keypoint's motion
+            spreads over the surface.
+    """
+
+    template: Optional[BodyTemplate] = None
+    neighbours: int = 6
+    kernel_width: float = 0.12
+
+    def __post_init__(self) -> None:
+        if self.template is None:
+            self.template = build_template()
+        if self.neighbours < 1:
+            raise PipelineError("neighbours must be positive")
+        rest_keypoints = keypoint_rest_positions()
+        vertices = self.template.mesh.vertices
+        # Precompute per-vertex keypoint bindings in the rest pose:
+        # the learned regressor's "graph" structure.
+        deltas = vertices[:, None, :] - rest_keypoints[None, :, :]
+        distances = np.linalg.norm(deltas, axis=2)  # (V, K)
+        order = np.argsort(distances, axis=1)[:, : self.neighbours]
+        rows = np.arange(len(vertices))[:, None]
+        near = distances[rows, order]
+        weights = np.exp(-((near / self.kernel_width) ** 2))
+        weights /= np.maximum(weights.sum(axis=1, keepdims=True), 1e-12)
+        self._binding_indices = order
+        self._binding_weights = weights
+        self._rest_keypoints = rest_keypoints
+
+    def reconstruct(self, keypoints: Keypoints3D) -> ReconstructionResult:
+        """Deform the template so bound keypoints land on the observations.
+
+        Unobserved keypoints contribute no displacement (their weight is
+        re-normalised away), so dropped detections cause local collapse
+        toward the rest pose — one of the artefacts the paper attributes
+        to single-frame model-free methods.
+        """
+        if len(keypoints) != NUM_KEYPOINTS:
+            raise PipelineError("keypoint count mismatch")
+        start = time.perf_counter()
+        displacement = keypoints.positions - self._rest_keypoints
+        observed = keypoints.confidence > 0
+        if not observed.any():
+            raise PipelineError("no observed keypoints to reconstruct from")
+
+        weights = self._binding_weights * observed[self._binding_indices]
+        totals = weights.sum(axis=1, keepdims=True)
+        weights = np.divide(
+            weights, totals, out=np.zeros_like(weights), where=totals > 1e-9
+        )
+        vertex_displacement = np.einsum(
+            "vk,vkd->vd", weights, displacement[self._binding_indices]
+        )
+        mesh = TriangleMesh(
+            vertices=self.template.mesh.vertices + vertex_displacement,
+            faces=self.template.mesh.faces.copy(),
+        )
+        seconds = time.perf_counter() - start
+        return ReconstructionResult(
+            mesh=mesh, resolution=0, seconds=seconds
+        )

@@ -1,0 +1,21 @@
+"""Benchmark harness: shared workloads and table printers."""
+
+from repro.bench.harness import ExperimentTable, format_mbps, format_ms
+from repro.bench.workloads import (
+    presenting_dataset,
+    shared_body_model,
+    standard_rig,
+    talking_dataset,
+    waving_dataset,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "format_mbps",
+    "format_ms",
+    "presenting_dataset",
+    "shared_body_model",
+    "standard_rig",
+    "talking_dataset",
+    "waving_dataset",
+]

@@ -1,0 +1,104 @@
+"""Benchmark reporting: table/series printers with paper comparison.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it in the paper's own shape (same rows / series), side by side
+with the published values where the paper gives numbers, so EXPERIMENTS
+.md can be filled from the bench output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SemHoloError
+
+__all__ = ["ExperimentTable", "SHOWN_TABLES", "format_mbps",
+           "format_ms"]
+
+# Every rendered table is also appended here so a test harness can
+# re-emit them after output capture (see benchmarks/conftest.py's
+# pytest_terminal_summary hook).
+SHOWN_TABLES: list = []
+
+
+def format_mbps(value: float) -> str:
+    """Format a bandwidth value (Mbps) for table cells."""
+    return f"{value:.2f}"
+
+
+def format_ms(value: float) -> str:
+    """Format a duration in seconds as milliseconds for table cells."""
+    return f"{value * 1000:.1f}"
+
+
+@dataclass
+class ExperimentTable:
+    """A printable experiment result table.
+
+    Attributes:
+        title: table/figure identifier ("Table 2", "Figure 4", ...).
+        columns: column headers.
+        rows: list of row value lists (first entry = row label).
+        paper_note: what the paper reports, for the printed comparison.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+    paper_note: str = ""
+
+    def add_row(self, label: str, *values) -> None:
+        row = [label] + [
+            v if isinstance(v, str) else f"{v:g}" for v in values
+        ]
+        if len(row) != len(self.columns):
+            raise SemHoloError(
+                f"row has {len(row)} entries, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as an aligned text block."""
+        if not self.rows:
+            raise SemHoloError("table has no rows")
+        widths = [
+            max(len(str(self.columns[i])),
+                max(len(row[i]) for row in self.rows))
+            for i in range(len(self.columns))
+        ]
+
+        def _line(cells) -> str:
+            return "  ".join(
+                str(cell).ljust(width)
+                for cell, width in zip(cells, widths)
+            )
+
+        out = [f"== {self.title} ==", _line(self.columns),
+               _line(["-" * w for w in widths])]
+        out += [_line(row) for row in self.rows]
+        if self.paper_note:
+            out.append(f"paper: {self.paper_note}")
+        return "\n".join(out)
+
+    def show(self) -> None:
+        """Print the table and record it in :data:`SHOWN_TABLES`.
+
+        The record lets the benchmark suite re-emit every regenerated
+        table after pytest's output capture (so ``pytest benchmarks/
+        --benchmark-only`` shows them alongside the timing results).
+        """
+        text = self.render()
+        SHOWN_TABLES.append(text)
+        print("\n" + text)
+
+    def cell(self, row_label: str, column: str) -> str:
+        """Look up one value (for assertions in benchmarks)."""
+        if column not in self.columns:
+            raise SemHoloError(f"unknown column {column!r}")
+        column_index = list(self.columns).index(column)
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[column_index]
+        raise SemHoloError(f"unknown row {row_label!r}")

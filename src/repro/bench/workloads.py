@@ -1,0 +1,71 @@
+"""Standard benchmark workloads.
+
+Every table/figure benchmark draws from this module so results are
+comparable across runs: one shared body model (template built once) and
+fixed motion sequences / rig configurations sized to finish in CI time.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.body.model import BodyModel
+from repro.body.motion import MotionSequence, presenting, talking, waving
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.geometry.camera import Intrinsics
+
+__all__ = [
+    "shared_body_model",
+    "standard_rig",
+    "talking_dataset",
+    "waving_dataset",
+    "presenting_dataset",
+]
+
+
+@lru_cache(maxsize=1)
+def shared_body_model() -> BodyModel:
+    """The one body model all benchmarks share (template cached)."""
+    return BodyModel(template_resolution=96)
+
+
+def standard_rig(
+    num_cameras: int = 4,
+    width: int = 160,
+    height: int = 120,
+    ideal: bool = False,
+) -> CaptureRig:
+    """The benchmark capture rig (small images keep benches fast)."""
+    return CaptureRig.ring(
+        num_cameras=num_cameras,
+        intrinsics=Intrinsics.from_fov(width, height, 70.0),
+        noise=DepthNoiseModel.ideal() if ideal else
+        DepthNoiseModel.kinect(),
+    )
+
+
+def _dataset(motion: MotionSequence, seed: int) -> RGBDSequenceDataset:
+    return RGBDSequenceDataset(
+        model=shared_body_model(),
+        motion=motion,
+        rig=standard_rig(),
+        seed=seed,
+        samples_per_pixel=4.0,
+    )
+
+
+def talking_dataset(n_frames: int = 30, seed: int = 0):
+    """The Table 1 / Table 2 workload: a talking, gesturing subject."""
+    return _dataset(talking(n_frames=n_frames), seed)
+
+
+def waving_dataset(n_frames: int = 30, seed: int = 0):
+    """A high-arm-motion workload (stresses detection + foveation)."""
+    return _dataset(waving(n_frames=n_frames), seed)
+
+
+def presenting_dataset(n_frames: int = 30, seed: int = 0):
+    """The remote-collaboration workload from the paper's intro."""
+    return _dataset(presenting(n_frames=n_frames), seed)

@@ -1,0 +1,74 @@
+"""Parametric human body: skeleton, shape, expression, skinning, motion."""
+
+from repro.body.expression import (
+    EXPRESSION_NAMES,
+    NUM_EXPRESSION,
+    ExpressionParams,
+    expression_displacement,
+)
+from repro.body.keypoints_def import (
+    KEYPOINT_NAMES,
+    LANDMARKS,
+    NUM_KEYPOINTS,
+    keypoint_rest_positions,
+)
+from repro.body.model import BodyModel, BodyState
+from repro.body.motion import (
+    MotionFrame,
+    MotionSequence,
+    idle,
+    presenting,
+    talking,
+    walking,
+    waving,
+)
+from repro.body.pose import BodyPose
+from repro.body.shape import NUM_BETAS, ShapeParams, shape_displacement
+from repro.body.skeleton import (
+    JOINT_INDEX,
+    JOINT_NAMES,
+    NUM_BODY_JOINTS,
+    NUM_JOINTS,
+    Skeleton,
+    rest_joint_positions,
+)
+from repro.body.template import (
+    SMPLX_FACE_COUNT,
+    SMPLX_VERTEX_COUNT,
+    BodyTemplate,
+    build_template,
+)
+
+__all__ = [
+    "BodyModel",
+    "BodyState",
+    "BodyPose",
+    "BodyTemplate",
+    "ExpressionParams",
+    "MotionFrame",
+    "MotionSequence",
+    "ShapeParams",
+    "Skeleton",
+    "build_template",
+    "expression_displacement",
+    "shape_displacement",
+    "keypoint_rest_positions",
+    "rest_joint_positions",
+    "idle",
+    "presenting",
+    "talking",
+    "walking",
+    "waving",
+    "EXPRESSION_NAMES",
+    "JOINT_INDEX",
+    "JOINT_NAMES",
+    "KEYPOINT_NAMES",
+    "LANDMARKS",
+    "NUM_BETAS",
+    "NUM_BODY_JOINTS",
+    "NUM_EXPRESSION",
+    "NUM_JOINTS",
+    "NUM_KEYPOINTS",
+    "SMPLX_FACE_COUNT",
+    "SMPLX_VERTEX_COUNT",
+]

@@ -1,0 +1,207 @@
+"""Facial expression space.
+
+Figure 3 of the paper hinges on expressions: the ground-truth capture
+shows an open mouth *with a pout*, while the avatar learned from
+keypoints reproduces only the mouth opening.  We model expressions as
+20 analytic displacement fields concentrated on the face; the avatar
+reconstruction path (``repro.avatar``) only recovers a truncated,
+quantised subset, reproducing exactly that failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "NUM_EXPRESSION",
+    "EXPRESSION_NAMES",
+    "ExpressionParams",
+    "expression_displacement",
+]
+
+NUM_EXPRESSION = 20
+
+EXPRESSION_NAMES = [
+    "jaw_open",
+    "pout",
+    "smile",
+    "frown",
+    "brow_raise",
+    "brow_furrow",
+    "cheek_puff",
+    "lip_press",
+    "eye_close",
+    "nose_wrinkle",
+] + [f"reserved_{i}" for i in range(10)]
+
+# Facial anchor points in the rest frame (metres).
+_MOUTH = np.array([0.0, 1.555, 0.085])
+_LIP_UPPER = np.array([0.0, 1.565, 0.088])
+_LIP_LOWER = np.array([0.0, 1.545, 0.088])
+_MOUTH_CORNER_L = np.array([0.025, 1.555, 0.080])
+_MOUTH_CORNER_R = np.array([-0.025, 1.555, 0.080])
+_BROW_L = np.array([0.028, 1.645, 0.082])
+_BROW_R = np.array([-0.028, 1.645, 0.082])
+_CHEEK_L = np.array([0.05, 1.58, 0.06])
+_CHEEK_R = np.array([-0.05, 1.58, 0.06])
+_EYE_L = np.array([0.032, 1.63, 0.082])
+_EYE_R = np.array([-0.032, 1.63, 0.082])
+_NOSE = np.array([0.0, 1.60, 0.095])
+
+
+@dataclass
+class ExpressionParams:
+    """Expression coefficients in roughly [-1, 1] per channel."""
+
+    coefficients: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_EXPRESSION)
+    )
+
+    def __post_init__(self) -> None:
+        self.coefficients = np.asarray(
+            self.coefficients, dtype=np.float64
+        ).ravel()
+        if self.coefficients.shape[0] > NUM_EXPRESSION:
+            raise GeometryError(
+                f"at most {NUM_EXPRESSION} expression coefficients"
+            )
+        if self.coefficients.shape[0] < NUM_EXPRESSION:
+            padded = np.zeros(NUM_EXPRESSION)
+            padded[: self.coefficients.shape[0]] = self.coefficients
+            self.coefficients = padded
+
+    @classmethod
+    def neutral(cls) -> "ExpressionParams":
+        return cls()
+
+    @classmethod
+    def named(cls, **channels: float) -> "ExpressionParams":
+        """Build from named channels, e.g. ``named(jaw_open=0.8, pout=0.6)``."""
+        coefficients = np.zeros(NUM_EXPRESSION)
+        index: Dict[str, int] = {
+            name: i for i, name in enumerate(EXPRESSION_NAMES)
+        }
+        for name, value in channels.items():
+            if name not in index:
+                raise GeometryError(f"unknown expression channel {name!r}")
+            coefficients[index[name]] = float(value)
+        return cls(coefficients=coefficients)
+
+    def copy(self) -> "ExpressionParams":
+        return ExpressionParams(coefficients=self.coefficients.copy())
+
+    def truncated(self, keep: int) -> "ExpressionParams":
+        """Zero out all but the first ``keep`` channels.
+
+        Models a reconstruction pipeline whose expression space is
+        smaller than the capture's (the X-Avatar limitation in Fig. 3).
+        """
+        if keep < 0:
+            raise GeometryError("keep must be non-negative")
+        coefficients = self.coefficients.copy()
+        coefficients[keep:] = 0.0
+        return ExpressionParams(coefficients=coefficients)
+
+
+def _gaussian(points: np.ndarray, center: np.ndarray, sigma: float):
+    d2 = ((points - center) ** 2).sum(axis=1)
+    return np.exp(-d2 / (2.0 * sigma * sigma))
+
+
+def expression_displacement(
+    points: np.ndarray, coefficients: np.ndarray
+) -> np.ndarray:
+    """Displacement of ``points`` (N, 3) for expression ``coefficients``.
+
+    Linear in the coefficients.  Displacements are concentrated on the
+    face; elsewhere they decay to zero, so the field can be applied to
+    the whole mesh cheaply.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    c = np.asarray(coefficients, dtype=np.float64).ravel()
+    if c.shape[0] < NUM_EXPRESSION:
+        padded = np.zeros(NUM_EXPRESSION)
+        padded[: c.shape[0]] = c
+        c = padded
+
+    displacement = np.zeros_like(points)
+    if not np.any(c):
+        return displacement
+
+    # 0: jaw open — lower-lip/chin region moves down and slightly back.
+    if c[0]:
+        w = _gaussian(points, _LIP_LOWER + [0, -0.01, -0.01], 0.030)
+        displacement[:, 1] -= c[0] * 0.018 * w
+        displacement[:, 2] -= c[0] * 0.004 * w
+
+    # 1: pout — both lips push forward and purse inward.
+    if c[1]:
+        w_u = _gaussian(points, _LIP_UPPER, 0.020)
+        w_l = _gaussian(points, _LIP_LOWER, 0.020)
+        w = w_u + w_l
+        displacement[:, 2] += c[1] * 0.012 * w
+        # Purse: corners pull toward the mouth centre.
+        for corner in (_MOUTH_CORNER_L, _MOUTH_CORNER_R):
+            wc = _gaussian(points, corner, 0.015)
+            displacement += (
+                c[1] * 0.006 * wc[:, None] * (_MOUTH - corner)
+            ) / max(np.linalg.norm(_MOUTH - corner), 1e-9)
+
+    # 2: smile — mouth corners up and out.
+    if c[2]:
+        for corner, side in ((_MOUTH_CORNER_L, 1.0), (_MOUTH_CORNER_R, -1.0)):
+            w = _gaussian(points, corner, 0.018)
+            displacement[:, 0] += c[2] * 0.006 * w * side
+            displacement[:, 1] += c[2] * 0.008 * w
+
+    # 3: frown — mouth corners down.
+    if c[3]:
+        for corner in (_MOUTH_CORNER_L, _MOUTH_CORNER_R):
+            w = _gaussian(points, corner, 0.018)
+            displacement[:, 1] -= c[3] * 0.008 * w
+
+    # 4: brow raise — brows move up.
+    if c[4]:
+        for brow in (_BROW_L, _BROW_R):
+            w = _gaussian(points, brow, 0.02)
+            displacement[:, 1] += c[4] * 0.008 * w
+
+    # 5: brow furrow — brows move in and down.
+    if c[5]:
+        for brow, side in ((_BROW_L, 1.0), (_BROW_R, -1.0)):
+            w = _gaussian(points, brow, 0.02)
+            displacement[:, 0] -= c[5] * 0.005 * w * side
+            displacement[:, 1] -= c[5] * 0.004 * w
+
+    # 6: cheek puff — cheeks balloon outward.
+    if c[6]:
+        for cheek, side in ((_CHEEK_L, 1.0), (_CHEEK_R, -1.0)):
+            w = _gaussian(points, cheek, 0.025)
+            displacement[:, 0] += c[6] * 0.008 * w * side
+            displacement[:, 2] += c[6] * 0.004 * w
+
+    # 7: lip press — lips flatten together (vertical squeeze).
+    if c[7]:
+        w_u = _gaussian(points, _LIP_UPPER, 0.018)
+        w_l = _gaussian(points, _LIP_LOWER, 0.018)
+        displacement[:, 1] -= c[7] * 0.004 * w_u
+        displacement[:, 1] += c[7] * 0.004 * w_l
+
+    # 8: eye close — upper eye region moves down.
+    if c[8]:
+        for eye in (_EYE_L, _EYE_R):
+            w = _gaussian(points, eye + [0, 0.008, 0], 0.012)
+            displacement[:, 1] -= c[8] * 0.006 * w
+
+    # 9: nose wrinkle — nose tip up and back.
+    if c[9]:
+        w = _gaussian(points, _NOSE, 0.015)
+        displacement[:, 1] += c[9] * 0.004 * w
+        displacement[:, 2] -= c[9] * 0.003 * w
+
+    return displacement

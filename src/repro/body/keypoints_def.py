@@ -1,0 +1,209 @@
+"""Keypoint taxonomy: the landmark set detectors report.
+
+The paper notes ~100+ keypoints suffice to represent a human (body,
+hands, face).  Our set has 127 entries: the 55 skeleton joints plus 72
+surface landmarks (fingertips, face contour, torso markers) rigidly
+attached to their parent joints — mirroring the whole-body keypoint
+conventions of OpenPose / MediaPipe Holistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.body.skeleton import (
+    JOINT_INDEX,
+    JOINT_NAMES,
+    NUM_JOINTS,
+    rest_joint_positions,
+)
+from repro.errors import GeometryError
+
+__all__ = [
+    "Landmark",
+    "LANDMARKS",
+    "KEYPOINT_NAMES",
+    "NUM_KEYPOINTS",
+    "keypoint_rest_positions",
+    "landmark_parent_indices",
+    "landmark_rest_offsets",
+]
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """A surface landmark rigidly attached to one joint.
+
+    Attributes:
+        name: landmark identifier.
+        parent: name of the joint it rides on.
+        position: rest-frame world position.
+    """
+
+    name: str
+    parent: str
+    position: tuple
+
+
+def _face_contour(count: int = 24) -> List[Landmark]:
+    """An ellipse of ``count`` points around the face, attached to the head."""
+    landmarks = []
+    center = np.array([0.0, 1.60, 0.07])
+    for i in range(count):
+        angle = 2.0 * np.pi * i / count
+        x = 0.055 * np.sin(angle)
+        y = 0.075 * np.cos(angle)
+        landmarks.append(
+            Landmark(
+                name=f"face_contour_{i}",
+                parent="head",
+                position=(center[0] + x, center[1] + y, center[2]),
+            )
+        )
+    return landmarks
+
+
+def _mirrored(name: str, parent: str, pos) -> List[Landmark]:
+    return [
+        Landmark(f"left_{name}", f"left_{parent}" if parent else parent,
+                 tuple(pos)),
+        Landmark(
+            f"right_{name}",
+            f"right_{parent}" if parent else parent,
+            (-pos[0], pos[1], pos[2]),
+        ),
+    ]
+
+
+def _build_landmarks() -> List[Landmark]:
+    landmarks: List[Landmark] = []
+    # Fingertips (10): just beyond the distal joints.
+    tip_offsets = {
+        "index": (0.875, 1.405, 0.025),
+        "middle": (0.89, 1.405, 0.0),
+        "pinky": (0.846, 1.40, -0.045),
+        "ring": (0.872, 1.403, -0.022),
+        "thumb": (0.805, 1.375, 0.072),
+    }
+    for finger, pos in tip_offsets.items():
+        landmarks.append(
+            Landmark(f"left_{finger}_tip", f"left_{finger}3", pos)
+        )
+        landmarks.append(
+            Landmark(
+                f"right_{finger}_tip",
+                f"right_{finger}3",
+                (-pos[0], pos[1], pos[2]),
+            )
+        )
+    # Feet (4): toe tips and heels.
+    landmarks += _mirrored("toe_tip", "foot", (0.115, 0.02, 0.20))
+    landmarks += _mirrored("heel", "ankle", (0.11, 0.02, -0.05))
+    # Head (9): crown, nose, chin, ears, eye corners.
+    head_points = {
+        "head_top": (0.0, 1.705, 0.015),
+        "nose_tip": (0.0, 1.60, 0.105),
+        "chin": (0.0, 1.535, 0.09),
+    }
+    for name, pos in head_points.items():
+        landmarks.append(Landmark(name, "head", pos))
+    landmarks += _mirrored("ear", "", (0.078, 1.61, 0.01))
+    landmarks += _mirrored("eye_outer", "", (0.045, 1.63, 0.075))
+    landmarks += _mirrored("eye_inner", "", (0.018, 1.63, 0.08))
+    # Attach the ear/eye landmarks to the head joint.
+    landmarks = [
+        Landmark(l.name, l.parent or "head", l.position) for l in landmarks
+    ]
+    # Brows (4) and mouth (4).
+    landmarks += [
+        Landmark(lm.name, "head", lm.position)
+        for lm in _mirrored("brow", "", (0.028, 1.648, 0.082))
+    ]
+    landmarks += [
+        Landmark(lm.name, "head", lm.position)
+        for lm in _mirrored("mouth_corner", "", (0.025, 1.555, 0.08))
+    ]
+    landmarks.append(Landmark("lip_upper", "head", (0.0, 1.565, 0.088)))
+    landmarks.append(Landmark("lip_lower", "jaw", (0.0, 1.545, 0.088)))
+    landmarks += [
+        Landmark(lm.name, "head", lm.position)
+        for lm in _mirrored("cheek", "", (0.05, 1.58, 0.06))
+    ]
+    landmarks.append(Landmark("forehead", "head", (0.0, 1.675, 0.075)))
+    landmarks.append(Landmark("occiput", "head", (0.0, 1.62, -0.075)))
+    # Face contour ring (24).
+    landmarks += _face_contour()
+    # Torso (7): sternum, navel, clavicle heads, shoulder caps, back.
+    landmarks.append(Landmark("sternum", "spine3", (0.0, 1.33, 0.10)))
+    landmarks.append(Landmark("navel", "spine1", (0.0, 1.05, 0.115)))
+    landmarks += [
+        Landmark(lm.name, f"{lm.name.split('_')[0]}_collar", lm.position)
+        for lm in _mirrored("clavicle", "", (0.08, 1.41, 0.05))
+    ]
+    landmarks += [
+        Landmark(
+            lm.name,
+            f"{lm.name.split('_')[0]}_shoulder",
+            lm.position,
+        )
+        for lm in _mirrored("shoulder_cap", "", (0.19, 1.44, 0.0))
+    ]
+    landmarks.append(Landmark("spine_back", "spine2", (0.0, 1.18, -0.12)))
+    # Limb surface markers (8): elbow/knee caps front, wrist bumps.
+    landmarks += [
+        Landmark(lm.name, f"{lm.name.split('_')[0]}_elbow", lm.position)
+        for lm in _mirrored("elbow_cap", "", (0.45, 1.44, 0.0))
+    ]
+    landmarks += [
+        Landmark(lm.name, f"{lm.name.split('_')[0]}_knee", lm.position)
+        for lm in _mirrored("knee_cap", "", (0.10, 0.50, 0.07))
+    ]
+    landmarks += [
+        Landmark(lm.name, f"{lm.name.split('_')[0]}_wrist", lm.position)
+        for lm in _mirrored("wrist_bump", "", (0.70, 1.43, 0.0))
+    ]
+    landmarks += [
+        Landmark(lm.name, f"{lm.name.split('_')[0]}_hip", lm.position)
+        for lm in _mirrored("hip_bump", "", (0.14, 0.93, 0.0))
+    ]
+    return landmarks
+
+
+LANDMARKS: List[Landmark] = _build_landmarks()
+
+KEYPOINT_NAMES: List[str] = list(JOINT_NAMES) + [l.name for l in LANDMARKS]
+NUM_KEYPOINTS = len(KEYPOINT_NAMES)
+
+_KEYPOINT_INDEX: Dict[str, int] = {
+    name: i for i, name in enumerate(KEYPOINT_NAMES)
+}
+if len(_KEYPOINT_INDEX) != NUM_KEYPOINTS:
+    raise GeometryError("duplicate keypoint names")
+
+
+def keypoint_rest_positions() -> np.ndarray:
+    """Rest-pose positions of all keypoints, shape (NUM_KEYPOINTS, 3)."""
+    rest = rest_joint_positions()
+    positions = np.zeros((NUM_KEYPOINTS, 3))
+    positions[:NUM_JOINTS] = rest
+    for i, landmark in enumerate(LANDMARKS):
+        positions[NUM_JOINTS + i] = landmark.position
+    return positions
+
+
+def landmark_parent_indices() -> np.ndarray:
+    """Joint index each landmark rides on, shape (num_landmarks,)."""
+    return np.array(
+        [JOINT_INDEX[l.parent] for l in LANDMARKS], dtype=np.int64
+    )
+
+
+def landmark_rest_offsets() -> np.ndarray:
+    """Rest-frame offsets from parent joint to landmark, (num_landmarks, 3)."""
+    rest = rest_joint_positions()
+    parents = landmark_parent_indices()
+    positions = np.array([l.position for l in LANDMARKS])
+    return positions - rest[parents]

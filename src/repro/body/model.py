@@ -1,0 +1,191 @@
+"""The parametric body model (SMPL-X substitute).
+
+``BodyModel.forward(pose, shape, expression)`` produces a posed,
+shaped, expressive mesh plus joint and keypoint positions via linear
+blend skinning over the procedural template.  This is the ground-truth
+"subject" of every experiment and the decoder target of the keypoint
+and text semantic pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.body.expression import ExpressionParams, expression_displacement
+from repro.body.keypoints_def import (
+    NUM_KEYPOINTS,
+    landmark_parent_indices,
+    landmark_rest_offsets,
+)
+from repro.body.pose import BodyPose
+from repro.body.shape import ShapeParams, shape_displacement
+from repro.body.skeleton import NUM_JOINTS, Skeleton, rest_joint_positions
+from repro.body.template import BodyTemplate, build_template
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh
+
+__all__ = ["BodyModel", "BodyState"]
+
+
+@dataclass
+class BodyState:
+    """The output of one forward pass.
+
+    Attributes:
+        mesh: posed surface mesh.
+        joints: (55, 3) posed joint positions.
+        keypoints: (127, 3) posed keypoint positions (joints + landmarks).
+        pose: the input pose.
+        shape: the input shape.
+        expression: the input expression.
+    """
+
+    mesh: TriangleMesh
+    joints: np.ndarray
+    keypoints: np.ndarray
+    pose: BodyPose
+    shape: ShapeParams
+    expression: ExpressionParams
+
+
+class BodyModel:
+    """Parametric human body with pose, shape and expression controls.
+
+    Args:
+        template: prebuilt template; built (and cached) on demand if
+            omitted.
+        template_resolution: marching resolution when building.
+        template_vertices: decimation target when building.
+    """
+
+    def __init__(
+        self,
+        template: Optional[BodyTemplate] = None,
+        template_resolution: int = 128,
+        template_vertices: Optional[int] = None,
+    ) -> None:
+        if template is None:
+            from repro.body.template import SMPLX_VERTEX_COUNT
+
+            template = build_template(
+                resolution=template_resolution,
+                target_vertices=template_vertices or SMPLX_VERTEX_COUNT,
+            )
+        self.template = template
+        self._rest_joints = rest_joint_positions()
+        self._landmark_parents = landmark_parent_indices()
+        self._landmark_offsets = landmark_rest_offsets()
+
+    @property
+    def num_vertices(self) -> int:
+        return self.template.mesh.num_vertices
+
+    @property
+    def num_faces(self) -> int:
+        return self.template.mesh.num_faces
+
+    def shaped_rest(
+        self,
+        shape: ShapeParams,
+        expression: Optional[ExpressionParams] = None,
+    ) -> tuple:
+        """Apply shape (and optional expression) in the rest pose.
+
+        Returns:
+            (vertices, joints): shaped rest-pose mesh vertices (V, 3)
+            and joint positions (55, 3).
+        """
+        vertices = self.template.mesh.vertices.copy()
+        joints = self._rest_joints.copy()
+        betas = shape.betas
+        if np.any(betas):
+            vertices = vertices + shape_displacement(vertices, betas)
+            joints = joints + shape_displacement(joints, betas)
+        if expression is not None and np.any(expression.coefficients):
+            vertices = vertices + expression_displacement(
+                vertices, expression.coefficients
+            )
+        return vertices, joints
+
+    def forward(
+        self,
+        pose: Optional[BodyPose] = None,
+        shape: Optional[ShapeParams] = None,
+        expression: Optional[ExpressionParams] = None,
+    ) -> BodyState:
+        """Pose the body.
+
+        Expression displacements are applied in the rest frame (so they
+        ride along with head motion through skinning); shape adjusts both
+        the mesh and the skeleton before forward kinematics.
+        """
+        pose = pose or BodyPose.identity()
+        shape = shape or ShapeParams.neutral()
+        expression = expression or ExpressionParams.neutral()
+
+        rest_vertices, rest_joints = self.shaped_rest(shape, expression)
+        skeleton = Skeleton(rest_positions=rest_joints)
+        joints, transforms = skeleton.forward(
+            pose.joint_rotations, pose.translation
+        )
+        relative = skeleton.relative_transforms(transforms)
+
+        vertices = self._skin(rest_vertices, relative)
+        mesh = TriangleMesh(
+            vertices=vertices,
+            faces=self.template.mesh.faces.copy(),
+            vertex_colors=(
+                None
+                if self.template.mesh.vertex_colors is None
+                else self.template.mesh.vertex_colors.copy()
+            ),
+        )
+        keypoints = self._pose_keypoints(joints, transforms)
+        return BodyState(
+            mesh=mesh,
+            joints=joints,
+            keypoints=keypoints,
+            pose=pose.copy(),
+            shape=shape.copy(),
+            expression=expression.copy(),
+        )
+
+    def _skin(
+        self, rest_vertices: np.ndarray, relative: np.ndarray
+    ) -> np.ndarray:
+        """Linear blend skinning of rest vertices by per-joint transforms."""
+        indices = self.template.skin_indices  # (V, K)
+        weights = self.template.skin_weights  # (V, K)
+        homogeneous = np.concatenate(
+            [rest_vertices, np.ones((len(rest_vertices), 1))], axis=1
+        )
+        # Blend the 4x4 transforms per vertex, then apply once.
+        blended = np.einsum(
+            "vk,vkij->vij", weights, relative[indices]
+        )
+        skinned = np.einsum("vij,vj->vi", blended, homogeneous)
+        return skinned[:, :3]
+
+    def _pose_keypoints(
+        self, joints: np.ndarray, transforms: np.ndarray
+    ) -> np.ndarray:
+        """Posed keypoints: joints plus rigidly-attached landmarks."""
+        keypoints = np.zeros((NUM_KEYPOINTS, 3))
+        keypoints[:NUM_JOINTS] = joints
+        parents = self._landmark_parents
+        offsets = self._landmark_offsets
+        rotations = transforms[parents][:, :3, :3]
+        keypoints[NUM_JOINTS:] = joints[parents] + np.einsum(
+            "nij,nj->ni", rotations, offsets
+        )
+        return keypoints
+
+    def validate_pose(self, pose: BodyPose) -> None:
+        """Raise :class:`GeometryError` on NaN/inf pose input."""
+        if not np.isfinite(pose.joint_rotations).all():
+            raise GeometryError("pose has non-finite rotations")
+        if not np.isfinite(pose.translation).all():
+            raise GeometryError("pose has non-finite translation")

@@ -1,0 +1,229 @@
+"""Synthetic motion generators.
+
+The paper's workloads are telepresence participants who talk, gesture,
+and move.  These generators produce deterministic pose/expression
+trajectories with human-plausible dynamics; every benchmark and example
+uses them as the capture-side ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.body.expression import ExpressionParams
+from repro.body.pose import BodyPose
+from repro.body.skeleton import JOINT_INDEX
+from repro.errors import GeometryError
+
+__all__ = ["MotionFrame", "MotionSequence", "talking", "waving", "walking",
+           "idle", "presenting"]
+
+
+@dataclass(frozen=True)
+class MotionFrame:
+    """One frame of generated motion."""
+
+    time: float
+    pose: BodyPose
+    expression: ExpressionParams
+
+
+@dataclass
+class MotionSequence:
+    """A timed sequence of motion frames.
+
+    Attributes:
+        frames: the frames, in time order.
+        fps: nominal frame rate the sequence was generated at.
+        name: generator label (used in benchmark output).
+    """
+
+    frames: List[MotionFrame]
+    fps: float
+    name: str = "motion"
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise GeometryError("fps must be positive")
+        if not self.frames:
+            raise GeometryError("motion sequence must have frames")
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[MotionFrame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> MotionFrame:
+        return self.frames[index]
+
+    @property
+    def duration(self) -> float:
+        return len(self.frames) / self.fps
+
+
+def _set(rotations: np.ndarray, joint: str, axis_angle) -> None:
+    rotations[JOINT_INDEX[joint]] = axis_angle
+
+
+def _frames(
+    n_frames: int, fps: float, pose_fn, expression_fn, name: str
+) -> MotionSequence:
+    frames = []
+    for i in range(n_frames):
+        t = i / fps
+        frames.append(
+            MotionFrame(time=t, pose=pose_fn(t), expression=expression_fn(t))
+        )
+    return MotionSequence(frames=frames, fps=fps, name=name)
+
+
+def talking(
+    n_frames: int = 90,
+    fps: float = 30.0,
+    seed: int = 0,
+) -> MotionSequence:
+    """A seated-style talking loop: head nods, jaw motion, small gestures.
+
+    The expression track exercises jaw_open *and* pout so the Figure 3
+    experiment has the exact failure case the paper shows.
+    """
+    rng = np.random.default_rng(seed)
+    phase = rng.uniform(0, 2 * np.pi, size=8)
+
+    def pose_fn(t: float) -> BodyPose:
+        r = np.zeros((len(JOINT_INDEX), 3))
+        _set(r, "head", [0.08 * np.sin(1.1 * t + phase[0]),
+                         0.10 * np.sin(0.7 * t + phase[1]), 0.0])
+        _set(r, "neck", [0.04 * np.sin(0.9 * t + phase[2]), 0.0, 0.0])
+        _set(r, "spine2", [0.03 * np.sin(0.5 * t + phase[3]), 0.0, 0.0])
+        _set(r, "left_shoulder", [0.0, 0.0, 0.9 + 0.15 * np.sin(
+            1.3 * t + phase[4])])
+        _set(r, "right_shoulder", [0.0, 0.0, -0.9 - 0.15 * np.sin(
+            1.2 * t + phase[5])])
+        _set(r, "left_elbow", [0.0, 0.7 + 0.3 * np.sin(1.7 * t + phase[6]),
+                               0.0])
+        _set(r, "right_elbow", [0.0, -0.7 - 0.3 * np.sin(1.5 * t + phase[7]),
+                                0.0])
+        _set(r, "jaw", [0.12 + 0.10 * np.sin(6.0 * t), 0.0, 0.0])
+        return BodyPose(joint_rotations=r)
+
+    def expression_fn(t: float) -> ExpressionParams:
+        return ExpressionParams.named(
+            jaw_open=0.5 + 0.4 * np.sin(6.0 * t),
+            pout=max(0.0, 0.7 * np.sin(0.9 * t)),
+            smile=max(0.0, 0.5 * np.sin(0.4 * t + 1.0)),
+            brow_raise=max(0.0, 0.4 * np.sin(0.6 * t + 2.0)),
+        )
+
+    return _frames(n_frames, fps, pose_fn, expression_fn, "talking")
+
+
+def waving(
+    n_frames: int = 90, fps: float = 30.0, seed: int = 0
+) -> MotionSequence:
+    """A greeting wave: right arm raised, forearm oscillating."""
+    del seed  # deterministic by construction
+
+    def pose_fn(t: float) -> BodyPose:
+        r = np.zeros((len(JOINT_INDEX), 3))
+        # Raise the right arm and wave the forearm.
+        _set(r, "right_shoulder", [0.0, 0.0, 1.0])
+        _set(r, "right_elbow", [0.0, 0.0, 0.8 + 0.5 * np.sin(4.0 * t)])
+        _set(r, "right_wrist", [0.0, 0.0, 0.2 * np.sin(4.0 * t)])
+        # Left arm relaxed at the side.
+        _set(r, "left_shoulder", [0.0, 0.0, 1.2])
+        _set(r, "left_elbow", [0.0, 0.3, 0.0])
+        _set(r, "head", [0.0, 0.15 * np.sin(0.8 * t), 0.0])
+        return BodyPose(joint_rotations=r)
+
+    def expression_fn(t: float) -> ExpressionParams:
+        return ExpressionParams.named(smile=0.6 + 0.2 * np.sin(0.5 * t))
+
+    return _frames(n_frames, fps, pose_fn, expression_fn, "waving")
+
+
+def walking(
+    n_frames: int = 90, fps: float = 30.0, seed: int = 0
+) -> MotionSequence:
+    """Walking in place: alternating legs and counter-swinging arms."""
+    del seed
+
+    def pose_fn(t: float) -> BodyPose:
+        r = np.zeros((len(JOINT_INDEX), 3))
+        stride = 2.2  # rad/s gait frequency
+        swing = np.sin(stride * t)
+        _set(r, "left_hip", [0.5 * swing, 0.0, 0.0])
+        _set(r, "right_hip", [-0.5 * swing, 0.0, 0.0])
+        _set(r, "left_knee", [max(0.0, -0.9 * swing), 0.0, 0.0])
+        _set(r, "right_knee", [max(0.0, 0.9 * swing), 0.0, 0.0])
+        _set(r, "left_shoulder", [0.0, 0.0, 1.2])
+        _set(r, "right_shoulder", [0.0, 0.0, -1.2])
+        _set(r, "left_elbow", [-0.3 * swing, 0.3, 0.0])
+        _set(r, "right_elbow", [0.3 * swing, -0.3, 0.0])
+        _set(r, "spine2", [0.0, 0.06 * swing, 0.0])
+        pose = BodyPose(joint_rotations=r)
+        pose.translation[1] = 0.02 * abs(np.cos(stride * t))
+        return pose
+
+    def expression_fn(t: float) -> ExpressionParams:
+        del t
+        return ExpressionParams.neutral()
+
+    return _frames(n_frames, fps, pose_fn, expression_fn, "walking")
+
+
+def idle(
+    n_frames: int = 90, fps: float = 30.0, seed: int = 0
+) -> MotionSequence:
+    """Near-still breathing idle — the low-motion end of the workload range."""
+    del seed
+
+    def pose_fn(t: float) -> BodyPose:
+        r = np.zeros((len(JOINT_INDEX), 3))
+        breath = 0.01 * np.sin(1.2 * t)
+        _set(r, "spine2", [breath, 0.0, 0.0])
+        _set(r, "left_shoulder", [0.0, 0.0, 1.25 + breath])
+        _set(r, "right_shoulder", [0.0, 0.0, -1.25 - breath])
+        _set(r, "left_elbow", [0.0, 0.25, 0.0])
+        _set(r, "right_elbow", [0.0, -0.25, 0.0])
+        return BodyPose(joint_rotations=r)
+
+    def expression_fn(t: float) -> ExpressionParams:
+        del t
+        return ExpressionParams.neutral()
+
+    return _frames(n_frames, fps, pose_fn, expression_fn, "idle")
+
+
+def presenting(
+    n_frames: int = 120, fps: float = 30.0, seed: int = 1
+) -> MotionSequence:
+    """A remote-collaboration presenter: large pointing gestures + speech."""
+    rng = np.random.default_rng(seed)
+    phase = rng.uniform(0, 2 * np.pi, size=4)
+
+    def pose_fn(t: float) -> BodyPose:
+        r = np.zeros((len(JOINT_INDEX), 3))
+        point = 0.5 + 0.5 * np.sin(0.7 * t + phase[0])
+        _set(r, "right_shoulder", [0.3 * point, 0.0, -0.5 - 0.7 * point])
+        _set(r, "right_elbow", [0.0, -0.4 * (1 - point), 0.0])
+        _set(r, "right_index1", [0.0, 0.0, -0.2])
+        _set(r, "left_shoulder", [0.0, 0.0, 1.1])
+        _set(r, "left_elbow", [0.0, 0.5 + 0.2 * np.sin(t + phase[1]), 0.0])
+        _set(r, "head", [0.05 * np.sin(t + phase[2]),
+                         0.2 * np.sin(0.5 * t + phase[3]), 0.0])
+        _set(r, "jaw", [0.1 + 0.08 * np.sin(5.0 * t), 0.0, 0.0])
+        _set(r, "pelvis", [0.0, 0.1 * np.sin(0.3 * t), 0.0])
+        return BodyPose(joint_rotations=r)
+
+    def expression_fn(t: float) -> ExpressionParams:
+        return ExpressionParams.named(
+            jaw_open=0.4 + 0.3 * np.sin(5.0 * t),
+            brow_raise=max(0.0, 0.5 * np.sin(0.8 * t)),
+        )
+
+    return _frames(n_frames, fps, pose_fn, expression_fn, "presenting")

@@ -1,0 +1,185 @@
+"""Pose containers: the parameter vector shipped by keypoint semantics.
+
+A :class:`BodyPose` carries axis-angle rotations for all 55 joints plus
+a root translation — the exact parameterisation the paper transmits
+("3D pose aligned with SMPL-X parameters", §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.body.skeleton import JOINT_INDEX, NUM_JOINTS
+from repro.errors import GeometryError
+from repro.geometry.transforms import (
+    axis_angle_to_quaternion,
+    quaternion_to_axis_angle,
+)
+
+__all__ = ["BodyPose"]
+
+# Plausible per-joint rotation limits (radians) used when sampling
+# random poses, so generated motion stays humanly possible.
+_JOINT_LIMITS = {
+    "default": 0.4,
+    "pelvis": 0.3,
+    "left_hip": 0.7,
+    "right_hip": 0.7,
+    "left_knee": 1.2,
+    "right_knee": 1.2,
+    "left_shoulder": 1.2,
+    "right_shoulder": 1.2,
+    "left_elbow": 1.5,
+    "right_elbow": 1.5,
+    "left_wrist": 0.6,
+    "right_wrist": 0.6,
+    "jaw": 0.25,
+    "neck": 0.4,
+    "head": 0.4,
+}
+
+
+@dataclass
+class BodyPose:
+    """Axis-angle rotations per joint plus a root translation.
+
+    Attributes:
+        joint_rotations: (55, 3) axis-angle; row 0 (pelvis) is the
+            global orientation.
+        translation: (3,) world translation of the root.
+    """
+
+    joint_rotations: np.ndarray = field(
+        default_factory=lambda: np.zeros((NUM_JOINTS, 3))
+    )
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        self.joint_rotations = np.asarray(
+            self.joint_rotations, dtype=np.float64
+        )
+        self.translation = np.asarray(self.translation, dtype=np.float64)
+        if self.joint_rotations.shape != (NUM_JOINTS, 3):
+            raise GeometryError(
+                f"joint_rotations must be ({NUM_JOINTS}, 3), got "
+                f"{self.joint_rotations.shape}"
+            )
+        if self.translation.shape != (3,):
+            raise GeometryError("translation must be a 3-vector")
+
+    @classmethod
+    def identity(cls) -> "BodyPose":
+        """The rest (T) pose."""
+        return cls()
+
+    @classmethod
+    def random(
+        cls,
+        rng: Optional[np.random.Generator] = None,
+        scale: float = 1.0,
+    ) -> "BodyPose":
+        """Sample a plausible random pose within per-joint limits."""
+        rng = rng or np.random.default_rng(0)
+        rotations = np.zeros((NUM_JOINTS, 3))
+        for name, index in JOINT_INDEX.items():
+            limit = _JOINT_LIMITS.get(name, _JOINT_LIMITS["default"])
+            rotations[index] = rng.uniform(-limit, limit, size=3) * scale
+        return cls(joint_rotations=rotations)
+
+    def copy(self) -> "BodyPose":
+        return BodyPose(
+            joint_rotations=self.joint_rotations.copy(),
+            translation=self.translation.copy(),
+        )
+
+    def set_rotation(self, joint_name: str, axis_angle) -> "BodyPose":
+        """Return a copy with one joint's rotation replaced."""
+        if joint_name not in JOINT_INDEX:
+            raise GeometryError(f"unknown joint {joint_name!r}")
+        out = self.copy()
+        out.joint_rotations[JOINT_INDEX[joint_name]] = np.asarray(
+            axis_angle, dtype=np.float64
+        )
+        return out
+
+    def rotation(self, joint_name: str) -> np.ndarray:
+        """Axis-angle rotation of one joint by name."""
+        if joint_name not in JOINT_INDEX:
+            raise GeometryError(f"unknown joint {joint_name!r}")
+        return self.joint_rotations[JOINT_INDEX[joint_name]].copy()
+
+    def flatten(self) -> np.ndarray:
+        """Flatten to a (168,) vector: 55*3 rotations + 3 translation."""
+        return np.concatenate(
+            [self.joint_rotations.ravel(), self.translation]
+        )
+
+    @classmethod
+    def from_flat(cls, flat: np.ndarray) -> "BodyPose":
+        """Inverse of :meth:`flatten`."""
+        flat = np.asarray(flat, dtype=np.float64).ravel()
+        expected = NUM_JOINTS * 3 + 3
+        if flat.shape[0] != expected:
+            raise GeometryError(
+                f"flat pose must have {expected} entries, got {flat.shape[0]}"
+            )
+        return cls(
+            joint_rotations=flat[: NUM_JOINTS * 3].reshape(NUM_JOINTS, 3),
+            translation=flat[NUM_JOINTS * 3:],
+        )
+
+    def interpolate(self, other: "BodyPose", t: float) -> "BodyPose":
+        """Spherical interpolation toward ``other`` (t in [0, 1]).
+
+        Each joint rotation is slerped through quaternion space; the
+        translation is interpolated linearly.  Used by the temporal-aware
+        reconstructor and by motion generators.
+        """
+        t = float(np.clip(t, 0.0, 1.0))
+        qa = axis_angle_to_quaternion(self.joint_rotations)
+        qb = axis_angle_to_quaternion(other.joint_rotations)
+        dot = np.einsum("ij,ij->i", qa, qb)
+        qb = qb * np.where(dot < 0, -1.0, 1.0)[:, None]
+        dot = np.abs(np.clip(dot, -1.0, 1.0))
+        theta = np.arccos(dot)
+        sin_theta = np.sin(theta)
+        near = sin_theta < 1e-6
+        w_a = np.where(near, 1.0 - t, np.sin((1.0 - t) * theta) / np.where(
+            near, 1.0, sin_theta
+        ))
+        w_b = np.where(near, t, np.sin(t * theta) / np.where(
+            near, 1.0, sin_theta
+        ))
+        q = w_a[:, None] * qa + w_b[:, None] * qb
+        q /= np.maximum(np.linalg.norm(q, axis=1, keepdims=True), 1e-12)
+        return BodyPose(
+            joint_rotations=quaternion_to_axis_angle(q),
+            translation=(1.0 - t) * self.translation
+            + t * other.translation,
+        )
+
+    def distance(
+        self, other: "BodyPose", joints: Optional[np.ndarray] = None
+    ) -> float:
+        """Mean per-joint geodesic rotation distance (radians).
+
+        The temporal delta used by text semantics and the keyframe+warp
+        reconstructor to decide whether a frame changed enough.
+
+        Args:
+            other: pose to compare against.
+            joints: optional joint indices to restrict the mean to
+                (e.g. body joints only, ignoring noisy finger fits).
+        """
+        rot_a = self.joint_rotations
+        rot_b = other.joint_rotations
+        if joints is not None:
+            rot_a = rot_a[joints]
+            rot_b = rot_b[joints]
+        qa = axis_angle_to_quaternion(rot_a)
+        qb = axis_angle_to_quaternion(rot_b)
+        dot = np.abs(np.clip(np.einsum("ij,ij->i", qa, qb), -1.0, 1.0))
+        return float((2.0 * np.arccos(dot)).mean())

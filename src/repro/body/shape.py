@@ -1,0 +1,166 @@
+"""Body shape space: analytic blendshape displacement fields.
+
+SMPL-X expresses identity with learned PCA blendshapes; our substitute
+uses 20 analytic displacement fields (height, girth, limb lengths, ...)
+that deform the template mesh *and* the rest skeleton consistently, so
+skinning stays valid for any shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = ["NUM_BETAS", "ShapeParams", "shape_displacement"]
+
+NUM_BETAS = 20
+
+_FLOOR_Y = 0.0
+_PELVIS_Y = 0.95
+_SHOULDER_Y = 1.40
+_HEAD_Y = 1.60
+_BELLY = np.array([0.0, 1.08, 0.07])
+_CHEST = np.array([0.0, 1.30, 0.05])
+
+
+@dataclass
+class ShapeParams:
+    """Shape coefficients; zero is the neutral body.
+
+    Each coefficient is roughly calibrated so +/-2 stays anatomically
+    plausible.  Semantics of the leading entries:
+
+    0. overall height   1. overall girth     2. arm length
+    3. leg length       4. head size         5. shoulder width
+    6. belly            7. chest             8. hand size
+    9. foot size        10-19. reserved (zero displacement)
+    """
+
+    betas: np.ndarray = field(default_factory=lambda: np.zeros(NUM_BETAS))
+
+    def __post_init__(self) -> None:
+        self.betas = np.asarray(self.betas, dtype=np.float64).ravel()
+        if self.betas.shape[0] > NUM_BETAS:
+            raise GeometryError(
+                f"at most {NUM_BETAS} betas supported, got {len(self.betas)}"
+            )
+        if self.betas.shape[0] < NUM_BETAS:
+            padded = np.zeros(NUM_BETAS)
+            padded[: self.betas.shape[0]] = self.betas
+            self.betas = padded
+
+    @classmethod
+    def neutral(cls) -> "ShapeParams":
+        return cls()
+
+    @classmethod
+    def random(cls, rng: np.random.Generator = None, scale=1.0) -> "ShapeParams":
+        rng = rng or np.random.default_rng(0)
+        betas = np.zeros(NUM_BETAS)
+        betas[:10] = rng.normal(0.0, 0.5 * scale, size=10)
+        return cls(betas=betas)
+
+    def copy(self) -> "ShapeParams":
+        return ShapeParams(betas=self.betas.copy())
+
+
+def _gaussian(points: np.ndarray, center: np.ndarray, sigma: float):
+    d2 = ((points - center) ** 2).sum(axis=1)
+    return np.exp(-d2 / (2.0 * sigma * sigma))
+
+
+def _smoothstep(x: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    t = np.clip((x - lo) / (hi - lo), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def shape_displacement(
+    points: np.ndarray, betas: np.ndarray
+) -> np.ndarray:
+    """Displacement of ``points`` (N, 3) for shape coefficients ``betas``.
+
+    The same field deforms mesh vertices and joint rest positions; it is
+    linear in ``betas`` (a true blendshape basis), so payload encoding
+    and fitting can treat it as such.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    betas = np.asarray(betas, dtype=np.float64).ravel()
+    if betas.shape[0] < NUM_BETAS:
+        padded = np.zeros(NUM_BETAS)
+        padded[: betas.shape[0]] = betas
+        betas = padded
+
+    x = points[:, 0]
+    y = points[:, 1]
+    displacement = np.zeros_like(points)
+
+    # 0: overall height — scale everything vertically about the floor.
+    displacement[:, 1] += betas[0] * 0.05 * (y - _FLOOR_Y)
+
+    # 1: overall girth — push out radially from the vertical body axis,
+    # tapering at the extremities so hands/feet are less affected.
+    radial = points.copy()
+    radial[:, 1] = 0.0
+    norm = np.linalg.norm(radial, axis=1, keepdims=True)
+    direction = np.divide(
+        radial, norm, out=np.zeros_like(radial), where=norm > 1e-9
+    )
+    trunk_weight = _smoothstep(y, 0.3, 0.8) * (
+        1.0 - _smoothstep(np.abs(x), 0.25, 0.6)
+    )
+    displacement += (
+        betas[1] * 0.02 * trunk_weight[:, None] * direction
+    )
+
+    # 2: arm length — stretch along +/-x beyond the shoulders.
+    arm = _smoothstep(np.abs(x), 0.17, 0.30)
+    displacement[:, 0] += betas[2] * 0.04 * arm * np.sign(x)
+
+    # 3: leg length — stretch downward below the pelvis.
+    leg = 1.0 - _smoothstep(y, 0.6, _PELVIS_Y)
+    displacement[:, 1] -= betas[3] * 0.05 * leg * (
+        (_PELVIS_Y - np.minimum(y, _PELVIS_Y)) / _PELVIS_Y
+    )
+
+    # 4: head size — inflate radially about the head centre.
+    head_center = np.array([0.0, _HEAD_Y, 0.02])
+    head_w = _gaussian(points, head_center, 0.13)
+    displacement += (
+        betas[4] * 0.03 * head_w[:, None] * (points - head_center)
+    )
+
+    # 5: shoulder width — push x outward around shoulder height.
+    shoulder = np.exp(-((y - _SHOULDER_Y) ** 2) / (2 * 0.08**2))
+    near_torso = 1.0 - _smoothstep(np.abs(x), 0.30, 0.55)
+    displacement[:, 0] += (
+        betas[5] * 0.025 * shoulder * near_torso * np.sign(x)
+    )
+
+    # 6: belly — a forward bump at the abdomen.
+    belly_w = _gaussian(points, _BELLY, 0.12)
+    displacement[:, 2] += betas[6] * 0.04 * belly_w
+
+    # 7: chest — a forward/outward bump at the chest.
+    chest_w = _gaussian(points, _CHEST, 0.11)
+    displacement[:, 2] += betas[7] * 0.03 * chest_w
+
+    # 8: hand size — inflate around each hand.
+    for side in (1.0, -1.0):
+        hand_center = np.array([side * 0.78, 1.40, 0.0])
+        hand_w = _gaussian(points, hand_center, 0.1)
+        displacement += (
+            betas[8] * 0.02 * hand_w[:, None] * (points - hand_center)
+        )
+
+    # 9: foot size — inflate around each foot.
+    for side in (1.0, -1.0):
+        foot_center = np.array([side * 0.115, 0.05, 0.08])
+        foot_w = _gaussian(points, foot_center, 0.09)
+        displacement += (
+            betas[9] * 0.02 * foot_w[:, None] * (points - foot_center)
+        )
+
+    return displacement

@@ -1,0 +1,340 @@
+"""Kinematic skeleton: joint tree, rest pose, and forward kinematics.
+
+The joint set mirrors SMPL-X's 55 joints (22 body, jaw, two eyes, and
+15 joints per hand) so that transmitted pose payloads have the same
+structure — and therefore the same size — as the paper's "3D pose
+aligned with SMPL-X parameters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.transforms import axis_angle_to_matrix
+
+__all__ = [
+    "JOINT_NAMES",
+    "PARENTS",
+    "NUM_JOINTS",
+    "NUM_BODY_JOINTS",
+    "rest_joint_positions",
+    "Skeleton",
+    "BONES",
+    "BONE_RADII",
+    "bone_segments",
+]
+
+_BODY_JOINTS: List[Tuple[str, int]] = [
+    ("pelvis", -1),
+    ("left_hip", 0),
+    ("right_hip", 0),
+    ("spine1", 0),
+    ("left_knee", 1),
+    ("right_knee", 2),
+    ("spine2", 3),
+    ("left_ankle", 4),
+    ("right_ankle", 5),
+    ("spine3", 6),
+    ("left_foot", 7),
+    ("right_foot", 8),
+    ("neck", 9),
+    ("left_collar", 9),
+    ("right_collar", 9),
+    ("head", 12),
+    ("left_shoulder", 13),
+    ("right_shoulder", 14),
+    ("left_elbow", 16),
+    ("right_elbow", 17),
+    ("left_wrist", 18),
+    ("right_wrist", 19),
+    ("jaw", 15),
+    ("left_eye", 15),
+    ("right_eye", 15),
+]
+
+_FINGERS = ["index", "middle", "pinky", "ring", "thumb"]
+
+
+def _hand_joints(side: str, wrist_index: int, start: int):
+    joints = []
+    for finger in _FINGERS:
+        for segment in range(1, 4):
+            if segment == 1:
+                parent = wrist_index
+            else:
+                parent = start + len(joints) - 1
+            joints.append((f"{side}_{finger}{segment}", parent))
+    return joints
+
+JOINT_NAMES: List[str] = [name for name, _ in _BODY_JOINTS]
+PARENTS: List[int] = [parent for _, parent in _BODY_JOINTS]
+for _side, _wrist in (("left", 20), ("right", 21)):
+    for _name, _parent in _hand_joints(_side, _wrist, len(JOINT_NAMES)):
+        JOINT_NAMES.append(_name)
+        PARENTS.append(_parent)
+
+NUM_JOINTS = len(JOINT_NAMES)  # 55
+NUM_BODY_JOINTS = 21  # poseable body joints, excluding the pelvis root
+
+JOINT_INDEX: Dict[str, int] = {n: i for i, n in enumerate(JOINT_NAMES)}
+
+# Rest-pose (T-pose) joint positions in metres; Y up, character faces +Z,
+# character's left is +X.  Proportions follow a ~1.72 m adult.
+_REST_LEFT: Dict[str, Tuple[float, float, float]] = {
+    "pelvis": (0.0, 0.95, 0.0),
+    "left_hip": (0.09, 0.91, 0.0),
+    "spine1": (0.0, 1.05, 0.0),
+    "left_knee": (0.10, 0.50, 0.0),
+    "spine2": (0.0, 1.15, 0.0),
+    "left_ankle": (0.11, 0.09, 0.0),
+    "spine3": (0.0, 1.28, 0.0),
+    "left_foot": (0.115, 0.03, 0.12),
+    "neck": (0.0, 1.42, 0.0),
+    "left_collar": (0.045, 1.38, 0.0),
+    "head": (0.0, 1.53, 0.01),
+    "left_shoulder": (0.17, 1.40, 0.0),
+    "left_elbow": (0.45, 1.40, 0.0),
+    "left_wrist": (0.70, 1.40, 0.0),
+    "jaw": (0.0, 1.56, 0.06),
+    "left_eye": (0.032, 1.63, 0.08),
+    "left_index1": (0.79, 1.405, 0.025),
+    "left_index2": (0.83, 1.405, 0.025),
+    "left_index3": (0.855, 1.405, 0.025),
+    "left_middle1": (0.795, 1.405, 0.0),
+    "left_middle2": (0.84, 1.405, 0.0),
+    "left_middle3": (0.868, 1.405, 0.0),
+    "left_pinky1": (0.78, 1.40, -0.045),
+    "left_pinky2": (0.81, 1.40, -0.045),
+    "left_pinky3": (0.83, 1.40, -0.045),
+    "left_ring1": (0.79, 1.403, -0.022),
+    "left_ring2": (0.827, 1.403, -0.022),
+    "left_ring3": (0.852, 1.403, -0.022),
+    "left_thumb1": (0.73, 1.39, 0.03),
+    "left_thumb2": (0.76, 1.385, 0.05),
+    "left_thumb3": (0.785, 1.38, 0.062),
+}
+
+
+def rest_joint_positions() -> np.ndarray:
+    """Rest (T-pose) world positions of all 55 joints, shape (55, 3)."""
+    positions = np.zeros((NUM_JOINTS, 3))
+    for name, index in JOINT_INDEX.items():
+        if name in _REST_LEFT:
+            positions[index] = _REST_LEFT[name]
+        elif name.startswith("right_"):
+            mirrored = "left_" + name[len("right_"):]
+            x, y, z = _REST_LEFT[mirrored]
+            positions[index] = (-x, y, z)
+        else:
+            raise GeometryError(f"no rest position for joint {name}")
+    return positions
+
+
+# Bones for the capsule body template and bone-distance skinning:
+# (joint driving the bone, tail position description).  Most bones run
+# from a joint to its child; leaf joints get explicit tips.
+_LEAF_TIPS: Dict[str, Tuple[float, float, float]] = {
+    "head": (0.0, 1.70, 0.01),
+    "left_foot": (0.115, 0.02, 0.20),
+    "left_index3": (0.875, 1.405, 0.025),
+    "left_middle3": (0.89, 1.405, 0.0),
+    "left_pinky3": (0.846, 1.40, -0.045),
+    "left_ring3": (0.872, 1.403, -0.022),
+    "left_thumb3": (0.805, 1.375, 0.072),
+    "jaw": (0.0, 1.545, 0.095),
+    "left_eye": (0.032, 1.63, 0.085),
+}
+
+# Capsule radii (head, tail) per bone keyed by the driving joint name.
+BONE_RADII: Dict[str, Tuple[float, float]] = {
+    "pelvis": (0.12, 0.13),
+    "left_hip": (0.085, 0.065),
+    "right_hip": (0.085, 0.065),
+    "spine1": (0.125, 0.13),
+    "left_knee": (0.06, 0.042),
+    "right_knee": (0.06, 0.042),
+    "spine2": (0.13, 0.125),
+    "left_ankle": (0.045, 0.035),
+    "right_ankle": (0.045, 0.035),
+    "spine3": (0.12, 0.055),
+    "left_foot": (0.032, 0.028),
+    "right_foot": (0.032, 0.028),
+    "neck": (0.05, 0.05),
+    "left_collar": (0.05, 0.045),
+    "right_collar": (0.05, 0.045),
+    "head": (0.075, 0.085),
+    "left_shoulder": (0.047, 0.04),
+    "right_shoulder": (0.047, 0.04),
+    "left_elbow": (0.04, 0.032),
+    "right_elbow": (0.04, 0.032),
+    "left_wrist": (0.030, 0.024),
+    "right_wrist": (0.030, 0.024),
+    "jaw": (0.03, 0.02),
+    "left_eye": (0.012, 0.012),
+    "right_eye": (0.012, 0.012),
+}
+_FINGER_RADII = {1: (0.011, 0.010), 2: (0.010, 0.009), 3: (0.009, 0.0075)}
+for _side in ("left", "right"):
+    for _finger in _FINGERS:
+        for _seg in range(1, 4):
+            BONE_RADII[f"{_side}_{_finger}{_seg}"] = _FINGER_RADII[_seg]
+
+
+def _mirror(point: Tuple[float, float, float]) -> Tuple[float, float, float]:
+    return (-point[0], point[1], point[2])
+
+
+def bone_segments(
+    joint_positions: np.ndarray,
+) -> List[Tuple[str, np.ndarray, np.ndarray, float, float]]:
+    """Bone capsule segments for a given set of joint positions.
+
+    Args:
+        joint_positions: (55, 3) joint positions (rest or posed).
+
+    Returns:
+        List of (driving_joint_name, head_xyz, tail_xyz, radius_head,
+        radius_tail).  Tips of leaf bones are carried rigidly with their
+        joint (computed in the rest frame and only valid for rest-pose
+        inputs; posed tips are produced by :meth:`Skeleton.posed_bones`).
+    """
+    rest = rest_joint_positions()
+    segments = []
+    children: Dict[int, List[int]] = {}
+    for child, parent in enumerate(PARENTS):
+        if parent >= 0:
+            children.setdefault(parent, []).append(child)
+    for index, name in enumerate(JOINT_NAMES):
+        radius_head, radius_tail = BONE_RADII[name]
+        for kid in children.get(index, []):
+            kid_name = JOINT_NAMES[kid]
+            if name == "head":
+                # The head's radii describe the cranium (its tip
+                # bone); bones into facial features (jaw, eyes) must
+                # use the feature's own thin radii or the face bloats.
+                bone_head, bone_tail = BONE_RADII[kid_name]
+            else:
+                bone_head, bone_tail = radius_head, radius_tail
+            segments.append(
+                (
+                    name,
+                    joint_positions[index].copy(),
+                    joint_positions[kid].copy(),
+                    bone_head,
+                    bone_tail,
+                )
+            )
+        tip = None
+        if name in _LEAF_TIPS:
+            tip = np.array(_LEAF_TIPS[name])
+        elif name.startswith("right_"):
+            left_name = "left_" + name[len("right_"):]
+            if left_name in _LEAF_TIPS:
+                tip = np.array(_mirror(_LEAF_TIPS[left_name]))
+        if tip is not None:
+            # Express the tip relative to the joint in the rest frame so
+            # the caller can pose it rigidly later.
+            offset = tip - rest[index]
+            segments.append(
+                (
+                    name,
+                    joint_positions[index].copy(),
+                    joint_positions[index] + offset,
+                    radius_head,
+                    radius_tail,
+                )
+            )
+    return segments
+
+
+BONES = bone_segments(rest_joint_positions())
+
+
+@dataclass
+class Skeleton:
+    """Forward kinematics over the 55-joint tree.
+
+    Attributes:
+        rest_positions: (55, 3) rest-pose joint positions; may be
+            shape-adjusted by the body model before FK.
+    """
+
+    rest_positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rest_positions = np.asarray(
+            self.rest_positions, dtype=np.float64
+        )
+        if self.rest_positions.shape != (NUM_JOINTS, 3):
+            raise GeometryError(
+                f"rest_positions must be ({NUM_JOINTS}, 3), got "
+                f"{self.rest_positions.shape}"
+            )
+
+    @classmethod
+    def default(cls) -> "Skeleton":
+        return cls(rest_positions=rest_joint_positions())
+
+    def forward(
+        self,
+        joint_rotations: np.ndarray,
+        root_translation: np.ndarray = None,
+    ) -> tuple:
+        """Run forward kinematics.
+
+        Args:
+            joint_rotations: (55, 3) axis-angle rotation per joint; the
+                pelvis entry is the global orientation.
+            root_translation: optional (3,) world translation of the root.
+
+        Returns:
+            (joint_positions, joint_transforms): (55, 3) posed joint
+            world positions and (55, 4, 4) world transforms mapping
+            rest-frame offsets into the posed world.
+        """
+        joint_rotations = np.asarray(joint_rotations, dtype=np.float64)
+        if joint_rotations.shape != (NUM_JOINTS, 3):
+            raise GeometryError(
+                f"joint_rotations must be ({NUM_JOINTS}, 3)"
+            )
+        rotations = axis_angle_to_matrix(joint_rotations)
+        transforms = np.zeros((NUM_JOINTS, 4, 4))
+        positions = np.zeros((NUM_JOINTS, 3))
+
+        root_t = np.zeros(3)
+        if root_translation is not None:
+            root_t = np.asarray(root_translation, dtype=np.float64)
+
+        for index in range(NUM_JOINTS):
+            parent = PARENTS[index]
+            local = np.eye(4)
+            local[:3, :3] = rotations[index]
+            if parent < 0:
+                local[:3, 3] = self.rest_positions[index] + root_t
+                transforms[index] = local
+            else:
+                offset = (
+                    self.rest_positions[index] - self.rest_positions[parent]
+                )
+                local[:3, 3] = offset
+                transforms[index] = transforms[parent] @ local
+            positions[index] = transforms[index][:3, 3]
+        return positions, transforms
+
+    def relative_transforms(self, joint_transforms: np.ndarray) -> np.ndarray:
+        """Rest-to-posed transforms per joint (for linear blend skinning).
+
+        Given world transforms from :meth:`forward`, returns matrices G_j
+        such that a rest-pose point p skinned rigidly to joint j moves to
+        ``G_j @ [p, 1]``.
+        """
+        out = np.zeros_like(joint_transforms)
+        for index in range(NUM_JOINTS):
+            inverse_rest = np.eye(4)
+            inverse_rest[:3, 3] = -self.rest_positions[index]
+            out[index] = joint_transforms[index] @ inverse_rest
+        return out

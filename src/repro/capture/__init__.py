@@ -1,0 +1,34 @@
+"""RGB-D capture simulation: rendering, noise, rigs, fusion, datasets."""
+
+from repro.capture.dataset import (
+    ClothingStyle,
+    DatasetFrame,
+    RGBDSequenceDataset,
+    dress,
+)
+from repro.capture.fusion import FusionConfig, fuse_frames
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.registration import (
+    ICPResult,
+    icp,
+    refine_rig_calibration,
+)
+from repro.capture.render import RGBDFrame, render_depth, render_rgbd
+from repro.capture.rig import CaptureRig
+
+__all__ = [
+    "CaptureRig",
+    "ClothingStyle",
+    "DatasetFrame",
+    "DepthNoiseModel",
+    "FusionConfig",
+    "ICPResult",
+    "RGBDFrame",
+    "RGBDSequenceDataset",
+    "dress",
+    "fuse_frames",
+    "icp",
+    "refine_rig_calibration",
+    "render_depth",
+    "render_rgbd",
+]

@@ -1,0 +1,46 @@
+"""Codecs: keypoint payloads (LZMA), meshes (Draco-style), point clouds
+(octree), textures (DCT), plus the entropy-coding substrate."""
+
+from repro.compression.lzma_codec import (
+    KeypointPayloadCodec,
+    SemanticKeypointPayload,
+)
+from repro.compression.mesh_codec import (
+    MeshCodec,
+    deserialize_mesh_raw,
+    serialize_mesh_raw,
+)
+from repro.compression.pointcloud_codec import PointCloudCodec
+from repro.compression.quantize import QuantizationGrid
+from repro.compression.rangecoder import (
+    RangeDecoder,
+    RangeEncoder,
+    compress_bytes,
+    decompress_bytes,
+)
+from repro.compression.texture_codec import TextureCodec
+from repro.compression.varint import (
+    decode_varints,
+    encode_varints,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = [
+    "KeypointPayloadCodec",
+    "MeshCodec",
+    "PointCloudCodec",
+    "QuantizationGrid",
+    "RangeDecoder",
+    "RangeEncoder",
+    "SemanticKeypointPayload",
+    "TextureCodec",
+    "compress_bytes",
+    "decompress_bytes",
+    "decode_varints",
+    "deserialize_mesh_raw",
+    "encode_varints",
+    "serialize_mesh_raw",
+    "zigzag_decode",
+    "zigzag_encode",
+]

@@ -1,0 +1,79 @@
+"""Uniform quantisation helpers shared by the lossy codecs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["QuantizationGrid"]
+
+
+@dataclass(frozen=True)
+class QuantizationGrid:
+    """Uniform quantiser over an axis-aligned box.
+
+    Attributes:
+        minimum: (D,) lower corner.
+        step: (D,) quantisation step per axis.
+        bits: integer bit depth (for documentation / size accounting).
+    """
+
+    minimum: np.ndarray
+    step: np.ndarray
+    bits: int
+
+    @classmethod
+    def fit(cls, values: np.ndarray, bits: int) -> "QuantizationGrid":
+        """Fit a grid covering ``values`` (N, D) at ``bits`` per axis."""
+        if not 1 <= bits <= 31:
+            raise CodecError("bits must be in [1, 31]")
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        minimum = values.min(axis=0)
+        extent = values.max(axis=0) - minimum
+        levels = (1 << bits) - 1
+        step = np.where(extent > 0, extent / levels, 1.0)
+        return cls(minimum=minimum, step=step, bits=bits)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Quantise (N, D) floats to int64 grid indices."""
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        indices = np.round((values - self.minimum) / self.step)
+        levels = (1 << self.bits) - 1
+        return np.clip(indices, 0, levels).astype(np.int64)
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        """Dequantise grid indices back to floats (cell centres)."""
+        indices = np.atleast_2d(np.asarray(indices, dtype=np.int64))
+        return self.minimum + indices.astype(np.float64) * self.step
+
+    def max_error(self) -> np.ndarray:
+        """Worst-case reconstruction error per axis (half a step)."""
+        return self.step / 2.0
+
+    def to_bytes(self) -> bytes:
+        """Serialise the grid parameters (for codec headers)."""
+        dims = len(self.minimum)
+        header = bytes([self.bits, dims])
+        body = np.concatenate(
+            [np.asarray(self.minimum), np.asarray(self.step)]
+        ).astype("<f8").tobytes()
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> tuple:
+        """Deserialise; returns (grid, bytes_consumed)."""
+        if len(blob) < 2:
+            raise CodecError("truncated quantisation header")
+        bits, dims = blob[0], blob[1]
+        need = 2 + 16 * dims
+        if len(blob) < need:
+            raise CodecError("truncated quantisation grid")
+        values = np.frombuffer(blob[2:need], dtype="<f8")
+        return (
+            cls(minimum=values[:dims].copy(), step=values[dims:].copy(),
+                bits=bits),
+            need,
+        )

@@ -1,0 +1,161 @@
+"""Adaptive binary range coder (LZMA-style).
+
+The entropy-coding backend of the mesh and point-cloud codecs (Draco
+uses the same family).  Bytes are coded bit by bit through adaptive
+binary contexts: each context tracks the probability of a 0-bit and is
+updated after every bit, so the coder adapts to the stream without a
+transmitted model.  Carry propagation follows the canonical LZMA
+encoder (cache + pending-0xFF bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["RangeEncoder", "RangeDecoder", "compress_bytes",
+           "decompress_bytes", "new_contexts"]
+
+_TOP = 1 << 24
+_PROB_BITS = 11
+_PROB_ONE = 1 << _PROB_BITS  # 2048
+_ADAPT_SHIFT = 5
+_MASK32 = 0xFFFFFFFF
+
+
+def new_contexts(count: int) -> np.ndarray:
+    """Fresh probability contexts (probability of a 0-bit, scaled)."""
+    return np.full(count, _PROB_ONE // 2, dtype=np.int64)
+
+
+class RangeEncoder:
+    """Arithmetic encoder over adaptive binary contexts."""
+
+    def __init__(self) -> None:
+        self._low = 0  # up to 33 bits before shifting
+        self._range = _MASK32
+        self._cache = 0
+        self._cache_size = 1
+        self._out = bytearray()
+
+    def _shift_low(self) -> None:
+        if self._low < 0xFF000000 or self._low > _MASK32:
+            carry = self._low >> 32
+            temp = self._cache
+            while True:
+                self._out.append((temp + carry) & 0xFF)
+                temp = 0xFF
+                self._cache_size -= 1
+                if self._cache_size == 0:
+                    break
+            self._cache = (self._low >> 24) & 0xFF
+        self._cache_size += 1
+        self._low = (self._low << 8) & _MASK32
+
+    def encode_bit(self, probabilities: np.ndarray, context: int,
+                   bit: int) -> None:
+        """Encode one bit under ``context``, updating its probability."""
+        probability = int(probabilities[context])
+        bound = (self._range >> _PROB_BITS) * probability
+        if bit == 0:
+            self._range = bound
+            probabilities[context] = probability + (
+                (_PROB_ONE - probability) >> _ADAPT_SHIFT
+            )
+        else:
+            self._low += bound
+            self._range -= bound
+            probabilities[context] = probability - (
+                probability >> _ADAPT_SHIFT
+            )
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._shift_low()
+
+    def finish(self) -> bytes:
+        """Flush and return the encoded byte string."""
+        for _ in range(5):
+            self._shift_low()
+        return bytes(self._out)
+
+
+class RangeDecoder:
+    """Decoder matching :class:`RangeEncoder`."""
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 5:
+            raise CodecError("range-coded stream too short")
+        self._data = data
+        self._position = 1  # the first byte is the encoder's initial cache
+        self._range = _MASK32
+        self._code = 0
+        for _ in range(4):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+
+    def _next_byte(self) -> int:
+        if self._position < len(self._data):
+            byte = self._data[self._position]
+            self._position += 1
+            return byte
+        return 0
+
+    def decode_bit(self, probabilities: np.ndarray, context: int) -> int:
+        """Decode one bit under ``context``, updating its probability."""
+        probability = int(probabilities[context])
+        bound = (self._range >> _PROB_BITS) * probability
+        if self._code < bound:
+            bit = 0
+            self._range = bound
+            probabilities[context] = probability + (
+                (_PROB_ONE - probability) >> _ADAPT_SHIFT
+            )
+        else:
+            bit = 1
+            self._code -= bound
+            self._range -= bound
+            probabilities[context] = probability - (
+                probability >> _ADAPT_SHIFT
+            )
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+        return bit
+
+
+def compress_bytes(data: bytes) -> bytes:
+    """Compress a byte string with an order-0 bit-tree model.
+
+    Each byte is coded as 8 bits through a 255-node binary tree of
+    contexts (the classic LZMA literal model).
+    """
+    encoder = RangeEncoder()
+    contexts = new_contexts(256)
+    for byte in data:
+        node = 1
+        for shift in range(7, -1, -1):
+            bit = (byte >> shift) & 1
+            encoder.encode_bit(contexts, node, bit)
+            node = (node << 1) | bit
+    payload = encoder.finish()
+    header = len(data).to_bytes(4, "little")
+    return header + payload
+
+
+def decompress_bytes(blob: bytes) -> bytes:
+    """Inverse of :func:`compress_bytes`."""
+    if len(blob) < 4:
+        raise CodecError("range-coded blob too short")
+    count = int.from_bytes(blob[:4], "little")
+    if count == 0:
+        return b""
+    decoder = RangeDecoder(blob[4:])
+    contexts = new_contexts(256)
+    out = bytearray()
+    for _ in range(count):
+        node = 1
+        for _ in range(8):
+            bit = decoder.decode_bit(contexts, node)
+            node = (node << 1) | bit
+        out.append(node & 0xFF)
+    return bytes(out)

@@ -1,0 +1,184 @@
+"""2D texture/image codec (JPEG-style block DCT).
+
+Two pipelines need an image codec: keypoint semantics ships compressed
+2D textures for projection mapping (§3.1), and image-based semantics
+ships the 2D views NeRF consumes (§3.2), with rate adaptation realised
+by changing quality/resolution.  The codec follows the JPEG recipe —
+8x8 DCT, quality-scaled quantisation, zigzag, delta-DC — with zlib as
+the entropy stage.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.errors import CodecError
+
+__all__ = ["TextureCodec"]
+
+_MAGIC = b"SHTX"
+_VERSION = 1
+_BLOCK = 8
+
+# The standard JPEG luminance quantisation table.
+_BASE_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _zigzag_indices() -> np.ndarray:
+    """Flattened indices that order an 8x8 block along the zigzag."""
+    order = sorted(
+        ((i, j) for i in range(_BLOCK) for j in range(_BLOCK)),
+        key=lambda ij: (
+            ij[0] + ij[1],
+            ij[1] if (ij[0] + ij[1]) % 2 else ij[0],
+        ),
+    )
+    return np.array([i * _BLOCK + j for i, j in order], dtype=np.int64)
+
+_ZIGZAG = _zigzag_indices()
+
+
+def _quant_table(quality: int) -> np.ndarray:
+    """JPEG quality scaling of the base quantisation table."""
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    table = np.floor((_BASE_QUANT * scale + 50.0) / 100.0)
+    return np.clip(table, 1.0, 255.0)
+
+
+@dataclass
+class TextureCodec:
+    """Lossy image compressor with a JPEG-style quality knob.
+
+    Attributes:
+        quality: 1 (worst) .. 100 (near lossless).
+    """
+
+    quality: int = 75
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.quality <= 100:
+            raise CodecError("quality must be in [1, 100]")
+
+    def encode(self, image: np.ndarray) -> bytes:
+        """Compress an (H, W, 3) float image in [0, 1] (or (H, W) mono)."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            image = image[..., None]
+        if image.ndim != 3:
+            raise CodecError("image must be (H, W) or (H, W, C)")
+        height, width, channels = image.shape
+        if channels > 4:
+            raise CodecError("at most 4 channels supported")
+        table = _quant_table(self.quality)
+
+        pad_h = (-height) % _BLOCK
+        pad_w = (-width) % _BLOCK
+        padded = np.pad(
+            image, ((0, pad_h), (0, pad_w), (0, 0)), mode="edge"
+        )
+        ph, pw = padded.shape[:2]
+        coefficient_streams = []
+        for c in range(channels):
+            plane = padded[:, :, c] * 255.0 - 128.0
+            blocks = (
+                plane.reshape(ph // _BLOCK, _BLOCK, pw // _BLOCK, _BLOCK)
+                .transpose(0, 2, 1, 3)
+                .reshape(-1, _BLOCK, _BLOCK)
+            )
+            coefficients = dctn(blocks, axes=(1, 2), norm="ortho")
+            quantised = np.round(coefficients / table).astype(np.int16)
+            flat = quantised.reshape(-1, _BLOCK * _BLOCK)[:, _ZIGZAG]
+            # Delta-code the DC coefficients across blocks.
+            flat[1:, 0] = np.diff(flat[:, 0].astype(np.int32)).astype(
+                np.int16
+            )
+            coefficient_streams.append(flat.astype("<i2").tobytes())
+
+        body = zlib.compress(b"".join(coefficient_streams), 6)
+        header = _MAGIC + struct.pack(
+            "<BHHBB", _VERSION, height, width, channels, self.quality
+        )
+        return header + body
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Inverse of :meth:`encode`; returns float64 in [0, 1]."""
+        fixed = 4 + struct.calcsize("<BHHBB")
+        if len(blob) < fixed or blob[:4] != _MAGIC:
+            raise CodecError("not a texture payload")
+        version, height, width, channels, quality = struct.unpack(
+            "<BHHBB", blob[4:fixed]
+        )
+        if version != _VERSION:
+            raise CodecError("unsupported texture codec version")
+        table = _quant_table(quality)
+        try:
+            raw = zlib.decompress(blob[fixed:])
+        except zlib.error as exc:
+            raise CodecError(f"texture stream corrupt: {exc}") from exc
+
+        ph = height + ((-height) % _BLOCK)
+        pw = width + ((-width) % _BLOCK)
+        blocks_per_channel = (ph // _BLOCK) * (pw // _BLOCK)
+        expected = blocks_per_channel * _BLOCK * _BLOCK * 2 * channels
+        if len(raw) != expected:
+            raise CodecError("texture stream length mismatch")
+
+        inverse_zigzag = np.argsort(_ZIGZAG)
+        out = np.zeros((ph, pw, channels))
+        per_channel = blocks_per_channel * _BLOCK * _BLOCK * 2
+        for c in range(channels):
+            flat = np.frombuffer(
+                raw[c * per_channel: (c + 1) * per_channel], dtype="<i2"
+            ).reshape(blocks_per_channel, _BLOCK * _BLOCK).astype(
+                np.float64
+            ).copy()
+            flat[:, 0] = np.cumsum(flat[:, 0])
+            quantised = flat[:, inverse_zigzag].reshape(
+                -1, _BLOCK, _BLOCK
+            )
+            coefficients = quantised * table
+            blocks = idctn(coefficients, axes=(1, 2), norm="ortho")
+            plane = (
+                blocks.reshape(
+                    ph // _BLOCK, pw // _BLOCK, _BLOCK, _BLOCK
+                )
+                .transpose(0, 2, 1, 3)
+                .reshape(ph, pw)
+            )
+            out[:, :, c] = (plane + 128.0) / 255.0
+        out = np.clip(out[:height, :width], 0.0, 1.0)
+        if channels == 1:
+            return out[:, :, 0]
+        return out
+
+    @staticmethod
+    def psnr(original: np.ndarray, decoded: np.ndarray) -> float:
+        """Peak signal-to-noise ratio (dB) between [0, 1] images."""
+        original = np.asarray(original, dtype=np.float64)
+        decoded = np.asarray(decoded, dtype=np.float64)
+        if original.shape != decoded.shape:
+            raise CodecError("psnr shapes differ")
+        mse = float(((original - decoded) ** 2).mean())
+        if mse <= 0:
+            return float("inf")
+        return float(10.0 * np.log10(1.0 / mse))

@@ -1,0 +1,80 @@
+"""Variable-length integer coding (LEB128) with zigzag for signed values.
+
+The mesh and point-cloud codecs delta-encode quantised coordinates;
+deltas are small signed integers, which zigzag+varint turns into short
+byte sequences that the entropy coder then squeezes further.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = [
+    "zigzag_encode",
+    "zigzag_decode",
+    "encode_varints",
+    "decode_varints",
+]
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to unsigned: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    values = np.asarray(values, dtype=np.int64)
+    return ((values << 1) ^ (values >> 63)).astype(np.uint64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    values = np.asarray(values, dtype=np.uint64)
+    return ((values >> np.uint64(1)).astype(np.int64)
+            ^ -(values & np.uint64(1)).astype(np.int64))
+
+
+def encode_varints(values: np.ndarray) -> bytes:
+    """LEB128-encode an array of unsigned integers."""
+    values = np.asarray(values, dtype=np.uint64)
+    out = bytearray()
+    for value in values:
+        value = int(value)
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def decode_varints(data: bytes, count: int) -> Tuple[np.ndarray, int]:
+    """Decode ``count`` LEB128 integers.
+
+    Returns:
+        (values, bytes_consumed).
+
+    Raises:
+        CodecError: truncated or malformed input.
+    """
+    values = np.zeros(count, dtype=np.uint64)
+    position = 0
+    for i in range(count):
+        shift = 0
+        result = 0
+        while True:
+            if position >= len(data):
+                raise CodecError("truncated varint stream")
+            byte = data[position]
+            position += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise CodecError("varint overflow")
+        values[i] = result
+    return values, position

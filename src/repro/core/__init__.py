@@ -1,0 +1,80 @@
+"""SemHolo core: pipelines, sessions, QoE metrics, taxonomy."""
+
+from repro.core.foveated import FoveatedHybridPipeline, merge_meshes
+from repro.core.image_pipeline import ImageSemanticPipeline
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.multiparty import (
+    MultiPartySession,
+    MultiPartySummary,
+    PairReport,
+    Participant,
+)
+from repro.core.textured_keypoint import TexturedKeypointPipeline
+from repro.core.metrics import (
+    VisualQuality,
+    image_psnr,
+    qoe_score,
+    visual_quality,
+)
+from repro.core.pipeline import (
+    DecodedFrame,
+    EncodedFrame,
+    HolographicPipeline,
+)
+from repro.core.session import (
+    FrameReport,
+    SessionSummary,
+    TelepresenceSession,
+)
+from repro.core.taxonomy import (
+    PAPER_TABLE1,
+    TaxonomyRow,
+    grade_data_size,
+    grade_extraction,
+    grade_quality,
+    grade_reconstruction,
+)
+from repro.core.text_pipeline import TextSemanticPipeline
+from repro.core.timing import (
+    INTERACTIVE_BUDGET,
+    LatencyBreakdown,
+    LatencyBudget,
+)
+from repro.core.traditional import (
+    TraditionalMeshPipeline,
+    TraditionalPointCloudPipeline,
+)
+
+__all__ = [
+    "DecodedFrame",
+    "EncodedFrame",
+    "FoveatedHybridPipeline",
+    "FrameReport",
+    "HolographicPipeline",
+    "INTERACTIVE_BUDGET",
+    "ImageSemanticPipeline",
+    "KeypointSemanticPipeline",
+    "LatencyBreakdown",
+    "LatencyBudget",
+    "MultiPartySession",
+    "MultiPartySummary",
+    "PAPER_TABLE1",
+    "PairReport",
+    "Participant",
+    "SessionSummary",
+    "TexturedKeypointPipeline",
+    "TaxonomyRow",
+    "TelepresenceSession",
+    "TextSemanticPipeline",
+    "TraditionalMeshPipeline",
+    "TraditionalPointCloudPipeline",
+    "VisualQuality",
+    "grade_data_size",
+    "grade_extraction",
+    "grade_quality",
+    "grade_reconstruction",
+    "image_psnr",
+    "merge_meshes",
+    "qoe_score",
+    "visual_quality",
+]

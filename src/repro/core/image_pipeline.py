@@ -1,0 +1,241 @@
+"""The image-semantics pipeline (§3.2).
+
+Sender: compress each camera's RGB view (JPEG-style) at a resolution
+tier picked by rate adaptation.  Receiver: fine-tune a user-specific
+NeRF on the changed pixels of the new views (after a one-off cold-start
+pre-train), then render the viewer's perspective.  The transmitted
+semantics are the 2D images; the volumetric content is implicit in the
+model.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.dataset import DatasetFrame
+from repro.capture.render import RGBDFrame
+from repro.compression.texture_codec import TextureCodec
+from repro.core.pipeline import DecodedFrame, EncodedFrame, \
+    HolographicPipeline
+from repro.core.timing import LatencyBreakdown
+from repro.errors import PipelineError
+from repro.geometry.camera import Camera
+from repro.nerf.field import RadianceField
+from repro.nerf.render import RenderConfig, render_image
+from repro.nerf.slimmable import SlimmablePolicy
+from repro.nerf.train import NeRFTrainer, changed_pixel_mask
+
+__all__ = ["ImageSemanticPipeline"]
+
+_MAGIC = b"SHIM"
+
+
+class ImageSemanticPipeline(HolographicPipeline):
+    """2D images over the wire, NeRF reconstruction at the receiver.
+
+    Args:
+        scene_min / scene_max: NeRF scene bounds.
+        policy: slimmable rate-adaptation policy (tier ladder).
+        quality: texture codec quality.
+        pretrain_steps: cold-start optimisation steps (run on the first
+            encoded frame's views).
+        finetune_steps: per-frame fine-tune steps on changed pixels.
+        bandwidth_estimate_mbps: initial estimate fed to the policy;
+            the session updates it per frame via ``set_bandwidth``.
+    """
+
+    output_format = "image"
+
+    def __init__(
+        self,
+        scene_min=(-1.2, -0.1, -1.2),
+        scene_max=(1.2, 2.0, 1.2),
+        policy: Optional[SlimmablePolicy] = None,
+        quality: int = 75,
+        pretrain_steps: int = 150,
+        finetune_steps: int = 25,
+        bandwidth_estimate_mbps: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy or SlimmablePolicy()
+        self.codec = TextureCodec(quality=quality)
+        self.pretrain_steps = pretrain_steps
+        self.finetune_steps = finetune_steps
+        self.bandwidth_estimate_mbps = bandwidth_estimate_mbps
+        self.field = RadianceField(scene_min, scene_max, seed=seed)
+        self.trainer = NeRFTrainer(
+            config=RenderConfig(
+                near=0.5, far=4.5, num_samples=24, stratified=True
+            ),
+            batch_rays=256,
+            seed=seed,
+        )
+        self._previous_views: Optional[List[RGBDFrame]] = None
+        self._pretrained = False
+        self.name = "image-nerf"
+
+    def reset(self) -> None:
+        self._previous_views = None
+        self._pretrained = False
+
+    def set_bandwidth(self, estimate_mbps: float) -> None:
+        """Feed the latest bandwidth estimate to rate adaptation."""
+        self.bandwidth_estimate_mbps = max(estimate_mbps, 0.0)
+
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        timing = LatencyBreakdown()
+        tier = self.policy.select(self.bandwidth_estimate_mbps)
+        start = time.perf_counter()
+        blobs = []
+        for view in frame.views:
+            image = view.rgb
+            if tier.scale < 1.0:
+                image = _downscale(image, tier.scale)
+            blobs.append(self.codec.encode(image))
+        timing.add("image_compress", time.perf_counter() - start)
+
+        header = _MAGIC + struct.pack(
+            "<IBf", frame.index, len(blobs), tier.scale
+        )
+        parts = [header]
+        for blob in blobs:
+            parts.append(struct.pack("<I", len(blob)))
+            parts.append(blob)
+        return EncodedFrame(
+            frame_index=frame.index,
+            payload=b"".join(parts),
+            timing=timing,
+            metadata={
+                "tier": tier.name,
+                "width_fraction": tier.width_fraction,
+                "cameras": [view.camera for view in frame.views],
+            },
+        )
+
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        timing = LatencyBreakdown()
+        cameras = encoded.metadata.get("cameras")
+        if cameras is None:
+            raise PipelineError(
+                "image pipeline needs camera poses in metadata "
+                "(calibration is exchanged at session setup)"
+            )
+        start = time.perf_counter()
+        images, scale = _unpack_images(encoded.payload, self.codec)
+        timing.add("image_decompress", time.perf_counter() - start)
+
+        views = []
+        for image, camera in zip(images, cameras):
+            cam = camera
+            if scale < 1.0:
+                cam = Camera(
+                    intrinsics=camera.intrinsics.scaled(scale),
+                    pose=camera.pose,
+                )
+                # Match the decoded image size exactly (rounding).
+                h, w = image.shape[:2]
+                if (cam.intrinsics.height, cam.intrinsics.width) != (h, w):
+                    cam = Camera(
+                        intrinsics=type(cam.intrinsics)(
+                            width=w,
+                            height=h,
+                            fx=cam.intrinsics.fx,
+                            fy=cam.intrinsics.fy,
+                            cx=w / 2.0,
+                            cy=h / 2.0,
+                        ),
+                        pose=camera.pose,
+                    )
+            views.append(
+                RGBDFrame(
+                    depth=np.zeros(image.shape[:2]),
+                    rgb=image,
+                    camera=cam,
+                )
+            )
+
+        width_fraction = encoded.metadata.get("width_fraction", 1.0)
+        if not self._pretrained:
+            report = self.trainer.train(
+                self.field,
+                views,
+                steps=self.pretrain_steps,
+                width_fraction=1.0,
+                sandwich_fractions=self.policy.sandwich_fractions(),
+            )
+            timing.add("nerf_pretrain", report.seconds)
+            self._pretrained = True
+        else:
+            masks = None
+            if self._previous_views is not None and _same_sizes(
+                self._previous_views, views
+            ):
+                masks = [
+                    changed_pixel_mask(prev, cur)
+                    for prev, cur in zip(self._previous_views, views)
+                ]
+                if not any(mask.any() for mask in masks):
+                    masks = None  # nothing changed; skip training
+            if masks is not None or self._previous_views is None:
+                report = self.trainer.train(
+                    self.field,
+                    views,
+                    steps=self.finetune_steps,
+                    width_fraction=width_fraction,
+                    masks=masks,
+                )
+                timing.add("nerf_finetune", report.seconds)
+        self._previous_views = views
+
+        # Render the viewer's perspective (first camera as proxy).
+        start = time.perf_counter()
+        rendered = render_image(
+            self.field,
+            views[0].camera,
+            self.trainer.config,
+            width_fraction=width_fraction,
+        )
+        timing.add("nerf_render", time.perf_counter() - start)
+        return DecodedFrame(
+            frame_index=encoded.frame_index,
+            surface=None,
+            timing=timing,
+            metadata={"rendered": rendered, "views": views,
+                      "field": self.field},
+        )
+
+
+def _downscale(image: np.ndarray, scale: float) -> np.ndarray:
+    """Box-filter downscale by integer-ish factors."""
+    factor = max(int(round(1.0 / scale)), 1)
+    h, w = image.shape[:2]
+    th, tw = h // factor * factor, w // factor * factor
+    cropped = image[:th, :tw]
+    return cropped.reshape(
+        th // factor, factor, tw // factor, factor, -1
+    ).mean(axis=(1, 3))
+
+
+def _same_sizes(a: List[RGBDFrame], b: List[RGBDFrame]) -> bool:
+    return len(a) == len(b) and all(
+        x.rgb.shape == y.rgb.shape for x, y in zip(a, b)
+    )
+
+
+def _unpack_images(payload: bytes, codec: TextureCodec) -> tuple:
+    fixed = 4 + struct.calcsize("<IBf")
+    if len(payload) < fixed or payload[:4] != _MAGIC:
+        raise PipelineError("not an image-semantics payload")
+    _, count, scale = struct.unpack("<IBf", payload[4:fixed])
+    offset = fixed
+    images = []
+    for _ in range(count):
+        (length,) = struct.unpack("<I", payload[offset: offset + 4])
+        offset += 4
+        images.append(codec.decode(payload[offset: offset + length]))
+        offset += length
+    return images, scale

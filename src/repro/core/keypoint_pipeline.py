@@ -1,0 +1,162 @@
+"""The keypoint-semantics pipeline (the paper's proof of concept, §4).
+
+Sender: detect 3D keypoints across the rig, track them, fit SMPL-X-
+style parameters, LZMA-compress.  Receiver: decode parameters and
+rebuild the mesh through the pose-conditioned implicit field at a
+configurable voxel resolution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.avatar.reconstructor import KeypointMeshReconstructor
+from repro.avatar.temporal import TemporalReconstructor
+from repro.body.expression import ExpressionParams
+from repro.capture.dataset import DatasetFrame
+from repro.compression.lzma_codec import (
+    KeypointPayloadCodec,
+    SemanticKeypointPayload,
+)
+from repro.core.pipeline import DecodedFrame, EncodedFrame, \
+    HolographicPipeline
+from repro.core.timing import LatencyBreakdown
+from repro.body.skeleton import NUM_JOINTS
+from repro.keypoints.detector3d import Keypoint3DDetector
+from repro.keypoints.fitting import PoseFitter
+from repro.keypoints.tracking import KeypointTracker, PoseSmoother
+
+__all__ = ["KeypointSemanticPipeline"]
+
+# Simulated per-frame latency of the face-capture network that recovers
+# expression coefficients on the sender (runs alongside pose fitting).
+_EXPRESSION_CAPTURE_LATENCY = 0.008
+
+
+class KeypointSemanticPipeline(HolographicPipeline):
+    """Keypoints over the wire, implicit reconstruction at the receiver.
+
+    Args:
+        resolution: receiver voxel resolution (128/256/512/1024 in §4).
+        temporal: use the keyframe+warp reconstructor (§3.1's
+            inter-frame proposal) instead of full per-frame extraction.
+        compressed: LZMA the payload (Table 2's "w/ compression").
+        transmit_expression: include expression coefficients in the
+            payload (the reconstructor may still ignore them, see
+            ``expression_channels``).
+        expression_channels: how many expression channels the receiver
+            geometry can realise (0 = X-Avatar behaviour, Figure 3).
+        seed: detection noise seed.
+    """
+
+    output_format = "mesh"
+
+    def __init__(
+        self,
+        resolution: int = 128,
+        temporal: bool = False,
+        compressed: bool = True,
+        transmit_expression: bool = True,
+        expression_channels: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.resolution = resolution
+        self.compressed = compressed
+        self.transmit_expression = transmit_expression
+        self.detector = Keypoint3DDetector()
+        self.tracker = KeypointTracker()
+        self.pose_smoother = PoseSmoother()
+        self.fitter = PoseFitter()
+        self.codec = KeypointPayloadCodec()
+        base = KeypointMeshReconstructor(
+            resolution=resolution,
+            expression_channels=expression_channels,
+        )
+        self.reconstructor = (
+            TemporalReconstructor(base=base) if temporal else base
+        )
+        self._temporal = temporal
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self.name = (
+            f"keypoint-r{resolution}"
+            + ("-temporal" if temporal else "")
+            + ("" if compressed else "-raw")
+        )
+
+    def reset(self) -> None:
+        self.tracker.reset()
+        self.pose_smoother.reset()
+        if self._temporal:
+            self.reconstructor.reset()
+        self._rng = np.random.default_rng(self._seed)
+
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        detected = self.detector.detect(
+            frame.views, frame.body_state.keypoints, rng=self._rng
+        )
+        smoothed = self.tracker.update(detected)
+        timing.add(
+            "keypoint_detection",
+            time.perf_counter() - start + self.detector.total_latency,
+        )
+
+        start = time.perf_counter()
+        fit = self.fitter.fit(smoothed)
+        stable_pose = self.pose_smoother.update(fit.pose)
+        timing.add("pose_fitting", time.perf_counter() - start)
+        timing.add("expression_capture", _EXPRESSION_CAPTURE_LATENCY)
+
+        expression = (
+            frame.body_state.expression
+            if self.transmit_expression
+            else None
+        )
+        payload_object = SemanticKeypointPayload(
+            pose=stable_pose,
+            shape=fit.shape,
+            expression=expression or ExpressionParams.neutral(),
+            confidences=smoothed.confidence[:NUM_JOINTS].astype(
+                np.float32
+            ),
+            frame_index=frame.index,
+        )
+        start = time.perf_counter()
+        if self.compressed:
+            payload = self.codec.compress(payload_object)
+        else:
+            payload = self.codec.encode(payload_object)
+        timing.add("compress", time.perf_counter() - start)
+        return EncodedFrame(
+            frame_index=frame.index,
+            payload=payload,
+            timing=timing,
+            metadata={"fit_residual": fit.residual},
+        )
+
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        if self.compressed:
+            payload = self.codec.decompress(encoded.payload)
+        else:
+            payload = self.codec.decode(encoded.payload)
+        timing.add("decompress", time.perf_counter() - start)
+
+        result = self.reconstructor.reconstruct(
+            pose=payload.pose,
+            shape=payload.shape,
+            expression=payload.expression,
+        )
+        timing.add("mesh_reconstruction", result.seconds)
+        return DecodedFrame(
+            frame_index=encoded.frame_index,
+            surface=result.mesh,
+            timing=timing,
+            metadata={"resolution": self.resolution},
+        )

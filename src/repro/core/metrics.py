@@ -1,0 +1,112 @@
+"""Quality-of-experience metrics.
+
+Combines the three axes of Table 1 — data size, computation overhead,
+visual quality — into measurable per-frame and per-session quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.geometry.distance import (
+    chamfer_distance,
+    f_score,
+    normal_consistency,
+)
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.pointcloud import PointCloud
+
+__all__ = ["VisualQuality", "visual_quality", "image_psnr", "qoe_score"]
+
+Surface = Union[TriangleMesh, PointCloud]
+
+
+@dataclass(frozen=True)
+class VisualQuality:
+    """Geometric quality of reconstructed content vs. ground truth.
+
+    Attributes:
+        chamfer: symmetric Chamfer distance (metres; lower better).
+        f_score_1cm: F-score at 1 cm (higher better).
+        normal_consistency: fine-detail proxy in [0, 1] (higher
+            better); None for point clouds without normals.
+    """
+
+    chamfer: float
+    f_score_1cm: float
+    normal_consistency: Optional[float]
+
+    def better_than(self, other: "VisualQuality") -> bool:
+        """Strictly better on Chamfer and F-score."""
+        return (
+            self.chamfer < other.chamfer
+            and self.f_score_1cm > other.f_score_1cm
+        )
+
+
+def visual_quality(
+    reconstructed: Surface,
+    ground_truth: Surface,
+    samples: int = 8000,
+    seed: int = 0,
+) -> VisualQuality:
+    """Measure reconstruction quality against ground truth."""
+    normals = None
+    try:
+        normals = normal_consistency(
+            reconstructed, ground_truth, samples=samples, seed=seed
+        )
+    except Exception:  # noqa: BLE001 - normals are best-effort
+        normals = None
+    return VisualQuality(
+        chamfer=chamfer_distance(
+            reconstructed, ground_truth, samples=samples, seed=seed
+        ),
+        f_score_1cm=f_score(
+            reconstructed, ground_truth, threshold=0.01,
+            samples=samples, seed=seed,
+        ),
+        normal_consistency=normals,
+    )
+
+
+def image_psnr(rendered: np.ndarray, reference: np.ndarray) -> float:
+    """PSNR (dB) between two [0, 1] images (image-semantics quality)."""
+    rendered = np.asarray(rendered, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if rendered.shape != reference.shape:
+        raise PipelineError("image shapes differ")
+    mse = float(((rendered - reference) ** 2).mean())
+    if mse <= 0:
+        return float("inf")
+    return float(10.0 * np.log10(1.0 / mse))
+
+
+def qoe_score(
+    quality: VisualQuality,
+    end_to_end_latency: float,
+    bandwidth_mbps: float,
+    latency_budget: float = 0.100,
+    bandwidth_budget_mbps: float = 25.0,
+) -> float:
+    """A single scalar QoE in [0, 1] for cross-pipeline ranking.
+
+    Multiplicative model: geometric quality (F-score), a latency factor
+    that decays once the interactivity budget is blown, and a bandwidth
+    factor that decays beyond the access-link budget (the 25 Mbps
+    US-broadband figure the paper cites).
+    """
+    latency_factor = min(1.0, latency_budget / max(end_to_end_latency,
+                                                   1e-6))
+    bandwidth_factor = min(
+        1.0, bandwidth_budget_mbps / max(bandwidth_mbps, 1e-6)
+    )
+    return float(
+        np.clip(quality.f_score_1cm, 0.0, 1.0)
+        * latency_factor
+        * bandwidth_factor
+    )

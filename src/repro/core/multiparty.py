@@ -1,0 +1,208 @@
+"""Multi-party telepresence sessions.
+
+Figure 1 shows two sites for simplicity; a real meeting has N.  Every
+participant captures themselves, encodes once, and fans the payload out
+to N-1 receivers over independent network paths.  Uplink bandwidth
+therefore scales with the fan-out for traditional streams — one more
+reason semantics matter as meetings grow — while per-receiver decode
+cost lands on every receiving edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.core.pipeline import HolographicPipeline
+from repro.core.timing import INTERACTIVE_BUDGET, LatencyBreakdown
+from repro.errors import PipelineError
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
+
+__all__ = ["Participant", "PairReport", "MultiPartySummary",
+           "MultiPartySession"]
+
+
+@dataclass
+class Participant:
+    """One meeting participant.
+
+    Attributes:
+        name: label.
+        dataset: their capture sequence.
+        pipeline: their sender/receiver pipeline instance.
+    """
+
+    name: str
+    dataset: RGBDSequenceDataset
+    pipeline: HolographicPipeline
+
+
+@dataclass
+class PairReport:
+    """Aggregate statistics for one sender -> receiver pair."""
+
+    sender: str
+    receiver: str
+    frames: int
+    delivered: int
+    mean_end_to_end: float
+    mean_payload_bytes: float
+
+
+@dataclass
+class MultiPartySummary:
+    """Whole-meeting statistics.
+
+    Attributes:
+        pairs: per-pair reports.
+        uplink_mbps: sender name -> uplink bandwidth (payload x
+            fan-out x fps).
+        interactive_fraction: share of pair-frames under 100 ms.
+    """
+
+    pairs: List[PairReport]
+    uplink_mbps: Dict[str, float]
+    interactive_fraction: float
+
+    def pair(self, sender: str, receiver: str) -> PairReport:
+        for report in self.pairs:
+            if report.sender == sender and report.receiver == receiver:
+                return report
+        raise PipelineError(f"no pair {sender}->{receiver}")
+
+
+class MultiPartySession:
+    """N participants, full-mesh distribution.
+
+    Args:
+        participants: the meeting roster (>= 2).
+        link_factory: builds the network path used for each ordered
+            pair; defaults to a fresh 25 Mbps broadband path per pair.
+        decode: run receiver-side decoding (the payload is identical
+            for every receiver, so it is decoded once per sender and
+            the receiver compute time is charged to each pair).
+    """
+
+    def __init__(
+        self,
+        participants: List[Participant],
+        link_factory: Optional[Callable[[str, str], NetworkLink]] = None,
+        decode: bool = True,
+    ) -> None:
+        if len(participants) < 2:
+            raise PipelineError("a meeting needs at least 2 participants")
+        names = [p.name for p in participants]
+        if len(set(names)) != len(names):
+            raise PipelineError("participant names must be unique")
+        self.participants = participants
+        self.decode = decode
+        self._link_factory = link_factory or self._default_link
+        self._links: Dict[tuple, NetworkLink] = {}
+        for sender in participants:
+            for receiver in participants:
+                if sender.name == receiver.name:
+                    continue
+                self._links[(sender.name, receiver.name)] = \
+                    self._link_factory(sender.name, receiver.name)
+
+    @staticmethod
+    def _default_link(sender: str, receiver: str) -> NetworkLink:
+        seed = abs(hash((sender, receiver))) % (2**31)
+        return NetworkLink(
+            trace=BandwidthTrace.constant(25.0),
+            propagation_delay=0.025,
+            jitter=0.002,
+            seed=seed,
+        )
+
+    def run(self, frames: int) -> MultiPartySummary:
+        """Run the meeting for ``frames`` frames."""
+        if frames < 1:
+            raise PipelineError("frames must be positive")
+        for participant in self.participants:
+            if frames > len(participant.dataset):
+                raise PipelineError(
+                    f"{participant.name}'s dataset has only "
+                    f"{len(participant.dataset)} frames"
+                )
+            participant.pipeline.reset()
+        for link in self._links.values():
+            link.reset()
+
+        stats: Dict[tuple, dict] = {
+            key: {"latencies": [], "delivered": 0, "payload": []}
+            for key in self._links
+        }
+        uplink_bytes: Dict[str, float] = {
+            p.name: 0.0 for p in self.participants
+        }
+
+        for index in range(frames):
+            for sender in self.participants:
+                fps = sender.dataset.fps
+                now = index / fps
+                frame = sender.dataset.frame(index)
+                encoded = sender.pipeline.encode(frame)
+                sender.pipeline.validate_payload(encoded)
+                decode_time = 0.0
+                if self.decode:
+                    decoded = sender.pipeline.decode(encoded)
+                    decode_time = decoded.timing.total
+                for receiver in self.participants:
+                    if receiver.name == sender.name:
+                        continue
+                    key = (sender.name, receiver.name)
+                    report = self._links[key].send_frame(
+                        index, encoded.payload, now=now
+                    )
+                    record = stats[key]
+                    record["payload"].append(encoded.payload_bytes)
+                    uplink_bytes[sender.name] += report.wire_bytes
+                    if report.delivered:
+                        record["delivered"] += 1
+                        record["latencies"].append(
+                            encoded.timing.total
+                            + report.latency
+                            + decode_time
+                        )
+
+        pairs = []
+        interactive = []
+        for (sender_name, receiver_name), record in stats.items():
+            latencies = record["latencies"]
+            pairs.append(
+                PairReport(
+                    sender=sender_name,
+                    receiver=receiver_name,
+                    frames=frames,
+                    delivered=record["delivered"],
+                    mean_end_to_end=(
+                        float(np.mean(latencies))
+                        if latencies
+                        else float("inf")
+                    ),
+                    mean_payload_bytes=float(
+                        np.mean(record["payload"])
+                    ),
+                )
+            )
+            interactive.extend(
+                [lat <= INTERACTIVE_BUDGET for lat in latencies]
+            )
+
+        duration = frames / self.participants[0].dataset.fps
+        uplink_mbps = {
+            name: total * 8.0 / duration / 1e6
+            for name, total in uplink_bytes.items()
+        }
+        return MultiPartySummary(
+            pairs=pairs,
+            uplink_mbps=uplink_mbps,
+            interactive_fraction=(
+                float(np.mean(interactive)) if interactive else 0.0
+            ),
+        )

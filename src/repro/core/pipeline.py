@@ -1,0 +1,95 @@
+"""The pipeline abstraction shared by all four communication schemes.
+
+Figure 1's structure: capture -> (semantic) encode -> Internet ->
+decode/reconstruct -> render.  A pipeline implements the encode and
+decode halves; the session (``repro.core.session``) supplies capture,
+network, and edge compute.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.capture.dataset import DatasetFrame
+from repro.core.timing import LatencyBreakdown
+from repro.errors import PipelineError
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.pointcloud import PointCloud
+
+__all__ = ["EncodedFrame", "DecodedFrame", "HolographicPipeline"]
+
+Surface = Union[TriangleMesh, PointCloud]
+
+
+@dataclass
+class EncodedFrame:
+    """Sender output for one frame.
+
+    Attributes:
+        frame_index: source frame number.
+        payload: the bytes that cross the Internet.
+        timing: sender-side latency breakdown (capture processing,
+            model inference, compression).
+        metadata: pipeline-specific extras (e.g. chosen quality tier).
+    """
+
+    frame_index: int
+    payload: bytes
+    timing: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class DecodedFrame:
+    """Receiver output for one frame.
+
+    Attributes:
+        frame_index: source frame number.
+        surface: the reconstructed volumetric content (None for
+            pipelines whose output is an implicit representation; they
+            put renders in ``metadata``).
+        timing: receiver-side latency breakdown.
+        metadata: pipeline-specific extras.
+    """
+
+    frame_index: int
+    surface: Optional[Surface]
+    timing: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class HolographicPipeline(abc.ABC):
+    """One end-to-end communication scheme.
+
+    Concrete pipelines: traditional (mesh bit-by-bit), keypoint,
+    image (NeRF), text, and the foveated hybrid.
+    """
+
+    #: human-readable pipeline name
+    name: str = "abstract"
+    #: what arrives at the viewer ("mesh", "point_cloud", "image")
+    output_format: str = "mesh"
+
+    @abc.abstractmethod
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        """Sender side: capture data in, wire payload out."""
+
+    @abc.abstractmethod
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        """Receiver side: wire payload in, displayable content out."""
+
+    def reset(self) -> None:
+        """Drop any inter-frame state (new session)."""
+
+    def validate_payload(self, encoded: EncodedFrame) -> None:
+        """Cheap sanity check before transmission."""
+        if not encoded.payload:
+            raise PipelineError(
+                f"{self.name}: refusing to transmit an empty payload"
+            )

@@ -1,0 +1,248 @@
+"""Session orchestration: capture -> encode -> network -> decode.
+
+A :class:`TelepresenceSession` wires a dataset (the sender's capture),
+a pipeline, the Internet link, and the two edge servers of Figure 1
+into a frame loop, producing per-frame reports with the full latency
+breakdown and a session summary (bandwidth, end-to-end latency,
+interactivity violations, sustainable FPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.core.pipeline import DecodedFrame, HolographicPipeline
+from repro.core.timing import (
+    INTERACTIVE_BUDGET,
+    LatencyBreakdown,
+    mean_breakdown,
+)
+from repro.errors import PipelineError
+from repro.net.edge import EdgeServer
+from repro.net.link import NetworkLink
+
+__all__ = ["FrameReport", "SessionSummary", "TelepresenceSession"]
+
+
+@dataclass
+class FrameReport:
+    """Everything measured for one frame.
+
+    Attributes:
+        frame_index: source frame number.
+        payload_bytes: bytes that crossed the Internet.
+        breakdown: end-to-end latency breakdown (sender compute,
+            network, receiver compute).
+        delivered: False when the network dropped the frame.
+        decoded: the receiver output (None if undelivered, decoding
+            was skipped, or decoding failed).
+        decode_failed: True when the payload arrived but the receiver
+            could not decode it (e.g. a delta referencing a lost
+            frame) — the streaming equivalent of a corrupted GOP.
+    """
+
+    frame_index: int
+    payload_bytes: int
+    breakdown: LatencyBreakdown
+    delivered: bool
+    decoded: Optional[DecodedFrame] = None
+    decode_failed: bool = False
+
+    @property
+    def end_to_end(self) -> float:
+        return self.breakdown.total
+
+
+@dataclass
+class SessionSummary:
+    """Aggregate session statistics.
+
+    Attributes:
+        pipeline: pipeline name.
+        frames: frame count.
+        mean_payload_bytes: average wire payload.
+        bandwidth_mbps: required bandwidth at the capture frame rate.
+        mean_end_to_end: mean e2e latency (seconds), delivered frames.
+        p95_end_to_end: 95th-percentile e2e latency.
+        interactive_fraction: fraction of frames under the 100 ms bound.
+        sustainable_fps: 1 / (mean receiver compute time) — the display
+            rate the receiver can actually sustain.
+        delivery_rate: fraction of frames delivered.
+        decode_failure_rate: fraction of delivered frames the receiver
+            could not decode (delta reference lost, corrupt payload).
+        mean_stage_breakdown: stage-wise mean latency.
+    """
+
+    pipeline: str
+    frames: int
+    mean_payload_bytes: float
+    bandwidth_mbps: float
+    mean_end_to_end: float
+    p95_end_to_end: float
+    interactive_fraction: float
+    sustainable_fps: float
+    delivery_rate: float
+    decode_failure_rate: float
+    mean_stage_breakdown: LatencyBreakdown
+
+
+class TelepresenceSession:
+    """One sender -> one receiver over a simulated Internet path.
+
+    Args:
+        dataset: the sender's capture sequence.
+        pipeline: the communication scheme under test.
+        link: the Internet path (None = ideal network, zero latency).
+        sender_edge / receiver_edge: compute models scaling the
+            measured stage times onto target hardware (None = charge
+            wall-clock as measured).
+        decode: run the receiver (disable for bandwidth-only studies).
+    """
+
+    def __init__(
+        self,
+        dataset: RGBDSequenceDataset,
+        pipeline: HolographicPipeline,
+        link: Optional[NetworkLink] = None,
+        sender_edge: Optional[EdgeServer] = None,
+        receiver_edge: Optional[EdgeServer] = None,
+        decode: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.pipeline = pipeline
+        self.link = link
+        self.sender_edge = sender_edge
+        self.receiver_edge = receiver_edge
+        self.decode = decode
+        self.reports: List[FrameReport] = []
+
+    def run(
+        self,
+        frames: Optional[int] = None,
+        start: int = 0,
+    ) -> SessionSummary:
+        """Run the frame loop and return the summary."""
+        total = len(self.dataset)
+        count = total - start if frames is None else frames
+        if count <= 0 or start + count > total:
+            raise PipelineError("frame range out of bounds")
+        self.pipeline.reset()
+        if self.link is not None:
+            self.link.reset()
+        self.reports = []
+        fps = self.dataset.fps
+
+        for offset in range(count):
+            index = start + offset
+            capture_time = index / fps
+            frame = self.dataset.frame(index)
+            encoded = self.pipeline.encode(frame)
+            self.pipeline.validate_payload(encoded)
+            sender_factor = (
+                self.sender_edge.device.speed_factor
+                if self.sender_edge is not None
+                else 1.0
+            )
+            breakdown = LatencyBreakdown(
+                stages={
+                    stage: seconds / sender_factor
+                    for stage, seconds in encoded.timing.stages.items()
+                }
+            )
+
+            delivered = True
+            if self.link is not None:
+                report = self.link.send_frame(
+                    index, encoded.payload, now=capture_time
+                )
+                delivered = report.delivered
+                if delivered:
+                    breakdown.add("network", report.latency)
+            decoded = None
+            decode_failed = False
+            if delivered and self.decode:
+                try:
+                    decoded = self.pipeline.decode(encoded)
+                except PipelineError:
+                    # A frame that arrived but cannot be decoded (a
+                    # delta whose reference was lost) is displayed as
+                    # a freeze, not a crash; the sender's periodic
+                    # keyframes bound the outage.
+                    decode_failed = True
+                if decoded is not None:
+                    receiver_stages = decoded.timing.stages
+                    factor = (
+                        self.receiver_edge.device.speed_factor
+                        if self.receiver_edge is not None
+                        else 1.0
+                    )
+                    for stage, seconds in receiver_stages.items():
+                        breakdown.add(stage, seconds / factor)
+            self.reports.append(
+                FrameReport(
+                    frame_index=index,
+                    payload_bytes=encoded.payload_bytes,
+                    breakdown=breakdown,
+                    delivered=delivered,
+                    decoded=decoded,
+                    decode_failed=decode_failed,
+                )
+            )
+        return self.summary()
+
+    def summary(self) -> SessionSummary:
+        """Aggregate the reports collected by :meth:`run`."""
+        if not self.reports:
+            raise PipelineError("run() first")
+        delivered = [r for r in self.reports if r.delivered]
+        payloads = [r.payload_bytes for r in self.reports]
+        fps = self.dataset.fps
+        latencies = sorted(r.end_to_end for r in delivered)
+        receiver_times = [
+            r.decoded.timing.total
+            for r in delivered
+            if r.decoded is not None
+        ]
+        sustainable = (
+            1.0 / float(np.mean(receiver_times))
+            if receiver_times and np.mean(receiver_times) > 0
+            else float("inf")
+        )
+        failures = sum(1 for r in delivered if r.decode_failed)
+        return SessionSummary(
+            pipeline=self.pipeline.name,
+            frames=len(self.reports),
+            mean_payload_bytes=float(np.mean(payloads)),
+            bandwidth_mbps=float(np.mean(payloads)) * fps * 8.0 / 1e6,
+            decode_failure_rate=(
+                failures / len(delivered) if delivered else 0.0
+            ),
+            mean_end_to_end=(
+                float(np.mean(latencies)) if latencies else float("inf")
+            ),
+            p95_end_to_end=(
+                latencies[int(0.95 * (len(latencies) - 1))]
+                if latencies
+                else float("inf")
+            ),
+            interactive_fraction=(
+                float(
+                    np.mean(
+                        [l <= INTERACTIVE_BUDGET for l in latencies]
+                    )
+                )
+                if latencies
+                else 0.0
+            ),
+            sustainable_fps=sustainable,
+            delivery_rate=len(delivered) / len(self.reports),
+            mean_stage_breakdown=mean_breakdown(
+                [r.breakdown for r in delivered]
+            )
+            if delivered
+            else LatencyBreakdown(),
+        )

@@ -1,0 +1,103 @@
+"""Taxonomy scoring: reproduce Table 1 from measurements.
+
+Table 1 rates the three semantics (keypoint / image / text) as
+Low/Medium/High on extraction overhead, reconstruction overhead, data
+size, and visual quality, plus the output format.  Rather than
+hard-coding the paper's letters, this module measures each pipeline on
+a common workload and maps the numbers onto L/M/H with fixed, documented
+thresholds — the benchmark then compares the derived letters with the
+paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import PipelineError
+
+__all__ = ["Grade", "TaxonomyRow", "grade_extraction", "grade_data_size",
+           "grade_reconstruction", "grade_quality", "PAPER_TABLE1"]
+
+
+Grade = str  # "L" | "M" | "H" | "-"
+
+# Thresholds (documented, not tuned per run):
+#   extraction / reconstruction: seconds of compute per frame.
+#   data size: Mbps at 30 FPS.
+#   quality: F-score @ 1 cm vs. the clothed ground truth.
+_EXTRACT_BOUNDS = (0.040, 0.120)  # within ~a 30 FPS frame interval = L
+_RECON_BOUNDS = (0.050, 0.500)  # <50 ms L, <500 ms M, else H
+_SIZE_BOUNDS = (1.0, 20.0)  # <1 Mbps L, <20 Mbps M, else H
+_QUALITY_BOUNDS = (0.35, 0.75)  # <0.35 L, <0.75 M, else H
+
+
+def _grade(value: float, bounds: tuple) -> Grade:
+    low, high = bounds
+    if value < low:
+        return "L"
+    if value < high:
+        return "M"
+    return "H"
+
+
+def grade_extraction(seconds: float) -> Grade:
+    """L/M/H for sender-side semantic extraction time."""
+    if seconds < 0:
+        raise PipelineError("negative time")
+    return _grade(seconds, _EXTRACT_BOUNDS)
+
+
+def grade_reconstruction(seconds: float) -> Grade:
+    """L/M/H for receiver-side reconstruction time."""
+    if seconds < 0:
+        raise PipelineError("negative time")
+    return _grade(seconds, _RECON_BOUNDS)
+
+
+def grade_data_size(mbps: float) -> Grade:
+    """L/M/H for wire bandwidth at 30 FPS."""
+    if mbps < 0:
+        raise PipelineError("negative bandwidth")
+    return _grade(mbps, _SIZE_BOUNDS)
+
+
+def grade_quality(f_score_1cm: float) -> Grade:
+    """L/M/H for visual quality (F-score @ 1 cm)."""
+    if not 0 <= f_score_1cm <= 1:
+        raise PipelineError("f-score out of range")
+    return _grade(f_score_1cm, _QUALITY_BOUNDS)
+
+
+@dataclass(frozen=True)
+class TaxonomyRow:
+    """One row of Table 1."""
+
+    semantics: str
+    extraction: Grade
+    reconstruction: Grade
+    data_size: Grade
+    quality: Grade
+    output_format: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "semantics": self.semantics,
+            "extract": self.extraction,
+            "recon": self.reconstruction,
+            "size": self.data_size,
+            "quality": self.quality,
+            "format": self.output_format,
+        }
+
+
+# The paper's Table 1, for comparison in benchmarks/EXPERIMENTS.md.
+# Image extraction is "-" (no model runs on the sender; images ship
+# directly).
+PAPER_TABLE1 = {
+    "keypoint": TaxonomyRow(
+        "keypoint", "L", "H", "L", "M", "mesh"
+    ),
+    "image": TaxonomyRow("image", "-", "H", "M", "H", "image"),
+    "text": TaxonomyRow("text", "H", "H", "L", "M", "point_cloud"),
+}

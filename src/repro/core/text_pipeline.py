@@ -1,0 +1,187 @@
+"""The text-semantics pipeline (§3.3).
+
+Sender: fit parameters (same front-end as the keypoint pipeline),
+caption them into per-cell channels, delta-encode against the previous
+frame.  Receiver: apply the delta, decode global-then-local channels,
+generate a point cloud.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.body.model import BodyModel
+from repro.capture.dataset import DatasetFrame
+from repro.core.pipeline import DecodedFrame, EncodedFrame, \
+    HolographicPipeline
+from repro.core.timing import LatencyBreakdown
+from repro.errors import PipelineError
+from repro.keypoints.detector3d import Keypoint3DDetector
+from repro.keypoints.fitting import PoseFitter
+from repro.keypoints.tracking import KeypointTracker, PoseSmoother
+from repro.textsem.captioner import BodyCaptioner
+from repro.textsem.delta import DeltaDecoder, DeltaEncoder, TextDelta
+from repro.textsem.generator import TextTo3DGenerator
+
+__all__ = ["TextSemanticPipeline"]
+
+
+def _delta_to_bytes(delta: TextDelta) -> bytes:
+    """JSON wire format (text semantics ship as text)."""
+    return json.dumps(
+        {
+            "f": delta.frame_index,
+            "r": delta.reference_index,
+            "k": 1 if delta.is_keyframe else 0,
+            "c": delta.changed,
+            "x": list(delta.removed),
+            "t": delta.tiers,
+        },
+        separators=(",", ":"),
+    ).encode()
+
+
+def _delta_from_bytes(blob: bytes) -> TextDelta:
+    try:
+        data = json.loads(blob.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PipelineError(f"corrupt text delta: {exc}") from exc
+    return TextDelta(
+        frame_index=data["f"],
+        reference_index=data["r"],
+        changed=data["c"],
+        removed=tuple(data["x"]),
+        is_keyframe=bool(data["k"]),
+        tiers=data.get("t", {}),
+    )
+
+
+class TextSemanticPipeline(HolographicPipeline):
+    """Captions over the wire, generative reconstruction at the receiver.
+
+    Args:
+        model: body model for the receiver-side generator.
+        captioner: sender-side captioner (tier configuration).
+        use_deltas: inter-frame delta encoding (§3.3's proposal);
+            disable for the ablation baseline.
+        points: generated point-cloud size.
+        seed: detection noise seed.
+    """
+
+    output_format = "point_cloud"
+
+    def __init__(
+        self,
+        model: Optional[BodyModel] = None,
+        captioner: Optional[BodyCaptioner] = None,
+        use_deltas: bool = True,
+        keyframe_interval: int = 30,
+        points: int = 20000,
+        seed: int = 0,
+    ) -> None:
+        self.captioner = captioner or BodyCaptioner()
+        self.generator = TextTo3DGenerator(model=model, points=points)
+        self.use_deltas = use_deltas
+        self._keyframe_interval = (
+            keyframe_interval if use_deltas else 1
+        )
+        self.detector = Keypoint3DDetector()
+        self.tracker = KeypointTracker()
+        self.pose_smoother = PoseSmoother()
+        self.fitter = PoseFitter()
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._encoder = DeltaEncoder(
+            keyframe_interval=self._keyframe_interval
+        )
+        self._decoder = DeltaDecoder()
+        self.name = "text" + ("-delta" if use_deltas else "-full")
+
+    def reset(self) -> None:
+        self.tracker.reset()
+        self.pose_smoother.reset()
+        self.captioner.reset()
+        self._rng = np.random.default_rng(self._seed)
+        self._encoder = DeltaEncoder(
+            keyframe_interval=self._keyframe_interval
+        )
+        self._decoder = DeltaDecoder()
+
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        detected = self.detector.detect(
+            frame.views, frame.body_state.keypoints, rng=self._rng
+        )
+        smoothed = self.tracker.update(detected)
+        fit = self.fitter.fit(smoothed)
+        stable_pose = self.pose_smoother.update(fit.pose)
+        timing.add(
+            "parameter_extraction",
+            time.perf_counter() - start + self.detector.total_latency,
+        )
+
+        start = time.perf_counter()
+        text_frame = self.captioner.caption(
+            stable_pose,
+            frame.body_state.expression,
+            frame_index=frame.index,
+        )
+        delta = self._encoder.encode(text_frame)
+        timing.add(
+            "captioning",
+            time.perf_counter() - start
+            + self.captioner.extraction_latency,
+        )
+        return EncodedFrame(
+            frame_index=frame.index,
+            payload=_delta_to_bytes(delta),
+            timing=timing,
+            metadata={
+                "is_keyframe": delta.is_keyframe,
+                "channels_changed": len(delta.changed),
+            },
+        )
+
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        from repro.errors import SemHoloError
+
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        delta = _delta_from_bytes(encoded.payload)
+        try:
+            text_frame = self._decoder.decode(delta)
+        except SemHoloError as exc:
+            # A delta referencing a frame this receiver never applied
+            # (its reference was lost in transit).  Recovery happens
+            # at the sender's next keyframe; until then the frame is
+            # undecodable.
+            raise PipelineError(
+                f"text delta undecodable, awaiting keyframe: {exc}"
+            ) from exc
+        timing.add("delta_apply", time.perf_counter() - start)
+
+        result = self.generator.generate(text_frame)
+        # Unchanged cells could reuse cached generation; the full
+        # generative cost is charged only on changed channels.
+        changed_fraction = (
+            len(delta.changed) / max(len(text_frame.channels), 1)
+        )
+        timing.add(
+            "text_to_3d",
+            result.seconds
+            + self.generator.generation_latency * changed_fraction,
+        )
+        return DecodedFrame(
+            frame_index=encoded.frame_index,
+            surface=result.point_cloud,
+            timing=timing,
+            metadata={
+                "pose": result.pose,
+                "expression": result.expression,
+            },
+        )

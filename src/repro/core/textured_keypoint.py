@@ -1,0 +1,176 @@
+"""Keypoint semantics + delivered 2D texture (§3.1's texture proposal).
+
+Keypoints cannot carry texture, so the reconstructed body is bare.  The
+paper proposes shipping *compressed 2D textures* alongside the keypoint
+payload — their compression ratio is high, so the stream stays small —
+and projection-mapping them onto the reconstructed geometry at the
+receiver, with deformation-aware adjustment where the geometry
+diverges.  This pipeline implements exactly that: the payload is the
+LZMA keypoint block plus JPEG-style view images; the decoder rebuilds
+the mesh from parameters and projects the textures on.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.avatar.texture import project_texture
+from repro.capture.dataset import DatasetFrame
+from repro.capture.render import RGBDFrame, render_depth
+from repro.compression.texture_codec import TextureCodec
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.pipeline import DecodedFrame, EncodedFrame
+from repro.core.timing import LatencyBreakdown
+from repro.errors import PipelineError
+from repro.geometry.camera import Camera
+
+__all__ = ["TexturedKeypointPipeline"]
+
+_MAGIC = b"SHTK"
+
+
+class TexturedKeypointPipeline(KeypointSemanticPipeline):
+    """Keypoint parameters + compressed view textures over the wire.
+
+    Args:
+        texture_quality: JPEG-style quality of the shipped textures.
+        texture_views: how many of the rig's views to ship (front-ish
+            views suffice for a front-facing viewer; shipping all
+            views covers the full body).
+        texture_interval: ship textures every Nth frame (appearance
+            changes slowly; geometry updates every frame).
+        Remaining arguments as in :class:`KeypointSemanticPipeline`.
+    """
+
+    def __init__(
+        self,
+        resolution: int = 128,
+        texture_quality: int = 60,
+        texture_views: int = 4,
+        texture_interval: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(resolution=resolution, **kwargs)
+        if texture_interval < 1:
+            raise PipelineError("texture_interval must be positive")
+        self.texture_codec = TextureCodec(quality=texture_quality)
+        self.texture_views = texture_views
+        self.texture_interval = texture_interval
+        self._frames_since_texture = 0
+        self._cached_views: Optional[List[RGBDFrame]] = None
+        self.name = f"keypoint-textured-r{resolution}"
+
+    def reset(self) -> None:
+        super().reset()
+        self._frames_since_texture = 0
+        self._cached_views = None
+
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        base = super().encode(frame)
+        timing = base.timing
+
+        ship_texture = self._frames_since_texture % \
+            self.texture_interval == 0
+        self._frames_since_texture += 1
+
+        blobs: List[bytes] = []
+        cameras: List[Camera] = []
+        if ship_texture:
+            start = time.perf_counter()
+            for view in frame.views[: self.texture_views]:
+                blobs.append(self.texture_codec.encode(view.rgb))
+                cameras.append(view.camera)
+            timing.add("texture_compress",
+                       time.perf_counter() - start)
+
+        header = _MAGIC + struct.pack(
+            "<IIB", frame.index, len(base.payload), len(blobs)
+        )
+        parts = [header, base.payload]
+        for blob in blobs:
+            parts.append(struct.pack("<I", len(blob)))
+            parts.append(blob)
+        metadata = dict(base.metadata)
+        # Camera calibration is exchanged at session setup, not per
+        # frame, so it rides in metadata rather than the payload.
+        metadata["texture_cameras"] = cameras
+        metadata["textures_shipped"] = len(blobs)
+        return EncodedFrame(
+            frame_index=frame.index,
+            payload=b"".join(parts),
+            timing=timing,
+            metadata=metadata,
+        )
+
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        fixed = 4 + struct.calcsize("<IIB")
+        if (
+            len(encoded.payload) < fixed
+            or encoded.payload[:4] != _MAGIC
+        ):
+            raise PipelineError("not a textured-keypoint payload")
+        _, kp_len, n_blobs = struct.unpack(
+            "<IIB", encoded.payload[4:fixed]
+        )
+        keypoint_payload = encoded.payload[fixed: fixed + kp_len]
+        offset = fixed + kp_len
+
+        inner = EncodedFrame(
+            frame_index=encoded.frame_index,
+            payload=keypoint_payload,
+            metadata=encoded.metadata,
+        )
+        decoded = super().decode(inner)
+        timing = decoded.timing
+
+        start = time.perf_counter()
+        images = []
+        for _ in range(n_blobs):
+            (length,) = struct.unpack(
+                "<I", encoded.payload[offset: offset + 4]
+            )
+            offset += 4
+            images.append(
+                self.texture_codec.decode(
+                    encoded.payload[offset: offset + length]
+                )
+            )
+            offset += length
+        if images:
+            timing.add("texture_decompress",
+                       time.perf_counter() - start)
+            cameras = encoded.metadata.get("texture_cameras", [])
+            if len(cameras) != len(images):
+                raise PipelineError(
+                    "texture image/camera count mismatch"
+                )
+            self._cached_views = list(zip(images, cameras))
+        if self._cached_views is not None:
+            start = time.perf_counter()
+            # Occlusion is resolved against the *reconstructed* mesh
+            # (the receiver has no sender-side depth): render its
+            # depth from each texture camera, then project.  The
+            # generous tolerance absorbs the geometry divergence —
+            # the deformation-adjustment challenge of §3.1.
+            views = []
+            for image, camera in self._cached_views:
+                depth = render_depth(decoded.surface, camera,
+                                     samples_per_pixel=2.0)
+                views.append(
+                    RGBDFrame(depth=depth, rgb=image, camera=camera)
+                )
+            decoded = DecodedFrame(
+                frame_index=decoded.frame_index,
+                surface=project_texture(
+                    decoded.surface, views, depth_tolerance=0.06
+                ),
+                timing=timing,
+                metadata=decoded.metadata,
+            )
+            timing.add("projection_mapping",
+                       time.perf_counter() - start)
+        return decoded

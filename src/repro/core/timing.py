@@ -1,0 +1,80 @@
+"""Latency accounting primitives.
+
+Interactive holographic communication must land under ~100 ms
+end-to-end (§1).  Every pipeline stage reports its cost through these
+types so sessions can produce a per-stage breakdown and check the
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import PipelineError
+
+__all__ = ["LatencyBudget", "LatencyBreakdown", "INTERACTIVE_BUDGET"]
+
+# The interactivity bound the paper cites (< 100 ms end to end).
+INTERACTIVE_BUDGET = 0.100
+
+
+@dataclass(frozen=True)
+class LatencyBudget:
+    """An end-to-end latency target."""
+
+    seconds: float = INTERACTIVE_BUDGET
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise PipelineError("budget must be positive")
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-stage latency of one frame.
+
+    Attributes:
+        stages: ordered stage name -> seconds.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate time into a named stage."""
+        if seconds < 0:
+            raise PipelineError(f"negative time for stage {stage!r}")
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def within(self, budget: LatencyBudget) -> bool:
+        return self.total <= budget.seconds
+
+    def dominant_stage(self) -> str:
+        """The stage consuming the most time."""
+        if not self.stages:
+            raise PipelineError("empty breakdown")
+        return max(self.stages, key=self.stages.get)
+
+    def merged(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        out = LatencyBreakdown(stages=dict(self.stages))
+        for stage, seconds in other.stages.items():
+            out.add(stage, seconds)
+        return out
+
+
+def mean_breakdown(
+    breakdowns: List[LatencyBreakdown],
+) -> LatencyBreakdown:
+    """Stage-wise mean over frames."""
+    if not breakdowns:
+        raise PipelineError("no breakdowns to average")
+    out = LatencyBreakdown()
+    keys = {k for b in breakdowns for k in b.stages}
+    for key in sorted(keys):
+        values = [b.stages.get(key, 0.0) for b in breakdowns]
+        out.stages[key] = sum(values) / len(values)
+    return out

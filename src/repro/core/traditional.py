@@ -1,0 +1,111 @@
+"""Traditional bit-by-bit pipelines (the paper's baselines).
+
+Two variants: the mesh pipeline of Table 2 (the sender's untextured
+body mesh, raw or Draco-style compressed) and a point-cloud pipeline
+(fused capture through the octree codec) for completeness.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.capture.dataset import DatasetFrame
+from repro.capture.fusion import FusionConfig
+from repro.compression.mesh_codec import (
+    MeshCodec,
+    deserialize_mesh_raw,
+    serialize_mesh_raw,
+)
+from repro.compression.pointcloud_codec import PointCloudCodec
+from repro.core.pipeline import DecodedFrame, EncodedFrame, \
+    HolographicPipeline
+from repro.core.timing import LatencyBreakdown
+
+__all__ = ["TraditionalMeshPipeline", "TraditionalPointCloudPipeline"]
+
+
+class TraditionalMeshPipeline(HolographicPipeline):
+    """Ship the whole body mesh every frame.
+
+    Args:
+        compressed: apply the Draco-style codec (Table 2's
+            "w/ compression" column) instead of raw serialisation.
+        textured: include vertex colours.
+    """
+
+    output_format = "mesh"
+
+    def __init__(
+        self, compressed: bool = True, textured: bool = False
+    ) -> None:
+        self.compressed = compressed
+        self.textured = textured
+        self.codec = MeshCodec()
+        self.name = (
+            "traditional-mesh"
+            + ("+draco" if compressed else "-raw")
+        )
+
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        timing = LatencyBreakdown()
+        mesh = frame.body_state.mesh
+        if not self.textured and mesh.vertex_colors is not None:
+            mesh = mesh.copy()
+            mesh.vertex_colors = None
+        start = time.perf_counter()
+        if self.compressed:
+            payload = self.codec.encode(mesh)
+        else:
+            payload = serialize_mesh_raw(mesh)
+        timing.add("compress", time.perf_counter() - start)
+        return EncodedFrame(
+            frame_index=frame.index, payload=payload, timing=timing
+        )
+
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        if self.compressed:
+            mesh = self.codec.decode(encoded.payload)
+        else:
+            mesh = deserialize_mesh_raw(encoded.payload)
+        timing.add("decompress", time.perf_counter() - start)
+        return DecodedFrame(
+            frame_index=encoded.frame_index,
+            surface=mesh,
+            timing=timing,
+        )
+
+
+class TraditionalPointCloudPipeline(HolographicPipeline):
+    """Ship the fused capture point cloud every frame."""
+
+    output_format = "point_cloud"
+
+    def __init__(self, depth: int = 9) -> None:
+        self.codec = PointCloudCodec(depth=depth)
+        self.fusion = FusionConfig()
+        self.name = f"traditional-ptcl-d{depth}"
+
+    def encode(self, frame: DatasetFrame) -> EncodedFrame:
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        cloud = frame.fused_point_cloud(self.fusion)
+        timing.add("fusion", time.perf_counter() - start)
+        start = time.perf_counter()
+        payload = self.codec.encode(cloud)
+        timing.add("compress", time.perf_counter() - start)
+        return EncodedFrame(
+            frame_index=frame.index, payload=payload, timing=timing
+        )
+
+    def decode(self, encoded: EncodedFrame) -> DecodedFrame:
+        timing = LatencyBreakdown()
+        start = time.perf_counter()
+        cloud = self.codec.decode(encoded.payload)
+        timing.add("decompress", time.perf_counter() - start)
+        return DecodedFrame(
+            frame_index=encoded.frame_index,
+            surface=cloud,
+            timing=timing,
+        )

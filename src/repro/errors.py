@@ -1,0 +1,36 @@
+"""Exception hierarchy for the SemHolo library.
+
+Every error raised intentionally by the library derives from
+:class:`SemHoloError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class SemHoloError(Exception):
+    """Base class for all SemHolo errors."""
+
+
+class GeometryError(SemHoloError):
+    """Invalid geometric data (bad shapes, degenerate meshes, ...)."""
+
+
+class CaptureError(SemHoloError):
+    """RGB-D capture / rendering failure."""
+
+
+class CodecError(SemHoloError):
+    """Compression or decompression failure (corrupt or truncated payload)."""
+
+
+class NetworkError(SemHoloError):
+    """Simulated network failure (link down, packet invariants violated)."""
+
+
+class PipelineError(SemHoloError):
+    """End-to-end pipeline misconfiguration or stage failure."""
+
+
+class FittingError(SemHoloError):
+    """Model fitting (IK / optimisation) failed to converge or got bad input."""

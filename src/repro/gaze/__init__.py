@@ -1,0 +1,32 @@
+"""Gaze simulation: traces, classification, prediction, foveation."""
+
+from repro.gaze.classify import (
+    VelocityThresholdClassifier,
+    classification_accuracy,
+)
+from repro.gaze.foveation import FoveatedPartition, FoveationModel
+from repro.gaze.predict import (
+    NaiveGazePredictor,
+    SaccadeLandingPredictor,
+    prediction_error,
+)
+from repro.gaze.traces import (
+    GazePhase,
+    GazeSample,
+    GazeTrace,
+    generate_gaze_trace,
+)
+
+__all__ = [
+    "FoveatedPartition",
+    "FoveationModel",
+    "GazePhase",
+    "GazeSample",
+    "GazeTrace",
+    "NaiveGazePredictor",
+    "SaccadeLandingPredictor",
+    "VelocityThresholdClassifier",
+    "classification_accuracy",
+    "generate_gaze_trace",
+    "prediction_error",
+]

@@ -1,0 +1,72 @@
+"""Gaze movement classification.
+
+§3.1: gaze movements split into fixation / smooth pursuit / saccade by
+speed, from low to high.  The classifier is the standard velocity-
+threshold scheme (I-VT extended with a pursuit band) over a smoothed
+velocity signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import SemHoloError
+from repro.gaze.traces import GazePhase, GazeTrace
+
+__all__ = ["VelocityThresholdClassifier", "classification_accuracy"]
+
+
+@dataclass(frozen=True)
+class VelocityThresholdClassifier:
+    """Dual-threshold velocity classifier.
+
+    Attributes:
+        pursuit_threshold: deg/s below which movement is fixation.
+        saccade_threshold: deg/s above which movement is a saccade.
+        smoothing_window: samples of moving-average velocity smoothing.
+    """
+
+    pursuit_threshold: float = 5.0
+    saccade_threshold: float = 60.0
+    smoothing_window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.pursuit_threshold >= self.saccade_threshold:
+            raise SemHoloError(
+                "pursuit threshold must be below saccade threshold"
+            )
+        if self.smoothing_window < 1:
+            raise SemHoloError("smoothing window must be positive")
+
+    def classify(self, trace: GazeTrace) -> List[GazePhase]:
+        """Label every sample of a trace."""
+        speeds = trace.velocities()
+        if self.smoothing_window > 1:
+            kernel = np.ones(self.smoothing_window) / self.smoothing_window
+            speeds = np.convolve(speeds, kernel, mode="same")
+        labels: List[GazePhase] = []
+        for speed in speeds:
+            if speed >= self.saccade_threshold:
+                labels.append(GazePhase.SACCADE)
+            elif speed >= self.pursuit_threshold:
+                labels.append(GazePhase.PURSUIT)
+            else:
+                labels.append(GazePhase.FIXATION)
+        return labels
+
+
+def classification_accuracy(
+    trace: GazeTrace, predicted: List[GazePhase]
+) -> float:
+    """Fraction of samples whose predicted phase matches ground truth."""
+    if len(predicted) != len(trace):
+        raise SemHoloError("prediction length mismatch")
+    correct = sum(
+        1
+        for sample, label in zip(trace, predicted)
+        if sample.phase == label
+    )
+    return correct / len(trace)

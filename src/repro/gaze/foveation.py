@@ -1,0 +1,118 @@
+"""Foveation geometry: which part of the remote body is foveal?
+
+§3.1's hybrid proposal sends full mesh for the foveal region and
+keypoints for the periphery.  This module maps a gaze direction (from
+the viewer's headset) onto the remote participant's mesh and splits it
+into foveal / peripheral vertex sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SemHoloError
+from repro.geometry.camera import Camera
+from repro.geometry.mesh import TriangleMesh
+
+__all__ = ["FoveationModel", "FoveatedPartition"]
+
+
+@dataclass
+class FoveatedPartition:
+    """A mesh split into foveal and peripheral parts.
+
+    Attributes:
+        foveal: submesh inside the foveal cone.
+        peripheral: the rest.
+        foveal_vertex_fraction: fraction of vertices that are foveal.
+        gaze_point: world-space point the gaze ray hits (approximately).
+    """
+
+    foveal: TriangleMesh
+    peripheral: TriangleMesh
+    foveal_vertex_fraction: float
+    gaze_point: np.ndarray
+
+
+@dataclass(frozen=True)
+class FoveationModel:
+    """Angular foveation around the gaze direction.
+
+    Attributes:
+        foveal_radius_degrees: half-angle of the high-acuity region;
+            the anatomical fovea is ~2.5 deg but practical systems use
+            5-15 deg to absorb gaze-prediction error.
+    """
+
+    foveal_radius_degrees: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.foveal_radius_degrees < 90:
+            raise SemHoloError(
+                "foveal radius must be in (0, 90) degrees"
+            )
+
+    def gaze_direction(
+        self, camera: Camera, gaze_angles: np.ndarray
+    ) -> np.ndarray:
+        """World-space gaze ray direction from head pose + eye angles.
+
+        Args:
+            camera: the viewer's head camera (pose = head pose).
+            gaze_angles: (2,) eye-in-head angles in degrees
+                (horizontal right+, vertical up+).
+        """
+        h, v = np.deg2rad(np.asarray(gaze_angles, dtype=np.float64))
+        direction_local = np.array(
+            [np.sin(h) * np.cos(v), np.sin(v), -np.cos(h) * np.cos(v)]
+        )
+        direction = camera.pose[:3, :3] @ direction_local
+        return direction / np.linalg.norm(direction)
+
+    def partition(
+        self,
+        mesh: TriangleMesh,
+        camera: Camera,
+        gaze_angles: np.ndarray,
+    ) -> FoveatedPartition:
+        """Split a mesh into foveal and peripheral parts for a viewer."""
+        if mesh.num_faces == 0:
+            raise SemHoloError("cannot partition an empty mesh")
+        eye = camera.position
+        direction = self.gaze_direction(camera, gaze_angles)
+        to_vertices = mesh.vertices - eye
+        distances = np.linalg.norm(to_vertices, axis=1)
+        unit = to_vertices / np.maximum(distances[:, None], 1e-12)
+        cos_angle = unit @ direction
+        threshold = np.cos(np.deg2rad(self.foveal_radius_degrees))
+        foveal_vertices = cos_angle >= threshold
+
+        # Approximate gaze point: nearest vertex within the cone (or the
+        # best-aligned vertex if the gaze misses the body entirely).
+        if foveal_vertices.any():
+            in_cone = np.nonzero(foveal_vertices)[0]
+            gaze_point = mesh.vertices[
+                in_cone[np.argmin(distances[in_cone])]
+            ].copy()
+        else:
+            gaze_point = mesh.vertices[np.argmax(cos_angle)].copy()
+
+        face_foveal = foveal_vertices[mesh.faces].any(axis=1)
+        foveal = TriangleMesh(
+            vertices=mesh.vertices,
+            faces=mesh.faces[face_foveal],
+            vertex_colors=mesh.vertex_colors,
+        ).remove_unreferenced_vertices()
+        peripheral = TriangleMesh(
+            vertices=mesh.vertices,
+            faces=mesh.faces[~face_foveal],
+            vertex_colors=mesh.vertex_colors,
+        ).remove_unreferenced_vertices()
+        return FoveatedPartition(
+            foveal=foveal,
+            peripheral=peripheral,
+            foveal_vertex_fraction=float(foveal_vertices.mean()),
+            gaze_point=gaze_point,
+        )

@@ -1,0 +1,184 @@
+"""Synthetic eye-gaze traces.
+
+The foveated-streaming design in §3.1 depends on gaze dynamics: long
+fixations, smooth pursuit of moving content, and ballistic saccades.
+The generator produces 2D gaze angles (degrees, visual field
+coordinates) at a given sample rate with the velocity structure the
+eye-movement literature reports — fixations with microtremor, pursuit
+at tens of deg/s, saccades at hundreds of deg/s following the main
+sequence (peak velocity grows with amplitude).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SemHoloError
+
+__all__ = ["GazePhase", "GazeSample", "GazeTrace", "generate_gaze_trace"]
+
+
+class GazePhase(str, Enum):
+    """Ground-truth label of each gaze sample."""
+
+    FIXATION = "fixation"
+    PURSUIT = "pursuit"
+    SACCADE = "saccade"
+
+
+@dataclass(frozen=True)
+class GazeSample:
+    """One gaze measurement.
+
+    Attributes:
+        time: seconds.
+        angle: (2,) gaze direction in degrees (horizontal, vertical).
+        phase: ground-truth movement phase (for classifier evaluation).
+    """
+
+    time: float
+    angle: np.ndarray
+    phase: GazePhase
+
+
+@dataclass
+class GazeTrace:
+    """A timed sequence of gaze samples."""
+
+    samples: List[GazeSample]
+    rate_hz: float
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise SemHoloError("gaze trace is empty")
+        if self.rate_hz <= 0:
+            raise SemHoloError("rate must be positive")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> GazeSample:
+        return self.samples[index]
+
+    def angles(self) -> np.ndarray:
+        """All angles as an (N, 2) array."""
+        return np.stack([s.angle for s in self.samples])
+
+    def velocities(self) -> np.ndarray:
+        """Angular speeds (deg/s), shape (N,); first sample repeats."""
+        angles = self.angles()
+        diffs = np.diff(angles, axis=0) * self.rate_hz
+        speeds = np.linalg.norm(diffs, axis=1)
+        return np.concatenate([[speeds[0] if len(speeds) else 0.0],
+                               speeds])
+
+
+def _saccade_profile(amplitude: float, rate_hz: float) -> np.ndarray:
+    """Displacement samples of one saccade along its axis.
+
+    Follows the main sequence: duration ~ 2.2 ms/deg + 21 ms; the
+    velocity profile is a raised cosine (symmetric accelerate/brake).
+    """
+    duration = 0.021 + 0.0022 * amplitude
+    n = max(int(round(duration * rate_hz)), 2)
+    t = np.linspace(0.0, np.pi, n)
+    profile = (1.0 - np.cos(t)) / 2.0
+    return amplitude * profile
+
+
+def generate_gaze_trace(
+    duration: float = 10.0,
+    rate_hz: float = 120.0,
+    field_degrees: float = 40.0,
+    seed: int = 0,
+    pursuit_probability: float = 0.25,
+) -> GazeTrace:
+    """Generate a plausible gaze trace.
+
+    The generator alternates fixations (180-500 ms, microtremor ~0.05
+    deg), occasional pursuit segments (10-30 deg/s drift), and saccades
+    to a new target within the visual field.
+    """
+    if duration <= 0:
+        raise SemHoloError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    samples: List[GazeSample] = []
+    position = np.zeros(2)
+    time = 0.0
+    dt = 1.0 / rate_hz
+
+    while time < duration:
+        mode = rng.random()
+        if mode < pursuit_probability and samples:
+            # Smooth pursuit: constant angular velocity segment.
+            segment = rng.uniform(0.4, 1.2)
+            speed = rng.uniform(8.0, 30.0)
+            direction = rng.normal(size=2)
+            direction /= np.linalg.norm(direction)
+            steps = int(segment * rate_hz)
+            for _ in range(steps):
+                if time >= duration:
+                    break
+                position = position + direction * speed * dt
+                position = np.clip(
+                    position, -field_degrees, field_degrees
+                )
+                samples.append(
+                    GazeSample(
+                        time=time,
+                        angle=position.copy(),
+                        phase=GazePhase.PURSUIT,
+                    )
+                )
+                time += dt
+        else:
+            # Fixation with slow physiological drift + microtremor.
+            # Drift is an Ornstein-Uhlenbeck walk so sample-to-sample
+            # velocity stays ~1 deg/s, as measured in real fixations.
+            segment = rng.uniform(0.18, 0.5)
+            steps = int(segment * rate_hz)
+            drift = np.zeros(2)
+            for _ in range(steps):
+                if time >= duration:
+                    break
+                drift = 0.98 * drift + rng.normal(0.0, 0.006, size=2)
+                samples.append(
+                    GazeSample(
+                        time=time,
+                        angle=position + drift,
+                        phase=GazePhase.FIXATION,
+                    )
+                )
+                time += dt
+            position = position + drift
+        if time >= duration:
+            break
+        # Saccade to a new target.
+        target = rng.uniform(-field_degrees, field_degrees, size=2)
+        offset = target - position
+        amplitude = float(np.linalg.norm(offset))
+        if amplitude < 1.0:
+            continue
+        direction = offset / amplitude
+        profile = _saccade_profile(amplitude, rate_hz)
+        for displacement in profile:
+            if time >= duration:
+                break
+            samples.append(
+                GazeSample(
+                    time=time,
+                    angle=position + direction * displacement,
+                    phase=GazePhase.SACCADE,
+                )
+            )
+            time += dt
+        position = target
+
+    return GazeTrace(samples=samples, rate_hz=rate_hz)

@@ -1,0 +1,206 @@
+"""Pinhole camera model used by the simulated RGB-D capture rig.
+
+Conventions: camera looks down its -Z axis, +X right, +Y up (OpenGL
+style).  ``pose`` is camera-to-world.  Pixel (0, 0) is the top-left
+corner; image coordinates are (u right, v down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.transforms import apply_rigid, invert_rigid, look_at
+
+__all__ = ["Intrinsics", "Camera"]
+
+
+@dataclass(frozen=True)
+class Intrinsics:
+    """Pinhole intrinsics.
+
+    Attributes:
+        width: image width in pixels.
+        height: image height in pixels.
+        fx, fy: focal lengths in pixels.
+        cx, cy: principal point in pixels.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError("image dimensions must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise GeometryError("focal lengths must be positive")
+
+    @classmethod
+    def from_fov(
+        cls, width: int, height: int, fov_x_degrees: float
+    ) -> "Intrinsics":
+        """Build intrinsics from a horizontal field of view."""
+        fov = np.deg2rad(fov_x_degrees)
+        if not 0 < fov < np.pi:
+            raise GeometryError("fov must be in (0, 180) degrees")
+        fx = width / (2.0 * np.tan(fov / 2.0))
+        return cls(
+            width=width,
+            height=height,
+            fx=fx,
+            fy=fx,
+            cx=width / 2.0,
+            cy=height / 2.0,
+        )
+
+    def matrix(self) -> np.ndarray:
+        """The 3x3 intrinsic matrix K."""
+        return np.array(
+            [
+                [self.fx, 0.0, self.cx],
+                [0.0, self.fy, self.cy],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    def scaled(self, factor: float) -> "Intrinsics":
+        """Intrinsics for an image resized by ``factor`` in both axes."""
+        if factor <= 0:
+            raise GeometryError("scale factor must be positive")
+        return Intrinsics(
+            width=max(1, int(round(self.width * factor))),
+            height=max(1, int(round(self.height * factor))),
+            fx=self.fx * factor,
+            fy=self.fy * factor,
+            cx=self.cx * factor,
+            cy=self.cy * factor,
+        )
+
+
+@dataclass
+class Camera:
+    """A posed pinhole camera.
+
+    Attributes:
+        intrinsics: pinhole parameters.
+        pose: 4x4 camera-to-world transform.
+    """
+
+    intrinsics: Intrinsics
+    pose: np.ndarray = field(
+        default_factory=lambda: np.eye(4, dtype=np.float64)
+    )
+
+    def __post_init__(self) -> None:
+        self.pose = np.asarray(self.pose, dtype=np.float64)
+        if self.pose.shape != (4, 4):
+            raise GeometryError(f"pose must be 4x4, got {self.pose.shape}")
+
+    @classmethod
+    def looking_at(
+        cls,
+        intrinsics: Intrinsics,
+        eye,
+        target,
+        up=(0.0, 1.0, 0.0),
+    ) -> "Camera":
+        """Camera positioned at ``eye`` aimed at ``target``."""
+        return cls(intrinsics=intrinsics, pose=look_at(eye, target, up))
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.pose[:3, 3].copy()
+
+    @property
+    def view_direction(self) -> np.ndarray:
+        """World-space unit vector the camera looks along (-Z of pose)."""
+        return -self.pose[:3, 2].copy()
+
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Transform world points (N, 3) into camera coordinates."""
+        return apply_rigid(invert_rigid(self.pose), points)
+
+    def camera_to_world(self, points: np.ndarray) -> np.ndarray:
+        """Transform camera-space points (N, 3) into the world frame."""
+        return apply_rigid(self.pose, points)
+
+    def project(self, points: np.ndarray) -> tuple:
+        """Project world points to pixels.
+
+        Returns:
+            (uv, depth): uv is (N, 2) pixel coordinates, depth is (N,)
+            positive distance along the viewing axis.  Points behind the
+            camera get negative depth; callers must mask on it.
+        """
+        cam = self.world_to_camera(np.atleast_2d(points))
+        depth = -cam[:, 2]
+        safe = np.where(np.abs(depth) < 1e-12, 1e-12, depth)
+        u = self.intrinsics.fx * cam[:, 0] / safe + self.intrinsics.cx
+        v = -self.intrinsics.fy * cam[:, 1] / safe + self.intrinsics.cy
+        return np.stack([u, v], axis=1), depth
+
+    def unproject(self, uv: np.ndarray, depth: np.ndarray) -> np.ndarray:
+        """Lift pixels (N, 2) with positive depths (N,) to world points."""
+        uv = np.atleast_2d(np.asarray(uv, dtype=np.float64))
+        depth = np.atleast_1d(np.asarray(depth, dtype=np.float64))
+        if uv.shape[0] != depth.shape[0]:
+            raise GeometryError("uv and depth must have matching lengths")
+        x = (uv[:, 0] - self.intrinsics.cx) / self.intrinsics.fx * depth
+        y = -(uv[:, 1] - self.intrinsics.cy) / self.intrinsics.fy * depth
+        cam = np.stack([x, y, -depth], axis=1)
+        return self.camera_to_world(cam)
+
+    def pixel_rays(self) -> tuple:
+        """Rays through every pixel centre.
+
+        Returns:
+            (origins, directions): both (H*W, 3); directions are unit
+            length, ordered row-major (v major, u minor).
+        """
+        h, w = self.intrinsics.height, self.intrinsics.width
+        u, v = np.meshgrid(
+            np.arange(w, dtype=np.float64) + 0.5,
+            np.arange(h, dtype=np.float64) + 0.5,
+        )
+        x = (u - self.intrinsics.cx) / self.intrinsics.fx
+        y = -(v - self.intrinsics.cy) / self.intrinsics.fy
+        dirs_cam = np.stack(
+            [x.ravel(), y.ravel(), -np.ones(h * w)], axis=1
+        )
+        dirs_world = dirs_cam @ self.pose[:3, :3].T
+        dirs_world /= np.linalg.norm(dirs_world, axis=1, keepdims=True)
+        origins = np.broadcast_to(self.position, (h * w, 3)).copy()
+        return origins, dirs_world
+
+    def depth_to_point_cloud(
+        self, depth_image: np.ndarray, rgb_image: np.ndarray = None
+    ):
+        """Convert a depth image (H, W) to a world-space point cloud.
+
+        Zero or non-finite depths are treated as holes and skipped.
+        """
+        from repro.geometry.pointcloud import PointCloud
+
+        depth_image = np.asarray(depth_image, dtype=np.float64)
+        if depth_image.shape != (
+            self.intrinsics.height,
+            self.intrinsics.width,
+        ):
+            raise GeometryError(
+                "depth image shape does not match intrinsics"
+            )
+        valid = np.isfinite(depth_image) & (depth_image > 0)
+        v_idx, u_idx = np.nonzero(valid)
+        uv = np.stack([u_idx + 0.5, v_idx + 0.5], axis=1)
+        points = self.unproject(uv, depth_image[valid])
+        colors = None
+        if rgb_image is not None:
+            rgb_image = np.asarray(rgb_image, dtype=np.float64)
+            colors = rgb_image[v_idx, u_idx]
+        return PointCloud(points=points, colors=colors)

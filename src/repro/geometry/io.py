@@ -1,0 +1,204 @@
+"""Mesh and point-cloud file I/O (OBJ and ASCII PLY).
+
+A reproduction library is only adoptable if its geometry can leave the
+process: OBJ for meshes (universally viewable) and ASCII PLY for
+meshes and point clouds with per-vertex colour.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.pointcloud import PointCloud
+
+__all__ = ["save_obj", "load_obj", "save_ply", "load_ply"]
+
+_PathLike = Union[str, Path]
+
+
+def save_obj(mesh: TriangleMesh, path: _PathLike) -> None:
+    """Write a mesh as Wavefront OBJ (vertex colours as extensions)."""
+    path = Path(path)
+    lines = ["# SemHolo mesh"]
+    has_colors = mesh.vertex_colors is not None
+    for i, vertex in enumerate(mesh.vertices):
+        if has_colors:
+            r, g, b = mesh.vertex_colors[i]
+            lines.append(
+                f"v {vertex[0]:.6f} {vertex[1]:.6f} {vertex[2]:.6f} "
+                f"{r:.4f} {g:.4f} {b:.4f}"
+            )
+        else:
+            lines.append(
+                f"v {vertex[0]:.6f} {vertex[1]:.6f} {vertex[2]:.6f}"
+            )
+    for face in mesh.faces:
+        lines.append(f"f {face[0] + 1} {face[1] + 1} {face[2] + 1}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_obj(path: _PathLike) -> TriangleMesh:
+    """Read a Wavefront OBJ (triangles only; fans triangulated)."""
+    path = Path(path)
+    vertices, colors, faces = [], [], []
+    has_colors = False
+    for line_number, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "v":
+            if len(parts) not in (4, 7):
+                raise GeometryError(
+                    f"{path}:{line_number}: malformed vertex"
+                )
+            vertices.append([float(p) for p in parts[1:4]])
+            if len(parts) == 7:
+                has_colors = True
+                colors.append([float(p) for p in parts[4:7]])
+            else:
+                colors.append([0.5, 0.5, 0.5])
+        elif parts[0] == "f":
+            indices = []
+            for token in parts[1:]:
+                index = token.split("/")[0]
+                indices.append(int(index) - 1)
+            if len(indices) < 3:
+                raise GeometryError(
+                    f"{path}:{line_number}: face needs 3+ vertices"
+                )
+            for k in range(1, len(indices) - 1):
+                faces.append(
+                    [indices[0], indices[k], indices[k + 1]]
+                )
+    if not vertices:
+        raise GeometryError(f"{path}: no vertices")
+    return TriangleMesh(
+        vertices=np.asarray(vertices),
+        faces=np.asarray(faces, dtype=np.int64).reshape(-1, 3),
+        vertex_colors=np.asarray(colors) if has_colors else None,
+    )
+
+
+def save_ply(
+    geometry: Union[TriangleMesh, PointCloud], path: _PathLike
+) -> None:
+    """Write a mesh or point cloud as ASCII PLY (with colours)."""
+    path = Path(path)
+    is_mesh = isinstance(geometry, TriangleMesh)
+    if is_mesh:
+        points = geometry.vertices
+        colors = geometry.vertex_colors
+        faces = geometry.faces
+    else:
+        points = geometry.points
+        colors = geometry.colors
+        faces = None
+
+    header = [
+        "ply",
+        "format ascii 1.0",
+        "comment SemHolo export",
+        f"element vertex {len(points)}",
+        "property float x",
+        "property float y",
+        "property float z",
+    ]
+    if colors is not None:
+        header += [
+            "property uchar red",
+            "property uchar green",
+            "property uchar blue",
+        ]
+    if is_mesh:
+        header.append(f"element face {len(faces)}")
+        header.append("property list uchar int vertex_indices")
+    header.append("end_header")
+
+    lines = header
+    if colors is not None:
+        rgb = np.clip(np.round(colors * 255), 0, 255).astype(int)
+        for point, color in zip(points, rgb):
+            lines.append(
+                f"{point[0]:.6f} {point[1]:.6f} {point[2]:.6f} "
+                f"{color[0]} {color[1]} {color[2]}"
+            )
+    else:
+        for point in points:
+            lines.append(
+                f"{point[0]:.6f} {point[1]:.6f} {point[2]:.6f}"
+            )
+    if is_mesh:
+        for face in faces:
+            lines.append(f"3 {face[0]} {face[1]} {face[2]}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_ply(path: _PathLike):
+    """Read an ASCII PLY; returns a TriangleMesh or PointCloud.
+
+    Supports the subset :func:`save_ply` writes (plus arbitrary extra
+    vertex properties, which are ignored positionally).
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or lines[0].strip() != "ply":
+        raise GeometryError(f"{path}: not a PLY file")
+    n_vertices = n_faces = 0
+    vertex_properties = []
+    in_vertex_element = False
+    header_end = None
+    for index, raw in enumerate(lines[1:], 1):
+        line = raw.strip()
+        if line.startswith("format") and "ascii" not in line:
+            raise GeometryError(f"{path}: only ASCII PLY supported")
+        if line.startswith("element vertex"):
+            n_vertices = int(line.split()[-1])
+            in_vertex_element = True
+        elif line.startswith("element face"):
+            n_faces = int(line.split()[-1])
+            in_vertex_element = False
+        elif line.startswith("element"):
+            in_vertex_element = False
+        elif line.startswith("property") and in_vertex_element:
+            vertex_properties.append(line.split()[-1])
+        elif line == "end_header":
+            header_end = index
+            break
+    if header_end is None or n_vertices == 0:
+        raise GeometryError(f"{path}: malformed PLY header")
+
+    body = lines[header_end + 1:]
+    if len(body) < n_vertices + n_faces:
+        raise GeometryError(f"{path}: truncated PLY body")
+
+    has_colors = {"red", "green", "blue"}.issubset(vertex_properties)
+    color_offset = (
+        vertex_properties.index("red") if has_colors else None
+    )
+    points = np.zeros((n_vertices, 3))
+    colors = np.zeros((n_vertices, 3)) if has_colors else None
+    for i in range(n_vertices):
+        fields = body[i].split()
+        points[i] = [float(f) for f in fields[:3]]
+        if has_colors:
+            colors[i] = [
+                int(fields[color_offset + k]) / 255.0
+                for k in range(3)
+            ]
+    if n_faces == 0:
+        return PointCloud(points=points, colors=colors)
+    faces = np.zeros((n_faces, 3), dtype=np.int64)
+    for i in range(n_faces):
+        fields = body[n_vertices + i].split()
+        if fields[0] != "3":
+            raise GeometryError(f"{path}: non-triangle face")
+        faces[i] = [int(f) for f in fields[1:4]]
+    return TriangleMesh(
+        vertices=points, faces=faces, vertex_colors=colors
+    )

@@ -1,0 +1,188 @@
+"""Point cloud container and basic operations.
+
+Point clouds are one of the two volumetric representations holographic
+communication traditionally ships over the network (the other being
+meshes), and the output format of the text-semantics reconstruction path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import GeometryError
+
+__all__ = ["PointCloud"]
+
+
+@dataclass
+class PointCloud:
+    """A set of 3D points with optional per-point colors and normals.
+
+    Attributes:
+        points: float64 array of shape (N, 3).
+        colors: optional float64 array of shape (N, 3) in [0, 1].
+        normals: optional float64 array of shape (N, 3), unit length.
+    """
+
+    points: np.ndarray
+    colors: Optional[np.ndarray] = None
+    normals: Optional[np.ndarray] = None
+    _kdtree: Optional[cKDTree] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.points = np.atleast_2d(np.asarray(self.points, dtype=np.float64))
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise GeometryError(
+                f"points must be (N, 3), got {self.points.shape}"
+            )
+        for name in ("colors", "normals"):
+            attr = getattr(self, name)
+            if attr is None:
+                continue
+            attr = np.asarray(attr, dtype=np.float64)
+            if attr.shape != self.points.shape:
+                raise GeometryError(
+                    f"{name} shape {attr.shape} does not match points "
+                    f"{self.points.shape}"
+                )
+            setattr(self, name, attr)
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def kdtree(self) -> cKDTree:
+        """Lazily built KD-tree over the points (invalidated on copy)."""
+        if self._kdtree is None:
+            self._kdtree = cKDTree(self.points)
+        return self._kdtree
+
+    def copy(self) -> "PointCloud":
+        """Deep copy (the KD-tree cache is not carried over)."""
+        return PointCloud(
+            points=self.points.copy(),
+            colors=None if self.colors is None else self.colors.copy(),
+            normals=None if self.normals is None else self.normals.copy(),
+        )
+
+    def bounds(self) -> tuple:
+        """Axis-aligned bounding box as (min_corner, max_corner)."""
+        if len(self) == 0:
+            raise GeometryError("bounds of an empty point cloud")
+        return self.points.min(axis=0), self.points.max(axis=0)
+
+    def centroid(self) -> np.ndarray:
+        """Mean of all points."""
+        if len(self) == 0:
+            raise GeometryError("centroid of an empty point cloud")
+        return self.points.mean(axis=0)
+
+    def transformed(self, transform: np.ndarray) -> "PointCloud":
+        """Return a new cloud with a 4x4 rigid transform applied."""
+        from repro.geometry.transforms import apply_rigid
+
+        out = self.copy()
+        out.points = apply_rigid(transform, out.points)
+        if out.normals is not None:
+            rot = np.asarray(transform, dtype=np.float64)[:3, :3]
+            out.normals = out.normals @ rot.T
+        return out
+
+    def subsample(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> "PointCloud":
+        """Randomly subsample to at most ``count`` points."""
+        if count >= len(self):
+            return self.copy()
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(len(self), size=count, replace=False)
+        return self._select(idx)
+
+    def voxel_downsample(self, voxel_size: float) -> "PointCloud":
+        """Keep one representative point per occupied voxel.
+
+        Points in the same voxel are averaged, which is the standard
+        capture-side filtering step when fusing multiple RGB-D views.
+        """
+        if voxel_size <= 0:
+            raise GeometryError("voxel_size must be positive")
+        if len(self) == 0:
+            return self.copy()
+        keys = np.floor(self.points / voxel_size).astype(np.int64)
+        # Hash voxel coordinates to group points.
+        order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
+        sorted_keys = keys[order]
+        boundaries = np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)
+        group_ids = np.concatenate([[0], np.cumsum(boundaries)])
+        n_groups = group_ids[-1] + 1
+
+        def _group_mean(values: np.ndarray) -> np.ndarray:
+            sums = np.zeros((n_groups, values.shape[1]))
+            np.add.at(sums, group_ids, values[order])
+            counts = np.bincount(group_ids, minlength=n_groups)[:, None]
+            return sums / counts
+
+        points = _group_mean(self.points)
+        colors = None if self.colors is None else _group_mean(self.colors)
+        normals = None
+        if self.normals is not None:
+            normals = _group_mean(self.normals)
+            norms = np.linalg.norm(normals, axis=1, keepdims=True)
+            normals = normals / np.maximum(norms, 1e-12)
+        return PointCloud(points=points, colors=colors, normals=normals)
+
+    def remove_statistical_outliers(
+        self, k: int = 16, std_ratio: float = 2.0
+    ) -> "PointCloud":
+        """Drop points whose mean k-NN distance is an outlier.
+
+        This is the classic capture-side filter for flying pixels in
+        depth maps.
+        """
+        if len(self) <= k:
+            return self.copy()
+        dists, _ = self.kdtree.query(self.points, k=k + 1)
+        mean_d = dists[:, 1:].mean(axis=1)
+        threshold = mean_d.mean() + std_ratio * mean_d.std()
+        return self._select(np.nonzero(mean_d <= threshold)[0])
+
+    def merged(self, other: "PointCloud") -> "PointCloud":
+        """Concatenate two clouds; attributes survive only if both have them."""
+        points = np.vstack([self.points, other.points])
+        colors = None
+        if self.colors is not None and other.colors is not None:
+            colors = np.vstack([self.colors, other.colors])
+        normals = None
+        if self.normals is not None and other.normals is not None:
+            normals = np.vstack([self.normals, other.normals])
+        return PointCloud(points=points, colors=colors, normals=normals)
+
+    def estimate_normals(self, k: int = 12) -> "PointCloud":
+        """Estimate normals via local PCA over k nearest neighbours."""
+        if len(self) < 3:
+            raise GeometryError("need at least 3 points to estimate normals")
+        k = min(k, len(self) - 1)
+        _, idx = self.kdtree.query(self.points, k=k + 1)
+        neighbours = self.points[idx]  # (N, k+1, 3)
+        centered = neighbours - neighbours.mean(axis=1, keepdims=True)
+        cov = np.einsum("nki,nkj->nij", centered, centered)
+        _, vecs = np.linalg.eigh(cov)
+        normals = vecs[:, :, 0]  # eigenvector of smallest eigenvalue
+        # Orient consistently away from the centroid.
+        outward = self.points - self.centroid()
+        flip = np.einsum("ni,ni->n", normals, outward) < 0
+        normals[flip] *= -1.0
+        out = self.copy()
+        out.normals = normals
+        return out
+
+    def _select(self, idx: np.ndarray) -> "PointCloud":
+        return PointCloud(
+            points=self.points[idx],
+            colors=None if self.colors is None else self.colors[idx],
+            normals=None if self.normals is None else self.normals[idx],
+        )

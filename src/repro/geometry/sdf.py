@@ -1,0 +1,224 @@
+"""Signed distance fields: primitives, smooth CSG, and evaluation.
+
+The procedural body template (`repro.body.template`) and the pose-
+conditioned implicit avatar field (`repro.avatar.implicit`) are both
+built from these primitives, blended with smooth unions so the extracted
+surfaces are organic rather than hard-edged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "SDF",
+    "sphere",
+    "capsule",
+    "ellipsoid",
+    "box",
+    "rounded_cone",
+    "union",
+    "smooth_union",
+    "intersection",
+    "subtraction",
+    "transform_sdf",
+    "scale_sdf",
+]
+
+# An SDF is any callable mapping (N, 3) points to (N,) signed distances
+# (negative inside).
+SDF = Callable[[np.ndarray], np.ndarray]
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    p = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if p.ndim != 2 or p.shape[1] != 3:
+        raise GeometryError(f"SDF input must be (N, 3), got {p.shape}")
+    return p
+
+
+def sphere(center, radius: float) -> SDF:
+    """Sphere of ``radius`` at ``center``."""
+    center = np.asarray(center, dtype=np.float64)
+    if radius <= 0:
+        raise GeometryError("sphere radius must be positive")
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        p = _as_points(points)
+        return np.linalg.norm(p - center, axis=1) - radius
+
+    return _sdf
+
+
+def capsule(a, b, radius: float) -> SDF:
+    """Capsule (line-swept sphere) between endpoints ``a`` and ``b``.
+
+    Capsules along skeleton bones are the building block of the body
+    template and of the keypoint-conditioned avatar field.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if radius <= 0:
+        raise GeometryError("capsule radius must be positive")
+    ab = b - a
+    denom = float(np.dot(ab, ab))
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        p = _as_points(points)
+        if denom < 1e-18:
+            return np.linalg.norm(p - a, axis=1) - radius
+        t = np.clip((p - a) @ ab / denom, 0.0, 1.0)
+        closest = a + t[:, None] * ab
+        return np.linalg.norm(p - closest, axis=1) - radius
+
+    return _sdf
+
+
+def rounded_cone(a, b, radius_a: float, radius_b: float) -> SDF:
+    """Capsule with linearly varying radius (limbs taper toward joints).
+
+    This is an approximate (bounding) distance: exact outside along the
+    axis, slightly conservative near the taper, which is fine for
+    surface extraction via marching cubes.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if radius_a <= 0 or radius_b <= 0:
+        raise GeometryError("cone radii must be positive")
+    ab = b - a
+    denom = float(np.dot(ab, ab))
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        p = _as_points(points)
+        if denom < 1e-18:
+            return np.linalg.norm(p - a, axis=1) - max(radius_a, radius_b)
+        t = np.clip((p - a) @ ab / denom, 0.0, 1.0)
+        closest = a + t[:, None] * ab
+        radius = radius_a + (radius_b - radius_a) * t
+        return np.linalg.norm(p - closest, axis=1) - radius
+
+    return _sdf
+
+
+def ellipsoid(center, radii) -> SDF:
+    """Axis-aligned ellipsoid (approximate SDF, exact at the surface)."""
+    center = np.asarray(center, dtype=np.float64)
+    radii = np.asarray(radii, dtype=np.float64)
+    if np.any(radii <= 0):
+        raise GeometryError("ellipsoid radii must be positive")
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        p = (_as_points(points) - center) / radii
+        k0 = np.linalg.norm(p, axis=1)
+        k1 = np.linalg.norm(p / radii, axis=1)
+        return np.where(k1 > 1e-12, k0 * (k0 - 1.0) / np.maximum(k1, 1e-12),
+                        -radii.min())
+
+    return _sdf
+
+
+def box(center, half_extents) -> SDF:
+    """Axis-aligned box."""
+    center = np.asarray(center, dtype=np.float64)
+    half = np.asarray(half_extents, dtype=np.float64)
+    if np.any(half <= 0):
+        raise GeometryError("box half extents must be positive")
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        q = np.abs(_as_points(points) - center) - half
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=1)
+        inside = np.minimum(q.max(axis=1), 0.0)
+        return outside + inside
+
+    return _sdf
+
+
+def union(sdfs: Sequence[SDF]) -> SDF:
+    """Hard union (pointwise minimum)."""
+    sdfs = list(sdfs)
+    if not sdfs:
+        raise GeometryError("union of zero SDFs")
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        values = sdfs[0](points)
+        for f in sdfs[1:]:
+            values = np.minimum(values, f(points))
+        return values
+
+    return _sdf
+
+
+def smooth_union(sdfs: Sequence[SDF], k: float = 0.05) -> SDF:
+    """Smooth union using the polynomial smooth-min with blend radius ``k``.
+
+    Applied pairwise left-to-right; produces the organic joints between
+    body-part capsules.
+    """
+    sdfs = list(sdfs)
+    if not sdfs:
+        raise GeometryError("smooth_union of zero SDFs")
+    if k <= 0:
+        return union(sdfs)
+
+    def _smin(d1: np.ndarray, d2: np.ndarray) -> np.ndarray:
+        h = np.clip(0.5 + 0.5 * (d2 - d1) / k, 0.0, 1.0)
+        return d2 + (d1 - d2) * h - k * h * (1.0 - h)
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        values = sdfs[0](points)
+        for f in sdfs[1:]:
+            values = _smin(f(points), values)
+        return values
+
+    return _sdf
+
+
+def intersection(sdfs: Sequence[SDF]) -> SDF:
+    """Hard intersection (pointwise maximum)."""
+    sdfs = list(sdfs)
+    if not sdfs:
+        raise GeometryError("intersection of zero SDFs")
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        values = sdfs[0](points)
+        for f in sdfs[1:]:
+            values = np.maximum(values, f(points))
+        return values
+
+    return _sdf
+
+
+def subtraction(base: SDF, cut: SDF) -> SDF:
+    """Subtract ``cut`` from ``base``."""
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        return np.maximum(base(points), -cut(points))
+
+    return _sdf
+
+
+def transform_sdf(sdf: SDF, transform: np.ndarray) -> SDF:
+    """Rigidly transform an SDF by a 4x4 matrix (applied to the shape)."""
+    from repro.geometry.transforms import apply_rigid, invert_rigid
+
+    inverse = invert_rigid(np.asarray(transform, dtype=np.float64))
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        return sdf(apply_rigid(inverse, _as_points(points)))
+
+    return _sdf
+
+
+def scale_sdf(sdf: SDF, factor: float) -> SDF:
+    """Uniformly scale an SDF about the origin."""
+    if factor <= 0:
+        raise GeometryError("scale factor must be positive")
+
+    def _sdf(points: np.ndarray) -> np.ndarray:
+        return sdf(_as_points(points) / factor) * factor
+
+    return _sdf

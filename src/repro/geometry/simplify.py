@@ -1,0 +1,107 @@
+"""Mesh simplification (decimation).
+
+The traditional pipeline ships a mesh with a fixed vertex budget
+(SMPL-X uses 10,475 vertices / 20,908 faces); our procedurally extracted
+template has far more, so we decimate by vertex clustering on a uniform
+grid, searching the grid size to hit a target vertex count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh
+
+__all__ = ["decimate_by_clustering", "decimate_to_vertex_count"]
+
+
+def decimate_by_clustering(
+    mesh: TriangleMesh, cell_size: float
+) -> TriangleMesh:
+    """Cluster vertices on a uniform grid and collapse each cell.
+
+    Each occupied cell contributes one representative vertex (the mean
+    of its members); faces whose three corners land in distinct cells
+    survive, the rest collapse away.  Simple, fast, and topology-lossy —
+    exactly the behaviour of real-time volumetric capture systems.
+    """
+    if cell_size <= 0:
+        raise GeometryError("cell_size must be positive")
+    if mesh.num_vertices == 0:
+        return mesh.copy()
+    keys = np.floor(mesh.vertices / cell_size).astype(np.int64)
+    # Compact cluster ids via lexicographic unique.
+    _, cluster_of_vertex, counts = np.unique(
+        keys, axis=0, return_inverse=True, return_counts=True
+    )
+    n_clusters = len(counts)
+    new_vertices = np.zeros((n_clusters, 3))
+    np.add.at(new_vertices, cluster_of_vertex, mesh.vertices)
+    new_vertices /= counts[:, None]
+
+    new_colors = None
+    if mesh.vertex_colors is not None:
+        new_colors = np.zeros((n_clusters, 3))
+        np.add.at(new_colors, cluster_of_vertex, mesh.vertex_colors)
+        new_colors /= counts[:, None]
+
+    new_faces = cluster_of_vertex[mesh.faces]
+    distinct = (
+        (new_faces[:, 0] != new_faces[:, 1])
+        & (new_faces[:, 1] != new_faces[:, 2])
+        & (new_faces[:, 0] != new_faces[:, 2])
+    )
+    new_faces = new_faces[distinct]
+    # Remove duplicate faces (same cluster triple, any winding keeps one).
+    if len(new_faces):
+        sorted_faces = np.sort(new_faces, axis=1)
+        _, first = np.unique(sorted_faces, axis=0, return_index=True)
+        new_faces = new_faces[np.sort(first)]
+    out = TriangleMesh(
+        vertices=new_vertices, faces=new_faces, vertex_colors=new_colors
+    )
+    return out.remove_unreferenced_vertices()
+
+
+def decimate_to_vertex_count(
+    mesh: TriangleMesh,
+    target_vertices: int,
+    tolerance: float = 0.03,
+    max_iterations: int = 32,
+) -> TriangleMesh:
+    """Decimate to approximately ``target_vertices`` via bisection.
+
+    Searches the clustering cell size so the output vertex count lands
+    within ``tolerance`` (relative) of the target.  Returns the best
+    mesh found if the search does not converge exactly.
+    """
+    if target_vertices < 4:
+        raise GeometryError("target_vertices must be at least 4")
+    if mesh.num_vertices <= target_vertices:
+        return mesh.copy()
+    lo_corner, hi_corner = mesh.bounds()
+    extent = float((hi_corner - lo_corner).max())
+    # Initial guess assuming vertices distribute over a surface: count
+    # scales ~ (extent / cell)^2.
+    cell_hi = extent  # collapses everything
+    cell_lo = extent / (4.0 * np.sqrt(target_vertices))
+
+    best: Optional[TriangleMesh] = None
+    best_err = np.inf
+    for _ in range(max_iterations):
+        cell = np.sqrt(cell_lo * cell_hi)
+        candidate = decimate_by_clustering(mesh, cell)
+        err = abs(candidate.num_vertices - target_vertices) / target_vertices
+        if err < best_err:
+            best, best_err = candidate, err
+        if err <= tolerance:
+            break
+        if candidate.num_vertices > target_vertices:
+            cell_lo = cell  # need bigger cells
+        else:
+            cell_hi = cell
+    assert best is not None
+    return best

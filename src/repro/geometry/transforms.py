@@ -1,0 +1,240 @@
+"""Rigid-body transforms and rotation parameterisations.
+
+SemHolo's body model transmits joint rotations as axis-angle vectors
+(the SMPL-X convention), so conversions between axis-angle, rotation
+matrices, and quaternions are the workhorses of the whole pipeline.
+All functions are vectorised over a leading batch dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "axis_angle_to_matrix",
+    "matrix_to_axis_angle",
+    "quaternion_to_matrix",
+    "matrix_to_quaternion",
+    "axis_angle_to_quaternion",
+    "quaternion_to_axis_angle",
+    "compose_rigid",
+    "invert_rigid",
+    "apply_rigid",
+    "rigid_from_rotation_translation",
+    "look_at",
+    "rotation_between_vectors",
+]
+
+_EPS = 1e-12
+
+
+def _check_last_dims(array: np.ndarray, shape: tuple, name: str) -> np.ndarray:
+    array = np.asarray(array, dtype=np.float64)
+    if array.shape[-len(shape):] != shape:
+        raise GeometryError(
+            f"{name} must have trailing shape {shape}, got {array.shape}"
+        )
+    return array
+
+
+def axis_angle_to_matrix(axis_angle: np.ndarray) -> np.ndarray:
+    """Convert axis-angle vectors (..., 3) to rotation matrices (..., 3, 3).
+
+    Uses the Rodrigues formula.  The magnitude of the vector is the
+    rotation angle in radians; a zero vector maps to the identity.
+    """
+    aa = _check_last_dims(axis_angle, (3,), "axis_angle")
+    batch_shape = aa.shape[:-1]
+    flat = aa.reshape(-1, 3)
+    angle = np.linalg.norm(flat, axis=-1)
+    # Guard the division for zero-angle rotations; sin(x)/x -> 1 there.
+    safe = np.where(angle < _EPS, 1.0, angle)
+    axis = flat / safe[:, None]
+
+    x, y, z = axis[:, 0], axis[:, 1], axis[:, 2]
+    zeros = np.zeros_like(x)
+    k = np.stack(
+        [zeros, -z, y, z, zeros, -x, -y, x, zeros], axis=-1
+    ).reshape(-1, 3, 3)
+    eye = np.broadcast_to(np.eye(3), k.shape)
+    sin = np.sin(angle)[:, None, None]
+    cos = np.cos(angle)[:, None, None]
+    mats = eye + sin * k + (1.0 - cos) * (k @ k)
+    # Exact identity for zero-angle entries avoids accumulating noise.
+    mats[angle < _EPS] = np.eye(3)
+    return mats.reshape(*batch_shape, 3, 3)
+
+
+def matrix_to_axis_angle(matrix: np.ndarray) -> np.ndarray:
+    """Convert rotation matrices (..., 3, 3) to axis-angle vectors (..., 3)."""
+    return quaternion_to_axis_angle(matrix_to_quaternion(matrix))
+
+
+def quaternion_to_matrix(quaternion: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions (..., 4), ordered (w, x, y, z), to matrices."""
+    q = _check_last_dims(quaternion, (4,), "quaternion")
+    q = q / np.maximum(np.linalg.norm(q, axis=-1, keepdims=True), _EPS)
+    w, x, y, z = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    m = np.empty(q.shape[:-1] + (3, 3), dtype=np.float64)
+    m[..., 0, 0] = 1 - 2 * (y * y + z * z)
+    m[..., 0, 1] = 2 * (x * y - w * z)
+    m[..., 0, 2] = 2 * (x * z + w * y)
+    m[..., 1, 0] = 2 * (x * y + w * z)
+    m[..., 1, 1] = 1 - 2 * (x * x + z * z)
+    m[..., 1, 2] = 2 * (y * z - w * x)
+    m[..., 2, 0] = 2 * (x * z - w * y)
+    m[..., 2, 1] = 2 * (y * z + w * x)
+    m[..., 2, 2] = 1 - 2 * (x * x + y * y)
+    return m
+
+
+def matrix_to_quaternion(matrix: np.ndarray) -> np.ndarray:
+    """Convert rotation matrices (..., 3, 3) to unit quaternions (w, x, y, z).
+
+    Uses Shepperd's numerically stable branch selection, vectorised.
+    """
+    m = _check_last_dims(matrix, (3, 3), "matrix")
+    batch_shape = m.shape[:-2]
+    m = m.reshape(-1, 3, 3)
+    n = m.shape[0]
+    q = np.empty((n, 4), dtype=np.float64)
+
+    trace = m[:, 0, 0] + m[:, 1, 1] + m[:, 2, 2]
+    # Candidate "pivot" values; we pick whichever is largest per element.
+    candidates = np.stack([trace, m[:, 0, 0], m[:, 1, 1], m[:, 2, 2]], axis=-1)
+    choice = np.argmax(candidates, axis=-1)
+
+    idx = choice == 0
+    if np.any(idx):
+        t = trace[idx]
+        s = np.sqrt(t + 1.0) * 2.0
+        q[idx, 0] = 0.25 * s
+        q[idx, 1] = (m[idx, 2, 1] - m[idx, 1, 2]) / s
+        q[idx, 2] = (m[idx, 0, 2] - m[idx, 2, 0]) / s
+        q[idx, 3] = (m[idx, 1, 0] - m[idx, 0, 1]) / s
+    for axis in range(3):
+        idx = choice == axis + 1
+        if not np.any(idx):
+            continue
+        i, j, k = axis, (axis + 1) % 3, (axis + 2) % 3
+        s = np.sqrt(1.0 + m[idx, i, i] - m[idx, j, j] - m[idx, k, k]) * 2.0
+        q[idx, 0] = (m[idx, k, j] - m[idx, j, k]) / s
+        q[idx, 1 + i] = 0.25 * s
+        q[idx, 1 + j] = (m[idx, j, i] + m[idx, i, j]) / s
+        q[idx, 1 + k] = (m[idx, k, i] + m[idx, i, k]) / s
+
+    # Canonical sign: non-negative scalar part.
+    q *= np.where(q[:, :1] < 0, -1.0, 1.0)
+    return q.reshape(*batch_shape, 4)
+
+
+def axis_angle_to_quaternion(axis_angle: np.ndarray) -> np.ndarray:
+    """Convert axis-angle (..., 3) to unit quaternions (w, x, y, z)."""
+    aa = _check_last_dims(axis_angle, (3,), "axis_angle")
+    angle = np.linalg.norm(aa, axis=-1, keepdims=True)
+    half = 0.5 * angle
+    safe = np.where(angle < _EPS, 1.0, angle)
+    xyz = aa / safe * np.sin(half)
+    w = np.cos(half)
+    return np.concatenate([w, xyz], axis=-1)
+
+
+def quaternion_to_axis_angle(quaternion: np.ndarray) -> np.ndarray:
+    """Convert unit quaternions (w, x, y, z) to axis-angle vectors."""
+    q = _check_last_dims(quaternion, (4,), "quaternion")
+    q = q / np.maximum(np.linalg.norm(q, axis=-1, keepdims=True), _EPS)
+    q = q * np.where(q[..., :1] < 0, -1.0, 1.0)
+    w = np.clip(q[..., 0], -1.0, 1.0)
+    angle = 2.0 * np.arccos(w)
+    sin_half = np.sqrt(np.maximum(1.0 - w * w, 0.0))
+    scale = np.where(sin_half < _EPS, 2.0, angle / np.maximum(sin_half, _EPS))
+    return q[..., 1:] * scale[..., None]
+
+
+def rigid_from_rotation_translation(
+    rotation: np.ndarray, translation: np.ndarray
+) -> np.ndarray:
+    """Assemble 4x4 homogeneous transforms from (..., 3, 3) and (..., 3)."""
+    rot = _check_last_dims(rotation, (3, 3), "rotation")
+    trans = _check_last_dims(translation, (3,), "translation")
+    batch_shape = np.broadcast_shapes(rot.shape[:-2], trans.shape[:-1])
+    out = np.zeros(batch_shape + (4, 4), dtype=np.float64)
+    out[..., :3, :3] = rot
+    out[..., :3, 3] = trans
+    out[..., 3, 3] = 1.0
+    return out
+
+
+def compose_rigid(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Compose homogeneous transforms: result applies ``b`` first, then ``a``."""
+    a = _check_last_dims(a, (4, 4), "a")
+    b = _check_last_dims(b, (4, 4), "b")
+    return a @ b
+
+
+def invert_rigid(transform: np.ndarray) -> np.ndarray:
+    """Invert rigid 4x4 transforms without a general matrix inverse."""
+    t = _check_last_dims(transform, (4, 4), "transform")
+    rot = t[..., :3, :3]
+    trans = t[..., :3, 3]
+    inv_rot = np.swapaxes(rot, -1, -2)
+    inv_trans = -np.einsum("...ij,...j->...i", inv_rot, trans)
+    return rigid_from_rotation_translation(inv_rot, inv_trans)
+
+
+def apply_rigid(transform: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 rigid transform to points of shape (..., 3)."""
+    t = _check_last_dims(transform, (4, 4), "transform")
+    p = _check_last_dims(points, (3,), "points")
+    rotated = np.einsum("...ij,...nj->...ni", t[..., :3, :3], p.reshape(-1, 3))
+    return (rotated + t[..., :3, 3]).reshape(p.shape)
+
+
+def look_at(
+    eye: np.ndarray, target: np.ndarray, up: np.ndarray = (0.0, 1.0, 0.0)
+) -> np.ndarray:
+    """Camera-to-world transform for a camera at ``eye`` looking at ``target``.
+
+    Follows the graphics convention: camera looks down its -Z axis, +Y up.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < _EPS:
+        raise GeometryError("look_at: eye and target coincide")
+    forward = forward / norm
+    right = np.cross(forward, up)
+    right_norm = np.linalg.norm(right)
+    if right_norm < _EPS:
+        raise GeometryError("look_at: up vector parallel to view direction")
+    right = right / right_norm
+    true_up = np.cross(right, forward)
+    rot = np.stack([right, true_up, -forward], axis=-1)
+    return rigid_from_rotation_translation(rot, eye)
+
+
+def rotation_between_vectors(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Smallest rotation matrix taking direction ``a`` to direction ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a = a / max(np.linalg.norm(a), _EPS)
+    b = b / max(np.linalg.norm(b), _EPS)
+    axis = np.cross(a, b)
+    sin = np.linalg.norm(axis)
+    cos = float(np.dot(a, b))
+    if sin < _EPS:
+        if cos > 0:
+            return np.eye(3)
+        # Antiparallel: rotate pi around any axis orthogonal to a.
+        ortho = np.array([1.0, 0.0, 0.0])
+        if abs(a[0]) > 0.9:
+            ortho = np.array([0.0, 1.0, 0.0])
+        axis = np.cross(a, ortho)
+        axis = axis / np.linalg.norm(axis)
+        return axis_angle_to_matrix(axis * np.pi)
+    angle = np.arctan2(sin, cos)
+    return axis_angle_to_matrix(axis / sin * angle)

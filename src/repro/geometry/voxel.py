@@ -1,0 +1,123 @@
+"""Voxel grids and occupancy volumes.
+
+Used by the point-cloud codec (octree occupancy) and by content
+reduction in the text-semantics path (per-cell quality levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.pointcloud import PointCloud
+
+__all__ = ["VoxelGrid"]
+
+
+@dataclass
+class VoxelGrid:
+    """A uniform occupancy grid over an axis-aligned box.
+
+    Attributes:
+        origin: world position of the grid corner (voxel [0,0,0] corner).
+        voxel_size: edge length of each voxel.
+        occupancy: boolean array of shape (nx, ny, nz).
+    """
+
+    origin: np.ndarray
+    voxel_size: float
+    occupancy: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.float64)
+        if self.origin.shape != (3,):
+            raise GeometryError("origin must be a 3-vector")
+        if self.voxel_size <= 0:
+            raise GeometryError("voxel_size must be positive")
+        self.occupancy = np.asarray(self.occupancy, dtype=bool)
+        if self.occupancy.ndim != 3:
+            raise GeometryError("occupancy must be 3D")
+
+    @property
+    def shape(self) -> tuple:
+        return self.occupancy.shape
+
+    @property
+    def num_occupied(self) -> int:
+        return int(self.occupancy.sum())
+
+    @classmethod
+    def from_point_cloud(
+        cls, cloud: PointCloud, voxel_size: float, padding: int = 0
+    ) -> "VoxelGrid":
+        """Voxelise a point cloud: a voxel is occupied if any point falls in it."""
+        if voxel_size <= 0:
+            raise GeometryError("voxel_size must be positive")
+        if len(cloud) == 0:
+            raise GeometryError("cannot voxelise an empty point cloud")
+        lo, hi = cloud.bounds()
+        origin = lo - padding * voxel_size
+        shape = (
+            np.ceil((hi - origin) / voxel_size).astype(np.int64)
+            + 1
+            + padding
+        )
+        occupancy = np.zeros(tuple(shape), dtype=bool)
+        idx = np.floor((cloud.points - origin) / voxel_size).astype(np.int64)
+        idx = np.clip(idx, 0, shape - 1)
+        occupancy[idx[:, 0], idx[:, 1], idx[:, 2]] = True
+        return cls(origin=origin, voxel_size=voxel_size, occupancy=occupancy)
+
+    def occupied_indices(self) -> np.ndarray:
+        """Integer coordinates (N, 3) of occupied voxels, lexicographic order."""
+        return np.argwhere(self.occupancy)
+
+    def voxel_centers(self) -> np.ndarray:
+        """World-space centres of occupied voxels, shape (N, 3)."""
+        return (
+            self.origin
+            + (self.occupied_indices().astype(np.float64) + 0.5)
+            * self.voxel_size
+        )
+
+    def to_point_cloud(self) -> PointCloud:
+        """Occupied voxel centres as a point cloud."""
+        return PointCloud(points=self.voxel_centers())
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: is each point inside an occupied voxel?"""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        idx = np.floor((points - self.origin) / self.voxel_size).astype(
+            np.int64
+        )
+        shape = np.asarray(self.shape)
+        in_bounds = np.all((idx >= 0) & (idx < shape), axis=1)
+        result = np.zeros(len(points), dtype=bool)
+        if np.any(in_bounds):
+            inside = idx[in_bounds]
+            result[in_bounds] = self.occupancy[
+                inside[:, 0], inside[:, 1], inside[:, 2]
+            ]
+        return result
+
+    def dilated(self, iterations: int = 1) -> "VoxelGrid":
+        """6-connected morphological dilation (grows the occupied set)."""
+        if iterations < 0:
+            raise GeometryError("iterations must be non-negative")
+        occ = self.occupancy.copy()
+        for _ in range(iterations):
+            grown = occ.copy()
+            grown[1:, :, :] |= occ[:-1, :, :]
+            grown[:-1, :, :] |= occ[1:, :, :]
+            grown[:, 1:, :] |= occ[:, :-1, :]
+            grown[:, :-1, :] |= occ[:, 1:, :]
+            grown[:, :, 1:] |= occ[:, :, :-1]
+            grown[:, :, :-1] |= occ[:, :, 1:]
+            occ = grown
+        return VoxelGrid(
+            origin=self.origin.copy(),
+            voxel_size=self.voxel_size,
+            occupancy=occ,
+        )

@@ -1,0 +1,25 @@
+"""Keypoint semantics extraction: 2D detection, lifting, fitting, tracking."""
+
+from repro.keypoints.detector2d import Keypoint2DDetector, Keypoints2D
+from repro.keypoints.detector3d import DepthLifter, Keypoint3DDetector
+from repro.keypoints.fitting import (
+    FitResult,
+    PoseFitter,
+    fit_shape_to_keypoints,
+)
+from repro.keypoints.lifter import Keypoints3D, MultiViewLifter, triangulate
+from repro.keypoints.tracking import KeypointTracker
+
+__all__ = [
+    "DepthLifter",
+    "FitResult",
+    "Keypoint2DDetector",
+    "Keypoint3DDetector",
+    "KeypointTracker",
+    "Keypoints2D",
+    "Keypoints3D",
+    "MultiViewLifter",
+    "PoseFitter",
+    "fit_shape_to_keypoints",
+    "triangulate",
+]

@@ -1,0 +1,160 @@
+"""Simulated 2D keypoint detection.
+
+A real system runs an OpenPose/MediaPipe-class network on each RGB
+frame.  Offline we cannot run such a network, so the detector projects
+the ground-truth keypoints into the image and degrades them with the
+published error characteristics of those networks: pixel jitter,
+confidence that drops with occlusion and distance, and occasional
+outlier misdetections.  Downstream code sees exactly the interface and
+error surface a learned detector would give it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.body.keypoints_def import NUM_KEYPOINTS
+from repro.capture.render import RGBDFrame
+from repro.errors import CaptureError
+
+__all__ = ["Keypoints2D", "Keypoint2DDetector"]
+
+
+@dataclass
+class Keypoints2D:
+    """2D keypoint detections in one image.
+
+    Attributes:
+        uv: (K, 2) pixel coordinates.
+        confidence: (K,) detection confidence in [0, 1]; 0 = missed.
+        timestamp: source frame time.
+    """
+
+    uv: np.ndarray
+    confidence: np.ndarray
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.uv = np.asarray(self.uv, dtype=np.float64)
+        self.confidence = np.asarray(self.confidence, dtype=np.float64)
+        if self.uv.ndim != 2 or self.uv.shape[1] != 2:
+            raise CaptureError("uv must be (K, 2)")
+        if self.confidence.shape != (self.uv.shape[0],):
+            raise CaptureError("confidence must be (K,)")
+
+    def __len__(self) -> int:
+        return self.uv.shape[0]
+
+    @property
+    def detected_mask(self) -> np.ndarray:
+        return self.confidence > 0
+
+
+@dataclass(frozen=True)
+class Keypoint2DDetector:
+    """Configurable simulated 2D pose network.
+
+    Attributes:
+        pixel_sigma: localisation jitter (pixels) for a fully visible
+            keypoint at 1 m; grows linearly with distance.
+        outlier_rate: probability a keypoint is misdetected far away.
+        outlier_sigma: pixel spread of outlier misdetections.
+        occlusion_tolerance: metres a keypoint may sit behind the
+            visible surface before it counts as occluded.
+        occluded_confidence: confidence assigned to occluded keypoints
+            (their position is an informed network guess: extra jitter).
+        miss_rate: probability an occluded keypoint is dropped entirely.
+        inference_latency: simulated per-image model latency (seconds),
+            reported to the latency accounting, not slept.
+    """
+
+    pixel_sigma: float = 1.5
+    outlier_rate: float = 0.01
+    outlier_sigma: float = 30.0
+    occlusion_tolerance: float = 0.08
+    occluded_confidence: float = 0.3
+    miss_rate: float = 0.2
+    inference_latency: float = 0.015
+
+    def detect(
+        self,
+        frame: RGBDFrame,
+        true_keypoints: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Keypoints2D:
+        """Detect keypoints in one frame.
+
+        Args:
+            frame: the RGB-D frame (depth is used only for the
+                self-occlusion test, as a stand-in for what the network
+                infers from appearance).
+            true_keypoints: (K, 3) ground-truth world keypoints of the
+                subject in the frame.
+            rng: noise source.
+        """
+        true_keypoints = np.asarray(true_keypoints, dtype=np.float64)
+        if true_keypoints.shape != (NUM_KEYPOINTS, 3):
+            raise CaptureError(
+                f"expected ({NUM_KEYPOINTS}, 3) keypoints, got "
+                f"{true_keypoints.shape}"
+            )
+        rng = rng or np.random.default_rng(0)
+        camera = frame.camera
+        uv, depth = camera.project(true_keypoints)
+        h = camera.intrinsics.height
+        w = camera.intrinsics.width
+
+        in_image = (
+            (depth > 1e-6)
+            & (uv[:, 0] >= 0)
+            & (uv[:, 0] < w)
+            & (uv[:, 1] >= 0)
+            & (uv[:, 1] < h)
+        )
+
+        # Self-occlusion: compare the keypoint's depth to the rendered
+        # surface depth at its pixel.
+        occluded = np.zeros(NUM_KEYPOINTS, dtype=bool)
+        ui = np.clip(np.floor(uv[:, 0]).astype(np.int64), 0, w - 1)
+        vi = np.clip(np.floor(uv[:, 1]).astype(np.int64), 0, h - 1)
+        surface = frame.depth[vi, ui]
+        occluded = in_image & (surface > 0) & (
+            depth > surface + self.occlusion_tolerance
+        )
+
+        visible = in_image & ~occluded
+        confidence = np.zeros(NUM_KEYPOINTS)
+        # Visible keypoints: high confidence, mildly distance-dependent.
+        confidence[visible] = np.clip(
+            0.95 - 0.03 * (depth[visible] - 1.0), 0.5, 1.0
+        )
+        confidence[occluded] = self.occluded_confidence
+        dropped = occluded & (rng.random(NUM_KEYPOINTS) < self.miss_rate)
+        confidence[dropped] = 0.0
+        confidence[~in_image] = 0.0
+
+        noisy_uv = uv.copy()
+        # Localisation error in pixels is roughly constant with range
+        # (the limb shrinks but so does the heatmap cell); a mild range
+        # term models the resolution loss on distant subjects.
+        sigma = self.pixel_sigma * (0.7 + 0.3 * np.maximum(depth, 0.5))
+        jitter_scale = np.where(occluded, 3.0, 1.0)
+        noisy_uv += rng.normal(
+            0.0, 1.0, uv.shape
+        ) * (sigma * jitter_scale)[:, None]
+
+        outliers = (confidence > 0) & (
+            rng.random(NUM_KEYPOINTS) < self.outlier_rate
+        )
+        noisy_uv[outliers] += rng.normal(
+            0.0, self.outlier_sigma, (int(outliers.sum()), 2)
+        )
+        confidence[outliers] *= 0.6
+
+        noisy_uv[confidence == 0] = 0.0
+        return Keypoints2D(
+            uv=noisy_uv, confidence=confidence, timestamp=frame.timestamp
+        )

@@ -1,0 +1,314 @@
+"""Fitting the parametric body to observed 3D keypoints.
+
+This is the sender-side encoder of the keypoint pipeline: raw 3D
+keypoints are converted into SMPL-X-style parameters (joint rotations,
+translation, shape) before transmission, exactly as the paper's
+proof-of-concept does ("3D pose aligned with SMPL-X parameters").
+
+Because we observe (noisy) positions for every joint *and* for surface
+landmarks rigidly attached to them, each joint's world rotation can be
+solved in closed form by weighted Kabsch alignment of its outgoing
+rest-frame offsets to the observed ones, walking the tree root-to-leaf.
+No iterative IK is needed; the fit is deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.body.keypoints_def import (
+    NUM_KEYPOINTS,
+    landmark_parent_indices,
+    landmark_rest_offsets,
+)
+from repro.body.pose import BodyPose
+from repro.body.shape import NUM_BETAS, ShapeParams, shape_displacement
+from repro.body.skeleton import NUM_JOINTS, PARENTS, rest_joint_positions
+from repro.errors import FittingError
+from repro.geometry.transforms import (
+    matrix_to_axis_angle,
+    rotation_between_vectors,
+)
+from repro.keypoints.lifter import Keypoints3D
+
+__all__ = ["PoseFitter", "FitResult", "fit_shape_to_keypoints"]
+
+
+@dataclass
+class FitResult:
+    """Output of a pose fit.
+
+    Attributes:
+        pose: recovered pose parameters.
+        shape: shape used (input or jointly estimated).
+        residual: RMS distance (metres) between observed and model
+            keypoints after the fit, over confident observations.
+        num_constrained: joints that received direct rotational
+            constraints (the rest inherit their parent's rotation).
+    """
+
+    pose: BodyPose
+    shape: ShapeParams
+    residual: float
+    num_constrained: int
+
+
+def _weighted_kabsch(
+    source: np.ndarray, target: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Rotation R minimising sum w ||R s - t||^2 over unit directions."""
+    h = (source * weights[:, None]).T @ target
+    u, _, vt = np.linalg.svd(h)
+    d = np.sign(np.linalg.det(vt.T @ u.T))
+    correction = np.diag([1.0, 1.0, d])
+    return vt.T @ correction @ u.T
+
+
+class PoseFitter:
+    """Closed-form hierarchical pose fitting.
+
+    Args:
+        min_confidence: observations below this are ignored.
+        min_direction_length: constraint offsets shorter than this
+            (metres) are too noise-sensitive to use.
+    """
+
+    def __init__(
+        self,
+        min_confidence: float = 0.1,
+        min_direction_length: float = 0.06,
+    ) -> None:
+        self.min_confidence = min_confidence
+        self.min_direction_length = min_direction_length
+        self._children: Dict[int, List[int]] = {}
+        for child, parent in enumerate(PARENTS):
+            if parent >= 0:
+                self._children.setdefault(parent, []).append(child)
+        self._landmark_parents = landmark_parent_indices()
+        self._landmark_offsets = landmark_rest_offsets()
+
+    def fit(
+        self,
+        observed: Keypoints3D,
+        shape: Optional[ShapeParams] = None,
+    ) -> FitResult:
+        """Fit pose parameters to observed keypoints.
+
+        Args:
+            observed: 3D keypoint observations (joints + landmarks).
+            shape: body shape to fit against (neutral if omitted).
+
+        Raises:
+            FittingError: when too few keypoints are confident to
+                anchor even the root.
+        """
+        if len(observed) != NUM_KEYPOINTS:
+            raise FittingError(
+                f"expected {NUM_KEYPOINTS} keypoints, got {len(observed)}"
+            )
+        shape = shape or ShapeParams.neutral()
+        rest = rest_joint_positions()
+        if np.any(shape.betas):
+            rest = rest + shape_displacement(rest, shape.betas)
+
+        conf = observed.confidence.copy()
+        conf[conf < self.min_confidence] = 0.0
+        positions = observed.positions
+        if (conf[:NUM_JOINTS] > 0).sum() < 3:
+            raise FittingError("too few confident joints to fit a pose")
+
+        # Root translation from the pelvis (or the confident-joint mean).
+        if conf[0] > 0:
+            translation = positions[0] - rest[0]
+        else:
+            mask = conf[:NUM_JOINTS] > 0
+            translation = (
+                positions[:NUM_JOINTS][mask].mean(axis=0)
+                - rest[mask].mean(axis=0)
+            )
+
+        world_rotations = np.tile(np.eye(3), (NUM_JOINTS, 1, 1))
+        local_matrices = np.zeros((NUM_JOINTS, 3, 3))
+        num_constrained = 0
+
+        # Landmarks grouped by parent joint for constraint lookup.
+        landmarks_of: Dict[int, List[int]] = {}
+        for li, parent in enumerate(self._landmark_parents):
+            landmarks_of.setdefault(int(parent), []).append(li)
+
+        for j in range(NUM_JOINTS):
+            parent = PARENTS[j]
+            parent_rotation = (
+                np.eye(3) if parent < 0 else world_rotations[parent]
+            )
+            constraints = self._collect_constraints(
+                j, rest, positions, conf, landmarks_of
+            )
+            if constraints is None:
+                world_rotations[j] = parent_rotation
+            else:
+                source, target, weights = constraints
+                if len(source) == 1:
+                    rotation = rotation_between_vectors(
+                        source[0], target[0]
+                    )
+                else:
+                    rotation = _weighted_kabsch(source, target, weights)
+                world_rotations[j] = rotation
+                num_constrained += 1
+            local_matrices[j] = parent_rotation.T @ world_rotations[j]
+
+        pose = BodyPose(
+            joint_rotations=matrix_to_axis_angle(local_matrices),
+            translation=translation,
+        )
+        residual = self._residual(pose, shape, observed)
+        return FitResult(
+            pose=pose,
+            shape=shape,
+            residual=residual,
+            num_constrained=num_constrained,
+        )
+
+    def _collect_constraints(
+        self,
+        joint: int,
+        rest: np.ndarray,
+        positions: np.ndarray,
+        conf: np.ndarray,
+        landmarks_of: Dict[int, List[int]],
+    ):
+        """Unit direction pairs (rest -> observed) anchored at ``joint``."""
+        if conf[joint] <= 0:
+            return None
+        anchor_rest = rest[joint]
+        anchor_obs = positions[joint]
+        sources, targets, weights = [], [], []
+
+        def _add(rest_offset, obs_point, weight):
+            obs_offset = obs_point - anchor_obs
+            rest_norm = np.linalg.norm(rest_offset)
+            obs_norm = np.linalg.norm(obs_offset)
+            if (
+                rest_norm < self.min_direction_length
+                or obs_norm < self.min_direction_length
+            ):
+                return
+            sources.append(rest_offset / rest_norm)
+            targets.append(obs_offset / obs_norm)
+            # Long offsets give noise-robust directions; short ones
+            # (surface bumps, phalanges) are quadratically
+            # down-weighted so they cannot hijack the joint's twist.
+            weights.append(weight * min(rest_norm / 0.15, 1.0) ** 2)
+
+        for child in self._children.get(joint, []):
+            if conf[child] > 0:
+                _add(
+                    rest[child] - anchor_rest,
+                    positions[child],
+                    conf[child],
+                )
+        for li in landmarks_of.get(joint, []):
+            k = NUM_JOINTS + li
+            if conf[k] > 0:
+                _add(self._landmark_offsets[li], positions[k], conf[k])
+        if not sources:
+            return None
+        return (
+            np.asarray(sources),
+            np.asarray(targets),
+            np.asarray(weights),
+        )
+
+    def _residual(
+        self,
+        pose: BodyPose,
+        shape: ShapeParams,
+        observed: Keypoints3D,
+    ) -> float:
+        """RMS keypoint error of the fitted pose (cheap FK, no skinning)."""
+        from repro.body.skeleton import Skeleton
+
+        rest = rest_joint_positions()
+        if np.any(shape.betas):
+            rest = rest + shape_displacement(rest, shape.betas)
+        skeleton = Skeleton(rest_positions=rest)
+        joints, transforms = skeleton.forward(
+            pose.joint_rotations, pose.translation
+        )
+        model_kp = np.zeros((NUM_KEYPOINTS, 3))
+        model_kp[:NUM_JOINTS] = joints
+        parents = self._landmark_parents
+        rotations = transforms[parents][:, :3, :3]
+        model_kp[NUM_JOINTS:] = joints[parents] + np.einsum(
+            "nij,nj->ni", rotations, self._landmark_offsets
+        )
+        mask = observed.confidence > 0
+        if not mask.any():
+            return float("inf")
+        err = np.linalg.norm(
+            model_kp[mask] - observed.positions[mask], axis=1
+        )
+        return float(np.sqrt((err**2).mean()))
+
+
+def fit_shape_to_keypoints(
+    observed: Keypoints3D,
+    regularisation: float = 1.0,
+    num_betas: int = 10,
+) -> ShapeParams:
+    """Estimate shape coefficients from observed bone lengths.
+
+    Bone lengths are pose-invariant, so shape can be fit before (and
+    independently of) pose: linearise each bone length in the betas and
+    solve a ridge-regularised least squares.
+    """
+    if len(observed) != NUM_KEYPOINTS:
+        raise FittingError("keypoint count mismatch")
+    rest = rest_joint_positions()
+    bones = [
+        (child, parent)
+        for child, parent in enumerate(PARENTS)
+        if parent >= 0
+    ]
+
+    # Numerical Jacobian of bone lengths w.r.t. betas (linear model, so
+    # one evaluation per beta is exact).
+    def _lengths(betas: np.ndarray) -> np.ndarray:
+        joints = rest + shape_displacement(rest, betas)
+        return np.array(
+            [
+                np.linalg.norm(joints[c] - joints[p])
+                for c, p in bones
+            ]
+        )
+
+    base = _lengths(np.zeros(NUM_BETAS))
+    jacobian = np.zeros((len(bones), num_betas))
+    for b in range(num_betas):
+        unit = np.zeros(NUM_BETAS)
+        unit[b] = 1.0
+        jacobian[:, b] = _lengths(unit) - base
+
+    conf = observed.confidence
+    rows, rhs, weights = [], [], []
+    for row, (child, parent) in enumerate(bones):
+        if conf[child] > 0 and conf[parent] > 0:
+            length = np.linalg.norm(
+                observed.positions[child] - observed.positions[parent]
+            )
+            rows.append(row)
+            rhs.append(length - base[row])
+            weights.append(min(conf[child], conf[parent]))
+    if len(rows) < num_betas:
+        return ShapeParams.neutral()
+    a_matrix = jacobian[rows] * np.sqrt(np.asarray(weights))[:, None]
+    b_vector = np.asarray(rhs) * np.sqrt(np.asarray(weights))
+    lhs = a_matrix.T @ a_matrix + regularisation * np.eye(num_betas) * 1e-4
+    betas = np.linalg.solve(lhs, a_matrix.T @ b_vector)
+    full = np.zeros(NUM_BETAS)
+    full[:num_betas] = betas
+    return ShapeParams(betas=full)

@@ -1,0 +1,169 @@
+"""2D -> 3D keypoint lifting.
+
+The paper describes the two standard routes to 3D keypoints (§2.3):
+lifting 2D detections into 3D, or reading depth directly from an RGB-D
+sensor.  This module implements the lifting route: confidence-weighted
+multi-view triangulation (the deterministic equivalent of the learned
+lifters the paper cites), with a single-view fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.body.keypoints_def import NUM_KEYPOINTS
+from repro.errors import FittingError
+from repro.geometry.camera import Camera
+from repro.keypoints.detector2d import Keypoints2D
+
+__all__ = ["Keypoints3D", "triangulate", "MultiViewLifter"]
+
+
+@dataclass
+class Keypoints3D:
+    """3D keypoint estimates.
+
+    Attributes:
+        positions: (K, 3) world coordinates.
+        confidence: (K,) in [0, 1]; 0 = not recovered.
+        timestamp: source time.
+    """
+
+    positions: np.ndarray
+    confidence: np.ndarray
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        self.confidence = np.asarray(self.confidence, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise FittingError("positions must be (K, 3)")
+        if self.confidence.shape != (self.positions.shape[0],):
+            raise FittingError("confidence must be (K,)")
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        return self.confidence > 0
+
+
+def _ray_through_pixel(camera: Camera, uv: np.ndarray) -> tuple:
+    """World-space (origin, direction) of the ray through pixel ``uv``."""
+    intr = camera.intrinsics
+    x = (uv[0] - intr.cx) / intr.fx
+    y = -(uv[1] - intr.cy) / intr.fy
+    direction_cam = np.array([x, y, -1.0])
+    direction = camera.pose[:3, :3] @ direction_cam
+    direction /= np.linalg.norm(direction)
+    return camera.position, direction
+
+
+def triangulate(
+    cameras: List[Camera],
+    uvs: np.ndarray,
+    weights: np.ndarray,
+) -> tuple:
+    """Least-squares intersection of weighted pixel rays.
+
+    Solves for the 3D point minimising the weighted sum of squared
+    distances to each camera ray (the linear "midpoint" method, which
+    is what multi-view lifting reduces to with calibrated cameras).
+
+    Args:
+        cameras: one camera per observation.
+        uvs: (M, 2) pixel coordinates.
+        weights: (M,) observation weights (e.g. detection confidence).
+
+    Returns:
+        (point, residual): world point (3,) and RMS ray distance.
+
+    Raises:
+        FittingError: fewer than 2 usable observations or a degenerate
+            (near-parallel rays) configuration.
+    """
+    usable = [i for i, w in enumerate(weights) if w > 0]
+    if len(usable) < 2:
+        raise FittingError("triangulation needs at least 2 observations")
+    a_matrix = np.zeros((3, 3))
+    b_vector = np.zeros(3)
+    rays = []
+    for i in usable:
+        origin, direction = _ray_through_pixel(cameras[i], uvs[i])
+        projector = np.eye(3) - np.outer(direction, direction)
+        a_matrix += weights[i] * projector
+        b_vector += weights[i] * projector @ origin
+        rays.append((origin, direction, weights[i]))
+    # Rank check: parallel rays make the system singular.
+    if np.linalg.matrix_rank(a_matrix, tol=1e-9) < 3:
+        raise FittingError("degenerate ray configuration")
+    point = np.linalg.solve(a_matrix, b_vector)
+    residuals = []
+    for origin, direction, weight in rays:
+        offset = point - origin
+        perpendicular = offset - np.dot(offset, direction) * direction
+        residuals.append(weight * float(np.dot(perpendicular,
+                                                perpendicular)))
+    total_weight = sum(w for _, _, w in rays)
+    rms = float(np.sqrt(sum(residuals) / max(total_weight, 1e-12)))
+    return point, rms
+
+
+@dataclass(frozen=True)
+class MultiViewLifter:
+    """Lift per-view 2D detections to 3D by triangulation.
+
+    Attributes:
+        min_views: observations required per keypoint.
+        max_residual: reject triangulations whose RMS ray distance
+            (metres) exceeds this — catches outlier 2D detections.
+        lift_latency: simulated model latency (seconds) for latency
+            accounting (learned lifters are not free).
+    """
+
+    min_views: int = 2
+    max_residual: float = 0.10
+    lift_latency: float = 0.010
+
+    def lift(
+        self,
+        detections: List[Keypoints2D],
+        cameras: List[Camera],
+    ) -> Keypoints3D:
+        """Triangulate every keypoint visible in enough views."""
+        if len(detections) != len(cameras):
+            raise FittingError("one camera per detection set required")
+        if not detections:
+            raise FittingError("no detections to lift")
+        n_views = len(detections)
+        positions = np.zeros((NUM_KEYPOINTS, 3))
+        confidence = np.zeros(NUM_KEYPOINTS)
+        for k in range(NUM_KEYPOINTS):
+            uvs = np.array([d.uv[k] for d in detections])
+            weights = np.array([d.confidence[k] for d in detections])
+            if (weights > 0).sum() < self.min_views:
+                continue
+            try:
+                point, residual = triangulate(cameras, uvs, weights)
+            except FittingError:
+                continue
+            if residual > self.max_residual:
+                continue
+            positions[k] = point
+            # Confidence grows with agreeing views, shrinks with residual.
+            strength = weights[weights > 0].mean()
+            agreement = 1.0 - min(residual / self.max_residual, 1.0)
+            coverage = (weights > 0).sum() / n_views
+            confidence[k] = float(
+                np.clip(strength * (0.5 + 0.5 * agreement) *
+                        (0.5 + 0.5 * coverage), 0.0, 1.0)
+            )
+        return Keypoints3D(
+            positions=positions,
+            confidence=confidence,
+            timestamp=detections[0].timestamp,
+        )

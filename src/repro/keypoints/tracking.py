@@ -1,0 +1,157 @@
+"""Temporal keypoint tracking and smoothing.
+
+Raw per-frame detections jitter and drop out; live systems run a
+temporal filter before fitting.  We implement a One-Euro-style
+adaptive exponential filter (light smoothing at speed, heavy smoothing
+at rest) with constant-velocity prediction to bridge dropped keypoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.body.keypoints_def import NUM_KEYPOINTS
+from repro.errors import FittingError
+from repro.keypoints.lifter import Keypoints3D
+
+__all__ = ["KeypointTracker", "PoseSmoother"]
+
+
+@dataclass
+class PoseSmoother:
+    """Exponential smoothing over fitted pose *parameters*.
+
+    Keypoint-level filtering cannot remove the twist jitter the
+    closed-form fit introduces at weakly constrained joints, so live
+    systems additionally smooth in parameter space: each frame's fit is
+    slerped toward the previous smoothed pose.
+
+    Attributes:
+        alpha: weight of the new observation in (0, 1]; smaller is
+            smoother (and laggier).
+    """
+
+    alpha: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise FittingError("alpha must be in (0, 1]")
+        self._state = None
+
+    def reset(self) -> None:
+        self._state = None
+
+    def update(self, pose):
+        """Feed one fitted pose, get the smoothed pose."""
+        if self._state is None:
+            self._state = pose.copy()
+        else:
+            self._state = self._state.interpolate(pose, self.alpha)
+        return self._state.copy()
+
+
+@dataclass
+class KeypointTracker:
+    """Stateful temporal filter over keypoint streams.
+
+    Attributes:
+        min_cutoff: baseline smoothing cutoff frequency (Hz) — lower is
+            smoother at rest.
+        beta: speed coefficient — larger lets fast motion pass through.
+        derivative_cutoff: cutoff (Hz) for the internal speed estimate.
+        max_prediction_frames: how long a dropped keypoint keeps being
+            predicted before it is reported as lost.
+    """
+
+    min_cutoff: float = 1.5
+    beta: float = 0.3
+    derivative_cutoff: float = 1.0
+    max_prediction_frames: int = 5
+
+    def __post_init__(self) -> None:
+        if self.min_cutoff <= 0 or self.derivative_cutoff <= 0:
+            raise FittingError("cutoff frequencies must be positive")
+        self._positions = np.zeros((NUM_KEYPOINTS, 3))
+        self._velocities = np.zeros((NUM_KEYPOINTS, 3))
+        self._initialised = np.zeros(NUM_KEYPOINTS, dtype=bool)
+        self._missing_count = np.zeros(NUM_KEYPOINTS, dtype=np.int64)
+        self._last_time: float = 0.0
+        self._has_history = False
+
+    @staticmethod
+    def _alpha(cutoff: float, dt: float) -> float:
+        tau = 1.0 / (2.0 * np.pi * cutoff)
+        return 1.0 / (1.0 + tau / dt)
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self.__post_init__()
+
+    def update(self, observation: Keypoints3D) -> Keypoints3D:
+        """Feed one frame of detections, get the filtered estimate.
+
+        Keypoints missing from the observation are extrapolated at
+        constant velocity for up to ``max_prediction_frames`` frames
+        (with decaying confidence), then reported lost.
+        """
+        if len(observation) != NUM_KEYPOINTS:
+            raise FittingError("keypoint count mismatch")
+        dt = observation.timestamp - self._last_time
+        if not self._has_history or dt <= 0:
+            dt = 1.0 / 30.0
+        self._last_time = observation.timestamp
+        self._has_history = True
+
+        out_positions = np.zeros((NUM_KEYPOINTS, 3))
+        out_confidence = np.zeros(NUM_KEYPOINTS)
+
+        observed = observation.confidence > 0
+        for k in range(NUM_KEYPOINTS):
+            if observed[k]:
+                out_positions[k], out_confidence[k] = self._filter_one(
+                    k,
+                    observation.positions[k],
+                    observation.confidence[k],
+                    dt,
+                )
+                self._missing_count[k] = 0
+            elif (
+                self._initialised[k]
+                and self._missing_count[k] < self.max_prediction_frames
+            ):
+                self._missing_count[k] += 1
+                self._positions[k] += self._velocities[k] * dt
+                out_positions[k] = self._positions[k]
+                out_confidence[k] = 0.3 * (
+                    1.0 - self._missing_count[k] / self.max_prediction_frames
+                )
+            else:
+                self._initialised[k] = False
+        return Keypoints3D(
+            positions=out_positions,
+            confidence=out_confidence,
+            timestamp=observation.timestamp,
+        )
+
+    def _filter_one(
+        self, k: int, position: np.ndarray, confidence: float, dt: float
+    ) -> tuple:
+        if not self._initialised[k]:
+            self._positions[k] = position
+            self._velocities[k] = 0.0
+            self._initialised[k] = True
+            return position.copy(), confidence
+        raw_velocity = (position - self._positions[k]) / dt
+        alpha_d = self._alpha(self.derivative_cutoff, dt)
+        self._velocities[k] = (
+            alpha_d * raw_velocity + (1.0 - alpha_d) * self._velocities[k]
+        )
+        speed = float(np.linalg.norm(self._velocities[k]))
+        cutoff = self.min_cutoff + self.beta * speed
+        alpha = self._alpha(cutoff, dt)
+        self._positions[k] = (
+            alpha * position + (1.0 - alpha) * self._positions[k]
+        )
+        return self._positions[k].copy(), confidence

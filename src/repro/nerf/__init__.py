@@ -1,0 +1,36 @@
+"""Image-based semantics: NumPy NeRF, volume rendering, training,
+slimmable rate adaptation."""
+
+from repro.nerf.encoding import PositionalEncoding
+from repro.nerf.field import RadianceField
+from repro.nerf.mlp import SlimmableMLP
+from repro.nerf.render import (
+    RenderConfig,
+    composite,
+    composite_backward,
+    render_image,
+    render_rays,
+)
+from repro.nerf.slimmable import (
+    DEFAULT_TIERS,
+    ResolutionTier,
+    SlimmablePolicy,
+)
+from repro.nerf.train import NeRFTrainer, TrainingReport, changed_pixel_mask
+
+__all__ = [
+    "DEFAULT_TIERS",
+    "NeRFTrainer",
+    "PositionalEncoding",
+    "RadianceField",
+    "RenderConfig",
+    "ResolutionTier",
+    "SlimmableMLP",
+    "SlimmablePolicy",
+    "TrainingReport",
+    "changed_pixel_mask",
+    "composite",
+    "composite_backward",
+    "render_image",
+    "render_rays",
+]

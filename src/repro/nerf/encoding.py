@@ -1,0 +1,50 @@
+"""Positional (Fourier feature) encoding.
+
+NeRF's MLP cannot represent high-frequency detail from raw coordinates;
+the standard fix is to lift inputs through sinusoids of geometrically
+increasing frequency before the first layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SemHoloError
+
+__all__ = ["PositionalEncoding"]
+
+
+class PositionalEncoding:
+    """Map (N, D) coordinates to (N, D * (2L + 1)) Fourier features.
+
+    Args:
+        num_frequencies: L, the number of octaves.
+        include_input: prepend the raw coordinates.
+    """
+
+    def __init__(
+        self, num_frequencies: int = 6, include_input: bool = True
+    ) -> None:
+        if num_frequencies < 1:
+            raise SemHoloError("num_frequencies must be positive")
+        self.num_frequencies = num_frequencies
+        self.include_input = include_input
+        self._frequencies = (2.0 ** np.arange(num_frequencies)) * np.pi
+
+    def output_dim(self, input_dim: int) -> int:
+        base = input_dim if self.include_input else 0
+        return base + input_dim * 2 * self.num_frequencies
+
+    def encode(self, coordinates: np.ndarray) -> np.ndarray:
+        """Encode coordinates; rows are points."""
+        coordinates = np.atleast_2d(
+            np.asarray(coordinates, dtype=np.float64)
+        )
+        scaled = coordinates[:, :, None] * self._frequencies[None, None]
+        features = [np.sin(scaled), np.cos(scaled)]
+        stacked = np.concatenate(features, axis=2).reshape(
+            coordinates.shape[0], -1
+        )
+        if self.include_input:
+            return np.concatenate([coordinates, stacked], axis=1)
+        return stacked

@@ -1,0 +1,117 @@
+"""The neural radiance field: an MLP from encoded position to
+(RGB, density)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SemHoloError
+from repro.nerf.encoding import PositionalEncoding
+from repro.nerf.mlp import SlimmableMLP
+
+__all__ = ["RadianceField"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
+
+
+class RadianceField:
+    """An emission-absorption field over a normalised scene box.
+
+    Args:
+        scene_min / scene_max: axis-aligned bounds; queries are
+            normalised into [-1, 1] before encoding.
+        num_frequencies: positional-encoding octaves.
+        hidden_width / hidden_layers: MLP size.
+        seed: init seed.
+    """
+
+    def __init__(
+        self,
+        scene_min,
+        scene_max,
+        num_frequencies: int = 6,
+        hidden_width: int = 64,
+        hidden_layers: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.scene_min = np.asarray(scene_min, dtype=np.float64)
+        self.scene_max = np.asarray(scene_max, dtype=np.float64)
+        if np.any(self.scene_max <= self.scene_min):
+            raise SemHoloError("scene_max must exceed scene_min")
+        self.encoding = PositionalEncoding(num_frequencies)
+        self.mlp = SlimmableMLP(
+            input_dim=self.encoding.output_dim(3),
+            output_dim=4,  # rgb + density
+            hidden_width=hidden_width,
+            hidden_layers=hidden_layers,
+            seed=seed,
+        )
+
+    def _normalise(self, points: np.ndarray) -> np.ndarray:
+        span = self.scene_max - self.scene_min
+        return 2.0 * (points - self.scene_min) / span - 1.0
+
+    def query(
+        self,
+        points: np.ndarray,
+        width_fraction: float = 1.0,
+        remember: bool = False,
+    ) -> tuple:
+        """Evaluate the field.
+
+        Args:
+            points: (N, 3) world coordinates.
+            width_fraction: slimmable width.
+            remember: cache for backprop.
+
+        Returns:
+            (rgb, sigma, raw): colours (N, 3) in [0, 1], densities (N,)
+            >= 0, and the raw MLP output needed for gradient chaining.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        encoded = self.encoding.encode(self._normalise(points))
+        raw = self.mlp.forward(
+            encoded, width_fraction=width_fraction, remember=remember
+        )
+        rgb = _sigmoid(raw[:, :3])
+        sigma = _softplus(raw[:, 3])
+        return rgb, sigma, raw
+
+    def backward_from_raw(
+        self,
+        raw: np.ndarray,
+        grad_rgb: np.ndarray,
+        grad_sigma: np.ndarray,
+    ) -> list:
+        """Chain activation gradients into the MLP backward pass.
+
+        Args:
+            raw: the raw output returned by :meth:`query` (with
+                ``remember=True``).
+            grad_rgb: (N, 3) dL/d rgb.
+            grad_sigma: (N,) dL/d sigma.
+        """
+        rgb = _sigmoid(raw[:, :3])
+        grad_raw = np.zeros_like(raw)
+        grad_raw[:, :3] = grad_rgb * rgb * (1.0 - rgb)
+        grad_raw[:, 3] = grad_sigma * _sigmoid(raw[:, 3])
+        return self.mlp.backward(grad_raw)
+
+    def copy(self) -> "RadianceField":
+        clone = RadianceField(
+            self.scene_min,
+            self.scene_max,
+            num_frequencies=self.encoding.num_frequencies,
+            hidden_width=self.mlp.hidden_width,
+            hidden_layers=self.mlp.hidden_layers,
+        )
+        clone.mlp = self.mlp.copy()
+        return clone

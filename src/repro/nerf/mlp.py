@@ -1,0 +1,228 @@
+"""A slimmable multilayer perceptron with manual backprop and Adam.
+
+This is the learning substrate of image-based semantics: pure NumPy so
+it runs anywhere, with hand-derived gradients (no autograd available
+offline).  "Slimmable" means any forward/backward pass can run at a
+fractional width — the first ``fraction * width`` units of every hidden
+layer — which is how §3.2 proposes matching model capacity to the
+transmitted image resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SemHoloError
+
+__all__ = ["SlimmableMLP"]
+
+
+@dataclass
+class _Layer:
+    weight: np.ndarray  # (out, in)
+    bias: np.ndarray  # (out,)
+    m_weight: np.ndarray
+    v_weight: np.ndarray
+    m_bias: np.ndarray
+    v_bias: np.ndarray
+
+
+class SlimmableMLP:
+    """ReLU MLP supporting width-sliced execution.
+
+    Args:
+        input_dim: input feature size.
+        output_dim: output size (not slimmable — the head always has
+            full output width, fed by the active hidden slice).
+        hidden_width: full width of each hidden layer.
+        hidden_layers: number of hidden layers.
+        seed: weight init seed.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        hidden_width: int = 64,
+        hidden_layers: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if min(input_dim, output_dim, hidden_width, hidden_layers) < 1:
+            raise SemHoloError("all MLP dimensions must be positive")
+        self.input_dim = input_dim
+        self.output_dim = output_dim
+        self.hidden_width = hidden_width
+        self.hidden_layers = hidden_layers
+        rng = np.random.default_rng(seed)
+        dims = (
+            [input_dim]
+            + [hidden_width] * hidden_layers
+            + [output_dim]
+        )
+        self.layers: List[_Layer] = []
+        for fan_in, fan_out in zip(dims, dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            weight = rng.normal(0.0, scale, size=(fan_out, fan_in))
+            self.layers.append(
+                _Layer(
+                    weight=weight,
+                    bias=np.zeros(fan_out),
+                    m_weight=np.zeros_like(weight),
+                    v_weight=np.zeros_like(weight),
+                    m_bias=np.zeros(fan_out),
+                    v_bias=np.zeros(fan_out),
+                )
+            )
+        self._adam_step = 0
+        self._cache: Optional[list] = None
+        self._cache_width: Optional[int] = None
+
+    def num_parameters(self, width_fraction: float = 1.0) -> int:
+        """Parameter count of the sub-network at a width fraction."""
+        active = self._active_width(width_fraction)
+        dims = (
+            [self.input_dim]
+            + [active] * self.hidden_layers
+            + [self.output_dim]
+        )
+        return sum(
+            fan_out * fan_in + fan_out
+            for fan_in, fan_out in zip(dims, dims[1:])
+        )
+
+    def _active_width(self, width_fraction: float) -> int:
+        if not 0 < width_fraction <= 1:
+            raise SemHoloError("width_fraction must be in (0, 1]")
+        return max(1, int(round(self.hidden_width * width_fraction)))
+
+    def forward(
+        self,
+        inputs: np.ndarray,
+        width_fraction: float = 1.0,
+        remember: bool = False,
+    ) -> np.ndarray:
+        """Run the network (optionally at reduced width).
+
+        Args:
+            inputs: (N, input_dim).
+            width_fraction: hidden-width fraction in (0, 1].
+            remember: cache activations for a subsequent backward pass.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[1] != self.input_dim:
+            raise SemHoloError(
+                f"expected input dim {self.input_dim}, got {inputs.shape[1]}"
+            )
+        active = self._active_width(width_fraction)
+        activations = [inputs]
+        x = inputs
+        for i, layer in enumerate(self.layers):
+            in_slice = self.input_dim if i == 0 else active
+            out_slice = (
+                self.output_dim if i == len(self.layers) - 1 else active
+            )
+            w = layer.weight[:out_slice, :in_slice]
+            b = layer.bias[:out_slice]
+            x = x @ w.T + b
+            if i < len(self.layers) - 1:
+                x = np.maximum(x, 0.0)
+            activations.append(x)
+        if remember:
+            self._cache = activations
+            self._cache_width = active
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> list:
+        """Backprop a loss gradient; returns per-layer (dW, db).
+
+        Must follow a ``forward(..., remember=True)`` call with the same
+        width.  Gradients are only produced for the active slices.
+        """
+        if self._cache is None:
+            raise SemHoloError("backward called without a cached forward")
+        activations = self._cache
+        active = self._cache_width
+        grads = [None] * len(self.layers)
+        grad = np.asarray(grad_output, dtype=np.float64)
+        for i in reversed(range(len(self.layers))):
+            layer = self.layers[i]
+            in_slice = self.input_dim if i == 0 else active
+            out_slice = (
+                self.output_dim if i == len(self.layers) - 1 else active
+            )
+            pre_activation_input = activations[i]
+            if i < len(self.layers) - 1:
+                # activations[i+1] stores the post-ReLU value.
+                grad = grad * (activations[i + 1] > 0)
+            dw = grad.T @ pre_activation_input
+            db = grad.sum(axis=0)
+            grads[i] = (dw, db)
+            if i > 0:
+                grad = grad @ layer.weight[:out_slice, :in_slice]
+        return grads
+
+    def adam_update(
+        self,
+        grads: list,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        width_fraction: float = 1.0,
+    ) -> None:
+        """Apply one Adam step to the active parameter slices."""
+        active = self._active_width(width_fraction)
+        self._adam_step += 1
+        t = self._adam_step
+        for i, (layer, grad_pair) in enumerate(zip(self.layers, grads)):
+            if grad_pair is None:
+                continue
+            dw, db = grad_pair
+            in_slice = self.input_dim if i == 0 else active
+            out_slice = (
+                self.output_dim if i == len(self.layers) - 1 else active
+            )
+            w_slice = (slice(0, out_slice), slice(0, in_slice))
+            layer.m_weight[w_slice] = (
+                beta1 * layer.m_weight[w_slice] + (1 - beta1) * dw
+            )
+            layer.v_weight[w_slice] = (
+                beta2 * layer.v_weight[w_slice] + (1 - beta2) * dw**2
+            )
+            m_hat = layer.m_weight[w_slice] / (1 - beta1**t)
+            v_hat = layer.v_weight[w_slice] / (1 - beta2**t)
+            layer.weight[w_slice] -= (
+                learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+            )
+            layer.m_bias[:out_slice] = (
+                beta1 * layer.m_bias[:out_slice] + (1 - beta1) * db
+            )
+            layer.v_bias[:out_slice] = (
+                beta2 * layer.v_bias[:out_slice] + (1 - beta2) * db**2
+            )
+            mb_hat = layer.m_bias[:out_slice] / (1 - beta1**t)
+            vb_hat = layer.v_bias[:out_slice] / (1 - beta2**t)
+            layer.bias[:out_slice] -= (
+                learning_rate * mb_hat / (np.sqrt(vb_hat) + epsilon)
+            )
+
+    def copy(self) -> "SlimmableMLP":
+        """Deep copy (weights and optimiser state)."""
+        clone = SlimmableMLP(
+            self.input_dim,
+            self.output_dim,
+            self.hidden_width,
+            self.hidden_layers,
+        )
+        for mine, theirs in zip(self.layers, clone.layers):
+            theirs.weight = mine.weight.copy()
+            theirs.bias = mine.bias.copy()
+            theirs.m_weight = mine.m_weight.copy()
+            theirs.v_weight = mine.v_weight.copy()
+            theirs.m_bias = mine.m_bias.copy()
+            theirs.v_bias = mine.v_bias.copy()
+        clone._adam_step = self._adam_step
+        return clone

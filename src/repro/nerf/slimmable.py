@@ -1,0 +1,94 @@
+"""Slimmable image-semantics controller: resolution-matched sub-networks.
+
+§3.2's rate-adaptation design: one slimmable NeRF whose sub-network
+width is selected to match the incoming image resolution — narrower
+models for lower-resolution input, fine-tuning and inference both get
+faster, without storing one model per resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import SemHoloError
+from repro.net.abr import QualityLevel
+
+__all__ = ["ResolutionTier", "SlimmablePolicy"]
+
+
+@dataclass(frozen=True)
+class ResolutionTier:
+    """One image-resolution rung and the sub-network that serves it.
+
+    Attributes:
+        name: label ("180p", ...).
+        scale: image scale relative to the full sensor resolution.
+        width_fraction: slimmable width used at this tier.
+        bitrate_mbps: bandwidth the tier's image stream needs.
+    """
+
+    name: str
+    scale: float
+    width_fraction: float
+    bitrate_mbps: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1:
+            raise SemHoloError("scale must be in (0, 1]")
+        if not 0 < self.width_fraction <= 1:
+            raise SemHoloError("width_fraction must be in (0, 1]")
+
+
+DEFAULT_TIERS = (
+    ResolutionTier("quarter", scale=0.25, width_fraction=0.25,
+                   bitrate_mbps=2.0),
+    ResolutionTier("half", scale=0.5, width_fraction=0.5,
+                   bitrate_mbps=8.0),
+    ResolutionTier("full", scale=1.0, width_fraction=1.0,
+                   bitrate_mbps=30.0),
+)
+
+
+@dataclass
+class SlimmablePolicy:
+    """Pick a resolution tier from a bandwidth estimate.
+
+    Attributes:
+        tiers: the ladder, any order (sorted internally by bitrate).
+        safety: headroom factor on the estimate.
+    """
+
+    tiers: Sequence[ResolutionTier] = DEFAULT_TIERS
+    safety: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise SemHoloError("tier ladder is empty")
+        if not 0 < self.safety <= 1:
+            raise SemHoloError("safety must be in (0, 1]")
+        self.tiers = sorted(self.tiers, key=lambda t: t.bitrate_mbps)
+
+    def select(self, estimate_mbps: float) -> ResolutionTier:
+        """Highest tier whose bitrate fits under the safe estimate."""
+        budget = estimate_mbps * self.safety
+        chosen = self.tiers[0]
+        for tier in self.tiers:
+            if tier.bitrate_mbps <= budget:
+                chosen = tier
+        return chosen
+
+    def sandwich_fractions(self) -> List[float]:
+        """All widths, for sandwich-rule training of the one model."""
+        return [tier.width_fraction for tier in self.tiers]
+
+    def as_quality_ladder(self) -> List[QualityLevel]:
+        """The tiers as a generic ABR quality ladder."""
+        return [
+            QualityLevel(
+                name=tier.name,
+                bitrate_mbps=tier.bitrate_mbps,
+                quality_score=tier.scale,
+            )
+            for tier in self.tiers
+        ]

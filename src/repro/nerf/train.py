@@ -1,0 +1,234 @@
+"""NeRF training: cold-start pre-training and per-frame fine-tuning.
+
+§3.2's proposal: train a user-specific model once (a cold-start session
+of minutes), then during the call fine-tune on features extracted from
+the *changed pixels* of each new frame, instead of retraining from
+scratch.  Both paths are implemented, sharing one SGD core, so the
+ablation can measure the speedup directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.capture.render import RGBDFrame
+from repro.errors import SemHoloError
+from repro.nerf.field import RadianceField
+from repro.nerf.render import (
+    RenderConfig,
+    composite_backward,
+    render_image,
+    render_rays,
+)
+
+__all__ = ["TrainingReport", "NeRFTrainer", "changed_pixel_mask"]
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of one training run.
+
+    Attributes:
+        steps: optimisation steps taken.
+        seconds: wall-clock time.
+        final_loss: last mini-batch MSE.
+        loss_history: per-step losses.
+    """
+
+    steps: int
+    seconds: float
+    final_loss: float
+    loss_history: List[float] = field(default_factory=list)
+
+
+def changed_pixel_mask(
+    previous: RGBDFrame,
+    current: RGBDFrame,
+    threshold: float = 0.02,
+) -> np.ndarray:
+    """Pixels whose colour changed meaningfully between frames.
+
+    The fine-tuning step trains only on these (§3.2), exploiting the
+    observation that a meeting participant's appearance changes little
+    frame to frame.
+    """
+    if previous.rgb.shape != current.rgb.shape:
+        raise SemHoloError("frames must have the same size")
+    difference = np.abs(previous.rgb - current.rgb).max(axis=2)
+    return difference > threshold
+
+
+@dataclass
+class NeRFTrainer:
+    """Ray-sampling MSE trainer over posed RGB frames.
+
+    Attributes:
+        config: volume rendering parameters.
+        batch_rays: rays per optimisation step.
+        learning_rate: Adam step size.
+        seed: ray-sampling seed.
+    """
+
+    config: RenderConfig = field(
+        default_factory=lambda: RenderConfig(stratified=True)
+    )
+    batch_rays: int = 512
+    learning_rate: float = 5e-3
+    seed: int = 0
+
+    def _gather_rays(
+        self,
+        frames: Sequence[RGBDFrame],
+        masks: Optional[Sequence[np.ndarray]],
+        replay_fraction: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> tuple:
+        """Flatten eligible pixels of all frames into a ray pool.
+
+        With masks, a ``replay_fraction`` of the *unmasked* pixels is
+        mixed back in: fine-tuning a small shared MLP exclusively on
+        changed pixels catastrophically forgets the rest of the scene,
+        so live systems replay a sample of stable rays.
+        """
+        origins, directions, colors = [], [], []
+        for index, frame in enumerate(frames):
+            o, d = frame.camera.pixel_rays()
+            rgb = frame.rgb.reshape(-1, 3)
+            if masks is not None:
+                mask = np.asarray(masks[index], dtype=bool).ravel()
+                if mask.shape[0] != rgb.shape[0]:
+                    raise SemHoloError("mask size mismatch")
+                if replay_fraction > 0 and rng is not None:
+                    replay = (~mask) & (
+                        rng.random(mask.shape[0]) < replay_fraction
+                    )
+                    mask = mask | replay
+                o, d, rgb = o[mask], d[mask], rgb[mask]
+            origins.append(o)
+            directions.append(d)
+            colors.append(rgb)
+        origins = np.concatenate(origins)
+        if len(origins) == 0:
+            raise SemHoloError("no training rays (empty masks?)")
+        return (
+            origins,
+            np.concatenate(directions),
+            np.concatenate(colors),
+        )
+
+    def train(
+        self,
+        fld: RadianceField,
+        frames: Sequence[RGBDFrame],
+        steps: int = 300,
+        width_fraction: float = 1.0,
+        masks: Optional[Sequence[np.ndarray]] = None,
+        sandwich_fractions: Optional[Sequence[float]] = None,
+        replay_fraction: float = 0.2,
+    ) -> TrainingReport:
+        """Optimise ``fld`` against the frames.
+
+        Args:
+            fld: the field (modified in place).
+            frames: posed RGB(-D) frames; depth is unused (the field
+                learns geometry from multi-view colour alone).
+            steps: optimisation steps.
+            width_fraction: slimmable width to train at.
+            masks: optional per-frame pixel masks (fine-tuning on
+                changed pixels).
+            sandwich_fractions: if given, each step also trains these
+                additional widths on the same batch (the slimmable
+                "sandwich rule"), so sub-networks stay usable.
+            replay_fraction: share of unmasked pixels replayed during
+                masked fine-tuning (forgetting control).
+        """
+        if steps < 1:
+            raise SemHoloError("steps must be positive")
+        rng = np.random.default_rng(self.seed)
+        origins, directions, colors = self._gather_rays(
+            frames, masks, replay_fraction=replay_fraction, rng=rng
+        )
+        pool = len(origins)
+        history: List[float] = []
+        start = time.perf_counter()
+        for _ in range(steps):
+            pick = rng.integers(0, pool, size=min(self.batch_rays, pool))
+            batch_loss = self._step(
+                fld,
+                origins[pick],
+                directions[pick],
+                colors[pick],
+                width_fraction,
+                rng,
+            )
+            if sandwich_fractions:
+                for fraction in sandwich_fractions:
+                    if abs(fraction - width_fraction) < 1e-9:
+                        continue
+                    self._step(
+                        fld,
+                        origins[pick],
+                        directions[pick],
+                        colors[pick],
+                        fraction,
+                        rng,
+                    )
+            history.append(batch_loss)
+        seconds = time.perf_counter() - start
+        return TrainingReport(
+            steps=steps,
+            seconds=seconds,
+            final_loss=history[-1],
+            loss_history=history,
+        )
+
+    def _step(
+        self,
+        fld: RadianceField,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        targets: np.ndarray,
+        width_fraction: float,
+        rng: np.random.Generator,
+    ) -> float:
+        color, aux = render_rays(
+            fld,
+            origins,
+            directions,
+            self.config,
+            width_fraction=width_fraction,
+            rng=rng,
+            remember=True,
+        )
+        difference = color - targets
+        loss = float((difference**2).mean())
+        grad_color = 2.0 * difference / difference.size
+        grad_rgb, grad_sigma = composite_backward(grad_color, aux)
+        grads = fld.backward_from_raw(
+            aux["raw"], grad_rgb.reshape(-1, 3), grad_sigma.reshape(-1)
+        )
+        fld.mlp.adam_update(
+            grads,
+            learning_rate=self.learning_rate,
+            width_fraction=width_fraction,
+        )
+        return loss
+
+    def evaluate_psnr(
+        self,
+        fld: RadianceField,
+        frame: RGBDFrame,
+        width_fraction: float = 1.0,
+    ) -> float:
+        """PSNR (dB) of a rendered view against a reference frame."""
+        rendered = render_image(
+            fld, frame.camera, self.config, width_fraction=width_fraction
+        )
+        mse = float(((rendered - frame.rgb) ** 2).mean())
+        if mse <= 0:
+            return float("inf")
+        return float(10.0 * np.log10(1.0 / mse))

@@ -1,0 +1,49 @@
+"""Network substrate: links, traces, packets, estimation, ABR, edge compute."""
+
+from repro.net.abr import (
+    OracleRateController,
+    QualityLevel,
+    RateController,
+    ThroughputRateController,
+)
+from repro.net.bwe import EwmaEstimator, HarmonicMeanEstimator
+from repro.net.edge import (
+    A100,
+    HEADSET,
+    RTX3080,
+    DeviceProfile,
+    EdgeServer,
+    reconstruction_memory_gb,
+)
+from repro.net.link import DeliveryReport, NetworkLink
+from repro.net.packet import (
+    DEFAULT_MTU,
+    HEADER_BYTES,
+    Packet,
+    packetize,
+    reassemble,
+)
+from repro.net.trace import BandwidthTrace
+
+__all__ = [
+    "A100",
+    "BandwidthTrace",
+    "DEFAULT_MTU",
+    "DeliveryReport",
+    "DeviceProfile",
+    "EdgeServer",
+    "EwmaEstimator",
+    "HEADER_BYTES",
+    "HEADSET",
+    "HarmonicMeanEstimator",
+    "NetworkLink",
+    "OracleRateController",
+    "Packet",
+    "QualityLevel",
+    "RTX3080",
+    "RateController",
+    "ThroughputRateController",
+    "packetize",
+    "reassemble",
+    "reconstruction_memory_gb",
+]

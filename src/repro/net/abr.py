@@ -1,0 +1,91 @@
+"""Rate adaptation over a quality ladder.
+
+§3.2 calls for adjusting the transmitted image resolution to the
+predicted bandwidth.  The same machinery serves any pipeline with a
+quality ladder (image resolutions, mesh LODs, octree depths): an
+estimator feeds a controller that picks the highest rung that fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import NetworkError
+
+__all__ = ["QualityLevel", "RateController", "ThroughputRateController",
+           "OracleRateController"]
+
+
+@dataclass(frozen=True)
+class QualityLevel:
+    """One rung of a quality ladder.
+
+    Attributes:
+        name: label (e.g. "480p", "LOD2", "depth-8").
+        bitrate_mbps: sustained bitrate this rung needs.
+        quality_score: monotone quality proxy for QoE accounting.
+    """
+
+    name: str
+    bitrate_mbps: float
+    quality_score: float
+
+
+class RateController:
+    """Base class: pick a ladder rung for the next frame."""
+
+    def __init__(self, ladder: Sequence[QualityLevel]) -> None:
+        if not ladder:
+            raise NetworkError("quality ladder is empty")
+        self.ladder: List[QualityLevel] = sorted(
+            ladder, key=lambda level: level.bitrate_mbps
+        )
+
+    def select(self, estimate_mbps: float) -> QualityLevel:
+        raise NotImplementedError
+
+
+class ThroughputRateController(RateController):
+    """Pick the highest rung below ``safety`` x the estimate, with
+    switch damping (no more than one rung up per decision — down
+    switches are immediate, matching deployed ABR practice)."""
+
+    def __init__(
+        self,
+        ladder: Sequence[QualityLevel],
+        safety: float = 0.8,
+    ) -> None:
+        super().__init__(ladder)
+        if not 0 < safety <= 1:
+            raise NetworkError("safety must be in (0, 1]")
+        self.safety = safety
+        self._current_index: Optional[int] = None
+
+    def select(self, estimate_mbps: float) -> QualityLevel:
+        budget = estimate_mbps * self.safety
+        target = 0
+        for i, level in enumerate(self.ladder):
+            if level.bitrate_mbps <= budget:
+                target = i
+        if self.ladder[0].bitrate_mbps > budget:
+            target = 0
+        if self._current_index is None:
+            self._current_index = target
+        elif target > self._current_index:
+            self._current_index += 1  # damped upswitch
+        else:
+            self._current_index = target  # immediate downswitch
+        return self.ladder[self._current_index]
+
+
+class OracleRateController(RateController):
+    """Pick against the *true* capacity — the upper bound baselines
+    compare to in rate-adaptation ablations."""
+
+    def select(self, estimate_mbps: float) -> QualityLevel:
+        best = self.ladder[0]
+        for level in self.ladder:
+            if level.bitrate_mbps <= estimate_mbps:
+                best = level
+        return best

@@ -1,0 +1,83 @@
+"""Bandwidth estimation.
+
+Rate adaptation needs a capacity estimate built from what the receiver
+actually observed.  Both standard estimators are provided: exponentially
+weighted moving average and the harmonic mean over a sliding window
+(robust to outliers, used by MPC/Festive-style ABR).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+__all__ = ["EwmaEstimator", "HarmonicMeanEstimator"]
+
+
+@dataclass
+class EwmaEstimator:
+    """Exponentially weighted moving average of throughput samples.
+
+    Attributes:
+        alpha: weight of the newest sample.
+    """
+
+    alpha: float = 0.15
+    _estimate: float = field(default=0.0, init=False)
+    _primed: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise NetworkError("alpha must be in (0, 1]")
+
+    def update(self, mbps: float) -> float:
+        """Feed one throughput sample, get the new estimate."""
+        if mbps < 0:
+            raise NetworkError("throughput sample must be non-negative")
+        if not self._primed:
+            self._estimate = mbps
+            self._primed = True
+        else:
+            self._estimate = (
+                self.alpha * mbps + (1.0 - self.alpha) * self._estimate
+            )
+        return self._estimate
+
+    @property
+    def estimate_mbps(self) -> float:
+        return self._estimate
+
+
+@dataclass
+class HarmonicMeanEstimator:
+    """Harmonic mean over the last ``window`` samples.
+
+    The harmonic mean is dominated by the *low* samples, making the
+    estimator conservative under fluctuating capacity — the property
+    ABR wants so quality switches lag drops, not spikes.
+    """
+
+    window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise NetworkError("window must be positive")
+        self._samples: deque = deque(maxlen=self.window)
+
+    def update(self, mbps: float) -> float:
+        """Feed one throughput sample, get the new estimate."""
+        if mbps <= 0:
+            # Zero-throughput intervals are recorded as a tiny positive
+            # value so the harmonic mean collapses rather than dividing
+            # by zero.
+            mbps = 1e-3
+        self._samples.append(mbps)
+        return self.estimate_mbps
+
+    @property
+    def estimate_mbps(self) -> float:
+        if not self._samples:
+            return 0.0
+        return len(self._samples) / sum(1.0 / s for s in self._samples)

@@ -1,0 +1,178 @@
+"""The simulated network link.
+
+A single FIFO bottleneck link with a capacity trace, fixed propagation
+delay, jitter and random loss — the Internet path between the two edge
+servers in Figure 1.  Transmission is serialised (a frame queues behind
+the previous one), which is what makes oversized traditional frames
+blow the end-to-end latency budget at 30 FPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet, packetize, reassemble
+from repro.net.trace import BandwidthTrace
+
+__all__ = ["DeliveryReport", "NetworkLink"]
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of sending one frame over the link.
+
+    Attributes:
+        frame_id: frame identifier.
+        sent_time: when the frame entered the sender queue.
+        arrival_time: when the last packet arrived (inf if the frame
+            was lost).
+        wire_bytes: bytes on the wire including packet headers.
+        packets_sent / packets_lost: packet accounting.
+        delivered: True when every packet arrived (after retransmits if
+            the link is configured with them).
+        payload: the reassembled payload (None when lost).
+    """
+
+    frame_id: int
+    sent_time: float
+    arrival_time: float
+    wire_bytes: int
+    packets_sent: int
+    packets_lost: int
+    delivered: bool
+    payload: Optional[bytes] = None
+
+    @property
+    def latency(self) -> float:
+        """Queueing + transmission + propagation for this frame."""
+        return self.arrival_time - self.sent_time
+
+
+@dataclass
+class NetworkLink:
+    """FIFO bottleneck link.
+
+    Attributes:
+        trace: capacity over time.
+        propagation_delay: one-way delay (seconds).
+        jitter: std-dev of per-packet extra delay (seconds).
+        loss_rate: independent per-packet loss probability.
+        retransmit: recover lost packets with one RTT penalty each
+            (True models a reliable transport; False drops the frame).
+        mtu: packet payload size.
+        seed: RNG seed for loss/jitter.
+    """
+
+    trace: BandwidthTrace = field(
+        default_factory=lambda: BandwidthTrace.constant(100.0)
+    )
+    propagation_delay: float = 0.020
+    jitter: float = 0.002
+    loss_rate: float = 0.0
+    retransmit: bool = True
+    mtu: int = 1400
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay < 0 or self.jitter < 0:
+            raise NetworkError("delays must be non-negative")
+        if not 0 <= self.loss_rate < 1:
+            raise NetworkError("loss_rate must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+        self._busy_until = 0.0
+        self._reports: List[DeliveryReport] = []
+
+    def reset(self) -> None:
+        """Clear queue state and delivery history."""
+        self._rng = np.random.default_rng(self.seed)
+        self._busy_until = 0.0
+        self._reports = []
+
+    @property
+    def history(self) -> List[DeliveryReport]:
+        return list(self._reports)
+
+    def send_frame(
+        self, frame_id: int, data: bytes, now: float
+    ) -> DeliveryReport:
+        """Queue one frame for transmission at time ``now``.
+
+        Returns the delivery report; the link's internal clock advances
+        so later frames queue behind this one.
+        """
+        packets = packetize(frame_id, data, mtu=self.mtu)
+        start = max(now, self._busy_until)
+        clock = start
+        last_arrival = 0.0
+        wire_bytes = 0
+        lost = 0
+        delivered_packets: List[Packet] = []
+        for packet in packets:
+            transmit = self.trace.transmit_seconds(
+                packet.wire_bytes, clock
+            )
+            clock += transmit
+            wire_bytes += packet.wire_bytes
+            attempts = 1
+            while self._rng.random() < self.loss_rate:
+                lost += 1
+                if not self.retransmit:
+                    attempts = 0
+                    break
+                # One RTT to detect + retransmit serially.
+                clock += 2.0 * self.propagation_delay
+                retx = self.trace.transmit_seconds(
+                    packet.wire_bytes, clock
+                )
+                clock += retx
+                wire_bytes += packet.wire_bytes
+                attempts += 1
+            if attempts == 0:
+                continue
+            arrival = (
+                clock
+                + self.propagation_delay
+                + abs(self._rng.normal(0.0, self.jitter))
+                if self.jitter > 0
+                else clock + self.propagation_delay
+            )
+            last_arrival = max(last_arrival, arrival)
+            delivered_packets.append(packet)
+
+        self._busy_until = clock
+        complete = len(delivered_packets) == len(packets)
+        payload = reassemble(delivered_packets) if complete else None
+        report = DeliveryReport(
+            frame_id=frame_id,
+            sent_time=now,
+            arrival_time=last_arrival if complete else float("inf"),
+            wire_bytes=wire_bytes,
+            packets_sent=len(packets),
+            packets_lost=lost,
+            delivered=complete,
+            payload=payload,
+        )
+        self._reports.append(report)
+        return report
+
+    def throughput_mbps(self, window: float = 1e9) -> float:
+        """Delivered goodput (Mbps) over the most recent ``window`` secs."""
+        if not self._reports:
+            return 0.0
+        horizon = max(r.sent_time for r in self._reports) - window
+        delivered = [
+            r
+            for r in self._reports
+            if r.delivered and r.sent_time >= horizon
+        ]
+        if not delivered:
+            return 0.0
+        first = min(r.sent_time for r in delivered)
+        last = max(r.arrival_time for r in delivered)
+        span = max(last - first, 1e-6)
+        bits = sum(r.wire_bytes for r in delivered) * 8.0
+        return bits / span / 1e6

@@ -1,0 +1,81 @@
+"""Packetisation of semantic frames.
+
+Frames are split into MTU-sized packets for the link simulator, so loss
+and per-packet overhead behave like a real UDP/RTP transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import NetworkError
+
+__all__ = ["Packet", "packetize", "reassemble", "DEFAULT_MTU",
+           "HEADER_BYTES"]
+
+DEFAULT_MTU = 1400  # payload bytes per packet
+HEADER_BYTES = 40  # IP + UDP + RTP-ish framing overhead
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One wire packet.
+
+    Attributes:
+        frame_id: the frame this packet belongs to.
+        sequence: packet index within the frame.
+        total: packets in the frame.
+        payload: the data slice.
+    """
+
+    frame_id: int
+    sequence: int
+    total: int
+    payload: bytes
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire, including header overhead."""
+        return len(self.payload) + HEADER_BYTES
+
+
+def packetize(
+    frame_id: int, data: bytes, mtu: int = DEFAULT_MTU
+) -> List[Packet]:
+    """Split a frame payload into packets."""
+    if mtu <= 0:
+        raise NetworkError("mtu must be positive")
+    if not data:
+        raise NetworkError("cannot packetize an empty payload")
+    chunks = [data[i: i + mtu] for i in range(0, len(data), mtu)]
+    return [
+        Packet(
+            frame_id=frame_id,
+            sequence=i,
+            total=len(chunks),
+            payload=chunk,
+        )
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+def reassemble(packets: List[Packet]) -> bytes:
+    """Rebuild a frame payload from its packets.
+
+    Raises:
+        NetworkError: packets missing, duplicated, or from mixed frames.
+    """
+    if not packets:
+        raise NetworkError("no packets to reassemble")
+    frame_id = packets[0].frame_id
+    total = packets[0].total
+    if any(p.frame_id != frame_id or p.total != total for p in packets):
+        raise NetworkError("packets from mixed frames")
+    by_seq = {p.sequence: p for p in packets}
+    if len(by_seq) != len(packets):
+        raise NetworkError("duplicate packet sequence numbers")
+    if len(by_seq) != total:
+        missing = sorted(set(range(total)) - set(by_seq))
+        raise NetworkError(f"missing packets: {missing[:8]}")
+    return b"".join(by_seq[i].payload for i in range(total))

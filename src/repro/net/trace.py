@@ -1,0 +1,125 @@
+"""Bandwidth traces: time-varying link capacity.
+
+Rate adaptation (§3.2) only matters when capacity moves; traces supply
+deterministic, repeatable capacity-vs-time curves for the simulator,
+from flat links to random-walk cellular profiles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetworkError
+
+__all__ = ["BandwidthTrace"]
+
+
+@dataclass
+class BandwidthTrace:
+    """Piecewise-constant capacity over time.
+
+    Attributes:
+        times: segment start times (seconds), strictly increasing,
+            starting at 0.
+        mbps: capacity during each segment (megabits per second).
+    """
+
+    times: Sequence[float]
+    mbps: Sequence[float]
+
+    def __post_init__(self) -> None:
+        self.times = [float(t) for t in self.times]
+        self.mbps = [float(m) for m in self.mbps]
+        if len(self.times) != len(self.mbps) or not self.times:
+            raise NetworkError("trace needs matching times and rates")
+        if self.times[0] != 0.0:
+            raise NetworkError("trace must start at time 0")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise NetworkError("trace times must be strictly increasing")
+        if any(m <= 0 for m in self.mbps):
+            raise NetworkError("trace rates must be positive")
+
+    @classmethod
+    def constant(cls, mbps: float) -> "BandwidthTrace":
+        """A flat link."""
+        return cls(times=[0.0], mbps=[mbps])
+
+    @classmethod
+    def step(
+        cls, steps: List[Tuple[float, float]]
+    ) -> "BandwidthTrace":
+        """Explicit (time, mbps) steps."""
+        times = [t for t, _ in steps]
+        rates = [m for _, m in steps]
+        return cls(times=times, mbps=rates)
+
+    @classmethod
+    def random_walk(
+        cls,
+        mean_mbps: float,
+        duration: float,
+        interval: float = 1.0,
+        volatility: float = 0.25,
+        floor_mbps: float = 1.0,
+        seed: int = 0,
+    ) -> "BandwidthTrace":
+        """A mean-reverting random walk (cellular-like capacity)."""
+        if duration <= 0 or interval <= 0:
+            raise NetworkError("duration and interval must be positive")
+        rng = np.random.default_rng(seed)
+        times, rates = [], []
+        current = mean_mbps
+        t = 0.0
+        while t < duration:
+            times.append(t)
+            rates.append(max(current, floor_mbps))
+            # Mean-reverting multiplicative step.
+            current += 0.3 * (mean_mbps - current) + rng.normal(
+                0.0, volatility * mean_mbps
+            )
+            t += interval
+        return cls(times=times, mbps=rates)
+
+    def at(self, time: float) -> float:
+        """Capacity (Mbps) at ``time`` (clamped to the trace ends)."""
+        if time <= 0:
+            return self.mbps[0]
+        index = bisect_right(self.times, time) - 1
+        return self.mbps[max(index, 0)]
+
+    def transmit_seconds(self, num_bytes: int, start: float) -> float:
+        """Seconds to push ``num_bytes`` onto the link starting at ``start``.
+
+        Integrates across segment boundaries so long transfers see
+        capacity changes mid-flight.
+        """
+        if num_bytes < 0:
+            raise NetworkError("num_bytes must be non-negative")
+        remaining_bits = num_bytes * 8.0
+        now = max(start, 0.0)
+        elapsed = 0.0
+        guard = 0
+        while remaining_bits > 1e-9:
+            guard += 1
+            if guard > 100000:
+                raise NetworkError("transmit_seconds failed to converge")
+            rate = self.at(now) * 1e6  # bits/s
+            index = bisect_right(self.times, now) - 1
+            if index + 1 < len(self.times):
+                window = self.times[index + 1] - now
+            else:
+                window = float("inf")
+            bits_in_window = rate * window
+            if bits_in_window >= remaining_bits:
+                step = remaining_bits / rate
+                elapsed += step
+                remaining_bits = 0.0
+            else:
+                remaining_bits -= bits_in_window
+                elapsed += window
+                now += window
+        return elapsed

@@ -1,0 +1,25 @@
+"""Text-based semantics: captioning, text-to-3D, cells, deltas."""
+
+from repro.textsem.captioner import BodyCaptioner, TextFrame
+from repro.textsem.cells import CELLS, GLOBAL_CHANNEL, BodyCell, cell_of_joint
+from repro.textsem.delta import DeltaDecoder, DeltaEncoder, TextDelta
+from repro.textsem.generator import GeneratedBody, TextTo3DGenerator
+from repro.textsem.vocab import AXIS_WORDS, TIERS, AxisVocabulary, QualityTier
+
+__all__ = [
+    "AXIS_WORDS",
+    "AxisVocabulary",
+    "BodyCaptioner",
+    "BodyCell",
+    "CELLS",
+    "DeltaDecoder",
+    "DeltaEncoder",
+    "GLOBAL_CHANNEL",
+    "GeneratedBody",
+    "QualityTier",
+    "TIERS",
+    "TextDelta",
+    "TextFrame",
+    "TextTo3DGenerator",
+    "cell_of_joint",
+]

@@ -1,0 +1,105 @@
+"""Body-cell partition for multi-channel text semantics.
+
+§3.3 proposes partitioning the human model into cells, each described
+by its own text channel at its own quality level, plus a dedicated
+*global* channel carrying overall body pose so cell-local descriptions
+stay coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.body.skeleton import JOINT_INDEX, JOINT_NAMES
+from repro.errors import SemHoloError
+
+__all__ = ["BodyCell", "CELLS", "cell_of_joint", "GLOBAL_CHANNEL"]
+
+GLOBAL_CHANNEL = "global"
+
+
+@dataclass(frozen=True)
+class BodyCell:
+    """One partition cell.
+
+    Attributes:
+        name: channel name.
+        joints: joint names whose rotations this cell describes.
+        default_tier: quality tier used unless overridden.
+    """
+
+    name: str
+    joints: tuple
+    default_tier: str = "medium"
+
+
+def _hand_joints(side: str) -> tuple:
+    return tuple(
+        name
+        for name in JOINT_NAMES
+        if name.startswith(f"{side}_")
+        and any(f in name for f in ("index", "middle", "ring", "pinky",
+                                    "thumb"))
+    )
+
+
+CELLS: List[BodyCell] = [
+    BodyCell(
+        name="head",
+        joints=("neck", "head", "jaw", "left_eye", "right_eye"),
+        default_tier="high",
+    ),
+    BodyCell(
+        name="torso",
+        joints=("spine1", "spine2", "spine3", "left_collar",
+                "right_collar"),
+        default_tier="medium",
+    ),
+    BodyCell(
+        name="left_arm",
+        joints=("left_shoulder", "left_elbow", "left_wrist"),
+        default_tier="high",
+    ),
+    BodyCell(
+        name="right_arm",
+        joints=("right_shoulder", "right_elbow", "right_wrist"),
+        default_tier="high",
+    ),
+    BodyCell(name="left_hand", joints=_hand_joints("left"),
+             default_tier="low"),
+    BodyCell(name="right_hand", joints=_hand_joints("right"),
+             default_tier="low"),
+    BodyCell(
+        name="left_leg",
+        joints=("left_hip", "left_knee", "left_ankle", "left_foot"),
+        default_tier="medium",
+    ),
+    BodyCell(
+        name="right_leg",
+        joints=("right_hip", "right_knee", "right_ankle", "right_foot"),
+        default_tier="medium",
+    ),
+]
+
+_CELL_OF_JOINT: Dict[str, str] = {}
+for _cell in CELLS:
+    for _joint in _cell.joints:
+        if _joint in _CELL_OF_JOINT:
+            raise SemHoloError(f"joint {_joint} assigned to two cells")
+        if _joint not in JOINT_INDEX:
+            raise SemHoloError(f"cell references unknown joint {_joint}")
+        _CELL_OF_JOINT[_joint] = _cell.name
+# The pelvis is the global channel's job (root orientation).
+_UNASSIGNED = set(JOINT_NAMES) - set(_CELL_OF_JOINT) - {"pelvis"}
+if _UNASSIGNED:
+    raise SemHoloError(f"joints not assigned to any cell: {_UNASSIGNED}")
+
+
+def cell_of_joint(joint_name: str) -> str:
+    """The cell channel describing ``joint_name`` (pelvis -> global)."""
+    if joint_name == "pelvis":
+        return GLOBAL_CHANNEL
+    if joint_name not in _CELL_OF_JOINT:
+        raise SemHoloError(f"unknown joint {joint_name!r}")
+    return _CELL_OF_JOINT[joint_name]

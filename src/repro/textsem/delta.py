@@ -1,0 +1,147 @@
+"""Inter-frame delta encoding for text channels.
+
+§3.3: caption the whole body once, then for subsequent frames transmit
+only the channels whose content changed — exploiting the continuity of
+human motion to cut both bytes and (because unchanged cells skip the
+captioning/generation models) compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SemHoloError
+from repro.textsem.captioner import TextFrame
+
+__all__ = ["TextDelta", "DeltaEncoder", "DeltaDecoder"]
+
+
+@dataclass
+class TextDelta:
+    """Changed channels relative to a reference frame.
+
+    Attributes:
+        frame_index: this frame's number.
+        reference_index: the frame this delta applies on top of.
+        changed: channel -> new caption (only changed ones).
+        removed: channels no longer present.
+        is_keyframe: True when this delta carries every channel.
+    """
+
+    frame_index: int
+    reference_index: int
+    changed: Dict[str, str]
+    removed: tuple = ()
+    is_keyframe: bool = False
+    tiers: Dict[str, str] = field(default_factory=dict)
+
+    def total_bytes(self) -> int:
+        """Wire size of the delta."""
+        framing = 12  # frame ids + counts
+        payload = sum(
+            len(k.encode()) + 1 + len(v.encode()) + 1
+            for k, v in self.changed.items()
+        )
+        payload += sum(len(k.encode()) + 1 for k in self.removed)
+        return framing + payload
+
+
+class DeltaEncoder:
+    """Stateful sender-side delta encoder.
+
+    Args:
+        keyframe_interval: force a full keyframe this often (loss
+            recovery bound).
+    """
+
+    def __init__(self, keyframe_interval: int = 30) -> None:
+        if keyframe_interval < 1:
+            raise SemHoloError("keyframe_interval must be positive")
+        self.keyframe_interval = keyframe_interval
+        self._last: Optional[TextFrame] = None
+        self._since_keyframe = 0
+
+    def encode(self, frame: TextFrame) -> TextDelta:
+        """Encode one frame as a delta (or keyframe)."""
+        force_key = (
+            self._last is None
+            or self._since_keyframe >= self.keyframe_interval
+        )
+        if force_key:
+            delta = TextDelta(
+                frame_index=frame.frame_index,
+                reference_index=frame.frame_index,
+                changed=dict(frame.channels),
+                is_keyframe=True,
+                tiers=dict(frame.tiers),
+            )
+            self._since_keyframe = 0
+        else:
+            changed = {
+                name: text
+                for name, text in frame.channels.items()
+                if self._last.channels.get(name) != text
+            }
+            removed = tuple(
+                name
+                for name in self._last.channels
+                if name not in frame.channels
+            )
+            delta = TextDelta(
+                frame_index=frame.frame_index,
+                reference_index=self._last.frame_index,
+                changed=changed,
+                removed=removed,
+                tiers={
+                    name: frame.tiers[name]
+                    for name in changed
+                    if name in frame.tiers
+                },
+            )
+            self._since_keyframe += 1
+        self._last = frame
+        return delta
+
+
+class DeltaDecoder:
+    """Stateful receiver-side delta decoder."""
+
+    def __init__(self) -> None:
+        self._current: Optional[TextFrame] = None
+
+    def decode(self, delta: TextDelta) -> TextFrame:
+        """Apply a delta; returns the reconstructed full frame.
+
+        Raises:
+            SemHoloError: a non-keyframe delta arrives with no (or a
+                mismatched) reference state — the caller must request a
+                keyframe, exactly as a video decoder would.
+        """
+        if delta.is_keyframe:
+            self._current = TextFrame(
+                channels=dict(delta.changed),
+                frame_index=delta.frame_index,
+                tiers=dict(delta.tiers),
+            )
+            return self._current
+        if self._current is None:
+            raise SemHoloError("delta received before any keyframe")
+        if self._current.frame_index != delta.reference_index:
+            raise SemHoloError(
+                f"delta references frame {delta.reference_index} but "
+                f"decoder holds {self._current.frame_index}"
+            )
+        channels = dict(self._current.channels)
+        tiers = dict(self._current.tiers)
+        channels.update(delta.changed)
+        tiers.update(delta.tiers)
+        for name in delta.removed:
+            channels.pop(name, None)
+            tiers.pop(name, None)
+        self._current = TextFrame(
+            channels=channels,
+            frame_index=delta.frame_index,
+            tiers=tiers,
+        )
+        return self._current

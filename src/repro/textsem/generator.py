@@ -1,0 +1,205 @@
+"""Text -> 3D: the generator (receiver side of text semantics).
+
+Parses caption channels back into body parameters — global channel
+first, then cell-local channels relative to it (the two-step decoding
+§3.3 proposes to preserve overall-pose coherence) — and drives the
+parametric body to produce a point cloud or mesh.  The real systems it
+substitutes (text-to-2D diffusion + NeRF, Point-E) are documented in
+DESIGN.md; the information bottleneck (only words arrive) is identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.body.expression import EXPRESSION_NAMES, ExpressionParams
+from repro.body.model import BodyModel
+from repro.body.pose import BodyPose
+from repro.body.skeleton import JOINT_INDEX, NUM_JOINTS
+from repro.errors import SemHoloError
+from repro.geometry.pointcloud import PointCloud
+from repro.textsem.captioner import TextFrame, _AXES, _EXPRESSION_LEVELS
+from repro.textsem.cells import GLOBAL_CHANNEL
+from repro.textsem.vocab import TIERS, AxisVocabulary
+
+__all__ = ["GeneratedBody", "TextTo3DGenerator"]
+
+
+@dataclass
+class GeneratedBody:
+    """Output of text-driven reconstruction.
+
+    Attributes:
+        pose: decoded pose (bin centres).
+        expression: decoded expression (bin centres).
+        point_cloud: reconstructed point cloud.
+        seconds: wall-clock reconstruction time.
+    """
+
+    pose: BodyPose
+    expression: ExpressionParams
+    point_cloud: PointCloud
+    seconds: float
+
+
+class TextTo3DGenerator:
+    """Caption -> parameters -> geometry.
+
+    Args:
+        model: body model used for geometry synthesis (shared template).
+        points: point-cloud sample count.
+        generation_latency: simulated generative-model latency
+            (seconds/frame) added to latency accounting — text-to-3D
+            diffusion is the *most* expensive decoder in the
+            taxonomy (Point-E/Shap-E run for seconds to minutes per
+            object; 2.5 s is charitable).
+    """
+
+    def __init__(
+        self,
+        model: Optional[BodyModel] = None,
+        points: int = 20000,
+        generation_latency: float = 2.5,
+    ) -> None:
+        self.model = model or BodyModel()
+        self.points = points
+        self.generation_latency = generation_latency
+        self._vocabularies: Dict[str, Dict[str, AxisVocabulary]] = {
+            tier_name: {
+                axis: AxisVocabulary(axis, tier) for axis in _AXES
+            }
+            for tier_name, tier in TIERS.items()
+        }
+
+    def decode_parameters(
+        self, frame: TextFrame
+    ) -> tuple:
+        """Parse caption channels into (pose, expression).
+
+        Global channel is decoded first; unknown words raise
+        :class:`SemHoloError` (a corrupt channel must not silently
+        produce a plausible body).
+        """
+        rotations = np.zeros((NUM_JOINTS, 3))
+        translation = np.zeros(3)
+        expression = np.zeros(len(EXPRESSION_NAMES))
+
+        if GLOBAL_CHANNEL not in frame.channels:
+            raise SemHoloError("text frame missing the global channel")
+        translation, root = self._parse_global(
+            frame.channels[GLOBAL_CHANNEL]
+        )
+        rotations[JOINT_INDEX["pelvis"]] = root
+
+        for name, text in frame.channels.items():
+            if name == GLOBAL_CHANNEL:
+                continue
+            tier = frame.tiers.get(name, "medium")
+            if tier not in self._vocabularies:
+                raise SemHoloError(f"unknown tier {tier!r}")
+            self._parse_cell(
+                text, self._vocabularies[tier], rotations, expression
+            )
+
+        pose = BodyPose(
+            joint_rotations=rotations, translation=translation
+        )
+        return pose, ExpressionParams(coefficients=expression)
+
+    def generate(self, frame: TextFrame) -> GeneratedBody:
+        """Full reconstruction: caption -> parameters -> point cloud."""
+        start = time.perf_counter()
+        pose, expression = self.decode_parameters(frame)
+        state = self.model.forward(pose=pose, expression=expression)
+        cloud = state.mesh.sample_points(
+            self.points, rng=np.random.default_rng(frame.frame_index)
+        )
+        seconds = time.perf_counter() - start
+        return GeneratedBody(
+            pose=pose,
+            expression=expression,
+            point_cloud=cloud,
+            seconds=seconds,
+        )
+
+    def _parse_global(self, text: str) -> tuple:
+        tokens = text.split()
+        if not tokens or tokens[0] != "body":
+            raise SemHoloError("malformed global channel")
+        vocab = self._vocabularies["high"]
+        root = np.zeros(3)
+        translation = np.zeros(3)
+        i = 1
+        while i < len(tokens):
+            token = tokens[i]
+            if token in _AXES:
+                axis_index = _AXES.index(token)
+                root[axis_index] = vocab[token].decode(tokens[i + 1])
+                i += 2
+            elif token == "offset":
+                translation = (
+                    np.array([int(t) for t in tokens[i + 1: i + 4]])
+                    * 0.05
+                )
+                i += 4
+            else:
+                raise SemHoloError(
+                    f"unexpected global token {token!r}"
+                )
+        return translation, root
+
+    def _parse_cell(
+        self,
+        text: str,
+        vocab: Dict[str, AxisVocabulary],
+        rotations: np.ndarray,
+        expression: np.ndarray,
+    ) -> None:
+        body_part, _, face_part = text.partition(" | face: ")
+        if body_part.strip() != "relaxed":
+            for clause in body_part.split(";"):
+                tokens = clause.split()
+                if not tokens:
+                    continue
+                joint = tokens[0]
+                if joint not in JOINT_INDEX:
+                    raise SemHoloError(f"unknown joint {joint!r}")
+                if len(tokens) != 7:
+                    raise SemHoloError(
+                        f"malformed joint clause {clause!r}"
+                    )
+                for k, axis in enumerate(_AXES):
+                    if tokens[1 + 2 * k] != axis:
+                        raise SemHoloError(
+                            f"expected axis {axis} in {clause!r}"
+                        )
+                    rotations[JOINT_INDEX[joint], k] = vocab[axis].decode(
+                        tokens[2 + 2 * k]
+                    )
+        if face_part:
+            self._parse_expression(face_part, expression)
+
+    def _parse_expression(
+        self, text: str, expression: np.ndarray
+    ) -> None:
+        tokens = text.split()
+        if len(tokens) % 2:
+            raise SemHoloError("malformed face caption")
+        name_index = {n: i for i, n in enumerate(EXPRESSION_NAMES)}
+        for name, word in zip(tokens[::2], tokens[1::2]):
+            if name not in name_index:
+                raise SemHoloError(f"unknown expression {name!r}")
+            sign = 1.0
+            if word.startswith("inverse-"):
+                sign = -1.0
+                word = word[len("inverse-"):]
+            if word not in _EXPRESSION_LEVELS:
+                raise SemHoloError(f"unknown level {word!r}")
+            level = _EXPRESSION_LEVELS.index(word)
+            expression[name_index[name]] = (
+                sign * level / (len(_EXPRESSION_LEVELS) - 1)
+            )

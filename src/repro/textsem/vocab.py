@@ -1,0 +1,134 @@
+"""The pose-description vocabulary.
+
+Text semantics quantise continuous parameters into words.  Every
+continuous quantity (joint rotation axis, translation, expression
+coefficient) maps to a graded adverb from a fixed vocabulary, and every
+word maps back to its bin centre — the round trip is the text channel's
+quantisation error, which shrinks as the quality level (bin count)
+rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SemHoloError
+
+__all__ = ["QualityTier", "AxisVocabulary", "AXIS_WORDS", "TIERS"]
+
+# Direction word pairs per rotation axis (negative word, positive word).
+AXIS_WORDS: Dict[str, Tuple[str, str]] = {
+    "pitch": ("back", "fore"),
+    "yaw": ("right", "left"),
+    "roll": ("clockwise", "counterclockwise"),
+}
+
+# Magnitude adverbs, weakest to strongest.  A tier uses the first
+# ``(bins - 1) // 2`` of them per direction.
+_MAGNITUDES: List[str] = [
+    "barely",
+    "slightly",
+    "mildly",
+    "moderately",
+    "notably",
+    "strongly",
+    "sharply",
+    "extremely",
+]
+
+
+@dataclass(frozen=True)
+class QualityTier:
+    """A text-channel quality level.
+
+    Attributes:
+        name: tier label.
+        bins: odd number of quantisation bins per axis over the range.
+        angle_range: the +/- range (radians) the bins cover.
+    """
+
+    name: str
+    bins: int
+    angle_range: float = np.pi
+
+    def __post_init__(self) -> None:
+        if self.bins < 3 or self.bins % 2 == 0:
+            raise SemHoloError("bins must be an odd number >= 3")
+        if (self.bins - 1) // 2 > len(_MAGNITUDES):
+            raise SemHoloError("not enough magnitude words for tier")
+
+    @property
+    def step(self) -> float:
+        """Bin width in radians."""
+        return 2.0 * self.angle_range / (self.bins - 1)
+
+
+TIERS: Dict[str, QualityTier] = {
+    "low": QualityTier(name="low", bins=5),
+    "medium": QualityTier(name="medium", bins=9),
+    "high": QualityTier(name="high", bins=13),
+}
+
+
+class AxisVocabulary:
+    """Word <-> value mapping for one rotation axis at one tier."""
+
+    def __init__(self, axis: str, tier: QualityTier) -> None:
+        if axis not in AXIS_WORDS:
+            raise SemHoloError(f"unknown axis {axis!r}")
+        self.axis = axis
+        self.tier = tier
+        negative, positive = AXIS_WORDS[axis]
+        half = (tier.bins - 1) // 2
+        self._word_of_level: Dict[int, str] = {0: "neutral"}
+        for level in range(1, half + 1):
+            magnitude = _MAGNITUDES[level - 1]
+            self._word_of_level[level] = f"{magnitude}-{positive}"
+            self._word_of_level[-level] = f"{magnitude}-{negative}"
+        self._level_of_word = {
+            word: level for level, word in self._word_of_level.items()
+        }
+
+    def encode(self, value: float) -> str:
+        """Quantise a radian value to its word."""
+        return self._word_of_level[self.level_of(value)]
+
+    def level_of(self, value: float, previous: int = None,
+                 hysteresis: float = 0.0) -> int:
+        """Quantisation level of a value, optionally with hysteresis.
+
+        With ``previous`` given, the level only switches when the value
+        moves more than ``(0.5 + hysteresis) * step`` away from the
+        previous bin centre — a Schmitt trigger that keeps streamed
+        captions stable under estimation jitter (§3.3's inter-frame
+        continuity in practice).
+        """
+        half = (self.tier.bins - 1) // 2
+        level = int(np.clip(round(value / self.tier.step), -half, half))
+        if previous is not None and level != previous:
+            if abs(value - previous * self.tier.step) <= (
+                0.5 + hysteresis
+            ) * self.tier.step:
+                return int(previous)
+        return level
+
+    def word_of_level(self, level: int) -> str:
+        if level not in self._word_of_level:
+            raise SemHoloError(f"level {level} outside tier bins")
+        return self._word_of_level[level]
+
+    def decode(self, word: str) -> float:
+        """The bin centre (radians) of a word."""
+        if word not in self._level_of_word:
+            raise SemHoloError(
+                f"unknown {self.axis} word {word!r} at tier "
+                f"{self.tier.name}"
+            )
+        return self._level_of_word[word] * self.tier.step
+
+    @property
+    def words(self) -> List[str]:
+        return list(self._level_of_word)

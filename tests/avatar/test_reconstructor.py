@@ -1,0 +1,206 @@
+"""Tests for the implicit field and mesh reconstructors."""
+
+import numpy as np
+import pytest
+
+from repro.avatar.implicit import PosedBodyField
+from repro.avatar.pose2mesh import ModelFreeReconstructor
+from repro.avatar.reconstructor import KeypointMeshReconstructor
+from repro.avatar.temporal import TemporalReconstructor
+from repro.body.expression import ExpressionParams
+from repro.body.keypoints_def import NUM_KEYPOINTS
+from repro.body.motion import talking, waving
+from repro.body.pose import BodyPose
+from repro.body.shape import ShapeParams
+from repro.errors import PipelineError
+from repro.geometry.distance import chamfer_distance
+from repro.keypoints.lifter import Keypoints3D
+
+
+class TestPosedBodyField:
+    def test_rest_field_sign(self):
+        fld = PosedBodyField()
+        inside = fld(np.array([[0.0, 1.2, 0.0]]))  # torso centre
+        outside = fld(np.array([[0.0, 1.2, 1.0]]))
+        assert inside[0] < 0 < outside[0]
+
+    def test_pose_moves_field(self):
+        pose = BodyPose.identity().set_rotation("left_elbow",
+                                                [0, 0, 1.4])
+        rest = PosedBodyField()
+        posed = PosedBodyField(pose=pose)
+        forearm_point = np.array([[0.6, 1.4, 0.0]])
+        # In rest pose the forearm occupies this point; after bending
+        # the elbow it does not.
+        assert rest(forearm_point)[0] < 0.02
+        assert posed(forearm_point)[0] > 0.02
+
+    def test_bounds_cover_joints(self):
+        fld = PosedBodyField(pose=BodyPose.random(
+            np.random.default_rng(0)))
+        lo, hi = fld.bounds()
+        assert np.all(fld.joints >= lo) and np.all(fld.joints <= hi)
+
+    def test_shape_changes_field(self):
+        fld_neutral = PosedBodyField()
+        fld_tall = PosedBodyField(shape=ShapeParams(betas=[2.0]))
+        crown = np.array([[0.0, 1.74, 0.015]])
+        assert fld_tall(crown)[0] < fld_neutral(crown)[0]
+
+    def test_expression_warp_local(self):
+        expression = ExpressionParams.named(pout=1.0)
+        plain = PosedBodyField()
+        pouty = PosedBodyField(expression=expression)
+        lips = np.array([[0.0, 1.555, 0.095]])
+        hand = np.array([[0.7, 1.4, 0.0]])
+        assert pouty(lips)[0] < plain(lips)[0]  # lips pushed out
+        assert np.isclose(pouty(hand)[0], plain(hand)[0], atol=1e-9)
+
+
+class TestKeypointMeshReconstructor:
+    def test_produces_plausible_mesh(self):
+        rec = KeypointMeshReconstructor(resolution=48)
+        out = rec.reconstruct(BodyPose.identity())
+        assert out.mesh.num_faces > 1000
+        lo, hi = out.mesh.bounds()
+        assert 1.5 < hi[1] - lo[1] < 2.0
+
+    def test_higher_resolution_better_quality(self, body_model):
+        pose = talking(n_frames=3)[2].pose
+        truth = body_model.forward(pose).mesh
+        coarse = KeypointMeshReconstructor(resolution=32).reconstruct(
+            pose
+        )
+        fine = KeypointMeshReconstructor(resolution=96).reconstruct(
+            pose
+        )
+        d_coarse = chamfer_distance(coarse.mesh, truth, samples=4000)
+        d_fine = chamfer_distance(fine.mesh, truth, samples=4000)
+        assert d_fine < d_coarse
+
+    def test_fps_decreases_with_resolution(self):
+        pose = BodyPose.identity()
+        fast = KeypointMeshReconstructor(resolution=48).reconstruct(
+            pose
+        )
+        slow = KeypointMeshReconstructor(resolution=128).reconstruct(
+            pose
+        )
+        assert slow.seconds > fast.seconds
+        assert slow.fps < fast.fps
+
+    def test_expression_channels_zero_ignores_expression(self):
+        expression = ExpressionParams.named(pout=1.0)
+        rec = KeypointMeshReconstructor(resolution=48,
+                                        expression_channels=0)
+        with_expr = rec.reconstruct(expression=expression)
+        without = rec.reconstruct()
+        d = chamfer_distance(with_expr.mesh, without.mesh,
+                             samples=3000)
+        assert d < 0.02  # statistically identical
+
+    def test_invalid_resolution(self):
+        with pytest.raises(PipelineError):
+            KeypointMeshReconstructor(resolution=2)
+
+
+class TestTemporalReconstructor:
+    def test_warps_are_fast(self):
+        seq = talking(n_frames=6)
+        rec = TemporalReconstructor(
+            base=KeypointMeshReconstructor(resolution=64)
+        )
+        results = [rec.reconstruct(f.pose) for f in seq]
+        assert rec.keyframes >= 1
+        assert rec.warps >= 1
+        key_time = results[0].seconds
+        warp_times = [r.seconds for r in results[1:] if r.seconds <
+                      key_time / 2]
+        assert warp_times, "no fast warp frames observed"
+
+    def test_large_pose_jump_forces_keyframe(self):
+        rec = TemporalReconstructor(
+            base=KeypointMeshReconstructor(resolution=48),
+            pose_threshold=0.05,
+        )
+        rec.reconstruct(BodyPose.identity())
+        big = BodyPose.random(np.random.default_rng(1))
+        rec.reconstruct(big)
+        assert rec.keyframes == 2
+
+    def test_warp_quality_close_to_full(self, body_model):
+        seq = waving(n_frames=4)
+        rec = TemporalReconstructor(
+            base=KeypointMeshReconstructor(resolution=64),
+            pose_threshold=10.0,  # force warping
+        )
+        rec.reconstruct(seq[0].pose)
+        warped = rec.reconstruct(seq[2].pose)
+        full = KeypointMeshReconstructor(resolution=64).reconstruct(
+            seq[2].pose
+        )
+        d = chamfer_distance(warped.mesh, full.mesh, samples=4000)
+        assert d < 0.03
+
+    def test_max_warp_frames(self):
+        rec = TemporalReconstructor(
+            base=KeypointMeshReconstructor(resolution=32),
+            max_warp_frames=2,
+            pose_threshold=10.0,
+        )
+        for _ in range(6):
+            rec.reconstruct(BodyPose.identity())
+        assert rec.keyframes == 2
+
+
+class TestModelFree:
+    def test_perfect_keypoints_reasonable_mesh(self, body_model):
+        pose = waving(n_frames=4)[3].pose
+        state = body_model.forward(pose)
+        observed = Keypoints3D(
+            positions=state.keypoints,
+            confidence=np.ones(NUM_KEYPOINTS),
+        )
+        rec = ModelFreeReconstructor(template=body_model.template)
+        out = rec.reconstruct(observed)
+        d = chamfer_distance(out.mesh, state.mesh, samples=4000)
+        assert d < 0.04
+
+    def test_single_frame_jitter(self, body_model, rng):
+        # The model-free path has no temporal model: independent noise
+        # on static keypoints produces frame-to-frame vertex jitter.
+        state = body_model.forward()
+        rec = ModelFreeReconstructor(template=body_model.template)
+        meshes = []
+        for _ in range(2):
+            noisy = Keypoints3D(
+                positions=state.keypoints + rng.normal(
+                    0, 0.01, state.keypoints.shape
+                ),
+                confidence=np.ones(NUM_KEYPOINTS),
+            )
+            meshes.append(rec.reconstruct(noisy).mesh)
+        jitter = np.linalg.norm(
+            meshes[0].vertices - meshes[1].vertices, axis=1
+        ).mean()
+        assert jitter > 0.003
+
+    def test_dropped_keypoints_tolerated(self, body_model):
+        state = body_model.forward()
+        confidence = np.ones(NUM_KEYPOINTS)
+        confidence[60:] = 0.0
+        observed = Keypoints3D(
+            positions=state.keypoints, confidence=confidence
+        )
+        rec = ModelFreeReconstructor(template=body_model.template)
+        out = rec.reconstruct(observed)
+        assert np.isfinite(out.mesh.vertices).all()
+
+    def test_all_dropped_raises(self, body_model):
+        observed = Keypoints3D(
+            positions=np.zeros((NUM_KEYPOINTS, 3)),
+            confidence=np.zeros(NUM_KEYPOINTS),
+        )
+        rec = ModelFreeReconstructor(template=body_model.template)
+        with pytest.raises(PipelineError):
+            rec.reconstruct(observed)

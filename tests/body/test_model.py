@@ -1,0 +1,158 @@
+"""Tests for the template and the full body model."""
+
+import numpy as np
+import pytest
+
+from repro.body.expression import ExpressionParams
+from repro.body.keypoints_def import (
+    KEYPOINT_NAMES,
+    NUM_KEYPOINTS,
+    keypoint_rest_positions,
+)
+from repro.body.model import BodyModel
+from repro.body.pose import BodyPose
+from repro.body.shape import ShapeParams
+from repro.body.skeleton import JOINT_INDEX, NUM_JOINTS
+from repro.body.template import build_template
+from repro.errors import GeometryError
+
+
+class TestTemplate:
+    def test_vertex_budget(self, body_model):
+        # Within 15% of the requested budget.
+        assert abs(body_model.num_vertices - 4000) / 4000 < 0.15
+
+    def test_skinning_weights_normalised(self, body_model):
+        w = body_model.template.skin_weights
+        assert np.allclose(w.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(w >= 0)
+
+    def test_skin_indices_valid(self, body_model):
+        idx = body_model.template.skin_indices
+        assert idx.min() >= 0 and idx.max() < NUM_JOINTS
+
+    def test_template_cached(self):
+        a = build_template(resolution=48, target_vertices=2000)
+        b = build_template(resolution=48, target_vertices=2000)
+        assert a is b
+
+    def test_template_human_extent(self, body_model):
+        lo, hi = body_model.template.mesh.bounds()
+        assert 1.5 < hi[1] - lo[1] < 2.0  # ~1.7 m tall
+        assert 1.5 < hi[0] - lo[0] < 2.1  # T-pose arm span
+
+
+class TestKeypointDefinitions:
+    def test_count(self):
+        assert NUM_KEYPOINTS == 127
+
+    def test_unique_names(self):
+        assert len(set(KEYPOINT_NAMES)) == NUM_KEYPOINTS
+
+    def test_rest_positions_near_body(self):
+        positions = keypoint_rest_positions()
+        assert positions[:, 1].min() > -0.1
+        assert positions[:, 1].max() < 1.8
+
+    def test_joints_prefix(self):
+        assert KEYPOINT_NAMES[:NUM_JOINTS][0] == "pelvis"
+
+
+class TestForward:
+    def test_rest_forward_matches_template(self, body_model):
+        state = body_model.forward()
+        assert np.allclose(
+            state.mesh.vertices, body_model.template.mesh.vertices,
+            atol=1e-9,
+        )
+
+    def test_keypoints_shape(self, body_model):
+        state = body_model.forward()
+        assert state.keypoints.shape == (NUM_KEYPOINTS, 3)
+
+    def test_translation_moves_everything(self, body_model):
+        pose = BodyPose.identity()
+        pose.translation[:] = [0.5, 0.0, -0.3]
+        state = body_model.forward(pose)
+        rest = body_model.forward()
+        assert np.allclose(
+            state.mesh.vertices, rest.mesh.vertices + [0.5, 0, -0.3],
+            atol=1e-9,
+        )
+        assert np.allclose(
+            state.keypoints, rest.keypoints + [0.5, 0, -0.3],
+            atol=1e-9,
+        )
+
+    def test_elbow_bend_moves_forearm_vertices(self, body_model):
+        pose = BodyPose.identity().set_rotation("left_elbow",
+                                                [0, 0, 1.3])
+        state = body_model.forward(pose)
+        rest = body_model.forward()
+        moved = np.linalg.norm(
+            state.mesh.vertices - rest.mesh.vertices, axis=1
+        )
+        forearm = rest.mesh.vertices[:, 0] > 0.5  # beyond the elbow
+        torso = np.abs(rest.mesh.vertices[:, 0]) < 0.2
+        assert moved[forearm].mean() > 0.1
+        assert moved[torso].mean() < 0.01
+
+    def test_shape_changes_geometry_consistently(self, body_model):
+        shape = ShapeParams(betas=[2.0])  # taller
+        state = body_model.forward(shape=shape)
+        rest = body_model.forward()
+        assert state.mesh.vertices[:, 1].max() > \
+            rest.mesh.vertices[:, 1].max()
+        assert state.joints[JOINT_INDEX["head"]][1] > \
+            rest.joints[JOINT_INDEX["head"]][1]
+
+    def test_expression_moves_face_only(self, body_model):
+        expression = ExpressionParams.named(jaw_open=1.0, pout=1.0)
+        state = body_model.forward(expression=expression)
+        rest = body_model.forward()
+        moved = np.linalg.norm(
+            state.mesh.vertices - rest.mesh.vertices, axis=1
+        )
+        face = rest.mesh.vertices[:, 1] > 1.5
+        below_neck = rest.mesh.vertices[:, 1] < 1.35
+        assert moved[face].max() > 0.002
+        assert moved[below_neck].max() < 1e-6
+
+    def test_expression_rides_head_rotation(self, body_model):
+        # Expression applied in the rest frame must follow the head
+        # when it turns.
+        pose = BodyPose.identity().set_rotation("head", [0, 1.2, 0])
+        plain = body_model.forward(pose)
+        expressive = body_model.forward(
+            pose, expression=ExpressionParams.named(jaw_open=1.0)
+        )
+        moved = np.linalg.norm(
+            expressive.mesh.vertices - plain.mesh.vertices, axis=1
+        )
+        assert moved.max() > 0.003
+        # The displaced vertices sit on the (rotated) head.
+        hot = plain.mesh.vertices[moved > 0.003]
+        assert hot[:, 1].min() > 1.4
+
+    def test_validate_pose(self, body_model):
+        pose = BodyPose.identity()
+        pose.joint_rotations[3, 0] = np.nan
+        with pytest.raises(GeometryError):
+            body_model.validate_pose(pose)
+
+    def test_landmarks_track_parents(self, body_model):
+        pose = BodyPose.identity().set_rotation("head", [0, 0.9, 0])
+        state = body_model.forward(pose)
+        rest = body_model.forward()
+        nose = KEYPOINT_NAMES.index("nose_tip")
+        assert not np.allclose(state.keypoints[nose],
+                               rest.keypoints[nose])
+        # Distance from nose to head joint is preserved (rigid ride).
+        head = JOINT_INDEX["head"]
+        d_posed = np.linalg.norm(
+            state.keypoints[nose] - state.joints[head]
+        )
+        d_rest = np.linalg.norm(
+            rest.keypoints[nose] - rest.joints[head]
+        )
+        assert np.isclose(d_posed, d_rest, atol=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for synthetic motion generators."""
+
+import numpy as np
+import pytest
+
+from repro.body.motion import (
+    MotionSequence,
+    idle,
+    presenting,
+    talking,
+    walking,
+    waving,
+)
+from repro.errors import GeometryError
+
+GENERATORS = [talking, waving, walking, idle, presenting]
+
+
+class TestGeneratorContract:
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_frame_count_and_timing(self, generator):
+        seq = generator(n_frames=12, fps=30.0)
+        assert len(seq) == 12
+        assert np.isclose(seq[3].time, 3 / 30.0)
+        assert np.isclose(seq.duration, 12 / 30.0)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_deterministic(self, generator):
+        a = generator(n_frames=5, seed=7)
+        b = generator(n_frames=5, seed=7)
+        for fa, fb in zip(a, b):
+            assert np.allclose(fa.pose.joint_rotations,
+                               fb.pose.joint_rotations)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_poses_plausible(self, generator):
+        seq = generator(n_frames=20)
+        for frame in seq:
+            assert np.abs(frame.pose.joint_rotations).max() < 2.5
+            assert np.isfinite(frame.pose.joint_rotations).all()
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_temporal_continuity(self, generator):
+        seq = generator(n_frames=30, fps=30.0)
+        deltas = [
+            seq[i].pose.distance(seq[i + 1].pose)
+            for i in range(len(seq) - 1)
+        ]
+        # Human joints do not jump more than ~0.3 rad in 33 ms.
+        assert max(deltas) < 0.3
+
+
+class TestSpecificMotions:
+    def test_talking_moves_jaw(self):
+        seq = talking(n_frames=30)
+        jaw_angles = [frame.pose.rotation("jaw")[0] for frame in seq]
+        assert max(jaw_angles) - min(jaw_angles) > 0.05
+
+    def test_talking_has_pout_sometimes(self):
+        seq = talking(n_frames=60)
+        from repro.body.expression import EXPRESSION_NAMES
+
+        pout_index = EXPRESSION_NAMES.index("pout")
+        pouts = [f.expression.coefficients[pout_index] for f in seq]
+        assert max(pouts) > 0.3
+
+    def test_waving_oscillates_right_forearm(self):
+        seq = waving(n_frames=60)
+        angles = [f.pose.rotation("right_elbow")[2] for f in seq]
+        assert max(angles) - min(angles) > 0.5
+
+    def test_walking_alternates_legs(self):
+        seq = walking(n_frames=60)
+        left = np.array([f.pose.rotation("left_hip")[0] for f in seq])
+        right = np.array([f.pose.rotation("right_hip")[0] for f in seq])
+        # Anti-phase: strong negative correlation.
+        corr = np.corrcoef(left, right)[0, 1]
+        assert corr < -0.9
+
+    def test_idle_nearly_still(self):
+        seq = idle(n_frames=30)
+        deltas = [
+            seq[i].pose.distance(seq[i + 1].pose)
+            for i in range(len(seq) - 1)
+        ]
+        assert max(deltas) < 0.02
+
+    def test_idle_quieter_than_presenting(self):
+        quiet = idle(n_frames=30)
+        busy = presenting(n_frames=30)
+
+        def motion_energy(seq):
+            return sum(
+                seq[i].pose.distance(seq[i + 1].pose)
+                for i in range(len(seq) - 1)
+            )
+
+        assert motion_energy(quiet) < motion_energy(busy) / 3
+
+
+class TestValidation:
+    def test_zero_frames_rejected(self):
+        with pytest.raises(GeometryError):
+            MotionSequence(frames=[], fps=30.0)
+
+    def test_bad_fps_rejected(self):
+        seq = talking(n_frames=2)
+        with pytest.raises(GeometryError):
+            MotionSequence(frames=seq.frames, fps=0.0)

@@ -1,0 +1,115 @@
+"""Tests for the BodyPose container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.body.pose import BodyPose
+from repro.body.skeleton import NUM_JOINTS
+from repro.errors import GeometryError
+
+
+class TestBasics:
+    def test_identity(self):
+        pose = BodyPose.identity()
+        assert np.allclose(pose.joint_rotations, 0)
+        assert np.allclose(pose.translation, 0)
+
+    def test_bad_shape(self):
+        with pytest.raises(GeometryError):
+            BodyPose(joint_rotations=np.zeros((5, 3)))
+
+    def test_set_and_get_rotation(self):
+        pose = BodyPose.identity().set_rotation("left_elbow",
+                                                [0, 0, 1.2])
+        assert np.allclose(pose.rotation("left_elbow"), [0, 0, 1.2])
+        # Original untouched (copy semantics).
+        assert np.allclose(BodyPose.identity().rotation("left_elbow"),
+                           0)
+
+    def test_unknown_joint(self):
+        with pytest.raises(GeometryError):
+            BodyPose.identity().set_rotation("left_tentacle", [0, 0, 0])
+
+    def test_random_within_limits(self):
+        pose = BodyPose.random(np.random.default_rng(0))
+        assert np.abs(pose.joint_rotations).max() <= 1.5 + 1e-9
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        pose = BodyPose(
+            joint_rotations=rng.normal(size=(NUM_JOINTS, 3)),
+            translation=rng.normal(size=3),
+        )
+        back = BodyPose.from_flat(pose.flatten())
+        assert np.allclose(back.joint_rotations, pose.joint_rotations)
+        assert np.allclose(back.translation, pose.translation)
+
+    def test_flat_length(self):
+        assert BodyPose.identity().flatten().shape == (
+            NUM_JOINTS * 3 + 3,
+        )
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(GeometryError):
+            BodyPose.from_flat(np.zeros(10))
+
+
+class TestInterpolation:
+    def test_endpoints(self, rng):
+        a = BodyPose.random(rng, scale=0.5)
+        b = BodyPose.random(np.random.default_rng(9), scale=0.5)
+        assert a.interpolate(b, 0.0).distance(a) < 1e-6
+        assert a.interpolate(b, 1.0).distance(b) < 1e-6
+
+    def test_midpoint_between(self, rng):
+        a = BodyPose.identity()
+        b = BodyPose.identity().set_rotation("head", [0, 1.0, 0])
+        mid = a.interpolate(b, 0.5)
+        assert np.allclose(mid.rotation("head"), [0, 0.5, 0],
+                           atol=1e-9)
+
+    def test_translation_linear(self):
+        a = BodyPose.identity()
+        b = BodyPose.identity()
+        b.translation[:] = [2.0, 0.0, 0.0]
+        assert np.allclose(a.interpolate(b, 0.25).translation,
+                           [0.5, 0, 0])
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_distance_monotone_along_slerp(self, t):
+        a = BodyPose.identity()
+        b = BodyPose.identity().set_rotation("left_knee", [1.2, 0, 0])
+        mid = a.interpolate(b, t)
+        full = a.distance(b)
+        assert mid.distance(a) <= full + 1e-9
+
+    def test_t_clamped(self):
+        a = BodyPose.identity()
+        b = BodyPose.identity().set_rotation("head", [0, 1.0, 0])
+        assert a.interpolate(b, 2.0).distance(b) < 1e-6
+
+
+class TestDistance:
+    def test_zero_for_identical(self):
+        a = BodyPose.random(np.random.default_rng(3))
+        assert a.distance(a.copy()) < 1e-6
+
+    def test_positive_for_different(self):
+        a = BodyPose.identity()
+        b = BodyPose.identity().set_rotation("head", [0, 0.5, 0])
+        assert a.distance(b) > 0
+
+    def test_symmetric(self, rng):
+        a = BodyPose.random(rng, scale=0.5)
+        b = BodyPose.random(np.random.default_rng(4), scale=0.5)
+        assert np.isclose(a.distance(b), b.distance(a))
+
+    def test_scales_with_angle(self):
+        base = BodyPose.identity()
+        small = base.set_rotation("head", [0.1, 0, 0])
+        large = base.set_rotation("head", [0.9, 0, 0])
+        assert base.distance(large) > base.distance(small)

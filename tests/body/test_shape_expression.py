@@ -1,0 +1,148 @@
+"""Tests for shape and expression blendshape fields."""
+
+import numpy as np
+import pytest
+
+from repro.body.expression import (
+    EXPRESSION_NAMES,
+    NUM_EXPRESSION,
+    ExpressionParams,
+    expression_displacement,
+)
+from repro.body.shape import NUM_BETAS, ShapeParams, shape_displacement
+from repro.errors import GeometryError
+
+
+class TestShapeParams:
+    def test_neutral_all_zero(self):
+        assert not np.any(ShapeParams.neutral().betas)
+
+    def test_short_vector_padded(self):
+        s = ShapeParams(betas=[1.0, 2.0])
+        assert s.betas.shape == (NUM_BETAS,)
+        assert s.betas[0] == 1.0 and s.betas[2] == 0.0
+
+    def test_too_many_raises(self):
+        with pytest.raises(GeometryError):
+            ShapeParams(betas=np.zeros(NUM_BETAS + 1))
+
+    def test_random_bounded(self):
+        s = ShapeParams.random(np.random.default_rng(0))
+        assert np.abs(s.betas).max() < 3.0
+
+
+class TestShapeDisplacement:
+    def test_zero_betas_zero_displacement(self, rng):
+        pts = rng.normal(size=(20, 3))
+        assert np.allclose(
+            shape_displacement(pts, np.zeros(NUM_BETAS)), 0.0
+        )
+
+    def test_linear_in_betas(self, rng):
+        pts = rng.normal(size=(30, 3)) * 0.5 + [0, 1.0, 0]
+        b1 = np.zeros(NUM_BETAS)
+        b1[1] = 1.0
+        b2 = np.zeros(NUM_BETAS)
+        b2[5] = 1.0
+        d1 = shape_displacement(pts, b1)
+        d2 = shape_displacement(pts, b2)
+        d_sum = shape_displacement(pts, b1 + b2)
+        assert np.allclose(d_sum, d1 + d2, atol=1e-12)
+        assert np.allclose(shape_displacement(pts, 2 * b1), 2 * d1)
+
+    def test_height_beta_stretches_vertically(self):
+        betas = np.zeros(NUM_BETAS)
+        betas[0] = 1.0
+        head = np.array([[0.0, 1.6, 0.0]])
+        foot = np.array([[0.0, 0.05, 0.0]])
+        assert shape_displacement(head, betas)[0, 1] > \
+            shape_displacement(foot, betas)[0, 1]
+
+    def test_arm_length_beta_moves_hands_outward(self):
+        betas = np.zeros(NUM_BETAS)
+        betas[2] = 1.0
+        left_hand = np.array([[0.7, 1.4, 0.0]])
+        right_hand = np.array([[-0.7, 1.4, 0.0]])
+        assert shape_displacement(left_hand, betas)[0, 0] > 0
+        assert shape_displacement(right_hand, betas)[0, 0] < 0
+
+    def test_belly_beta_local(self):
+        betas = np.zeros(NUM_BETAS)
+        betas[6] = 1.0
+        belly = np.array([[0.0, 1.08, 0.07]])
+        hand = np.array([[0.7, 1.4, 0.0]])
+        assert shape_displacement(belly, betas)[0, 2] > 0.01
+        assert np.abs(shape_displacement(hand, betas)).max() < 0.005
+
+    def test_reserved_betas_do_nothing(self, rng):
+        pts = rng.normal(size=(10, 3))
+        betas = np.zeros(NUM_BETAS)
+        betas[15] = 2.0
+        assert np.allclose(shape_displacement(pts, betas), 0.0)
+
+
+class TestExpressionParams:
+    def test_named_channels(self):
+        e = ExpressionParams.named(jaw_open=0.8, pout=0.5)
+        assert e.coefficients[EXPRESSION_NAMES.index("jaw_open")] == 0.8
+        assert e.coefficients[EXPRESSION_NAMES.index("pout")] == 0.5
+
+    def test_unknown_channel(self):
+        with pytest.raises(GeometryError):
+            ExpressionParams.named(eyebrow_wiggle=1.0)
+
+    def test_truncated(self):
+        e = ExpressionParams.named(jaw_open=1.0, pout=1.0, smile=1.0)
+        t = e.truncated(1)
+        assert t.coefficients[0] == 1.0
+        assert not np.any(t.coefficients[1:])
+
+    def test_truncate_negative_raises(self):
+        with pytest.raises(GeometryError):
+            ExpressionParams.neutral().truncated(-1)
+
+
+class TestExpressionDisplacement:
+    FACE = np.array([[0.0, 1.555, 0.088]])  # on the lips
+    HAND = np.array([[0.7, 1.4, 0.0]])
+
+    def test_neutral_zero(self):
+        assert np.allclose(
+            expression_displacement(self.FACE, np.zeros(NUM_EXPRESSION)),
+            0.0,
+        )
+
+    def test_jaw_open_moves_lower_lip_down(self):
+        e = ExpressionParams.named(jaw_open=1.0)
+        lower_lip = np.array([[0.0, 1.545, 0.088]])
+        d = expression_displacement(lower_lip, e.coefficients)
+        assert d[0, 1] < 0
+
+    def test_pout_pushes_lips_forward(self):
+        e = ExpressionParams.named(pout=1.0)
+        d = expression_displacement(self.FACE, e.coefficients)
+        assert d[0, 2] > 0.001
+
+    def test_face_local_far_from_hands(self):
+        e = ExpressionParams.named(jaw_open=1.0, pout=1.0, smile=1.0,
+                                   brow_raise=1.0, cheek_puff=1.0)
+        d = expression_displacement(self.HAND, e.coefficients)
+        assert np.abs(d).max() < 1e-6
+
+    def test_linear_in_coefficients(self):
+        a = ExpressionParams.named(pout=1.0).coefficients
+        d1 = expression_displacement(self.FACE, a)
+        d2 = expression_displacement(self.FACE, 0.5 * a)
+        assert np.allclose(d2, 0.5 * d1)
+
+    def test_smile_raises_mouth_corners(self):
+        corner = np.array([[0.025, 1.555, 0.08]])
+        e = ExpressionParams.named(smile=1.0)
+        d = expression_displacement(corner, e.coefficients)
+        assert d[0, 1] > 0
+
+    def test_frown_lowers_mouth_corners(self):
+        corner = np.array([[0.025, 1.555, 0.08]])
+        e = ExpressionParams.named(frown=1.0)
+        d = expression_displacement(corner, e.coefficients)
+        assert d[0, 1] < 0

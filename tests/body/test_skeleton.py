@@ -1,0 +1,140 @@
+"""Tests for the kinematic skeleton."""
+
+import numpy as np
+import pytest
+
+from repro.body.skeleton import (
+    BONE_RADII,
+    JOINT_INDEX,
+    JOINT_NAMES,
+    NUM_JOINTS,
+    PARENTS,
+    Skeleton,
+    bone_segments,
+    rest_joint_positions,
+)
+from repro.errors import GeometryError
+
+
+class TestTreeStructure:
+    def test_smplx_joint_count(self):
+        assert NUM_JOINTS == 55
+
+    def test_single_root(self):
+        assert PARENTS.count(-1) == 1
+        assert PARENTS[0] == -1
+
+    def test_parents_precede_children(self):
+        for child, parent in enumerate(PARENTS):
+            assert parent < child
+
+    def test_all_joints_named_uniquely(self):
+        assert len(set(JOINT_NAMES)) == NUM_JOINTS
+
+    def test_hands_have_15_joints_each(self):
+        left = [n for n in JOINT_NAMES if n.startswith("left_") and
+                any(f in n for f in
+                    ("index", "middle", "ring", "pinky", "thumb"))]
+        assert len(left) == 15
+
+    def test_every_joint_has_radius(self):
+        assert set(BONE_RADII) == set(JOINT_NAMES)
+
+
+class TestRestPose:
+    def test_left_right_symmetry(self):
+        rest = rest_joint_positions()
+        for name, index in JOINT_INDEX.items():
+            if not name.startswith("left_"):
+                continue
+            mirror = JOINT_INDEX["right_" + name[len("left_"):]]
+            assert np.allclose(
+                rest[index] * [-1, 1, 1], rest[mirror]
+            ), name
+
+    def test_plausible_heights(self):
+        rest = rest_joint_positions()
+        assert rest[JOINT_INDEX["head"]][1] > rest[
+            JOINT_INDEX["pelvis"]][1]
+        assert rest[JOINT_INDEX["left_ankle"]][1] < 0.2
+        assert 1.4 < rest[JOINT_INDEX["head"]][1] < 1.7
+
+    def test_bone_segments_cover_leaves(self):
+        segments = bone_segments(rest_joint_positions())
+        names = {s[0] for s in segments}
+        # Leaf joints with tips must appear (head cranium, foot, digits).
+        for required in ("head", "left_foot", "left_index3",
+                         "right_thumb3"):
+            assert required in names
+
+    def test_bone_segment_radii_positive(self):
+        for _, _, _, r_head, r_tail in bone_segments(
+            rest_joint_positions()
+        ):
+            assert r_head > 0 and r_tail > 0
+
+
+class TestForwardKinematics:
+    def test_identity_pose_reproduces_rest(self):
+        skeleton = Skeleton.default()
+        joints, _ = skeleton.forward(np.zeros((NUM_JOINTS, 3)))
+        assert np.allclose(joints, skeleton.rest_positions)
+
+    def test_root_translation(self):
+        skeleton = Skeleton.default()
+        joints, _ = skeleton.forward(
+            np.zeros((NUM_JOINTS, 3)), root_translation=[1.0, 0, 0]
+        )
+        assert np.allclose(
+            joints, skeleton.rest_positions + [1.0, 0, 0]
+        )
+
+    def test_elbow_rotation_moves_only_descendants(self):
+        skeleton = Skeleton.default()
+        rotations = np.zeros((NUM_JOINTS, 3))
+        rotations[JOINT_INDEX["left_elbow"]] = [0, 0, 1.0]
+        joints, _ = skeleton.forward(rotations)
+        rest = skeleton.rest_positions
+        # Shoulder unchanged; wrist moved.
+        assert np.allclose(joints[JOINT_INDEX["left_shoulder"]],
+                           rest[JOINT_INDEX["left_shoulder"]])
+        assert not np.allclose(joints[JOINT_INDEX["left_wrist"]],
+                               rest[JOINT_INDEX["left_wrist"]])
+
+    def test_bone_lengths_invariant_under_pose(self, rng):
+        skeleton = Skeleton.default()
+        rotations = rng.uniform(-0.8, 0.8, size=(NUM_JOINTS, 3))
+        joints, _ = skeleton.forward(rotations)
+        rest = skeleton.rest_positions
+        for child, parent in enumerate(PARENTS):
+            if parent < 0:
+                continue
+            posed = np.linalg.norm(joints[child] - joints[parent])
+            original = np.linalg.norm(rest[child] - rest[parent])
+            assert np.isclose(posed, original, atol=1e-10)
+
+    def test_global_orientation_rotates_whole_body(self):
+        skeleton = Skeleton.default()
+        rotations = np.zeros((NUM_JOINTS, 3))
+        rotations[0] = [0, np.pi, 0]  # turn around
+        joints, _ = skeleton.forward(rotations)
+        rest = skeleton.rest_positions
+        # Left hand ends up on the -x side (mirrored about the pelvis).
+        wrist = joints[JOINT_INDEX["left_wrist"]]
+        assert wrist[0] < 0
+
+    def test_relative_transforms_identity_at_rest(self):
+        skeleton = Skeleton.default()
+        _, transforms = skeleton.forward(np.zeros((NUM_JOINTS, 3)))
+        relative = skeleton.relative_transforms(transforms)
+        point = np.array([0.3, 1.2, 0.05, 1.0])
+        for j in range(NUM_JOINTS):
+            assert np.allclose(relative[j] @ point, point, atol=1e-10)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(GeometryError):
+            Skeleton.default().forward(np.zeros((10, 3)))
+
+    def test_bad_rest_positions(self):
+        with pytest.raises(GeometryError):
+            Skeleton(rest_positions=np.zeros((3, 3)))

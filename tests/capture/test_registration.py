@@ -1,0 +1,141 @@
+"""Tests for ICP registration and rig calibration refinement."""
+
+import numpy as np
+import pytest
+
+from repro.capture.fusion import fuse_frames
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.registration import icp, refine_rig_calibration
+from repro.capture.render import RGBDFrame
+from repro.capture.rig import CaptureRig
+from repro.errors import CaptureError
+from repro.geometry.camera import Intrinsics
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.transforms import (
+    apply_rigid,
+    axis_angle_to_matrix,
+    rigid_from_rotation_translation,
+)
+
+
+class TestICP:
+    def _cloud(self, body_model, n=3000):
+        return body_model.forward().mesh.sample_points(n)
+
+    def test_recovers_known_transform(self, body_model):
+        target = self._cloud(body_model)
+        truth = rigid_from_rotation_translation(
+            axis_angle_to_matrix([0.03, -0.05, 0.02]),
+            [0.02, -0.015, 0.03],
+        )
+        source = PointCloud(
+            points=apply_rigid(np.linalg.inv(truth), target.points)
+        )
+        result = icp(source, target)
+        assert result.rmse < 0.005
+        recovered = apply_rigid(result.transform, source.points)
+        assert np.abs(recovered - target.points).mean() < 0.01
+
+    def test_identity_for_aligned(self, body_model):
+        cloud = self._cloud(body_model, 2000)
+        result = icp(cloud, cloud)
+        assert np.allclose(result.transform, np.eye(4), atol=1e-6)
+        assert result.rmse < 1e-9
+
+    def test_partial_overlap_with_trimming(self, body_model):
+        full = self._cloud(body_model, 4000)
+        # Source sees only the upper body.
+        upper = PointCloud(
+            points=full.points[full.points[:, 1] > 1.0]
+        )
+        shift = rigid_from_rotation_translation(
+            np.eye(3), [0.02, 0.0, 0.0]
+        )
+        moved = PointCloud(points=apply_rigid(shift, upper.points))
+        result = icp(moved, full, trim_fraction=0.3)
+        assert result.rmse < 0.01
+
+    def test_too_few_points(self):
+        tiny = PointCloud(points=np.zeros((3, 3)))
+        with pytest.raises(CaptureError):
+            icp(tiny, tiny)
+
+    def test_disjoint_clouds_raise(self, rng):
+        a = PointCloud(points=rng.normal(size=(100, 3)))
+        b = PointCloud(points=rng.normal(size=(100, 3)) + 100.0)
+        with pytest.raises(CaptureError):
+            icp(a, b)
+
+    def test_invalid_trim(self, body_model):
+        cloud = self._cloud(body_model, 500)
+        with pytest.raises(CaptureError):
+            icp(cloud, cloud, trim_fraction=1.0)
+
+
+class TestRigRefinement:
+    def _miscalibrated_rig(self):
+        return CaptureRig.ring(
+            num_cameras=3,
+            intrinsics=Intrinsics.from_fov(128, 96, 70.0),
+            noise=DepthNoiseModel.ideal(),
+            calibration_error_rot=0.02,
+            calibration_error_trans=0.02,
+        )
+
+    def test_refinement_tightens_fusion(self, body_model):
+        from repro.geometry.distance import point_to_mesh_distance
+
+        mesh = body_model.forward().mesh
+        rig = self._miscalibrated_rig()
+        frames = rig.capture(mesh, rng=np.random.default_rng(4))
+
+        before = fuse_frames(frames)
+        error_before = point_to_mesh_distance(
+            before.points[::10], mesh
+        ).mean()
+
+        # The reference surface: the fitted body model (SemHolo's
+        # semantic front-end provides it in a live system).
+        cameras = refine_rig_calibration(frames, reference=mesh)
+        corrected = [
+            RGBDFrame(depth=f.depth, rgb=f.rgb, camera=c,
+                      timestamp=f.timestamp)
+            for f, c in zip(frames, cameras)
+        ]
+        after = fuse_frames(corrected)
+        error_after = point_to_mesh_distance(
+            after.points[::10], mesh
+        ).mean()
+        assert error_after < error_before / 2
+
+    def test_point_cloud_reference_accepted(self, body_model):
+        mesh = body_model.forward().mesh
+        rig = self._miscalibrated_rig()
+        frames = rig.capture(mesh, rng=np.random.default_rng(5))
+        reference = mesh.sample_points(6000)
+        cameras = refine_rig_calibration(frames, reference=reference)
+        assert len(cameras) == len(frames)
+        for camera, frame in zip(cameras, frames):
+            assert not np.allclose(camera.pose, frame.camera.pose)
+
+    def test_array_reference_accepted(self, body_model, ideal_rig):
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        points = mesh.sample_points(5000).points
+        cameras = refine_rig_calibration(frames, reference=points)
+        assert len(cameras) == len(frames)
+
+    def test_well_calibrated_rig_barely_moves(self, body_model,
+                                              ideal_rig):
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        cameras = refine_rig_calibration(frames, reference=mesh)
+        for camera, frame in zip(cameras, frames):
+            drift = np.abs(camera.pose - frame.camera.pose).max()
+            assert drift < 0.02
+
+    def test_empty_frames_raise(self, body_model):
+        with pytest.raises(CaptureError):
+            refine_rig_calibration(
+                [], reference=body_model.forward().mesh
+            )

@@ -1,0 +1,178 @@
+"""Tests for the capture rig, multi-view fusion, and the dataset."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import ClothingStyle, dress
+from repro.capture.fusion import FusionConfig, fuse_frames
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.errors import CaptureError
+from repro.geometry.camera import Intrinsics
+
+
+class TestRig:
+    def test_ring_layout(self):
+        rig = CaptureRig.ring(num_cameras=6, radius=2.0, height=1.2)
+        assert rig.num_cameras == 6
+        for camera in rig.cameras:
+            position = camera.position
+            assert np.isclose(position[1], 1.2)
+            assert np.isclose(
+                np.linalg.norm(position[[0, 2]]), 2.0, atol=1e-9
+            )
+
+    def test_cameras_aim_at_target(self):
+        rig = CaptureRig.ring(num_cameras=4, target=(0, 1, 0))
+        for camera in rig.cameras:
+            to_target = np.array([0, 1, 0]) - camera.position
+            to_target /= np.linalg.norm(to_target)
+            assert np.dot(camera.view_direction, to_target) > 0.999
+
+    def test_zero_cameras_rejected(self):
+        with pytest.raises(CaptureError):
+            CaptureRig.ring(num_cameras=0)
+
+    def test_capture_produces_all_views(self, body_model, ideal_rig):
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        assert len(frames) == ideal_rig.num_cameras
+        for frame in frames:
+            assert frame.coverage > 0.02
+
+    def test_calibration_error_perturbs_reported_pose(self, body_model):
+        rig = CaptureRig.ring(
+            num_cameras=2,
+            intrinsics=Intrinsics.from_fov(64, 48, 70.0),
+            noise=DepthNoiseModel.ideal(),
+            calibration_error_rot=0.02,
+            calibration_error_trans=0.02,
+        )
+        mesh = body_model.forward().mesh
+        frames = rig.capture(mesh, rng=np.random.default_rng(1))
+        for camera, frame in zip(rig.cameras, frames):
+            assert not np.allclose(camera.pose, frame.camera.pose)
+
+    def test_sync_jitter_spreads_timestamps(self, body_model):
+        rig = CaptureRig.ring(
+            num_cameras=3,
+            intrinsics=Intrinsics.from_fov(48, 36, 70.0),
+            noise=DepthNoiseModel.ideal(),
+            sync_jitter=0.005,
+        )
+        mesh = body_model.forward().mesh
+        frames = rig.capture(mesh, timestamp=1.0,
+                             rng=np.random.default_rng(2))
+        stamps = [f.timestamp for f in frames]
+        assert len(set(stamps)) == 3
+
+
+class TestFusion:
+    def test_fused_cloud_covers_body(self, body_model, ideal_rig):
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        cloud = fuse_frames(frames)
+        lo, hi = cloud.bounds()
+        assert hi[1] - lo[1] > 1.5  # full height observed
+
+    def test_fused_points_near_surface(self, body_model, ideal_rig):
+        from repro.geometry.distance import point_to_mesh_distance
+
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        cloud = fuse_frames(frames)
+        d = point_to_mesh_distance(cloud.points[::20], mesh)
+        assert np.median(d) < 0.01
+
+    def test_empty_input_raises(self):
+        with pytest.raises(CaptureError):
+            fuse_frames([])
+
+    def test_min_points_guard(self, body_model, ideal_rig):
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        config = FusionConfig(min_points=10**9)
+        with pytest.raises(CaptureError):
+            fuse_frames(frames, config)
+
+    def test_max_depth_filter(self, body_model, ideal_rig):
+        mesh = body_model.forward().mesh
+        frames = ideal_rig.capture(mesh)
+        config = FusionConfig(max_depth=0.5, min_points=1)
+        # Everything is farther than 0.5 m -> capture failure.
+        with pytest.raises(CaptureError):
+            fuse_frames(frames, config)
+
+
+class TestDress:
+    def test_clothing_colors_by_region(self, body_model):
+        state = body_model.forward()
+        clothed = dress(state)
+        colors = clothed.vertex_colors
+        y = state.mesh.vertices[:, 1]
+        style = ClothingStyle()
+        shirt_zone = (y > 1.1) & (y < 1.4) & (
+            np.abs(state.mesh.vertices[:, 0]) < 0.15
+        )
+        assert np.allclose(
+            colors[shirt_zone].mean(axis=0), style.shirt_color,
+            atol=0.1,
+        )
+        head_zone = y > 1.55
+        assert np.allclose(
+            colors[head_zone].mean(axis=0), style.skin_color, atol=0.1
+        )
+
+    def test_folds_displace_clothed_region_only(self, body_model):
+        state = body_model.forward()
+        flat = dress(state, with_folds=False)
+        folded = dress(state, with_folds=True)
+        moved = np.linalg.norm(folded.vertices - flat.vertices, axis=1)
+        y = state.mesh.vertices[:, 1]
+        torso = (y > 1.0) & (y < 1.3) & (
+            np.abs(state.mesh.vertices[:, 0]) < 0.2
+        )
+        head = y > 1.55
+        assert moved[torso].max() > 0.003
+        assert moved[head].max() < 1e-9
+
+    def test_folds_high_frequency(self, body_model):
+        # Folds must vary over short distances (that is what keypoint
+        # reconstruction cannot recover).
+        state = body_model.forward()
+        folded = dress(state, with_folds=True)
+        flat = dress(state, with_folds=False)
+        offsets = np.linalg.norm(folded.vertices - flat.vertices,
+                                 axis=1)
+        torso = (state.mesh.vertices[:, 1] > 1.0) & (
+            state.mesh.vertices[:, 1] < 1.3
+        )
+        assert offsets[torso].std() > 0.001
+
+
+class TestDataset:
+    def test_frame_fields(self, talking_ds):
+        frame = talking_ds.frame(0)
+        assert frame.index == 0
+        assert len(frame.views) == 3
+        assert frame.ground_truth_mesh.vertex_colors is not None
+        assert frame.body_state.keypoints.shape[0] == 127
+
+    def test_frame_deterministic(self, talking_ds):
+        a = talking_ds.frame(2)
+        b = talking_ds.frame(2)
+        assert np.array_equal(a.views[0].depth, b.views[0].depth)
+
+    def test_out_of_range(self, talking_ds):
+        with pytest.raises(CaptureError):
+            talking_ds.frame(len(talking_ds))
+
+    def test_cache(self, talking_ds):
+        a = talking_ds.frame(1, cache=True)
+        b = talking_ds.frame(1, cache=True)
+        assert a is b
+
+    def test_fused_point_cloud(self, talking_ds):
+        cloud = talking_ds.frame(0).fused_point_cloud()
+        assert len(cloud) > 1000
+        assert cloud.colors is not None

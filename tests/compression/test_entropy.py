@@ -1,0 +1,134 @@
+"""Tests for varint, range coder, and quantisation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.quantize import QuantizationGrid
+from repro.compression.rangecoder import (
+    RangeDecoder,
+    RangeEncoder,
+    compress_bytes,
+    decompress_bytes,
+    new_contexts,
+)
+from repro.compression.varint import (
+    decode_varints,
+    encode_varints,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.errors import CodecError
+
+
+class TestZigzag:
+    def test_known_values(self):
+        values = np.array([0, -1, 1, -2, 2])
+        assert np.array_equal(zigzag_encode(values), [0, 1, 2, 3, 4])
+
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(arr)), arr)
+
+
+class TestVarint:
+    @given(st.lists(st.integers(0, 2**50), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        blob = encode_varints(arr)
+        decoded, used = decode_varints(blob, len(arr))
+        assert used == len(blob)
+        assert np.array_equal(decoded, arr)
+
+    def test_small_values_one_byte(self):
+        blob = encode_varints(np.array([0, 1, 127], dtype=np.uint64))
+        assert len(blob) == 3
+
+    def test_truncated_raises(self):
+        blob = encode_varints(np.array([300], dtype=np.uint64))
+        with pytest.raises(CodecError):
+            decode_varints(blob[:1], 1)
+
+    def test_count_beyond_stream_raises(self):
+        with pytest.raises(CodecError):
+            decode_varints(b"", 1)
+
+
+class TestRangeCoder:
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, data):
+        assert decompress_bytes(compress_bytes(data)) == data
+
+    def test_compresses_skewed_data(self, rng):
+        data = rng.choice(
+            [0, 1, 2], p=[0.8, 0.15, 0.05], size=30000
+        ).astype(np.uint8).tobytes()
+        compressed = compress_bytes(data)
+        assert len(compressed) < len(data) / 3
+
+    def test_random_data_incompressible(self, rng):
+        data = rng.integers(0, 256, size=5000).astype(
+            np.uint8).tobytes()
+        compressed = compress_bytes(data)
+        assert len(compressed) < len(data) * 1.1  # bounded expansion
+
+    def test_truncated_blob_raises(self):
+        with pytest.raises(CodecError):
+            decompress_bytes(b"ab")
+
+    def test_bit_level_api(self):
+        encoder = RangeEncoder()
+        contexts = new_contexts(4)
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 20
+        for bit in bits:
+            encoder.encode_bit(contexts, 1, bit)
+        blob = encoder.finish()
+        decoder = RangeDecoder(blob)
+        contexts = new_contexts(4)
+        decoded = [decoder.decode_bit(contexts, 1) for _ in bits]
+        assert decoded == bits
+
+
+class TestQuantizationGrid:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.normal(size=(200, 3)) * 2.0
+        grid = QuantizationGrid.fit(values, bits=10)
+        decoded = grid.decode(grid.encode(values))
+        err = np.abs(decoded - values)
+        assert np.all(err <= grid.max_error() + 1e-12)
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.normal(size=(100, 3))
+        coarse = QuantizationGrid.fit(values, bits=6)
+        fine = QuantizationGrid.fit(values, bits=14)
+        assert np.all(fine.max_error() < coarse.max_error())
+
+    def test_degenerate_axis(self):
+        values = np.zeros((10, 3))
+        values[:, 0] = np.linspace(0, 1, 10)
+        grid = QuantizationGrid.fit(values, bits=8)
+        decoded = grid.decode(grid.encode(values))
+        assert np.allclose(decoded[:, 1:], 0.0)
+
+    def test_serialise_roundtrip(self, rng):
+        values = rng.normal(size=(50, 3))
+        grid = QuantizationGrid.fit(values, bits=12)
+        blob = grid.to_bytes()
+        restored, used = QuantizationGrid.from_bytes(blob + b"extra")
+        assert used == len(blob)
+        assert np.allclose(restored.minimum, grid.minimum)
+        assert np.allclose(restored.step, grid.step)
+        assert restored.bits == grid.bits
+
+    def test_invalid_bits(self):
+        with pytest.raises(CodecError):
+            QuantizationGrid.fit(np.zeros((5, 3)), bits=0)
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            QuantizationGrid.from_bytes(b"\x08")

@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Heavy artefacts (the body template, a small capture dataset) are built
+once per session; individual tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.model import BodyModel
+from repro.body.motion import talking, waving
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.geometry.camera import Intrinsics
+
+
+@pytest.fixture(scope="session")
+def body_model() -> BodyModel:
+    """A shared low-resolution body model (fast to build, realistic)."""
+    return BodyModel(template_resolution=64, template_vertices=4000)
+
+
+@pytest.fixture(scope="session")
+def full_body_model() -> BodyModel:
+    """The SMPL-X-budget body model used by payload-size tests."""
+    return BodyModel(template_resolution=96)
+
+
+@pytest.fixture(scope="session")
+def small_rig() -> CaptureRig:
+    return CaptureRig.ring(
+        num_cameras=3,
+        intrinsics=Intrinsics.from_fov(128, 96, 70.0),
+        noise=DepthNoiseModel.kinect(),
+    )
+
+
+@pytest.fixture(scope="session")
+def ideal_rig() -> CaptureRig:
+    return CaptureRig.ring(
+        num_cameras=3,
+        intrinsics=Intrinsics.from_fov(128, 96, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+
+
+@pytest.fixture(scope="session")
+def talking_ds(body_model, small_rig) -> RGBDSequenceDataset:
+    return RGBDSequenceDataset(
+        model=body_model,
+        motion=talking(n_frames=12),
+        rig=small_rig,
+        samples_per_pixel=4.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def waving_ds(body_model, ideal_rig) -> RGBDSequenceDataset:
+    return RGBDSequenceDataset(
+        model=body_model,
+        motion=waving(n_frames=12),
+        rig=ideal_rig,
+        samples_per_pixel=4.0,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,136 @@
+"""Tests for the image-semantics (NeRF) pipeline.
+
+Uses tiny images and few training steps: the goal is behavioural
+correctness, not render quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.body.motion import talking
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.core.image_pipeline import ImageSemanticPipeline
+from repro.core.pipeline import EncodedFrame
+from repro.errors import PipelineError
+from repro.geometry.camera import Intrinsics
+from repro.nerf.slimmable import ResolutionTier, SlimmablePolicy
+
+
+@pytest.fixture(scope="module")
+def tiny_ds(body_model):
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(32, 24, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    return RGBDSequenceDataset(
+        model=body_model,
+        motion=talking(n_frames=4),
+        rig=rig,
+        samples_per_pixel=6.0,
+    )
+
+
+def make_pipe(**kwargs):
+    defaults = dict(
+        pretrain_steps=30,
+        finetune_steps=5,
+        quality=70,
+    )
+    defaults.update(kwargs)
+    return ImageSemanticPipeline(**defaults)
+
+
+class TestEncode:
+    def test_payload_contains_all_views(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        encoded = pipe.encode(tiny_ds.frame(0))
+        assert encoded.payload_bytes > 100
+        assert encoded.metadata["tier"] in ("quarter", "half", "full")
+
+    def test_rate_adaptation_changes_tier(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        pipe.set_bandwidth(100.0)
+        high = pipe.encode(tiny_ds.frame(0))
+        pipe.set_bandwidth(1.0)
+        low = pipe.encode(tiny_ds.frame(1))
+        assert high.metadata["tier"] == "full"
+        assert low.metadata["tier"] == "quarter"
+        assert low.payload_bytes < high.payload_bytes
+
+    def test_custom_policy(self, tiny_ds):
+        policy = SlimmablePolicy(
+            tiers=[
+                ResolutionTier("only", scale=1.0, width_fraction=1.0,
+                               bitrate_mbps=5.0)
+            ]
+        )
+        pipe = make_pipe(policy=policy)
+        pipe.reset()
+        encoded = pipe.encode(tiny_ds.frame(0))
+        assert encoded.metadata["tier"] == "only"
+
+
+class TestDecode:
+    def test_first_decode_pretrains(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        decoded = pipe.decode(pipe.encode(tiny_ds.frame(0)))
+        assert "nerf_pretrain" in decoded.timing.stages
+        assert decoded.metadata["rendered"].shape[2] == 3
+
+    def test_subsequent_decodes_finetune(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        pipe.decode(pipe.encode(tiny_ds.frame(0)))
+        decoded = pipe.decode(pipe.encode(tiny_ds.frame(2)))
+        assert "nerf_pretrain" not in decoded.timing.stages
+        # Either fine-tuned on changed pixels or skipped (no change).
+        assert "nerf_render" in decoded.timing.stages
+
+    def test_finetune_cheaper_than_pretrain(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        first = pipe.decode(pipe.encode(tiny_ds.frame(0)))
+        second = pipe.decode(pipe.encode(tiny_ds.frame(2)))
+        pretrain = first.timing.stages["nerf_pretrain"]
+        finetune = second.timing.stages.get("nerf_finetune", 0.0)
+        assert finetune < pretrain
+
+    def test_rendered_image_improves_with_training(self, tiny_ds):
+        from repro.core.metrics import image_psnr
+
+        pipe = make_pipe(pretrain_steps=80)
+        pipe.reset()
+        frame = tiny_ds.frame(0)
+        decoded = pipe.decode(pipe.encode(frame))
+        rendered = decoded.metadata["rendered"]
+        reference = decoded.metadata["views"][0].rgb
+        trained_psnr = image_psnr(
+            rendered[: reference.shape[0], : reference.shape[1]],
+            reference,
+        )
+        # An untrained field renders ~noise: < 10 dB typically.
+        assert trained_psnr > 10.0
+
+    def test_missing_cameras_raise(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        encoded = pipe.encode(tiny_ds.frame(0))
+        stripped = EncodedFrame(
+            frame_index=0, payload=encoded.payload, metadata={}
+        )
+        with pytest.raises(PipelineError):
+            pipe.decode(stripped)
+
+    def test_corrupt_payload_raises(self, tiny_ds):
+        pipe = make_pipe()
+        pipe.reset()
+        encoded = pipe.encode(tiny_ds.frame(0))
+        encoded.payload = b"zzzz" + encoded.payload[4:]
+        with pytest.raises(PipelineError):
+            pipe.decode(encoded)

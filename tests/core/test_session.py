@@ -1,0 +1,193 @@
+"""Tests for session orchestration over the simulated network."""
+
+import numpy as np
+import pytest
+
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.session import TelepresenceSession
+from repro.core.traditional import TraditionalMeshPipeline
+from repro.errors import PipelineError
+from repro.net.edge import A100, RTX3080, EdgeServer
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
+
+
+@pytest.fixture()
+def fast_link():
+    return NetworkLink(trace=BandwidthTrace.constant(100.0),
+                       propagation_delay=0.01, jitter=0.0)
+
+
+class TestSessionRun:
+    def test_summary_fields(self, talking_ds, fast_link):
+        session = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=fast_link,
+        )
+        summary = session.run(frames=3)
+        assert summary.frames == 3
+        assert summary.bandwidth_mbps > 0
+        assert summary.delivery_rate == 1.0
+        assert 0 <= summary.interactive_fraction <= 1
+        assert summary.mean_end_to_end > 0
+        assert "network" in summary.mean_stage_breakdown.stages
+
+    def test_keypoint_bandwidth_far_below_traditional(
+        self, talking_ds, fast_link
+    ):
+        keypoint = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=fast_link,
+            decode=False,
+        ).run(frames=3)
+        fast_link.reset()
+        traditional = TelepresenceSession(
+            talking_ds,
+            TraditionalMeshPipeline(compressed=False),
+            link=fast_link,
+            decode=False,
+        ).run(frames=3)
+        assert traditional.bandwidth_mbps > \
+            keypoint.bandwidth_mbps * 50
+
+    def test_decode_disabled_skips_receiver(self, talking_ds,
+                                            fast_link):
+        session = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=fast_link,
+            decode=False,
+        )
+        session.run(frames=2)
+        assert all(r.decoded is None for r in session.reports)
+
+    def test_no_link_means_no_network_stage(self, talking_ds):
+        session = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=None,
+            decode=False,
+        )
+        summary = session.run(frames=2)
+        assert "network" not in summary.mean_stage_breakdown.stages
+
+    def test_lossy_link_drops_frames(self, talking_ds):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(100.0),
+            loss_rate=0.8,
+            retransmit=False,
+            seed=5,
+        )
+        session = TelepresenceSession(
+            talking_ds,
+            TraditionalMeshPipeline(compressed=True),
+            link=link,
+            decode=False,
+        )
+        summary = session.run(frames=4)
+        assert summary.delivery_rate < 1.0
+
+    def test_edge_scaling_slows_receiver(self, talking_ds, fast_link):
+        # Compare the scaled reconstruction stage directly: the 2x
+        # device factor must dominate wall-clock measurement noise.
+        fast = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=48),
+            link=fast_link,
+            receiver_edge=EdgeServer(device=A100),
+        ).run(frames=2)
+        fast_link.reset()
+        slow = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=48),
+            link=fast_link,
+            receiver_edge=EdgeServer(device=RTX3080),
+        ).run(frames=2)
+        fast_recon = fast.mean_stage_breakdown.stages[
+            "mesh_reconstruction"]
+        slow_recon = slow.mean_stage_breakdown.stages[
+            "mesh_reconstruction"]
+        assert slow_recon > fast_recon * 1.3
+
+    def test_out_of_range_frames(self, talking_ds, fast_link):
+        session = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=fast_link,
+        )
+        with pytest.raises(PipelineError):
+            session.run(frames=10**6)
+
+    def test_summary_before_run_raises(self, talking_ds, fast_link):
+        session = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=fast_link,
+        )
+        with pytest.raises(PipelineError):
+            session.summary()
+
+    def test_sustainable_fps_reflects_decode_cost(
+        self, talking_ds, fast_link
+    ):
+        summary = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=48),
+            link=fast_link,
+        ).run(frames=2)
+        # Reconstruction at 48^3 takes real time; fps is finite.
+        assert 0 < summary.sustainable_fps < 100
+
+
+class TestLossRecovery:
+    def test_text_pipeline_recovers_via_keyframes(
+        self, talking_ds, body_model
+    ):
+        """A lost delta freezes the text receiver until the sender's
+        next keyframe; the session reports it instead of crashing."""
+        from repro.core.text_pipeline import TextSemanticPipeline
+
+        pipeline = TextSemanticPipeline(
+            model=body_model, points=300, keyframe_interval=3
+        )
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=0.3,
+            retransmit=False,
+            seed=0,  # drops frames 1-2, keyframes 0/3/6/9 survive
+        )
+        session = TelepresenceSession(talking_ds, pipeline, link=link)
+        summary = session.run(frames=10)
+        # Some frames were lost outright.
+        assert summary.delivery_rate < 1.0
+        # Decoding never crashed the session; failures are reported.
+        decoded_ok = [
+            r.decoded is not None for r in session.reports
+        ]
+        assert any(decoded_ok)
+        # Frames after a surviving keyframe decode again (recovery).
+        assert decoded_ok[3] or decoded_ok[6] or decoded_ok[9]
+        # After every keyframe that arrives, decoding works again.
+        for report in session.reports:
+            if report.delivered and not report.decode_failed:
+                assert report.decoded is not None
+
+    def test_decode_failure_rate_reported(self, talking_ds,
+                                          body_model):
+        from repro.core.text_pipeline import TextSemanticPipeline
+
+        pipeline = TextSemanticPipeline(
+            model=body_model, points=300, keyframe_interval=5
+        )
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=0.5,
+            retransmit=False,
+            seed=3,
+        )
+        summary = TelepresenceSession(
+            talking_ds, pipeline, link=link
+        ).run(frames=10)
+        assert 0.0 <= summary.decode_failure_rate <= 1.0

@@ -1,0 +1,188 @@
+"""Tests for the textured keypoint pipeline and multi-party sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.multiparty import (
+    MultiPartySession,
+    Participant,
+)
+from repro.core.textured_keypoint import TexturedKeypointPipeline
+from repro.errors import PipelineError
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
+
+
+class TestTexturedKeypoint:
+    @pytest.fixture(scope="class")
+    def pipe(self):
+        return TexturedKeypointPipeline(
+            resolution=48, texture_quality=50
+        )
+
+    def test_payload_larger_than_bare_keypoints(self, talking_ds,
+                                                pipe):
+        pipe.reset()
+        bare = KeypointSemanticPipeline(resolution=48)
+        bare.reset()
+        frame = talking_ds.frame(0)
+        textured_bytes = pipe.encode(frame).payload_bytes
+        bare_bytes = bare.encode(frame).payload_bytes
+        assert textured_bytes > bare_bytes * 2
+        # ...but still far below a raw mesh stream.
+        assert textured_bytes * 30 * 8 / 1e6 < 25.0
+
+    def test_decoded_mesh_is_textured(self, talking_ds, pipe):
+        pipe.reset()
+        frame = talking_ds.frame(0)
+        decoded = pipe.decode(pipe.encode(frame))
+        colors = decoded.surface.vertex_colors
+        assert colors is not None
+        # Colour variance shows real texture, not a uniform default.
+        assert colors.std() > 0.02
+
+    def test_projected_colors_resemble_truth(self, talking_ds, pipe):
+        from scipy.spatial import cKDTree
+
+        pipe.reset()
+        frame = talking_ds.frame(0)
+        decoded = pipe.decode(pipe.encode(frame))
+        truth = frame.ground_truth_mesh
+        tree = cKDTree(truth.vertices)
+        distances, idx = tree.query(decoded.surface.vertices)
+        near = distances < 0.03
+        err = np.abs(
+            decoded.surface.vertex_colors[near]
+            - truth.vertex_colors[idx[near]]
+        ).mean()
+        assert err < 0.25
+
+    def test_texture_interval_skips_frames(self, talking_ds):
+        pipe = TexturedKeypointPipeline(
+            resolution=48, texture_interval=3
+        )
+        pipe.reset()
+        shipped = []
+        for i in range(4):
+            encoded = pipe.encode(talking_ds.frame(i))
+            shipped.append(encoded.metadata["textures_shipped"])
+        assert shipped[0] > 0
+        assert shipped[1] == 0 and shipped[2] == 0
+        assert shipped[3] > 0
+
+    def test_cached_texture_reused_between_intervals(self, talking_ds):
+        pipe = TexturedKeypointPipeline(
+            resolution=48, texture_interval=2
+        )
+        pipe.reset()
+        first = pipe.decode(pipe.encode(talking_ds.frame(0)))
+        second = pipe.decode(pipe.encode(talking_ds.frame(1)))
+        assert second.surface.vertex_colors is not None
+        assert second.surface.vertex_colors.std() > 0.02
+        del first
+
+    def test_stage_names(self, talking_ds, pipe):
+        pipe.reset()
+        encoded = pipe.encode(talking_ds.frame(0))
+        assert "texture_compress" in encoded.timing.stages
+        decoded = pipe.decode(encoded)
+        assert "projection_mapping" in decoded.timing.stages
+
+    def test_corrupt_payload(self, talking_ds, pipe):
+        pipe.reset()
+        encoded = pipe.encode(talking_ds.frame(0))
+        encoded.payload = b"XXXX" + encoded.payload[4:]
+        with pytest.raises(PipelineError):
+            pipe.decode(encoded)
+
+    def test_invalid_interval(self):
+        with pytest.raises(PipelineError):
+            TexturedKeypointPipeline(texture_interval=0)
+
+
+class TestMultiParty:
+    def _roster(self, talking_ds, waving_ds, count=2):
+        datasets = [talking_ds, waving_ds, talking_ds]
+        return [
+            Participant(
+                name=f"user{i}",
+                dataset=datasets[i % len(datasets)],
+                pipeline=KeypointSemanticPipeline(resolution=32,
+                                                  seed=i),
+            )
+            for i in range(count)
+        ]
+
+    def test_two_party_pairs(self, talking_ds, waving_ds):
+        session = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 2), decode=False
+        )
+        summary = session.run(frames=3)
+        assert len(summary.pairs) == 2
+        report = summary.pair("user0", "user1")
+        assert report.delivered == 3
+        assert report.mean_payload_bytes < 3000
+
+    def test_three_party_fanout(self, talking_ds, waving_ds):
+        session = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 3), decode=False
+        )
+        summary = session.run(frames=2)
+        assert len(summary.pairs) == 6  # full mesh, ordered pairs
+        # Everyone's uplink carries the payload twice (two receivers).
+        for name, mbps in summary.uplink_mbps.items():
+            assert mbps > 0
+
+    def test_uplink_scales_with_fanout(self, talking_ds, waving_ds):
+        two = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 2), decode=False
+        ).run(frames=2)
+        three = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 3), decode=False
+        ).run(frames=2)
+        assert three.uplink_mbps["user0"] > \
+            two.uplink_mbps["user0"] * 1.5
+
+    def test_decode_adds_latency(self, talking_ds, waving_ds):
+        fast = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 2), decode=False
+        ).run(frames=2)
+        slow = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 2), decode=True
+        ).run(frames=2)
+        assert slow.pair("user0", "user1").mean_end_to_end > \
+            fast.pair("user0", "user1").mean_end_to_end
+
+    def test_custom_link_factory(self, talking_ds, waving_ds):
+        def factory(sender, receiver):
+            return NetworkLink(
+                trace=BandwidthTrace.constant(1000.0),
+                propagation_delay=0.001,
+                jitter=0.0,
+            )
+
+        session = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 2),
+            link_factory=factory,
+            decode=False,
+        )
+        summary = session.run(frames=2)
+        assert summary.pair("user0", "user1").mean_end_to_end < 0.2
+
+    def test_single_participant_rejected(self, talking_ds, waving_ds):
+        with pytest.raises(PipelineError):
+            MultiPartySession(self._roster(talking_ds, waving_ds, 1))
+
+    def test_duplicate_names_rejected(self, talking_ds, waving_ds):
+        roster = self._roster(talking_ds, waving_ds, 2)
+        roster[1].name = roster[0].name
+        with pytest.raises(PipelineError):
+            MultiPartySession(roster)
+
+    def test_too_many_frames_rejected(self, talking_ds, waving_ds):
+        session = MultiPartySession(
+            self._roster(talking_ds, waving_ds, 2), decode=False
+        )
+        with pytest.raises(PipelineError):
+            session.run(frames=10**6)

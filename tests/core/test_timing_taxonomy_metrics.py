@@ -1,0 +1,147 @@
+"""Tests for latency accounting, taxonomy grading, and QoE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    VisualQuality,
+    image_psnr,
+    qoe_score,
+    visual_quality,
+)
+from repro.core.taxonomy import (
+    PAPER_TABLE1,
+    grade_data_size,
+    grade_extraction,
+    grade_quality,
+    grade_reconstruction,
+)
+from repro.core.timing import (
+    INTERACTIVE_BUDGET,
+    LatencyBreakdown,
+    LatencyBudget,
+    mean_breakdown,
+)
+from repro.errors import PipelineError
+
+
+class TestLatency:
+    def test_add_and_total(self):
+        breakdown = LatencyBreakdown()
+        breakdown.add("a", 0.02)
+        breakdown.add("b", 0.03)
+        breakdown.add("a", 0.01)
+        assert np.isclose(breakdown.total, 0.06)
+        assert breakdown.dominant_stage() == "a"
+
+    def test_within_budget(self):
+        breakdown = LatencyBreakdown()
+        breakdown.add("x", 0.05)
+        assert breakdown.within(LatencyBudget())
+        breakdown.add("x", 0.2)
+        assert not breakdown.within(LatencyBudget())
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(PipelineError):
+            LatencyBreakdown().add("x", -0.1)
+
+    def test_merged(self):
+        a = LatencyBreakdown(stages={"net": 0.01})
+        b = LatencyBreakdown(stages={"net": 0.02, "gpu": 0.05})
+        merged = a.merged(b)
+        assert np.isclose(merged.stages["net"], 0.03)
+        assert np.isclose(merged.total, 0.08)
+
+    def test_mean_breakdown(self):
+        frames = [
+            LatencyBreakdown(stages={"net": 0.01, "gpu": 0.1}),
+            LatencyBreakdown(stages={"net": 0.03}),
+        ]
+        mean = mean_breakdown(frames)
+        assert np.isclose(mean.stages["net"], 0.02)
+        assert np.isclose(mean.stages["gpu"], 0.05)
+
+    def test_interactive_budget_value(self):
+        # The paper's interactivity bound.
+        assert INTERACTIVE_BUDGET == 0.100
+
+
+class TestTaxonomyGrades:
+    def test_extraction_bands(self):
+        assert grade_extraction(0.005) == "L"
+        assert grade_extraction(0.03) == "L"  # within a 30 FPS frame
+        assert grade_extraction(0.08) == "M"
+        assert grade_extraction(0.5) == "H"
+
+    def test_reconstruction_bands(self):
+        assert grade_reconstruction(0.01) == "L"
+        assert grade_reconstruction(0.2) == "M"
+        assert grade_reconstruction(2.0) == "H"
+
+    def test_size_bands(self):
+        assert grade_data_size(0.3) == "L"   # keypoints
+        assert grade_data_size(10.0) == "M"  # compressed mesh / images
+        assert grade_data_size(95.0) == "H"  # raw mesh
+
+    def test_quality_bands(self):
+        assert grade_quality(0.2) == "L"
+        assert grade_quality(0.5) == "M"
+        assert grade_quality(0.9) == "H"
+
+    def test_paper_table_rows(self):
+        assert PAPER_TABLE1["keypoint"].data_size == "L"
+        assert PAPER_TABLE1["image"].quality == "H"
+        assert PAPER_TABLE1["text"].extraction == "H"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PipelineError):
+            grade_extraction(-1.0)
+        with pytest.raises(PipelineError):
+            grade_quality(1.5)
+
+
+class TestVisualQualityMetrics:
+    def test_identical_surfaces(self, body_model):
+        mesh = body_model.forward().mesh
+        quality = visual_quality(mesh, mesh, samples=2000)
+        assert quality.f_score_1cm > 0.7
+        assert quality.chamfer < 0.02
+
+    def test_better_than(self):
+        good = VisualQuality(chamfer=0.001, f_score_1cm=0.95,
+                             normal_consistency=0.9)
+        bad = VisualQuality(chamfer=0.05, f_score_1cm=0.2,
+                            normal_consistency=0.5)
+        assert good.better_than(bad)
+        assert not bad.better_than(good)
+
+    def test_image_psnr(self, rng):
+        image = rng.random((16, 16, 3))
+        assert image_psnr(image, image) == float("inf")
+        noisy = np.clip(image + rng.normal(0, 0.1, image.shape), 0, 1)
+        assert 10 < image_psnr(image, noisy) < 30
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(PipelineError):
+            image_psnr(np.zeros((4, 4)), np.zeros((5, 5)))
+
+
+class TestQoE:
+    GOOD = VisualQuality(chamfer=0.005, f_score_1cm=0.9,
+                         normal_consistency=0.9)
+
+    def test_latency_violation_penalised(self):
+        fast = qoe_score(self.GOOD, end_to_end_latency=0.05,
+                         bandwidth_mbps=1.0)
+        slow = qoe_score(self.GOOD, end_to_end_latency=0.5,
+                         bandwidth_mbps=1.0)
+        assert fast > slow
+
+    def test_bandwidth_violation_penalised(self):
+        thin = qoe_score(self.GOOD, 0.05, bandwidth_mbps=1.0)
+        fat = qoe_score(self.GOOD, 0.05, bandwidth_mbps=100.0)
+        assert thin > fat
+
+    def test_bounded(self):
+        assert 0 <= qoe_score(self.GOOD, 10.0, 1000.0) <= 1
+        assert 0 <= qoe_score(self.GOOD, 0.001, 0.001) <= 1

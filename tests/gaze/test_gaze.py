@@ -1,0 +1,140 @@
+"""Tests for gaze traces, classification, prediction, and foveation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemHoloError
+from repro.gaze.classify import (
+    VelocityThresholdClassifier,
+    classification_accuracy,
+)
+from repro.gaze.foveation import FoveationModel
+from repro.gaze.predict import (
+    NaiveGazePredictor,
+    SaccadeLandingPredictor,
+    prediction_error,
+)
+from repro.gaze.traces import GazePhase, generate_gaze_trace
+from repro.geometry.camera import Camera, Intrinsics
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_gaze_trace(duration=6.0, seed=2)
+
+
+class TestTraceGeneration:
+    def test_all_phases_present(self, trace):
+        phases = {s.phase for s in trace}
+        assert phases == {GazePhase.FIXATION, GazePhase.PURSUIT,
+                          GazePhase.SACCADE}
+
+    def test_within_field(self, trace):
+        angles = trace.angles()
+        assert np.abs(angles).max() <= 41.0
+
+    def test_deterministic(self):
+        a = generate_gaze_trace(duration=2.0, seed=9)
+        b = generate_gaze_trace(duration=2.0, seed=9)
+        assert np.allclose(a.angles(), b.angles())
+
+    def test_velocity_structure(self, trace):
+        speeds = trace.velocities()
+        phases = [s.phase for s in trace]
+        fixation_speeds = [
+            v for v, p in zip(speeds, phases)
+            if p == GazePhase.FIXATION
+        ]
+        saccade_speeds = [
+            v for v, p in zip(speeds, phases)
+            if p == GazePhase.SACCADE
+        ]
+        assert np.median(fixation_speeds) < 5.0
+        assert np.median(saccade_speeds) > 100.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(SemHoloError):
+            generate_gaze_trace(duration=0.0)
+
+
+class TestClassifier:
+    def test_high_accuracy_on_synthetic(self, trace):
+        classifier = VelocityThresholdClassifier()
+        labels = classifier.classify(trace)
+        assert classification_accuracy(trace, labels) > 0.85
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(SemHoloError):
+            VelocityThresholdClassifier(
+                pursuit_threshold=100.0, saccade_threshold=50.0
+            )
+
+    def test_length_mismatch(self, trace):
+        with pytest.raises(SemHoloError):
+            classification_accuracy(trace, [GazePhase.FIXATION])
+
+
+class TestPrediction:
+    def test_landing_beats_naive_on_saccades(self, trace):
+        naive = prediction_error(trace, NaiveGazePredictor(),
+                                 horizon=0.05)
+        smart = prediction_error(trace, SaccadeLandingPredictor(),
+                                 horizon=0.05)
+        assert smart["saccade"] < naive["saccade"]
+        assert smart["overall"] < naive["overall"]
+
+    def test_fixation_prediction_tight(self, trace):
+        smart = prediction_error(trace, SaccadeLandingPredictor(),
+                                 horizon=0.05)
+        assert smart["fixation"] < 2.0
+
+    def test_index_bounds(self, trace):
+        with pytest.raises(SemHoloError):
+            SaccadeLandingPredictor().predict(trace, len(trace), 0.05)
+
+
+class TestFoveation:
+    @pytest.fixture(scope="class")
+    def viewer(self):
+        return Camera.looking_at(
+            Intrinsics.from_fov(64, 48, 90.0),
+            eye=(0.0, 1.4, 2.0),
+            target=(0.0, 1.4, 0.0),
+        )
+
+    def test_partition_covers_mesh(self, body_model, viewer):
+        mesh = body_model.forward().mesh
+        model = FoveationModel(foveal_radius_degrees=10.0)
+        part = model.partition(mesh, viewer, np.zeros(2))
+        assert part.foveal.num_faces + part.peripheral.num_faces >= \
+            mesh.num_faces
+        assert 0 < part.foveal_vertex_fraction < 1
+
+    def test_gaze_centered_on_face_when_looking_up(
+        self, body_model, viewer
+    ):
+        mesh = body_model.forward().mesh
+        model = FoveationModel(foveal_radius_degrees=8.0)
+        # Look upward toward the head.
+        part = model.partition(mesh, viewer, np.array([0.0, 8.0]))
+        assert part.gaze_point[1] > 1.2
+
+    def test_larger_radius_more_foveal(self, body_model, viewer):
+        mesh = body_model.forward().mesh
+        small = FoveationModel(5.0).partition(mesh, viewer,
+                                              np.zeros(2))
+        large = FoveationModel(25.0).partition(mesh, viewer,
+                                               np.zeros(2))
+        assert large.foveal_vertex_fraction > \
+            small.foveal_vertex_fraction
+
+    def test_gaze_missing_body(self, body_model, viewer):
+        mesh = body_model.forward().mesh
+        model = FoveationModel(5.0)
+        part = model.partition(mesh, viewer, np.array([80.0, 0.0]))
+        assert part.foveal.num_faces == 0 or \
+            part.foveal_vertex_fraction < 0.05
+
+    def test_invalid_radius(self):
+        with pytest.raises(SemHoloError):
+            FoveationModel(foveal_radius_degrees=0.0)

@@ -1,0 +1,126 @@
+"""Tests for the pinhole camera model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.camera import Camera, Intrinsics
+
+
+@pytest.fixture()
+def camera() -> Camera:
+    intr = Intrinsics.from_fov(64, 48, 60.0)
+    return Camera.looking_at(intr, eye=(0, 1, 3), target=(0, 1, 0))
+
+
+class TestIntrinsics:
+    def test_from_fov_principal_point_centered(self):
+        intr = Intrinsics.from_fov(640, 480, 90.0)
+        assert intr.cx == 320 and intr.cy == 240
+        assert np.isclose(intr.fx, 320.0)
+
+    def test_invalid_fov(self):
+        with pytest.raises(GeometryError):
+            Intrinsics.from_fov(640, 480, 0.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(GeometryError):
+            Intrinsics(width=0, height=10, fx=1, fy=1, cx=0, cy=0)
+
+    def test_matrix(self):
+        intr = Intrinsics(width=10, height=10, fx=5, fy=6, cx=4, cy=3)
+        k = intr.matrix()
+        assert k[0, 0] == 5 and k[1, 1] == 6 and k[0, 2] == 4
+
+    def test_scaled(self):
+        intr = Intrinsics.from_fov(100, 80, 70.0).scaled(0.5)
+        assert intr.width == 50 and intr.height == 40
+
+    def test_scaled_invalid(self):
+        with pytest.raises(GeometryError):
+            Intrinsics.from_fov(100, 80, 70.0).scaled(-1)
+
+
+class TestProjection:
+    def test_center_point_projects_to_principal_point(self, camera):
+        uv, depth = camera.project(np.array([[0.0, 1.0, 0.0]]))
+        assert np.isclose(depth[0], 3.0)
+        assert np.allclose(
+            uv[0],
+            [camera.intrinsics.cx, camera.intrinsics.cy],
+            atol=1e-9,
+        )
+
+    def test_point_behind_camera_negative_depth(self, camera):
+        _, depth = camera.project(np.array([[0.0, 1.0, 10.0]]))
+        assert depth[0] < 0
+
+    def test_project_unproject_roundtrip(self, camera, rng):
+        points = rng.uniform(-0.5, 0.5, size=(30, 3)) + [0, 1, 0]
+        uv, depth = camera.project(points)
+        back = camera.unproject(uv, depth)
+        assert np.allclose(back, points, atol=1e-9)
+
+    @given(st.floats(0.5, 10.0), st.floats(-0.4, 0.4),
+           st.floats(-0.4, 0.4))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, z, x, y):
+        intr = Intrinsics.from_fov(64, 48, 70.0)
+        camera = Camera(intrinsics=intr)
+        point = np.array([[x, y, -z]])
+        uv, depth = camera.project(point)
+        assert np.isclose(depth[0], z, atol=1e-9)
+        back = camera.unproject(uv, depth)
+        assert np.allclose(back, point, atol=1e-8)
+
+    def test_unproject_length_mismatch(self, camera):
+        with pytest.raises(GeometryError):
+            camera.unproject(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestRays:
+    def test_pixel_ray_count_and_unit(self, camera):
+        origins, directions = camera.pixel_rays()
+        n = camera.intrinsics.width * camera.intrinsics.height
+        assert origins.shape == (n, 3)
+        assert np.allclose(np.linalg.norm(directions, axis=1), 1.0)
+
+    def test_rays_originate_at_camera(self, camera):
+        origins, _ = camera.pixel_rays()
+        assert np.allclose(origins, camera.position)
+
+    def test_central_ray_matches_view_direction(self, camera):
+        _, directions = camera.pixel_rays()
+        h, w = camera.intrinsics.height, camera.intrinsics.width
+        central = directions.reshape(h, w, 3)[h // 2, w // 2]
+        assert np.dot(central, camera.view_direction) > 0.99
+
+
+class TestDepthToCloud:
+    def test_holes_skipped(self, camera):
+        h, w = camera.intrinsics.height, camera.intrinsics.width
+        depth = np.zeros((h, w))
+        depth[10, 20] = 2.0
+        cloud = camera.depth_to_point_cloud(depth)
+        assert len(cloud) == 1
+
+    def test_colors_carried(self, camera):
+        h, w = camera.intrinsics.height, camera.intrinsics.width
+        depth = np.full((h, w), 2.0)
+        rgb = np.zeros((h, w, 3))
+        rgb[..., 0] = 0.7
+        cloud = camera.depth_to_point_cloud(depth, rgb)
+        assert np.allclose(cloud.colors[:, 0], 0.7)
+
+    def test_wrong_shape_raises(self, camera):
+        with pytest.raises(GeometryError):
+            camera.depth_to_point_cloud(np.zeros((5, 5)))
+
+    def test_world_positions_correct(self):
+        intr = Intrinsics.from_fov(32, 32, 90.0)
+        camera = Camera(intrinsics=intr)  # at origin, looking -z
+        depth = np.full((32, 32), 4.0)
+        cloud = camera.depth_to_point_cloud(depth)
+        assert np.allclose(cloud.points[:, 2], -4.0)

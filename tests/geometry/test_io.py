@@ -1,0 +1,138 @@
+"""Tests for OBJ / PLY import and export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.io import load_obj, load_ply, save_obj, save_ply
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.pointcloud import PointCloud
+
+
+@pytest.fixture()
+def colored_mesh():
+    vertices = np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+    )
+    faces = np.array(
+        [[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]], dtype=np.int64
+    )
+    colors = np.array(
+        [[1, 0, 0], [0, 1, 0], [0, 0, 1], [0.5, 0.5, 0.5]]
+    )
+    return TriangleMesh(vertices=vertices, faces=faces,
+                        vertex_colors=colors)
+
+
+class TestObj:
+    def test_roundtrip(self, colored_mesh, tmp_path):
+        path = tmp_path / "mesh.obj"
+        save_obj(colored_mesh, path)
+        loaded = load_obj(path)
+        assert np.allclose(loaded.vertices, colored_mesh.vertices,
+                           atol=1e-5)
+        assert np.array_equal(loaded.faces, colored_mesh.faces)
+        assert np.allclose(loaded.vertex_colors,
+                           colored_mesh.vertex_colors, atol=1e-3)
+
+    def test_without_colors(self, colored_mesh, tmp_path):
+        bare = colored_mesh.copy()
+        bare.vertex_colors = None
+        path = tmp_path / "bare.obj"
+        save_obj(bare, path)
+        loaded = load_obj(path)
+        assert loaded.vertex_colors is None
+
+    def test_quad_triangulated(self, tmp_path):
+        path = tmp_path / "quad.obj"
+        path.write_text(
+            "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nf 1 2 3 4\n"
+        )
+        mesh = load_obj(path)
+        assert mesh.num_faces == 2
+
+    def test_face_with_texture_indices(self, tmp_path):
+        path = tmp_path / "tex.obj"
+        path.write_text(
+            "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1 2/2 3/3\n"
+        )
+        mesh = load_obj(path)
+        assert mesh.num_faces == 1
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.obj"
+        path.write_text("# nothing\n")
+        with pytest.raises(GeometryError):
+            load_obj(path)
+
+    def test_malformed_vertex(self, tmp_path):
+        path = tmp_path / "bad.obj"
+        path.write_text("v 1 2\n")
+        with pytest.raises(GeometryError):
+            load_obj(path)
+
+
+class TestPly:
+    def test_mesh_roundtrip(self, colored_mesh, tmp_path):
+        path = tmp_path / "mesh.ply"
+        save_ply(colored_mesh, path)
+        loaded = load_ply(path)
+        assert isinstance(loaded, TriangleMesh)
+        assert np.allclose(loaded.vertices, colored_mesh.vertices,
+                           atol=1e-5)
+        assert np.array_equal(loaded.faces, colored_mesh.faces)
+        assert np.abs(
+            loaded.vertex_colors - colored_mesh.vertex_colors
+        ).max() < 1 / 255 + 1e-9
+
+    def test_point_cloud_roundtrip(self, tmp_path, rng):
+        cloud = PointCloud(
+            points=rng.normal(size=(50, 3)),
+            colors=rng.random((50, 3)),
+        )
+        path = tmp_path / "cloud.ply"
+        save_ply(cloud, path)
+        loaded = load_ply(path)
+        assert isinstance(loaded, PointCloud)
+        assert np.allclose(loaded.points, cloud.points, atol=1e-5)
+
+    def test_cloud_without_colors(self, tmp_path, rng):
+        cloud = PointCloud(points=rng.normal(size=(10, 3)))
+        path = tmp_path / "bare.ply"
+        save_ply(cloud, path)
+        loaded = load_ply(path)
+        assert loaded.colors is None
+
+    def test_not_ply_raises(self, tmp_path):
+        path = tmp_path / "x.ply"
+        path.write_text("obj\n")
+        with pytest.raises(GeometryError):
+            load_ply(path)
+
+    def test_binary_rejected(self, tmp_path):
+        path = tmp_path / "bin.ply"
+        path.write_text(
+            "ply\nformat binary_little_endian 1.0\n"
+            "element vertex 0\nend_header\n"
+        )
+        with pytest.raises(GeometryError):
+            load_ply(path)
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "trunc.ply"
+        path.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 5\n"
+            "property float x\nproperty float y\nproperty float z\n"
+            "end_header\n0 0 0\n"
+        )
+        with pytest.raises(GeometryError):
+            load_ply(path)
+
+    def test_body_mesh_export(self, body_model, tmp_path):
+        # A realistic payload: the full body template.
+        mesh = body_model.forward().mesh
+        path = tmp_path / "body.ply"
+        save_ply(mesh, path)
+        loaded = load_ply(path)
+        assert loaded.num_vertices == mesh.num_vertices
+        assert loaded.num_faces == mesh.num_faces

@@ -1,0 +1,169 @@
+"""Tests for the triangle-mesh container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh
+
+
+def unit_tetrahedron() -> TriangleMesh:
+    vertices = np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+    )
+    faces = np.array(
+        [[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]], dtype=np.int64
+    )
+    return TriangleMesh(vertices=vertices, faces=faces)
+
+
+def single_triangle() -> TriangleMesh:
+    return TriangleMesh(
+        vertices=[[0, 0, 0], [1, 0, 0], [0, 1, 0]],
+        faces=[[0, 1, 2]],
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        mesh = unit_tetrahedron()
+        assert mesh.num_vertices == 4
+        assert mesh.num_faces == 4
+
+    def test_face_index_out_of_range(self):
+        with pytest.raises(GeometryError):
+            TriangleMesh(vertices=np.zeros((2, 3)), faces=[[0, 1, 2]])
+
+    def test_negative_face_index(self):
+        with pytest.raises(GeometryError):
+            TriangleMesh(vertices=np.zeros((3, 3)), faces=[[0, 1, -1]])
+
+    def test_color_shape_checked(self):
+        with pytest.raises(GeometryError):
+            TriangleMesh(
+                vertices=np.zeros((3, 3)),
+                faces=[[0, 1, 2]],
+                vertex_colors=np.zeros((2, 3)),
+            )
+
+    def test_empty_faces_allowed(self):
+        mesh = TriangleMesh(vertices=np.zeros((3, 3)),
+                            faces=np.zeros((0, 3)))
+        assert mesh.num_faces == 0
+
+
+class TestMeasures:
+    def test_triangle_area(self):
+        assert np.isclose(single_triangle().surface_area(), 0.5)
+
+    def test_tetrahedron_volume(self):
+        # Faces wound outward -> volume 1/6.
+        assert np.isclose(abs(unit_tetrahedron().volume()), 1.0 / 6.0)
+
+    def test_face_normals_unit(self):
+        normals = unit_tetrahedron().face_normals()
+        assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+
+    def test_degenerate_face_zero_normal(self):
+        mesh = TriangleMesh(
+            vertices=[[0, 0, 0], [1, 0, 0], [2, 0, 0]],
+            faces=[[0, 1, 2]],
+        )
+        assert np.allclose(mesh.face_normals(), 0.0)
+
+    def test_vertex_normals_unit_where_defined(self):
+        normals = unit_tetrahedron().vertex_normals()
+        assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+
+
+class TestTopology:
+    def test_tetrahedron_watertight(self):
+        assert unit_tetrahedron().is_watertight()
+
+    def test_open_triangle_not_watertight(self):
+        assert not single_triangle().is_watertight()
+
+    def test_euler_characteristic_sphere_like(self):
+        assert unit_tetrahedron().euler_characteristic() == 2
+
+    def test_edges_unique(self):
+        edges = unit_tetrahedron().edges()
+        assert edges.shape == (6, 2)
+
+    def test_remove_unreferenced(self):
+        mesh = TriangleMesh(
+            vertices=np.vstack([unit_tetrahedron().vertices,
+                                [[9, 9, 9]]]),
+            faces=unit_tetrahedron().faces,
+        )
+        cleaned = mesh.remove_unreferenced_vertices()
+        assert cleaned.num_vertices == 4
+        assert cleaned.is_watertight()
+
+
+class TestSampling:
+    def test_sample_count(self):
+        cloud = unit_tetrahedron().sample_points(500)
+        assert len(cloud) == 500
+
+    def test_samples_on_surface(self):
+        mesh = single_triangle()
+        cloud = mesh.sample_points(200)
+        # All samples on the z = 0 plane, inside the unit triangle.
+        assert np.allclose(cloud.points[:, 2], 0.0)
+        assert np.all(cloud.points[:, 0] + cloud.points[:, 1] <= 1 + 1e-9)
+
+    def test_sampling_deterministic_with_seed(self):
+        mesh = unit_tetrahedron()
+        a = mesh.sample_points(50, rng=np.random.default_rng(7))
+        b = mesh.sample_points(50, rng=np.random.default_rng(7))
+        assert np.allclose(a.points, b.points)
+
+    def test_sample_with_normals(self):
+        cloud = unit_tetrahedron().sample_points(100, with_normals=True)
+        assert cloud.normals is not None
+        assert np.allclose(np.linalg.norm(cloud.normals, axis=1), 1.0)
+
+    def test_sample_colors_interpolated(self):
+        mesh = single_triangle()
+        mesh.vertex_colors = np.array(
+            [[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]]
+        )
+        cloud = mesh.sample_points(100)
+        assert cloud.colors is not None
+        # Barycentric interpolation keeps colours in the simplex.
+        assert np.allclose(cloud.colors.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_sample_empty_raises(self):
+        mesh = TriangleMesh(vertices=np.zeros((3, 3)),
+                            faces=np.zeros((0, 3)))
+        with pytest.raises(GeometryError):
+            mesh.sample_points(10)
+
+
+class TestValidateAndConvert:
+    def test_validate_rejects_nan(self):
+        mesh = single_triangle()
+        mesh.vertices[0, 0] = np.nan
+        with pytest.raises(GeometryError):
+            mesh.validate()
+
+    def test_to_point_cloud(self):
+        cloud = unit_tetrahedron().to_point_cloud()
+        assert len(cloud) == 4
+        assert cloud.normals is not None
+
+    def test_transform_preserves_topology(self, rng):
+        mesh = unit_tetrahedron()
+        from repro.geometry.transforms import (
+            axis_angle_to_matrix,
+            rigid_from_rotation_translation,
+        )
+
+        t = rigid_from_rotation_translation(
+            axis_angle_to_matrix(rng.normal(size=3)), rng.normal(size=3)
+        )
+        out = mesh.transformed(t)
+        assert np.isclose(
+            abs(out.volume()), abs(mesh.volume()), atol=1e-12
+        )

@@ -1,0 +1,159 @@
+"""Tests for the point-cloud container and filters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.transforms import (
+    axis_angle_to_matrix,
+    rigid_from_rotation_translation,
+)
+
+
+def _grid_cloud(n: int = 5) -> PointCloud:
+    axis = np.linspace(0.0, 1.0, n)
+    pts = np.stack(
+        np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    return PointCloud(points=pts)
+
+
+class TestConstruction:
+    def test_basic(self):
+        cloud = PointCloud(points=[[0, 0, 0], [1, 1, 1]])
+        assert len(cloud) == 2
+
+    def test_single_point_promoted(self):
+        cloud = PointCloud(points=[1.0, 2.0, 3.0])
+        assert cloud.points.shape == (1, 3)
+
+    def test_bad_shape(self):
+        with pytest.raises(GeometryError):
+            PointCloud(points=np.zeros((4, 2)))
+
+    def test_color_shape_mismatch(self):
+        with pytest.raises(GeometryError):
+            PointCloud(points=np.zeros((4, 3)), colors=np.zeros((3, 3)))
+
+    def test_bounds_and_centroid(self):
+        cloud = PointCloud(points=[[0, 0, 0], [2, 4, 6]])
+        lo, hi = cloud.bounds()
+        assert np.allclose(lo, [0, 0, 0])
+        assert np.allclose(hi, [2, 4, 6])
+        assert np.allclose(cloud.centroid(), [1, 2, 3])
+
+    def test_empty_bounds_raises(self):
+        cloud = PointCloud(points=np.zeros((0, 3)))
+        with pytest.raises(GeometryError):
+            cloud.bounds()
+
+
+class TestTransform:
+    def test_rigid_transform_moves_points(self, rng):
+        cloud = _grid_cloud(3)
+        rot = axis_angle_to_matrix(rng.normal(size=3))
+        t = rigid_from_rotation_translation(rot, [1.0, 2.0, 3.0])
+        out = cloud.transformed(t)
+        assert np.allclose(
+            out.points, cloud.points @ rot.T + [1, 2, 3]
+        )
+
+    def test_normals_rotate_without_translation(self, rng):
+        pts = rng.normal(size=(10, 3))
+        normals = rng.normal(size=(10, 3))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        cloud = PointCloud(points=pts, normals=normals)
+        rot = axis_angle_to_matrix([0.3, 0.1, -0.5])
+        t = rigid_from_rotation_translation(rot, [5.0, 5.0, 5.0])
+        out = cloud.transformed(t)
+        assert np.allclose(out.normals, normals @ rot.T)
+
+
+class TestDownsample:
+    def test_voxel_downsample_reduces(self):
+        cloud = _grid_cloud(10)
+        down = cloud.voxel_downsample(0.5)
+        assert len(down) < len(cloud)
+        assert len(down) >= 8
+
+    def test_voxel_downsample_preserves_extent(self):
+        cloud = _grid_cloud(10)
+        down = cloud.voxel_downsample(0.3)
+        lo, hi = down.bounds()
+        assert np.all(lo >= -0.01) and np.all(hi <= 1.01)
+
+    def test_voxel_downsample_averages_colors(self):
+        pts = np.array([[0.1, 0, 0], [0.2, 0, 0]])
+        colors = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        cloud = PointCloud(points=pts, colors=colors)
+        down = cloud.voxel_downsample(1.0)
+        assert len(down) == 1
+        assert np.allclose(down.colors[0], 0.5)
+
+    def test_invalid_voxel_size(self):
+        with pytest.raises(GeometryError):
+            _grid_cloud().voxel_downsample(0.0)
+
+    @given(st.floats(0.05, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_downsample_never_grows(self, voxel):
+        cloud = _grid_cloud(6)
+        assert len(cloud.voxel_downsample(voxel)) <= len(cloud)
+
+
+class TestOutliers:
+    def test_outlier_removed(self, rng):
+        pts = rng.normal(0.0, 0.05, size=(200, 3))
+        pts = np.vstack([pts, [[10.0, 10.0, 10.0]]])
+        cloud = PointCloud(points=pts)
+        filtered = cloud.remove_statistical_outliers(k=8, std_ratio=2.0)
+        assert len(filtered) < len(cloud)
+        assert filtered.points.max() < 5.0
+
+    def test_small_cloud_passthrough(self):
+        cloud = PointCloud(points=np.zeros((3, 3)))
+        assert len(cloud.remove_statistical_outliers(k=8)) == 3
+
+
+class TestSubsampleMerge:
+    def test_subsample_count(self):
+        cloud = _grid_cloud(6)
+        assert len(cloud.subsample(10)) == 10
+
+    def test_subsample_noop_when_small(self):
+        cloud = _grid_cloud(2)
+        assert len(cloud.subsample(1000)) == len(cloud)
+
+    def test_merge_concatenates(self):
+        a, b = _grid_cloud(3), _grid_cloud(4)
+        merged = a.merged(b)
+        assert len(merged) == len(a) + len(b)
+
+    def test_merge_drops_partial_attributes(self):
+        a = PointCloud(points=np.zeros((2, 3)),
+                       colors=np.zeros((2, 3)))
+        b = PointCloud(points=np.ones((2, 3)))
+        assert a.merged(b).colors is None
+
+
+class TestNormals:
+    def test_estimate_normals_on_plane(self, rng):
+        pts = np.zeros((100, 3))
+        pts[:, :2] = rng.uniform(-1, 1, size=(100, 2))
+        cloud = PointCloud(points=pts).estimate_normals(k=8)
+        # Plane normal is +/- z.
+        assert np.allclose(np.abs(cloud.normals[:, 2]), 1.0, atol=1e-6)
+
+    def test_estimate_normals_needs_points(self):
+        with pytest.raises(GeometryError):
+            PointCloud(points=np.zeros((2, 3))).estimate_normals()
+
+    def test_normals_unit_length(self, rng):
+        pts = rng.normal(size=(50, 3))
+        cloud = PointCloud(points=pts).estimate_normals(k=6)
+        assert np.allclose(
+            np.linalg.norm(cloud.normals, axis=1), 1.0, atol=1e-9
+        )

@@ -1,0 +1,155 @@
+"""Tests for SDF primitives and CSG operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import sdf
+from repro.geometry.transforms import (
+    axis_angle_to_matrix,
+    rigid_from_rotation_translation,
+)
+
+point = st.lists(st.floats(-2, 2, allow_nan=False), min_size=3,
+                 max_size=3)
+
+
+class TestSphere:
+    def test_sign_convention(self):
+        s = sdf.sphere([0, 0, 0], 1.0)
+        assert s([[0, 0, 0]])[0] < 0  # inside
+        assert s([[2, 0, 0]])[0] > 0  # outside
+        assert np.isclose(s([[1, 0, 0]])[0], 0.0)  # surface
+
+    @given(point)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_distance(self, p):
+        s = sdf.sphere([0, 0, 0], 0.7)
+        expected = np.linalg.norm(p) - 0.7
+        assert np.isclose(s([p])[0], expected, atol=1e-12)
+
+    def test_invalid_radius(self):
+        with pytest.raises(GeometryError):
+            sdf.sphere([0, 0, 0], 0.0)
+
+
+class TestCapsule:
+    def test_axis_distance(self):
+        c = sdf.capsule([0, -1, 0], [0, 1, 0], 0.25)
+        assert np.isclose(c([[0.5, 0, 0]])[0], 0.25)
+        assert np.isclose(c([[0, 2, 0]])[0], 0.75)
+
+    def test_degenerate_capsule_is_sphere(self):
+        c = sdf.capsule([1, 1, 1], [1, 1, 1], 0.5)
+        assert np.isclose(c([[1, 1, 2]])[0], 0.5)
+
+    def test_inside_negative(self):
+        c = sdf.capsule([0, 0, 0], [1, 0, 0], 0.3)
+        assert c([[0.5, 0.0, 0.0]])[0] < 0
+
+
+class TestRoundedCone:
+    def test_tapers(self):
+        c = sdf.rounded_cone([0, 0, 0], [1, 0, 0], 0.4, 0.1)
+        head = c([[0.0, 0.5, 0.0]])[0]
+        tail = c([[1.0, 0.5, 0.0]])[0]
+        assert head < tail  # thicker at the head end
+
+    def test_invalid_radius(self):
+        with pytest.raises(GeometryError):
+            sdf.rounded_cone([0, 0, 0], [1, 0, 0], 0.1, -0.1)
+
+
+class TestEllipsoidBox:
+    def test_ellipsoid_surface_points(self):
+        e = sdf.ellipsoid([0, 0, 0], [1.0, 2.0, 0.5])
+        for p in ([1, 0, 0], [0, 2, 0], [0, 0, 0.5]):
+            assert abs(e([p])[0]) < 1e-9
+
+    def test_ellipsoid_inside(self):
+        e = sdf.ellipsoid([0, 0, 0], [1.0, 2.0, 0.5])
+        assert e([[0, 0, 0]])[0] < 0
+
+    def test_box_exact_outside(self):
+        b = sdf.box([0, 0, 0], [1, 1, 1])
+        assert np.isclose(b([[3, 0, 0]])[0], 2.0)
+        assert np.isclose(b([[2, 2, 0]])[0], np.sqrt(2.0))
+
+    def test_box_inside_negative(self):
+        b = sdf.box([0, 0, 0], [1, 1, 1])
+        assert np.isclose(b([[0, 0, 0]])[0], -1.0)
+
+
+class TestCSG:
+    def test_union_is_min(self, rng):
+        a = sdf.sphere([0, 0, 0], 1.0)
+        b = sdf.sphere([1.5, 0, 0], 1.0)
+        u = sdf.union([a, b])
+        pts = rng.normal(size=(50, 3))
+        assert np.allclose(
+            u(pts), np.minimum(a(pts), b(pts))
+        )
+
+    def test_smooth_union_never_larger_than_min(self, rng):
+        a = sdf.sphere([0, 0, 0], 1.0)
+        b = sdf.sphere([1.0, 0, 0], 1.0)
+        s = sdf.smooth_union([a, b], k=0.2)
+        pts = rng.normal(size=(100, 3)) * 2
+        assert np.all(
+            s(pts) <= np.minimum(a(pts), b(pts)) + 1e-12
+        )
+
+    def test_smooth_union_blends_at_junction(self):
+        a = sdf.sphere([-0.6, 0, 0], 0.5)
+        b = sdf.sphere([0.6, 0, 0], 0.5)
+        hard = sdf.union([a, b])
+        smooth = sdf.smooth_union([a, b], k=0.3)
+        junction = [[0.0, 0.0, 0.0]]
+        assert smooth(junction)[0] < hard(junction)[0]
+
+    def test_intersection_is_max(self, rng):
+        a = sdf.sphere([0, 0, 0], 1.0)
+        b = sdf.box([0, 0, 0], [0.5, 0.5, 0.5])
+        i = sdf.intersection([a, b])
+        pts = rng.normal(size=(50, 3))
+        assert np.allclose(i(pts), np.maximum(a(pts), b(pts)))
+
+    def test_subtraction_removes_inside(self):
+        base = sdf.sphere([0, 0, 0], 1.0)
+        cut = sdf.sphere([0, 0, 0], 0.5)
+        s = sdf.subtraction(base, cut)
+        assert s([[0, 0, 0]])[0] > 0  # the core is removed
+        assert s([[0.75, 0, 0]])[0] < 0  # the shell remains
+
+    def test_empty_union_raises(self):
+        with pytest.raises(GeometryError):
+            sdf.union([])
+
+
+class TestTransformScale:
+    def test_transform_moves_shape(self):
+        s = sdf.sphere([0, 0, 0], 1.0)
+        t = rigid_from_rotation_translation(np.eye(3), [2.0, 0, 0])
+        moved = sdf.transform_sdf(s, t)
+        assert moved([[2, 0, 0]])[0] < 0
+        assert moved([[0, 0, 0]])[0] > 0
+
+    def test_transform_rotation_invariant_for_sphere(self, rng):
+        s = sdf.sphere([0, 0, 0], 1.0)
+        t = rigid_from_rotation_translation(
+            axis_angle_to_matrix(rng.normal(size=3)), np.zeros(3)
+        )
+        rotated = sdf.transform_sdf(s, t)
+        pts = rng.normal(size=(30, 3))
+        assert np.allclose(rotated(pts), s(pts), atol=1e-12)
+
+    def test_scale(self):
+        s = sdf.scale_sdf(sdf.sphere([0, 0, 0], 1.0), 2.0)
+        assert np.isclose(s([[2, 0, 0]])[0], 0.0, atol=1e-12)
+        assert np.isclose(s([[4, 0, 0]])[0], 2.0)
+
+    def test_scale_invalid(self):
+        with pytest.raises(GeometryError):
+            sdf.scale_sdf(sdf.sphere([0, 0, 0], 1.0), 0.0)

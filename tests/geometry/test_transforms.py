@@ -1,0 +1,169 @@
+"""Unit + property tests for rotation / rigid-transform conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.transforms import (
+    apply_rigid,
+    axis_angle_to_matrix,
+    axis_angle_to_quaternion,
+    compose_rigid,
+    invert_rigid,
+    look_at,
+    matrix_to_axis_angle,
+    matrix_to_quaternion,
+    quaternion_to_axis_angle,
+    quaternion_to_matrix,
+    rigid_from_rotation_translation,
+    rotation_between_vectors,
+)
+
+finite_vec3 = st.lists(
+    st.floats(-3.0, 3.0, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestAxisAngle:
+    def test_zero_is_identity(self):
+        assert np.allclose(axis_angle_to_matrix(np.zeros(3)), np.eye(3))
+
+    def test_quarter_turn_about_z(self):
+        m = axis_angle_to_matrix([0.0, 0.0, np.pi / 2])
+        rotated = m @ np.array([1.0, 0.0, 0.0])
+        assert np.allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_batch_shape(self):
+        aa = np.zeros((4, 5, 3))
+        assert axis_angle_to_matrix(aa).shape == (4, 5, 3, 3)
+
+    def test_matrices_are_orthonormal(self, rng):
+        aa = rng.normal(size=(50, 3))
+        mats = axis_angle_to_matrix(aa)
+        identity = np.einsum("nij,nkj->nik", mats, mats)
+        assert np.allclose(identity, np.eye(3), atol=1e-10)
+        assert np.allclose(np.linalg.det(mats), 1.0, atol=1e-10)
+
+    @given(finite_vec3)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_through_matrix(self, vec):
+        aa = np.asarray(vec)
+        angle = np.linalg.norm(aa)
+        # Wrap into (-pi, pi) where the parameterisation is unique.
+        if angle >= np.pi:
+            return
+        recovered = matrix_to_axis_angle(axis_angle_to_matrix(aa))
+        assert np.allclose(recovered, aa, atol=1e-8)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(GeometryError):
+            axis_angle_to_matrix(np.zeros((3, 4)))
+
+
+class TestQuaternion:
+    def test_identity_quaternion(self):
+        assert np.allclose(
+            quaternion_to_matrix([1.0, 0.0, 0.0, 0.0]), np.eye(3)
+        )
+
+    def test_matrix_quaternion_roundtrip(self, rng):
+        aa = rng.normal(size=(100, 3))
+        mats = axis_angle_to_matrix(aa)
+        q = matrix_to_quaternion(mats)
+        back = quaternion_to_matrix(q)
+        assert np.allclose(back, mats, atol=1e-9)
+
+    def test_quaternion_is_unit(self, rng):
+        aa = rng.normal(size=(40, 3))
+        q = axis_angle_to_quaternion(aa)
+        assert np.allclose(np.linalg.norm(q, axis=-1), 1.0)
+
+    def test_canonical_sign(self, rng):
+        aa = rng.normal(size=(40, 3))
+        q = matrix_to_quaternion(axis_angle_to_matrix(aa))
+        assert np.all(q[:, 0] >= -1e-12)
+
+    def test_axis_angle_quaternion_roundtrip(self, rng):
+        aa = rng.uniform(-1.5, 1.5, size=(60, 3))
+        back = quaternion_to_axis_angle(axis_angle_to_quaternion(aa))
+        assert np.allclose(back, aa, atol=1e-9)
+
+    def test_half_turn_edge_case(self):
+        # angle == pi is the degenerate branch of the conversion
+        aa = np.array([np.pi, 0.0, 0.0])
+        m = axis_angle_to_matrix(aa)
+        back = axis_angle_to_matrix(matrix_to_axis_angle(m))
+        assert np.allclose(back, m, atol=1e-8)
+
+
+class TestRigid:
+    def test_invert_composes_to_identity(self, rng):
+        rot = axis_angle_to_matrix(rng.normal(size=3))
+        t = rigid_from_rotation_translation(rot, rng.normal(size=3))
+        assert np.allclose(
+            compose_rigid(t, invert_rigid(t)), np.eye(4), atol=1e-12
+        )
+
+    def test_apply_rigid_matches_manual(self, rng):
+        rot = axis_angle_to_matrix(rng.normal(size=3))
+        trans = rng.normal(size=3)
+        t = rigid_from_rotation_translation(rot, trans)
+        points = rng.normal(size=(20, 3))
+        expected = points @ rot.T + trans
+        assert np.allclose(apply_rigid(t, points), expected)
+
+    def test_compose_order(self, rng):
+        a = rigid_from_rotation_translation(
+            axis_angle_to_matrix([0, 0, np.pi / 2]), [1.0, 0, 0]
+        )
+        b = rigid_from_rotation_translation(np.eye(3), [0.0, 1.0, 0])
+        point = np.array([[0.0, 0.0, 0.0]])
+        # compose(a, b) applies b first.
+        out = apply_rigid(compose_rigid(a, b), point)
+        manual = apply_rigid(a, apply_rigid(b, point))
+        assert np.allclose(out, manual)
+
+
+class TestLookAt:
+    def test_camera_looks_at_target(self):
+        pose = look_at([0, 0, 5], [0, 0, 0])
+        forward = -pose[:3, 2]
+        assert np.allclose(forward, [0, 0, -1], atol=1e-12)
+        assert np.allclose(pose[:3, 3], [0, 0, 5])
+
+    def test_degenerate_eye_target_raises(self):
+        with pytest.raises(GeometryError):
+            look_at([1, 2, 3], [1, 2, 3])
+
+    def test_up_parallel_raises(self):
+        with pytest.raises(GeometryError):
+            look_at([0, 0, 0], [0, 1, 0], up=(0, 1, 0))
+
+    def test_orthonormal(self):
+        pose = look_at([2, 1, 3], [0, 1, 0])
+        rot = pose[:3, :3]
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+
+class TestRotationBetween:
+    @given(finite_vec3, finite_vec3)
+    @settings(max_examples=60, deadline=None)
+    def test_maps_a_to_b(self, a, b):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if np.linalg.norm(a) < 1e-3 or np.linalg.norm(b) < 1e-3:
+            return
+        rot = rotation_between_vectors(a, b)
+        mapped = rot @ (a / np.linalg.norm(a))
+        assert np.allclose(mapped, b / np.linalg.norm(b), atol=1e-8)
+
+    def test_antiparallel(self):
+        rot = rotation_between_vectors([1, 0, 0], [-1, 0, 0])
+        assert np.allclose(rot @ [1, 0, 0], [-1, 0, 0], atol=1e-9)
+        assert np.allclose(np.linalg.det(rot), 1.0)
+
+    def test_identity_for_same_direction(self):
+        rot = rotation_between_vectors([0, 2, 0], [0, 5, 0])
+        assert np.allclose(rot, np.eye(3))

@@ -1,0 +1,174 @@
+"""Tests for 2D detection, lifting, and direct 3D detection."""
+
+import numpy as np
+import pytest
+
+from repro.body.keypoints_def import NUM_KEYPOINTS
+from repro.errors import FittingError
+from repro.keypoints.detector2d import Keypoint2DDetector, Keypoints2D
+from repro.keypoints.detector3d import DepthLifter, Keypoint3DDetector
+from repro.keypoints.lifter import Keypoints3D, MultiViewLifter, \
+    triangulate
+
+
+@pytest.fixture(scope="module")
+def captured(waving_ds):
+    frame = waving_ds.frame(3)
+    return frame
+
+
+class TestDetector2D:
+    def test_detects_most_keypoints(self, captured, rng):
+        detector = Keypoint2DDetector()
+        result = detector.detect(
+            captured.views[0], captured.body_state.keypoints, rng
+        )
+        assert result.detected_mask.sum() > NUM_KEYPOINTS * 0.5
+
+    def test_confidence_range(self, captured, rng):
+        detector = Keypoint2DDetector()
+        result = detector.detect(
+            captured.views[0], captured.body_state.keypoints, rng
+        )
+        assert np.all(result.confidence >= 0)
+        assert np.all(result.confidence <= 1)
+
+    def test_detections_near_projections(self, captured, rng):
+        detector = Keypoint2DDetector(outlier_rate=0.0)
+        view = captured.views[0]
+        result = detector.detect(
+            view, captured.body_state.keypoints, rng
+        )
+        uv, _ = view.camera.project(captured.body_state.keypoints)
+        visible = result.confidence > 0.5
+        err = np.linalg.norm(result.uv[visible] - uv[visible], axis=1)
+        assert np.median(err) < 6.0  # pixels
+
+    def test_occluded_keypoints_lower_confidence(self, captured, rng):
+        detector = Keypoint2DDetector(miss_rate=0.0)
+        result = detector.detect(
+            captured.views[0], captured.body_state.keypoints, rng
+        )
+        detected = result.confidence[result.confidence > 0]
+        # Bimodal: occluded keypoints sit at 0.3.
+        assert (np.isclose(detected, 0.3)).sum() > 0
+
+    def test_shape_validation(self, captured, rng):
+        detector = Keypoint2DDetector()
+        with pytest.raises(Exception):
+            detector.detect(captured.views[0], np.zeros((5, 3)), rng)
+
+    def test_keypoints2d_validation(self):
+        with pytest.raises(Exception):
+            Keypoints2D(uv=np.zeros((5, 2)), confidence=np.zeros(3))
+
+
+class TestTriangulation:
+    def test_exact_for_perfect_observations(self, captured):
+        cameras = [v.camera for v in captured.views]
+        point = np.array([0.1, 1.2, 0.05])
+        uvs = []
+        for camera in cameras:
+            uv, _ = camera.project(point[None])
+            uvs.append(uv[0])
+        recovered, residual = triangulate(
+            cameras, np.array(uvs), np.ones(len(cameras))
+        )
+        assert np.allclose(recovered, point, atol=1e-6)
+        assert residual < 1e-6
+
+    def test_needs_two_views(self, captured):
+        cameras = [captured.views[0].camera]
+        with pytest.raises(FittingError):
+            triangulate(cameras, np.zeros((1, 2)), np.ones(1))
+
+    def test_zero_weights_ignored(self, captured):
+        cameras = [v.camera for v in captured.views]
+        with pytest.raises(FittingError):
+            triangulate(
+                cameras,
+                np.zeros((len(cameras), 2)),
+                np.zeros(len(cameras)),
+            )
+
+
+class TestMultiViewLifter:
+    def test_lift_accuracy(self, captured, rng):
+        detector = Keypoint2DDetector(outlier_rate=0.0)
+        detections = [
+            detector.detect(v, captured.body_state.keypoints, rng)
+            for v in captured.views
+        ]
+        lifter = MultiViewLifter()
+        result = lifter.lift(detections,
+                             [v.camera for v in captured.views])
+        ok = result.confidence > 0.3
+        assert ok.sum() > 45
+        err = np.linalg.norm(
+            result.positions[ok] - captured.body_state.keypoints[ok],
+            axis=1,
+        )
+        assert np.median(err) < 0.08
+
+    def test_mismatched_inputs(self, captured):
+        lifter = MultiViewLifter()
+        with pytest.raises(FittingError):
+            lifter.lift([], [])
+
+
+class TestDepthLifter:
+    def test_lift_through_depth(self, captured, rng):
+        detector = Keypoint2DDetector(outlier_rate=0.0,
+                                      pixel_sigma=0.5)
+        view = captured.views[0]
+        detections = detector.detect(
+            view, captured.body_state.keypoints, rng
+        )
+        lifter = DepthLifter()
+        result = lifter.lift(detections, view)
+        ok = result.confidence > 0.5
+        assert ok.sum() > 30
+        err = np.linalg.norm(
+            result.positions[ok] - captured.body_state.keypoints[ok],
+            axis=1,
+        )
+        assert np.median(err) < 0.06
+
+    def test_depth_hole_skipped(self, captured):
+        view = captured.views[0]
+        lifter = DepthLifter(window=0)
+        detections = Keypoints2D(
+            uv=np.zeros((NUM_KEYPOINTS, 2)),
+            confidence=np.zeros(NUM_KEYPOINTS),
+        )
+        # One detection at a pixel we blank out.
+        detections.uv[0] = [5.5, 5.5]
+        detections.confidence[0] = 1.0
+        view.depth[5, 5] = 0.0
+        result = lifter.lift(detections, view)
+        assert result.confidence[0] == 0.0
+
+
+class TestKeypoint3DDetector:
+    def test_full_detection(self, captured, rng):
+        detector = Keypoint3DDetector()
+        result = detector.detect(
+            captured.views, captured.body_state.keypoints, rng
+        )
+        ok = result.confidence > 0
+        assert ok.sum() > NUM_KEYPOINTS * 0.7
+        err = np.linalg.norm(
+            result.positions[ok] - captured.body_state.keypoints[ok],
+            axis=1,
+        )
+        assert np.median(err) < 0.08
+
+    def test_no_views_raises(self, captured, rng):
+        with pytest.raises(FittingError):
+            Keypoint3DDetector().detect(
+                [], captured.body_state.keypoints, rng
+            )
+
+    def test_latency_reported(self):
+        detector = Keypoint3DDetector()
+        assert detector.total_latency > 0

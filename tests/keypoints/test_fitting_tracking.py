@@ -1,0 +1,248 @@
+"""Tests for pose fitting and temporal tracking."""
+
+import numpy as np
+import pytest
+
+from repro.body.keypoints_def import NUM_KEYPOINTS
+from repro.body.model import BodyModel
+from repro.body.pose import BodyPose
+from repro.body.shape import ShapeParams
+from repro.errors import FittingError
+from repro.keypoints.fitting import PoseFitter, fit_shape_to_keypoints
+from repro.keypoints.lifter import Keypoints3D
+from repro.keypoints.tracking import KeypointTracker
+
+
+def perfect_observation(body_model: BodyModel, pose: BodyPose):
+    state = body_model.forward(pose)
+    return Keypoints3D(
+        positions=state.keypoints,
+        confidence=np.ones(NUM_KEYPOINTS),
+    ), state
+
+
+class TestPoseFitter:
+    def test_perfect_recovery(self, body_model):
+        pose = BodyPose.identity().set_rotation(
+            "left_elbow", [0, 0, 1.1]
+        ).set_rotation("head", [0.2, 0.4, 0.0])
+        observed, state = perfect_observation(body_model, pose)
+        fit = PoseFitter().fit(observed)
+        assert fit.residual < 1e-6
+
+    def test_recovers_translation(self, body_model):
+        pose = BodyPose.identity()
+        pose.translation[:] = [0.4, 0.1, -0.2]
+        observed, _ = perfect_observation(body_model, pose)
+        fit = PoseFitter().fit(observed)
+        assert np.allclose(fit.pose.translation, [0.4, 0.1, -0.2],
+                           atol=1e-9)
+
+    def test_reprojected_body_keypoints_match(self, body_model):
+        # Body joints are fully constrained by long bones; fingers and
+        # eyes are intentionally left to inherit (their offsets are too
+        # short to fit robustly), so only body keypoints are exact.
+        pose = BodyPose.identity()
+        for joint, rotation in [
+            ("left_shoulder", [0.2, 0.1, 0.8]),
+            ("right_elbow", [0.0, -0.6, -0.4]),
+            ("left_hip", [0.5, 0.0, 0.1]),
+            ("spine2", [0.1, 0.2, 0.0]),
+            ("head", [0.2, 0.5, 0.1]),
+        ]:
+            pose = pose.set_rotation(joint, rotation)
+        observed, state = perfect_observation(body_model, pose)
+        fit = PoseFitter().fit(observed)
+        refit_state = body_model.forward(fit.pose)
+        err = np.linalg.norm(
+            refit_state.keypoints - state.keypoints, axis=1
+        )
+        # Joint positions are recovered exactly; off-axis landmarks of
+        # twist-ambiguous joints (shoulder caps) may shift slightly.
+        assert err[:55].max() < 1e-6
+        assert err.max() < 0.03
+
+    def test_reprojection_bounded_for_full_random_pose(
+        self, body_model
+    ):
+        pose = BodyPose.random(np.random.default_rng(11), scale=0.6)
+        observed, state = perfect_observation(body_model, pose)
+        fit = PoseFitter().fit(observed)
+        refit_state = body_model.forward(fit.pose)
+        err = np.linalg.norm(
+            refit_state.keypoints - state.keypoints, axis=1
+        )
+        assert np.median(err) < 0.01  # body solved exactly
+        assert err.max() < 0.25  # unconstrained digits stay bounded
+
+    def test_noise_degrades_gracefully(self, body_model, rng):
+        pose = BodyPose.identity().set_rotation("left_knee",
+                                                [0.8, 0, 0])
+        observed, _ = perfect_observation(body_model, pose)
+        observed.positions = observed.positions + rng.normal(
+            0, 0.01, observed.positions.shape
+        )
+        fit = PoseFitter().fit(observed)
+        assert fit.residual < 0.08
+
+    def test_missing_keypoints_inherit_parent(self, body_model):
+        pose = BodyPose.identity()
+        observed, _ = perfect_observation(body_model, pose)
+        # Drop all hand keypoints.
+        for k in range(25, 55):
+            observed.confidence[k] = 0.0
+        fit = PoseFitter().fit(observed)
+        assert fit.num_constrained < 52
+        assert fit.residual < 0.05
+
+    def test_too_few_keypoints_raises(self):
+        observed = Keypoints3D(
+            positions=np.zeros((NUM_KEYPOINTS, 3)),
+            confidence=np.zeros(NUM_KEYPOINTS),
+        )
+        with pytest.raises(FittingError):
+            PoseFitter().fit(observed)
+
+    def test_wrong_count_raises(self):
+        observed = Keypoints3D(
+            positions=np.zeros((10, 3)), confidence=np.ones(10)
+        )
+        with pytest.raises(FittingError):
+            PoseFitter().fit(observed)
+
+    def test_fit_with_shape(self, body_model):
+        shape = ShapeParams(betas=[1.5, 0.0, 1.0])
+        pose = BodyPose.identity().set_rotation("right_elbow",
+                                                [0, 0, -0.9])
+        state = body_model.forward(pose, shape=shape)
+        observed = Keypoints3D(
+            positions=state.keypoints,
+            confidence=np.ones(NUM_KEYPOINTS),
+        )
+        fit_with = PoseFitter().fit(observed, shape=shape)
+        fit_without = PoseFitter().fit(observed)
+        assert fit_with.residual < fit_without.residual
+
+
+class TestShapeFitting:
+    def test_recovers_height_beta(self, body_model):
+        shape = ShapeParams(betas=[2.0])
+        state = body_model.forward(shape=shape)
+        observed = Keypoints3D(
+            positions=state.keypoints,
+            confidence=np.ones(NUM_KEYPOINTS),
+        )
+        recovered = fit_shape_to_keypoints(observed)
+        assert recovered.betas[0] > 0.8
+
+    def test_neutral_for_neutral(self, body_model):
+        state = body_model.forward()
+        observed = Keypoints3D(
+            positions=state.keypoints,
+            confidence=np.ones(NUM_KEYPOINTS),
+        )
+        recovered = fit_shape_to_keypoints(observed)
+        assert np.abs(recovered.betas).max() < 0.2
+
+    def test_insufficient_observations_neutral(self):
+        observed = Keypoints3D(
+            positions=np.zeros((NUM_KEYPOINTS, 3)),
+            confidence=np.zeros(NUM_KEYPOINTS),
+        )
+        recovered = fit_shape_to_keypoints(observed)
+        assert not np.any(recovered.betas)
+
+
+class TestTracker:
+    def _stream(self, positions_list, times):
+        return [
+            Keypoints3D(
+                positions=p,
+                confidence=np.ones(NUM_KEYPOINTS),
+                timestamp=t,
+            )
+            for p, t in zip(positions_list, times)
+        ]
+
+    def test_first_frame_passthrough(self, rng):
+        tracker = KeypointTracker()
+        positions = rng.normal(size=(NUM_KEYPOINTS, 3))
+        obs = Keypoints3D(positions=positions,
+                          confidence=np.ones(NUM_KEYPOINTS))
+        out = tracker.update(obs)
+        assert np.allclose(out.positions, positions)
+
+    def test_smooths_jitter(self, rng):
+        tracker = KeypointTracker()
+        base = rng.normal(size=(NUM_KEYPOINTS, 3))
+        raw_errs, smooth_errs = [], []
+        for i in range(20):
+            noisy = base + rng.normal(0, 0.02, base.shape)
+            obs = Keypoints3D(
+                positions=noisy,
+                confidence=np.ones(NUM_KEYPOINTS),
+                timestamp=i / 30.0,
+            )
+            out = tracker.update(obs)
+            if i > 5:
+                raw_errs.append(
+                    np.linalg.norm(noisy - base, axis=1).mean()
+                )
+                smooth_errs.append(
+                    np.linalg.norm(out.positions - base, axis=1).mean()
+                )
+        assert np.mean(smooth_errs) < np.mean(raw_errs)
+
+    def test_predicts_through_dropout(self, rng):
+        tracker = KeypointTracker()
+        velocity = np.array([0.3, 0.0, 0.0])
+        base = rng.normal(size=(NUM_KEYPOINTS, 3))
+        out = None
+        for i in range(10):
+            positions = base + velocity * i / 30.0
+            confidence = np.ones(NUM_KEYPOINTS)
+            if i in (6, 7):
+                confidence[:] = 0.0  # dropout
+            obs = Keypoints3D(
+                positions=positions,
+                confidence=confidence,
+                timestamp=i / 30.0,
+            )
+            out = tracker.update(obs)
+            if i in (6, 7):
+                # Predicted, with reduced confidence but finite pos.
+                assert 0 < out.confidence[0] < 0.5
+                err = np.linalg.norm(out.positions[0] - positions[0])
+                assert err < 0.05
+
+    def test_gives_up_after_long_dropout(self, rng):
+        tracker = KeypointTracker(max_prediction_frames=2)
+        base = rng.normal(size=(NUM_KEYPOINTS, 3))
+        obs = Keypoints3D(
+            positions=base, confidence=np.ones(NUM_KEYPOINTS),
+            timestamp=0.0,
+        )
+        tracker.update(obs)
+        out = None
+        for i in range(1, 5):
+            blank = Keypoints3D(
+                positions=base,
+                confidence=np.zeros(NUM_KEYPOINTS),
+                timestamp=i / 30.0,
+            )
+            out = tracker.update(blank)
+        assert np.all(out.confidence == 0)
+
+    def test_reset(self, rng):
+        tracker = KeypointTracker()
+        base = rng.normal(size=(NUM_KEYPOINTS, 3))
+        tracker.update(Keypoints3D(positions=base,
+                                   confidence=np.ones(NUM_KEYPOINTS)))
+        tracker.reset()
+        shifted = base + 5.0
+        out = tracker.update(
+            Keypoints3D(positions=shifted,
+                        confidence=np.ones(NUM_KEYPOINTS))
+        )
+        # After reset there is no smoothing toward the old state.
+        assert np.allclose(out.positions, shifted)

@@ -1,0 +1,162 @@
+"""Tests for the encoding, MLP, and radiance field."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemHoloError
+from repro.nerf.encoding import PositionalEncoding
+from repro.nerf.field import RadianceField
+from repro.nerf.mlp import SlimmableMLP
+
+
+class TestEncoding:
+    def test_output_dim(self):
+        enc = PositionalEncoding(num_frequencies=4)
+        assert enc.output_dim(3) == 3 + 3 * 2 * 4
+        assert enc.encode(np.zeros((5, 3))).shape == (5, 27)
+
+    def test_include_input(self):
+        enc = PositionalEncoding(num_frequencies=2,
+                                 include_input=False)
+        assert enc.output_dim(3) == 12
+
+    def test_zero_maps_to_zero_sines(self):
+        enc = PositionalEncoding(num_frequencies=3)
+        out = enc.encode(np.zeros((1, 3)))
+        assert np.allclose(out[0, :3], 0.0)  # raw input
+        # sin components zero, cos components one
+        rest = out[0, 3:].reshape(-1)
+        assert np.isclose(np.abs(rest).sum(), 9.0)
+
+    def test_invalid_frequencies(self):
+        with pytest.raises(SemHoloError):
+            PositionalEncoding(num_frequencies=0)
+
+    def test_distinguishes_nearby_points(self):
+        enc = PositionalEncoding(num_frequencies=8)
+        a = enc.encode(np.array([[0.500, 0, 0]]))
+        b = enc.encode(np.array([[0.505, 0, 0]]))
+        assert np.linalg.norm(a - b) > 0.1
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = SlimmableMLP(10, 4, hidden_width=16, hidden_layers=2)
+        out = mlp.forward(np.zeros((7, 10)))
+        assert out.shape == (7, 4)
+
+    def test_gradcheck_full_width(self, rng):
+        mlp = SlimmableMLP(5, 2, hidden_width=8, hidden_layers=2,
+                           seed=1)
+        x = rng.normal(size=(6, 5))
+        target = rng.normal(size=(6, 2))
+
+        def loss():
+            out = mlp.forward(x, remember=True)
+            return 0.5 * ((out - target) ** 2).sum(), out
+
+        value, out = loss()
+        grads = mlp.backward(out - target)
+        eps = 1e-6
+        layer = mlp.layers[0]
+        for i, j in [(0, 0), (3, 4), (7, 2)]:
+            original = layer.weight[i, j]
+            layer.weight[i, j] = original + eps
+            up, _ = loss()
+            layer.weight[i, j] = original - eps
+            down, _ = loss()
+            layer.weight[i, j] = original
+            numeric = (up - down) / (2 * eps)
+            assert np.isclose(numeric, grads[0][0][i, j], rtol=1e-4)
+
+    def test_gradcheck_slim_width(self, rng):
+        mlp = SlimmableMLP(5, 2, hidden_width=8, hidden_layers=2,
+                           seed=2)
+        x = rng.normal(size=(4, 5))
+        target = rng.normal(size=(4, 2))
+        fraction = 0.5
+
+        def loss():
+            out = mlp.forward(x, width_fraction=fraction,
+                              remember=True)
+            return 0.5 * ((out - target) ** 2).sum(), out
+
+        _, out = loss()
+        grads = mlp.backward(out - target)
+        eps = 1e-6
+        layer = mlp.layers[1]
+        original = layer.weight[1, 2]
+        layer.weight[1, 2] = original + eps
+        up, _ = loss()
+        layer.weight[1, 2] = original - eps
+        down, _ = loss()
+        layer.weight[1, 2] = original
+        numeric = (up - down) / (2 * eps)
+        assert np.isclose(numeric, grads[1][0][1, 2], rtol=1e-4,
+                          atol=1e-10)
+
+    def test_slim_uses_fewer_parameters(self):
+        mlp = SlimmableMLP(10, 4, hidden_width=64, hidden_layers=3)
+        assert mlp.num_parameters(0.25) < mlp.num_parameters(1.0) / 4
+
+    def test_slim_output_changes_with_width(self, rng):
+        mlp = SlimmableMLP(6, 3, hidden_width=32, hidden_layers=2,
+                           seed=3)
+        x = rng.normal(size=(4, 6))
+        narrow = mlp.forward(x, width_fraction=0.25)
+        wide = mlp.forward(x, width_fraction=1.0)
+        assert not np.allclose(narrow, wide)
+
+    def test_adam_reduces_loss(self, rng):
+        mlp = SlimmableMLP(4, 1, hidden_width=16, hidden_layers=2,
+                           seed=4)
+        x = rng.normal(size=(64, 4))
+        target = (x[:, :1] ** 2 + 0.5 * x[:, 1:2])
+        losses = []
+        for _ in range(100):
+            out = mlp.forward(x, remember=True)
+            diff = out - target
+            losses.append(float((diff**2).mean()))
+            grads = mlp.backward(2 * diff / diff.size)
+            mlp.adam_update(grads, learning_rate=1e-2)
+        assert losses[-1] < losses[0] * 0.2
+
+    def test_backward_requires_forward(self):
+        mlp = SlimmableMLP(4, 1)
+        with pytest.raises(SemHoloError):
+            mlp.backward(np.zeros((2, 1)))
+
+    def test_copy_independent(self, rng):
+        mlp = SlimmableMLP(4, 2, hidden_width=8, seed=5)
+        clone = mlp.copy()
+        mlp.layers[0].weight[:] = 0.0
+        assert np.any(clone.layers[0].weight != 0.0)
+
+    def test_invalid_width_fraction(self):
+        mlp = SlimmableMLP(4, 2)
+        with pytest.raises(SemHoloError):
+            mlp.forward(np.zeros((1, 4)), width_fraction=0.0)
+
+
+class TestRadianceField:
+    def test_query_outputs(self, rng):
+        fld = RadianceField([-1, -1, -1], [1, 1, 1], hidden_width=16,
+                            hidden_layers=2)
+        rgb, sigma, raw = fld.query(rng.normal(size=(10, 3)))
+        assert rgb.shape == (10, 3) and sigma.shape == (10,)
+        assert np.all(rgb >= 0) and np.all(rgb <= 1)
+        assert np.all(sigma >= 0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(SemHoloError):
+            RadianceField([1, 1, 1], [0, 0, 0])
+
+    def test_copy_preserves_outputs(self, rng):
+        fld = RadianceField([-1, -1, -1], [1, 1, 1], hidden_width=16,
+                            hidden_layers=2, seed=6)
+        points = rng.normal(size=(5, 3))
+        rgb_a, sigma_a, _ = fld.query(points)
+        clone = fld.copy()
+        rgb_b, sigma_b, _ = clone.query(points)
+        assert np.allclose(rgb_a, rgb_b)
+        assert np.allclose(sigma_a, sigma_b)

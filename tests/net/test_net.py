@@ -1,0 +1,260 @@
+"""Tests for traces, packets, links, estimators, ABR, and edge compute."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.abr import (
+    OracleRateController,
+    QualityLevel,
+    ThroughputRateController,
+)
+from repro.net.bwe import EwmaEstimator, HarmonicMeanEstimator
+from repro.net.edge import (
+    A100,
+    HEADSET,
+    RTX3080,
+    EdgeServer,
+    reconstruction_memory_gb,
+)
+from repro.net.link import NetworkLink
+from repro.net.packet import packetize, reassemble
+from repro.net.trace import BandwidthTrace
+
+
+class TestTrace:
+    def test_constant(self):
+        trace = BandwidthTrace.constant(10.0)
+        assert trace.at(0.0) == 10.0
+        assert trace.at(100.0) == 10.0
+
+    def test_step(self):
+        trace = BandwidthTrace.step([(0.0, 10.0), (5.0, 2.0)])
+        assert trace.at(4.9) == 10.0
+        assert trace.at(5.1) == 2.0
+
+    def test_transmit_within_segment(self):
+        trace = BandwidthTrace.constant(8.0)  # 1 MB/s
+        assert np.isclose(trace.transmit_seconds(1_000_000, 0.0), 1.0)
+
+    def test_transmit_across_boundary(self):
+        trace = BandwidthTrace.step([(0.0, 8.0), (1.0, 80.0)])
+        # 2 MB: 1 MB in the first second, the rest at 10 MB/s.
+        seconds = trace.transmit_seconds(2_000_000, 0.0)
+        assert np.isclose(seconds, 1.0 + 0.1)
+
+    def test_random_walk_positive(self):
+        trace = BandwidthTrace.random_walk(20.0, duration=10.0, seed=3)
+        assert all(m > 0 for m in trace.mbps)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            BandwidthTrace(times=[1.0], mbps=[5.0])
+        with pytest.raises(NetworkError):
+            BandwidthTrace(times=[0.0, 0.0], mbps=[5.0, 6.0])
+        with pytest.raises(NetworkError):
+            BandwidthTrace(times=[0.0], mbps=[0.0])
+
+
+class TestPackets:
+    def test_packetize_sizes(self):
+        packets = packetize(1, b"x" * 3000, mtu=1400)
+        assert [len(p.payload) for p in packets] == [1400, 1400, 200]
+        assert all(p.total == 3 for p in packets)
+
+    def test_reassemble_roundtrip(self):
+        data = bytes(range(256)) * 20
+        packets = packetize(7, data, mtu=999)
+        assert reassemble(packets) == data
+
+    def test_reassemble_out_of_order(self):
+        data = b"hello world" * 500
+        packets = packetize(1, data, mtu=100)
+        assert reassemble(list(reversed(packets))) == data
+
+    def test_missing_packet_raises(self):
+        packets = packetize(1, b"x" * 3000, mtu=1000)
+        with pytest.raises(NetworkError):
+            reassemble(packets[:-1])
+
+    def test_mixed_frames_raise(self):
+        a = packetize(1, b"x" * 100)
+        b = packetize(2, b"y" * 100)
+        with pytest.raises(NetworkError):
+            reassemble(a + b)
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(NetworkError):
+            packetize(1, b"")
+
+
+class TestLink:
+    def test_latency_components(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(80.0),
+            propagation_delay=0.030,
+            jitter=0.0,
+            loss_rate=0.0,
+        )
+        report = link.send_frame(0, b"x" * 10_000, now=0.0)
+        # 10 KB + headers at 10 MB/s ~ 1 ms + 30 ms propagation.
+        assert report.delivered
+        assert 0.030 < report.latency < 0.035
+
+    def test_queueing_under_overload(self):
+        link = NetworkLink(trace=BandwidthTrace.constant(1.0),
+                           jitter=0.0)
+        latencies = []
+        for i in range(10):
+            report = link.send_frame(i, b"x" * 50_000, now=i / 30.0)
+            latencies.append(report.latency)
+        # 12 Mbps offered on a 1 Mbps link: latency must grow.
+        assert latencies[-1] > latencies[0] * 3
+
+    def test_loss_with_retransmit_still_delivers(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=0.3,
+            retransmit=True,
+            seed=1,
+        )
+        report = link.send_frame(0, b"x" * 20_000, now=0.0)
+        assert report.delivered
+        assert report.packets_lost > 0
+
+    def test_loss_without_retransmit_drops_frames(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=0.5,
+            retransmit=False,
+            seed=2,
+        )
+        outcomes = [
+            link.send_frame(i, b"x" * 20_000, now=i / 30.0).delivered
+            for i in range(10)
+        ]
+        assert not all(outcomes)
+
+    def test_payload_reassembled(self):
+        link = NetworkLink(trace=BandwidthTrace.constant(50.0))
+        data = bytes(range(256)) * 10
+        report = link.send_frame(0, data, now=0.0)
+        assert report.payload == data
+
+    def test_reset_clears_queue(self):
+        link = NetworkLink(trace=BandwidthTrace.constant(1.0))
+        link.send_frame(0, b"x" * 100_000, now=0.0)
+        link.reset()
+        report = link.send_frame(1, b"x" * 1000, now=0.0)
+        assert report.latency < 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NetworkError):
+            NetworkLink(loss_rate=1.5)
+        with pytest.raises(NetworkError):
+            NetworkLink(propagation_delay=-1)
+
+
+class TestEstimators:
+    def test_ewma_converges(self):
+        est = EwmaEstimator(alpha=0.5)
+        for _ in range(20):
+            est.update(10.0)
+        assert np.isclose(est.estimate_mbps, 10.0)
+
+    def test_ewma_smooths(self):
+        est = EwmaEstimator(alpha=0.1)
+        est.update(10.0)
+        est.update(100.0)
+        assert est.estimate_mbps < 30.0
+
+    def test_harmonic_conservative(self):
+        est = HarmonicMeanEstimator(window=4)
+        for sample in (10.0, 10.0, 10.0, 1.0):
+            est.update(sample)
+        arithmetic = (10 + 10 + 10 + 1) / 4
+        assert est.estimate_mbps < arithmetic
+
+    def test_harmonic_window_slides(self):
+        est = HarmonicMeanEstimator(window=2)
+        est.update(1.0)
+        est.update(100.0)
+        est.update(100.0)
+        assert est.estimate_mbps > 50.0
+
+    def test_invalid_params(self):
+        with pytest.raises(NetworkError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(NetworkError):
+            HarmonicMeanEstimator(window=0)
+
+
+class TestABR:
+    LADDER = [
+        QualityLevel("low", 1.0, 0.3),
+        QualityLevel("mid", 5.0, 0.6),
+        QualityLevel("high", 20.0, 1.0),
+    ]
+
+    def test_picks_highest_fitting(self):
+        controller = OracleRateController(self.LADDER)
+        assert controller.select(30.0).name == "high"
+        assert controller.select(6.0).name == "mid"
+        assert controller.select(0.5).name == "low"
+
+    def test_throughput_controller_safety(self):
+        controller = ThroughputRateController(self.LADDER, safety=0.5)
+        # 8 Mbps estimate * 0.5 safety = 4 -> "low" fits, "mid" not.
+        assert controller.select(8.0).name == "low"
+
+    def test_damped_upswitch(self):
+        controller = ThroughputRateController(self.LADDER, safety=1.0)
+        controller.select(1.5)  # start low
+        step = controller.select(100.0)
+        assert step.name == "mid"  # only one rung up at a time
+        assert controller.select(100.0).name == "high"
+
+    def test_immediate_downswitch(self):
+        controller = ThroughputRateController(self.LADDER, safety=1.0)
+        controller.select(100.0)
+        controller.select(100.0)
+        controller.select(100.0)
+        assert controller.select(0.5).name == "low"
+
+    def test_empty_ladder(self):
+        with pytest.raises(NetworkError):
+            OracleRateController([])
+
+
+class TestEdge:
+    def test_fifo_serialisation(self):
+        server = EdgeServer(device=A100)
+        first = server.execute(1.0, now=0.0)
+        second = server.execute(1.0, now=0.0)
+        assert first == 1.0 and second == 2.0
+
+    def test_slower_device_scales(self):
+        fast = EdgeServer(device=A100)
+        slow = EdgeServer(device=RTX3080)
+        assert slow.execute(1.0, 0.0) == 2 * fast.execute(1.0, 0.0)
+
+    def test_headset_much_slower(self):
+        headset = EdgeServer(device=HEADSET)
+        assert headset.execute(0.01, 0.0) >= 0.5
+
+    def test_memory_guard(self):
+        server = EdgeServer(device=RTX3080)
+        with pytest.raises(NetworkError):
+            server.execute(1.0, 0.0, memory_gb=11.0)
+
+    def test_paper_memory_claims(self):
+        # RTX 3080 (10 GB) cannot reconstruct at 512 or 1024; A100 can.
+        assert reconstruction_memory_gb(512) > RTX3080.memory_gb
+        assert reconstruction_memory_gb(1024) > RTX3080.memory_gb
+        assert reconstruction_memory_gb(1024) < A100.memory_gb
+        assert reconstruction_memory_gb(256) < RTX3080.memory_gb
+
+    def test_utilisation(self):
+        server = EdgeServer(device=A100)
+        server.execute(2.0, now=0.0)
+        assert np.isclose(server.utilisation(4.0), 0.5)

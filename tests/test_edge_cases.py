@@ -1,0 +1,176 @@
+"""Edge-case tests across modules (gap coverage)."""
+
+import numpy as np
+import pytest
+
+from repro.body.pose import BodyPose
+from repro.errors import (
+    FittingError,
+    NetworkError,
+    SemHoloError,
+)
+from repro.keypoints.tracking import PoseSmoother
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
+
+
+class TestPoseSmoother:
+    def test_first_pose_passthrough(self):
+        smoother = PoseSmoother(alpha=0.3)
+        pose = BodyPose.random(np.random.default_rng(1))
+        assert smoother.update(pose).distance(pose) < 1e-6
+
+    def test_smooths_toward_new(self):
+        smoother = PoseSmoother(alpha=0.5)
+        a = BodyPose.identity()
+        b = BodyPose.identity().set_rotation("head", [0, 1.0, 0])
+        smoother.update(a)
+        mid = smoother.update(b)
+        angle = mid.rotation("head")[1]
+        assert 0.3 < angle < 0.7
+
+    def test_reset_forgets(self):
+        smoother = PoseSmoother(alpha=0.1)
+        smoother.update(BodyPose.identity())
+        smoother.reset()
+        b = BodyPose.identity().set_rotation("head", [0, 1.0, 0])
+        assert smoother.update(b).distance(b) < 1e-6
+
+    def test_alpha_validated(self):
+        with pytest.raises(FittingError):
+            PoseSmoother(alpha=0.0)
+
+    def test_converges_to_constant_input(self):
+        smoother = PoseSmoother(alpha=0.4)
+        target = BodyPose.identity().set_rotation("left_knee",
+                                                  [0.9, 0, 0])
+        smoother.update(BodyPose.identity())
+        out = None
+        for _ in range(25):
+            out = smoother.update(target)
+        assert out.distance(target) < 0.01
+
+
+class TestLinkThroughput:
+    def test_throughput_reflects_goodput(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(100.0), jitter=0.0
+        )
+        for i in range(10):
+            link.send_frame(i, b"x" * 50_000, now=i / 30.0)
+        throughput = link.throughput_mbps()
+        # 50 KB + headers at 30 fps ~ 12 Mbps offered.
+        assert 5.0 < throughput < 40.0
+
+    def test_throughput_empty_history(self):
+        link = NetworkLink()
+        assert link.throughput_mbps() == 0.0
+
+    def test_history_is_copied(self):
+        link = NetworkLink(trace=BandwidthTrace.constant(10.0))
+        link.send_frame(0, b"x" * 100, now=0.0)
+        history = link.history
+        history.clear()
+        assert len(link.history) == 1
+
+
+class TestTraceEdges:
+    def test_random_walk_deterministic(self):
+        a = BandwidthTrace.random_walk(20.0, duration=5.0, seed=7)
+        b = BandwidthTrace.random_walk(20.0, duration=5.0, seed=7)
+        assert a.mbps == b.mbps
+
+    def test_negative_time_clamped(self):
+        trace = BandwidthTrace.step([(0.0, 5.0), (1.0, 10.0)])
+        assert trace.at(-3.0) == 5.0
+
+    def test_transmit_zero_bytes(self):
+        trace = BandwidthTrace.constant(10.0)
+        assert trace.transmit_seconds(0, 0.0) == 0.0
+
+    def test_transmit_negative_raises(self):
+        with pytest.raises(NetworkError):
+            BandwidthTrace.constant(10.0).transmit_seconds(-1, 0.0)
+
+
+class TestExpressionCaptionEdges:
+    def test_negative_coefficients_roundtrip(self, body_model):
+        from repro.body.expression import ExpressionParams
+        from repro.textsem.captioner import BodyCaptioner
+        from repro.textsem.generator import TextTo3DGenerator
+
+        expression = ExpressionParams.named(smile=-0.8)
+        captioner = BodyCaptioner()
+        frame = captioner.caption(BodyPose.identity(), expression)
+        assert "inverse-" in frame.channels["head"]
+        generator = TextTo3DGenerator(model=body_model, points=100)
+        _, decoded = generator.decode_parameters(frame)
+        smile_index = 2
+        assert decoded.coefficients[smile_index] < -0.4
+
+    def test_caption_without_expression(self):
+        from repro.textsem.captioner import BodyCaptioner
+
+        frame = BodyCaptioner().caption(BodyPose.identity())
+        assert "| face:" not in frame.channels["head"]
+
+
+class TestFoveatedGaze:
+    def test_gaze_update_changes_partition(self, talking_ds):
+        from repro.core.foveated import FoveatedHybridPipeline
+
+        pipe = FoveatedHybridPipeline(
+            foveal_radius_degrees=8.0, peripheral_resolution=32
+        )
+        pipe.reset()
+        frame = talking_ds.frame(0)
+        pipe.set_gaze(np.array([0.0, 10.0]))  # look at the head
+        up = pipe.encode(frame)
+        pipe.set_gaze(np.array([0.0, -20.0]))  # look at the legs
+        down = pipe.encode(frame)
+        assert not np.allclose(
+            up.metadata["gaze_point"], down.metadata["gaze_point"]
+        )
+        assert up.metadata["gaze_point"][1] > \
+            down.metadata["gaze_point"][1]
+
+
+class TestImplicitFieldEdges:
+    def test_translated_body_field_follows(self):
+        from repro.avatar.implicit import PosedBodyField
+
+        pose = BodyPose.identity()
+        pose.translation[:] = [1.0, 0.0, 0.0]
+        fld = PosedBodyField(pose=pose)
+        # The torso is now at x=1.
+        assert fld(np.array([[1.0, 1.2, 0.0]]))[0] < 0
+        assert fld(np.array([[0.0, 1.2, 0.0]]))[0] > 0
+
+    def test_bad_query_shape(self):
+        from repro.avatar.implicit import PosedBodyField
+
+        fld = PosedBodyField()
+        with pytest.raises(SemHoloError):
+            fld(np.zeros((5, 2)))
+
+
+class TestVoxelEdges:
+    def test_contains_out_of_bounds(self):
+        from repro.geometry.pointcloud import PointCloud
+        from repro.geometry.voxel import VoxelGrid
+
+        grid = VoxelGrid.from_point_cloud(
+            PointCloud(points=[[0, 0, 0]]), 0.5
+        )
+        inside = grid.contains([[100.0, 100.0, 100.0]])
+        assert not inside[0]
+
+    def test_negative_dilation_rejected(self):
+        from repro.geometry.pointcloud import PointCloud
+        from repro.geometry.voxel import VoxelGrid
+
+        grid = VoxelGrid.from_point_cloud(
+            PointCloud(points=[[0, 0, 0]]), 0.5
+        )
+        with pytest.raises(SemHoloError):
+            grid.dilated(-1)

@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, not just the fixtures the
+unit tests use: codec roundtrips, geometric conservation laws, and
+parameterisation symmetries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.body.pose import BodyPose
+from repro.body.skeleton import NUM_JOINTS, Skeleton
+from repro.compression.mesh_codec import MeshCodec
+from repro.compression.pointcloud_codec import PointCloudCodec
+from repro.compression.texture_codec import TextureCodec
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.pointcloud import PointCloud
+from repro.geometry.transforms import (
+    apply_rigid,
+    axis_angle_to_matrix,
+    invert_rigid,
+    rigid_from_rotation_translation,
+)
+
+_slow = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _random_mesh(seed: int, n_vertices: int) -> TriangleMesh:
+    """A random triangle soup (valid, possibly degenerate topology)."""
+    rng = np.random.default_rng(seed)
+    vertices = rng.normal(size=(n_vertices, 3))
+    n_faces = max(n_vertices // 2, 1)
+    faces = rng.integers(0, n_vertices, size=(n_faces, 3))
+    # Ensure corners are distinct so faces are structurally valid.
+    faces[:, 1] = (faces[:, 0] + 1 + faces[:, 1] % (n_vertices - 1)) \
+        % n_vertices
+    faces[:, 2] = (faces[:, 1] + 1 + faces[:, 2] % (n_vertices - 1)) \
+        % n_vertices
+    return TriangleMesh(vertices=vertices, faces=faces)
+
+
+class TestCodecProperties:
+    @given(seeds, st.integers(8, 200))
+    @_slow
+    def test_mesh_codec_counts_preserved(self, seed, n_vertices):
+        mesh = _random_mesh(seed, n_vertices)
+        codec = MeshCodec(position_bits=12)
+        decoded = codec.decode(codec.encode(mesh))
+        assert decoded.num_vertices == mesh.num_vertices
+        assert decoded.num_faces == mesh.num_faces
+
+    @given(seeds, st.integers(8, 200))
+    @_slow
+    def test_mesh_codec_error_bounded(self, seed, n_vertices):
+        mesh = _random_mesh(seed, n_vertices)
+        codec = MeshCodec(position_bits=12)
+        decoded = codec.decode(codec.encode(mesh))
+        bound = codec.max_position_error(mesh) * np.sqrt(3) + 1e-9
+        # Vertex sets match up to reordering within quantisation.
+        a = np.sort(mesh.vertices.round(3), axis=0)
+        b = np.sort(decoded.vertices.round(3), axis=0)
+        assert np.abs(a - b).max() <= bound + 2e-3
+
+    @given(seeds, st.integers(20, 500), st.integers(4, 10))
+    @_slow
+    def test_octree_codec_error_bounded(self, seed, count, depth):
+        rng = np.random.default_rng(seed)
+        cloud = PointCloud(points=rng.normal(size=(count, 3)))
+        codec = PointCloudCodec(depth=depth, with_colors=False)
+        decoded = codec.decode(codec.encode(cloud))
+        from scipy.spatial import cKDTree
+
+        d, _ = cKDTree(cloud.points).query(decoded.points)
+        assert d.max() <= codec.voxel_size(cloud) * np.sqrt(3) / 2 + \
+            1e-9
+
+    @given(seeds, st.integers(1, 100))
+    @_slow
+    def test_texture_codec_output_in_range(self, seed, quality):
+        rng = np.random.default_rng(seed)
+        image = rng.random((17, 23, 3))
+        codec = TextureCodec(quality=quality)
+        decoded = codec.decode(codec.encode(image))
+        assert decoded.shape == image.shape
+        assert decoded.min() >= 0.0 and decoded.max() <= 1.0
+
+
+class TestGeometryProperties:
+    @given(seeds)
+    @_slow
+    def test_rigid_transform_preserves_distances(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(20, 3))
+        transform = rigid_from_rotation_translation(
+            axis_angle_to_matrix(rng.normal(size=3)),
+            rng.normal(size=3),
+        )
+        moved = apply_rigid(transform, points)
+        original = np.linalg.norm(
+            points[:, None] - points[None], axis=2
+        )
+        after = np.linalg.norm(moved[:, None] - moved[None], axis=2)
+        assert np.allclose(original, after, atol=1e-9)
+
+    @given(seeds)
+    @_slow
+    def test_invert_rigid_involution(self, seed):
+        rng = np.random.default_rng(seed)
+        transform = rigid_from_rotation_translation(
+            axis_angle_to_matrix(rng.normal(size=3)),
+            rng.normal(size=3),
+        )
+        assert np.allclose(
+            invert_rigid(invert_rigid(transform)), transform,
+            atol=1e-12,
+        )
+
+    @given(seeds, st.floats(0.05, 1.5))
+    @_slow
+    def test_fk_preserves_bone_lengths(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        skeleton = Skeleton.default()
+        rotations = rng.uniform(-scale, scale,
+                                size=(NUM_JOINTS, 3))
+        joints, _ = skeleton.forward(rotations)
+        from repro.body.skeleton import PARENTS
+
+        for child, parent in enumerate(PARENTS):
+            if parent < 0:
+                continue
+            posed = np.linalg.norm(joints[child] - joints[parent])
+            rest = np.linalg.norm(
+                skeleton.rest_positions[child]
+                - skeleton.rest_positions[parent]
+            )
+            assert abs(posed - rest) < 1e-9
+
+
+class TestPoseProperties:
+    @given(seeds, seeds, st.floats(0.0, 1.0))
+    @_slow
+    def test_interpolation_triangle_inequality(self, seed_a, seed_b,
+                                               t):
+        a = BodyPose.random(np.random.default_rng(seed_a), scale=0.5)
+        b = BodyPose.random(np.random.default_rng(seed_b), scale=0.5)
+        mid = a.interpolate(b, t)
+        assert mid.distance(a) + mid.distance(b) <= \
+            a.distance(b) + 1e-6
+
+    @given(seeds)
+    @_slow
+    def test_flatten_roundtrip(self, seed):
+        pose = BodyPose.random(np.random.default_rng(seed))
+        back = BodyPose.from_flat(pose.flatten())
+        assert back.distance(pose) < 1e-6  # arccos precision near identity
+        assert np.allclose(back.translation, pose.translation)
+
+
+class TestTextVocabularyProperties:
+    @given(st.floats(-np.pi, np.pi), st.sampled_from(
+        ["low", "medium", "high"]))
+    @_slow
+    def test_quantisation_error_bounded(self, value, tier_name):
+        from repro.textsem.vocab import TIERS, AxisVocabulary
+
+        vocab = AxisVocabulary("pitch", TIERS[tier_name])
+        decoded = vocab.decode(vocab.encode(value))
+        assert abs(decoded - value) <= TIERS[tier_name].step / 2 + \
+            1e-9

@@ -1,0 +1,110 @@
+"""Public API contract tests: imports, exports, error hierarchy."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+from repro.errors import SemHoloError
+
+SUBPACKAGES = [
+    "repro.geometry",
+    "repro.body",
+    "repro.capture",
+    "repro.keypoints",
+    "repro.avatar",
+    "repro.nerf",
+    "repro.textsem",
+    "repro.compression",
+    "repro.net",
+    "repro.gaze",
+    "repro.core",
+    "repro.bench",
+]
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__")
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_top_level_all_resolves(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_public_classes_documented(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_derive_from_base(self):
+        from repro.errors import (
+            CaptureError,
+            CodecError,
+            FittingError,
+            GeometryError,
+            NetworkError,
+            PipelineError,
+        )
+
+        for error_type in (
+            CaptureError,
+            CodecError,
+            FittingError,
+            GeometryError,
+            NetworkError,
+            PipelineError,
+        ):
+            assert issubclass(error_type, SemHoloError)
+
+    def test_catching_base_catches_all(self):
+        from repro.geometry.pointcloud import PointCloud
+        import numpy as np
+
+        with pytest.raises(SemHoloError):
+            PointCloud(points=np.zeros((3, 2)))
+
+
+class TestPipelineRegistry:
+    def test_all_pipelines_share_the_interface(self, body_model):
+        from repro.core import (
+            FoveatedHybridPipeline,
+            HolographicPipeline,
+            ImageSemanticPipeline,
+            KeypointSemanticPipeline,
+            TextSemanticPipeline,
+            TexturedKeypointPipeline,
+            TraditionalMeshPipeline,
+            TraditionalPointCloudPipeline,
+        )
+
+        pipelines = [
+            TraditionalMeshPipeline(),
+            TraditionalPointCloudPipeline(),
+            KeypointSemanticPipeline(resolution=32),
+            TexturedKeypointPipeline(resolution=32),
+            TextSemanticPipeline(model=body_model, points=100),
+            ImageSemanticPipeline(),
+            FoveatedHybridPipeline(peripheral_resolution=32),
+        ]
+        names = set()
+        for pipeline in pipelines:
+            assert isinstance(pipeline, HolographicPipeline)
+            assert pipeline.name != "abstract"
+            assert pipeline.output_format in (
+                "mesh", "point_cloud", "image",
+            )
+            names.add(pipeline.name)
+        assert len(names) == len(pipelines)  # distinct names

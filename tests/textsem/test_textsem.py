@@ -1,0 +1,223 @@
+"""Tests for vocabulary, cells, captioner, generator, and deltas."""
+
+import numpy as np
+import pytest
+
+from repro.body.expression import ExpressionParams
+from repro.body.pose import BodyPose
+from repro.body.skeleton import JOINT_NAMES
+from repro.errors import SemHoloError
+from repro.textsem.captioner import BodyCaptioner, TextFrame
+from repro.textsem.cells import CELLS, GLOBAL_CHANNEL, cell_of_joint
+from repro.textsem.delta import DeltaDecoder, DeltaEncoder
+from repro.textsem.generator import TextTo3DGenerator
+from repro.textsem.vocab import TIERS, AxisVocabulary
+
+
+class TestVocabulary:
+    def test_roundtrip_within_bin(self):
+        vocab = AxisVocabulary("pitch", TIERS["high"])
+        for value in np.linspace(-3.0, 3.0, 25):
+            word = vocab.encode(value)
+            decoded = vocab.decode(word)
+            assert abs(decoded - value) <= TIERS["high"].step / 2 + 1e-9
+
+    def test_higher_tier_finer(self):
+        low = AxisVocabulary("yaw", TIERS["low"])
+        high = AxisVocabulary("yaw", TIERS["high"])
+        value = 0.5
+        assert abs(high.decode(high.encode(value)) - value) <= \
+            abs(low.decode(low.encode(value)) - value) + 1e-12
+
+    def test_neutral_word(self):
+        vocab = AxisVocabulary("roll", TIERS["medium"])
+        assert vocab.encode(0.0) == "neutral"
+        assert vocab.decode("neutral") == 0.0
+
+    def test_direction_words(self):
+        vocab = AxisVocabulary("yaw", TIERS["medium"])
+        assert "left" in vocab.encode(1.5)
+        assert "right" in vocab.encode(-1.5)
+
+    def test_unknown_word_raises(self):
+        vocab = AxisVocabulary("pitch", TIERS["low"])
+        with pytest.raises(SemHoloError):
+            vocab.decode("wat")
+
+    def test_unknown_axis_raises(self):
+        with pytest.raises(SemHoloError):
+            AxisVocabulary("twist", TIERS["low"])
+
+
+class TestCells:
+    def test_every_joint_has_a_cell(self):
+        for name in JOINT_NAMES:
+            assert cell_of_joint(name)
+
+    def test_pelvis_is_global(self):
+        assert cell_of_joint("pelvis") == GLOBAL_CHANNEL
+
+    def test_cell_count(self):
+        assert len(CELLS) == 8
+
+    def test_unknown_joint(self):
+        with pytest.raises(SemHoloError):
+            cell_of_joint("antenna")
+
+
+class TestCaptioner:
+    def test_caption_has_all_channels(self):
+        captioner = BodyCaptioner()
+        frame = captioner.caption(BodyPose.identity())
+        assert GLOBAL_CHANNEL in frame.channels
+        for cell in CELLS:
+            assert cell.name in frame.channels
+
+    def test_neutral_cells_say_relaxed(self):
+        frame = BodyCaptioner().caption(BodyPose.identity())
+        assert frame.channels["left_leg"] == "relaxed"
+
+    def test_posed_joint_described(self):
+        pose = BodyPose.identity().set_rotation("left_elbow",
+                                                [0, 1.2, 0])
+        frame = BodyCaptioner().caption(pose)
+        assert "left_elbow" in frame.channels["left_arm"]
+        assert "left" in frame.channels["left_arm"]  # yaw word
+
+    def test_expression_in_head_channel(self):
+        frame = BodyCaptioner().caption(
+            BodyPose.identity(),
+            ExpressionParams.named(jaw_open=0.9, pout=0.6),
+        )
+        assert "jaw_open" in frame.channels["head"]
+        assert "pout" in frame.channels["head"]
+
+    def test_size_is_small(self):
+        pose = BodyPose.random(np.random.default_rng(0), scale=0.8)
+        frame = BodyCaptioner().caption(pose)
+        assert frame.total_bytes() < 4000  # well under keypoint payload
+
+    def test_tier_override(self):
+        captioner = BodyCaptioner(tier_overrides={"left_arm": "low"})
+        assert captioner.tier_of("left_arm") == "low"
+        with pytest.raises(SemHoloError):
+            BodyCaptioner(tier_overrides={"left_arm": "ultra"})
+
+
+class TestGenerator:
+    def test_decode_within_quantisation(self, body_model):
+        pose = BodyPose.random(np.random.default_rng(1), scale=0.6)
+        captioner = BodyCaptioner()
+        generator = TextTo3DGenerator(model=body_model, points=2000)
+        frame = captioner.caption(pose)
+        decoded_pose, _ = generator.decode_parameters(frame)
+        err = np.abs(
+            decoded_pose.joint_rotations - pose.joint_rotations
+        )
+        # Worst tier is "low": 5 bins over +/- pi -> step pi/2.
+        assert err.max() <= TIERS["low"].step / 2 + 1e-9
+
+    def test_generate_point_cloud(self, body_model):
+        generator = TextTo3DGenerator(model=body_model, points=1500)
+        frame = BodyCaptioner().caption(BodyPose.identity())
+        out = generator.generate(frame)
+        assert len(out.point_cloud) == 1500
+        lo, hi = out.point_cloud.bounds()
+        assert hi[1] - lo[1] > 1.4  # a full human
+
+    def test_expression_roundtrip_coarse(self, body_model):
+        expression = ExpressionParams.named(jaw_open=0.75)
+        frame = BodyCaptioner().caption(BodyPose.identity(),
+                                        expression)
+        generator = TextTo3DGenerator(model=body_model, points=500)
+        _, decoded = generator.decode_parameters(frame)
+        jaw = decoded.coefficients[0]
+        assert abs(jaw - 0.75) <= 0.25  # 5-level quantisation
+
+    def test_missing_global_raises(self, body_model):
+        generator = TextTo3DGenerator(model=body_model, points=100)
+        frame = TextFrame(channels={"head": "relaxed"})
+        with pytest.raises(SemHoloError):
+            generator.decode_parameters(frame)
+
+    def test_corrupt_channel_raises(self, body_model):
+        generator = TextTo3DGenerator(model=body_model, points=100)
+        captioner = BodyCaptioner()
+        frame = captioner.caption(BodyPose.identity())
+        frame.channels["head"] = "head pitch upward-dog"
+        with pytest.raises(SemHoloError):
+            generator.decode_parameters(frame)
+
+
+class TestDeltas:
+    def _frames(self, count):
+        captioner = BodyCaptioner()
+        frames = []
+        for i in range(count):
+            pose = BodyPose.identity().set_rotation(
+                "left_elbow", [0, 0, 0.5 + 0.6 * (i // 3)]
+            )
+            frames.append(captioner.caption(pose, frame_index=i))
+        return frames
+
+    def test_first_frame_is_keyframe(self):
+        encoder = DeltaEncoder()
+        delta = encoder.encode(self._frames(1)[0])
+        assert delta.is_keyframe
+
+    def test_unchanged_channels_skipped(self):
+        frames = self._frames(3)
+        encoder = DeltaEncoder()
+        encoder.encode(frames[0])
+        delta = encoder.encode(frames[1])
+        assert not delta.is_keyframe
+        assert len(delta.changed) == 0  # identical pose
+
+    def test_changed_channel_included(self):
+        frames = self._frames(4)
+        encoder = DeltaEncoder()
+        for f in frames[:3]:
+            encoder.encode(f)
+        delta = encoder.encode(frames[3])  # elbow angle stepped
+        assert "left_arm" in delta.changed
+
+    def test_decoder_reconstructs_stream(self):
+        frames = self._frames(8)
+        encoder, decoder = DeltaEncoder(), DeltaDecoder()
+        for frame in frames:
+            restored = decoder.decode(encoder.encode(frame))
+            assert restored.channels == frame.channels
+
+    def test_delta_smaller_than_keyframe(self):
+        frames = self._frames(2)
+        encoder = DeltaEncoder()
+        key = encoder.encode(frames[0])
+        delta = encoder.encode(frames[1])
+        assert delta.total_bytes() < key.total_bytes()
+
+    def test_keyframe_interval(self):
+        encoder = DeltaEncoder(keyframe_interval=2)
+        frames = self._frames(6)
+        kinds = [encoder.encode(f).is_keyframe for f in frames]
+        assert kinds == [True, False, False, True, False, False]
+
+    def test_delta_before_keyframe_raises(self):
+        encoder, decoder = DeltaEncoder(), DeltaDecoder()
+        frames = self._frames(2)
+        encoder.encode(frames[0])
+        delta = encoder.encode(frames[1])
+        with pytest.raises(SemHoloError):
+            decoder.decode(delta)
+
+    def test_reference_mismatch_raises(self):
+        frames = self._frames(5)
+        encoder, decoder = DeltaEncoder(), DeltaDecoder()
+        key = encoder.encode(frames[0])
+        decoder.decode(key)
+        encoder.encode(frames[1])  # delta lost in transit
+        d2 = encoder.encode(frames[3])
+        # The elbow changed between 1 and 3, so d2 is non-empty but
+        # references frame 1, which the decoder never saw applied.
+        if not d2.is_keyframe and d2.changed:
+            with pytest.raises(SemHoloError):
+                decoder.decode(d2)
