@@ -87,11 +87,13 @@ def test_ablation_latency_budget(latency_rows, benchmark):
         "mesh_reconstruction"
     assert keypoint.mean_end_to_end > INTERACTIVE_BUDGET
 
-    # The temporal variant recovers a large fraction of the gap.  Its
-    # mean still includes the periodic full keyframes (how many fire
-    # depends on fit jitter), so assert a solid-but-robust improvement
-    # on the mean.
-    assert temporal.mean_end_to_end < keypoint.mean_end_to_end * 0.75
+    # The temporal variant recovers a further fraction of the gap on
+    # top of the warm-started per-frame baseline.  Its mean still
+    # includes the periodic full keyframes (how many fire depends on
+    # fit jitter), so assert a modest-but-robust improvement on the
+    # mean; the order-of-magnitude warp-frame win is asserted in
+    # test_fig4_fps.py's temporal ablation.
+    assert temporal.mean_end_to_end < keypoint.mean_end_to_end * 0.9
 
     # Every semantic pipeline fits comfortably inside broadband.
     for name in ("keypoint-r128", "text-delta"):

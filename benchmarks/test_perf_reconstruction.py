@@ -1,0 +1,188 @@
+"""Perf: fused capsule kernel + temporal warm-start (the hot path).
+
+Figure 4's bottleneck is implicit-field mesh reconstruction.  This
+suite measures the two optimisations that attack it — the fused
+batched capsule kernel (vs the reference closure chain) and
+warm-starting extraction from the previous frame's surface cells —
+and persists the numbers to ``BENCH_reconstruction.json`` at the repo
+root so speedups are diffable across commits.
+
+Both optimisations are exact: fused-vs-reference agreement is asserted
+to 1e-9 on randomised poses, and warm-started frames must produce
+array-identical meshes to a cold start.
+
+Environment knobs:
+    REPRO_BENCH_QUICK: cap the sweep at resolution 128 (CI smoke).
+    REPRO_BENCH_FULL: extend the sweep to resolution 512.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import register
+from repro.avatar.implicit import PosedBodyField
+from repro.avatar.reconstructor import KeypointMeshReconstructor
+from repro.bench.harness import ExperimentTable, safe_rate
+from repro.bench.results import BenchRecord, current_commit, write_records
+from repro.body.motion import talking
+from repro.body.pose import BodyPose
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_reconstruction.json"
+N_FRAMES = 6
+
+if os.environ.get("REPRO_BENCH_QUICK"):
+    RESOLUTIONS = (64, 128)
+elif os.environ.get("REPRO_BENCH_FULL"):
+    RESOLUTIONS = (64, 128, 256, 512)
+else:
+    RESOLUTIONS = (64, 128, 256)
+
+# The acceptance bar: at production resolutions the fused kernel must
+# beat the reference closure chain by at least this much end to end.
+# At CI-smoke resolutions extraction overhead dominates the field
+# evaluations, so the bar there is only "never slower".
+SPEEDUP_FLOOR = {64: 1.0, 128: 1.0, 256: 5.0, 512: 5.0}
+
+
+def _mesh_digest(mesh) -> str:
+    """A bitwise fingerprint — equal digests mean identical meshes."""
+    blob = hashlib.sha256()
+    blob.update(np.ascontiguousarray(mesh.vertices).tobytes())
+    blob.update(np.ascontiguousarray(mesh.faces).tobytes())
+    return blob.hexdigest()
+
+
+def _run_sequence(frames, resolution, fused, warm_start):
+    """Total seconds / evaluations / mesh digests over a sequence.
+
+    Meshes are reduced to digests immediately so the module-scoped
+    sweep never holds dozens of large meshes alive — the memory
+    pressure measurably slows later timed runs.
+    """
+    reconstructor = KeypointMeshReconstructor(
+        resolution=resolution, fused=fused, warm_start=warm_start
+    )
+    results = []
+    start = time.perf_counter()
+    for frame in frames:
+        results.append(reconstructor.reconstruct(pose=frame.pose))
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "evaluations": sum(r.field_evaluations for r in results),
+        "digests": [_mesh_digest(r.mesh) for r in results],
+        "warm_flags": [r.warm_started for r in results],
+    }
+
+
+@pytest.fixture(scope="module")
+def perf_sweep():
+    frames = talking(n_frames=N_FRAMES)
+    sweep = {}
+    for resolution in RESOLUTIONS:
+        sweep[resolution] = {
+            "warm": _run_sequence(frames, resolution, True, True),
+            "cold": _run_sequence(frames, resolution, True, False),
+            "reference": _run_sequence(frames, resolution, False, False),
+        }
+    return sweep
+
+
+def test_fused_matches_reference_randomized(benchmark):
+    """The fused kernel is exact: <= 1e-9 against the closure chain on
+    randomised poses and query points."""
+    rng = np.random.default_rng(7)
+    worst = 0.0
+    for seed in range(3):
+        pose = BodyPose.random(rng=rng, scale=0.6)
+        fused = PosedBodyField(pose=pose, fused=True)
+        reference = PosedBodyField(pose=pose, fused=False)
+        lo, hi = fused.bounds()
+        points = rng.uniform(lo, hi, size=(20_000, 3))
+        error = float(
+            np.abs(fused(points) - reference(points)).max()
+        )
+        worst = max(worst, error)
+    assert worst <= 1e-9, worst
+    register(benchmark, lambda: worst)
+
+
+def test_perf_reconstruction_sweep(perf_sweep, benchmark):
+    """The headline numbers: per-resolution timings of warm / cold /
+    reference over a talking sequence, persisted to BENCH_*.json."""
+    commit = current_commit()
+    table = ExperimentTable(
+        title="Perf — fused kernel + warm start vs reference",
+        columns=["resolution", "reference s", "fused cold s",
+                 "fused warm s", "speedup (ref/warm)", "fps (warm)"],
+        paper_note=(
+            "Figure 4's hot path; fused + warm start, identical output"
+        ),
+    )
+    records = []
+    for resolution in RESOLUTIONS:
+        runs = perf_sweep[resolution]
+        for workload, run in (
+            ("reconstruct-reference", runs["reference"]),
+            ("reconstruct-cold", runs["cold"]),
+            ("reconstruct-warm", runs["warm"]),
+        ):
+            assert run["evaluations"] > 0, (workload, resolution)
+            records.append(
+                BenchRecord(
+                    workload=workload,
+                    resolution=resolution,
+                    seconds=run["seconds"] / N_FRAMES,
+                    evaluations=run["evaluations"],
+                    commit=commit,
+                )
+            )
+        speedup = runs["reference"]["seconds"] / runs["warm"]["seconds"]
+        table.add_row(
+            str(resolution),
+            f"{runs['reference']['seconds'] / N_FRAMES:.3f}",
+            f"{runs['cold']['seconds'] / N_FRAMES:.3f}",
+            f"{runs['warm']['seconds'] / N_FRAMES:.3f}",
+            f"{speedup:.2f}x",
+            f"{safe_rate(runs['warm']['seconds'] / N_FRAMES):.2f}",
+        )
+    table.show()
+    write_records(BENCH_PATH, records)
+
+    for resolution in RESOLUTIONS:
+        runs = perf_sweep[resolution]
+        speedup = runs["reference"]["seconds"] / runs["warm"]["seconds"]
+        assert speedup >= SPEEDUP_FLOOR[resolution], (
+            f"fused+warm only {speedup:.2f}x faster than the reference "
+            f"closure chain at resolution {resolution}"
+        )
+    register(benchmark, table.render)
+
+
+def test_warm_start_is_exact(perf_sweep, benchmark):
+    """Warm-started frames reproduce the cold-start meshes bit for bit
+    while evaluating the field strictly less."""
+    for resolution in RESOLUTIONS:
+        runs = perf_sweep[resolution]
+        warm, cold = runs["warm"], runs["cold"]
+        assert warm["digests"] == cold["digests"], (
+            f"warm-started meshes differ from cold start at "
+            f"resolution {resolution}"
+        )
+        if resolution <= 64:
+            # Dense-path resolutions never warm-start (no cascade to
+            # skip); identity above still must hold.
+            continue
+        assert any(warm["warm_flags"][1:]), (
+            f"warm start never engaged at resolution {resolution}"
+        )
+        assert warm["evaluations"] < cold["evaluations"]
+    register(benchmark, lambda: RESOLUTIONS)

@@ -101,8 +101,16 @@ def taxonomy_rows(bench_model, bench_talking):
         pretrain_steps=60, finetune_steps=15
     )
     rows = {}
+    # Table 1 rates the *surveyed* state of the art — X-Avatar style
+    # per-frame implicit reconstruction — so the keypoint row measures
+    # the reference field/cascade, not this repo's fused+warm-start
+    # fast path (whose gains are quantified in
+    # test_perf_reconstruction.py instead).
+    keypoint_pipe = KeypointSemanticPipeline(resolution=128)
+    keypoint_pipe.reconstructor.fused = False
+    keypoint_pipe.reconstructor.warm_start = False
     rows["keypoint"] = _run_pipeline(
-        KeypointSemanticPipeline(resolution=128),
+        keypoint_pipe,
         bench_talking,
         _quality_keypoint(truth_frame),
     )

@@ -45,6 +45,8 @@ class PosedBodyField:
             reconstructor whose geometry cannot represent expression
             detail beyond what the jaw joint carries.
         blend: smooth-union radius between bone capsules.
+        fused: evaluate the capsule union with the fused batched kernel
+            (default); ``False`` keeps the reference closure chain.
     """
 
     def __init__(
@@ -53,6 +55,7 @@ class PosedBodyField:
         shape: Optional[ShapeParams] = None,
         expression: Optional[ExpressionParams] = None,
         blend: float = 0.035,
+        fused: bool = True,
     ) -> None:
         self.pose = pose or BodyPose.identity()
         self.shape = shape or ShapeParams.neutral()
@@ -95,7 +98,10 @@ class PosedBodyField:
             + head_transform[:3, 3]
         )
         self._base_sdf = body_sdf_from_segments(
-            self.segments, head_center=self._head_center, blend=blend
+            self.segments,
+            head_center=self._head_center,
+            blend=blend,
+            fused=fused,
         )
         self._has_expression = (
             self.expression is not None

@@ -74,8 +74,9 @@ class TemporalReconstructor:
         self.warps = 0
 
     def reset(self) -> None:
-        """Drop the cached keyframe."""
+        """Drop the cached keyframe and the base's warm-start state."""
         self.__post_init__()
+        self.base.reset()
 
     def reconstruct(
         self,
@@ -147,6 +148,12 @@ class TemporalReconstructor:
         seconds = time.perf_counter() - start
         self._warps_since_key += 1
         self.warps += 1
+        # Warps re-pose the cached keyframe mesh; the implicit field is
+        # never queried.
         return ReconstructionResult(
-            mesh=mesh, resolution=self.base.resolution, seconds=seconds
+            mesh=mesh,
+            resolution=self.base.resolution,
+            seconds=seconds,
+            field_evaluations=0,
+            warm_started=False,
         )

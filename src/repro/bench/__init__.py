@@ -1,6 +1,18 @@
 """Benchmark harness: shared workloads and table printers."""
 
-from repro.bench.harness import ExperimentTable, format_mbps, format_ms
+from repro.bench.harness import (
+    ExperimentTable,
+    format_mbps,
+    format_ms,
+    safe_rate,
+)
+from repro.bench.results import (
+    BenchRecord,
+    current_commit,
+    load_records,
+    merge_records,
+    write_records,
+)
 from repro.bench.workloads import (
     presenting_dataset,
     shared_body_model,
@@ -10,9 +22,15 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "BenchRecord",
     "ExperimentTable",
+    "current_commit",
     "format_mbps",
     "format_ms",
+    "load_records",
+    "merge_records",
+    "safe_rate",
+    "write_records",
     "presenting_dataset",
     "shared_body_model",
     "standard_rig",

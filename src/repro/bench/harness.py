@@ -14,12 +14,22 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import SemHoloError
 
 __all__ = ["ExperimentTable", "SHOWN_TABLES", "format_mbps",
-           "format_ms"]
+           "format_ms", "safe_rate"]
 
 # Every rendered table is also appended here so a test harness can
 # re-emit them after output capture (see benchmarks/conftest.py's
 # pytest_terminal_summary hook).
 SHOWN_TABLES: list = []
+
+
+def safe_rate(seconds: float) -> float:
+    """Events per second for a measured duration, inf-safe.
+
+    Timers can legitimately read 0.0 (coarse clocks, sub-resolution
+    work); dividing through would raise, so a zero duration maps to
+    ``inf`` — "too fast to measure" — which formats and compares fine.
+    """
+    return 1.0 / seconds if seconds > 0 else float("inf")
 
 
 def format_mbps(value: float) -> str:

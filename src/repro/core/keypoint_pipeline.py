@@ -90,8 +90,9 @@ class KeypointSemanticPipeline(HolographicPipeline):
     def reset(self) -> None:
         self.tracker.reset()
         self.pose_smoother.reset()
-        if self._temporal:
-            self.reconstructor.reset()
+        # Both reconstructor flavours carry inter-frame state now: the
+        # temporal wrapper its keyframe, the base its warm-start seed.
+        self.reconstructor.reset()
         self._rng = np.random.default_rng(self._seed)
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
@@ -158,5 +159,9 @@ class KeypointSemanticPipeline(HolographicPipeline):
             frame_index=encoded.frame_index,
             surface=result.mesh,
             timing=timing,
-            metadata={"resolution": self.resolution},
+            metadata={
+                "resolution": self.resolution,
+                "field_evaluations": result.field_evaluations,
+                "warm_started": result.warm_started,
+            },
         )

@@ -13,7 +13,12 @@ from repro.geometry.distance import (
     point_to_mesh_distance,
 )
 from repro.geometry.io import load_obj, load_ply, save_obj, save_ply
-from repro.geometry.marching import extract_surface, marching_tetrahedra
+from repro.geometry.marching import (
+    ExtractionStats,
+    extract_surface,
+    marching_tetrahedra,
+)
+from repro.geometry.sdf import FusedCapsuleUnion
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.pointcloud import PointCloud
 from repro.geometry.simplify import (
@@ -51,6 +56,8 @@ __all__ = [
     "mesh_to_mesh_distance",
     "normal_consistency",
     "point_to_mesh_distance",
+    "ExtractionStats",
+    "FusedCapsuleUnion",
     "extract_surface",
     "load_obj",
     "load_ply",

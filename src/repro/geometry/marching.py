@@ -16,6 +16,7 @@ orientation is fixed numerically so normals point toward positive SDF.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -23,7 +24,50 @@ import numpy as np
 from repro.errors import GeometryError
 from repro.geometry.mesh import TriangleMesh
 
-__all__ = ["marching_tetrahedra", "extract_surface"]
+__all__ = [
+    "marching_tetrahedra",
+    "extract_surface",
+    "ExtractionStats",
+    "dilate_cells",
+]
+
+
+@dataclass
+class ExtractionStats:
+    """Observability and warm-start state from one extraction.
+
+    Pass a fresh instance to :func:`extract_surface` via ``stats=`` and
+    it is filled in place: how many SDF evaluations the extraction
+    actually performed, whether it ran from a warm seed, and the finest-
+    level surface cells (with their grid frame) that a subsequent frame
+    can use as its seed.
+    """
+
+    field_evaluations: int = 0
+    warm_started: bool = False
+    #: (M, 3) integer coords of finest-level cells straddling the iso
+    #: level, or None when the extraction produced no surface.
+    surface_cells: Optional[np.ndarray] = None
+    #: world position of grid corner (0, 0, 0) for ``surface_cells``.
+    origin: np.ndarray = field(
+        default_factory=lambda: np.zeros(3)
+    )
+    #: finest-level cell edge length for ``surface_cells``.
+    spacing: float = 0.0
+    #: finest-level cells per axis.
+    resolution: int = 0
+
+
+class _CountingSDF:
+    """Wrap an SDF callable, counting how many points it evaluates."""
+
+    def __init__(self, sdf: Callable[[np.ndarray], np.ndarray]):
+        self._sdf = sdf
+        self.count = 0
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        self.count += len(points)
+        return self._sdf(points)
 
 # Cube corner offsets, corner c = (x, y, z) bit pattern.
 _CUBE_CORNERS = np.array(
@@ -143,6 +187,8 @@ def extract_surface(
     iso: float = 0.0,
     base_resolution: int = 32,
     dense_threshold: int = 64,
+    seed_cells: Optional[np.ndarray] = None,
+    stats: Optional[ExtractionStats] = None,
 ) -> TriangleMesh:
     """Extract the zero level set of an SDF inside an axis-aligned box.
 
@@ -159,6 +205,14 @@ def extract_surface(
         iso: iso value.
         base_resolution: dense resolution of the coarsest level.
         dense_threshold: resolutions up to this are sampled densely.
+        seed_cells: optional (M, 3) finest-level cell coordinates to
+            warm-start from (e.g. the previous frame's surface cells,
+            dilated by the motion bound).  When given, the coarse-to-
+            fine cascade is skipped entirely and only these cells are
+            evaluated; the caller must guarantee the seed covers every
+            surface-crossing cell or parts of the surface will be
+            missed.  Ignored at dense resolutions.
+        stats: optional :class:`ExtractionStats` filled in place.
 
     Returns:
         The extracted :class:`TriangleMesh`.
@@ -174,22 +228,174 @@ def extract_surface(
     # still well defined.
     hi = lo + extent
 
+    counting = _CountingSDF(sdf)
     if resolution <= dense_threshold:
-        return _extract_dense(sdf, lo, extent, resolution, iso)
-    return _extract_sparse(
-        sdf, lo, extent, resolution, iso, base_resolution
-    )
+        mesh, surface_cells = _extract_dense(
+            counting, lo, extent, resolution, iso
+        )
+        warm = False
+    elif seed_cells is not None and len(seed_cells):
+        mesh, surface_cells = _extract_seeded(
+            counting, lo, extent, resolution, iso, seed_cells
+        )
+        warm = True
+    else:
+        mesh, surface_cells = _extract_sparse(
+            counting, lo, extent, resolution, iso, base_resolution
+        )
+        warm = False
+
+    if stats is not None:
+        stats.field_evaluations = counting.count
+        stats.warm_started = warm
+        stats.surface_cells = surface_cells
+        stats.origin = lo
+        stats.spacing = extent / resolution
+        stats.resolution = resolution
+    return mesh
+
+
+def dilate_cells(
+    cells: np.ndarray, dilation: int, resolution: int
+) -> np.ndarray:
+    """Grow a cell set by a Chebyshev (L-inf) ball of radius ``dilation``.
+
+    Used to widen a previous frame's surface cells by the inter-frame
+    motion bound before seeding :func:`extract_surface`.  Cells are
+    clipped to ``[0, resolution)`` and deduplicated; the result is
+    sorted by linear grid index.
+    """
+    cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+    if not len(cells):
+        return cells
+    cells = np.clip(cells, 0, resolution - 1)
+    # Work in a boolean volume cropped to the seed bounding box: axis-
+    # shifted slice ORs dilate without any sorting, and np.argwhere
+    # returns the result already in linear-index order.
+    lo = np.maximum(cells.min(axis=0) - dilation, 0)
+    hi = np.minimum(cells.max(axis=0) + dilation + 1, resolution)
+    volume = np.zeros(hi - lo, dtype=bool)
+    local = cells - lo
+    volume[local[:, 0], local[:, 1], local[:, 2]] = True
+    # One sweep per axis per iteration; composing the three axis sweeps
+    # yields the full 3x3x3 neighbourhood, so ``dilation`` iterations
+    # cover the L-inf ball of that radius.
+    for _ in range(max(dilation, 0)):
+        for axis in range(3):
+            grown = volume.copy()
+            ahead = [slice(None)] * 3
+            behind = [slice(None)] * 3
+            ahead[axis] = slice(1, None)
+            behind[axis] = slice(None, -1)
+            grown[tuple(ahead)] |= volume[tuple(behind)]
+            grown[tuple(behind)] |= volume[tuple(ahead)]
+            volume = grown
+    return np.argwhere(volume) + lo
+
+
+def _straddling(
+    cells: np.ndarray, corner_values: np.ndarray, iso: float
+) -> np.ndarray:
+    vmin = corner_values.min(axis=1)
+    vmax = corner_values.max(axis=1)
+    return cells[(vmin <= iso) & (vmax >= iso)]
+
+
+def _sort_cells(
+    cells: np.ndarray, corner_values: np.ndarray, resolution: int
+) -> tuple:
+    """Order cells by linear grid index.
+
+    Cell order determines face order in :func:`_polygonise`, so sorting
+    makes the output mesh a pure function of the cell *set* — seeded
+    (warm-start) and cascade (cold) extractions that visit the same
+    cells produce array-identical meshes.
+    """
+    linear = (
+        cells[:, 0] * resolution + cells[:, 1]
+    ) * resolution + cells[:, 2]
+    order = np.argsort(linear, kind="stable")
+    return cells[order], corner_values[order]
 
 
 def _extract_dense(
     sdf, lo: np.ndarray, extent: float, resolution: int, iso: float
-) -> TriangleMesh:
+) -> tuple:
     axis = np.linspace(0.0, extent, resolution + 1)
     grid = np.stack(
         np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1
     ).reshape(-1, 3) + lo
     values = sdf(grid).reshape(resolution + 1, resolution + 1, resolution + 1)
-    return marching_tetrahedra(values, lo, extent / resolution, iso)
+    cells = np.stack(
+        np.meshgrid(
+            np.arange(resolution),
+            np.arange(resolution),
+            np.arange(resolution),
+            indexing="ij",
+        ),
+        axis=-1,
+    ).reshape(-1, 3)
+    corner_values = _gather_corner_values(values, cells)
+    # Only straddling cells can emit triangles, and restricting
+    # _polygonise to them (in the same linear order) leaves the output
+    # bit-identical to full-grid marching, at a fraction of the cost.
+    straddle = (corner_values.min(axis=1) <= iso) & (
+        corner_values.max(axis=1) >= iso
+    )
+    mesh = _polygonise(
+        cells[straddle],
+        corner_values[straddle],
+        np.array(values.shape),
+        lo,
+        extent / resolution,
+        iso,
+    )
+    return mesh, cells[straddle]
+
+
+def _extract_seeded(
+    sdf,
+    lo: np.ndarray,
+    extent: float,
+    resolution: int,
+    iso: float,
+    seed_cells: np.ndarray,
+) -> tuple:
+    """Finest-level-only extraction over caller-provided candidate cells."""
+    spacing = extent / resolution
+    seeds = np.asarray(seed_cells, dtype=np.int64).reshape(-1, 3)
+    seeds = seeds[
+        np.all((seeds >= 0) & (seeds < resolution), axis=1)
+    ]
+    if not len(seeds):
+        empty = TriangleMesh(
+            vertices=np.zeros((0, 3)), faces=np.zeros((0, 3), dtype=np.int64)
+        )
+        return empty, np.zeros((0, 3), dtype=np.int64)
+    # Deduplicate via the linear index; sorting gives the same cell
+    # order a cold cascade (post _sort_cells) would produce.  Seeds from
+    # dilate_cells arrive already sorted and unique, so the sort is
+    # skipped when a cheap monotonicity check passes.
+    linear = (
+        seeds[:, 0] * resolution + seeds[:, 1]
+    ) * resolution + seeds[:, 2]
+    if len(linear) > 1 and not np.all(linear[1:] > linear[:-1]):
+        linear = np.unique(linear)
+    cells = np.stack(
+        [
+            linear // (resolution * resolution),
+            (linear // resolution) % resolution,
+            linear % resolution,
+        ],
+        axis=1,
+    )
+    corner_values = _evaluate_corners(
+        sdf, cells, lo, spacing, resolution + 1
+    )
+    cells, corner_values = _active_cells(cells, corner_values, iso, 0.0)
+    grid_shape = np.array([resolution + 1] * 3)
+    mesh = _polygonise(cells, corner_values, grid_shape, lo, spacing, iso)
+    return mesh, cells
 
 
 def _extract_sparse(
@@ -199,7 +405,7 @@ def _extract_sparse(
     resolution: int,
     iso: float,
     base_resolution: int,
-) -> TriangleMesh:
+) -> tuple:
     # Build the level schedule: base, base*2, ..., resolution.  The
     # finest level must be an exact power-of-two multiple of the base.
     levels = [resolution]
@@ -238,8 +444,10 @@ def _extract_sparse(
             children, corner_values, iso, spacing if keep_margin else 0.0
         )
 
+    cells, corner_values = _sort_cells(cells, corner_values, resolution)
     grid_shape = np.array([resolution + 1] * 3)
-    return _polygonise(cells, corner_values, grid_shape, lo, spacing, iso)
+    mesh = _polygonise(cells, corner_values, grid_shape, lo, spacing, iso)
+    return mesh, cells
 
 
 def _gather_corner_values(
@@ -249,24 +457,59 @@ def _gather_corner_values(
     return values[corners[..., 0], corners[..., 1], corners[..., 2]]
 
 
+# Above this many corner-grid entries the dense dedup scratch array is
+# not worth its memory (8 bytes each); fall back to sort-based dedup.
+_DENSE_DEDUP_LIMIT = 24_000_000
+
+
 def _evaluate_corners(
     sdf, cells: np.ndarray, lo: np.ndarray, spacing: float, n_corners: int
 ) -> np.ndarray:
-    """Evaluate the SDF at the 8 corners of each cell, deduplicated."""
-    corners = (cells[:, None, :] + _CUBE_CORNERS[None]).reshape(-1, 3)
-    linear = (
-        corners[:, 0] * n_corners + corners[:, 1]
-    ) * n_corners + corners[:, 2]
+    """Evaluate the SDF at the 8 corners of each cell, deduplicated.
+
+    Corners shared between cells are evaluated once.  Both dedup
+    strategies visit the unique corners in the same (linear-index)
+    order, so they are interchangeable: a scatter/gather through a
+    dense scratch array over the cells' bounding box when that fits
+    comfortably in memory, and a sort-based ``np.unique`` otherwise.
+    """
+    bbox_lo = cells.min(axis=0)
+    shape = cells.max(axis=0) - bbox_lo + 2  # corner grid of the bbox
+    if int(shape.prod()) <= _DENSE_DEDUP_LIMIT:
+        local = cells - bbox_lo
+        s1, s2 = int(shape[1]), int(shape[2])
+        dtype = np.int32 if int(shape.prod()) < 2**31 else np.int64
+        base = (
+            local[:, 0].astype(dtype) * s1 + local[:, 1]
+        ) * s2 + local[:, 2]
+        offsets = (
+            (_CUBE_CORNERS[:, 0] * s1 + _CUBE_CORNERS[:, 1]) * s2
+            + _CUBE_CORNERS[:, 2]
+        ).astype(dtype)
+        flat = base[:, None] + offsets[None, :]  # (M, 8)
+        mask = np.zeros(int(shape.prod()), dtype=bool)
+        mask[flat.ravel()] = True
+        corner_local = np.argwhere(mask.reshape(tuple(shape)))
+        values = sdf(lo + (corner_local + bbox_lo) * spacing)
+        dense = np.empty(int(shape.prod()))
+        dense[mask] = values
+        return dense[flat]
+    n = n_corners
+    dtype = np.int32 if n**3 < 2**31 else np.int64
+    c = cells.astype(dtype, copy=False)
+    base = (c[:, 0] * n + c[:, 1]) * n + c[:, 2]
+    offsets = (
+        (_CUBE_CORNERS[:, 0] * n + _CUBE_CORNERS[:, 1]) * n
+        + _CUBE_CORNERS[:, 2]
+    ).astype(dtype)
+    linear = (base[:, None] + offsets[None, :]).ravel()
     unique, inverse = np.unique(linear, return_inverse=True)
-    unique_coords = np.stack(
-        [
-            unique // (n_corners * n_corners),
-            (unique // n_corners) % n_corners,
-            unique % n_corners,
-        ],
-        axis=1,
-    ).astype(np.float64)
-    unique_values = sdf(lo + unique_coords * spacing)
+    coords = np.empty((len(unique), 3))
+    coords[:, 0] = unique // (n * n)
+    rem = unique % (n * n)
+    coords[:, 1] = rem // n
+    coords[:, 2] = rem % n
+    unique_values = sdf(lo + coords * spacing)
     return unique_values[inverse].reshape(-1, 8)
 
 def _active_cells(
@@ -309,13 +552,11 @@ def _polygonise(
         corner_coords[..., 0] * grid_shape[1] + corner_coords[..., 1]
     ) * grid_shape[2] + corner_coords[..., 2]
 
-    edge_keys = []  # (n_tris, 3) int64 pair-encoded edge ids
     edge_a_ids = []
     edge_b_ids = []
     edge_a_vals = []
     edge_b_vals = []
 
-    n_corner_total = int(grid_shape.prod())
     for tet in _CUBE_TETS:
         tet_vals = corner_values[:, tet]  # (M, 4)
         tet_ids = corner_ids[:, tet]  # (M, 4)
@@ -336,30 +577,51 @@ def _polygonise(
             for tri in tris:
                 a_local = np.array([edge[0] for edge in tri])
                 b_local = np.array([edge[1] for edge in tri])
-                a_ids = tet_ids[sel][:, a_local]  # (S, 3)
-                b_ids = tet_ids[sel][:, b_local]
-                a_vals = tet_vals[sel][:, a_local]
-                b_vals = tet_vals[sel][:, b_local]
-                lo_ids = np.minimum(a_ids, b_ids)
-                hi_ids = np.maximum(a_ids, b_ids)
-                keys = lo_ids * n_corner_total + hi_ids
-                edge_keys.append(keys)
-                edge_a_ids.append(a_ids)
-                edge_b_ids.append(b_ids)
-                edge_a_vals.append(a_vals)
-                edge_b_vals.append(b_vals)
+                sel2 = sel[:, None]
+                edge_a_ids.append(tet_ids[sel2, a_local])  # (S, 3)
+                edge_b_ids.append(tet_ids[sel2, b_local])
+                edge_a_vals.append(tet_vals[sel2, a_local])
+                edge_b_vals.append(tet_vals[sel2, b_local])
 
-    if not edge_keys:
+    if not edge_a_ids:
         return TriangleMesh(
             vertices=np.zeros((0, 3)), faces=np.zeros((0, 3), dtype=np.int64)
         )
 
-    keys = np.concatenate(edge_keys, axis=0)  # (T, 3)
     a_ids = np.concatenate(edge_a_ids, axis=0).ravel()
     b_ids = np.concatenate(edge_b_ids, axis=0).ravel()
     a_vals = np.concatenate(edge_a_vals, axis=0).ravel()
     b_vals = np.concatenate(edge_b_vals, axis=0).ravel()
-    flat_keys = keys.ravel()
+
+    # Edges only ever connect corners of one cube, so the id difference
+    # is one of a handful of constants.  Encoding an edge as
+    # (smaller id, offset code) keeps keys small — int32 when the grid
+    # allows, which makes the dedup sort markedly faster — and gives the
+    # per-edge direction vector by table lookup instead of decoding
+    # every corner id.  Key order matches the old (lo, hi) encoding, so
+    # vertex/face output is unchanged.
+    gs1, gs2 = int(grid_shape[1]), int(grid_shape[2])
+    local_off = (
+        _CUBE_CORNERS[:, 0] * gs1 + _CUBE_CORNERS[:, 1]
+    ) * gs2 + _CUBE_CORNERS[:, 2]
+    pair_diffs = np.unique(np.abs(local_off[:, None] - local_off[None, :]))
+    pair_diffs = pair_diffs[pair_diffs > 0]
+    n_codes = len(pair_diffs)
+    vec_by_off = {}
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                vec_by_off[(dx * gs1 + dy) * gs2 + dz] = (dx, dy, dz)
+    pair_vecs = np.array(
+        [vec_by_off[int(d)] for d in pair_diffs], dtype=np.float64
+    )
+
+    id_diff = b_ids - a_ids
+    code = np.searchsorted(pair_diffs, np.abs(id_diff))
+    n_corner_total = int(grid_shape.prod())
+    flat_keys = np.minimum(a_ids, b_ids) * n_codes + code
+    if n_corner_total * n_codes < 2**31:
+        flat_keys = flat_keys.astype(np.int32)
 
     unique_keys, first_idx, inverse = np.unique(
         flat_keys, return_index=True, return_inverse=True
@@ -403,9 +665,10 @@ def _polygonise(
     # (inside) endpoint toward its positive (outside) one; averaging the
     # inside->outside edge directions over a face's 3 edges approximates
     # the SDF gradient there, which is what the face normal must follow.
-    pa_all = _id_to_coords(a_ids)
-    pb_all = _id_to_coords(b_ids)
-    edge_dir = (pb_all - pa_all) * np.sign(b_vals - a_vals)[:, None]
+    # (b - a) in grid coordinates is the code's direction vector times
+    # the id-difference sign.
+    sgn = np.sign(id_diff).astype(np.float64) * np.sign(b_vals - a_vals)
+    edge_dir = sgn[:, None] * pair_vecs[code]
     outward = edge_dir.reshape(-1, 3, 3).mean(axis=1)[good]
     return _orient_outward(mesh, outward)
 

@@ -8,7 +8,8 @@ surfaces are organic rather than hard-edged.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import ctypes
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +28,7 @@ __all__ = [
     "subtraction",
     "transform_sdf",
     "scale_sdf",
+    "FusedCapsuleUnion",
 ]
 
 # An SDF is any callable mapping (N, 3) points to (N,) signed distances
@@ -222,3 +224,240 @@ def scale_sdf(sdf: SDF, factor: float) -> SDF:
         return sdf(_as_points(points) / factor) * factor
 
     return _sdf
+
+
+class FusedCapsuleUnion:
+    """Fused smooth union of rounded-cone capsules plus one ellipsoid.
+
+    Semantically identical to
+    ``smooth_union([rounded_cone(...), ..., ellipsoid(...)], k=blend)``
+    but evaluated as one batched kernel instead of a chain of Python
+    closures: all K segment endpoints and radii are stacked into flat
+    arrays at construction, every chunk of query points is tested
+    against all primitives in a single ``(K, n)`` computation, and the
+    non-associative polynomial smooth-min is folded sequentially in the
+    exact order the closure chain uses (segments left to right, the
+    ellipsoid last) so the two paths agree to ~1e-9.
+
+    Two backends are available: a compiled C kernel (built lazily via
+    :mod:`repro.geometry.capsule_kernel` when a toolchain exists) and a
+    pure-NumPy evaluator.  ``chunk_size`` bounds peak memory of the
+    NumPy path — at the default 8192 the working set is a few MB even
+    when a 1024^3 extraction hands in millions of points.
+    """
+
+    def __init__(
+        self,
+        heads,
+        tails,
+        radii_head,
+        radii_tail,
+        blend: float = 0.05,
+        ellipsoid_center=None,
+        ellipsoid_radii=None,
+        chunk_size: int = 8192,
+        backend: str = "auto",
+    ):
+        heads = np.atleast_2d(np.asarray(heads, dtype=np.float64))
+        tails = np.atleast_2d(np.asarray(tails, dtype=np.float64))
+        radii_head = np.atleast_1d(
+            np.asarray(radii_head, dtype=np.float64)
+        )
+        radii_tail = np.atleast_1d(
+            np.asarray(radii_tail, dtype=np.float64)
+        )
+        if heads.shape != tails.shape or heads.ndim != 2 or (
+            heads.shape[0] and heads.shape[1] != 3
+        ):
+            raise GeometryError(
+                "heads and tails must both be (K, 3) arrays"
+            )
+        k_prims = heads.shape[0]
+        if radii_head.shape != (k_prims,) or radii_tail.shape != (
+            k_prims,
+        ):
+            raise GeometryError("radii must be (K,) arrays")
+        if np.any(radii_head <= 0) or np.any(radii_tail <= 0):
+            raise GeometryError("cone radii must be positive")
+        if (ellipsoid_center is None) != (ellipsoid_radii is None):
+            raise GeometryError(
+                "ellipsoid center and radii must be given together"
+            )
+        if k_prims == 0 and ellipsoid_center is None:
+            raise GeometryError("fused union of zero primitives")
+        if chunk_size < 1:
+            raise GeometryError("chunk_size must be positive")
+        if backend not in ("auto", "numpy", "c"):
+            raise GeometryError(f"unknown backend {backend!r}")
+
+        self.blend = float(blend)
+        self.chunk_size = int(chunk_size)
+        self.num_segments = k_prims
+
+        # Raw per-primitive arrays (the C kernel resolves degenerate
+        # segments itself from denom).
+        self._a = np.ascontiguousarray(heads)
+        self._b = np.ascontiguousarray(tails)
+        self._ab = np.ascontiguousarray(tails - heads)
+        self._denom = np.ascontiguousarray(
+            np.einsum("ij,ij->i", self._ab, self._ab)
+        )
+        self._ra = np.ascontiguousarray(radii_head)
+        self._rb = np.ascontiguousarray(radii_tail)
+        self._dr = np.ascontiguousarray(radii_tail - radii_head)
+        self._rmax = np.ascontiguousarray(
+            np.maximum(radii_head, radii_tail)
+        )
+
+        # Effective arrays for the NumPy path: degenerate segments
+        # (denom < 1e-18, e.g. zero-length leaf bones) become spheres of
+        # the larger radius by zeroing the axis so t folds to 0 exactly.
+        degen = self._denom < 1e-18
+        self._ab_eff = self._ab.copy()
+        self._ab_eff[degen] = 0.0
+        self._denom_eff = np.where(degen, 1.0, self._denom)
+        self._ra_eff = np.where(degen, self._rmax, self._ra)
+        self._dr_eff = np.where(degen, 0.0, self._dr)
+        self._a_dot_ab = np.einsum("ij,ij->i", self._a, self._ab_eff)
+        self._a2 = np.einsum("ij,ij->i", self._a, self._a)
+
+        if ellipsoid_center is not None:
+            self._ell_center = np.ascontiguousarray(
+                np.asarray(ellipsoid_center, dtype=np.float64)
+            )
+            self._ell_radii = np.ascontiguousarray(
+                np.asarray(ellipsoid_radii, dtype=np.float64)
+            )
+            if self._ell_center.shape != (3,) or self._ell_radii.shape != (
+                3,
+            ):
+                raise GeometryError("ellipsoid center/radii must be (3,)")
+            if np.any(self._ell_radii <= 0):
+                raise GeometryError("ellipsoid radii must be positive")
+        else:
+            self._ell_center = None
+            self._ell_radii = None
+
+        self._kernel = None
+        if backend in ("auto", "c"):
+            from repro.geometry.capsule_kernel import (
+                compiled_capsule_kernel,
+            )
+
+            self._kernel = compiled_capsule_kernel()
+            if backend == "c" and self._kernel is None:
+                raise GeometryError(
+                    "C capsule kernel unavailable on this machine"
+                )
+        self.backend = "c" if self._kernel is not None else "numpy"
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        p = _as_points(points)
+        if self._kernel is not None:
+            return self._eval_c(p)
+        out = np.empty(len(p))
+        for start in range(0, len(p), self.chunk_size):
+            chunk = p[start : start + self.chunk_size]
+            out[start : start + len(chunk)] = self._eval_numpy(chunk)
+        return out
+
+    def _eval_c(self, p: np.ndarray) -> np.ndarray:
+        p = np.ascontiguousarray(p)
+        out = np.empty(len(p))
+        dbl = ctypes.POINTER(ctypes.c_double)
+
+        def _ptr(arr):
+            return arr.ctypes.data_as(dbl)
+
+        has_ell = self._ell_center is not None
+        dummy = np.zeros(3)
+        self._kernel(
+            _ptr(p),
+            ctypes.c_int64(len(p)),
+            _ptr(self._a),
+            _ptr(self._ab),
+            _ptr(self._denom),
+            _ptr(self._ra),
+            _ptr(self._dr),
+            _ptr(self._rmax),
+            ctypes.c_int64(self.num_segments),
+            _ptr(self._ell_center if has_ell else dummy),
+            _ptr(self._ell_radii if has_ell else dummy),
+            ctypes.c_int(1 if has_ell else 0),
+            ctypes.c_double(self.blend),
+            _ptr(out),
+        )
+        return out
+
+    def _eval_numpy(self, p: np.ndarray) -> np.ndarray:
+        k_prims = self.num_segments
+        if k_prims:
+            # Distances to all K capsules at once, transposed (K, n) so
+            # the axis projections become one matmul.  The quadratic
+            # expansion |p - closest|^2 = |p - a|^2 - t(2s - t|ab|^2)
+            # cancels catastrophically near the axis, so points with
+            # tiny d^2 are recomputed from the exact closest point.
+            s = self._ab_eff @ p.T - self._a_dot_ab[:, None]  # (K, n)
+            t = s / self._denom_eff[:, None]
+            np.clip(t, 0.0, 1.0, out=t)
+            pa2 = (
+                np.einsum("ij,ij->i", p, p)[None, :]
+                - 2.0 * (self._a @ p.T)
+                + self._a2[:, None]
+            )
+            d2 = t * self._denom_eff[:, None] - 2.0 * s
+            d2 *= t
+            d2 += pa2
+            np.maximum(d2, 0.0, out=d2)
+            d = np.sqrt(d2)
+            near = d2 < 1e-6
+            if near.any():
+                ki, ni = np.nonzero(near)
+                diff = p[ni] - (
+                    self._a[ki] + t[ki, ni, None] * self._ab_eff[ki]
+                )
+                d[ki, ni] = np.linalg.norm(diff, axis=1)
+            d -= self._ra_eff[:, None] + self._dr_eff[:, None] * t
+
+            acc = d[0]
+            rows = (d[j] for j in range(1, k_prims))
+        else:
+            acc = None
+            rows = ()
+
+        if self._ell_center is not None:
+            q = (p - self._ell_center) / self._ell_radii
+            k0 = np.linalg.norm(q, axis=1)
+            k1 = np.linalg.norm(q / self._ell_radii, axis=1)
+            e = np.where(
+                k1 > 1e-12,
+                k0 * (k0 - 1.0) / np.maximum(k1, 1e-12),
+                -self._ell_radii.min(),
+            )
+            if acc is None:
+                return e
+            rows = list(rows) + [e]
+
+        k = self.blend
+        if k <= 0:
+            for row in rows:
+                acc = np.minimum(row, acc)
+            return acc
+        c2 = 0.5 / k
+        for row in rows:
+            h = 0.5 + (acc - row) * c2
+            np.clip(h, 0.0, 1.0, out=h)
+            acc = acc + (row - acc) * h - (k * h) * (1.0 - h)
+        return acc
+
+    def reference(self) -> SDF:
+        """The equivalent closure-chain SDF (for validation/benchmarks)."""
+        primitives = [
+            rounded_cone(
+                self._a[j], self._b[j], self._ra[j], self._rb[j]
+            )
+            for j in range(self.num_segments)
+        ]
+        if self._ell_center is not None:
+            primitives.append(ellipsoid(self._ell_center, self._ell_radii))
+        return smooth_union(primitives, k=self.blend)

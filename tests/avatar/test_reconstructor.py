@@ -5,7 +5,10 @@ import pytest
 
 from repro.avatar.implicit import PosedBodyField
 from repro.avatar.pose2mesh import ModelFreeReconstructor
-from repro.avatar.reconstructor import KeypointMeshReconstructor
+from repro.avatar.reconstructor import (
+    KeypointMeshReconstructor,
+    ReconstructionResult,
+)
 from repro.avatar.temporal import TemporalReconstructor
 from repro.body.expression import ExpressionParams
 from repro.body.keypoints_def import NUM_KEYPOINTS
@@ -204,3 +207,91 @@ class TestModelFree:
         rec = ModelFreeReconstructor(template=body_model.template)
         with pytest.raises(PipelineError):
             rec.reconstruct(observed)
+
+
+class TestWarmStart:
+    def test_warm_meshes_identical_to_cold(self):
+        frames = talking(n_frames=4)
+        warm = KeypointMeshReconstructor(resolution=96, warm_start=True)
+        cold = KeypointMeshReconstructor(resolution=96,
+                                         warm_start=False)
+        engaged = []
+        for frame in frames:
+            rw = warm.reconstruct(pose=frame.pose)
+            rc = cold.reconstruct(pose=frame.pose)
+            assert np.array_equal(rw.mesh.vertices, rc.mesh.vertices)
+            assert np.array_equal(rw.mesh.faces, rc.mesh.faces)
+            assert rw.field_evaluations > 0
+            assert rc.field_evaluations > 0
+            assert not rc.warm_started
+            engaged.append(rw.warm_started)
+        assert not engaged[0]
+        assert any(engaged[1:])
+
+    def test_warm_start_saves_evaluations(self):
+        frames = talking(n_frames=3)
+        warm = KeypointMeshReconstructor(resolution=96, warm_start=True)
+        cold = KeypointMeshReconstructor(resolution=96,
+                                         warm_start=False)
+        warm_evals = [
+            warm.reconstruct(pose=f.pose).field_evaluations
+            for f in frames
+        ]
+        cold_evals = [
+            cold.reconstruct(pose=f.pose).field_evaluations
+            for f in frames
+        ]
+        assert warm_evals[0] == cold_evals[0]
+        assert sum(warm_evals[1:]) < sum(cold_evals[1:])
+
+    def test_reset_forces_cold_frame(self):
+        frames = talking(n_frames=2)
+        reconstructor = KeypointMeshReconstructor(
+            resolution=96, warm_start=True
+        )
+        reconstructor.reconstruct(pose=frames[0].pose)
+        assert reconstructor.reconstruct(
+            pose=frames[1].pose
+        ).warm_started
+        reconstructor.reset()
+        assert not reconstructor.reconstruct(
+            pose=frames[1].pose
+        ).warm_started
+
+    def test_expression_change_forces_cold_frame(self):
+        frames = talking(n_frames=2)
+        reconstructor = KeypointMeshReconstructor(
+            resolution=96, warm_start=True, expression_channels=4
+        )
+        neutral = ExpressionParams.neutral()
+        reconstructor.reconstruct(pose=frames[0].pose,
+                                  expression=neutral)
+        changed = ExpressionParams(
+            coefficients=np.eye(1, neutral.coefficients.size,
+                                0).ravel() * 0.4
+        )
+        result = reconstructor.reconstruct(pose=frames[1].pose,
+                                           expression=changed)
+        assert not result.warm_started
+
+    def test_fused_field_matches_reference_reconstruction(self):
+        pose = talking(n_frames=3)[2].pose
+        fused = KeypointMeshReconstructor(
+            resolution=64, fused=True, warm_start=False
+        ).reconstruct(pose)
+        reference = KeypointMeshReconstructor(
+            resolution=64, fused=False, warm_start=False
+        ).reconstruct(pose)
+        assert np.allclose(fused.mesh.vertices,
+                           reference.mesh.vertices, atol=1e-9)
+        assert np.array_equal(fused.mesh.faces, reference.mesh.faces)
+
+    def test_inf_safe_fps(self):
+        result = KeypointMeshReconstructor(resolution=48).reconstruct(
+            BodyPose.identity()
+        )
+        zero = ReconstructionResult(
+            mesh=result.mesh, resolution=48, seconds=0.0
+        )
+        assert zero.fps == float("inf")
+        assert result.fps > 0

@@ -1,0 +1,93 @@
+"""Tests for machine-readable benchmark results (BENCH_*.json)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import safe_rate
+from repro.bench.results import (
+    BenchRecord,
+    current_commit,
+    load_records,
+    merge_records,
+    write_records,
+)
+from repro.errors import SemHoloError
+
+
+def _record(workload="reconstruct-cold", resolution=128, seconds=0.5,
+            evaluations=1000, commit="abc123"):
+    return BenchRecord(workload=workload, resolution=resolution,
+                       seconds=seconds, evaluations=evaluations,
+                       commit=commit)
+
+
+class TestBenchRecord:
+    def test_validation(self):
+        with pytest.raises(SemHoloError):
+            _record(workload="")
+        with pytest.raises(SemHoloError):
+            _record(resolution=0)
+        with pytest.raises(SemHoloError):
+            _record(seconds=-1.0)
+        with pytest.raises(SemHoloError):
+            _record(evaluations=-5)
+
+    def test_key(self):
+        assert _record().key == ("reconstruct-cold", 128)
+
+
+class TestMerge:
+    def test_new_wins_on_key(self):
+        old = [_record(seconds=9.0), _record(resolution=256)]
+        new = [_record(seconds=0.25)]
+        merged = merge_records(old, new)
+        assert len(merged) == 2
+        assert merged[0].seconds == 0.25
+        assert merged[1].resolution == 256
+
+    def test_fresh_rows_append(self):
+        merged = merge_records([_record()], [_record(resolution=512)])
+        assert [r.resolution for r in merged] == [128, 512]
+
+
+class TestRoundTrip:
+    def test_write_load(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        written = write_records(path, [_record()])
+        assert load_records(path) == written
+
+    def test_write_merges_existing(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_records(path, [_record(seconds=9.0)])
+        merged = write_records(path, [_record(seconds=0.5),
+                                      _record(resolution=256)])
+        assert len(merged) == 2
+        on_disk = load_records(path)
+        assert on_disk[0].seconds == 0.5
+        assert {r.resolution for r in on_disk} == {128, 256}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_records(tmp_path / "absent.json") == []
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("not json")
+        with pytest.raises(SemHoloError):
+            load_records(path)
+        path.write_text(json.dumps({"records": []}))
+        with pytest.raises(SemHoloError):
+            load_records(path)
+
+
+class TestHelpers:
+    def test_current_commit_short_hash(self):
+        commit = current_commit()
+        assert isinstance(commit, str)
+        if commit:
+            assert all(c in "0123456789abcdef" for c in commit)
+
+    def test_safe_rate(self):
+        assert safe_rate(0.5) == 2.0
+        assert safe_rate(0.0) == float("inf")
+        assert safe_rate(-1.0) == float("inf")

@@ -5,7 +5,12 @@ import pytest
 
 from repro.errors import GeometryError
 from repro.geometry import sdf
-from repro.geometry.marching import extract_surface, marching_tetrahedra
+from repro.geometry.marching import (
+    ExtractionStats,
+    dilate_cells,
+    extract_surface,
+    marching_tetrahedra,
+)
 
 BOUNDS = (np.array([-1.0, -1.0, -1.0]), np.array([1.0, 1.0, 1.0]))
 
@@ -126,3 +131,91 @@ class TestValidation:
         assert mesh.is_watertight()
         expected = 2 * 4 / 3 * np.pi * 0.2**3
         assert np.isclose(mesh.volume(), expected, rtol=0.05)
+
+
+class TestExtractionStats:
+    def test_counts_evaluations(self):
+        stats = ExtractionStats()
+        mesh = extract_surface(
+            sdf.sphere([0, 0, 0], 0.5), BOUNDS, 96, stats=stats
+        )
+        assert mesh.num_faces > 0
+        assert stats.field_evaluations > 0
+        assert not stats.warm_started
+        assert stats.resolution == 96
+        assert stats.surface_cells is not None
+        assert len(stats.surface_cells) > 0
+        assert stats.spacing > 0
+
+    def test_dense_path_counts_full_grid(self):
+        stats = ExtractionStats()
+        extract_surface(sdf.sphere([0, 0, 0], 0.5), BOUNDS, 16,
+                        stats=stats)
+        assert stats.field_evaluations == 17 ** 3
+
+
+class TestDilateCells:
+    def test_single_cell_ball(self):
+        cells = np.array([[5, 5, 5]])
+        out = dilate_cells(cells, 1, 16)
+        assert len(out) == 27
+        assert np.abs(out - cells).max() == 1
+
+    def test_clips_to_grid(self):
+        out = dilate_cells(np.array([[0, 0, 0]]), 2, 16)
+        assert out.min() == 0
+        assert len(out) == 27  # the octant that stays in the grid
+
+    def test_zero_dilation_identity(self):
+        cells = np.array([[3, 4, 5], [1, 1, 1]])
+        out = dilate_cells(cells, 0, 8)
+        linear = (out[:, 0] * 8 + out[:, 1]) * 8 + out[:, 2]
+        assert np.all(np.diff(linear) > 0)
+        assert len(out) == 2
+
+    def test_output_sorted_unique(self):
+        rng = np.random.default_rng(2)
+        cells = rng.integers(0, 20, size=(50, 3))
+        out = dilate_cells(cells, 2, 20)
+        linear = (out[:, 0] * 20 + out[:, 1]) * 20 + out[:, 2]
+        assert np.all(np.diff(linear) > 0)
+
+
+class TestSeededExtraction:
+    def test_seeded_matches_cold_for_moved_sphere(self):
+        """A translated sphere re-extracted from the previous frame's
+        dilated surface cells gives the bit-identical mesh."""
+        resolution = 96
+        stats = ExtractionStats()
+        extract_surface(
+            sdf.sphere([0, 0, 0], 0.5), BOUNDS, resolution, stats=stats
+        )
+        moved = sdf.sphere([0.01, 0.0, -0.01], 0.5)
+        cold = extract_surface(moved, BOUNDS, resolution)
+        seeds = dilate_cells(stats.surface_cells, 2, resolution)
+        warm_stats = ExtractionStats()
+        warm = extract_surface(
+            moved, BOUNDS, resolution, seed_cells=seeds,
+            stats=warm_stats
+        )
+        assert warm_stats.warm_started
+        assert np.array_equal(warm.vertices, cold.vertices)
+        assert np.array_equal(warm.faces, cold.faces)
+
+    def test_empty_seed_falls_back_to_cascade(self):
+        stats = ExtractionStats()
+        mesh = extract_surface(
+            sdf.sphere([0, 0, 0], 0.5), BOUNDS, 96,
+            seed_cells=np.zeros((0, 3), dtype=np.int64), stats=stats
+        )
+        assert not stats.warm_started
+        assert mesh.num_faces > 0
+
+    def test_bad_seed_misses_surface(self):
+        """Seeds nowhere near the surface produce an empty mesh — the
+        caller (reconstructor) is responsible for falling back."""
+        seeds = np.array([[0, 0, 0], [1, 0, 0]])
+        mesh = extract_surface(
+            sdf.sphere([0, 0, 0], 0.4), BOUNDS, 96, seed_cells=seeds
+        )
+        assert mesh.num_faces == 0

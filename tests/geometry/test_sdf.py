@@ -153,3 +153,95 @@ class TestTransformScale:
     def test_scale_invalid(self):
         with pytest.raises(GeometryError):
             sdf.scale_sdf(sdf.sphere([0, 0, 0], 1.0), 0.0)
+
+
+def _random_union(rng, n_segments=12, with_head=True, **kwargs):
+    heads = rng.uniform(-1.0, 1.0, size=(n_segments, 3))
+    tails = heads + rng.uniform(-0.4, 0.4, size=(n_segments, 3))
+    radii_head = rng.uniform(0.02, 0.15, size=n_segments)
+    radii_tail = rng.uniform(0.02, 0.15, size=n_segments)
+    ellipsoid = (
+        dict(
+            ellipsoid_center=rng.uniform(-0.5, 0.5, size=3),
+            ellipsoid_radii=rng.uniform(0.1, 0.3, size=3),
+        )
+        if with_head
+        else {}
+    )
+    kwargs.setdefault("blend", 0.035)
+    return sdf.FusedCapsuleUnion(
+        heads, tails, radii_head, radii_tail, **ellipsoid, **kwargs
+    )
+
+
+class TestFusedCapsuleUnion:
+    def test_matches_closure_reference(self, rng):
+        fused = _random_union(rng)
+        points = rng.uniform(-1.5, 1.5, size=(5000, 3))
+        reference = fused.reference()
+        assert np.abs(fused(points) - reference(points)).max() <= 1e-9
+
+    def test_numpy_backend_matches_reference(self, rng):
+        fused = _random_union(rng, backend="numpy")
+        assert fused.backend == "numpy"
+        points = rng.uniform(-1.5, 1.5, size=(5000, 3))
+        reference = fused.reference()
+        assert np.abs(fused(points) - reference(points)).max() <= 1e-9
+
+    def test_backends_agree(self, rng):
+        auto = _random_union(rng)
+        if auto.backend != "c":
+            pytest.skip("C kernel unavailable in this environment")
+        forced = _random_union(
+            np.random.default_rng(0), backend="numpy"
+        )
+        reseeded = _random_union(np.random.default_rng(0), backend="c")
+        points = np.random.default_rng(1).uniform(
+            -1.5, 1.5, size=(4000, 3)
+        )
+        assert np.abs(forced(points) - reseeded(points)).max() <= 1e-9
+
+    def test_chunking_invariant(self, rng):
+        points = rng.uniform(-1.5, 1.5, size=(1000, 3))
+        big = _random_union(
+            np.random.default_rng(3), backend="numpy", chunk_size=10_000
+        )
+        small = _random_union(
+            np.random.default_rng(3), backend="numpy", chunk_size=7
+        )
+        assert np.array_equal(big(points), small(points))
+
+    def test_degenerate_segment_is_sphere(self):
+        center = np.array([[0.2, -0.1, 0.4]])
+        fused = sdf.FusedCapsuleUnion(
+            center, center.copy(), np.array([0.3]), np.array([0.1])
+        )
+        reference = sdf.sphere(center[0], 0.3)
+        points = np.random.default_rng(5).uniform(-1, 1, size=(500, 3))
+        assert np.abs(fused(points) - reference(points)).max() <= 1e-9
+
+    def test_hard_min_when_blend_zero(self, rng):
+        fused = _random_union(rng, with_head=False, blend=0.0)
+        points = rng.uniform(-1.5, 1.5, size=(1000, 3))
+        reference = fused.reference()
+        assert np.abs(fused(points) - reference(points)).max() <= 1e-9
+
+    def test_validation(self):
+        one = np.zeros((1, 3))
+        with pytest.raises(GeometryError):
+            sdf.FusedCapsuleUnion(
+                np.zeros((0, 3)), np.zeros((0, 3)), np.zeros(0),
+                np.zeros(0)
+            )
+        with pytest.raises(GeometryError):
+            sdf.FusedCapsuleUnion(
+                one, np.zeros((2, 3)), np.ones(1), np.ones(1)
+            )
+        with pytest.raises(GeometryError):
+            sdf.FusedCapsuleUnion(
+                one, one, np.array([-0.1]), np.ones(1)
+            )
+        with pytest.raises(GeometryError):
+            sdf.FusedCapsuleUnion(
+                one, one, np.ones(1), np.ones(1), backend="cuda"
+            )
