@@ -1,6 +1,12 @@
 """Codecs: keypoint payloads (LZMA), meshes (Draco-style), point clouds
 (octree), textures (DCT), plus the entropy-coding substrate."""
 
+from repro.compression.framing import (
+    FRAME_HEADER_BYTES,
+    FrameHeader,
+    open_frame,
+    seal_frame,
+)
 from repro.compression.lzma_codec import (
     KeypointPayloadCodec,
     SemanticKeypointPayload,
@@ -27,6 +33,8 @@ from repro.compression.varint import (
 )
 
 __all__ = [
+    "FRAME_HEADER_BYTES",
+    "FrameHeader",
     "KeypointPayloadCodec",
     "MeshCodec",
     "PointCloudCodec",
@@ -40,6 +48,8 @@ __all__ = [
     "decode_varints",
     "deserialize_mesh_raw",
     "encode_varints",
+    "open_frame",
+    "seal_frame",
     "serialize_mesh_raw",
     "zigzag_decode",
     "zigzag_encode",

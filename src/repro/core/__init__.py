@@ -1,5 +1,10 @@
 """SemHolo core: pipelines, sessions, QoE metrics, taxonomy."""
 
+from repro.core.concealment import (
+    DegradationController,
+    ResilienceConfig,
+    recovery_stats,
+)
 from repro.core.foveated import FoveatedHybridPipeline, merge_meshes
 from repro.core.image_pipeline import ImageSemanticPipeline
 from repro.core.keypoint_pipeline import KeypointSemanticPipeline
@@ -47,6 +52,7 @@ from repro.core.traditional import (
 
 __all__ = [
     "DecodedFrame",
+    "DegradationController",
     "EncodedFrame",
     "FoveatedHybridPipeline",
     "FrameReport",
@@ -61,6 +67,7 @@ __all__ = [
     "PAPER_TABLE1",
     "PairReport",
     "Participant",
+    "ResilienceConfig",
     "SessionSummary",
     "TexturedKeypointPipeline",
     "TaxonomyRow",
@@ -76,5 +83,6 @@ __all__ = [
     "image_psnr",
     "merge_meshes",
     "qoe_score",
+    "recovery_stats",
     "visual_quality",
 ]

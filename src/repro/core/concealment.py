@@ -1,0 +1,167 @@
+"""Resilience policy for sessions: concealment config, the semantic
+degradation ladder, and outage/recovery accounting.
+
+The paper's thesis is that semantics keep telepresence interactive on
+real Internet paths; this module is the receiver's half of that
+bargain.  When the path fails, a resilient session (1) conceals lost
+frames from receiver-side temporal state (``pipeline.conceal``),
+(2) steps *down* the semantic ladder — keypoints to text — when the
+outage is sustained, shrinking payloads by another order of magnitude,
+and (3) steps back up and re-syncs once deliveries resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import HolographicPipeline
+from repro.errors import PipelineError
+
+__all__ = [
+    "DegradationController",
+    "ResilienceConfig",
+    "recovery_stats",
+]
+
+
+@dataclass
+class ResilienceConfig:
+    """How a session behaves on a hostile path.
+
+    Attributes:
+        conceal: conceal undisplayable frames from receiver state
+            (extrapolate, then freeze) instead of dropping them.
+        checksum: seal every payload in the checksummed wire header
+            (``repro.compression.framing``) so corruption surfaces as
+            a typed ``CodecError`` the receiver conceals.
+        fallback: optional cheaper pipeline (usually text semantics)
+            the *sender* degrades to during a sustained outage.
+        degrade_after: consecutive undisplayable frames before the
+            sender steps down to ``fallback``.
+        recover_after: consecutive displayed frames before the sender
+            steps back up to the primary pipeline.
+        min_outage_frames: run length of consecutive undelivered
+            frames that counts as an outage in the summary metrics.
+    """
+
+    conceal: bool = True
+    checksum: bool = True
+    fallback: Optional[HolographicPipeline] = None
+    degrade_after: int = 5
+    recover_after: int = 3
+    min_outage_frames: int = 3
+
+    def __post_init__(self) -> None:
+        if self.degrade_after < 1 or self.recover_after < 1:
+            raise PipelineError(
+                "degrade_after and recover_after must be >= 1"
+            )
+        if self.min_outage_frames < 1:
+            raise PipelineError("min_outage_frames must be >= 1")
+
+
+class DegradationController:
+    """Hysteresis ladder between the primary and fallback pipelines.
+
+    Args:
+        degrade_after: consecutive failures before stepping down.
+        recover_after: consecutive successes before stepping up.
+    """
+
+    def __init__(
+        self, degrade_after: int = 5, recover_after: int = 3
+    ) -> None:
+        if degrade_after < 1 or recover_after < 1:
+            raise PipelineError(
+                "degrade_after and recover_after must be >= 1"
+            )
+        self.degrade_after = degrade_after
+        self.recover_after = recover_after
+        self.reset()
+
+    def reset(self) -> None:
+        """New session: primary level, clean counters."""
+        self._degraded = False
+        self._failures = 0
+        self._successes = 0
+        self.downgrades = 0
+        self.upgrades = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True while the sender should use the fallback pipeline."""
+        return self._degraded
+
+    def record(self, displayed_fresh: bool) -> None:
+        """Feed one frame outcome (delivered *and* decoded)."""
+        if displayed_fresh:
+            self._failures = 0
+            self._successes += 1
+            if self._degraded and self._successes >= self.recover_after:
+                self._degraded = False
+                self.upgrades += 1
+                self._successes = 0
+        else:
+            self._successes = 0
+            self._failures += 1
+            if (
+                not self._degraded
+                and self._failures >= self.degrade_after
+            ):
+                self._degraded = True
+                self.downgrades += 1
+                self._failures = 0
+
+
+def recovery_stats(
+    delivered: Sequence[bool],
+    displayed_fresh: Sequence[bool],
+    min_outage_frames: int = 3,
+) -> Tuple[int, float, int]:
+    """Outage count and post-outage recovery time, in frames.
+
+    An *outage* is a run of >= ``min_outage_frames`` consecutive
+    undelivered frames.  Its *recovery time* is the number of frames
+    from the first frame after the run until (and including) the first
+    frame that is again delivered and decoded; an outage still in
+    progress at the end of the run, or never recovered from, charges
+    the remaining frame count.
+
+    Returns:
+        (outage_count, mean_recovery_frames, max_recovery_frames);
+        recovery numbers are 0 when there was no outage.
+    """
+    if len(delivered) != len(displayed_fresh):
+        raise PipelineError(
+            "delivered and displayed_fresh must align frame-for-frame"
+        )
+    n = len(delivered)
+    recoveries: List[int] = []
+    i = 0
+    while i < n:
+        if delivered[i]:
+            i += 1
+            continue
+        run_start = i
+        while i < n and not delivered[i]:
+            i += 1
+        if i - run_start < min_outage_frames:
+            continue
+        recovery = None
+        for offset, j in enumerate(range(i, n), start=1):
+            if displayed_fresh[j]:
+                recovery = offset
+                break
+        if recovery is None:
+            # Outage ran to (or past) the final frame: charge the
+            # remaining frames plus one — it never recovered.
+            recovery = n - i + 1
+        recoveries.append(recovery)
+    if not recoveries:
+        return 0, 0.0, 0
+    return (
+        len(recoveries),
+        sum(recoveries) / len(recoveries),
+        max(recoveries),
+    )

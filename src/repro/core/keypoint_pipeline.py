@@ -16,6 +16,7 @@ import numpy as np
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.avatar.temporal import TemporalReconstructor
 from repro.body.expression import ExpressionParams
+from repro.body.pose import BodyPose
 from repro.capture.dataset import DatasetFrame
 from repro.compression.lzma_codec import (
     KeypointPayloadCodec,
@@ -25,6 +26,7 @@ from repro.core.pipeline import DecodedFrame, EncodedFrame, \
     HolographicPipeline
 from repro.core.timing import LatencyBreakdown
 from repro.body.skeleton import NUM_JOINTS
+from repro.errors import PipelineError
 from repro.keypoints.detector3d import Keypoint3DDetector
 from repro.keypoints.fitting import PoseFitter
 from repro.keypoints.tracking import KeypointTracker, PoseSmoother
@@ -49,6 +51,11 @@ class KeypointSemanticPipeline(HolographicPipeline):
             ``expression_channels``).
         expression_channels: how many expression channels the receiver
             geometry can realise (0 = X-Avatar behaviour, Figure 3).
+        max_extrapolation_frames: how many consecutive lost frames the
+            receiver conceals by extrapolating pose before it falls
+            back to freezing the last mesh (the concealment floor).
+        conceal_damping: per-frame damping of the extrapolated pose
+            velocity in (0, 1]; lower values brake the motion sooner.
         seed: detection noise seed.
     """
 
@@ -61,11 +68,21 @@ class KeypointSemanticPipeline(HolographicPipeline):
         compressed: bool = True,
         transmit_expression: bool = True,
         expression_channels: int = 0,
+        max_extrapolation_frames: int = 12,
+        conceal_damping: float = 0.85,
         seed: int = 0,
     ) -> None:
+        if max_extrapolation_frames < 0:
+            raise PipelineError(
+                "max_extrapolation_frames must be >= 0"
+            )
+        if not 0 < conceal_damping <= 1:
+            raise PipelineError("conceal_damping must be in (0, 1]")
         self.resolution = resolution
         self.compressed = compressed
         self.transmit_expression = transmit_expression
+        self.max_extrapolation_frames = max_extrapolation_frames
+        self.conceal_damping = conceal_damping
         self.detector = Keypoint3DDetector()
         self.tracker = KeypointTracker()
         self.pose_smoother = PoseSmoother()
@@ -81,11 +98,21 @@ class KeypointSemanticPipeline(HolographicPipeline):
         self._temporal = temporal
         self._rng = np.random.default_rng(seed)
         self._seed = seed
+        self._reset_concealment()
         self.name = (
             f"keypoint-r{resolution}"
             + ("-temporal" if temporal else "")
             + ("" if compressed else "-raw")
         )
+
+    def _reset_concealment(self) -> None:
+        self._last_pose = None
+        self._prev_pose = None
+        self._last_shape = None
+        self._last_expression = None
+        self._last_surface = None
+        self._conceal_streak = 0
+        self._conceal_offset = None
 
     def reset(self) -> None:
         self.tracker.reset()
@@ -93,6 +120,7 @@ class KeypointSemanticPipeline(HolographicPipeline):
         # Both reconstructor flavours carry inter-frame state now: the
         # temporal wrapper its keyframe, the base its warm-start seed.
         self.reconstructor.reset()
+        self._reset_concealment()
         self._rng = np.random.default_rng(self._seed)
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
@@ -155,6 +183,15 @@ class KeypointSemanticPipeline(HolographicPipeline):
             expression=payload.expression,
         )
         timing.add("mesh_reconstruction", result.seconds)
+        # Receiver-side concealment state: the last two decoded poses
+        # give a pose velocity, the last mesh is the freeze floor.
+        self._prev_pose = self._last_pose
+        self._last_pose = payload.pose.copy()
+        self._last_shape = payload.shape
+        self._last_expression = payload.expression
+        self._last_surface = result.mesh
+        self._conceal_streak = 0
+        self._conceal_offset = None
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=result.mesh,
@@ -163,5 +200,66 @@ class KeypointSemanticPipeline(HolographicPipeline):
                 "resolution": self.resolution,
                 "field_evaluations": result.field_evaluations,
                 "warm_started": result.warm_started,
+            },
+        )
+
+    def conceal(self, frame_index: int) -> Optional[DecodedFrame]:
+        """Conceal a lost frame from receiver-side temporal state.
+
+        Strategy ladder: extrapolate the decoded pose stream at damped
+        constant velocity (so short bursts stay animated), then — once
+        the gap exceeds ``max_extrapolation_frames`` or before two
+        poses ever arrived — freeze the last reconstructed mesh.
+        Returns None only when nothing was ever decoded.
+        """
+        if self._last_pose is None:
+            return None
+        start = time.perf_counter()
+        self._conceal_streak += 1
+        timing = LatencyBreakdown()
+        extrapolate = (
+            self._prev_pose is not None
+            and self._conceal_streak <= self.max_extrapolation_frames
+        )
+        if extrapolate:
+            delta = (
+                self._last_pose.flatten() - self._prev_pose.flatten()
+            )
+            if self._conceal_offset is None:
+                self._conceal_offset = np.zeros_like(delta)
+            # Velocity decays geometrically so the avatar coasts to a
+            # stop instead of flying off during a long outage.
+            self._conceal_offset = self._conceal_offset + (
+                self.conceal_damping ** self._conceal_streak
+            ) * delta
+            pose = BodyPose.from_flat(
+                self._last_pose.flatten() + self._conceal_offset
+            )
+            result = self.reconstructor.reconstruct(
+                pose=pose,
+                shape=self._last_shape,
+                expression=self._last_expression,
+            )
+            mesh = result.mesh
+            self._last_surface = mesh
+            method = "extrapolate"
+            timing.add("mesh_reconstruction", result.seconds)
+            overhead = time.perf_counter() - start - result.seconds
+        else:
+            if self._last_surface is None:
+                return None
+            mesh = self._last_surface.copy()
+            method = "freeze"
+            overhead = time.perf_counter() - start
+        timing.add("concealment", max(overhead, 0.0))
+        return DecodedFrame(
+            frame_index=frame_index,
+            surface=mesh,
+            timing=timing,
+            metadata={
+                "concealed": True,
+                "conceal_method": method,
+                "conceal_streak": self._conceal_streak,
+                "resolution": self.resolution,
             },
         )

@@ -87,9 +87,25 @@ class HolographicPipeline(abc.ABC):
     def reset(self) -> None:
         """Drop any inter-frame state (new session)."""
 
+    def conceal(self, frame_index: int) -> Optional[DecodedFrame]:
+        """Produce a concealment frame for a lost/corrupt transmission.
+
+        Called by the session when a frame never becomes displayable
+        (dropped on the wire, checksum failure, undecodable payload).
+        Pipelines with receiver-side state override this to extrapolate
+        or freeze; the base implementation has nothing to show and
+        returns None.
+        """
+        return None
+
     def validate_payload(self, encoded: EncodedFrame) -> None:
-        """Cheap sanity check before transmission."""
-        if not encoded.payload:
+        """Cheap sanity check before transmission.
+
+        Zero-byte payloads are legal (e.g. an unchanged text delta);
+        only a missing/non-bytes payload is refused.
+        """
+        if not isinstance(encoded.payload, (bytes, bytearray)):
             raise PipelineError(
-                f"{self.name}: refusing to transmit an empty payload"
+                f"{self.name}: payload must be bytes, "
+                f"got {type(encoded.payload).__name__}"
             )

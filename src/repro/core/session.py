@@ -5,6 +5,14 @@ a pipeline, the Internet link, and the two edge servers of Figure 1
 into a frame loop, producing per-frame reports with the full latency
 breakdown and a session summary (bandwidth, end-to-end latency,
 interactivity violations, sustainable FPS).
+
+With a :class:`repro.core.concealment.ResilienceConfig` the loop also
+survives hostile paths: payloads are sealed with a checksummed header
+(corruption becomes a typed ``CodecError``, never a garbage mesh), the
+receiver decodes the *received* bytes, lost or corrupt frames are
+concealed from receiver-side temporal state, and a sustained outage
+steps the sender down the semantic ladder (keypoints -> text) until
+deliveries resume.
 """
 
 from __future__ import annotations
@@ -15,13 +23,23 @@ from typing import List, Optional
 import numpy as np
 
 from repro.capture.dataset import RGBDSequenceDataset
-from repro.core.pipeline import DecodedFrame, HolographicPipeline
+from repro.compression.framing import open_frame, seal_frame
+from repro.core.concealment import (
+    DegradationController,
+    ResilienceConfig,
+    recovery_stats,
+)
+from repro.core.pipeline import (
+    DecodedFrame,
+    EncodedFrame,
+    HolographicPipeline,
+)
 from repro.core.timing import (
     INTERACTIVE_BUDGET,
     LatencyBreakdown,
     mean_breakdown,
 )
-from repro.errors import PipelineError
+from repro.errors import CodecError, PipelineError
 from repro.net.edge import EdgeServer
 from repro.net.link import NetworkLink
 
@@ -34,15 +52,25 @@ class FrameReport:
 
     Attributes:
         frame_index: source frame number.
-        payload_bytes: bytes that crossed the Internet.
+        payload_bytes: bytes that crossed the Internet (including the
+            resilience header when the session seals frames).
         breakdown: end-to-end latency breakdown (sender compute,
             network, receiver compute).
         delivered: False when the network dropped the frame.
         decoded: the receiver output (None if undelivered, decoding
-            was skipped, or decoding failed).
+            was skipped, or decoding failed and nothing concealed it).
         decode_failed: True when the payload arrived but the receiver
-            could not decode it (e.g. a delta referencing a lost
-            frame) — the streaming equivalent of a corrupted GOP.
+            could not decode it (corrupt bytes, or a delta referencing
+            a lost frame) — the streaming equivalent of a corrupted
+            GOP.
+        corrupted: True when the frame arrived but failed the wire
+            checksum (bit corruption in flight).
+        concealed: True when ``decoded`` is a concealment frame
+            (extrapolated or frozen), not fresh content.
+        stale_age: frames since the receiver last displayed fresh
+            content (0 for a fresh frame).
+        semantic_level: name of the pipeline that encoded this frame
+            (differs from the primary during ladder degradation).
     """
 
     frame_index: int
@@ -51,10 +79,19 @@ class FrameReport:
     delivered: bool
     decoded: Optional[DecodedFrame] = None
     decode_failed: bool = False
+    corrupted: bool = False
+    concealed: bool = False
+    stale_age: int = 0
+    semantic_level: str = ""
 
     @property
     def end_to_end(self) -> float:
         return self.breakdown.total
+
+    @property
+    def displayed_fresh(self) -> bool:
+        """Fresh content on screen: delivered, decoded, not concealed."""
+        return self.decoded is not None and not self.concealed
 
 
 @dataclass
@@ -73,8 +110,22 @@ class SessionSummary:
             rate the receiver can actually sustain.
         delivery_rate: fraction of frames delivered.
         decode_failure_rate: fraction of delivered frames the receiver
-            could not decode (delta reference lost, corrupt payload).
+            could not decode (corrupt payload, delta reference lost).
         mean_stage_breakdown: stage-wise mean latency.
+        display_rate: fraction of frames with *something* on screen
+            (fresh or concealed); equals delivery_rate when
+            concealment is off.
+        concealed_rate: fraction of frames covered by concealment.
+        corrupted_rate: fraction of frames that failed the wire
+            checksum.
+        mean_stale_age / max_stale_age: staleness of the display in
+            frames (0 = always fresh).
+        outages: count of sustained delivery gaps (see
+            ``ResilienceConfig.min_outage_frames``).
+        mean_recovery_frames / max_recovery_frames: frames from the
+            end of an outage until fresh content returned.
+        fallback_fraction: fraction of frames the sender encoded at
+            the fallback semantic level.
     """
 
     pipeline: str
@@ -88,6 +139,15 @@ class SessionSummary:
     delivery_rate: float
     decode_failure_rate: float
     mean_stage_breakdown: LatencyBreakdown
+    display_rate: float = 0.0
+    concealed_rate: float = 0.0
+    corrupted_rate: float = 0.0
+    mean_stale_age: float = 0.0
+    max_stale_age: int = 0
+    outages: int = 0
+    mean_recovery_frames: float = 0.0
+    max_recovery_frames: int = 0
+    fallback_fraction: float = 0.0
 
 
 class TelepresenceSession:
@@ -101,6 +161,8 @@ class TelepresenceSession:
             measured stage times onto target hardware (None = charge
             wall-clock as measured).
         decode: run the receiver (disable for bandwidth-only studies).
+        resilience: loss-resilient transport behaviour (None = legacy
+            best-effort loop: no framing, no concealment, no ladder).
     """
 
     def __init__(
@@ -111,6 +173,7 @@ class TelepresenceSession:
         sender_edge: Optional[EdgeServer] = None,
         receiver_edge: Optional[EdgeServer] = None,
         decode: bool = True,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.dataset = dataset
         self.pipeline = pipeline
@@ -118,7 +181,30 @@ class TelepresenceSession:
         self.sender_edge = sender_edge
         self.receiver_edge = receiver_edge
         self.decode = decode
+        self.resilience = resilience
+        self._controller = (
+            DegradationController(
+                degrade_after=resilience.degrade_after,
+                recover_after=resilience.recover_after,
+            )
+            if resilience is not None and resilience.fallback is not None
+            else None
+        )
         self.reports: List[FrameReport] = []
+
+    def _receiver_factor(self) -> float:
+        return (
+            self.receiver_edge.device.speed_factor
+            if self.receiver_edge is not None
+            else 1.0
+        )
+
+    def _add_receiver_stages(
+        self, breakdown: LatencyBreakdown, decoded: DecodedFrame
+    ) -> None:
+        factor = self._receiver_factor()
+        for stage, seconds in decoded.timing.stages.items():
+            breakdown.add(stage, seconds / factor)
 
     def run(
         self,
@@ -131,17 +217,39 @@ class TelepresenceSession:
         if count <= 0 or start + count > total:
             raise PipelineError("frame range out of bounds")
         self.pipeline.reset()
+        resilience = self.resilience
+        fallback = resilience.fallback if resilience else None
+        use_checksum = (
+            resilience is not None
+            and resilience.checksum
+            and self.link is not None
+        )
+        conceal = (
+            resilience is not None
+            and resilience.conceal
+            and self.decode
+        )
+        if fallback is not None:
+            fallback.reset()
+        if self._controller is not None:
+            self._controller.reset()
         if self.link is not None:
             self.link.reset()
         self.reports = []
         fps = self.dataset.fps
+        stale_age = 0
 
         for offset in range(count):
             index = start + offset
             capture_time = index / fps
             frame = self.dataset.frame(index)
-            encoded = self.pipeline.encode(frame)
-            self.pipeline.validate_payload(encoded)
+            degraded = (
+                self._controller is not None
+                and self._controller.degraded
+            )
+            level_pipeline = fallback if degraded else self.pipeline
+            encoded = level_pipeline.encode(frame)
+            level_pipeline.validate_payload(encoded)
             sender_factor = (
                 self.sender_edge.device.speed_factor
                 if self.sender_edge is not None
@@ -153,20 +261,47 @@ class TelepresenceSession:
                     for stage, seconds in encoded.timing.stages.items()
                 }
             )
+            wire_payload = (
+                seal_frame(
+                    encoded.payload,
+                    frame_index=index,
+                    level=1 if degraded else 0,
+                )
+                if use_checksum
+                else encoded.payload
+            )
 
             delivered = True
+            received_payload: Optional[bytes] = wire_payload
+            corrupted = False
             if self.link is not None:
                 report = self.link.send_frame(
-                    index, encoded.payload, now=capture_time
+                    index, wire_payload, now=capture_time
                 )
                 delivered = report.delivered
+                received_payload = report.payload
                 if delivered:
                     breakdown.add("network", report.latency)
-            decoded = None
-            decode_failed = False
-            if delivered and self.decode:
+            if delivered and use_checksum:
                 try:
-                    decoded = self.pipeline.decode(encoded)
+                    _, received_payload = open_frame(received_payload)
+                except CodecError:
+                    # Bit corruption in flight: the checksum turns it
+                    # into a typed, concealable event instead of a
+                    # garbage reconstruction.
+                    corrupted = True
+
+            decoded = None
+            decode_failed = corrupted
+            if delivered and not corrupted and self.decode:
+                received = EncodedFrame(
+                    frame_index=index,
+                    payload=bytes(received_payload),
+                    timing=encoded.timing,
+                    metadata=encoded.metadata,
+                )
+                try:
+                    decoded = level_pipeline.decode(received)
                 except PipelineError:
                     # A frame that arrived but cannot be decoded (a
                     # delta whose reference was lost) is displayed as
@@ -174,22 +309,40 @@ class TelepresenceSession:
                     # keyframes bound the outage.
                     decode_failed = True
                 if decoded is not None:
-                    receiver_stages = decoded.timing.stages
-                    factor = (
-                        self.receiver_edge.device.speed_factor
-                        if self.receiver_edge is not None
-                        else 1.0
-                    )
-                    for stage, seconds in receiver_stages.items():
-                        breakdown.add(stage, seconds / factor)
+                    self._add_receiver_stages(breakdown, decoded)
+
+            concealed = False
+            if decoded is None and conceal:
+                concealment = level_pipeline.conceal(index)
+                if concealment is None and level_pipeline is not \
+                        self.pipeline:
+                    concealment = self.pipeline.conceal(index)
+                if concealment is not None:
+                    concealed = True
+                    decoded = concealment
+                    self._add_receiver_stages(breakdown, concealment)
+
+            fresh = decoded is not None and not concealed
+            if self.decode:
+                stale_age = 0 if fresh else stale_age + 1
+            else:
+                stale_age = 0 if delivered else stale_age + 1
+            if self._controller is not None:
+                self._controller.record(
+                    fresh if self.decode else delivered
+                )
             self.reports.append(
                 FrameReport(
                     frame_index=index,
-                    payload_bytes=encoded.payload_bytes,
+                    payload_bytes=len(wire_payload),
                     breakdown=breakdown,
                     delivered=delivered,
                     decoded=decoded,
                     decode_failed=decode_failed,
+                    corrupted=corrupted,
+                    concealed=concealed,
+                    stale_age=stale_age,
+                    semantic_level=level_pipeline.name,
                 )
             )
         return self.summary()
@@ -198,14 +351,15 @@ class TelepresenceSession:
         """Aggregate the reports collected by :meth:`run`."""
         if not self.reports:
             raise PipelineError("run() first")
-        delivered = [r for r in self.reports if r.delivered]
-        payloads = [r.payload_bytes for r in self.reports]
+        reports = self.reports
+        delivered = [r for r in reports if r.delivered]
+        payloads = [r.payload_bytes for r in reports]
         fps = self.dataset.fps
         latencies = sorted(r.end_to_end for r in delivered)
         receiver_times = [
             r.decoded.timing.total
             for r in delivered
-            if r.decoded is not None
+            if r.decoded is not None and not r.concealed
         ]
         sustainable = (
             1.0 / float(np.mean(receiver_times))
@@ -213,9 +367,33 @@ class TelepresenceSession:
             else float("inf")
         )
         failures = sum(1 for r in delivered if r.decode_failed)
+        displayed = sum(
+            1
+            for r in reports
+            if r.decoded is not None or (not self.decode and r.delivered)
+        )
+        min_outage = (
+            self.resilience.min_outage_frames
+            if self.resilience is not None
+            else 3
+        )
+        outages, mean_recovery, max_recovery = recovery_stats(
+            [r.delivered for r in reports],
+            [
+                r.displayed_fresh or (not self.decode and r.delivered)
+                for r in reports
+            ],
+            min_outage_frames=min_outage,
+        )
+        fallback_name = (
+            self.resilience.fallback.name
+            if self.resilience is not None
+            and self.resilience.fallback is not None
+            else None
+        )
         return SessionSummary(
             pipeline=self.pipeline.name,
-            frames=len(self.reports),
+            frames=len(reports),
             mean_payload_bytes=float(np.mean(payloads)),
             bandwidth_mbps=float(np.mean(payloads)) * fps * 8.0 / 1e6,
             decode_failure_rate=(
@@ -239,10 +417,33 @@ class TelepresenceSession:
                 else 0.0
             ),
             sustainable_fps=sustainable,
-            delivery_rate=len(delivered) / len(self.reports),
+            delivery_rate=len(delivered) / len(reports),
             mean_stage_breakdown=mean_breakdown(
                 [r.breakdown for r in delivered]
             )
             if delivered
             else LatencyBreakdown(),
+            display_rate=displayed / len(reports),
+            concealed_rate=(
+                sum(1 for r in reports if r.concealed) / len(reports)
+            ),
+            corrupted_rate=(
+                sum(1 for r in reports if r.corrupted) / len(reports)
+            ),
+            mean_stale_age=float(
+                np.mean([r.stale_age for r in reports])
+            ),
+            max_stale_age=int(max(r.stale_age for r in reports)),
+            outages=outages,
+            mean_recovery_frames=mean_recovery,
+            max_recovery_frames=max_recovery,
+            fallback_fraction=(
+                sum(
+                    1
+                    for r in reports
+                    if fallback_name is not None
+                    and r.semantic_level == fallback_name
+                )
+                / len(reports)
+            ),
         )

@@ -101,6 +101,8 @@ class TextSemanticPipeline(HolographicPipeline):
         self._decoder = DeltaDecoder()
         self.name = "text" + ("-delta" if use_deltas else "-full")
 
+        self._last_cloud = None
+
     def reset(self) -> None:
         self.tracker.reset()
         self.pose_smoother.reset()
@@ -110,6 +112,7 @@ class TextSemanticPipeline(HolographicPipeline):
             keyframe_interval=self._keyframe_interval
         )
         self._decoder = DeltaDecoder()
+        self._last_cloud = None
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()
@@ -176,6 +179,7 @@ class TextSemanticPipeline(HolographicPipeline):
             result.seconds
             + self.generator.generation_latency * changed_fraction,
         )
+        self._last_cloud = result.point_cloud
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=result.point_cloud,
@@ -184,4 +188,24 @@ class TextSemanticPipeline(HolographicPipeline):
                 "pose": result.pose,
                 "expression": result.expression,
             },
+        )
+
+    def conceal(self, frame_index: int) -> Optional[DecodedFrame]:
+        """Freeze the last generated point cloud for a lost frame.
+
+        Text semantics carry no receiver-side motion model (deltas are
+        symbolic), so the concealment floor — repeat the last cloud —
+        is the only safe strategy.  Returns None before any decode.
+        """
+        if self._last_cloud is None:
+            return None
+        start = time.perf_counter()
+        cloud = self._last_cloud.copy()
+        timing = LatencyBreakdown()
+        timing.add("concealment", time.perf_counter() - start)
+        return DecodedFrame(
+            frame_index=frame_index,
+            surface=cloud,
+            timing=timing,
+            metadata={"concealed": True, "conceal_method": "freeze"},
         )

@@ -1,4 +1,5 @@
-"""Network substrate: links, traces, packets, estimation, ABR, edge compute."""
+"""Network substrate: links, traces, packets, faults, transport,
+estimation, ABR, edge compute."""
 
 from repro.net.abr import (
     OracleRateController,
@@ -7,6 +8,19 @@ from repro.net.abr import (
     ThroughputRateController,
 )
 from repro.net.bwe import EwmaEstimator, HarmonicMeanEstimator
+from repro.net.faults import (
+    BandwidthCollapse,
+    BitCorruption,
+    Duplication,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    PacketFate,
+    RandomLoss,
+    Reordering,
+    ScheduledOutage,
+)
+from repro.net.transport import TransportPolicy
 from repro.net.edge import (
     A100,
     HEADSET,
@@ -27,22 +41,33 @@ from repro.net.trace import BandwidthTrace
 
 __all__ = [
     "A100",
+    "BandwidthCollapse",
     "BandwidthTrace",
+    "BitCorruption",
     "DEFAULT_MTU",
     "DeliveryReport",
     "DeviceProfile",
+    "Duplication",
     "EdgeServer",
     "EwmaEstimator",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliottLoss",
     "HEADER_BYTES",
     "HEADSET",
     "HarmonicMeanEstimator",
     "NetworkLink",
     "OracleRateController",
     "Packet",
+    "PacketFate",
     "QualityLevel",
     "RTX3080",
+    "RandomLoss",
     "RateController",
+    "Reordering",
+    "ScheduledOutage",
     "ThroughputRateController",
+    "TransportPolicy",
     "packetize",
     "reassemble",
     "reconstruction_memory_gb",

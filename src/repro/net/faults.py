@@ -1,0 +1,361 @@
+"""Composable, seed-deterministic network fault injection.
+
+Real Internet paths do not fail i.i.d.: loss comes in bursts (a 2-state
+Gilbert–Elliott channel reproduces the measured burstiness of wireless
+and congested paths), packets get reordered and duplicated by route
+changes, bits get corrupted on noisy last hops, and whole paths go dark
+for seconds during outages or handoffs.  A :class:`FaultPlan` composes
+any number of :class:`FaultInjector` instances into one declarative
+schedule that plugs into :class:`repro.net.link.NetworkLink`.
+
+Determinism contract: a plan draws every random decision from
+per-injector substreams derived from ``FaultPlan.seed``, so the same
+seed produces the identical fault schedule — the chaos suite relies on
+bit-reproducible runs.  A plan carries mutable channel state (e.g. the
+Gilbert–Elliott Markov state); give each link its own plan instance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.packet import Packet
+
+__all__ = [
+    "BandwidthCollapse",
+    "BitCorruption",
+    "Duplication",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliottLoss",
+    "PacketFate",
+    "RandomLoss",
+    "Reordering",
+    "ScheduledOutage",
+]
+
+
+@dataclass
+class PacketFate:
+    """What the faults decided for one packet transmission attempt.
+
+    Attributes:
+        lost: the packet never arrives.
+        duplicated: a second copy arrives (and is billed on the wire).
+        extra_delay: additional one-way delay (seconds) — the mechanism
+            behind reordering.
+        flip_bits: bit offsets into the payload to corrupt (None =
+            payload intact).
+    """
+
+    lost: bool = False
+    duplicated: bool = False
+    extra_delay: float = 0.0
+    flip_bits: Optional[np.ndarray] = None
+
+
+class FaultInjector(abc.ABC):
+    """One fault process.  Stateless injectors may ignore ``reset``."""
+
+    def reset(self) -> None:
+        """Return to the initial channel state (new run)."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        fate: PacketFate,
+        packet: Packet,
+        now: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Fold this injector's decision for one attempt into ``fate``."""
+
+    def capacity_scale(self, now: float) -> float:
+        """Multiplier on link capacity at ``now`` (1.0 = unaffected)."""
+        return 1.0
+
+
+def _validate_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise NetworkError(f"{name} must be in [0, 1], got {value}")
+
+
+def _in_windows(
+    windows: Sequence[Tuple[float, float]], now: float
+) -> bool:
+    return any(start <= now < end for start, end in windows)
+
+
+def _validate_windows(
+    windows: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    out = []
+    for window in windows:
+        if len(window) != 2:
+            raise NetworkError("windows must be (start, end) pairs")
+        start, end = float(window[0]), float(window[1])
+        if end <= start or start < 0:
+            raise NetworkError(
+                f"window ({start}, {end}) must satisfy 0 <= start < end"
+            )
+        out.append((start, end))
+    return out
+
+
+@dataclass
+class RandomLoss(FaultInjector):
+    """Independent (i.i.d.) packet loss — the classic baseline.
+
+    Attributes:
+        rate: per-attempt loss probability.
+    """
+
+    rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        _validate_probability("rate", self.rate)
+
+    def apply(self, fate, packet, now, rng) -> None:
+        if rng.random() < self.rate:
+            fate.lost = True
+
+
+@dataclass
+class GilbertElliottLoss(FaultInjector):
+    """Two-state Markov burst loss (Gilbert–Elliott channel).
+
+    The channel alternates between a *good* state (rare residual loss)
+    and a *bad* state (heavy loss).  Mean burst length is
+    ``1 / p_bad_to_good`` attempts; stationary loss is
+    ``loss_good * P(good) + loss_bad * P(bad)``.
+
+    Attributes:
+        p_good_to_bad: per-attempt transition probability good -> bad.
+        p_bad_to_good: per-attempt transition probability bad -> good.
+        loss_good: loss probability while good.
+        loss_bad: loss probability while bad.
+    """
+
+    p_good_to_bad: float = 0.02
+    p_bad_to_good: float = 0.35
+    loss_good: float = 0.001
+    loss_bad: float = 0.75
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"
+        ):
+            _validate_probability(name, getattr(self, name))
+        self._bad = False
+
+    def reset(self) -> None:
+        self._bad = False
+
+    def apply(self, fate, packet, now, rng) -> None:
+        transition = (
+            self.p_bad_to_good if self._bad else self.p_good_to_bad
+        )
+        if rng.random() < transition:
+            self._bad = not self._bad
+        loss = self.loss_bad if self._bad else self.loss_good
+        if loss > 0 and rng.random() < loss:
+            fate.lost = True
+
+
+@dataclass
+class Reordering(FaultInjector):
+    """Route-change style reordering.
+
+    A reordered packet takes a longer path: it picks up extra one-way
+    delay, arriving after packets transmitted later.
+
+    Attributes:
+        rate: probability an attempt is reordered.
+        min_delay / max_delay: extra delay range (seconds).
+    """
+
+    rate: float = 0.01
+    min_delay: float = 0.005
+    max_delay: float = 0.040
+
+    def __post_init__(self) -> None:
+        _validate_probability("rate", self.rate)
+        if not 0 <= self.min_delay <= self.max_delay:
+            raise NetworkError(
+                "need 0 <= min_delay <= max_delay for reordering"
+            )
+
+    def apply(self, fate, packet, now, rng) -> None:
+        if rng.random() < self.rate:
+            fate.extra_delay += rng.uniform(
+                self.min_delay, self.max_delay
+            )
+
+
+@dataclass
+class Duplication(FaultInjector):
+    """Spurious retransmission: a second copy of the packet arrives.
+
+    Attributes:
+        rate: probability an attempt is duplicated.
+    """
+
+    rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        _validate_probability("rate", self.rate)
+
+    def apply(self, fate, packet, now, rng) -> None:
+        if rng.random() < self.rate:
+            fate.duplicated = True
+
+
+@dataclass
+class BitCorruption(FaultInjector):
+    """Payload bit flips that survive to the receiver.
+
+    UDP-style transports have no payload integrity check at the link
+    layer, so flipped bits arrive "delivered"; the checksummed frame
+    header (``repro.compression.framing``) is what turns them into a
+    typed :class:`repro.errors.CodecError` instead of a garbage mesh.
+
+    Attributes:
+        rate: probability an attempt is corrupted.
+        bits: how many payload bits to flip when it is.
+    """
+
+    rate: float = 0.005
+    bits: int = 3
+
+    def __post_init__(self) -> None:
+        _validate_probability("rate", self.rate)
+        if self.bits < 1:
+            raise NetworkError("bits must be >= 1")
+
+    def apply(self, fate, packet, now, rng) -> None:
+        if rng.random() >= self.rate:
+            return
+        total_bits = len(packet.payload) * 8
+        if total_bits == 0:
+            return  # header-only packet: nothing to corrupt
+        flips = rng.integers(0, total_bits, size=self.bits)
+        fate.flip_bits = (
+            flips
+            if fate.flip_bits is None
+            else np.concatenate([fate.flip_bits, flips])
+        )
+
+
+@dataclass
+class ScheduledOutage(FaultInjector):
+    """Total blackout during scripted windows (link-local time).
+
+    Attributes:
+        windows: (start, end) pairs in seconds; every attempt whose
+            transmission completes inside a window is lost.
+    """
+
+    windows: Sequence[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.windows = _validate_windows(self.windows)
+
+    @classmethod
+    def single(cls, start: float, duration: float) -> "ScheduledOutage":
+        """One outage of ``duration`` seconds beginning at ``start``."""
+        return cls(windows=[(start, start + duration)])
+
+    def apply(self, fate, packet, now, rng) -> None:
+        if _in_windows(self.windows, now):
+            fate.lost = True
+
+
+@dataclass
+class BandwidthCollapse(FaultInjector):
+    """Capacity collapse during scripted windows (e.g. cross traffic).
+
+    Attributes:
+        windows: (start, end) pairs in seconds.
+        scale: capacity multiplier inside the windows, in (0, 1].
+    """
+
+    windows: Sequence[Tuple[float, float]] = field(default_factory=list)
+    scale: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.windows = _validate_windows(self.windows)
+        if not 0 < self.scale <= 1:
+            raise NetworkError("scale must be in (0, 1]")
+
+    def apply(self, fate, packet, now, rng) -> None:
+        return  # affects capacity only
+
+    def capacity_scale(self, now: float) -> float:
+        return self.scale if _in_windows(self.windows, now) else 1.0
+
+
+@dataclass
+class FaultPlan:
+    """A declarative, composable fault schedule for one link.
+
+    Injectors are applied in order to every transmission attempt
+    (including retransmissions — a burst that eats the original usually
+    eats the retry too, which is the whole point of burst models).
+
+    Attributes:
+        injectors: the fault processes to compose.
+        seed: master seed; injector ``i`` draws from the independent
+            substream ``default_rng([seed, i])`` so adding an injector
+            never perturbs the others' schedules.
+    """
+
+    injectors: Sequence[FaultInjector] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for injector in self.injectors:
+            if not isinstance(injector, FaultInjector):
+                raise NetworkError(
+                    f"{injector!r} is not a FaultInjector"
+                )
+        self.reset()
+
+    def reset(self) -> None:
+        """Rewind every injector and its random substream."""
+        self._rngs = [
+            np.random.default_rng([self.seed, index])
+            for index in range(len(self.injectors))
+        ]
+        for injector in self.injectors:
+            injector.reset()
+
+    def assess(self, packet: Packet, now: float) -> PacketFate:
+        """Decide the fate of one transmission attempt at time ``now``."""
+        fate = PacketFate()
+        for injector, rng in zip(self.injectors, self._rngs):
+            injector.apply(fate, packet, now, rng)
+        return fate
+
+    def capacity_scale(self, now: float) -> float:
+        """Combined capacity multiplier at ``now``."""
+        scale = 1.0
+        for injector in self.injectors:
+            scale *= injector.capacity_scale(now)
+        return scale
+
+
+def corrupt_payload(payload: bytes, flip_bits: np.ndarray) -> bytes:
+    """Flip the given bit offsets in a payload (offsets taken mod size)."""
+    if not payload:
+        return payload
+    data = bytearray(payload)
+    total_bits = len(data) * 8
+    for offset in np.asarray(flip_bits).ravel():
+        bit = int(offset) % total_bits
+        data[bit // 8] ^= 1 << (bit % 8)
+    return bytes(data)

@@ -5,18 +5,28 @@ delay, jitter and random loss — the Internet path between the two edge
 servers in Figure 1.  Transmission is serialised (a frame queues behind
 the previous one), which is what makes oversized traditional frames
 blow the end-to-end latency budget at 30 FPS.
+
+Loss recovery follows a :class:`repro.net.transport.TransportPolicy`
+(bounded retries, exponential backoff, per-frame deadline), and
+hostile-path behaviour — burst loss, reordering, duplication, bit
+corruption, outages, capacity collapse — is injected by an optional
+:class:`repro.net.faults.FaultPlan`.  Retransmission *waits* do not
+occupy the bottleneck; only transmissions do, so a frame stuck in
+recovery does not starve the frames queued behind it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import NetworkError
+from repro.net.faults import FaultPlan, PacketFate, corrupt_payload
 from repro.net.packet import Packet, packetize, reassemble
 from repro.net.trace import BandwidthTrace
+from repro.net.transport import TransportPolicy
 
 __all__ = ["DeliveryReport", "NetworkLink"]
 
@@ -30,11 +40,21 @@ class DeliveryReport:
         sent_time: when the frame entered the sender queue.
         arrival_time: when the last packet arrived (inf if the frame
             was lost).
-        wire_bytes: bytes on the wire including packet headers.
-        packets_sent / packets_lost: packet accounting.
-        delivered: True when every packet arrived (after retransmits if
-            the link is configured with them).
-        payload: the reassembled payload (None when lost).
+        wire_bytes: bytes on the wire including packet headers and
+            every retransmitted or duplicated copy.
+        goodput_bytes: delivered payload bytes, counted once (0 when
+            the frame was lost) — the basis of goodput accounting.
+        packets_sent / packets_lost: packet accounting (lost counts
+            every lost transmission attempt).
+        packets_duplicated: spurious duplicate copies that arrived.
+        packets_corrupted: delivered packets whose payload bits were
+            flipped in flight.
+        delivered: True when every packet arrived (after bounded
+            retransmits under the link's transport policy).
+        expired: True when the frame was abandoned because it exceeded
+            the policy's ``frame_deadline``.
+        payload: the reassembled payload (None when lost); may differ
+            from the sent bytes when ``packets_corrupted > 0``.
     """
 
     frame_id: int
@@ -45,6 +65,10 @@ class DeliveryReport:
     packets_lost: int
     delivered: bool
     payload: Optional[bytes] = None
+    goodput_bytes: int = 0
+    packets_duplicated: int = 0
+    packets_corrupted: int = 0
+    expired: bool = False
 
     @property
     def latency(self) -> float:
@@ -60,9 +84,15 @@ class NetworkLink:
         trace: capacity over time.
         propagation_delay: one-way delay (seconds).
         jitter: std-dev of per-packet extra delay (seconds).
-        loss_rate: independent per-packet loss probability.
-        retransmit: recover lost packets with one RTT penalty each
-            (True models a reliable transport; False drops the frame).
+        loss_rate: independent per-packet loss probability (1.0 is a
+            total blackout).
+        retransmit: recover lost packets (True selects the default
+            bounded-reliable policy; False fire-and-forget).  Ignored
+            when ``policy`` is given explicitly.
+        policy: retry/backoff/deadline policy (None derives one from
+            ``retransmit``).
+        faults: optional fault plan (burst loss, reordering, outages,
+            corruption, capacity collapse); keep one plan per link.
         mtu: packet payload size.
         seed: RNG seed for loss/jitter.
     """
@@ -74,23 +104,34 @@ class NetworkLink:
     jitter: float = 0.002
     loss_rate: float = 0.0
     retransmit: bool = True
+    policy: Optional[TransportPolicy] = None
+    faults: Optional[FaultPlan] = None
     mtu: int = 1400
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.propagation_delay < 0 or self.jitter < 0:
             raise NetworkError("delays must be non-negative")
-        if not 0 <= self.loss_rate < 1:
-            raise NetworkError("loss_rate must be in [0, 1)")
+        if not 0 <= self.loss_rate <= 1:
+            raise NetworkError("loss_rate must be in [0, 1]")
+        self._policy = self.policy or (
+            TransportPolicy.reliable()
+            if self.retransmit
+            else TransportPolicy.unreliable()
+        )
         self._rng = np.random.default_rng(self.seed)
         self._busy_until = 0.0
         self._reports: List[DeliveryReport] = []
+        if self.faults is not None:
+            self.faults.reset()
 
     def reset(self) -> None:
-        """Clear queue state and delivery history."""
+        """Clear queue state, fault state, and delivery history."""
         self._rng = np.random.default_rng(self.seed)
         self._busy_until = 0.0
         self._reports = []
+        if self.faults is not None:
+            self.faults.reset()
 
     @property
     def history(self) -> List[DeliveryReport]:
@@ -105,47 +146,86 @@ class NetworkLink:
         so later frames queue behind this one.
         """
         packets = packetize(frame_id, data, mtu=self.mtu)
+        policy = self._policy
+        rtt = 2.0 * self.propagation_delay
         start = max(now, self._busy_until)
+        # ``clock`` is this frame's timeline (transmissions + retry
+        # waits); ``busy`` is actual channel occupancy.  They diverge
+        # only while waiting on a retransmission timer.
         clock = start
+        busy = start
         last_arrival = 0.0
         wire_bytes = 0
         lost = 0
-        delivered_packets: List[Packet] = []
+        duplicated = 0
+        corrupted = 0
+        expired = False
+        received: Dict[int, Packet] = {}
         for packet in packets:
-            transmit = self.trace.transmit_seconds(
-                packet.wire_bytes, clock
-            )
-            clock += transmit
-            wire_bytes += packet.wire_bytes
-            attempts = 1
-            while self._rng.random() < self.loss_rate:
-                lost += 1
-                if not self.retransmit:
-                    attempts = 0
+            retries = 0
+            while True:
+                if (
+                    policy.frame_deadline is not None
+                    and clock - now > policy.frame_deadline
+                ):
+                    expired = True
                     break
-                # One RTT to detect + retransmit serially.
-                clock += 2.0 * self.propagation_delay
-                retx = self.trace.transmit_seconds(
-                    packet.wire_bytes, clock
+                tx_start = max(clock, busy)
+                scale = (
+                    self.faults.capacity_scale(tx_start)
+                    if self.faults is not None
+                    else 1.0
                 )
-                clock += retx
+                transmit = self.trace.transmit_seconds(
+                    packet.wire_bytes, tx_start
+                ) / scale
+                busy = tx_start + transmit
+                clock = busy
                 wire_bytes += packet.wire_bytes
-                attempts += 1
-            if attempts == 0:
-                continue
-            arrival = (
-                clock
-                + self.propagation_delay
-                + abs(self._rng.normal(0.0, self.jitter))
-                if self.jitter > 0
-                else clock + self.propagation_delay
-            )
-            last_arrival = max(last_arrival, arrival)
-            delivered_packets.append(packet)
+                fate = (
+                    self.faults.assess(packet, clock)
+                    if self.faults is not None
+                    else PacketFate()
+                )
+                if self._rng.random() < self.loss_rate or fate.lost:
+                    lost += 1
+                    if retries >= policy.max_retries:
+                        break  # retry budget exhausted: packet lost
+                    clock += policy.timeout(retries, rtt)
+                    retries += 1
+                    continue
+                arrived = packet
+                if fate.flip_bits is not None and packet.payload:
+                    arrived = Packet(
+                        frame_id=packet.frame_id,
+                        sequence=packet.sequence,
+                        total=packet.total,
+                        payload=corrupt_payload(
+                            packet.payload, fate.flip_bits
+                        ),
+                    )
+                    corrupted += 1
+                arrival = clock + self.propagation_delay + fate.extra_delay
+                if self.jitter > 0:
+                    arrival += abs(self._rng.normal(0.0, self.jitter))
+                if fate.duplicated:
+                    # The duplicate burns wire bytes; the receiver
+                    # drops the extra copy during reassembly.
+                    wire_bytes += packet.wire_bytes
+                    duplicated += 1
+                last_arrival = max(last_arrival, arrival)
+                received.setdefault(packet.sequence, arrived)
+                break
+            if expired:
+                break
 
-        self._busy_until = clock
-        complete = len(delivered_packets) == len(packets)
-        payload = reassemble(delivered_packets) if complete else None
+        self._busy_until = busy
+        complete = not expired and len(received) == len(packets)
+        payload = (
+            reassemble([received[p.sequence] for p in packets])
+            if complete
+            else None
+        )
         report = DeliveryReport(
             frame_id=frame_id,
             sent_time=now,
@@ -155,12 +235,21 @@ class NetworkLink:
             packets_lost=lost,
             delivered=complete,
             payload=payload,
+            goodput_bytes=len(data) if complete else 0,
+            packets_duplicated=duplicated,
+            packets_corrupted=corrupted,
+            expired=expired,
         )
         self._reports.append(report)
         return report
 
     def throughput_mbps(self, window: float = 1e9) -> float:
-        """Delivered goodput (Mbps) over the most recent ``window`` secs."""
+        """Delivered goodput (Mbps) over the most recent ``window`` secs.
+
+        Counts each delivered payload byte exactly once: retransmitted
+        copies and packet headers burn the wire (``wire_bytes``) but
+        are not goodput.
+        """
         if not self._reports:
             return 0.0
         horizon = max(r.sent_time for r in self._reports) - window
@@ -174,5 +263,5 @@ class NetworkLink:
         first = min(r.sent_time for r in delivered)
         last = max(r.arrival_time for r in delivered)
         span = max(last - first, 1e-6)
-        bits = sum(r.wire_bytes for r in delivered) * 8.0
+        bits = sum(r.goodput_bytes for r in delivered) * 8.0
         return bits / span / 1e6

@@ -43,11 +43,17 @@ class Packet:
 def packetize(
     frame_id: int, data: bytes, mtu: int = DEFAULT_MTU
 ) -> List[Packet]:
-    """Split a frame payload into packets."""
+    """Split a frame payload into packets.
+
+    A zero-byte frame (e.g. an unchanged text delta) is legal: it
+    becomes a single header-only packet so the receiver still observes
+    the frame boundary.
+    """
     if mtu <= 0:
         raise NetworkError("mtu must be positive")
     if not data:
-        raise NetworkError("cannot packetize an empty payload")
+        return [Packet(frame_id=frame_id, sequence=0, total=1,
+                       payload=b"")]
     chunks = [data[i: i + mtu] for i in range(0, len(data), mtu)]
     return [
         Packet(

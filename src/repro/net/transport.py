@@ -1,0 +1,96 @@
+"""Deadline-aware reliable transport policy.
+
+The original link model recovered losses with an *unbounded*
+retransmission loop: at high loss rates a frame could retry forever,
+inflating latency arbitrarily — the opposite of what an interactive
+telepresence transport does.  A :class:`TransportPolicy` bounds
+recovery three ways:
+
+* ``max_retries`` — a retry budget per packet; exhausting it counts
+  the packet (and therefore the frame) as lost,
+* exponential backoff between retries (``initial_timeout`` doubling up
+  to ``max_timeout``), modelling RTO growth,
+* ``frame_deadline`` — the interactivity budget; once a frame has been
+  in flight longer than this, the sender gives up on it entirely
+  (late holographic frames are worthless, the receiver conceals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import NetworkError
+
+__all__ = ["TransportPolicy"]
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Retry/timeout/deadline policy for one link.
+
+    Attributes:
+        max_retries: retransmission attempts per packet beyond the
+            first transmission (0 = pure unreliable transport).
+        initial_timeout: wait before the first retransmit (seconds);
+            None uses one link RTT, the classic loss-detection delay.
+        backoff: multiplicative timeout growth per retry (>= 1).
+        max_timeout: retry wait ceiling (seconds).
+        frame_deadline: give-up budget per frame (seconds measured from
+            the frame's send request); None disables the deadline.
+    """
+
+    max_retries: int = 12
+    initial_timeout: Optional[float] = None
+    backoff: float = 2.0
+    max_timeout: float = 0.5
+    frame_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise NetworkError("max_retries must be >= 0")
+        if self.initial_timeout is not None and self.initial_timeout <= 0:
+            raise NetworkError("initial_timeout must be positive")
+        if self.backoff < 1.0:
+            raise NetworkError("backoff must be >= 1")
+        if self.max_timeout <= 0:
+            raise NetworkError("max_timeout must be positive")
+        if self.frame_deadline is not None and self.frame_deadline <= 0:
+            raise NetworkError("frame_deadline must be positive")
+
+    def timeout(self, retry: int, rtt: float) -> float:
+        """Wait before retry number ``retry`` (0-based), given the RTT."""
+        base = (
+            self.initial_timeout
+            if self.initial_timeout is not None
+            else max(rtt, 1e-4)
+        )
+        return min(base * self.backoff ** retry, self.max_timeout)
+
+    @classmethod
+    def reliable(cls, max_retries: int = 12) -> "TransportPolicy":
+        """Persistent (but bounded) recovery — bulk-transfer style."""
+        return cls(max_retries=max_retries, frame_deadline=None)
+
+    @classmethod
+    def unreliable(cls) -> "TransportPolicy":
+        """Fire and forget: no retransmissions at all."""
+        return cls(max_retries=0, frame_deadline=None)
+
+    @classmethod
+    def interactive(
+        cls,
+        frame_deadline: float = 0.150,
+        max_retries: int = 4,
+    ) -> "TransportPolicy":
+        """Deadline-first recovery sized for the ~100 ms budget.
+
+        A few fast retries, then give up: a frame that cannot arrive
+        inside the interactivity budget is better concealed than
+        delivered late (it would also queue behind-schedule frames).
+        """
+        return cls(
+            max_retries=max_retries,
+            frame_deadline=frame_deadline,
+            max_timeout=frame_deadline / 2.0,
+        )

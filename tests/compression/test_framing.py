@@ -1,0 +1,72 @@
+"""Checksummed wire framing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.framing import (
+    FRAME_HEADER_BYTES,
+    FrameHeader,
+    open_frame,
+    seal_frame,
+)
+from repro.errors import CodecError
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = bytes(range(256)) * 10
+        blob = seal_frame(payload, frame_index=37, level=0)
+        assert len(blob) == FRAME_HEADER_BYTES + len(payload)
+        header, recovered = open_frame(blob)
+        assert recovered == payload
+        assert header == FrameHeader(
+            frame_index=37, level=0, payload_bytes=len(payload)
+        )
+
+    def test_level_preserved(self):
+        header, _ = open_frame(seal_frame(b"x", frame_index=1, level=1))
+        assert header.level == 1
+
+    def test_empty_payload_legal(self):
+        header, payload = open_frame(seal_frame(b"", frame_index=5))
+        assert payload == b""
+        assert header.payload_bytes == 0
+
+    def test_payload_bit_flip_detected(self):
+        blob = bytearray(seal_frame(b"q" * 500, frame_index=2))
+        blob[FRAME_HEADER_BYTES + 100] ^= 0x04
+        with pytest.raises(CodecError):
+            open_frame(bytes(blob))
+
+    def test_header_bit_flip_detected(self):
+        blob = bytearray(seal_frame(b"q" * 500, frame_index=2))
+        blob[6] ^= 0x01  # inside the frame_index field
+        with pytest.raises(CodecError):
+            open_frame(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = seal_frame(b"q" * 500)
+        with pytest.raises(CodecError):
+            open_frame(blob[: FRAME_HEADER_BYTES - 1])
+        with pytest.raises(CodecError):
+            open_frame(blob[:-7])
+
+    def test_bad_magic_detected(self):
+        blob = seal_frame(b"payload")
+        with pytest.raises(CodecError):
+            open_frame(b"XXXX" + blob[4:])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            open_frame(b"\x00" * 64)
+
+    def test_level_out_of_range(self):
+        with pytest.raises(CodecError):
+            seal_frame(b"x", level=256)
+
+    def test_frame_index_wraps_mod_2_32(self):
+        header, _ = open_frame(
+            seal_frame(b"x", frame_index=2**32 + 5)
+        )
+        assert header.frame_index == 5

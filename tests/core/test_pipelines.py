@@ -217,10 +217,13 @@ class TestFoveatedPipeline:
         assert merged.num_faces == 2
         assert merged.faces.max() == 5
 
-    def test_empty_payload_validation(self, talking_ds, pipe):
+    def test_payload_validation(self, talking_ds, pipe):
         from repro.core.pipeline import EncodedFrame
 
+        # Zero-byte payloads are legal (an unchanged delta encodes to
+        # nothing); only non-bytes payloads are refused.
+        pipe.validate_payload(EncodedFrame(frame_index=0, payload=b""))
         with pytest.raises(PipelineError):
             pipe.validate_payload(
-                EncodedFrame(frame_index=0, payload=b"")
+                EncodedFrame(frame_index=0, payload="not bytes")
             )

@@ -1,0 +1,480 @@
+"""Receiver-side resilience: concealment, degradation ladder, chaos.
+
+The chaos test is the acceptance criterion of the resilience work: a
+30 FPS session through Gilbert–Elliott burst loss plus a scripted
+2-second mid-session outage must put a surface on screen every frame
+(delivered or concealed), recover to delivered frames within 10 frames
+of the outage end, and be bit-reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.body.model import BodyModel
+from repro.body.motion import talking
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.core.concealment import (
+    DegradationController,
+    ResilienceConfig,
+    recovery_stats,
+)
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.pipeline import (
+    DecodedFrame,
+    EncodedFrame,
+    HolographicPipeline,
+)
+from repro.core.session import TelepresenceSession
+from repro.core.text_pipeline import TextSemanticPipeline
+from repro.errors import PipelineError
+from repro.geometry.camera import Intrinsics
+from repro.net.faults import (
+    BitCorruption,
+    FaultPlan,
+    GilbertElliottLoss,
+    ScheduledOutage,
+)
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
+from repro.net.transport import TransportPolicy
+
+# Overridable so CI can sweep a seed matrix; every seed must satisfy
+# the same acceptance criteria (the guarantees are not seed-lucky).
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+OUTAGE_START_FRAME = 30  # outage window [1.0 s, 3.0 s) at 30 FPS
+OUTAGE_END_FRAME = 90
+
+
+def _longest_undelivered_run(reports):
+    """(start, end) of the longest run of undelivered frames."""
+    best = (0, 0)
+    start = None
+    for i, r in enumerate(reports):
+        if not r.delivered:
+            if start is None:
+                start = i
+            if i + 1 - start > best[1] - best[0]:
+                best = (start, i + 1)
+        else:
+            start = None
+    return best
+
+
+@pytest.fixture(scope="module")
+def tiny_model() -> BodyModel:
+    return BodyModel(template_resolution=48, template_vertices=2000)
+
+
+@pytest.fixture(scope="module")
+def chaos_ds(tiny_model) -> RGBDSequenceDataset:
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(96, 72, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    return RGBDSequenceDataset(
+        model=tiny_model,
+        motion=talking(n_frames=105),
+        rig=rig,
+        samples_per_pixel=1.0,
+    )
+
+
+def _chaos_link(seed: int = CHAOS_SEED) -> NetworkLink:
+    return NetworkLink(
+        trace=BandwidthTrace.constant(20.0),
+        propagation_delay=0.020,
+        jitter=0.002,
+        policy=TransportPolicy.interactive(),
+        faults=FaultPlan(
+            [
+                GilbertElliottLoss(
+                    p_good_to_bad=0.05,
+                    p_bad_to_good=0.4,
+                    loss_good=0.0,
+                    loss_bad=0.7,
+                ),
+                ScheduledOutage.single(1.0, 2.0),
+            ],
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+def _run_chaos(chaos_ds):
+    session = TelepresenceSession(
+        dataset=chaos_ds,
+        pipeline=KeypointSemanticPipeline(resolution=24, temporal=True),
+        link=_chaos_link(),
+        resilience=ResilienceConfig(),
+    )
+    summary = session.run()
+    return session, summary
+
+
+def _mesh_digest(session) -> str:
+    h = hashlib.sha256()
+    for r in session.reports:
+        if r.decoded is not None and r.decoded.surface is not None:
+            h.update(r.decoded.surface.vertices.tobytes())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def chaos_runs(chaos_ds):
+    return _run_chaos(chaos_ds), _run_chaos(chaos_ds)
+
+
+class TestChaosSession:
+    def test_surface_every_frame(self, chaos_runs):
+        (session, summary), _ = chaos_runs
+        assert len(session.reports) == 105
+        assert all(
+            r.decoded is not None and r.decoded.surface is not None
+            for r in session.reports
+        )
+        assert summary.display_rate == 1.0
+
+    def test_outage_actually_bites(self, chaos_runs):
+        (session, summary), _ = chaos_runs
+        start, end = _longest_undelivered_run(session.reports)
+        # The scripted blackout covers frames 30..89; retries near its
+        # edges shift the effective run slightly, but it stays a long
+        # contiguous gap spanning the window's core.
+        assert start <= OUTAGE_START_FRAME
+        assert end - start >= 50
+        assert all(
+            r.concealed for r in session.reports[start:end]
+        )
+        assert summary.delivery_rate < 0.6
+        assert summary.concealed_rate > 0.4
+        assert summary.outages >= 1
+
+    def test_recovers_within_ten_frames(self, chaos_runs):
+        (session, summary), _ = chaos_runs
+        _, end = _longest_undelivered_run(session.reports)
+        post = [
+            r.frame_index
+            for r in session.reports[end:]
+            if r.delivered
+        ]
+        assert post and post[0] <= session.reports[end].frame_index + 9
+        assert summary.mean_recovery_frames <= 10
+        assert summary.max_recovery_frames <= 10
+
+    def test_concealment_ladder_extrapolate_then_freeze(
+        self, chaos_runs
+    ):
+        (session, _), _ = chaos_runs
+        methods = [
+            r.decoded.metadata.get("conceal_method")
+            for r in session.reports
+            if r.concealed
+        ]
+        assert "extrapolate" in methods
+        assert "freeze" in methods
+        # The ladder only goes down within one gap: extrapolation
+        # never resumes after the freeze floor until a fresh decode.
+        start, end = _longest_undelivered_run(session.reports)
+        gap = [
+            r.decoded.metadata["conceal_method"]
+            for r in session.reports[start:end]
+        ]
+        assert gap.index("freeze") == len(
+            [m for m in gap if m == "extrapolate"]
+        )
+
+    def test_stale_age_tracks_gap(self, chaos_runs):
+        (session, summary), _ = chaos_runs
+        fresh = [r for r in session.reports if r.displayed_fresh]
+        assert all(r.stale_age == 0 for r in fresh)
+        start, end = _longest_undelivered_run(session.reports)
+        assert summary.max_stale_age >= end - start
+
+    def test_bit_reproducible(self, chaos_runs):
+        (first, s1), (second, s2) = chaos_runs
+        assert [r.delivered for r in first.reports] == [
+            r.delivered for r in second.reports
+        ]
+        assert [r.concealed for r in first.reports] == [
+            r.concealed for r in second.reports
+        ]
+        assert _mesh_digest(first) == _mesh_digest(second)
+        assert s1.delivery_rate == s2.delivery_rate
+        assert s1.mean_recovery_frames == s2.mean_recovery_frames
+
+
+class TestDegradationLadder:
+    def test_outage_degrades_then_recovers(self, tiny_model, chaos_ds):
+        fallback = TextSemanticPipeline(model=tiny_model, points=2000)
+        primary = KeypointSemanticPipeline(
+            resolution=24, temporal=True
+        )
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(20.0),
+            jitter=0.002,
+            policy=TransportPolicy.interactive(),
+            faults=FaultPlan(
+                [ScheduledOutage.single(0.5, 1.0)], seed=5
+            ),
+            seed=5,
+        )
+        session = TelepresenceSession(
+            dataset=chaos_ds,
+            pipeline=primary,
+            link=link,
+            resilience=ResilienceConfig(
+                fallback=fallback, degrade_after=5, recover_after=3
+            ),
+        )
+        summary = session.run(frames=60)
+        levels = [r.semantic_level for r in session.reports]
+        # Outage covers frames 15..44; the sender steps down to text
+        # a few frames in and back up shortly after delivery resumes.
+        assert levels[0] == primary.name
+        assert fallback.name in levels
+        assert levels[-1] == primary.name
+        assert 0 < summary.fallback_fraction < 1
+        # Delivered fallback frames eventually decode as text point
+        # clouds — not necessarily immediately: post-outage deltas
+        # reference lost frames until the sender's next text keyframe,
+        # and are concealed meanwhile.
+        delivered_fallback = [
+            r
+            for r in session.reports
+            if r.delivered and r.semantic_level == fallback.name
+        ]
+        assert delivered_fallback
+        assert any(r.displayed_fresh for r in delivered_fallback)
+        assert summary.display_rate == 1.0
+
+    def test_controller_hysteresis(self):
+        ctrl = DegradationController(degrade_after=3, recover_after=2)
+        for _ in range(2):
+            ctrl.record(False)
+        assert not ctrl.degraded
+        ctrl.record(True)  # success resets the failure streak
+        for _ in range(2):
+            ctrl.record(False)
+        assert not ctrl.degraded
+        ctrl.record(False)
+        assert ctrl.degraded
+        assert ctrl.downgrades == 1
+        ctrl.record(True)
+        assert ctrl.degraded  # needs recover_after consecutive
+        ctrl.record(True)
+        assert not ctrl.degraded
+        assert ctrl.upgrades == 1
+
+    def test_controller_validation(self):
+        with pytest.raises(PipelineError):
+            DegradationController(degrade_after=0)
+        with pytest.raises(PipelineError):
+            ResilienceConfig(recover_after=0)
+
+
+class TestConcealmentUnits:
+    def _decode(self, pipe, ds, index):
+        encoded = pipe.encode(ds.frame(index))
+        return pipe.decode(encoded)
+
+    def test_none_before_first_decode(self):
+        pipe = KeypointSemanticPipeline(resolution=16)
+        assert pipe.conceal(0) is None
+
+    def test_freeze_after_single_decode(self, talking_ds):
+        pipe = KeypointSemanticPipeline(resolution=16)
+        decoded = self._decode(pipe, talking_ds, 0)
+        concealed = pipe.conceal(1)
+        assert concealed is not None
+        assert concealed.metadata["conceal_method"] == "freeze"
+        np.testing.assert_array_equal(
+            concealed.surface.vertices, decoded.surface.vertices
+        )
+
+    def test_extrapolate_after_two_decodes(self, talking_ds):
+        pipe = KeypointSemanticPipeline(resolution=16)
+        self._decode(pipe, talking_ds, 0)
+        decoded = self._decode(pipe, talking_ds, 1)
+        concealed = pipe.conceal(2)
+        assert concealed.metadata["conceal_method"] == "extrapolate"
+        assert concealed.metadata["conceal_streak"] == 1
+        # Extrapolation moves the mesh (the pose stream has velocity).
+        assert not np.array_equal(
+            concealed.surface.vertices, decoded.surface.vertices
+        )
+
+    def test_extrapolation_budget_then_freeze(self, talking_ds):
+        pipe = KeypointSemanticPipeline(
+            resolution=16, max_extrapolation_frames=2
+        )
+        self._decode(pipe, talking_ds, 0)
+        self._decode(pipe, talking_ds, 1)
+        methods = [
+            pipe.conceal(2 + i).metadata["conceal_method"]
+            for i in range(4)
+        ]
+        assert methods == [
+            "extrapolate", "extrapolate", "freeze", "freeze"
+        ]
+
+    def test_fresh_decode_resets_streak(self, talking_ds):
+        pipe = KeypointSemanticPipeline(resolution=16)
+        self._decode(pipe, talking_ds, 0)
+        self._decode(pipe, talking_ds, 1)
+        pipe.conceal(2)
+        pipe.conceal(3)
+        self._decode(pipe, talking_ds, 4)
+        assert pipe.conceal(5).metadata["conceal_streak"] == 1
+
+    def test_reset_clears_state(self, talking_ds):
+        pipe = KeypointSemanticPipeline(resolution=16)
+        self._decode(pipe, talking_ds, 0)
+        pipe.reset()
+        assert pipe.conceal(1) is None
+
+    def test_text_pipeline_freezes_last_cloud(
+        self, body_model, talking_ds
+    ):
+        pipe = TextSemanticPipeline(model=body_model, points=2000)
+        assert pipe.conceal(0) is None
+        decoded = self._decode(pipe, talking_ds, 0)
+        concealed = pipe.conceal(1)
+        assert concealed.metadata["conceal_method"] == "freeze"
+        np.testing.assert_array_equal(
+            concealed.surface.points, decoded.surface.points
+        )
+        pipe.reset()
+        assert pipe.conceal(0) is None
+
+    def test_invalid_concealment_parameters(self):
+        with pytest.raises(PipelineError):
+            KeypointSemanticPipeline(max_extrapolation_frames=-1)
+        with pytest.raises(PipelineError):
+            KeypointSemanticPipeline(conceal_damping=0.0)
+
+
+class TestCorruptionPath:
+    def test_corruption_surfaces_as_typed_event(self, talking_ds):
+        """Flipped bits must never decode into a garbage mesh."""
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            jitter=0.0,
+            faults=FaultPlan([BitCorruption(rate=1.0, bits=2)], seed=3),
+        )
+        session = TelepresenceSession(
+            dataset=talking_ds,
+            pipeline=KeypointSemanticPipeline(resolution=16),
+            link=link,
+            resilience=ResilienceConfig(),
+        )
+        summary = session.run(frames=6)
+        delivered = [r for r in session.reports if r.delivered]
+        assert delivered
+        assert all(r.corrupted for r in delivered)
+        assert all(r.decode_failed for r in delivered)
+        assert not any(r.displayed_fresh for r in session.reports)
+        assert summary.corrupted_rate > 0
+        assert summary.decode_failure_rate == 1.0
+
+
+class _EmptyPayloadPipeline(HolographicPipeline):
+    """Encodes every frame to zero bytes (an always-unchanged delta)."""
+
+    name = "empty-stub"
+    output_format = "mesh"
+
+    def encode(self, frame):
+        return EncodedFrame(frame_index=frame.index, payload=b"")
+
+    def decode(self, encoded):
+        assert encoded.payload == b""
+        return DecodedFrame(frame_index=encoded.frame_index,
+                            surface=None)
+
+
+class TestSessionEdgeCases:
+    def test_empty_payloads_cross_the_link(self, talking_ds):
+        session = TelepresenceSession(
+            dataset=talking_ds,
+            pipeline=_EmptyPayloadPipeline(),
+            link=NetworkLink(
+                trace=BandwidthTrace.constant(50.0), jitter=0.0
+            ),
+            resilience=ResilienceConfig(),
+        )
+        summary = session.run(frames=4)
+        assert summary.delivery_rate == 1.0
+        assert summary.decode_failure_rate == 0.0
+        # The checksum header is the entire wire payload.
+        from repro.compression.framing import FRAME_HEADER_BYTES
+
+        assert all(
+            r.payload_bytes == FRAME_HEADER_BYTES
+            for r in session.reports
+        )
+
+    def test_legacy_mode_unchanged(self, talking_ds):
+        """resilience=None keeps the original best-effort semantics."""
+        session = TelepresenceSession(
+            dataset=talking_ds,
+            pipeline=KeypointSemanticPipeline(resolution=16),
+            link=NetworkLink(
+                trace=BandwidthTrace.constant(50.0),
+                loss_rate=0.5,
+                retransmit=False,
+                seed=2,
+            ),
+        )
+        summary = session.run(frames=8)
+        assert summary.delivery_rate < 1.0
+        assert summary.concealed_rate == 0.0
+        assert summary.display_rate == summary.delivery_rate
+        undelivered = [
+            r for r in session.reports if not r.delivered
+        ]
+        assert all(r.decoded is None for r in undelivered)
+        # No checksum header in legacy mode: payload sizes match the
+        # encoder output exactly (Table 2 bandwidth numbers intact).
+        pipe = KeypointSemanticPipeline(resolution=16)
+        encoded = pipe.encode(talking_ds.frame(0))
+        assert session.reports[0].payload_bytes == len(encoded.payload)
+
+
+class TestRecoveryStats:
+    def test_no_outage(self):
+        assert recovery_stats([True] * 10, [True] * 10) == (0, 0.0, 0)
+
+    def test_single_outage_immediate_recovery(self):
+        delivered = [True] * 5 + [False] * 4 + [True] * 5
+        assert recovery_stats(delivered, delivered) == (1, 1.0, 1)
+
+    def test_short_gap_ignored(self):
+        delivered = [True, False, False, True, True]
+        assert recovery_stats(
+            delivered, delivered, min_outage_frames=3
+        ) == (0, 0.0, 0)
+
+    def test_delayed_freshness(self):
+        delivered = [True] + [False] * 3 + [True] * 4
+        fresh = [True] + [False] * 3 + [False, False, True, True]
+        assert recovery_stats(delivered, fresh) == (1, 3.0, 3)
+
+    def test_never_recovered_charges_remainder(self):
+        delivered = [True, True] + [False] * 4
+        fresh = delivered
+        outages, mean, peak = recovery_stats(delivered, fresh)
+        assert outages == 1
+        assert mean == peak == 1  # zero frames remained, charged +1
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(PipelineError):
+            recovery_stats([True], [True, False])

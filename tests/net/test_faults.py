@@ -1,0 +1,410 @@
+"""Fault injection, transport policy, and link resilience tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.faults import (
+    BandwidthCollapse,
+    BitCorruption,
+    Duplication,
+    FaultPlan,
+    GilbertElliottLoss,
+    PacketFate,
+    RandomLoss,
+    Reordering,
+    ScheduledOutage,
+    corrupt_payload,
+)
+from repro.net.link import NetworkLink
+from repro.net.packet import Packet, packetize, reassemble
+from repro.net.trace import BandwidthTrace
+from repro.net.transport import TransportPolicy
+
+
+def _packet(payload: bytes = b"x" * 100) -> Packet:
+    return Packet(frame_id=0, sequence=0, total=1, payload=payload)
+
+
+def _fates(plan: FaultPlan, n: int, dt: float = 0.001):
+    return [plan.assess(_packet(), i * dt) for i in range(n)]
+
+
+class TestInjectors:
+    def test_random_loss_rate(self):
+        plan = FaultPlan([RandomLoss(rate=0.3)], seed=7)
+        losses = sum(f.lost for f in _fates(plan, 5000))
+        assert 0.25 < losses / 5000 < 0.35
+
+    def test_gilbert_elliott_is_bursty(self):
+        """Same mean loss, but GE losses clump into runs."""
+        # Stationary bad-state probability 0.05/(0.05+0.45) = 0.1,
+        # mean loss ~ 0.1 * 0.9 = 0.09.
+        ge = FaultPlan(
+            [
+                GilbertElliottLoss(
+                    p_good_to_bad=0.05,
+                    p_bad_to_good=0.45,
+                    loss_good=0.0,
+                    loss_bad=0.9,
+                )
+            ],
+            seed=3,
+        )
+        iid = FaultPlan([RandomLoss(rate=0.09)], seed=3)
+        n = 20000
+
+        def max_run(fates):
+            longest = run = 0
+            for f in fates:
+                run = run + 1 if f.lost else 0
+                longest = max(longest, run)
+            return longest
+
+        ge_fates = _fates(ge, n)
+        iid_fates = _fates(iid, n)
+        ge_rate = sum(f.lost for f in ge_fates) / n
+        assert 0.05 < ge_rate < 0.14
+        # Burstiness: the GE channel produces much longer loss runs
+        # than the i.i.d. channel at the same mean rate.
+        assert max_run(ge_fates) > max_run(iid_fates)
+
+    def test_scheduled_outage_windows(self):
+        plan = FaultPlan([ScheduledOutage.single(1.0, 2.0)])
+        assert not plan.assess(_packet(), 0.5).lost
+        assert plan.assess(_packet(), 1.0).lost
+        assert plan.assess(_packet(), 2.99).lost
+        assert not plan.assess(_packet(), 3.0).lost
+
+    def test_reordering_adds_delay(self):
+        plan = FaultPlan(
+            [Reordering(rate=1.0, min_delay=0.01, max_delay=0.02)]
+        )
+        fate = plan.assess(_packet(), 0.0)
+        assert 0.01 <= fate.extra_delay <= 0.02
+        assert not fate.lost
+
+    def test_duplication(self):
+        plan = FaultPlan([Duplication(rate=1.0)])
+        assert plan.assess(_packet(), 0.0).duplicated
+
+    def test_bit_corruption_flips_payload(self):
+        plan = FaultPlan([BitCorruption(rate=1.0, bits=2)], seed=1)
+        fate = plan.assess(_packet(), 0.0)
+        assert fate.flip_bits is not None
+        mangled = corrupt_payload(b"x" * 100, fate.flip_bits)
+        assert mangled != b"x" * 100
+        assert len(mangled) == 100
+        # Flipping the same bits again restores the original.
+        assert corrupt_payload(mangled, fate.flip_bits) == b"x" * 100
+
+    def test_bit_corruption_skips_empty_payload(self):
+        plan = FaultPlan([BitCorruption(rate=1.0)])
+        fate = plan.assess(_packet(b""), 0.0)
+        assert fate.flip_bits is None
+
+    def test_bandwidth_collapse_scales_capacity(self):
+        plan = FaultPlan(
+            [BandwidthCollapse(windows=[(1.0, 2.0)], scale=0.25)]
+        )
+        assert plan.capacity_scale(0.5) == 1.0
+        assert plan.capacity_scale(1.5) == 0.25
+        assert not plan.assess(_packet(), 1.5).lost
+
+    def test_parameter_validation(self):
+        with pytest.raises(NetworkError):
+            RandomLoss(rate=1.5)
+        with pytest.raises(NetworkError):
+            GilbertElliottLoss(p_good_to_bad=-0.1)
+        with pytest.raises(NetworkError):
+            Reordering(min_delay=0.05, max_delay=0.01)
+        with pytest.raises(NetworkError):
+            BitCorruption(bits=0)
+        with pytest.raises(NetworkError):
+            ScheduledOutage(windows=[(2.0, 1.0)])
+        with pytest.raises(NetworkError):
+            BandwidthCollapse(windows=[(0.0, 1.0)], scale=0.0)
+        with pytest.raises(NetworkError):
+            FaultPlan(injectors=["not an injector"])
+
+
+class TestDeterminism:
+    def test_same_seed_identical_schedule(self):
+        def schedule(seed):
+            plan = FaultPlan(
+                [
+                    GilbertElliottLoss(),
+                    Reordering(rate=0.2),
+                    Duplication(rate=0.1),
+                    BitCorruption(rate=0.1),
+                ],
+                seed=seed,
+            )
+            return [
+                (f.lost, f.duplicated, round(f.extra_delay, 12),
+                 None if f.flip_bits is None else tuple(f.flip_bits))
+                for f in _fates(plan, 2000)
+            ]
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+
+    def test_reset_rewinds_schedule(self):
+        plan = FaultPlan([GilbertElliottLoss(), RandomLoss(0.2)], seed=5)
+        first = [(f.lost,) for f in _fates(plan, 500)]
+        plan.reset()
+        assert [(f.lost,) for f in _fates(plan, 500)] == first
+
+    def test_substreams_independent(self):
+        """Adding an injector never perturbs earlier schedules."""
+        base = FaultPlan([RandomLoss(rate=0.3)], seed=9)
+        extended = FaultPlan(
+            [RandomLoss(rate=0.3), Duplication(rate=0.5)], seed=9
+        )
+        assert [f.lost for f in _fates(base, 1000)] == [
+            f.lost for f in _fates(extended, 1000)
+        ]
+
+    def test_same_seed_identical_link_reports(self):
+        def run(seed):
+            link = NetworkLink(
+                trace=BandwidthTrace.constant(20.0),
+                faults=FaultPlan(
+                    [GilbertElliottLoss(), Reordering(rate=0.1)],
+                    seed=seed,
+                ),
+                policy=TransportPolicy.interactive(),
+                seed=seed,
+            )
+            return [
+                (r.delivered, r.wire_bytes, r.packets_lost,
+                 r.arrival_time)
+                for r in (
+                    link.send_frame(i, b"p" * 4000, now=i / 30.0)
+                    for i in range(60)
+                )
+            ]
+
+        assert run(11) == run(11)
+
+
+class TestTransportPolicy:
+    def test_backoff_growth_and_ceiling(self):
+        policy = TransportPolicy(
+            initial_timeout=0.01, backoff=2.0, max_timeout=0.05
+        )
+        assert policy.timeout(0, rtt=0.04) == pytest.approx(0.01)
+        assert policy.timeout(1, rtt=0.04) == pytest.approx(0.02)
+        assert policy.timeout(10, rtt=0.04) == pytest.approx(0.05)
+
+    def test_default_timeout_is_rtt(self):
+        policy = TransportPolicy()
+        assert policy.timeout(0, rtt=0.04) == pytest.approx(0.04)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            TransportPolicy(max_retries=-1)
+        with pytest.raises(NetworkError):
+            TransportPolicy(backoff=0.5)
+        with pytest.raises(NetworkError):
+            TransportPolicy(frame_deadline=0.0)
+
+    def test_total_blackout_terminates(self):
+        """loss_rate=1.0 must not loop forever (the old bug)."""
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=1.0,
+            retransmit=True,
+        )
+        report = link.send_frame(0, b"x" * 5000, now=0.0)
+        assert not report.delivered
+        assert report.payload is None
+        # One original + max_retries attempts per packet, no more.
+        per_packet = 1 + TransportPolicy.reliable().max_retries
+        assert report.packets_lost == report.packets_sent * per_packet
+
+    def test_deadline_expiry(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=1.0,
+            policy=TransportPolicy.interactive(frame_deadline=0.05),
+        )
+        report = link.send_frame(0, b"x" * 50_000, now=0.0)
+        assert report.expired
+        assert not report.delivered
+
+    def test_deadline_not_hit_on_clean_path(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(100.0),
+            jitter=0.0,
+            policy=TransportPolicy.interactive(),
+        )
+        report = link.send_frame(0, b"x" * 10_000, now=0.0)
+        assert report.delivered
+        assert not report.expired
+
+
+class TestLinkWithFaults:
+    def test_outage_drops_recovery_resumes(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            jitter=0.0,
+            faults=FaultPlan([ScheduledOutage.single(1.0, 1.0)]),
+            policy=TransportPolicy.interactive(frame_deadline=0.1),
+        )
+        outcomes = [
+            link.send_frame(i, b"x" * 2000, now=i / 10.0).delivered
+            for i in range(30)
+        ]
+        # Frames sent before 1.0s and after ~2.0s deliver; frames
+        # inside the window die.
+        assert all(outcomes[:9])
+        assert not any(outcomes[11:19])
+        assert all(outcomes[22:])
+
+    def test_outage_does_not_starve_later_frames(self):
+        """Retry waits must not occupy the bottleneck channel."""
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            jitter=0.0,
+            faults=FaultPlan([ScheduledOutage.single(0.5, 1.0)]),
+            policy=TransportPolicy.interactive(frame_deadline=0.1),
+        )
+        reports = [
+            link.send_frame(i, b"x" * 2000, now=i / 10.0)
+            for i in range(30)
+        ]
+        post = [r for r in reports if r.sent_time >= 1.7]
+        assert all(r.delivered for r in post)
+        assert all(r.latency < 0.1 for r in post)
+
+    def test_corruption_delivered_but_differs(self):
+        data = b"q" * 3000
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            jitter=0.0,
+            faults=FaultPlan([BitCorruption(rate=1.0, bits=1)], seed=2),
+        )
+        report = link.send_frame(0, data, now=0.0)
+        assert report.delivered
+        assert report.packets_corrupted == report.packets_sent
+        assert report.payload != data
+        assert len(report.payload) == len(data)
+
+    def test_duplication_bills_wire_bytes_once_delivered_once(self):
+        data = b"d" * 2000
+        clean = NetworkLink(
+            trace=BandwidthTrace.constant(50.0), jitter=0.0
+        )
+        dup = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            jitter=0.0,
+            faults=FaultPlan([Duplication(rate=1.0)]),
+        )
+        base = clean.send_frame(0, data, now=0.0)
+        doubled = dup.send_frame(0, data, now=0.0)
+        assert doubled.delivered
+        assert doubled.payload == data
+        assert doubled.packets_duplicated == doubled.packets_sent
+        assert doubled.wire_bytes == 2 * base.wire_bytes
+        assert doubled.goodput_bytes == base.goodput_bytes == len(data)
+
+    def test_reordering_inflates_arrival_only(self):
+        data = b"r" * 2000
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            jitter=0.0,
+            faults=FaultPlan(
+                [Reordering(rate=1.0, min_delay=0.05, max_delay=0.05)]
+            ),
+        )
+        report = link.send_frame(0, data, now=0.0)
+        assert report.delivered
+        assert report.payload == data
+        assert report.latency > 0.05
+
+    def test_bandwidth_collapse_slows_transmission(self):
+        def latency(faults):
+            link = NetworkLink(
+                trace=BandwidthTrace.constant(10.0),
+                jitter=0.0,
+                faults=faults,
+            )
+            return link.send_frame(0, b"x" * 50_000, now=0.0).latency
+
+        collapsed = latency(
+            FaultPlan(
+                [BandwidthCollapse(windows=[(0.0, 10.0)], scale=0.1)]
+            )
+        )
+        assert collapsed > 5 * latency(None)
+
+    def test_goodput_excludes_retransmissions(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0),
+            loss_rate=0.3,
+            retransmit=True,
+            seed=1,
+        )
+        data = b"g" * 40_000
+        report = link.send_frame(0, data, now=0.0)
+        assert report.delivered
+        assert report.goodput_bytes == len(data)
+        assert report.wire_bytes > len(data)  # headers + retries
+        mbps = link.throughput_mbps()
+        wire_mbps = (
+            report.wire_bytes * 8.0
+            / max(report.arrival_time - report.sent_time, 1e-6)
+            / 1e6
+        )
+        assert mbps < wire_mbps
+
+
+class TestPacketEdgeCases:
+    def test_single_packet_frame(self):
+        packets = packetize(3, b"abc", mtu=1400)
+        assert len(packets) == 1
+        assert packets[0].total == 1
+        assert reassemble(packets) == b"abc"
+
+    def test_exact_mtu_multiple(self):
+        data = b"m" * 2800
+        packets = packetize(4, data, mtu=1400)
+        assert [len(p.payload) for p in packets] == [1400, 1400]
+        assert reassemble(packets) == data
+
+    def test_empty_payload_roundtrip_over_link(self):
+        link = NetworkLink(
+            trace=BandwidthTrace.constant(50.0), jitter=0.0
+        )
+        report = link.send_frame(0, b"", now=0.0)
+        assert report.delivered
+        assert report.payload == b""
+        assert report.goodput_bytes == 0
+        assert report.wire_bytes > 0  # the header still crosses
+
+    def test_duplicate_sequence_raises(self):
+        packets = packetize(1, b"x" * 3000, mtu=1000)
+        with pytest.raises(NetworkError):
+            reassemble(packets + [packets[0]])
+
+    def test_mixed_duplicate_missing_under_reordering(self):
+        data = b"z" * 5000
+        packets = packetize(9, data, mtu=1000)
+        shuffled = list(reversed(packets))
+        assert reassemble(shuffled) == data
+        with pytest.raises(NetworkError):
+            reassemble(shuffled[:-1])
+        with pytest.raises(NetworkError):
+            reassemble(shuffled + [shuffled[2]])
+
+
+class TestPacketFateDefaults:
+    def test_clean_fate(self):
+        fate = PacketFate()
+        assert not fate.lost
+        assert not fate.duplicated
+        assert fate.extra_delay == 0.0
+        assert fate.flip_bits is None

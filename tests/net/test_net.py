@@ -83,9 +83,14 @@ class TestPackets:
         with pytest.raises(NetworkError):
             reassemble(a + b)
 
-    def test_empty_payload_raises(self):
-        with pytest.raises(NetworkError):
-            packetize(1, b"")
+    def test_empty_payload_single_packet(self):
+        # A zero-byte frame still crosses the wire as one header-only
+        # packet so the receiver sees the frame (e.g. "no change").
+        packets = packetize(1, b"")
+        assert len(packets) == 1
+        assert packets[0].payload == b""
+        assert packets[0].total == 1
+        assert reassemble(packets) == b""
 
 
 class TestLink:
