@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import subprocess
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable, List, Union
@@ -20,11 +21,21 @@ from repro.errors import SemHoloError
 
 __all__ = [
     "BenchRecord",
+    "MixedCommitWarning",
     "current_commit",
     "load_records",
     "merge_records",
     "write_records",
 ]
+
+
+class MixedCommitWarning(UserWarning):
+    """A results file holds measurements taken at different commits.
+
+    Rows from different commits are not comparable (the code under
+    measurement changed); re-run the sweeps that produced the stale
+    rows so every row carries the current commit.
+    """
 
 
 @dataclass(frozen=True)
@@ -136,6 +147,15 @@ def write_records(
     records = list(records)
     if merge:
         records = merge_records(load_records(path), records)
+    commits = sorted({r.commit for r in records if r.commit})
+    if len(commits) > 1:
+        warnings.warn(
+            f"{path.name} mixes measurements from commits "
+            f"{', '.join(commits)}; stale rows are not comparable — "
+            "re-run their sweeps at the current commit",
+            MixedCommitWarning,
+            stacklevel=2,
+        )
     path.write_text(
         json.dumps([asdict(r) for r in records], indent=2) + "\n"
     )

@@ -8,9 +8,17 @@ fixed motion sequences / rig configurations sized to finish in CI time.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Dict, List
 
 from repro.body.model import BodyModel
-from repro.body.motion import MotionSequence, presenting, talking, waving
+from repro.body.motion import (
+    MotionSequence,
+    presenting,
+    talking,
+    walking,
+    waving,
+)
+from repro.body.pose import BodyPose
 from repro.capture.dataset import RGBDSequenceDataset
 from repro.capture.noise import DepthNoiseModel
 from repro.capture.rig import CaptureRig
@@ -22,6 +30,7 @@ __all__ = [
     "talking_dataset",
     "waving_dataset",
     "presenting_dataset",
+    "serving_pose_streams",
 ]
 
 
@@ -69,3 +78,28 @@ def waving_dataset(n_frames: int = 30, seed: int = 0):
 def presenting_dataset(n_frames: int = 30, seed: int = 0):
     """The remote-collaboration workload from the paper's intro."""
     return _dataset(presenting(n_frames=n_frames), seed)
+
+
+def serving_pose_streams(
+    n_streams: int = 16, n_frames: int = 4
+) -> Dict[str, List[BodyPose]]:
+    """Distinct per-session pose streams for the serving benchmarks.
+
+    Models an edge node reconstructing many concurrent sessions: each
+    stream is a different subject (motion generator cycled, per-stream
+    seed and time offset), so no two streams share poses and the mesh
+    cache cannot shortcut the throughput measurement.  Keys are the
+    ``session|sender`` stream names the serving pool routes on.
+    """
+    generators = (talking, presenting, waving, walking)
+    streams: Dict[str, List[BodyPose]] = {}
+    for i in range(n_streams):
+        generator = generators[i % len(generators)]
+        # The time offset (skipping i leading frames) keeps streams of
+        # the same deterministic generator out of phase with each
+        # other.
+        sequence = generator(n_frames=n_frames + i, seed=i)
+        streams[f"session{i:02d}|sender"] = [
+            frame.pose for frame in sequence.frames[i:]
+        ]
+    return streams

@@ -105,6 +105,15 @@ class KeypointSemanticPipeline(HolographicPipeline):
             + ("" if compressed else "-raw")
         )
 
+    @property
+    def serving_offloadable(self) -> bool:
+        """Whether a :class:`repro.serve.engine.ServingEngine` may
+        decode this pipeline's frames through its cache/pool: the
+        plain per-frame path is a pure function of the transmitted
+        parameters; the temporal (keyframe + warp) variant carries
+        receiver state the pool does not model."""
+        return not self._temporal
+
     def _reset_concealment(self) -> None:
         self._last_pose = None
         self._prev_pose = None
@@ -183,15 +192,7 @@ class KeypointSemanticPipeline(HolographicPipeline):
             expression=payload.expression,
         )
         timing.add("mesh_reconstruction", result.seconds)
-        # Receiver-side concealment state: the last two decoded poses
-        # give a pose velocity, the last mesh is the freeze floor.
-        self._prev_pose = self._last_pose
-        self._last_pose = payload.pose.copy()
-        self._last_shape = payload.shape
-        self._last_expression = payload.expression
-        self._last_surface = result.mesh
-        self._conceal_streak = 0
-        self._conceal_offset = None
+        self._record_decode_state(payload, result.mesh)
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=result.mesh,
@@ -202,6 +203,22 @@ class KeypointSemanticPipeline(HolographicPipeline):
                 "warm_started": result.warm_started,
             },
         )
+
+    def _record_decode_state(self, payload, mesh) -> None:
+        """Update receiver-side concealment state after a decode.
+
+        The last two decoded poses give a pose velocity, the last mesh
+        is the freeze floor.  Split out of :meth:`decode` so the
+        serving engine — which reconstructs in a worker process or
+        serves from cache — keeps concealment working identically.
+        """
+        self._prev_pose = self._last_pose
+        self._last_pose = payload.pose.copy()
+        self._last_shape = payload.shape
+        self._last_expression = payload.expression
+        self._last_surface = mesh
+        self._conceal_streak = 0
+        self._conceal_offset = None
 
     def conceal(self, frame_index: int) -> Optional[DecodedFrame]:
         """Conceal a lost frame from receiver-side temporal state.

@@ -6,12 +6,21 @@ to N-1 receivers over independent network paths.  Uplink bandwidth
 therefore scales with the fan-out for traditional streams — one more
 reason semantics matter as meetings grow — while per-receiver decode
 cost lands on every receiving edge.
+
+With a :class:`repro.serve.ServingConfig` (or a shared
+:class:`repro.serve.ServingEngine`) the receiving edge stops decoding
+strictly sequentially: every sender's reconstruction for a frame tick
+is fanned across the engine's worker pool, and repeated avatar states
+are served from its cross-session mesh cache.  Without one the legacy
+single-threaded loop runs unchanged.
 """
 
 from __future__ import annotations
 
+import itertools
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -24,6 +33,8 @@ from repro.net.trace import BandwidthTrace
 
 __all__ = ["Participant", "PairReport", "MultiPartySummary",
            "MultiPartySession"]
+
+_session_ids = itertools.count()
 
 
 @dataclass
@@ -62,11 +73,14 @@ class MultiPartySummary:
         uplink_mbps: sender name -> uplink bandwidth (payload x
             fan-out x fps).
         interactive_fraction: share of pair-frames under 100 ms.
+        serving: serving-engine counters for the run (empty dict when
+            the meeting ran the legacy sequential loop).
     """
 
     pairs: List[PairReport]
     uplink_mbps: Dict[str, float]
     interactive_fraction: float
+    serving: Dict[str, float] = field(default_factory=dict)
 
     def pair(self, sender: str, receiver: str) -> PairReport:
         for report in self.pairs:
@@ -85,6 +99,14 @@ class MultiPartySession:
         decode: run receiver-side decoding (the payload is identical
             for every receiver, so it is decoded once per sender and
             the receiver compute time is charged to each pair).
+        serving: opt-in multi-core serving.  Pass a
+            :class:`repro.serve.ServingConfig` for a private engine
+            per ``run`` call, or an existing
+            :class:`repro.serve.ServingEngine` to share one edge
+            node's pool and cache across meetings.  ``None`` (the
+            default) keeps the legacy sequential loop, byte for byte.
+        session_id: label keying this meeting's reconstruction streams
+            inside a shared engine (auto-generated when omitted).
     """
 
     def __init__(
@@ -92,6 +114,8 @@ class MultiPartySession:
         participants: List[Participant],
         link_factory: Optional[Callable[[str, str], NetworkLink]] = None,
         decode: bool = True,
+        serving: Optional[object] = None,
+        session_id: Optional[str] = None,
     ) -> None:
         if len(participants) < 2:
             raise PipelineError("a meeting needs at least 2 participants")
@@ -100,6 +124,12 @@ class MultiPartySession:
             raise PipelineError("participant names must be unique")
         self.participants = participants
         self.decode = decode
+        self.serving = serving
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else f"meeting{next(_session_ids)}"
+        )
         self._link_factory = link_factory or self._default_link
         self._links: Dict[tuple, NetworkLink] = {}
         for sender in participants:
@@ -111,7 +141,10 @@ class MultiPartySession:
 
     @staticmethod
     def _default_link(sender: str, receiver: str) -> NetworkLink:
-        seed = abs(hash((sender, receiver))) % (2**31)
+        # CRC32 of the pair names, not hash(): str hashing is salted
+        # per process (PYTHONHASHSEED), which made default meetings
+        # unreproducible across runs.
+        seed = zlib.crc32(f"{sender}->{receiver}".encode()) % (2**31)
         return NetworkLink(
             trace=BandwidthTrace.constant(25.0),
             propagation_delay=0.025,
@@ -119,8 +152,7 @@ class MultiPartySession:
             seed=seed,
         )
 
-    def run(self, frames: int) -> MultiPartySummary:
-        """Run the meeting for ``frames`` frames."""
+    def _check_run(self, frames: int) -> None:
         if frames < 1:
             raise PipelineError("frames must be positive")
         for participant in self.participants:
@@ -132,6 +164,12 @@ class MultiPartySession:
             participant.pipeline.reset()
         for link in self._links.values():
             link.reset()
+
+    def run(self, frames: int) -> MultiPartySummary:
+        """Run the meeting for ``frames`` frames."""
+        self._check_run(frames)
+        if self.serving is not None:
+            return self._run_serving(frames)
 
         stats: Dict[tuple, dict] = {
             key: {"latencies": [], "delivered": 0, "payload": []}
@@ -152,24 +190,111 @@ class MultiPartySession:
                 if self.decode:
                     decoded = sender.pipeline.decode(encoded)
                     decode_time = decoded.timing.total
-                for receiver in self.participants:
-                    if receiver.name == sender.name:
-                        continue
-                    key = (sender.name, receiver.name)
-                    report = self._links[key].send_frame(
-                        index, encoded.payload, now=now
-                    )
-                    record = stats[key]
-                    record["payload"].append(encoded.payload_bytes)
-                    uplink_bytes[sender.name] += report.wire_bytes
-                    if report.delivered:
-                        record["delivered"] += 1
-                        record["latencies"].append(
-                            encoded.timing.total
-                            + report.latency
-                            + decode_time
-                        )
+                self._fan_out(
+                    index, now, sender, encoded, decode_time,
+                    stats, uplink_bytes,
+                )
 
+        return self._summarize(frames, stats, uplink_bytes)
+
+    def _run_serving(self, frames: int) -> MultiPartySummary:
+        """The throughput-oriented loop: per frame tick, every
+        sender's decode is submitted to the engine before any result
+        is awaited, so independent streams reconstruct concurrently
+        (and repeated avatar states come from the cache)."""
+        from repro.serve.config import ServingConfig
+        from repro.serve.engine import ServingEngine
+
+        owns_engine = isinstance(self.serving, ServingConfig)
+        engine = (
+            ServingEngine(self.serving) if owns_engine else self.serving
+        )
+        if not isinstance(engine, ServingEngine):
+            raise PipelineError(
+                "serving must be a ServingConfig or ServingEngine, got "
+                f"{type(self.serving).__name__}"
+            )
+        engine.reset_session(self.session_id)
+
+        stats: Dict[tuple, dict] = {
+            key: {"latencies": [], "delivered": 0, "payload": []}
+            for key in self._links
+        }
+        uplink_bytes: Dict[str, float] = {
+            p.name: 0.0 for p in self.participants
+        }
+        try:
+            for index in range(frames):
+                encoded_frames = {}
+                tickets = {}
+                for sender in self.participants:
+                    frame = sender.dataset.frame(index)
+                    encoded = sender.pipeline.encode(frame)
+                    sender.pipeline.validate_payload(encoded)
+                    encoded_frames[sender.name] = encoded
+                    if self.decode:
+                        tickets[sender.name] = engine.submit(
+                            sender.pipeline,
+                            encoded,
+                            session=self.session_id,
+                            sender=sender.name,
+                        )
+                for sender in self.participants:
+                    fps = sender.dataset.fps
+                    now = index / fps
+                    encoded = encoded_frames[sender.name]
+                    decode_time = 0.0
+                    if self.decode:
+                        decoded = engine.collect(tickets[sender.name])
+                        decode_time = decoded.timing.total
+                    self._fan_out(
+                        index, now, sender, encoded, decode_time,
+                        stats, uplink_bytes,
+                    )
+            serving_summary = engine.serving_summary()
+        finally:
+            if owns_engine:
+                engine.close()
+        return self._summarize(
+            frames, stats, uplink_bytes, serving=serving_summary
+        )
+
+    def _fan_out(
+        self,
+        index: int,
+        now: float,
+        sender: Participant,
+        encoded,
+        decode_time: float,
+        stats: Dict[tuple, dict],
+        uplink_bytes: Dict[str, float],
+    ) -> None:
+        """Ship one sender frame to every receiver and record stats."""
+        for receiver in self.participants:
+            if receiver.name == sender.name:
+                continue
+            key = (sender.name, receiver.name)
+            report = self._links[key].send_frame(
+                index, encoded.payload, now=now
+            )
+            record = stats[key]
+            record["payload"].append(encoded.payload_bytes)
+            uplink_bytes[sender.name] += report.wire_bytes
+            if report.delivered:
+                record["delivered"] += 1
+                record["latencies"].append(
+                    encoded.timing.total
+                    + report.latency
+                    + decode_time
+                )
+
+    def _summarize(
+        self,
+        frames: int,
+        stats: Dict[tuple, dict],
+        uplink_bytes: Dict[str, float],
+        serving: Optional[Dict[str, float]] = None,
+    ) -> MultiPartySummary:
         pairs = []
         interactive = []
         for (sender_name, receiver_name), record in stats.items():
@@ -205,4 +330,5 @@ class MultiPartySession:
             interactive_fraction=(
                 float(np.mean(interactive)) if interactive else 0.0
             ),
+            serving=dict(serving or {}),
         )

@@ -17,6 +17,7 @@ deliveries resume.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -44,6 +45,8 @@ from repro.net.edge import EdgeServer
 from repro.net.link import NetworkLink
 
 __all__ = ["FrameReport", "SessionSummary", "TelepresenceSession"]
+
+_session_ids = itertools.count()
 
 
 @dataclass
@@ -163,6 +166,14 @@ class TelepresenceSession:
         decode: run the receiver (disable for bandwidth-only studies).
         resilience: loss-resilient transport behaviour (None = legacy
             best-effort loop: no framing, no concealment, no ladder).
+        serving: opt-in multi-core serving of receiver reconstruction.
+            Pass a :class:`repro.serve.ServingConfig` for a private
+            engine per ``run`` call, or a shared
+            :class:`repro.serve.ServingEngine` so many sessions on one
+            edge node share its pool and mesh cache.  ``None`` keeps
+            the legacy in-process decode, byte for byte.
+        session_id: label keying this session's reconstruction stream
+            inside a shared engine (auto-generated when omitted).
     """
 
     def __init__(
@@ -174,6 +185,8 @@ class TelepresenceSession:
         receiver_edge: Optional[EdgeServer] = None,
         decode: bool = True,
         resilience: Optional[ResilienceConfig] = None,
+        serving: Optional[object] = None,
+        session_id: Optional[str] = None,
     ) -> None:
         self.dataset = dataset
         self.pipeline = pipeline
@@ -182,6 +195,12 @@ class TelepresenceSession:
         self.receiver_edge = receiver_edge
         self.decode = decode
         self.resilience = resilience
+        self.serving = serving
+        self.session_id = (
+            session_id
+            if session_id is not None
+            else f"session{next(_session_ids)}"
+        )
         self._controller = (
             DegradationController(
                 degrade_after=resilience.degrade_after,
@@ -191,6 +210,22 @@ class TelepresenceSession:
             else None
         )
         self.reports: List[FrameReport] = []
+
+    def _resolve_engine(self):
+        """Resolve the serving opt-in to (engine, owns_engine)."""
+        if self.serving is None:
+            return None, False
+        from repro.serve.config import ServingConfig
+        from repro.serve.engine import ServingEngine
+
+        if isinstance(self.serving, ServingConfig):
+            return ServingEngine(self.serving), True
+        if isinstance(self.serving, ServingEngine):
+            return self.serving, False
+        raise PipelineError(
+            "serving must be a ServingConfig or ServingEngine, got "
+            f"{type(self.serving).__name__}"
+        )
 
     def _receiver_factor(self) -> float:
         return (
@@ -235,10 +270,34 @@ class TelepresenceSession:
             self._controller.reset()
         if self.link is not None:
             self.link.reset()
+        engine, owns_engine = self._resolve_engine()
+        if engine is not None:
+            engine.reset_session(self.session_id)
         self.reports = []
         fps = self.dataset.fps
         stale_age = 0
 
+        try:
+            self._frame_loop(
+                count, start, fps, stale_age, fallback,
+                use_checksum, conceal, engine,
+            )
+        finally:
+            if owns_engine and engine is not None:
+                engine.close()
+        return self.summary()
+
+    def _frame_loop(
+        self,
+        count: int,
+        start: int,
+        fps: float,
+        stale_age: int,
+        fallback,
+        use_checksum: bool,
+        conceal: bool,
+        engine,
+    ) -> None:
         for offset in range(count):
             index = start + offset
             capture_time = index / fps
@@ -300,14 +359,25 @@ class TelepresenceSession:
                     timing=encoded.timing,
                     metadata=encoded.metadata,
                 )
-                try:
-                    decoded = level_pipeline.decode(received)
-                except PipelineError:
-                    # A frame that arrived but cannot be decoded (a
-                    # delta whose reference was lost) is displayed as
-                    # a freeze, not a crash; the sender's periodic
-                    # keyframes bound the outage.
-                    decode_failed = True
+                if engine is not None:
+                    # Serving path: worker death / timeout raises out
+                    # of the session (infrastructure failure), it is
+                    # never masked as a content-level decode failure.
+                    decoded = engine.decode(
+                        level_pipeline,
+                        received,
+                        session=self.session_id,
+                        sender="sender",
+                    )
+                else:
+                    try:
+                        decoded = level_pipeline.decode(received)
+                    except PipelineError:
+                        # A frame that arrived but cannot be decoded
+                        # (a delta whose reference was lost) is
+                        # displayed as a freeze, not a crash; the
+                        # sender's periodic keyframes bound the outage.
+                        decode_failed = True
                 if decoded is not None:
                     self._add_receiver_stages(breakdown, decoded)
 
@@ -345,7 +415,6 @@ class TelepresenceSession:
                     semantic_level=level_pipeline.name,
                 )
             )
-        return self.summary()
 
     def summary(self) -> SessionSummary:
         """Aggregate the reports collected by :meth:`run`."""

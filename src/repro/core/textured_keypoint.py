@@ -64,6 +64,13 @@ class TexturedKeypointPipeline(KeypointSemanticPipeline):
         self._cached_views: Optional[List[RGBDFrame]] = None
         self.name = f"keypoint-textured-r{resolution}"
 
+    @property
+    def serving_offloadable(self) -> bool:
+        """Never offloaded: decode carries receiver-side texture
+        projection (and cached-view state) the serving pool's bare
+        parameter->mesh workers do not perform."""
+        return False
+
     def reset(self) -> None:
         super().reset()
         self._frames_since_texture = 0

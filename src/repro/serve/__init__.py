@@ -1,0 +1,25 @@
+"""Multi-core serving engine for receiver-side reconstruction.
+
+Turns the session layer from a single-threaded loop into a
+throughput-oriented executor: a process pool with sticky per-stream
+warm-start state and shared-memory mesh transfer
+(:mod:`repro.serve.pool`), a cross-session pose-bucketed mesh cache
+(:mod:`repro.serve.cache`), and the engine gluing both behind an
+opt-in :class:`ServingConfig` (:mod:`repro.serve.engine`).
+"""
+
+from repro.serve.cache import CacheStats, MeshCache
+from repro.serve.config import ServingConfig
+from repro.serve.engine import DecodeTicket, ServingEngine, ServingStats
+from repro.serve.pool import PoolResult, ReconstructionPool
+
+__all__ = [
+    "CacheStats",
+    "MeshCache",
+    "ServingConfig",
+    "DecodeTicket",
+    "ServingEngine",
+    "ServingStats",
+    "PoolResult",
+    "ReconstructionPool",
+]

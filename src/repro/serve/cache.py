@@ -1,0 +1,182 @@
+"""Cross-session mesh cache keyed by quantised avatar parameters.
+
+An edge node serving N receivers of the same sender — or recurring
+poses across meetings — should reconstruct each distinct avatar state
+once.  The cache key is the transmitted parameter tuple (pose, shape,
+expression) bucketed on a uniform :class:`repro.compression.quantize.
+QuantizationGrid`, plus everything that changes the reconstructed
+geometry (resolution, expression channels, capsule blend radius).
+Using the same quantiser the codecs use means the bucket width is
+expressed in the units that were actually transmitted, and two frames
+land in one bucket only when their parameters agree to well below the
+fitting/tracking noise floor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.body.expression import ExpressionParams
+from repro.body.pose import BodyPose
+from repro.body.shape import ShapeParams
+from repro.compression.quantize import QuantizationGrid
+from repro.errors import PipelineError
+from repro.geometry.mesh import TriangleMesh
+
+__all__ = ["CacheStats", "MeshCache"]
+
+# Bucket ranges per parameter family.  Rotations are axis-angle
+# components (bounded by ±π per axis for any plausible fit), the root
+# translation stays within a few metres of the rig origin, betas are
+# calibrated to ±3, expression channels to roughly ±1.5.  Values
+# outside a range clamp to the boundary bucket — still deterministic.
+_ROTATION_RANGE = (-np.pi, np.pi)
+_TRANSLATION_RANGE = (-4.0, 4.0)
+_SHAPE_RANGE = (-3.0, 3.0)
+_EXPRESSION_RANGE = (-1.5, 1.5)
+
+
+def _range_grid(low: float, high: float, bits: int) -> QuantizationGrid:
+    """A 1-D grid spanning [low, high] at ``bits`` — the same fit the
+    codecs perform, applied to the parameter family's full range."""
+    return QuantizationGrid.fit(
+        np.array([[low], [high]], dtype=np.float64), bits
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters (monotonic over the cache lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class MeshCache:
+    """LRU cache of reconstructed meshes, keyed by parameter buckets.
+
+    Args:
+        capacity: maximum entries before least-recently-used eviction.
+        bits: quantisation bit depth of every bucket axis.  The default
+            12 puts the rotation bucket width at ~1.5 mrad — far below
+            detector noise, so hits are true recurrences, not lossy
+            merges.
+    """
+
+    def __init__(self, capacity: int = 512, bits: int = 12) -> None:
+        if capacity < 1:
+            raise PipelineError("cache capacity must be >= 1")
+        if not 1 <= bits <= 31:
+            raise PipelineError("cache bits must be in [1, 31]")
+        self.capacity = capacity
+        self.bits = bits
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[bytes, TriangleMesh]" = OrderedDict()
+        self._rotation_grid = _range_grid(*_ROTATION_RANGE, bits)
+        self._translation_grid = _range_grid(*_TRANSLATION_RANGE, bits)
+        self._shape_grid = _range_grid(*_SHAPE_RANGE, bits)
+        self._expression_grid = _range_grid(*_EXPRESSION_RANGE, bits)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(
+        self,
+        pose: Optional[BodyPose],
+        shape: Optional[ShapeParams],
+        expression: Optional[ExpressionParams],
+        resolution: int,
+        expression_channels: int,
+        blend: float,
+    ) -> bytes:
+        """The bucket key for one reconstruction request.
+
+        Everything that influences the output mesh participates:
+        quantised parameters plus the reconstructor configuration.
+        """
+        pose = pose or BodyPose.identity()
+        shape = shape or ShapeParams.neutral()
+        expression = expression or ExpressionParams.neutral()
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            struct.pack(
+                "<IIdB", resolution, expression_channels, blend, self.bits
+            )
+        )
+        digest.update(
+            self._rotation_grid.encode(
+                pose.joint_rotations.reshape(-1, 1)
+            ).tobytes()
+        )
+        digest.update(
+            self._translation_grid.encode(
+                pose.translation.reshape(-1, 1)
+            ).tobytes()
+        )
+        digest.update(
+            self._shape_grid.encode(shape.betas.reshape(-1, 1)).tobytes()
+        )
+        if expression_channels > 0:
+            digest.update(
+                self._expression_grid.encode(
+                    expression.coefficients[:expression_channels]
+                    .reshape(-1, 1)
+                ).tobytes()
+            )
+        return digest.digest()
+
+    def get(self, key: bytes) -> Optional[TriangleMesh]:
+        """Look up a bucket; counts a hit or a miss.
+
+        Returns a *copy* so callers can mutate their mesh without
+        poisoning later hits.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.copy()
+
+    def put(self, key: bytes, mesh: TriangleMesh) -> None:
+        """Insert a reconstruction result, evicting LRU beyond capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = mesh.copy()
+            return
+        self._entries[key] = mesh.copy()
+        self.stats.inserts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def bucket_widths(self) -> Tuple[float, float, float, float]:
+        """Bucket width per family (rotation, translation, shape,
+        expression) — for documentation and tests."""
+        return (
+            float(self._rotation_grid.step[0]),
+            float(self._translation_grid.step[0]),
+            float(self._shape_grid.step[0]),
+            float(self._expression_grid.step[0]),
+        )

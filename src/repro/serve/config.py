@@ -1,0 +1,58 @@
+"""Serving-engine configuration.
+
+A :class:`ServingConfig` is the single opt-in knob for the multi-core
+serving layer: sessions constructed without one run the legacy
+single-threaded loop, byte for byte.  With one, receiver-side mesh
+reconstruction is fanned across a :class:`repro.serve.pool.
+ReconstructionPool` and served through a :class:`repro.serve.cache.
+MeshCache` shared by every session on the edge node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PipelineError
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """How an edge node serves reconstruction work.
+
+    Attributes:
+        workers: reconstruction worker processes.  0 keeps every
+            reconstruction in-process (deterministic single-core mode;
+            the cache still applies) — useful for tests and for
+            machines where process startup outweighs the win.
+        cache: serve repeated pose/shape/expression buckets from the
+            edge-wide mesh cache instead of reconstructing again.
+        cache_capacity: maximum cached meshes before LRU eviction.
+        cache_bits: quantisation bit depth of the cache bucket key
+            (see :class:`repro.serve.cache.MeshCache`).
+        job_timeout: seconds to wait for one pooled reconstruction
+            before declaring the worker wedged (typed failure, never a
+            hang).
+        start_method: ``multiprocessing`` start method (``None`` =
+            platform default; Linux forks, which is what keeps worker
+            startup cheap enough to build a pool per session run).
+    """
+
+    workers: int = 2
+    cache: bool = True
+    cache_capacity: int = 512
+    cache_bits: int = 12
+    job_timeout: float = 300.0
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise PipelineError("workers must be >= 0")
+        if self.cache_capacity < 1:
+            raise PipelineError("cache_capacity must be >= 1")
+        if not 1 <= self.cache_bits <= 31:
+            raise PipelineError("cache_bits must be in [1, 31]")
+        if self.job_timeout <= 0:
+            raise PipelineError("job_timeout must be positive")

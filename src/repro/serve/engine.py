@@ -1,0 +1,342 @@
+"""The serving engine: cache-first, pool-backed receiver decode.
+
+One :class:`ServingEngine` models one edge node.  Every session routed
+through it shares the same :class:`repro.serve.cache.MeshCache` (so N
+receivers of one sender, or recurring poses across meetings, cost one
+reconstruction) and the same :class:`repro.serve.pool.
+ReconstructionPool` (so independent streams reconstruct concurrently).
+
+Only pipelines that declare themselves offloadable (currently the
+plain keypoint pipeline: parameters in, mesh out, no receiver-side
+texture work) go through cache and pool; everything else falls back to
+the pipeline's own ``decode`` — correctness first, acceleration where
+the decode really is a pure function of the transmitted parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.pipeline import DecodedFrame, EncodedFrame, \
+    HolographicPipeline
+from repro.core.timing import LatencyBreakdown
+from repro.errors import PipelineError
+from repro.serve.cache import MeshCache
+from repro.serve.config import ServingConfig
+from repro.serve.pool import ReconstructionPool
+
+__all__ = ["DecodeTicket", "ServingStats", "ServingEngine"]
+
+_ticket_ids = itertools.count()
+
+
+@dataclass
+class ServingStats:
+    """Engine-level counters (cache counters live on the cache).
+
+    Attributes:
+        offloaded: frames decoded through cache/pool.
+        inline_decodes: frames decoded by the pipeline itself
+            (non-offloadable pipeline or no serving benefit).
+        reconstructions: reconstructions actually performed (pool or
+            local) — cache hits do not count.
+    """
+
+    offloaded: int = 0
+    inline_decodes: int = 0
+    reconstructions: int = 0
+
+
+@dataclass
+class DecodeTicket:
+    """A submitted decode awaiting :meth:`ServingEngine.collect`."""
+
+    ticket_id: int
+    pipeline: HolographicPipeline
+    encoded: EncodedFrame
+    stream: str
+    mode: str  # "inline" | "hit" | "pool" | "local"
+    payload: object = None
+    key: Optional[bytes] = None
+    job_id: Optional[int] = None
+    cached_mesh: object = None
+    decompress_seconds: float = 0.0
+    lookup_seconds: float = 0.0
+
+
+class ServingEngine:
+    """Cache-first, pool-backed decoding for one edge node.
+
+    Args:
+        config: the serving knobs.  ``workers == 0`` keeps
+            reconstruction in-process (per-stream warm-start state held
+            by the engine) while the cache still applies.
+    """
+
+    def __init__(self, config: ServingConfig) -> None:
+        self.config = config
+        self.cache = (
+            MeshCache(capacity=config.cache_capacity,
+                      bits=config.cache_bits)
+            if config.cache
+            else None
+        )
+        self.pool = (
+            ReconstructionPool(
+                workers=config.workers,
+                job_timeout=config.job_timeout,
+                start_method=config.start_method,
+            )
+            if config.workers >= 1
+            else None
+        )
+        self.stats = ServingStats()
+        self._local: Dict[str, tuple] = {}
+        self._session_streams: Dict[str, Set[str]] = {}
+        self._closed = False
+
+    # -- stream bookkeeping ----------------------------------------
+
+    @staticmethod
+    def _stream_key(session: str, sender: str) -> str:
+        return f"{session}|{sender}"
+
+    def reset_session(self, session: str) -> None:
+        """Drop warm-start state for every stream of one session.
+
+        The cross-session cache is deliberately *not* cleared — serving
+        recurring avatar states across sessions is its purpose.
+        """
+        for stream in self._session_streams.pop(session, set()):
+            if self.pool is not None:
+                self.pool.reset_stream(stream)
+            self._local.pop(stream, None)
+
+    # -- decode ----------------------------------------------------
+
+    @staticmethod
+    def _offloadable(pipeline: HolographicPipeline) -> bool:
+        return bool(getattr(pipeline, "serving_offloadable", False))
+
+    def submit(
+        self,
+        pipeline: HolographicPipeline,
+        encoded: EncodedFrame,
+        session: str = "session",
+        sender: str = "sender",
+    ) -> DecodeTicket:
+        """Start decoding one frame; cheap for hits, asynchronous for
+        pooled reconstructions, deferred for inline fallbacks."""
+        if self._closed:
+            raise PipelineError("serving engine is closed")
+        stream = self._stream_key(session, sender)
+        ticket_id = next(_ticket_ids)
+        if not self._offloadable(pipeline):
+            return DecodeTicket(
+                ticket_id=ticket_id,
+                pipeline=pipeline,
+                encoded=encoded,
+                stream=stream,
+                mode="inline",
+            )
+        self._session_streams.setdefault(session, set()).add(stream)
+        start = time.perf_counter()
+        codec = pipeline.codec
+        payload = (
+            codec.decompress(encoded.payload)
+            if pipeline.compressed
+            else codec.decode(encoded.payload)
+        )
+        decompress_seconds = time.perf_counter() - start
+        reconstructor = pipeline.reconstructor
+        key = None
+        if self.cache is not None:
+            start = time.perf_counter()
+            key = self.cache.key(
+                pose=payload.pose,
+                shape=payload.shape,
+                expression=payload.expression,
+                resolution=reconstructor.resolution,
+                expression_channels=reconstructor.expression_channels,
+                blend=reconstructor.blend,
+            )
+            mesh = self.cache.get(key)
+            lookup_seconds = time.perf_counter() - start
+            if mesh is not None:
+                return DecodeTicket(
+                    ticket_id=ticket_id,
+                    pipeline=pipeline,
+                    encoded=encoded,
+                    stream=stream,
+                    mode="hit",
+                    payload=payload,
+                    key=key,
+                    cached_mesh=mesh,
+                    decompress_seconds=decompress_seconds,
+                    lookup_seconds=lookup_seconds,
+                )
+        if self.pool is not None:
+            job_id = self.pool.submit(
+                stream=stream,
+                frame_index=encoded.frame_index,
+                pose=payload.pose,
+                shape=payload.shape,
+                expression=payload.expression,
+                resolution=reconstructor.resolution,
+                expression_channels=reconstructor.expression_channels,
+                blend=reconstructor.blend,
+            )
+            return DecodeTicket(
+                ticket_id=ticket_id,
+                pipeline=pipeline,
+                encoded=encoded,
+                stream=stream,
+                mode="pool",
+                payload=payload,
+                key=key,
+                job_id=job_id,
+                decompress_seconds=decompress_seconds,
+            )
+        return DecodeTicket(
+            ticket_id=ticket_id,
+            pipeline=pipeline,
+            encoded=encoded,
+            stream=stream,
+            mode="local",
+            payload=payload,
+            key=key,
+            decompress_seconds=decompress_seconds,
+        )
+
+    def collect(self, ticket: DecodeTicket) -> DecodedFrame:
+        """Finish a submitted decode and return the receiver output."""
+        pipeline = ticket.pipeline
+        if ticket.mode == "inline":
+            self.stats.inline_decodes += 1
+            return pipeline.decode(ticket.encoded)
+
+        self.stats.offloaded += 1
+        timing = LatencyBreakdown()
+        timing.add("decompress", ticket.decompress_seconds)
+        metadata = {
+            "resolution": pipeline.reconstructor.resolution,
+            "served": True,
+        }
+        if ticket.mode == "hit":
+            timing.add("cache_lookup", ticket.lookup_seconds)
+            mesh = ticket.cached_mesh
+            metadata.update(
+                field_evaluations=0,
+                warm_started=False,
+                cache_hit=True,
+            )
+        elif ticket.mode == "pool":
+            result = self.pool.result(ticket.job_id)
+            mesh = result.mesh
+            self.stats.reconstructions += 1
+            timing.add("mesh_reconstruction", result.seconds)
+            metadata.update(
+                field_evaluations=result.field_evaluations,
+                warm_started=result.warm_started,
+                cache_hit=False,
+                worker=result.worker,
+            )
+            if self.cache is not None and ticket.key is not None:
+                self.cache.put(ticket.key, mesh)
+        else:  # "local": in-process, per-stream warm-start state
+            reconstructor = self._local_reconstructor(
+                ticket.stream, pipeline
+            )
+            result = reconstructor.reconstruct(
+                pose=ticket.payload.pose,
+                shape=ticket.payload.shape,
+                expression=ticket.payload.expression,
+            )
+            mesh = result.mesh
+            self.stats.reconstructions += 1
+            timing.add("mesh_reconstruction", result.seconds)
+            metadata.update(
+                field_evaluations=result.field_evaluations,
+                warm_started=result.warm_started,
+                cache_hit=False,
+            )
+            if self.cache is not None and ticket.key is not None:
+                self.cache.put(ticket.key, mesh)
+        pipeline._record_decode_state(ticket.payload, mesh)
+        return DecodedFrame(
+            frame_index=ticket.encoded.frame_index,
+            surface=mesh,
+            timing=timing,
+            metadata=metadata,
+        )
+
+    def decode(
+        self,
+        pipeline: HolographicPipeline,
+        encoded: EncodedFrame,
+        session: str = "session",
+        sender: str = "sender",
+    ) -> DecodedFrame:
+        """Synchronous submit + collect."""
+        return self.collect(
+            self.submit(pipeline, encoded, session=session, sender=sender)
+        )
+
+    def _local_reconstructor(self, stream: str, pipeline):
+        from repro.avatar.reconstructor import KeypointMeshReconstructor
+
+        base = pipeline.reconstructor
+        config = (base.resolution, base.expression_channels, base.blend)
+        held = self._local.get(stream)
+        if held is None or held[0] != config:
+            held = (
+                config,
+                KeypointMeshReconstructor(
+                    resolution=base.resolution,
+                    expression_channels=base.expression_channels,
+                    blend=base.blend,
+                ),
+            )
+            self._local[stream] = held
+        return held[1]
+
+    # -- reporting / lifecycle -------------------------------------
+
+    def serving_summary(self) -> Dict[str, float]:
+        """Flat counters for tests, CI assertions and benchmarks."""
+        summary = {
+            "workers": self.config.workers,
+            "offloaded": self.stats.offloaded,
+            "inline_decodes": self.stats.inline_decodes,
+            "reconstructions": self.stats.reconstructions,
+            "cache_enabled": self.cache is not None,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "cache_size": 0,
+        }
+        if self.cache is not None:
+            summary.update(
+                cache_hits=self.cache.stats.hits,
+                cache_misses=self.cache.stats.misses,
+                cache_evictions=self.cache.stats.evictions,
+                cache_size=len(self.cache),
+            )
+        return summary
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,12 +1,14 @@
 """Tests for machine-readable benchmark results (BENCH_*.json)."""
 
 import json
+import warnings
 
 import pytest
 
 from repro.bench.harness import safe_rate
 from repro.bench.results import (
     BenchRecord,
+    MixedCommitWarning,
     current_commit,
     load_records,
     merge_records,
@@ -78,6 +80,48 @@ class TestRoundTrip:
         path.write_text(json.dumps({"records": []}))
         with pytest.raises(SemHoloError):
             load_records(path)
+
+
+class TestMixedCommits:
+    def test_warns_when_merge_mixes_commits(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_records(path, [_record(commit="aaa111")])
+        with pytest.warns(MixedCommitWarning, match="aaa111, bbb222"):
+            write_records(
+                path, [_record(resolution=256, commit="bbb222")]
+            )
+
+    def test_silent_when_commits_agree(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_records(path, [_record(commit="aaa111")])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            write_records(
+                path, [_record(resolution=256, commit="aaa111")]
+            )
+
+    def test_unknown_commits_do_not_count(self, tmp_path):
+        """Rows measured outside a checkout (commit "") never trigger
+        the staleness warning on their own."""
+        path = tmp_path / "BENCH_test.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            write_records(path, [
+                _record(commit=""),
+                _record(resolution=256, commit="aaa111"),
+            ])
+
+    def test_refreshing_stale_rows_clears_the_warning(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_records(path, [_record(commit="aaa111"),
+                             _record(resolution=256, commit="aaa111")])
+        with pytest.warns(MixedCommitWarning):
+            write_records(path, [_record(commit="bbb222")])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            write_records(
+                path, [_record(resolution=256, commit="bbb222")]
+            )
 
 
 class TestHelpers:

@@ -1,0 +1,103 @@
+"""Tests for the process-parallel reconstruction pool."""
+
+import numpy as np
+import pytest
+
+from repro.avatar.reconstructor import KeypointMeshReconstructor
+from repro.body.motion import talking
+from repro.errors import PipelineError
+from repro.serve.pool import ReconstructionPool
+
+
+@pytest.fixture(scope="module")
+def poses():
+    return [frame.pose for frame in talking(n_frames=3, seed=0).frames]
+
+
+class TestRoundTrip:
+    def test_pooled_meshes_match_sequential(self, poses):
+        """Shared-memory transfer and per-worker warm start are exact:
+        the pooled stream reproduces the sequential reconstructor's
+        meshes bit for bit."""
+        sequential = KeypointMeshReconstructor(resolution=48)
+        expected = [
+            sequential.reconstruct(pose=pose) for pose in poses
+        ]
+        with ReconstructionPool(workers=2) as pool:
+            results = [
+                pool.reconstruct("s", i, pose=pose, resolution=48)
+                for i, pose in enumerate(poses)
+            ]
+        for got, want in zip(results, expected):
+            assert np.array_equal(got.mesh.vertices,
+                                  want.mesh.vertices)
+            assert np.array_equal(got.mesh.faces, want.mesh.faces)
+            assert got.field_evaluations == want.field_evaluations
+        assert all(r.seconds > 0 for r in results)
+        assert all(r.cpu_seconds > 0 for r in results)
+
+    def test_warm_start_engages_and_resets(self, poses):
+        with ReconstructionPool(workers=1) as pool:
+            first = pool.reconstruct("s", 0, pose=poses[0],
+                                     resolution=128)
+            second = pool.reconstruct("s", 1, pose=poses[1],
+                                      resolution=128)
+            assert not first.warm_started
+            assert second.warm_started
+            pool.reset_stream("s")
+            third = pool.reconstruct("s", 2, pose=poses[2],
+                                     resolution=128)
+            assert not third.warm_started
+
+
+class TestRouting:
+    def test_sticky_least_loaded(self):
+        with ReconstructionPool(workers=2) as pool:
+            assert pool.worker_for("a") == 0
+            assert pool.worker_for("b") == 1
+            assert pool.worker_for("c") == 0
+            assert pool.worker_for("d") == 1
+            # Sticky: repeated lookups never migrate a stream.
+            assert pool.worker_for("a") == 0
+            assert pool.worker_for("b") == 1
+
+
+class TestFailure:
+    def test_worker_death_surfaces_frame_index(self, poses):
+        """A crashed worker yields a typed error naming the in-flight
+        frame — never a hang (the satellite regression)."""
+        with ReconstructionPool(workers=1) as pool:
+            pool.reconstruct("doomed", 0, pose=poses[0], resolution=32)
+            pool.crash_worker(0)
+            # Either the submit sees the corpse, or the queued job is
+            # failed when the death is detected; both name the frame.
+            with pytest.raises(PipelineError,
+                               match=r"frame 7 of stream 'doomed'"):
+                job = pool.submit("doomed", 7, pose=poses[0],
+                                  resolution=32)
+                pool.result(job)
+
+    def test_submit_to_dead_worker_refused(self, poses):
+        with ReconstructionPool(workers=1) as pool:
+            pool.crash_worker(0, exit_code=3)
+            pool._processes[0].join(timeout=10)
+            with pytest.raises(PipelineError, match="dead"):
+                pool.submit("s", 0, pose=poses[0], resolution=32)
+
+    def test_unknown_job_id(self):
+        with ReconstructionPool(workers=1) as pool:
+            with pytest.raises(PipelineError, match="unknown job"):
+                pool.result(12345)
+
+    def test_closed_pool_refuses_submits(self, poses):
+        pool = ReconstructionPool(workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(PipelineError, match="closed"):
+            pool.submit("s", 0, pose=poses[0])
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            ReconstructionPool(workers=0)
+        with pytest.raises(PipelineError):
+            ReconstructionPool(workers=1, job_timeout=0.0)

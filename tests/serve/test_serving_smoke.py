@@ -1,0 +1,210 @@
+"""Serving smoke: pooled meetings reproduce the sequential loop.
+
+The CI serving job runs this module: a 3-participant meeting through a
+2-worker engine must produce the same deterministic summary fields as
+the legacy sequential loop, and a shared engine must start hitting its
+mesh cache when avatar states recur.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.multiparty import MultiPartySession, Participant
+from repro.core.session import TelepresenceSession
+from repro.errors import PipelineError
+from repro.serve import ServingConfig, ServingEngine
+
+
+def _roster(talking_ds, waving_ds, count=3):
+    datasets = [talking_ds, waving_ds, talking_ds]
+    return [
+        Participant(
+            name=f"user{i}",
+            dataset=datasets[i % len(datasets)],
+            pipeline=KeypointSemanticPipeline(resolution=32, seed=i),
+        )
+        for i in range(count)
+    ]
+
+
+def _deterministic_fields(summary):
+    """The summary fields that must be identical between the serving
+    and sequential loops (wall-clock latencies are not)."""
+    return {
+        "pairs": [
+            (p.sender, p.receiver, p.frames, p.delivered,
+             p.mean_payload_bytes)
+            for p in summary.pairs
+        ],
+        "uplink_mbps": summary.uplink_mbps,
+    }
+
+
+class TestMeetingThroughPool:
+    def test_three_party_meeting_matches_sequential(self, talking_ds,
+                                                    waving_ds):
+        sequential = MultiPartySession(
+            _roster(talking_ds, waving_ds)
+        ).run(frames=3)
+        served = MultiPartySession(
+            _roster(talking_ds, waving_ds),
+            serving=ServingConfig(workers=2),
+        ).run(frames=3)
+
+        assert _deterministic_fields(served) == \
+            _deterministic_fields(sequential)
+        assert sequential.serving == {}
+        assert served.serving["workers"] == 2
+        assert served.serving["offloaded"] == 9  # 3 senders x 3 frames
+        assert served.serving["reconstructions"] >= 1
+        assert served.serving["reconstructions"] + \
+            served.serving["cache_hits"] == 9
+
+    def test_shared_engine_caches_across_runs(self, talking_ds,
+                                              waving_ds):
+        sequential = MultiPartySession(
+            _roster(talking_ds, waving_ds)
+        ).run(frames=2)
+        with ServingEngine(ServingConfig(workers=2)) as engine:
+            roster = _roster(talking_ds, waving_ds)
+            first = MultiPartySession(
+                roster, serving=engine, session_id="meetingA"
+            ).run(frames=2)
+            second = MultiPartySession(
+                roster, serving=engine, session_id="meetingB"
+            ).run(frames=2)
+            summary = engine.serving_summary()
+
+        for served in (first, second):
+            assert _deterministic_fields(served) == \
+                _deterministic_fields(sequential)
+        # The second meeting replays the same avatar states: the
+        # cross-session cache must serve them without reconstructing.
+        assert second.serving["cache_hits"] > \
+            first.serving["cache_hits"]
+        assert summary["cache_hits"] > 0
+        assert summary["reconstructions"] + summary["cache_hits"] == \
+            summary["offloaded"]
+
+    def test_workers_zero_runs_in_process(self, talking_ds, waving_ds):
+        sequential = MultiPartySession(
+            _roster(talking_ds, waving_ds, 2)
+        ).run(frames=2)
+        served = MultiPartySession(
+            _roster(talking_ds, waving_ds, 2),
+            serving=ServingConfig(workers=0),
+        ).run(frames=2)
+        assert _deterministic_fields(served) == \
+            _deterministic_fields(sequential)
+        assert served.serving["workers"] == 0
+        assert served.serving["reconstructions"] >= 1
+
+    def test_rejects_bogus_serving_argument(self, talking_ds,
+                                            waving_ds):
+        session = MultiPartySession(
+            _roster(talking_ds, waving_ds, 2), serving="turbo"
+        )
+        with pytest.raises(PipelineError, match="ServingConfig"):
+            session.run(frames=1)
+
+
+class TestEngineDecode:
+    def test_engine_decode_matches_pipeline_decode(self, talking_ds):
+        encoded_by = KeypointSemanticPipeline(resolution=48)
+        encoded = encoded_by.encode(talking_ds.frame(0))
+
+        plain = KeypointSemanticPipeline(resolution=48)
+        expected = plain.decode(encoded)
+
+        served_pipe = KeypointSemanticPipeline(resolution=48)
+        with ServingEngine(ServingConfig(workers=1)) as engine:
+            got = engine.decode(served_pipe, encoded)
+            again = engine.decode(served_pipe, encoded)
+        assert np.array_equal(got.surface.vertices,
+                              expected.surface.vertices)
+        assert np.array_equal(got.surface.faces,
+                              expected.surface.faces)
+        assert got.metadata["served"] is True
+        assert not got.metadata["cache_hit"]
+        # Identical payload: second decode is a cache hit with the
+        # same geometry.
+        assert again.metadata["cache_hit"]
+        assert np.array_equal(again.surface.vertices,
+                              expected.surface.vertices)
+
+    def test_temporal_pipeline_stays_inline(self, talking_ds):
+        pipe = KeypointSemanticPipeline(resolution=32, temporal=True)
+        assert not pipe.serving_offloadable
+        encoded = pipe.encode(talking_ds.frame(0))
+        with ServingEngine(ServingConfig(workers=0)) as engine:
+            ticket = engine.submit(pipe, encoded)
+            assert ticket.mode == "inline"
+            decoded = engine.collect(ticket)
+            summary = engine.serving_summary()
+        assert decoded.surface is not None
+        assert summary["inline_decodes"] == 1
+        assert summary["offloaded"] == 0
+
+
+class TestTelepresenceSession:
+    def test_session_summary_matches_sequential(self, talking_ds):
+        def fields(summary):
+            return (summary.frames, summary.mean_payload_bytes,
+                    summary.delivery_rate,
+                    summary.decode_failure_rate)
+
+        sequential = TelepresenceSession(
+            talking_ds, KeypointSemanticPipeline(resolution=32)
+        ).run(frames=3)
+        served = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            serving=ServingConfig(workers=2),
+        ).run(frames=3)
+        assert fields(served) == fields(sequential)
+
+    def test_worker_death_is_not_masked_as_decode_failure(
+            self, talking_ds):
+        engine = ServingEngine(ServingConfig(workers=1, cache=False))
+        try:
+            engine.pool.crash_worker(0)
+            engine.pool._processes[0].join(timeout=10)
+            session = TelepresenceSession(
+                talking_ds,
+                KeypointSemanticPipeline(resolution=32),
+                serving=engine,
+            )
+            with pytest.raises(PipelineError, match="dead"):
+                session.run(frames=2)
+        finally:
+            engine.close()
+
+    def test_rejects_bogus_serving_argument(self, talking_ds):
+        session = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            serving=42,
+        )
+        with pytest.raises(PipelineError, match="ServingConfig"):
+            session.run(frames=1)
+
+
+class TestServingConfig:
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            ServingConfig(workers=-1)
+        with pytest.raises(PipelineError):
+            ServingConfig(cache_capacity=0)
+        with pytest.raises(PipelineError):
+            ServingConfig(cache_bits=0)
+        with pytest.raises(PipelineError):
+            ServingConfig(job_timeout=0.0)
+
+    def test_closed_engine_refuses_decodes(self, talking_ds):
+        pipe = KeypointSemanticPipeline(resolution=32)
+        encoded = pipe.encode(talking_ds.frame(0))
+        engine = ServingEngine(ServingConfig(workers=0))
+        engine.close()
+        with pytest.raises(PipelineError, match="closed"):
+            engine.submit(pipe, encoded)
