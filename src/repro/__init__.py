@@ -36,6 +36,7 @@ from repro.errors import (
     NetworkError,
     PipelineError,
     SemHoloError,
+    ServingError,
 )
 from repro.net import BandwidthTrace, NetworkLink
 
@@ -59,6 +60,7 @@ __all__ = [
     "PipelineError",
     "RGBDSequenceDataset",
     "SemHoloError",
+    "ServingError",
     "ShapeParams",
     "TelepresenceSession",
     "TextSemanticPipeline",

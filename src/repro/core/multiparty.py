@@ -223,6 +223,7 @@ class MultiPartySession:
         uplink_bytes: Dict[str, float] = {
             p.name: 0.0 for p in self.participants
         }
+        tickets: Dict[str, object] = {}
         try:
             for index in range(frames):
                 encoded_frames = {}
@@ -245,19 +246,40 @@ class MultiPartySession:
                     encoded = encoded_frames[sender.name]
                     decode_time = 0.0
                     if self.decode:
-                        decoded = engine.collect(tickets[sender.name])
+                        decoded = engine.collect(
+                            tickets.pop(sender.name)
+                        )
                         decode_time = decoded.timing.total
                     self._fan_out(
                         index, now, sender, encoded, decode_time,
                         stats, uplink_bytes,
                     )
             serving_summary = engine.serving_summary()
+        except BaseException:
+            # A failed submit/collect must not abandon the tick's
+            # other tickets: their pool jobs would keep running and
+            # their shared-memory results would never be reaped
+            # (especially on a shared engine that outlives this run).
+            self._drain_tickets(engine, tickets)
+            raise
         finally:
             if owns_engine:
                 engine.close()
         return self._summarize(
             frames, stats, uplink_bytes, serving=serving_summary
         )
+
+    @staticmethod
+    def _drain_tickets(engine, tickets: Dict[str, object]) -> None:
+        """Best-effort collect of tickets abandoned by a failure, so
+        their in-flight pool jobs and shared-memory results are
+        reaped before the error propagates."""
+        for ticket in tickets.values():
+            try:
+                engine.collect(ticket)
+            except Exception:
+                pass
+        tickets.clear()
 
     def _fan_out(
         self,

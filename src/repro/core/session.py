@@ -40,7 +40,7 @@ from repro.core.timing import (
     LatencyBreakdown,
     mean_breakdown,
 )
-from repro.errors import CodecError, PipelineError
+from repro.errors import CodecError, PipelineError, ServingError
 from repro.net.edge import EdgeServer
 from repro.net.link import NetworkLink
 
@@ -360,15 +360,24 @@ class TelepresenceSession:
                     metadata=encoded.metadata,
                 )
                 if engine is not None:
-                    # Serving path: worker death / timeout raises out
-                    # of the session (infrastructure failure), it is
-                    # never masked as a content-level decode failure.
-                    decoded = engine.decode(
-                        level_pipeline,
-                        received,
-                        session=self.session_id,
-                        sender="sender",
-                    )
+                    # Serving path: worker death / timeout raises a
+                    # ServingError out of the session (infrastructure
+                    # failure, never masked as a content failure), but
+                    # the same content-level failures the legacy
+                    # branch conceals — a delta whose reference was
+                    # lost, decoded inline or pooled — still freeze
+                    # the display instead of crashing the run.
+                    try:
+                        decoded = engine.decode(
+                            level_pipeline,
+                            received,
+                            session=self.session_id,
+                            sender="sender",
+                        )
+                    except ServingError:
+                        raise
+                    except PipelineError:
+                        decode_failed = True
                 else:
                     try:
                         decoded = level_pipeline.decode(received)

@@ -32,5 +32,15 @@ class PipelineError(SemHoloError):
     """End-to-end pipeline misconfiguration or stage failure."""
 
 
+class ServingError(PipelineError):
+    """Serving infrastructure failure (worker death, job timeout,
+    closed pool).
+
+    Distinct from content-level decode failures (which raise plain
+    :class:`PipelineError`) so the session loop can conceal the latter
+    while infrastructure failures always propagate.
+    """
+
+
 class FittingError(SemHoloError):
     """Model fitting (IK / optimisation) failed to converge or got bad input."""

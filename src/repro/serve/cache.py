@@ -34,8 +34,11 @@ __all__ = ["CacheStats", "MeshCache"]
 # Bucket ranges per parameter family.  Rotations are axis-angle
 # components (bounded by ±π per axis for any plausible fit), the root
 # translation stays within a few metres of the rig origin, betas are
-# calibrated to ±3, expression channels to roughly ±1.5.  Values
-# outside a range clamp to the boundary bucket — still deterministic.
+# calibrated to ±3, expression channels to roughly ±1.5.  A value
+# outside its range would clamp to the boundary bucket, so the key
+# additionally mixes in the raw values of any out-of-range family:
+# two distinct states beyond the assumed range can never collide
+# (exact recurrences still hit; they just stop bucketing).
 _ROTATION_RANGE = (-np.pi, np.pi)
 _TRANSLATION_RANGE = (-4.0, 4.0)
 _SHAPE_RANGE = (-3.0, 3.0)
@@ -119,27 +122,46 @@ class MeshCache:
                 "<IIdB", resolution, expression_channels, blend, self.bits
             )
         )
-        digest.update(
-            self._rotation_grid.encode(
-                pose.joint_rotations.reshape(-1, 1)
-            ).tobytes()
+        self._update_family(
+            digest, self._rotation_grid, _ROTATION_RANGE,
+            pose.joint_rotations,
         )
-        digest.update(
-            self._translation_grid.encode(
-                pose.translation.reshape(-1, 1)
-            ).tobytes()
+        self._update_family(
+            digest, self._translation_grid, _TRANSLATION_RANGE,
+            pose.translation,
         )
-        digest.update(
-            self._shape_grid.encode(shape.betas.reshape(-1, 1)).tobytes()
+        self._update_family(
+            digest, self._shape_grid, _SHAPE_RANGE, shape.betas
         )
         if expression_channels > 0:
-            digest.update(
-                self._expression_grid.encode(
-                    expression.coefficients[:expression_channels]
-                    .reshape(-1, 1)
-                ).tobytes()
+            self._update_family(
+                digest, self._expression_grid, _EXPRESSION_RANGE,
+                expression.coefficients[:expression_channels],
             )
         return digest.digest()
+
+    @staticmethod
+    def _update_family(
+        digest,
+        grid: QuantizationGrid,
+        valid_range: Tuple[float, float],
+        values: np.ndarray,
+    ) -> None:
+        """Mix one parameter family into the key.
+
+        In range, the family contributes its bucket indices only.  Out
+        of range the grid clamps to its boundary bucket, which would
+        make distinct states collide and serve the wrong mesh; mixing
+        in the raw values keeps such keys unique (identical raw state
+        still hits the cache — it just loses sub-bucket merging).
+        """
+        column = values.reshape(-1, 1)
+        digest.update(grid.encode(column).tobytes())
+        low, high = valid_range
+        if np.any(column < low) or np.any(column > high):
+            digest.update(
+                np.ascontiguousarray(column, dtype="<f8").tobytes()
+            )
 
     def get(self, key: bytes) -> Optional[TriangleMesh]:
         """Look up a bucket; counts a hit or a miss.

@@ -15,9 +15,17 @@ throughput:
   is hundreds of KB of vertex/face data per frame; workers return it
   through :mod:`multiprocessing.shared_memory` segments the parent
   copies out and unlinks, instead of pickling arrays through a pipe.
-* **Typed failure, never a hang.**  A worker that dies (OOM-kill,
-  segfault, bug) surfaces as a :class:`repro.errors.PipelineError`
-  naming the in-flight frame; a wedged worker trips the job timeout.
+* **Typed failure, never a hang.**  Infrastructure failures — a worker
+  that dies (OOM-kill, segfault), a wedged worker tripping the job
+  timeout, a closed pool — surface as
+  :class:`repro.errors.ServingError` naming the in-flight frame; an
+  exception *inside* a reconstruction (bad content) surfaces as the
+  plain :class:`repro.errors.PipelineError` the in-process path would
+  raise, so sessions can conceal it.  A timed-out worker is terminated
+  and respawned in place (streams keep their pinning; warm-start
+  re-seeds), and every shared-memory segment a worker produced is
+  copied-or-unlinked exactly once — including results that arrive
+  after their job was abandoned by a timeout or ``close``.
 """
 
 from __future__ import annotations
@@ -28,14 +36,14 @@ import time
 from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.body.expression import ExpressionParams
 from repro.body.pose import BodyPose
 from repro.body.shape import ShapeParams
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ServingError
 from repro.geometry.mesh import TriangleMesh
 
 __all__ = ["PoolResult", "ReconstructionPool"]
@@ -85,6 +93,11 @@ def _worker_main(worker_id: int, requests, responses) -> None:
             # Test hook: die exactly like a segfaulted/OOM-killed
             # worker would, without cleaning anything up.
             os._exit(message[1])
+        if kind == "stall":
+            # Test hook: wedge the worker for a while, like a job
+            # stuck in a pathological reconstruction.
+            time.sleep(message[1])
+            continue
         if kind == "reset":
             reconstructors.pop(message[1], None)
             continue
@@ -173,6 +186,11 @@ def _worker_main(worker_id: int, requests, responses) -> None:
                     job_id,
                     worker_id,
                     f"{type(exc).__name__}: {exc}",
+                    # Content-level failures (the reconstruction itself
+                    # rejected the input) must stay concealable, i.e.
+                    # plain PipelineError in the parent; anything else
+                    # is an infrastructure-grade surprise.
+                    isinstance(exc, PipelineError),
                 )
             )
 
@@ -202,27 +220,33 @@ class ReconstructionPool:
             raise PipelineError("job_timeout must be positive")
         self.workers = workers
         self.job_timeout = job_timeout
-        context = get_context(start_method)
-        self._requests = [context.Queue() for _ in range(workers)]
-        self._responses = context.Queue()
+        self._context = get_context(start_method)
+        self._requests = [self._context.Queue() for _ in range(workers)]
+        self._responses = self._context.Queue()
         self._processes = [
-            context.Process(
-                target=_worker_main,
-                args=(i, self._requests[i], self._responses),
-                daemon=True,
-                name=f"reconstruction-worker-{i}",
-            )
-            for i in range(workers)
+            self._spawn_worker(i) for i in range(workers)
         ]
-        for process in self._processes:
-            process.start()
         self._next_job = 0
         self._stream_worker: Dict[str, int] = {}
         self._stream_counts = [0] * workers
         self._pending: Dict[int, Tuple[str, int, int]] = {}
         self._done: Dict[int, Tuple[str, object]] = {}
+        # Jobs abandoned by a timeout or close: their late results are
+        # drained for their shared-memory segment (unlinked, never
+        # kept) instead of accumulating in ``_done`` forever.
+        self._abandoned: Set[int] = set()
         self.jobs_per_worker = [0] * workers
         self._closed = False
+
+    def _spawn_worker(self, worker: int):
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker, self._requests[worker], self._responses),
+            daemon=True,
+            name=f"reconstruction-worker-{worker}",
+        )
+        process.start()
+        return process
 
     # -- routing ---------------------------------------------------
 
@@ -253,10 +277,10 @@ class ReconstructionPool:
     ) -> int:
         """Queue one reconstruction; returns a job id for :meth:`result`."""
         if self._closed:
-            raise PipelineError("pool is closed")
+            raise ServingError("pool is closed")
         worker = self.worker_for(stream)
         if not self._processes[worker].is_alive():
-            raise PipelineError(
+            raise ServingError(
                 f"reconstruction worker {worker} is dead (exit code "
                 f"{self._processes[worker].exitcode}); cannot submit "
                 f"frame {frame_index} of stream {stream!r}"
@@ -289,6 +313,8 @@ class ReconstructionPool:
     ) -> PoolResult:
         """Block until ``job_id`` finishes; raise typed errors on
         worker failure, worker death, or timeout — never hang."""
+        if self._closed:
+            raise ServingError("pool is closed")
         deadline = time.monotonic() + (
             self.job_timeout if timeout is None else timeout
         )
@@ -298,9 +324,9 @@ class ReconstructionPool:
                 kind, value = done
                 if kind == "ok":
                     return value
-                raise PipelineError(str(value))
+                raise value
             if job_id not in self._pending:
-                raise PipelineError(f"unknown job id {job_id}")
+                raise ServingError(f"unknown job id {job_id}")
             if not self._drain(block_seconds=0.05):
                 stream, frame_index, worker = self._pending[job_id]
                 process = self._processes[worker]
@@ -314,12 +340,25 @@ class ReconstructionPool:
                     self._fail_worker_jobs(worker)
                     continue
                 if time.monotonic() > deadline:
+                    # Race check: the result may have landed between
+                    # the blocking drain and the deadline test.
+                    while self._drain(block_seconds=0.0):
+                        pass
+                    if job_id in self._done:
+                        continue
+                    # The worker is wedged: abandon the job (a late
+                    # result is drained and its segment unlinked, not
+                    # kept), then terminate and respawn the worker so
+                    # the streams pinned to it do not queue behind the
+                    # wedge and time out too.
                     del self._pending[job_id]
-                    raise PipelineError(
+                    self._abandoned.add(job_id)
+                    self._respawn_worker(worker)
+                    raise ServingError(
                         f"reconstruction of frame {frame_index} "
                         f"(stream {stream!r}) timed out after "
                         f"{self.job_timeout if timeout is None else timeout:.0f}s "
-                        f"on worker {worker}"
+                        f"on worker {worker} (worker respawned)"
                     )
 
     def reconstruct(self, stream: str, frame_index: int, **kwargs
@@ -340,7 +379,13 @@ class ReconstructionPool:
     # -- internals -------------------------------------------------
 
     def _drain(self, block_seconds: float) -> bool:
-        """Move at most one response into ``_done``; False when idle."""
+        """Move at most one response into ``_done``; False when idle.
+
+        Responses of abandoned jobs (timeout, close) are reaped
+        instead: their shared-memory segment is unlinked and nothing
+        is kept, so a late result can neither leak ``/dev/shm`` nor
+        grow ``_done`` forever.
+        """
         try:
             if block_seconds > 0:
                 message = self._responses.get(timeout=block_seconds)
@@ -351,6 +396,17 @@ class ReconstructionPool:
         kind = message[0]
         job_id = message[1]
         self._pending.pop(job_id, None)
+        if job_id in self._abandoned:
+            self._abandoned.discard(job_id)
+            if kind == "ok":
+                shm_name = message[3]
+                try:
+                    shm = SharedMemory(name=shm_name)
+                    shm.close()
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            return True
         if kind == "ok":
             (_, _, worker, shm_name, nv, nf,
              seconds, cpu_seconds, evaluations, warm) = message
@@ -385,10 +441,13 @@ class ReconstructionPool:
                 ),
             )
         else:
-            worker, detail = message[2], message[3]
+            worker, detail, content = message[2], message[3], message[4]
+            error_type = PipelineError if content else ServingError
             self._done[job_id] = (
                 "err",
-                f"reconstruction worker {worker} failed: {detail}",
+                error_type(
+                    f"reconstruction worker {worker} failed: {detail}"
+                ),
             )
         return True
 
@@ -405,22 +464,60 @@ class ReconstructionPool:
             stream, frame_index, _ = self._pending.pop(job_id)
             self._done[job_id] = (
                 "err",
-                f"reconstruction worker {worker} died (exit code "
-                f"{exitcode}) with frame {frame_index} of stream "
-                f"{stream!r} in flight",
+                ServingError(
+                    f"reconstruction worker {worker} died (exit code "
+                    f"{exitcode}) with frame {frame_index} of stream "
+                    f"{stream!r} in flight"
+                ),
             )
+
+    def _respawn_worker(self, worker: int) -> None:
+        """Terminate a wedged worker and start a fresh process in its
+        slot.  Remaining pending jobs of the old process become typed
+        errors, the request queue is replaced so stale messages never
+        reach the replacement, and the worker's streams keep their
+        pinning (warm-start simply re-seeds on the fresh process)."""
+        process = self._processes[worker]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover
+                process.kill()
+                process.join(timeout=1.0)
+        self._fail_worker_jobs(worker)
+        old_requests = self._requests[worker]
+        self._requests[worker] = self._context.Queue()
+        try:
+            old_requests.close()
+        except Exception:  # pragma: no cover
+            pass
+        self._processes[worker] = self._spawn_worker(worker)
 
     def crash_worker(self, worker: int, exit_code: int = 17) -> None:
         """Test hook: make one worker die abruptly (fault injection)."""
         self._requests[worker].put(("crash", exit_code))
 
+    def stall_worker(self, worker: int, seconds: float) -> None:
+        """Test hook: wedge one worker for ``seconds`` (fault
+        injection for the job-timeout path)."""
+        self._requests[worker].put(("stall", seconds))
+
     # -- lifecycle -------------------------------------------------
 
     def close(self) -> None:
-        """Stop every worker; idempotent."""
+        """Stop every worker; idempotent.
+
+        Jobs still in flight are abandoned, and the response queue is
+        drained after the workers stop so every shared-memory segment
+        a worker flushed on its way out is unlinked — a segment whose
+        ownership transferred to the parent must be reaped even when
+        nobody will call :meth:`result` again.
+        """
         if self._closed:
             return
         self._closed = True
+        self._abandoned.update(self._pending)
+        self._pending.clear()
         for process, requests in zip(self._processes, self._requests):
             if process.is_alive():
                 try:
@@ -429,9 +526,14 @@ class ReconstructionPool:
                     pass
         for process in self._processes:
             process.join(timeout=2.0)
+        while self._drain(block_seconds=0.1):
+            pass
+        for process in self._processes:
             if process.is_alive():  # pragma: no cover
                 process.terminate()
                 process.join(timeout=1.0)
+        while self._drain(block_seconds=0.0):
+            pass
         for requests in self._requests:
             requests.close()
         self._responses.close()

@@ -68,6 +68,44 @@ class TestKeying:
             cache, pose, expression=smiling, expression_channels=4
         )
 
+    def test_out_of_range_states_do_not_collide(self, cache):
+        """Parameters beyond the assumed bucket ranges must not clamp
+        into one boundary bucket and silently serve the wrong mesh:
+        the raw values join the key, so distinct out-of-range states
+        always get distinct keys."""
+        from repro.body.shape import ShapeParams
+
+        far = ShapeParams(betas=np.full(10, 6.0))      # beyond ±3
+        farther = ShapeParams(betas=np.full(10, 7.0))
+        assert _key(cache, shape=far) != _key(cache, shape=farther)
+        # Exact recurrence still hits one bucket.
+        assert _key(cache, shape=far) == _key(
+            cache, shape=ShapeParams(betas=np.full(10, 6.0))
+        )
+
+        pose = BodyPose.identity()
+        flat_a = pose.flatten().copy()
+        flat_b = pose.flatten().copy()
+        flat_a[:] = 6.0   # beyond ±π rotations and ±4 m translation
+        flat_b[:] = 7.0
+        assert _key(cache, BodyPose.from_flat(flat_a)) != \
+            _key(cache, BodyPose.from_flat(flat_b))
+
+        smile = ExpressionParams(coefficients=np.full(8, 5.0))
+        grin = ExpressionParams(coefficients=np.full(8, 6.0))
+        assert _key(cache, pose, expression=smile,
+                    expression_channels=4) != \
+            _key(cache, pose, expression=grin, expression_channels=4)
+
+    def test_in_range_keys_unchanged_by_raw_mixing(self, cache):
+        """In-range states keep pure bucket keys: sub-bucket noise
+        still merges (the raw-value mix applies only out of range)."""
+        from repro.body.shape import ShapeParams
+
+        near = ShapeParams(betas=np.full(10, 1.0))
+        nudged = ShapeParams(betas=np.full(10, 1.0 + 1e-9))
+        assert _key(cache, shape=near) == _key(cache, shape=nudged)
+
     def test_bucket_widths_below_noise_floor(self, cache):
         rotation, translation, shape, expression = \
             cache.bucket_widths()

@@ -1,12 +1,26 @@
 """Tests for the process-parallel reconstruction pool."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.body.motion import talking
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ServingError
 from repro.serve.pool import ReconstructionPool
+
+
+def _shm_segments():
+    """Names of the POSIX shared-memory segments currently mapped."""
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith("psm_")
+        }
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +115,84 @@ class TestFailure:
             ReconstructionPool(workers=0)
         with pytest.raises(PipelineError):
             ReconstructionPool(workers=1, job_timeout=0.0)
+
+    def test_content_error_is_plain_pipeline_error(self, poses):
+        """An exception raised *inside* the reconstruction (bad
+        content) surfaces as the same plain PipelineError the
+        in-process path would raise — concealable — and leaves the
+        worker alive for the next frame."""
+        with ReconstructionPool(workers=1) as pool:
+            job = pool.submit("s", 0, pose=poses[0], resolution=4)
+            with pytest.raises(PipelineError,
+                               match="resolution") as excinfo:
+                pool.result(job)
+            assert not isinstance(excinfo.value, ServingError)
+            # The worker survived and serves the corrected retry.
+            result = pool.reconstruct("s", 1, pose=poses[0],
+                                      resolution=32)
+            assert result.mesh.num_vertices > 0
+
+    def test_worker_death_is_a_serving_error(self, poses):
+        with ReconstructionPool(workers=1) as pool:
+            pool.crash_worker(0, exit_code=5)
+            pool._processes[0].join(timeout=10)
+            with pytest.raises(ServingError, match="dead"):
+                pool.submit("s", 0, pose=poses[0], resolution=32)
+
+
+class TestTimeout:
+    def test_timeout_respawns_worker_and_fails_queued_jobs(self,
+                                                           poses):
+        """A wedged worker trips the job timeout as a typed
+        ServingError, is terminated and respawned in place (streams
+        keep their pinning), and its queued jobs fail typed instead of
+        timing out one by one behind the wedge."""
+        with ReconstructionPool(workers=1) as pool:
+            pool.stall_worker(0, seconds=30.0)
+            first = pool.submit("s", 3, pose=poses[0], resolution=32)
+            second = pool.submit("s", 4, pose=poses[1], resolution=32)
+            old_process = pool._processes[0]
+            with pytest.raises(ServingError, match="timed out"):
+                pool.result(first, timeout=0.3)
+            # The queued job behind the wedge failed typed, naming
+            # its frame — no second timeout wait.
+            with pytest.raises(ServingError,
+                               match="frame 4 of stream 's'"):
+                pool.result(second)
+            # Fresh process in the same slot; the stream stays pinned.
+            assert pool._processes[0] is not old_process
+            assert not old_process.is_alive()
+            assert pool._processes[0].is_alive()
+            assert pool.worker_for("s") == 0
+            # The respawned worker serves the stream again.
+            result = pool.reconstruct("s", 5, pose=poses[2],
+                                      resolution=32)
+            assert result.mesh.num_vertices > 0
+
+    def test_closed_pool_refuses_results(self, poses):
+        pool = ReconstructionPool(workers=1)
+        job = pool.submit("s", 0, pose=poses[0], resolution=32)
+        pool.close()
+        with pytest.raises(ServingError, match="closed"):
+            pool.result(job)
+
+
+class TestSharedMemoryHygiene:
+    def test_close_reaps_in_flight_results(self, poses):
+        """A result nobody collects — submitted, completed, then the
+        pool is closed — must not leak its /dev/shm segment: close()
+        drains the response queue and unlinks abandoned segments."""
+        before = _shm_segments()
+        pool = ReconstructionPool(workers=1)
+        job = pool.submit("s", 0, pose=poses[0], resolution=32)
+        # Let the worker finish and flush the shared-memory reply
+        # without ever calling result().
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and \
+                pool._responses.empty():
+            time.sleep(0.05)
+        pool.close()
+        assert job not in pool._done
+        assert not pool._abandoned
+        leaked = _shm_segments() - before
+        assert leaked == set()

@@ -12,7 +12,9 @@ import pytest
 from repro.core.keypoint_pipeline import KeypointSemanticPipeline
 from repro.core.multiparty import MultiPartySession, Participant
 from repro.core.session import TelepresenceSession
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ServingError
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
 from repro.serve import ServingConfig, ServingEngine
 
 
@@ -108,6 +110,35 @@ class TestMeetingThroughPool:
         with pytest.raises(PipelineError, match="ServingConfig"):
             session.run(frames=1)
 
+    def test_failed_collect_drains_outstanding_tickets(
+            self, talking_ds, waving_ds, monkeypatch):
+        """A mid-tick failure must not abandon the other senders'
+        tickets: their pool jobs are collected best-effort before the
+        error propagates, so nothing stays pending on a shared engine
+        that outlives the run."""
+        engine = ServingEngine(ServingConfig(workers=2))
+        real_collect = ServingEngine.collect
+
+        def failing_collect(self, ticket):
+            result = real_collect(self, ticket)
+            if ticket.stream.endswith("|user1"):
+                raise PipelineError("synthetic collect failure")
+            return result
+
+        monkeypatch.setattr(ServingEngine, "collect", failing_collect)
+        try:
+            session = MultiPartySession(
+                _roster(talking_ds, waving_ds), serving=engine
+            )
+            with pytest.raises(PipelineError, match="synthetic"):
+                session.run(frames=1)
+            # Every submitted job was consumed: user2's ticket was
+            # drained on the failure path, not left in flight.
+            assert engine.pool._pending == {}
+            assert engine.pool._done == {}
+        finally:
+            engine.close()
+
 
 class TestEngineDecode:
     def test_engine_decode_matches_pipeline_decode(self, talking_ds):
@@ -175,7 +206,7 @@ class TestTelepresenceSession:
                 KeypointSemanticPipeline(resolution=32),
                 serving=engine,
             )
-            with pytest.raises(PipelineError, match="dead"):
+            with pytest.raises(ServingError, match="dead"):
                 session.run(frames=2)
         finally:
             engine.close()
@@ -188,6 +219,44 @@ class TestTelepresenceSession:
         )
         with pytest.raises(PipelineError, match="ServingConfig"):
             session.run(frames=1)
+
+    def test_inline_decode_failure_is_concealed_not_fatal(
+            self, talking_ds, body_model):
+        """With serving enabled, a content-level decode failure on a
+        non-offloadable pipeline — a delta whose reference frame was
+        lost — must freeze the display exactly like the legacy loop,
+        not crash the run (only ServingError propagates)."""
+        from repro.core.text_pipeline import TextSemanticPipeline
+
+        def build(serving):
+            return TelepresenceSession(
+                talking_ds,
+                TextSemanticPipeline(
+                    model=body_model, points=300, keyframe_interval=3
+                ),
+                link=NetworkLink(
+                    trace=BandwidthTrace.constant(50.0),
+                    loss_rate=0.3,
+                    retransmit=False,
+                    seed=0,  # drops deltas; some references are lost
+                ),
+                serving=serving,
+            )
+
+        legacy = build(None)
+        legacy_summary = legacy.run(frames=10)
+        served = build(ServingConfig(workers=0))
+        served_summary = served.run(frames=10)
+
+        # The scenario really exercises the failure path.
+        assert legacy_summary.decode_failure_rate > 0.0
+        # Identical accounting: same failures, same deliveries.
+        assert served_summary.decode_failure_rate == \
+            legacy_summary.decode_failure_rate
+        assert served_summary.delivery_rate == \
+            legacy_summary.delivery_rate
+        assert [r.decode_failed for r in served.reports] == \
+            [r.decode_failed for r in legacy.reports]
 
 
 class TestServingConfig:
