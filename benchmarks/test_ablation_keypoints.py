@@ -6,12 +6,12 @@ returns once the parametric model's fixed parameterisation saturates,
 exactly the trade-off §3.1 discusses.
 """
 
-import time
 
 import numpy as np
 import pytest
 
 from conftest import register
+from repro.obs.clock import perf_counter
 from repro.bench.harness import ExperimentTable
 from repro.body.keypoints_def import NUM_KEYPOINTS
 from repro.body.skeleton import NUM_JOINTS
@@ -43,9 +43,9 @@ def _sweep(bench_model, frame, observation):
     detector = Keypoint3DDetector()
     for name, keep in SUBSETS.items():
         masked = _mask_observation(observation, keep)
-        start = time.perf_counter()
+        start = perf_counter()
         fit = fitter.fit(masked)
-        fit_seconds = time.perf_counter() - start
+        fit_seconds = perf_counter() - start
         # Quality measured uniformly: refit the body model with the
         # recovered pose and compare against *all* ground-truth
         # keypoints, whatever subset was observed.

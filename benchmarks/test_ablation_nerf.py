@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from conftest import register
+from repro.obs.clock import perf_counter
 from repro.bench.harness import ExperimentTable
 from repro.body.motion import talking
 from repro.capture.dataset import RGBDSequenceDataset
@@ -137,10 +138,10 @@ def test_ablation_slimmable_width_speed(nerf_scene, benchmark):
     )
     timings = {}
     for fraction in (0.25, 0.5, 1.0):
-        start = time.perf_counter()
+        start = perf_counter()
         rendered = render_image(field, camera, trainer.config,
                                 width_fraction=fraction)
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         mse = float(((rendered - frames[0].rgb) ** 2).mean())
         psnr = 10.0 * np.log10(1.0 / max(mse, 1e-12))
         timings[fraction] = (seconds, psnr)

@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from conftest import register
+from repro.obs.clock import perf_counter
 from repro.avatar.implicit import PosedBodyField
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.bench.harness import ExperimentTable, safe_rate
@@ -71,10 +71,10 @@ def _run_sequence(frames, resolution, fused, warm_start):
         resolution=resolution, fused=fused, warm_start=warm_start
     )
     results = []
-    start = time.perf_counter()
+    start = perf_counter()
     for frame in frames:
         results.append(reconstructor.reconstruct(pose=frame.pose))
-    seconds = time.perf_counter() - start
+    seconds = perf_counter() - start
     return {
         "seconds": seconds,
         "evaluations": sum(r.field_evaluations for r in results),

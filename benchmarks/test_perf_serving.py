@@ -24,12 +24,12 @@ Environment knobs:
 from __future__ import annotations
 
 import os
-import time
 from pathlib import Path
 
 import pytest
 
 from conftest import register
+from repro.obs.clock import perf_counter
 from repro.bench.harness import ExperimentTable, safe_rate
 from repro.bench.results import BenchRecord, current_commit, write_records
 from repro.bench.workloads import serving_pose_streams, talking_dataset
@@ -65,7 +65,7 @@ def _run_pool(streams, workers: int) -> dict:
     busy = [0.0] * workers
     evaluations = 0
     jobs = 0
-    start = time.perf_counter()
+    start = perf_counter()
     with ReconstructionPool(workers=workers) as pool:
         for index in range(N_FRAMES):
             job_ids = [
@@ -82,7 +82,7 @@ def _run_pool(streams, workers: int) -> dict:
                 busy[result.worker] += result.cpu_seconds
                 evaluations += result.field_evaluations
                 jobs += 1
-    wall = time.perf_counter() - start
+    wall = perf_counter() - start
     makespan = max(busy)
     return {
         "jobs": jobs,
@@ -173,7 +173,7 @@ def _run_fanout(dataset, cache: bool) -> dict:
         for _ in range(FANOUT_RECEIVERS)
     ]
     config = ServingConfig(workers=2, cache=cache)
-    start = time.perf_counter()
+    start = perf_counter()
     with ServingEngine(config) as engine:
         for index in range(FANOUT_FRAMES):
             encoded = sender.encode(dataset.frame(index))
@@ -186,7 +186,7 @@ def _run_fanout(dataset, cache: bool) -> dict:
                 )
                 assert decoded.surface.num_vertices > 0
         summary = engine.serving_summary()
-    summary["wall"] = time.perf_counter() - start
+    summary["wall"] = perf_counter() - start
     return summary
 
 

@@ -10,12 +10,12 @@ for, it has no temporal model and no pose prior.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.avatar.reconstructor import ReconstructionResult
 from repro.body.keypoints_def import (
     NUM_KEYPOINTS,
@@ -74,7 +74,7 @@ class ModelFreeReconstructor:
         """
         if len(keypoints) != NUM_KEYPOINTS:
             raise PipelineError("keypoint count mismatch")
-        start = time.perf_counter()
+        start = perf_counter()
         displacement = keypoints.positions - self._rest_keypoints
         observed = keypoints.confidence > 0
         if not observed.any():
@@ -92,7 +92,7 @@ class ModelFreeReconstructor:
             vertices=self.template.mesh.vertices + vertex_displacement,
             faces=self.template.mesh.faces.copy(),
         )
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         return ReconstructionResult(
             mesh=mesh, resolution=0, seconds=seconds
         )

@@ -15,12 +15,13 @@ static body regions skip the coarse-to-fine cascade entirely.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
+from repro.obs.registry import get_registry
 from repro.avatar.implicit import PosedBodyField
 from repro.body.expression import ExpressionParams
 from repro.body.pose import BodyPose
@@ -139,7 +140,7 @@ class KeypointMeshReconstructor:
             expression: transmitted expression coefficients; only the
                 first ``expression_channels`` are used.
         """
-        start = time.perf_counter()
+        start = perf_counter()
         usable_expression = None
         if expression is not None and self.expression_channels > 0:
             usable_expression = expression.truncated(
@@ -185,7 +186,7 @@ class KeypointMeshReconstructor:
             )
             evaluations += stats.field_evaluations
             warm = False
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         if mesh.num_faces == 0:
             raise PipelineError(
                 "reconstruction produced an empty mesh "
@@ -194,6 +195,9 @@ class KeypointMeshReconstructor:
         self._prev_stats = stats
         self._prev_anchors = anchors
         self._prev_expression = expr_key
+        registry = get_registry()
+        registry.inc("avatar.reconstructions")
+        registry.inc("avatar.field_evaluations", evaluations)
         return ReconstructionResult(
             mesh=mesh,
             resolution=self.resolution,

@@ -11,12 +11,12 @@ cost that grows with pose distance (hence the refresh threshold).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.avatar.implicit import PosedBodyField
 from repro.avatar.reconstructor import (
     KeypointMeshReconstructor,
@@ -126,7 +126,7 @@ class TemporalReconstructor:
     def _warp(
         self, pose: BodyPose, shape: Optional[ShapeParams]
     ) -> ReconstructionResult:
-        start = time.perf_counter()
+        start = perf_counter()
         fld = PosedBodyField(pose=pose, shape=shape)
         # Motion of each joint from the keyframe pose to the new pose.
         motion = np.einsum(
@@ -145,7 +145,7 @@ class TemporalReconstructor:
         mesh = TriangleMesh(
             vertices=warped, faces=self._key_mesh.faces.copy()
         )
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         self._warps_since_key += 1
         self.warps += 1
         # Warps re-pose the cached keyframe mesh; the implicit field is

@@ -13,6 +13,7 @@ from repro.bench.results import (
     merge_records,
     write_records,
 )
+from repro.bench.tracing import trace_table, trace_table_from_jsonl
 from repro.bench.workloads import (
     presenting_dataset,
     shared_body_model,
@@ -35,5 +36,7 @@ __all__ = [
     "shared_body_model",
     "standard_rig",
     "talking_dataset",
+    "trace_table",
+    "trace_table_from_jsonl",
     "waving_dataset",
 ]

@@ -12,11 +12,11 @@ and foveal quality is exact — the trade-off triangle of §3.1.
 from __future__ import annotations
 
 import struct
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.capture.dataset import DatasetFrame
 from repro.compression.lzma_codec import (
@@ -119,7 +119,7 @@ class FoveatedHybridPipeline(HolographicPipeline):
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()
         # Keypoint branch (whole body).
-        start = time.perf_counter()
+        start = perf_counter()
         detected = self.detector.detect(
             frame.views, frame.body_state.keypoints, rng=self._rng
         )
@@ -128,7 +128,7 @@ class FoveatedHybridPipeline(HolographicPipeline):
         stable_pose = self.pose_smoother.update(fit.pose)
         timing.add(
             "keypoint_branch",
-            time.perf_counter() - start + self.detector.total_latency,
+            perf_counter() - start + self.detector.total_latency,
         )
         keypoint_blob = self.keypoint_codec.compress(
             SemanticKeypointPayload(
@@ -143,7 +143,7 @@ class FoveatedHybridPipeline(HolographicPipeline):
         )
 
         # Foveal branch: exact submesh where the viewer looks.
-        start = time.perf_counter()
+        start = perf_counter()
         partition = self.foveation.partition(
             frame.body_state.mesh, self.viewer_camera, self.gaze_angles
         )
@@ -151,7 +151,7 @@ class FoveatedHybridPipeline(HolographicPipeline):
             foveal_blob = b""
         else:
             foveal_blob = self.mesh_codec.encode(partition.foveal)
-        timing.add("foveal_branch", time.perf_counter() - start)
+        timing.add("foveal_branch", perf_counter() - start)
 
         header = _MAGIC + struct.pack(
             "<III", frame.index, len(keypoint_blob), len(foveal_blob)
@@ -182,16 +182,16 @@ class FoveatedHybridPipeline(HolographicPipeline):
             fixed + kp_len: fixed + kp_len + fv_len
         ]
 
-        start = time.perf_counter()
+        start = perf_counter()
         payload = self.keypoint_codec.decompress(keypoint_blob)
-        timing.add("decompress", time.perf_counter() - start)
+        timing.add("decompress", perf_counter() - start)
 
         result = self.reconstructor.reconstruct(
             pose=payload.pose, shape=payload.shape
         )
         timing.add("peripheral_reconstruction", result.seconds)
 
-        start = time.perf_counter()
+        start = perf_counter()
         if foveal_blob:
             foveal = self.mesh_codec.decode(foveal_blob)
             # Carve the foveal cone out of the reconstruction and slot
@@ -202,7 +202,7 @@ class FoveatedHybridPipeline(HolographicPipeline):
             mesh = merge_meshes(foveal, partition.peripheral)
         else:
             mesh = result.mesh
-        timing.add("composition", time.perf_counter() - start)
+        timing.add("composition", perf_counter() - start)
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=mesh,

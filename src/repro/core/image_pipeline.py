@@ -11,11 +11,11 @@ model.
 from __future__ import annotations
 
 import struct
-import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.capture.dataset import DatasetFrame
 from repro.capture.render import RGBDFrame
 from repro.compression.texture_codec import TextureCodec
@@ -89,14 +89,14 @@ class ImageSemanticPipeline(HolographicPipeline):
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()
         tier = self.policy.select(self.bandwidth_estimate_mbps)
-        start = time.perf_counter()
+        start = perf_counter()
         blobs = []
         for view in frame.views:
             image = view.rgb
             if tier.scale < 1.0:
                 image = _downscale(image, tier.scale)
             blobs.append(self.codec.encode(image))
-        timing.add("image_compress", time.perf_counter() - start)
+        timing.add("image_compress", perf_counter() - start)
 
         header = _MAGIC + struct.pack(
             "<IBf", frame.index, len(blobs), tier.scale
@@ -124,9 +124,9 @@ class ImageSemanticPipeline(HolographicPipeline):
                 "image pipeline needs camera poses in metadata "
                 "(calibration is exchanged at session setup)"
             )
-        start = time.perf_counter()
+        start = perf_counter()
         images, scale = _unpack_images(encoded.payload, self.codec)
-        timing.add("image_decompress", time.perf_counter() - start)
+        timing.add("image_decompress", perf_counter() - start)
 
         views = []
         for image, camera in zip(images, cameras):
@@ -192,14 +192,14 @@ class ImageSemanticPipeline(HolographicPipeline):
         self._previous_views = views
 
         # Render the viewer's perspective (first camera as proxy).
-        start = time.perf_counter()
+        start = perf_counter()
         rendered = render_image(
             self.field,
             views[0].camera,
             self.trainer.config,
             width_fraction=width_fraction,
         )
-        timing.add("nerf_render", time.perf_counter() - start)
+        timing.add("nerf_render", perf_counter() - start)
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=None,

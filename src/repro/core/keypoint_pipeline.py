@@ -8,11 +8,11 @@ configurable voxel resolution.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.avatar.temporal import TemporalReconstructor
 from repro.body.expression import ExpressionParams
@@ -134,20 +134,20 @@ class KeypointSemanticPipeline(HolographicPipeline):
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         detected = self.detector.detect(
             frame.views, frame.body_state.keypoints, rng=self._rng
         )
         smoothed = self.tracker.update(detected)
         timing.add(
             "keypoint_detection",
-            time.perf_counter() - start + self.detector.total_latency,
+            perf_counter() - start + self.detector.total_latency,
         )
 
-        start = time.perf_counter()
+        start = perf_counter()
         fit = self.fitter.fit(smoothed)
         stable_pose = self.pose_smoother.update(fit.pose)
-        timing.add("pose_fitting", time.perf_counter() - start)
+        timing.add("pose_fitting", perf_counter() - start)
         timing.add("expression_capture", _EXPRESSION_CAPTURE_LATENCY)
 
         expression = (
@@ -164,12 +164,12 @@ class KeypointSemanticPipeline(HolographicPipeline):
             ),
             frame_index=frame.index,
         )
-        start = time.perf_counter()
+        start = perf_counter()
         if self.compressed:
             payload = self.codec.compress(payload_object)
         else:
             payload = self.codec.encode(payload_object)
-        timing.add("compress", time.perf_counter() - start)
+        timing.add("compress", perf_counter() - start)
         return EncodedFrame(
             frame_index=frame.index,
             payload=payload,
@@ -179,12 +179,12 @@ class KeypointSemanticPipeline(HolographicPipeline):
 
     def decode(self, encoded: EncodedFrame) -> DecodedFrame:
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         if self.compressed:
             payload = self.codec.decompress(encoded.payload)
         else:
             payload = self.codec.decode(encoded.payload)
-        timing.add("decompress", time.perf_counter() - start)
+        timing.add("decompress", perf_counter() - start)
 
         result = self.reconstructor.reconstruct(
             pose=payload.pose,
@@ -231,7 +231,7 @@ class KeypointSemanticPipeline(HolographicPipeline):
         """
         if self._last_pose is None:
             return None
-        start = time.perf_counter()
+        start = perf_counter()
         self._conceal_streak += 1
         timing = LatencyBreakdown()
         extrapolate = (
@@ -261,13 +261,13 @@ class KeypointSemanticPipeline(HolographicPipeline):
             self._last_surface = mesh
             method = "extrapolate"
             timing.add("mesh_reconstruction", result.seconds)
-            overhead = time.perf_counter() - start - result.seconds
+            overhead = perf_counter() - start - result.seconds
         else:
             if self._last_surface is None:
                 return None
             mesh = self._last_surface.copy()
             method = "freeze"
-            overhead = time.perf_counter() - start
+            overhead = perf_counter() - start
         timing.add("concealment", max(overhead, 0.0))
         return DecodedFrame(
             frame_index=frame_index,

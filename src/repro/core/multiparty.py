@@ -30,6 +30,7 @@ from repro.core.timing import INTERACTIVE_BUDGET, LatencyBreakdown
 from repro.errors import PipelineError
 from repro.net.link import NetworkLink
 from repro.net.trace import BandwidthTrace
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["Participant", "PairReport", "MultiPartySummary",
            "MultiPartySession"]
@@ -107,6 +108,9 @@ class MultiPartySession:
             default) keeps the legacy sequential loop, byte for byte.
         session_id: label keying this meeting's reconstruction streams
             inside a shared engine (auto-generated when omitted).
+        metrics: registry receiving the meeting's counters and
+            per-pair latency histogram (``meeting.*``); a private one
+            is created when omitted, available as ``self.metrics``.
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class MultiPartySession:
         decode: bool = True,
         serving: Optional[object] = None,
         session_id: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(participants) < 2:
             raise PipelineError("a meeting needs at least 2 participants")
@@ -125,6 +130,9 @@ class MultiPartySession:
         self.participants = participants
         self.decode = decode
         self.serving = serving
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
         self.session_id = (
             session_id
             if session_id is not None
@@ -164,6 +172,7 @@ class MultiPartySession:
             participant.pipeline.reset()
         for link in self._links.values():
             link.reset()
+        self.metrics.reset("meeting.")
 
     def run(self, frames: int) -> MultiPartySummary:
         """Run the meeting for ``frames`` frames."""
@@ -207,7 +216,9 @@ class MultiPartySession:
 
         owns_engine = isinstance(self.serving, ServingConfig)
         engine = (
-            ServingEngine(self.serving) if owns_engine else self.serving
+            ServingEngine(self.serving, registry=self.metrics)
+            if owns_engine
+            else self.serving
         )
         if not isinstance(engine, ServingEngine):
             raise PipelineError(
@@ -302,12 +313,18 @@ class MultiPartySession:
             record = stats[key]
             record["payload"].append(encoded.payload_bytes)
             uplink_bytes[sender.name] += report.wire_bytes
+            self.metrics.inc("meeting.pair_frames")
             if report.delivered:
                 record["delivered"] += 1
-                record["latencies"].append(
+                end_to_end = (
                     encoded.timing.total
                     + report.latency
                     + decode_time
+                )
+                record["latencies"].append(end_to_end)
+                self.metrics.inc("meeting.delivered")
+                self.metrics.observe(
+                    "meeting.end_to_end_seconds", end_to_end
                 )
 
     def _summarize(

@@ -43,6 +43,8 @@ from repro.core.timing import (
 from repro.errors import CodecError, PipelineError, ServingError
 from repro.net.edge import EdgeServer
 from repro.net.link import NetworkLink
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["FrameReport", "SessionSummary", "TelepresenceSession"]
 
@@ -174,6 +176,15 @@ class TelepresenceSession:
             the legacy in-process decode, byte for byte.
         session_id: label keying this session's reconstruction stream
             inside a shared engine (auto-generated when omitted).
+        tracer: opt-in span tracer; every frame of :meth:`run` opens a
+            trace with wall spans around the phases, exact stage spans
+            mirroring the frame's breakdown, and worker spans forwarded
+            from the serving pool.  ``None`` disables tracing with zero
+            overhead.
+        metrics: registry receiving the session's counters and the
+            end-to-end latency histogram (``session.*``); a private
+            registry is created when omitted, available as
+            ``self.metrics``.
     """
 
     def __init__(
@@ -187,6 +198,8 @@ class TelepresenceSession:
         resilience: Optional[ResilienceConfig] = None,
         serving: Optional[object] = None,
         session_id: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.dataset = dataset
         self.pipeline = pipeline
@@ -209,7 +222,12 @@ class TelepresenceSession:
             if resilience is not None and resilience.fallback is not None
             else None
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
         self.reports: List[FrameReport] = []
+        self._ran = False
 
     def _resolve_engine(self):
         """Resolve the serving opt-in to (engine, owns_engine)."""
@@ -219,7 +237,8 @@ class TelepresenceSession:
         from repro.serve.engine import ServingEngine
 
         if isinstance(self.serving, ServingConfig):
-            return ServingEngine(self.serving), True
+            return ServingEngine(self.serving,
+                                 registry=self.metrics), True
         if isinstance(self.serving, ServingEngine):
             return self.serving, False
         raise PipelineError(
@@ -246,10 +265,15 @@ class TelepresenceSession:
         frames: Optional[int] = None,
         start: int = 0,
     ) -> SessionSummary:
-        """Run the frame loop and return the summary."""
+        """Run the frame loop and return the summary.
+
+        ``frames=0`` (or an empty dataset) is a valid degenerate run:
+        the loop body never executes and :meth:`summary` reports a
+        zero-frame session instead of dividing by nothing.
+        """
         total = len(self.dataset)
         count = total - start if frames is None else frames
-        if count <= 0 or start + count > total:
+        if count < 0 or start < 0 or start + count > total:
             raise PipelineError("frame range out of bounds")
         self.pipeline.reset()
         resilience = self.resilience
@@ -274,6 +298,7 @@ class TelepresenceSession:
         if engine is not None:
             engine.reset_session(self.session_id)
         self.reports = []
+        self.metrics.reset("session.")
         fps = self.dataset.fps
         stale_age = 0
 
@@ -285,6 +310,7 @@ class TelepresenceSession:
         finally:
             if owns_engine and engine is not None:
                 engine.close()
+        self._ran = True
         return self.summary()
 
     def _frame_loop(
@@ -298,138 +324,189 @@ class TelepresenceSession:
         conceal: bool,
         engine,
     ) -> None:
+        tracer = self.tracer
+        metrics = self.metrics
         for offset in range(count):
             index = start + offset
             capture_time = index / fps
-            frame = self.dataset.frame(index)
-            degraded = (
-                self._controller is not None
-                and self._controller.degraded
-            )
-            level_pipeline = fallback if degraded else self.pipeline
-            encoded = level_pipeline.encode(frame)
-            level_pipeline.validate_payload(encoded)
-            sender_factor = (
-                self.sender_edge.device.speed_factor
-                if self.sender_edge is not None
-                else 1.0
-            )
-            breakdown = LatencyBreakdown(
-                stages={
-                    stage: seconds / sender_factor
-                    for stage, seconds in encoded.timing.stages.items()
-                }
-            )
-            wire_payload = (
-                seal_frame(
-                    encoded.payload,
-                    frame_index=index,
-                    level=1 if degraded else 0,
+            with tracer.frame(index, session=self.session_id):
+                with tracer.span("capture"):
+                    frame = self.dataset.frame(index)
+                degraded = (
+                    self._controller is not None
+                    and self._controller.degraded
                 )
-                if use_checksum
-                else encoded.payload
-            )
-
-            delivered = True
-            received_payload: Optional[bytes] = wire_payload
-            corrupted = False
-            if self.link is not None:
-                report = self.link.send_frame(
-                    index, wire_payload, now=capture_time
-                )
-                delivered = report.delivered
-                received_payload = report.payload
-                if delivered:
-                    breakdown.add("network", report.latency)
-            if delivered and use_checksum:
-                try:
-                    _, received_payload = open_frame(received_payload)
-                except CodecError:
-                    # Bit corruption in flight: the checksum turns it
-                    # into a typed, concealable event instead of a
-                    # garbage reconstruction.
-                    corrupted = True
-
-            decoded = None
-            decode_failed = corrupted
-            if delivered and not corrupted and self.decode:
-                received = EncodedFrame(
-                    frame_index=index,
-                    payload=bytes(received_payload),
-                    timing=encoded.timing,
-                    metadata=encoded.metadata,
-                )
-                if engine is not None:
-                    # Serving path: worker death / timeout raises a
-                    # ServingError out of the session (infrastructure
-                    # failure, never masked as a content failure), but
-                    # the same content-level failures the legacy
-                    # branch conceals — a delta whose reference was
-                    # lost, decoded inline or pooled — still freeze
-                    # the display instead of crashing the run.
-                    try:
-                        decoded = engine.decode(
-                            level_pipeline,
-                            received,
-                            session=self.session_id,
-                            sender="sender",
+                level_pipeline = fallback if degraded else self.pipeline
+                with tracer.span("encode", level=level_pipeline.name):
+                    encoded = level_pipeline.encode(frame)
+                    level_pipeline.validate_payload(encoded)
+                    sender_factor = (
+                        self.sender_edge.device.speed_factor
+                        if self.sender_edge is not None
+                        else 1.0
+                    )
+                    breakdown = LatencyBreakdown(
+                        stages={
+                            stage: seconds / sender_factor
+                            for stage, seconds
+                            in encoded.timing.stages.items()
+                        }
+                    )
+                    wire_payload = (
+                        seal_frame(
+                            encoded.payload,
+                            frame_index=index,
+                            level=1 if degraded else 0,
                         )
-                    except ServingError:
-                        raise
-                    except PipelineError:
-                        decode_failed = True
+                        if use_checksum
+                        else encoded.payload
+                    )
+
+                delivered = True
+                received_payload: Optional[bytes] = wire_payload
+                corrupted = False
+                with tracer.span(
+                    "transport", payload_bytes=len(wire_payload)
+                ):
+                    if self.link is not None:
+                        report = self.link.send_frame(
+                            index, wire_payload, now=capture_time
+                        )
+                        delivered = report.delivered
+                        received_payload = report.payload
+                        if delivered:
+                            breakdown.add("network", report.latency)
+                    if delivered and use_checksum:
+                        try:
+                            _, received_payload = open_frame(
+                                received_payload
+                            )
+                        except CodecError:
+                            # Bit corruption in flight: the checksum
+                            # turns it into a typed, concealable event
+                            # instead of a garbage reconstruction.
+                            corrupted = True
+
+                decoded = None
+                decode_failed = corrupted
+                if delivered and not corrupted and self.decode:
+                    received = EncodedFrame(
+                        frame_index=index,
+                        payload=bytes(received_payload),
+                        timing=encoded.timing,
+                        metadata=encoded.metadata,
+                    )
+                    with tracer.span("decode"):
+                        if engine is not None:
+                            # Serving path: worker death / timeout
+                            # raises a ServingError out of the session
+                            # (infrastructure failure, never masked as
+                            # a content failure), but the same
+                            # content-level failures the legacy branch
+                            # conceals — a delta whose reference was
+                            # lost, decoded inline or pooled — still
+                            # freeze the display instead of crashing
+                            # the run.
+                            try:
+                                decoded = engine.decode(
+                                    level_pipeline,
+                                    received,
+                                    session=self.session_id,
+                                    sender="sender",
+                                )
+                            except ServingError:
+                                raise
+                            except PipelineError:
+                                decode_failed = True
+                            if decoded is not None:
+                                tracer.attach_worker_spans(
+                                    decoded.metadata.get(
+                                        "worker_spans", ()
+                                    )
+                                )
+                        else:
+                            try:
+                                decoded = level_pipeline.decode(
+                                    received
+                                )
+                            except PipelineError:
+                                # A frame that arrived but cannot be
+                                # decoded (a delta whose reference was
+                                # lost) is displayed as a freeze, not
+                                # a crash; the sender's periodic
+                                # keyframes bound the outage.
+                                decode_failed = True
+                    if decoded is not None:
+                        self._add_receiver_stages(breakdown, decoded)
+
+                concealed = False
+                if decoded is None and conceal:
+                    concealment = level_pipeline.conceal(index)
+                    if concealment is None and level_pipeline is not \
+                            self.pipeline:
+                        concealment = self.pipeline.conceal(index)
+                    if concealment is not None:
+                        concealed = True
+                        decoded = concealment
+                        self._add_receiver_stages(
+                            breakdown, concealment
+                        )
+
+                fresh = decoded is not None and not concealed
+                if self.decode:
+                    stale_age = 0 if fresh else stale_age + 1
                 else:
-                    try:
-                        decoded = level_pipeline.decode(received)
-                    except PipelineError:
-                        # A frame that arrived but cannot be decoded
-                        # (a delta whose reference was lost) is
-                        # displayed as a freeze, not a crash; the
-                        # sender's periodic keyframes bound the outage.
-                        decode_failed = True
-                if decoded is not None:
-                    self._add_receiver_stages(breakdown, decoded)
-
-            concealed = False
-            if decoded is None and conceal:
-                concealment = level_pipeline.conceal(index)
-                if concealment is None and level_pipeline is not \
-                        self.pipeline:
-                    concealment = self.pipeline.conceal(index)
-                if concealment is not None:
-                    concealed = True
-                    decoded = concealment
-                    self._add_receiver_stages(breakdown, concealment)
-
-            fresh = decoded is not None and not concealed
-            if self.decode:
-                stale_age = 0 if fresh else stale_age + 1
-            else:
-                stale_age = 0 if delivered else stale_age + 1
-            if self._controller is not None:
-                self._controller.record(
-                    fresh if self.decode else delivered
+                    stale_age = 0 if delivered else stale_age + 1
+                if self._controller is not None:
+                    self._controller.record(
+                        fresh if self.decode else delivered
+                    )
+                # Exact stage spans, mirroring the frame's final
+                # breakdown: per-stage span sums reconcile with
+                # ``SessionSummary.mean_stage_breakdown`` to the bit.
+                for stage, seconds in breakdown.stages.items():
+                    tracer.record(stage, seconds)
+                self.reports.append(
+                    FrameReport(
+                        frame_index=index,
+                        payload_bytes=len(wire_payload),
+                        breakdown=breakdown,
+                        delivered=delivered,
+                        decoded=decoded,
+                        decode_failed=decode_failed,
+                        corrupted=corrupted,
+                        concealed=concealed,
+                        stale_age=stale_age,
+                        semantic_level=level_pipeline.name,
+                    )
                 )
-            self.reports.append(
-                FrameReport(
-                    frame_index=index,
-                    payload_bytes=len(wire_payload),
-                    breakdown=breakdown,
-                    delivered=delivered,
-                    decoded=decoded,
-                    decode_failed=decode_failed,
-                    corrupted=corrupted,
-                    concealed=concealed,
-                    stale_age=stale_age,
-                    semantic_level=level_pipeline.name,
-                )
-            )
+                metrics.inc("session.frames")
+                if delivered:
+                    metrics.inc("session.delivered")
+                    metrics.observe(
+                        "session.end_to_end_seconds", breakdown.total
+                    )
+                    if decode_failed:
+                        metrics.inc("session.decode_failures")
+                if corrupted:
+                    metrics.inc("session.corrupted")
+                if concealed:
+                    metrics.inc("session.concealed")
+                if fallback is not None \
+                        and level_pipeline is fallback:
+                    metrics.inc("session.fallback_frames")
 
     def summary(self) -> SessionSummary:
-        """Aggregate the reports collected by :meth:`run`."""
-        if not self.reports:
+        """Aggregate the reports collected by :meth:`run`.
+
+        A zero-frame run (empty dataset, ``frames=0``) yields a valid
+        summary with zero rates and ``inf`` latencies rather than a
+        division error; calling before any :meth:`run` still raises.
+        """
+        if not self._ran and not self.reports:
             raise PipelineError("run() first")
         reports = self.reports
+        frames = len(reports)
         delivered = [r for r in reports if r.delivered]
         payloads = [r.payload_bytes for r in reports]
         fps = self.dataset.fps
@@ -444,7 +521,34 @@ class TelepresenceSession:
             if receiver_times and np.mean(receiver_times) > 0
             else float("inf")
         )
-        failures = sum(1 for r in delivered if r.decode_failed)
+        fallback_name = (
+            self.resilience.fallback.name
+            if self.resilience is not None
+            and self.resilience.fallback is not None
+            else None
+        )
+        # Counters live in the registry; reading them back (instead of
+        # re-deriving from report objects) keeps the registry the one
+        # source of truth.  The report-derived path stays as the
+        # fallback for hand-built report lists in tests.
+        metrics = self.metrics
+        if frames > 0 and metrics.value("session.frames") == frames:
+            failures = int(metrics.value("session.decode_failures"))
+            corrupted_count = int(metrics.value("session.corrupted"))
+            concealed_count = int(metrics.value("session.concealed"))
+            fallback_count = int(
+                metrics.value("session.fallback_frames")
+            )
+        else:
+            failures = sum(1 for r in delivered if r.decode_failed)
+            corrupted_count = sum(1 for r in reports if r.corrupted)
+            concealed_count = sum(1 for r in reports if r.concealed)
+            fallback_count = sum(
+                1
+                for r in reports
+                if fallback_name is not None
+                and r.semantic_level == fallback_name
+            )
         displayed = sum(
             1
             for r in reports
@@ -463,17 +567,12 @@ class TelepresenceSession:
             ],
             min_outage_frames=min_outage,
         )
-        fallback_name = (
-            self.resilience.fallback.name
-            if self.resilience is not None
-            and self.resilience.fallback is not None
-            else None
-        )
+        mean_payload = float(np.mean(payloads)) if payloads else 0.0
         return SessionSummary(
             pipeline=self.pipeline.name,
-            frames=len(reports),
-            mean_payload_bytes=float(np.mean(payloads)),
-            bandwidth_mbps=float(np.mean(payloads)) * fps * 8.0 / 1e6,
+            frames=frames,
+            mean_payload_bytes=mean_payload,
+            bandwidth_mbps=mean_payload * fps * 8.0 / 1e6,
             decode_failure_rate=(
                 failures / len(delivered) if delivered else 0.0
             ),
@@ -495,33 +594,31 @@ class TelepresenceSession:
                 else 0.0
             ),
             sustainable_fps=sustainable,
-            delivery_rate=len(delivered) / len(reports),
+            delivery_rate=len(delivered) / frames if frames else 0.0,
             mean_stage_breakdown=mean_breakdown(
                 [r.breakdown for r in delivered]
             )
             if delivered
             else LatencyBreakdown(),
-            display_rate=displayed / len(reports),
+            display_rate=displayed / frames if frames else 0.0,
             concealed_rate=(
-                sum(1 for r in reports if r.concealed) / len(reports)
+                concealed_count / frames if frames else 0.0
             ),
             corrupted_rate=(
-                sum(1 for r in reports if r.corrupted) / len(reports)
+                corrupted_count / frames if frames else 0.0
             ),
-            mean_stale_age=float(
-                np.mean([r.stale_age for r in reports])
+            mean_stale_age=(
+                float(np.mean([r.stale_age for r in reports]))
+                if reports
+                else 0.0
             ),
-            max_stale_age=int(max(r.stale_age for r in reports)),
+            max_stale_age=(
+                int(max(r.stale_age for r in reports)) if reports else 0
+            ),
             outages=outages,
             mean_recovery_frames=mean_recovery,
             max_recovery_frames=max_recovery,
             fallback_fraction=(
-                sum(
-                    1
-                    for r in reports
-                    if fallback_name is not None
-                    and r.semantic_level == fallback_name
-                )
-                / len(reports)
+                fallback_count / frames if frames else 0.0
             ),
         )

@@ -9,11 +9,11 @@ generate a point cloud.
 from __future__ import annotations
 
 import json
-import time
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.body.model import BodyModel
 from repro.capture.dataset import DatasetFrame
 from repro.core.pipeline import DecodedFrame, EncodedFrame, \
@@ -116,7 +116,7 @@ class TextSemanticPipeline(HolographicPipeline):
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         detected = self.detector.detect(
             frame.views, frame.body_state.keypoints, rng=self._rng
         )
@@ -125,10 +125,10 @@ class TextSemanticPipeline(HolographicPipeline):
         stable_pose = self.pose_smoother.update(fit.pose)
         timing.add(
             "parameter_extraction",
-            time.perf_counter() - start + self.detector.total_latency,
+            perf_counter() - start + self.detector.total_latency,
         )
 
-        start = time.perf_counter()
+        start = perf_counter()
         text_frame = self.captioner.caption(
             stable_pose,
             frame.body_state.expression,
@@ -137,7 +137,7 @@ class TextSemanticPipeline(HolographicPipeline):
         delta = self._encoder.encode(text_frame)
         timing.add(
             "captioning",
-            time.perf_counter() - start
+            perf_counter() - start
             + self.captioner.extraction_latency,
         )
         return EncodedFrame(
@@ -154,7 +154,7 @@ class TextSemanticPipeline(HolographicPipeline):
         from repro.errors import SemHoloError
 
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         delta = _delta_from_bytes(encoded.payload)
         try:
             text_frame = self._decoder.decode(delta)
@@ -166,7 +166,7 @@ class TextSemanticPipeline(HolographicPipeline):
             raise PipelineError(
                 f"text delta undecodable, awaiting keyframe: {exc}"
             ) from exc
-        timing.add("delta_apply", time.perf_counter() - start)
+        timing.add("delta_apply", perf_counter() - start)
 
         result = self.generator.generate(text_frame)
         # Unchanged cells could reuse cached generation; the full
@@ -199,10 +199,10 @@ class TextSemanticPipeline(HolographicPipeline):
         """
         if self._last_cloud is None:
             return None
-        start = time.perf_counter()
+        start = perf_counter()
         cloud = self._last_cloud.copy()
         timing = LatencyBreakdown()
-        timing.add("concealment", time.perf_counter() - start)
+        timing.add("concealment", perf_counter() - start)
         return DecodedFrame(
             frame_index=frame_index,
             surface=cloud,

@@ -13,11 +13,11 @@ the mesh from parameters and projects the textures on.
 from __future__ import annotations
 
 import struct
-import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.avatar.texture import project_texture
 from repro.capture.dataset import DatasetFrame
 from repro.capture.render import RGBDFrame, render_depth
@@ -87,12 +87,12 @@ class TexturedKeypointPipeline(KeypointSemanticPipeline):
         blobs: List[bytes] = []
         cameras: List[Camera] = []
         if ship_texture:
-            start = time.perf_counter()
+            start = perf_counter()
             for view in frame.views[: self.texture_views]:
                 blobs.append(self.texture_codec.encode(view.rgb))
                 cameras.append(view.camera)
             timing.add("texture_compress",
-                       time.perf_counter() - start)
+                       perf_counter() - start)
 
         header = _MAGIC + struct.pack(
             "<IIB", frame.index, len(base.payload), len(blobs)
@@ -134,7 +134,7 @@ class TexturedKeypointPipeline(KeypointSemanticPipeline):
         decoded = super().decode(inner)
         timing = decoded.timing
 
-        start = time.perf_counter()
+        start = perf_counter()
         images = []
         for _ in range(n_blobs):
             (length,) = struct.unpack(
@@ -149,7 +149,7 @@ class TexturedKeypointPipeline(KeypointSemanticPipeline):
             offset += length
         if images:
             timing.add("texture_decompress",
-                       time.perf_counter() - start)
+                       perf_counter() - start)
             cameras = encoded.metadata.get("texture_cameras", [])
             if len(cameras) != len(images):
                 raise PipelineError(
@@ -157,7 +157,7 @@ class TexturedKeypointPipeline(KeypointSemanticPipeline):
                 )
             self._cached_views = list(zip(images, cameras))
         if self._cached_views is not None:
-            start = time.perf_counter()
+            start = perf_counter()
             # Occlusion is resolved against the *reconstructed* mesh
             # (the receiver has no sender-side depth): render its
             # depth from each texture camera, then project.  The
@@ -179,5 +179,5 @@ class TexturedKeypointPipeline(KeypointSemanticPipeline):
                 metadata=decoded.metadata,
             )
             timing.add("projection_mapping",
-                       time.perf_counter() - start)
+                       perf_counter() - start)
         return decoded

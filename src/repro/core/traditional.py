@@ -7,8 +7,8 @@ body mesh, raw or Draco-style compressed) and a point-cloud pipeline
 
 from __future__ import annotations
 
-import time
 
+from repro.obs.clock import perf_counter
 from repro.capture.dataset import DatasetFrame
 from repro.capture.fusion import FusionConfig
 from repro.compression.mesh_codec import (
@@ -52,24 +52,24 @@ class TraditionalMeshPipeline(HolographicPipeline):
         if not self.textured and mesh.vertex_colors is not None:
             mesh = mesh.copy()
             mesh.vertex_colors = None
-        start = time.perf_counter()
+        start = perf_counter()
         if self.compressed:
             payload = self.codec.encode(mesh)
         else:
             payload = serialize_mesh_raw(mesh)
-        timing.add("compress", time.perf_counter() - start)
+        timing.add("compress", perf_counter() - start)
         return EncodedFrame(
             frame_index=frame.index, payload=payload, timing=timing
         )
 
     def decode(self, encoded: EncodedFrame) -> DecodedFrame:
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         if self.compressed:
             mesh = self.codec.decode(encoded.payload)
         else:
             mesh = deserialize_mesh_raw(encoded.payload)
-        timing.add("decompress", time.perf_counter() - start)
+        timing.add("decompress", perf_counter() - start)
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=mesh,
@@ -89,21 +89,21 @@ class TraditionalPointCloudPipeline(HolographicPipeline):
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         cloud = frame.fused_point_cloud(self.fusion)
-        timing.add("fusion", time.perf_counter() - start)
-        start = time.perf_counter()
+        timing.add("fusion", perf_counter() - start)
+        start = perf_counter()
         payload = self.codec.encode(cloud)
-        timing.add("compress", time.perf_counter() - start)
+        timing.add("compress", perf_counter() - start)
         return EncodedFrame(
             frame_index=frame.index, payload=payload, timing=timing
         )
 
     def decode(self, encoded: EncodedFrame) -> DecodedFrame:
         timing = LatencyBreakdown()
-        start = time.perf_counter()
+        start = perf_counter()
         cloud = self.codec.decode(encoded.payload)
-        timing.add("decompress", time.perf_counter() - start)
+        timing.add("decompress", perf_counter() - start)
         return DecodedFrame(
             frame_index=encoded.frame_index,
             surface=cloud,

@@ -9,12 +9,12 @@ ablation can measure the speedup directly.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.capture.render import RGBDFrame
 from repro.errors import SemHoloError
 from repro.nerf.field import RadianceField
@@ -154,7 +154,7 @@ class NeRFTrainer:
         )
         pool = len(origins)
         history: List[float] = []
-        start = time.perf_counter()
+        start = perf_counter()
         for _ in range(steps):
             pick = rng.integers(0, pool, size=min(self.batch_rays, pool))
             batch_loss = self._step(
@@ -178,7 +178,7 @@ class NeRFTrainer:
                         rng,
                     )
             history.append(batch_loss)
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         return TrainingReport(
             steps=steps,
             seconds=seconds,

@@ -1,0 +1,65 @@
+"""Observability substrate: clocks, span tracing, metrics.
+
+The paper's core claim is a latency/bandwidth/quality trade under a
+<100 ms interactivity bound, so *timing is data* here.  This package
+makes every timing path first-class and testable:
+
+- ``repro.obs.clock``: the injectable clock.  Every timed code path in
+  the library reads :func:`repro.obs.clock.perf_counter` /
+  :func:`repro.obs.clock.monotonic` instead of :mod:`time`, so tests
+  install a :class:`FakeClock` and assert *exact* latencies.
+- ``repro.obs.tracer``: hierarchical per-frame span traces
+  (capture -> encode -> transport -> decode -> display), with worker
+  process spans re-parented across the pool boundary, exported as
+  JSONL.
+- ``repro.obs.registry``: one process-wide metrics registry (counters,
+  gauges, histograms with exact bucket counts) consolidating the
+  accounting previously scattered across avatar, serve, and net.
+- ``repro.obs.report``: trace aggregation — per-stage p50/p95/max and
+  per-frame critical-path attribution — consumable by ``repro.bench``.
+"""
+
+from repro.obs.clock import (
+    Clock,
+    FakeClock,
+    SystemClock,
+    get_clock,
+    monotonic,
+    perf_counter,
+    set_clock,
+    use_clock,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.report import StageStats, TraceReport, aggregate, load_jsonl
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
+    "use_clock",
+    "perf_counter",
+    "monotonic",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "StageStats",
+    "TraceReport",
+    "aggregate",
+    "load_jsonl",
+]

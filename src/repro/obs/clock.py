@@ -1,0 +1,151 @@
+"""The injectable clock — the only module allowed to read :mod:`time`.
+
+Every timed code path in the library (pipeline stage timers, the
+serving pool's job deadline, span tracing) goes through the active
+:class:`Clock` rather than calling ``time.perf_counter()`` /
+``time.monotonic()`` directly.  Production uses :class:`SystemClock`;
+tests install a :class:`FakeClock` (globally via :func:`use_clock`, or
+per object where a ``clock`` argument is accepted) and assert *exact*
+latency numbers with no sleeps and no tolerances.
+
+A meta-test (``tests/obs/test_no_direct_timing.py``) enforces that no
+other production or test module calls the :mod:`time` timers directly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import PipelineError
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
+    "use_clock",
+    "perf_counter",
+    "monotonic",
+]
+
+
+class Clock:
+    """Time source interface.
+
+    ``perf_counter`` is the high-resolution duration timer (pipeline
+    stage costs, span boundaries); ``monotonic`` is the deadline timer
+    (pool job timeouts); ``sleep`` exists so waiting code can be driven
+    deterministically too.
+    """
+
+    def perf_counter(self) -> float:
+        raise NotImplementedError
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock (production default)."""
+
+    def perf_counter(self) -> float:
+        return _time.perf_counter()
+
+    def monotonic(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        _time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A deterministic clock that only moves when told to.
+
+    Both timers read the same value, so durations measured across
+    ``advance`` calls are exact: a test that advances 0.010 inside a
+    stage sees a stage cost of exactly 0.010.
+
+    Args:
+        start: initial reading (seconds).
+        auto_tick: amount the clock self-advances on *every* reading.
+            Zero (the default) keeps time fully under test control;
+            a tiny positive tick gives distinct, still-deterministic
+            timestamps to successive spans.
+    """
+
+    def __init__(self, start: float = 0.0, auto_tick: float = 0.0) -> None:
+        if auto_tick < 0:
+            raise PipelineError("auto_tick must be >= 0")
+        self.now = float(start)
+        self.auto_tick = float(auto_tick)
+        self.sleeps: list = []
+
+    def _read(self) -> float:
+        value = self.now
+        if self.auto_tick:
+            self.now += self.auto_tick
+        return value
+
+    def perf_counter(self) -> float:
+        return self._read()
+
+    def monotonic(self) -> float:
+        return self._read()
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise PipelineError("cannot advance a clock backwards")
+        self.now += seconds
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        """Record the request and advance — no real waiting."""
+        self.sleeps.append(seconds)
+        self.advance(seconds)
+
+
+_ACTIVE: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-wide active clock."""
+    return _ACTIVE
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install ``clock`` as the active clock; returns the previous one."""
+    global _ACTIVE
+    if not isinstance(clock, Clock):
+        raise PipelineError(
+            f"expected a Clock, got {type(clock).__name__}"
+        )
+    previous = _ACTIVE
+    _ACTIVE = clock
+    return previous
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Scoped clock installation (the test idiom)."""
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+def perf_counter() -> float:
+    """High-resolution timer reading of the active clock."""
+    return _ACTIVE.perf_counter()
+
+
+def monotonic() -> float:
+    """Deadline timer reading of the active clock."""
+    return _ACTIVE.monotonic()

@@ -1,0 +1,232 @@
+"""A process-wide metrics registry (counters, gauges, histograms).
+
+Before this module the library's accounting was scattered: field
+evaluations on reconstruction results, cache hit/miss/eviction counters
+on :class:`repro.serve.cache.CacheStats`, pool routing/respawn counts
+on the pool, resilience counters recomputed from report lists.  The
+registry consolidates them behind one queryable, snapshottable API that
+:class:`repro.core.session.TelepresenceSession`'s summary, the serving
+engine's summary, and the bench harness read instead of reaching into
+objects.
+
+Counters and gauges hold exact numbers; histograms hold *exact bucket
+counts* (no sampling, no decay), so tests assert equality, not
+tolerance bands.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import PipelineError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+# Bucket boundaries (seconds) sized around the paper's 100 ms
+# interactivity bound: fine below the budget, coarse above it.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.010, 0.025, 0.050, 0.075, 0.100, 0.150, 0.250, 0.500, 1.0, 2.5,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise PipelineError("counters only go up")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (pool sizes, stream counts)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Exact bucketed distribution.
+
+    Args:
+        buckets: ascending upper bounds; an implicit +inf bucket
+            catches the overflow.  ``bucket_counts[i]`` counts
+            observations with ``value <= buckets[i]`` (and greater than
+            the previous bound); the final entry is the overflow.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise PipelineError("histogram needs at least one bucket")
+        if any(b <= a for b, a in zip(bounds[1:], bounds)):
+            raise PipelineError("histogram buckets must be ascending")
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def fraction_at_most(self, bound: float) -> float:
+        """Exact fraction of observations ``<= bound``; ``bound`` must
+        be one of the bucket boundaries."""
+        if bound not in self.buckets:
+            raise PipelineError(f"{bound} is not a bucket boundary")
+        index = self.buckets.index(bound)
+        if not self.count:
+            return 0.0
+        return sum(self.bucket_counts[: index + 1]) / self.count
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": dict(zip(self.buckets, self.bucket_counts)),
+            "overflow": self.bucket_counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics behind one queryable, snapshottable surface.
+
+    Metrics are created lazily on first access; re-accessing a name
+    with a different kind is an error (it would silently split the
+    series).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(**kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise PipelineError(
+                f"metric {name!r} is a {metric.kind}, not "
+                f"a {kind.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets)
+
+    # -- convenience write paths -----------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- query surface ---------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str, default: float = 0):
+        """The scalar value of a counter/gauge (``default`` when the
+        metric was never touched)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise PipelineError(
+                f"metric {name!r} is a histogram; use histogram()"
+            )
+        return metric.value
+
+    def snapshot(self, prefix: str = "") -> Dict[str, object]:
+        """Point-in-time copy of every metric (optionally filtered)."""
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+            if name.startswith(prefix)
+        }
+
+    def reset(self, prefix: str = "") -> None:
+        """Drop metrics whose name starts with ``prefix`` (all by
+        default) — e.g. a session clears its own series per run while
+        a shared process registry keeps everyone else's."""
+        for name in [n for n in self._metrics if n.startswith(prefix)]:
+            del self._metrics[name]
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _GLOBAL
+    if not isinstance(registry, MetricsRegistry):
+        raise PipelineError(
+            f"expected a MetricsRegistry, got {type(registry).__name__}"
+        )
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous

@@ -1,0 +1,189 @@
+"""Trace aggregation: per-stage latency stats and critical paths.
+
+Consumes the span stream produced by :class:`repro.obs.tracer.Tracer`
+(in memory or re-loaded from a JSONL export) and reduces it to the
+table the latency story needs: per-stage p50/p95/max across frames,
+and critical-path attribution — for each frame, which stage dominated
+the end-to-end time, and how often each stage wins overall.
+
+``repro.bench.tracing`` renders the result in the benchmark harness's
+table format; ``examples/trace_export.py`` dumps both on demand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import PipelineError
+from repro.obs.tracer import KIND_FRAME, KIND_STAGE, Span
+
+__all__ = ["StageStats", "TraceReport", "aggregate", "load_jsonl"]
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values — the same
+    convention :class:`repro.core.session.SessionSummary` uses for
+    ``p95_end_to_end``, so the two report identical numbers."""
+    if not ordered:
+        return float("inf")
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregate latency of one stage across frames.
+
+    Attributes:
+        name: stage name (breakdown key).
+        frames: frames in which the stage appeared.
+        total: summed seconds across those frames.
+        mean / p50 / p95 / max: per-frame stage cost statistics.
+        critical_frames: frames in which this stage was the single
+            largest contributor to the frame's end-to-end time.
+        share: this stage's fraction of all stage time in the trace.
+    """
+
+    name: str
+    frames: int
+    total: float
+    mean: float
+    p50: float
+    p95: float
+    max: float
+    critical_frames: int
+    share: float
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """The aggregation of one trace stream.
+
+    Attributes:
+        frames: number of frame traces aggregated.
+        stages: per-stage statistics, largest total first.
+        end_to_end_p50 / p95 / max: frame totals (sum of the frame's
+            stage spans — the session's end-to-end latency).
+    """
+
+    frames: int
+    stages: List[StageStats]
+    end_to_end_p50: float
+    end_to_end_p95: float
+    end_to_end_max: float
+
+    def stage(self, name: str) -> StageStats:
+        for stats in self.stages:
+            if stats.name == name:
+                return stats
+        raise PipelineError(f"no stage {name!r} in the trace")
+
+    def critical_path(self) -> Dict[str, int]:
+        """Stage name -> frames it dominated (critical-path census)."""
+        return {
+            s.name: s.critical_frames
+            for s in self.stages
+            if s.critical_frames
+        }
+
+
+SpanLike = Union[Span, Dict[str, object]]
+
+
+def _fields(span: SpanLike):
+    if isinstance(span, Span):
+        if span.end is None:
+            return None
+        return span.trace_id, span.name, span.kind, span.duration
+    if span.get("end") is None:
+        return None
+    duration = span.get("duration")
+    if duration is None:
+        duration = float(span["end"]) - float(span["start"])
+    return span["trace_id"], span["name"], span["kind"], float(duration)
+
+
+def aggregate(spans: Sequence[SpanLike]) -> TraceReport:
+    """Reduce a span stream to per-stage stats and critical paths.
+
+    Only ``stage`` spans participate (wall and worker spans are
+    detail); the per-frame end-to-end time is the sum of the frame's
+    stage spans, matching ``LatencyBreakdown.total``.
+    """
+    frames: set = set()
+    per_frame: Dict[tuple, float] = {}
+    for span in spans:
+        parsed = _fields(span)
+        if parsed is None:
+            continue
+        trace_id, name, kind, duration = parsed
+        if kind == KIND_FRAME:
+            frames.add(trace_id)
+        if kind != KIND_STAGE:
+            continue
+        frames.add(trace_id)
+        key = (trace_id, name)
+        per_frame[key] = per_frame.get(key, 0.0) + duration
+
+    by_stage: Dict[str, Dict[int, float]] = {}
+    for (trace_id, name), seconds in per_frame.items():
+        by_stage.setdefault(name, {})[trace_id] = seconds
+
+    totals_by_frame: Dict[int, float] = {}
+    dominant: Dict[int, str] = {}
+    for (trace_id, name), seconds in sorted(per_frame.items()):
+        totals_by_frame[trace_id] = totals_by_frame.get(trace_id, 0.0) \
+            + seconds
+        best = dominant.get(trace_id)
+        if best is None or seconds > per_frame[(trace_id, best)]:
+            dominant[trace_id] = name
+
+    grand_total = sum(
+        sum(values.values()) for values in by_stage.values()
+    )
+    stages = []
+    for name, values in by_stage.items():
+        ordered = sorted(values.values())
+        total = sum(ordered)
+        stages.append(
+            StageStats(
+                name=name,
+                frames=len(ordered),
+                total=total,
+                mean=total / len(ordered),
+                p50=_percentile(ordered, 0.50),
+                p95=_percentile(ordered, 0.95),
+                max=ordered[-1],
+                critical_frames=sum(
+                    1 for stage in dominant.values() if stage == name
+                ),
+                share=total / grand_total if grand_total > 0 else 0.0,
+            )
+        )
+    stages.sort(key=lambda s: (-s.total, s.name))
+    e2e = sorted(totals_by_frame.values())
+    return TraceReport(
+        frames=len(frames),
+        stages=stages,
+        end_to_end_p50=_percentile(e2e, 0.50),
+        end_to_end_p95=_percentile(e2e, 0.95),
+        end_to_end_max=e2e[-1] if e2e else float("inf"),
+    )
+
+
+def load_jsonl(path) -> List[Dict[str, object]]:
+    """Read a JSONL trace export back into span dicts."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(json.loads(line))
+            except ValueError as exc:
+                raise PipelineError(
+                    f"{path}:{line_number}: corrupt trace line: {exc}"
+                ) from exc
+    return spans

@@ -28,6 +28,7 @@ from repro.body.shape import ShapeParams
 from repro.compression.quantize import QuantizationGrid
 from repro.errors import PipelineError
 from repro.geometry.mesh import TriangleMesh
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CacheStats", "MeshCache"]
 
@@ -80,9 +81,18 @@ class MeshCache:
             12 puts the rotation bucket width at ~1.5 mrad — far below
             detector noise, so hits are true recurrences, not lossy
             merges.
+        registry: metrics registry mirroring the counters as
+            ``serve.cache.*`` (a private one is created when omitted),
+            so summaries and benchmarks query the registry instead of
+            reaching into the cache object.
     """
 
-    def __init__(self, capacity: int = 512, bits: int = 12) -> None:
+    def __init__(
+        self,
+        capacity: int = 512,
+        bits: int = 12,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise PipelineError("cache capacity must be >= 1")
         if not 1 <= bits <= 31:
@@ -90,6 +100,9 @@ class MeshCache:
         self.capacity = capacity
         self.bits = bits
         self.stats = CacheStats()
+        self.metrics = (
+            registry if registry is not None else MetricsRegistry()
+        )
         self._entries: "OrderedDict[bytes, TriangleMesh]" = OrderedDict()
         self._rotation_grid = _range_grid(*_ROTATION_RANGE, bits)
         self._translation_grid = _range_grid(*_TRANSLATION_RANGE, bits)
@@ -172,9 +185,11 @@ class MeshCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            self.metrics.inc("serve.cache.misses")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self.metrics.inc("serve.cache.hits")
         return entry.copy()
 
     def put(self, key: bytes, mesh: TriangleMesh) -> None:
@@ -185,9 +200,12 @@ class MeshCache:
             return
         self._entries[key] = mesh.copy()
         self.stats.inserts += 1
+        self.metrics.inc("serve.cache.inserts")
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self.metrics.inc("serve.cache.evictions")
+        self.metrics.set("serve.cache.size", len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -16,10 +16,11 @@ the decode really is a pure function of the transmitted parameters.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
+from repro.obs.clock import perf_counter
+from repro.obs.registry import MetricsRegistry
 from repro.core.pipeline import DecodedFrame, EncodedFrame, \
     HolographicPipeline
 from repro.core.timing import LatencyBreakdown
@@ -74,13 +75,26 @@ class ServingEngine:
         config: the serving knobs.  ``workers == 0`` keeps
             reconstruction in-process (per-stream warm-start state held
             by the engine) while the cache still applies.
+        registry: metrics registry shared with the cache
+            (``serve.cache.*``) and the pool (``serve.pool.*``); the
+            engine's own counters land under ``serve.engine.*``.  A
+            private registry is created when omitted, available as
+            ``self.metrics``.
     """
 
-    def __init__(self, config: ServingConfig) -> None:
+    def __init__(
+        self,
+        config: ServingConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
+        self.metrics = (
+            registry if registry is not None else MetricsRegistry()
+        )
         self.cache = (
             MeshCache(capacity=config.cache_capacity,
-                      bits=config.cache_bits)
+                      bits=config.cache_bits,
+                      registry=self.metrics)
             if config.cache
             else None
         )
@@ -89,6 +103,7 @@ class ServingEngine:
                 workers=config.workers,
                 job_timeout=config.job_timeout,
                 start_method=config.start_method,
+                registry=self.metrics,
             )
             if config.workers >= 1
             else None
@@ -143,18 +158,18 @@ class ServingEngine:
                 mode="inline",
             )
         self._session_streams.setdefault(session, set()).add(stream)
-        start = time.perf_counter()
+        start = perf_counter()
         codec = pipeline.codec
         payload = (
             codec.decompress(encoded.payload)
             if pipeline.compressed
             else codec.decode(encoded.payload)
         )
-        decompress_seconds = time.perf_counter() - start
+        decompress_seconds = perf_counter() - start
         reconstructor = pipeline.reconstructor
         key = None
         if self.cache is not None:
-            start = time.perf_counter()
+            start = perf_counter()
             key = self.cache.key(
                 pose=payload.pose,
                 shape=payload.shape,
@@ -164,7 +179,7 @@ class ServingEngine:
                 blend=reconstructor.blend,
             )
             mesh = self.cache.get(key)
-            lookup_seconds = time.perf_counter() - start
+            lookup_seconds = perf_counter() - start
             if mesh is not None:
                 return DecodeTicket(
                     ticket_id=ticket_id,
@@ -216,9 +231,11 @@ class ServingEngine:
         pipeline = ticket.pipeline
         if ticket.mode == "inline":
             self.stats.inline_decodes += 1
+            self.metrics.inc("serve.engine.inline_decodes")
             return pipeline.decode(ticket.encoded)
 
         self.stats.offloaded += 1
+        self.metrics.inc("serve.engine.offloaded")
         timing = LatencyBreakdown()
         timing.add("decompress", ticket.decompress_seconds)
         metadata = {
@@ -237,12 +254,14 @@ class ServingEngine:
             result = self.pool.result(ticket.job_id)
             mesh = result.mesh
             self.stats.reconstructions += 1
+            self.metrics.inc("serve.engine.reconstructions")
             timing.add("mesh_reconstruction", result.seconds)
             metadata.update(
                 field_evaluations=result.field_evaluations,
                 warm_started=result.warm_started,
                 cache_hit=False,
                 worker=result.worker,
+                worker_spans=result.spans,
             )
             if self.cache is not None and ticket.key is not None:
                 self.cache.put(ticket.key, mesh)
@@ -257,6 +276,7 @@ class ServingEngine:
             )
             mesh = result.mesh
             self.stats.reconstructions += 1
+            self.metrics.inc("serve.engine.reconstructions")
             timing.add("mesh_reconstruction", result.seconds)
             metadata.update(
                 field_evaluations=result.field_evaluations,
@@ -306,12 +326,24 @@ class ServingEngine:
     # -- reporting / lifecycle -------------------------------------
 
     def serving_summary(self) -> Dict[str, float]:
-        """Flat counters for tests, CI assertions and benchmarks."""
+        """Flat counters for tests, CI assertions and benchmarks.
+
+        Reads the metrics registry — where every engine, cache and
+        pool event is recorded — rather than reaching into the
+        component objects.
+        """
+        metrics = self.metrics
         summary = {
             "workers": self.config.workers,
-            "offloaded": self.stats.offloaded,
-            "inline_decodes": self.stats.inline_decodes,
-            "reconstructions": self.stats.reconstructions,
+            "offloaded": int(
+                metrics.value("serve.engine.offloaded")
+            ),
+            "inline_decodes": int(
+                metrics.value("serve.engine.inline_decodes")
+            ),
+            "reconstructions": int(
+                metrics.value("serve.engine.reconstructions")
+            ),
             "cache_enabled": self.cache is not None,
             "cache_hits": 0,
             "cache_misses": 0,
@@ -320,9 +352,11 @@ class ServingEngine:
         }
         if self.cache is not None:
             summary.update(
-                cache_hits=self.cache.stats.hits,
-                cache_misses=self.cache.stats.misses,
-                cache_evictions=self.cache.stats.evictions,
+                cache_hits=int(metrics.value("serve.cache.hits")),
+                cache_misses=int(metrics.value("serve.cache.misses")),
+                cache_evictions=int(
+                    metrics.value("serve.cache.evictions")
+                ),
                 cache_size=len(self.cache),
             )
         return summary

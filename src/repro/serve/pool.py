@@ -45,6 +45,8 @@ from repro.body.pose import BodyPose
 from repro.body.shape import ShapeParams
 from repro.errors import PipelineError, ServingError
 from repro.geometry.mesh import TriangleMesh
+from repro.obs.clock import monotonic, perf_counter
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["PoolResult", "ReconstructionPool"]
 
@@ -67,6 +69,9 @@ class PoolResult:
         field_evaluations: implicit-field evaluations performed.
         warm_started: whether the worker's per-stream warm-start hit.
         worker: index of the worker that served the job.
+        spans: worker-side span records (name/start/end in the worker's
+            clock domain, plus worker identity) for re-parenting under
+            the consuming frame's trace.
     """
 
     mesh: TriangleMesh
@@ -75,6 +80,7 @@ class PoolResult:
     field_evaluations: int
     warm_started: bool
     worker: int
+    spans: Tuple[Dict[str, object], ...] = ()
 
 
 def _worker_main(worker_id: int, requests, responses) -> None:
@@ -137,10 +143,27 @@ def _worker_main(worker_id: int, requests, responses) -> None:
                 )
             )
             cpu_start = time.process_time()
+            span_start = perf_counter()
             result = reconstructor.reconstruct(
                 pose=pose, shape=shape, expression=expression
             )
+            span_end = perf_counter()
             cpu_seconds = time.process_time() - cpu_start
+            # Span record in the *worker's* clock domain; the parent
+            # re-parents it under the consuming frame's trace
+            # (Tracer.attach_worker_spans rebases the timestamps).
+            spans = (
+                {
+                    "name": "worker_reconstruct",
+                    "start": span_start,
+                    "end": span_end,
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                    "stream": stream,
+                    "frame_index": frame_index,
+                    "warm_started": bool(result.warm_started),
+                },
+            )
             mesh = result.mesh
             nv, nf = mesh.num_vertices, mesh.num_faces
             size = max(nv * _VERTEX_BYTES + nf * _FACE_BYTES, 1)
@@ -177,6 +200,7 @@ def _worker_main(worker_id: int, requests, responses) -> None:
                     cpu_seconds,
                     result.field_evaluations,
                     result.warm_started,
+                    spans,
                 )
             )
         except Exception as exc:  # surface, don't kill the worker
@@ -213,6 +237,7 @@ class ReconstructionPool:
         workers: int = 2,
         job_timeout: float = 300.0,
         start_method: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise PipelineError("a reconstruction pool needs >= 1 worker")
@@ -220,6 +245,8 @@ class ReconstructionPool:
             raise PipelineError("job_timeout must be positive")
         self.workers = workers
         self.job_timeout = job_timeout
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.metrics.set("serve.pool.workers", workers)
         self._context = get_context(start_method)
         self._requests = [self._context.Queue() for _ in range(workers)]
         self._responses = self._context.Queue()
@@ -260,6 +287,7 @@ class ReconstructionPool:
             worker = int(np.argmin(self._stream_counts))
             self._stream_worker[stream] = worker
             self._stream_counts[worker] += 1
+            self.metrics.inc("serve.pool.streams_routed")
         return worker
 
     # -- job lifecycle ---------------------------------------------
@@ -306,6 +334,7 @@ class ReconstructionPool:
         )
         self._pending[job_id] = (stream, frame_index, worker)
         self.jobs_per_worker[worker] += 1
+        self.metrics.inc("serve.pool.submitted")
         return job_id
 
     def result(
@@ -315,7 +344,7 @@ class ReconstructionPool:
         worker failure, worker death, or timeout — never hang."""
         if self._closed:
             raise ServingError("pool is closed")
-        deadline = time.monotonic() + (
+        deadline = monotonic() + (
             self.job_timeout if timeout is None else timeout
         )
         while True:
@@ -337,9 +366,10 @@ class ReconstructionPool:
                         pass
                     if job_id in self._done:
                         continue
+                    self.metrics.inc("serve.pool.worker_deaths")
                     self._fail_worker_jobs(worker)
                     continue
-                if time.monotonic() > deadline:
+                if monotonic() > deadline:
                     # Race check: the result may have landed between
                     # the blocking drain and the deadline test.
                     while self._drain(block_seconds=0.0):
@@ -353,6 +383,7 @@ class ReconstructionPool:
                     # wedge and time out too.
                     del self._pending[job_id]
                     self._abandoned.add(job_id)
+                    self.metrics.inc("serve.pool.timeouts")
                     self._respawn_worker(worker)
                     raise ServingError(
                         f"reconstruction of frame {frame_index} "
@@ -409,7 +440,7 @@ class ReconstructionPool:
             return True
         if kind == "ok":
             (_, _, worker, shm_name, nv, nf,
-             seconds, cpu_seconds, evaluations, warm) = message
+             seconds, cpu_seconds, evaluations, warm, spans) = message
             shm = SharedMemory(name=shm_name)
             try:
                 vertices = np.array(
@@ -438,6 +469,7 @@ class ReconstructionPool:
                     field_evaluations=evaluations,
                     warm_started=bool(warm),
                     worker=worker,
+                    spans=tuple(spans),
                 ),
             )
         else:
@@ -484,6 +516,7 @@ class ReconstructionPool:
             if process.is_alive():  # pragma: no cover
                 process.kill()
                 process.join(timeout=1.0)
+        self.metrics.inc("serve.pool.respawns")
         self._fail_worker_jobs(worker)
         old_requests = self._requests[worker]
         self._requests[worker] = self._context.Queue()

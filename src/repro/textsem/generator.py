@@ -10,12 +10,12 @@ DESIGN.md; the information bottleneck (only words arrive) is identical.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.clock import perf_counter
 from repro.body.expression import EXPRESSION_NAMES, ExpressionParams
 from repro.body.model import BodyModel
 from repro.body.pose import BodyPose
@@ -112,13 +112,13 @@ class TextTo3DGenerator:
 
     def generate(self, frame: TextFrame) -> GeneratedBody:
         """Full reconstruction: caption -> parameters -> point cloud."""
-        start = time.perf_counter()
+        start = perf_counter()
         pose, expression = self.decode_parameters(frame)
         state = self.model.forward(pose=pose, expression=expression)
         cloud = state.mesh.sample_points(
             self.points, rng=np.random.default_rng(frame.frame_index)
         )
-        seconds = time.perf_counter() - start
+        seconds = perf_counter() - start
         return GeneratedBody(
             pose=pose,
             expression=expression,

@@ -1,0 +1,53 @@
+"""Tests for rendering trace reports as experiment tables."""
+
+import pytest
+
+from repro.bench.tracing import trace_table, trace_table_from_jsonl
+from repro.errors import PipelineError
+from repro.obs.clock import FakeClock
+from repro.obs.report import aggregate
+from repro.obs.tracer import Tracer
+
+
+def _traced(per_frame_stages):
+    tracer = Tracer(clock=FakeClock())
+    for index, stages in enumerate(per_frame_stages):
+        with tracer.frame(index):
+            for name, seconds in stages.items():
+                tracer.record(name, seconds)
+    return tracer
+
+
+class TestTraceTable:
+    def test_rows_ordered_by_total_with_summary_row(self):
+        tracer = _traced([
+            {"encode": 0.010, "decode": 0.030},
+            {"encode": 0.020, "decode": 0.040},
+        ])
+        table = trace_table(aggregate(tracer.spans))
+        labels = [row[0] for row in table.rows]
+        assert labels == ["decode", "encode", "end-to-end"]
+        assert table.cell("decode", "critical") == "2/2"
+        assert table.cell("decode", "mean ms") == "35.0"
+        assert table.cell("end-to-end", "mean ms") == "50.0"
+        assert table.cell("end-to-end", "share") == "100.0%"
+
+    def test_render_is_printable(self):
+        tracer = _traced([{"decode": 0.030}])
+        text = trace_table(
+            aggregate(tracer.spans), title="Critical path"
+        ).render()
+        assert "Critical path" in text
+        assert "p95 ms" in text
+
+    def test_zero_frames_raises(self):
+        with pytest.raises(PipelineError):
+            trace_table(aggregate([]))
+
+    def test_from_jsonl(self, tmp_path):
+        tracer = _traced([{"decode": 0.030}, {"decode": 0.050}])
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        table = trace_table_from_jsonl(path)
+        assert "2 traced frames" in table.title
+        assert table.cell("decode", "mean ms") == "40.0"

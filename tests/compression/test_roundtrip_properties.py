@@ -1,0 +1,226 @@
+"""Property-based round-trip tests for the compression stack.
+
+Seeded ``numpy`` RNGs stand in for a property-testing framework: each
+test sweeps many randomly drawn inputs from several distributions and
+asserts an invariant that must hold for *every* draw — round-trips are
+lossless (or bounded by the quantiser's published error), and the
+framing checksum rejects every single-bit corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.framing import (
+    FRAME_HEADER_BYTES,
+    open_frame,
+    seal_frame,
+)
+from repro.compression.quantize import QuantizationGrid
+from repro.compression.rangecoder import (
+    compress_bytes,
+    decompress_bytes,
+)
+from repro.compression.varint import (
+    decode_varints,
+    encode_varints,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.errors import CodecError
+
+SEED = 20260806
+
+
+def _payload_cases(rng):
+    """Payloads spanning the distributions a codec actually meets."""
+    return [
+        b"",
+        b"\x00",
+        bytes(rng.integers(0, 256, size=1, dtype=np.uint8)),
+        bytes(rng.integers(0, 256, size=333, dtype=np.uint8)),
+        bytes(1000),                      # all zeros: degenerate model
+        b"\xff" * 257,                    # all ones
+        bytes(rng.integers(0, 4, size=512, dtype=np.uint8)),  # skewed
+        bytes(np.repeat(
+            rng.integers(0, 256, size=16, dtype=np.uint8), 40
+        )),                               # long runs
+    ]
+
+
+class TestFramingChecksum:
+    def test_round_trip_preserves_header_and_payload(self):
+        rng = np.random.default_rng(SEED)
+        for index, payload in enumerate(_payload_cases(rng)):
+            blob = seal_frame(payload, frame_index=index * 7,
+                              level=index % 3)
+            header, recovered = open_frame(blob)
+            assert recovered == payload
+            assert header.frame_index == index * 7
+            assert header.level == index % 3
+            assert header.payload_bytes == len(payload)
+            assert len(blob) == FRAME_HEADER_BYTES + len(payload)
+
+    def test_every_single_bit_flip_is_rejected(self):
+        """Exhaustive over bit positions: flipping ANY one bit of the
+        sealed frame — header, checksum, or payload — must raise."""
+        rng = np.random.default_rng(SEED)
+        payload = bytes(rng.integers(0, 256, size=48, dtype=np.uint8))
+        blob = bytearray(seal_frame(payload, frame_index=9, level=1))
+        for byte_index in range(len(blob)):
+            for bit in range(8):
+                corrupt = bytearray(blob)
+                corrupt[byte_index] ^= 1 << bit
+                with pytest.raises(CodecError):
+                    open_frame(bytes(corrupt))
+
+    def test_every_truncation_is_rejected(self):
+        blob = seal_frame(b"hello frame", frame_index=1)
+        for cut in range(len(blob)):
+            with pytest.raises(CodecError):
+                open_frame(blob[:cut])
+
+    def test_zero_byte_payload_is_legal(self):
+        header, payload = open_frame(seal_frame(b""))
+        assert payload == b""
+        assert header.payload_bytes == 0
+
+
+class TestVarints:
+    def _int_cases(self, rng):
+        return [
+            np.array([], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([-1, 1, 0], dtype=np.int64),
+            rng.integers(-5, 6, size=400),          # small deltas
+            rng.integers(-(2**20), 2**20, size=200),
+            (rng.standard_normal(300) * 3).astype(np.int64),
+            np.array([2**40, -(2**40), 2**62, -(2**62)]),
+        ]
+
+    def test_zigzag_round_trip(self):
+        rng = np.random.default_rng(SEED)
+        for values in self._int_cases(rng):
+            encoded = zigzag_encode(values)
+            assert np.all(np.asarray(encoded) >= 0)
+            assert np.array_equal(zigzag_decode(encoded), values)
+
+    def test_zigzag_favours_small_magnitudes(self):
+        # |v| <= k maps into [0, 2k]: the LEB128 stage then emits
+        # short codes for the delta-dominated distributions above.
+        values = np.arange(-4, 5)
+        assert int(np.max(zigzag_encode(values))) == 8
+
+    def test_unsigned_varint_round_trip(self):
+        rng = np.random.default_rng(SEED)
+        cases = [
+            np.array([], dtype=np.uint64),
+            np.array([0, 127, 128, 2**63], dtype=np.uint64),
+            rng.integers(0, 2**32, size=300).astype(np.uint64),
+        ]
+        for values in cases:
+            blob = encode_varints(values)
+            decoded, consumed = decode_varints(blob, len(values))
+            assert np.array_equal(decoded, values)
+            assert consumed == len(blob)
+
+    def test_signed_round_trip_through_zigzag(self):
+        # The codec composition actually used on keypoint deltas.
+        rng = np.random.default_rng(SEED)
+        for values in self._int_cases(rng):
+            blob = encode_varints(zigzag_encode(values))
+            decoded, consumed = decode_varints(blob, len(values))
+            assert np.array_equal(zigzag_decode(decoded), values)
+            assert consumed == len(blob)
+
+    def test_varint_round_trip_with_trailing_data(self):
+        values = zigzag_encode(np.array([1, -200, 3000000]))
+        blob = encode_varints(values)
+        decoded, consumed = decode_varints(blob + b"tail", 3)
+        assert np.array_equal(decoded, values)
+        assert consumed == len(blob)
+
+    def test_truncation_raises(self):
+        blob = encode_varints(np.array([2**40, 2**40], dtype=np.uint64))
+        for cut in range(len(blob)):
+            with pytest.raises(CodecError):
+                decode_varints(blob[:cut], 2)
+
+
+class TestQuantizationGrid:
+    def _float_cases(self, rng):
+        return [
+            rng.standard_normal((500, 3)),
+            rng.uniform(-10.0, 10.0, size=(200, 3)) * [1.0, 0.01, 100],
+            rng.standard_normal((64, 1)) * 1e-6,     # tiny extent
+            np.full((10, 3), 2.5),                   # zero extent
+            rng.standard_normal((300, 63)),          # pose-vector width
+        ]
+
+    @pytest.mark.parametrize("bits", [4, 8, 12, 16])
+    def test_error_bounded_by_published_max(self, bits):
+        rng = np.random.default_rng(SEED)
+        for values in self._float_cases(rng):
+            grid = QuantizationGrid.fit(values, bits=bits)
+            recovered = grid.decode(grid.encode(values))
+            error = np.abs(recovered - np.atleast_2d(values))
+            # Strict bound plus an epsilon for the division rounding.
+            bound = grid.max_error() * (1 + 1e-9) + 1e-15
+            assert np.all(error <= bound)
+
+    def test_indices_are_deterministic(self):
+        rng = np.random.default_rng(SEED)
+        values = rng.standard_normal((100, 3))
+        grid = QuantizationGrid.fit(values, bits=10)
+        assert np.array_equal(grid.encode(values),
+                              grid.encode(values))
+
+    def test_grid_serialisation_round_trip(self):
+        rng = np.random.default_rng(SEED)
+        for values in self._float_cases(rng):
+            grid = QuantizationGrid.fit(values, bits=9)
+            blob = grid.to_bytes()
+            recovered, consumed = QuantizationGrid.from_bytes(
+                blob + b"extra"
+            )
+            assert consumed == len(blob)
+            assert recovered.bits == grid.bits
+            assert np.array_equal(recovered.minimum, grid.minimum)
+            assert np.array_equal(recovered.step, grid.step)
+            # The recovered grid decodes identically.
+            indices = grid.encode(values)
+            assert np.array_equal(recovered.decode(indices),
+                                  grid.decode(indices))
+
+    def test_truncated_grid_raises(self):
+        blob = QuantizationGrid.fit(
+            np.zeros((4, 3)), bits=8
+        ).to_bytes()
+        for cut in range(len(blob)):
+            with pytest.raises(CodecError):
+                QuantizationGrid.from_bytes(blob[:cut])
+
+
+class TestRangeCoder:
+    def test_round_trip_over_distributions(self):
+        rng = np.random.default_rng(SEED)
+        for payload in _payload_cases(rng):
+            blob = compress_bytes(payload)
+            assert decompress_bytes(blob) == payload
+
+    def test_round_trip_many_seeds(self):
+        # Independent draws: the adaptive model must resynchronise
+        # exactly regardless of the byte statistics.
+        for seed in range(10):
+            rng = np.random.default_rng(SEED + seed)
+            size = int(rng.integers(0, 2048))
+            payload = bytes(
+                rng.integers(0, 256, size=size, dtype=np.uint8)
+            )
+            assert decompress_bytes(compress_bytes(payload)) == payload
+
+    def test_skewed_input_actually_compresses(self):
+        rng = np.random.default_rng(SEED)
+        payload = bytes(
+            rng.integers(0, 2, size=4096, dtype=np.uint8)
+        )
+        assert len(compress_bytes(payload)) < len(payload)

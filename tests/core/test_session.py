@@ -129,6 +129,23 @@ class TestSessionRun:
         with pytest.raises(PipelineError):
             session.summary()
 
+    def test_zero_frame_run_yields_empty_summary(self, talking_ds,
+                                                 fast_link):
+        # Regression: frames=0 used to be rejected (and a summary over
+        # zero reports divided by zero).  An empty run is legal — e.g.
+        # a capture that never produced a frame — and summarises to
+        # zero rates without raising.
+        summary = TelepresenceSession(
+            talking_ds,
+            KeypointSemanticPipeline(resolution=32),
+            link=fast_link,
+        ).run(frames=0)
+        assert summary.frames == 0
+        assert summary.delivery_rate == 0.0
+        assert summary.bandwidth_mbps == 0.0
+        assert summary.mean_end_to_end == float("inf")
+        assert summary.mean_stage_breakdown.stages == {}
+
     def test_sustainable_fps_reflects_decode_cost(
         self, talking_ds, fast_link
     ):

@@ -1,0 +1,108 @@
+"""Tests for the injectable clock."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.obs.clock import (
+    FakeClock,
+    SystemClock,
+    get_clock,
+    monotonic,
+    perf_counter,
+    set_clock,
+    use_clock,
+)
+
+
+class TestSystemClock:
+    def test_perf_counter_advances(self):
+        clock = SystemClock()
+        first = clock.perf_counter()
+        second = clock.perf_counter()
+        assert second >= first
+
+    def test_monotonic_advances(self):
+        clock = SystemClock()
+        first = clock.monotonic()
+        second = clock.monotonic()
+        assert second >= first
+
+
+class TestFakeClock:
+    def test_starts_at_start(self):
+        clock = FakeClock(start=5.0)
+        assert clock.perf_counter() == 5.0
+        assert clock.monotonic() == 5.0
+
+    def test_advance_is_exact(self):
+        clock = FakeClock()
+        clock.advance(0.125)
+        assert clock.perf_counter() == 0.125
+        clock.advance(0.125)
+        assert clock.perf_counter() == 0.25
+
+    def test_both_timers_share_one_value(self):
+        clock = FakeClock()
+        clock.advance(1.5)
+        assert clock.perf_counter() == clock.monotonic() == 1.5
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(PipelineError):
+            FakeClock().advance(-1.0)
+
+    def test_auto_tick(self):
+        clock = FakeClock(auto_tick=0.001)
+        assert clock.perf_counter() == 0.0
+        assert clock.perf_counter() == 0.001
+        assert clock.monotonic() == 0.002
+
+    def test_negative_auto_tick_raises(self):
+        with pytest.raises(PipelineError):
+            FakeClock(auto_tick=-0.1)
+
+    def test_sleep_records_and_advances(self):
+        clock = FakeClock()
+        clock.sleep(0.5)
+        clock.sleep(0.25)
+        assert clock.sleeps == [0.5, 0.25]
+        assert clock.now == 0.75
+
+
+class TestActiveClock:
+    def test_default_is_system(self):
+        assert isinstance(get_clock(), SystemClock)
+
+    def test_use_clock_installs_and_restores(self):
+        previous = get_clock()
+        fake = FakeClock(start=10.0)
+        with use_clock(fake):
+            assert get_clock() is fake
+            assert perf_counter() == 10.0
+            assert monotonic() == 10.0
+        assert get_clock() is previous
+
+    def test_use_clock_restores_on_error(self):
+        previous = get_clock()
+        with pytest.raises(RuntimeError):
+            with use_clock(FakeClock()):
+                raise RuntimeError("boom")
+        assert get_clock() is previous
+
+    def test_set_clock_returns_previous(self):
+        fake = FakeClock()
+        previous = set_clock(fake)
+        try:
+            assert get_clock() is fake
+        finally:
+            set_clock(previous)
+
+    def test_set_clock_rejects_non_clock(self):
+        with pytest.raises(PipelineError):
+            set_clock(object())
+
+    def test_module_functions_follow_active_clock(self):
+        with use_clock(FakeClock(start=3.0)) as fake:
+            assert perf_counter() == 3.0
+            fake.advance(0.5)
+            assert perf_counter() == 3.5
+            assert monotonic() == 3.5

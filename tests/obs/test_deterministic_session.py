@@ -1,0 +1,320 @@
+"""Deterministic-clock regression tests.
+
+A :class:`FakeClock` drives the full session machinery with no
+real-time sleeps, so latency numbers are asserted *exactly* — equality,
+not tolerance bands.  A stub pipeline advances the clock by known
+amounts inside its measured regions; the session's breakdown, p95 and
+interactive fraction follow analytically.  The transport policy's
+give-up boundary is asserted from the link's simulation-time math.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    DecodedFrame,
+    EncodedFrame,
+    HolographicPipeline,
+)
+from repro.core.session import TelepresenceSession
+from repro.core.timing import LatencyBreakdown
+from repro.net.link import NetworkLink
+from repro.net.packet import packetize
+from repro.net.trace import BandwidthTrace
+from repro.net.transport import TransportPolicy
+from repro.obs.clock import FakeClock, perf_counter, use_clock
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class StubDataset:
+    """A dataset of opaque tokens with a fixed frame rate."""
+
+    fps = 30.0
+
+    def __init__(self, frames=6):
+        self._frames = frames
+
+    def __len__(self):
+        return self._frames
+
+    def frame(self, index):
+        return index
+
+
+ENCODE_COST = 0.015625  # 1/64: dyadic, so clock sums stay exact
+DECODE_COST = 0.031250  # 2/64
+
+
+class StubPipeline(HolographicPipeline):
+    """Advances the active clock by fixed amounts inside its measured
+    regions, so stage costs are exact by construction.  All costs are
+    dyadic rationals: differences of FakeClock readings reproduce them
+    bit-for-bit, making ``==`` assertions legitimate."""
+
+    name = "stub"
+
+    def __init__(self, clock, encode_cost=ENCODE_COST,
+                 decode_cost=lambda index: DECODE_COST):
+        self._clock = clock
+        self._encode_cost = encode_cost
+        self._decode_cost = decode_cost
+
+    def encode(self, frame):
+        start = perf_counter()
+        self._clock.advance(self._encode_cost)
+        timing = LatencyBreakdown()
+        timing.add("semantic_extraction", perf_counter() - start)
+        return EncodedFrame(frame_index=frame, payload=b"x" * 64,
+                            timing=timing)
+
+    def decode(self, encoded):
+        start = perf_counter()
+        self._clock.advance(self._decode_cost(encoded.frame_index))
+        timing = LatencyBreakdown()
+        timing.add("mesh_reconstruction", perf_counter() - start)
+        return DecodedFrame(frame_index=encoded.frame_index,
+                            surface=None, timing=timing)
+
+
+class TestExactSessionLatency:
+    def test_stage_values_are_exact(self):
+        with use_clock(FakeClock()) as clock:
+            session = TelepresenceSession(
+                StubDataset(4), StubPipeline(clock), link=None
+            )
+            summary = session.run()
+        assert summary.frames == 4
+        # Exact equality: no tolerance, no sleeps.
+        assert summary.mean_stage_breakdown.stages == {
+            "semantic_extraction": ENCODE_COST,
+            "mesh_reconstruction": DECODE_COST,
+        }
+        assert summary.mean_end_to_end == 0.046875
+        assert summary.p95_end_to_end == 0.046875
+        assert summary.interactive_fraction == 1.0
+        for report in session.reports:
+            assert report.breakdown.stages == {
+                "semantic_extraction": ENCODE_COST,
+                "mesh_reconstruction": DECODE_COST,
+            }
+
+    def test_p95_and_interactive_fraction_nearest_rank(self):
+        # Frame i decodes in (i+1)/64 s: e2e_i = (i+2)/64, all dyadic.
+        with use_clock(FakeClock()) as clock:
+            session = TelepresenceSession(
+                StubDataset(10),
+                StubPipeline(
+                    clock, decode_cost=lambda i: (i + 1) / 64
+                ),
+                link=None,
+            )
+            summary = session.run()
+        # Sorted latencies 2/64 .. 11/64; p95 = element int(0.95*9)=8,
+        # i.e. 10/64.  Exact equality throughout.
+        assert summary.p95_end_to_end == 10 / 64
+        # Frames with e2e <= 0.100 s: (i+2)/64 <= 0.1 -> i <= 4.
+        assert summary.interactive_fraction == 0.5
+        assert summary.mean_end_to_end == 65 / 640  # = 13/128, exact
+
+    def test_receiver_edge_scaling_is_exact(self):
+        from repro.net.edge import EdgeServer, DeviceProfile
+
+        half_speed = EdgeServer(
+            device=DeviceProfile(name="half", speed_factor=0.5,
+                                 memory_gb=8.0)
+        )
+        with use_clock(FakeClock()) as clock:
+            summary = TelepresenceSession(
+                StubDataset(2), StubPipeline(clock), link=None,
+                receiver_edge=half_speed,
+            ).run()
+        assert summary.mean_stage_breakdown.stages[
+            "mesh_reconstruction"] == DECODE_COST / 0.5
+
+    def test_session_metrics_registry(self):
+        registry = MetricsRegistry()
+        with use_clock(FakeClock()) as clock:
+            TelepresenceSession(
+                StubDataset(5), StubPipeline(clock), link=None,
+                metrics=registry,
+            ).run()
+        assert registry.value("session.frames") == 5
+        assert registry.value("session.delivered") == 5
+        histogram = registry.histogram("session.end_to_end_seconds")
+        assert histogram.count == 5
+        # Every frame costs exactly 3/64 s <= the 0.100 s bound.
+        assert histogram.fraction_at_most(0.100) == 1.0
+
+    def test_trace_stage_spans_reconcile_exactly(self):
+        tracer = Tracer()
+        with use_clock(FakeClock()) as clock:
+            session = TelepresenceSession(
+                StubDataset(3),
+                StubPipeline(
+                    clock, decode_cost=lambda i: (i + 1) / 64
+                ),
+                link=None,
+                tracer=tracer,
+            )
+            session.run()
+        trace_ids = tracer.trace_ids()
+        assert len(trace_ids) == 3
+        for trace_id, report in zip(trace_ids, session.reports):
+            assert tracer.stage_totals(trace_id) == \
+                report.breakdown.stages
+        # Wall spans cover every phase of every frame.
+        for trace_id in trace_ids:
+            names = {
+                s.name for s in tracer.trace(trace_id)
+                if s.kind == "wall"
+            }
+            assert names == {"capture", "encode", "transport",
+                             "decode"}
+
+
+class TestServingEngineUnderFakeClock:
+    def test_served_session_measured_stages_all_zero(self, talking_ds):
+        """Every timed region of the serving path reads the injectable
+        clock: with a FakeClock that never advances, every *measured*
+        stage is exactly 0.0 and the end-to-end latency collapses to
+        the pipeline's analytic (modeled) constants.  Any code path
+        still reading the real timers would leak nonzero wall time
+        into the breakdown."""
+        from repro.core import keypoint_pipeline as kp
+        from repro.serve import ServingConfig
+
+        pipeline = kp.KeypointSemanticPipeline(resolution=32)
+        modeled = {
+            "keypoint_detection": pipeline.detector.total_latency,
+            "expression_capture": kp._EXPRESSION_CAPTURE_LATENCY,
+        }
+        with use_clock(FakeClock()):
+            summary = TelepresenceSession(
+                talking_ds,
+                pipeline,
+                link=None,
+                serving=ServingConfig(workers=0),
+            ).run(frames=2)
+        stages = summary.mean_stage_breakdown.stages
+        for stage, seconds in stages.items():
+            assert seconds == modeled.get(stage, 0.0), stage
+        assert summary.mean_end_to_end == sum(modeled.values())
+        assert summary.p95_end_to_end == sum(modeled.values())
+        assert summary.interactive_fraction == 1.0
+
+
+class TestTransportGiveUpBoundary:
+    """The interactive policy's 150 ms frame deadline, asserted from
+    the link's deterministic simulation-time arithmetic."""
+
+    def _blackout_link(self, policy):
+        return NetworkLink(
+            trace=BandwidthTrace.constant(100.0),
+            propagation_delay=0.010,  # rtt = 0.020
+            jitter=0.0,
+            loss_rate=1.0,
+            policy=policy,
+            seed=0,
+        )
+
+    def _transmit_seconds(self, payload):
+        packet = packetize(0, payload, mtu=1400)[0]
+        return BandwidthTrace.constant(100.0).transmit_seconds(
+            packet.wire_bytes, 0.0
+        )
+
+    def test_deadline_cuts_retry_budget(self):
+        """With rtt=0.020 the interactive backoffs are 0.020, 0.040,
+        0.075, 0.075 (capped at deadline/2).  The cumulative timeline
+        crosses 150 ms after the 4th transmission, so the frame expires
+        with one attempt still in its retry budget."""
+        payload = b"y" * 200
+        interactive = self._blackout_link(
+            TransportPolicy.interactive(frame_deadline=0.150,
+                                        max_retries=4)
+        )
+        report = interactive.send_frame(0, payload, now=0.0)
+        assert report.expired
+        assert not report.delivered
+        assert report.packets_lost == 4  # not 5: deadline bound first
+
+        unbounded = self._blackout_link(
+            TransportPolicy(max_retries=4, frame_deadline=None,
+                            max_timeout=0.075)
+        )
+        report = unbounded.send_frame(0, payload, now=0.0)
+        assert not report.expired
+        assert not report.delivered
+        assert report.packets_lost == 5  # full retry budget spent
+
+    def test_boundary_is_exactly_the_deadline(self):
+        """Frame deadlines straddling the analytic give-up instant
+        flip the attempt count by exactly one."""
+        payload = b"y" * 200
+        t = self._transmit_seconds(payload)
+        # After k transmissions the frame timeline reads
+        # k*t + sum(timeouts[0:k]); the deadline check runs before
+        # transmission k+1.
+        timeouts = [0.020, 0.040, 0.075, 0.075]
+        after3 = 3 * t + sum(timeouts[:3])
+
+        # Deadline just above the 3-attempt mark: attempt 4 happens.
+        link = self._blackout_link(
+            TransportPolicy(max_retries=4,
+                            frame_deadline=after3 + 1e-9,
+                            max_timeout=0.075)
+        )
+        assert link.send_frame(0, payload, now=0.0).packets_lost == 4
+
+        # Deadline just below it: the sender gives up after 3.
+        link = self._blackout_link(
+            TransportPolicy(max_retries=4,
+                            frame_deadline=after3 - 1e-9,
+                            max_timeout=0.075)
+        )
+        assert link.send_frame(0, payload, now=0.0).packets_lost == 3
+
+
+class TestZeroFrameSession:
+    def test_zero_frames_is_a_valid_run(self):
+        with use_clock(FakeClock()) as clock:
+            session = TelepresenceSession(
+                StubDataset(4), StubPipeline(clock), link=None
+            )
+            summary = session.run(frames=0)
+        assert summary.frames == 0
+        assert summary.mean_payload_bytes == 0.0
+        assert summary.bandwidth_mbps == 0.0
+        assert summary.delivery_rate == 0.0
+        assert summary.display_rate == 0.0
+        assert summary.concealed_rate == 0.0
+        assert summary.corrupted_rate == 0.0
+        assert summary.fallback_fraction == 0.0
+        assert summary.mean_end_to_end == float("inf")
+        assert summary.p95_end_to_end == float("inf")
+        assert summary.interactive_fraction == 0.0
+        assert summary.mean_stage_breakdown.stages == {}
+        assert summary.max_stale_age == 0
+        assert summary.outages == 0
+
+    def test_summary_before_any_run_still_raises(self):
+        from repro.errors import PipelineError
+
+        with use_clock(FakeClock()) as clock:
+            session = TelepresenceSession(
+                StubDataset(4), StubPipeline(clock), link=None
+            )
+            with pytest.raises(PipelineError, match="run"):
+                session.summary()
+
+    def test_negative_frames_still_rejected(self):
+        from repro.errors import PipelineError
+
+        with use_clock(FakeClock()) as clock:
+            session = TelepresenceSession(
+                StubDataset(4), StubPipeline(clock), link=None
+            )
+            with pytest.raises(PipelineError):
+                session.run(frames=-1)
+            with pytest.raises(PipelineError):
+                session.run(frames=5)

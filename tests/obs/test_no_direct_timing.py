@@ -1,0 +1,78 @@
+"""Meta-test: the injectable clock is the only timer in the tree.
+
+Scans every Python file under ``src``, ``tests``, ``benchmarks`` and
+``examples`` for direct reads of the process timers.  All timing must
+flow through :mod:`repro.obs.clock` so a FakeClock controls the entire
+pipeline; a direct timer call anywhere re-introduces nondeterminism.
+
+``time.sleep`` and ``time.process_time`` remain allowed: the first is
+a real-world wait (not a measurement), the second is CPU accounting
+that deliberately ignores simulated time.
+"""
+
+import re
+from pathlib import Path
+
+# Built by concatenation so this file does not match its own pattern.
+_TIMERS = "|".join(["perf_" + "counter", "mono" + "tonic"])
+_ATTRIBUTE_CALL = re.compile(
+    r"\btime\s*\.\s*(?:%s)\b" % _TIMERS
+)
+_FROM_IMPORT = re.compile(
+    r"^\s*from\s+time\s+import\s+.*\b(?:%s)\b" % _TIMERS
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCANNED_TREES = ("src", "tests", "benchmarks", "examples")
+ALLOWED = {REPO_ROOT / "src" / "repro" / "obs" / "clock.py"}
+
+
+def _violations():
+    found = []
+    for tree in SCANNED_TREES:
+        root = REPO_ROOT / tree
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if path in ALLOWED:
+                continue
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if line.lstrip().startswith("#"):
+                    continue
+                if _ATTRIBUTE_CALL.search(line) or \
+                        _FROM_IMPORT.search(line):
+                    found.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: "
+                        f"{line.strip()}"
+                    )
+    return found
+
+
+def test_scan_covers_the_source_tree():
+    scanned = [
+        path
+        for tree in SCANNED_TREES
+        for path in (REPO_ROOT / tree).rglob("*.py")
+    ]
+    # Sanity: the sweep actually looks at the codebase.
+    assert len(scanned) > 50
+    assert any(p.name == "session.py" for p in scanned)
+    assert any(p.name == "pool.py" for p in scanned)
+
+
+def test_allowed_module_is_the_real_clock():
+    (allowed,) = ALLOWED
+    assert allowed.exists()
+    text = allowed.read_text()
+    # The one permitted module genuinely wraps the process timers.
+    assert _ATTRIBUTE_CALL.search(text)
+
+
+def test_no_direct_timer_reads_outside_obs_clock():
+    violations = _violations()
+    assert not violations, (
+        "direct process-timer reads found (use repro.obs.clock):\n"
+        + "\n".join(violations)
+    )

@@ -1,0 +1,152 @@
+"""Tests for the metrics registry: exact counters, exact buckets."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(PipelineError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_exact_bucket_counts(self):
+        histogram = Histogram(buckets=(0.1, 0.2, 0.5))
+        for value in (0.05, 0.1, 0.15, 0.3, 0.9):
+            histogram.observe(value)
+        # <=0.1, <=0.2, <=0.5, overflow
+        assert histogram.bucket_counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(1.5)
+
+    def test_boundary_lands_in_lower_bucket(self):
+        histogram = Histogram(buckets=(0.1, 0.2))
+        histogram.observe(0.1)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_mean(self):
+        histogram = Histogram(buckets=(1.0,))
+        assert histogram.mean == 0.0
+        histogram.observe(0.25)
+        histogram.observe(0.75)
+        assert histogram.mean == 0.5
+
+    def test_fraction_at_most(self):
+        histogram = Histogram(buckets=(0.050, 0.100, 0.250))
+        for value in (0.01, 0.06, 0.09, 0.11):
+            histogram.observe(value)
+        assert histogram.fraction_at_most(0.100) == 0.75
+        assert histogram.fraction_at_most(0.050) == 0.25
+
+    def test_fraction_requires_boundary(self):
+        histogram = Histogram()
+        with pytest.raises(PipelineError):
+            histogram.fraction_at_most(0.123)
+
+    def test_interactive_bound_is_a_default_boundary(self):
+        # The 100 ms interactivity bound must be directly queryable.
+        assert 0.100 in DEFAULT_LATENCY_BUCKETS
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(PipelineError):
+            Histogram(buckets=())
+        with pytest.raises(PipelineError):
+            Histogram(buckets=(0.2, 0.1))
+        with pytest.raises(PipelineError):
+            Histogram(buckets=(0.1, 0.1))
+
+    def test_snapshot(self):
+        histogram = Histogram(buckets=(0.1,))
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        snap = histogram.snapshot()
+        assert snap["count"] == 2
+        assert snap["overflow"] == 1
+        assert snap["buckets"] == {0.1: 1}
+
+
+class TestMetricsRegistry:
+    def test_lazy_creation_and_value(self):
+        registry = MetricsRegistry()
+        assert registry.value("nope", default=7) == 7
+        registry.inc("a.count", 3)
+        assert registry.value("a.count") == 3
+        assert "a.count" in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(PipelineError, match="counter"):
+            registry.gauge("x")
+        with pytest.raises(PipelineError):
+            registry.histogram("x")
+
+    def test_value_refuses_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.1)
+        with pytest.raises(PipelineError, match="histogram"):
+            registry.value("h")
+
+    def test_snapshot_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.cache.hits", 2)
+        registry.inc("session.frames", 9)
+        snap = registry.snapshot("serve.")
+        assert snap == {"serve.cache.hits": 2}
+
+    def test_reset_prefix(self):
+        registry = MetricsRegistry()
+        registry.inc("session.frames", 5)
+        registry.inc("serve.pool.submitted", 1)
+        registry.reset("session.")
+        assert "session.frames" not in registry
+        assert registry.value("serve.pool.submitted") == 1
+        registry.reset()
+        assert list(registry.names()) == []
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        assert list(registry.names()) == ["a", "b"]
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_rejects_non_registry(self):
+        with pytest.raises(PipelineError):
+            set_registry("nope")

@@ -1,0 +1,248 @@
+"""Tests for span tracing, JSONL export, and trace aggregation."""
+
+import json
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.obs.clock import FakeClock
+from repro.obs.tracer import (
+    KIND_STAGE,
+    KIND_WALL,
+    KIND_WORKER,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
+from repro.obs.report import aggregate, load_jsonl
+
+
+def fake_tracer(start=0.0):
+    clock = FakeClock(start=start)
+    return Tracer(clock=clock), clock
+
+
+class TestSpans:
+    def test_frame_and_nested_wall_spans_are_exact(self):
+        tracer, clock = fake_tracer()
+        with tracer.frame(0) as root:
+            clock.advance(0.010)
+            with tracer.span("decode") as child:
+                clock.advance(0.030)
+        assert root.start == 0.0
+        assert root.end == 0.040
+        assert child.start == 0.010
+        assert child.end == 0.040
+        assert child.duration == 0.030
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert child.kind == KIND_WALL
+
+    def test_frames_do_not_nest(self):
+        tracer, _ = fake_tracer()
+        with tracer.frame(0):
+            with pytest.raises(PipelineError, match="nest"):
+                with tracer.frame(1):
+                    pass
+
+    def test_span_requires_open_frame(self):
+        tracer, _ = fake_tracer()
+        with pytest.raises(PipelineError):
+            with tracer.span("decode"):
+                pass
+
+    def test_record_requires_open_frame(self):
+        tracer, _ = fake_tracer()
+        with pytest.raises(PipelineError):
+            tracer.record("encode", 0.01)
+
+    def test_record_rejects_negative(self):
+        tracer, _ = fake_tracer()
+        with tracer.frame(0):
+            with pytest.raises(PipelineError):
+                tracer.record("encode", -0.01)
+
+    def test_open_span_duration_raises(self):
+        span = Span(trace_id=0, span_id=0, parent_id=None,
+                    name="open", start=0.0)
+        with pytest.raises(PipelineError):
+            span.duration
+
+    def test_recorded_stages_lay_out_sequentially(self):
+        tracer, _ = fake_tracer(start=100.0)
+        with tracer.frame(0):
+            first = tracer.record("encode", 0.020)
+            second = tracer.record("network", 0.015)
+        assert first.start == 100.0
+        assert first.end == 100.020
+        assert second.start == 100.020
+        assert second.end == pytest.approx(100.035)
+        assert first.kind == KIND_STAGE
+
+    def test_stage_totals_reconcile(self):
+        tracer, _ = fake_tracer()
+        with tracer.frame(0) as root:
+            tracer.record("encode", 0.020)
+            tracer.record("network", 0.005)
+            tracer.record("network", 0.003)
+        totals = tracer.stage_totals(root.trace_id)
+        assert totals == {"encode": 0.020, "network": 0.008}
+
+    def test_trace_ids_and_trace(self):
+        tracer, _ = fake_tracer()
+        for index in range(3):
+            with tracer.frame(index):
+                tracer.record("encode", 0.01)
+        ids = tracer.trace_ids()
+        assert len(ids) == 3
+        assert len(tracer.trace(ids[1])) == 2  # root + stage
+
+
+class TestWorkerSpans:
+    def test_reparenting_rebases_timestamps(self):
+        tracer, clock = fake_tracer(start=50.0)
+        records = [
+            {"name": "worker_reconstruct", "start": 1000.0,
+             "end": 1000.2, "worker": 1, "pid": 4242},
+        ]
+        with tracer.frame(0):
+            clock.advance(0.1)
+            with tracer.span("decode") as decode:
+                attached = tracer.attach_worker_spans(records)
+        span = attached[0]
+        # Rebased: the earliest worker reading aligns with the decode
+        # span's start; the raw readings survive as attributes.
+        assert span.start == pytest.approx(decode.start)
+        assert span.end == pytest.approx(decode.start + 0.2)
+        assert span.kind == KIND_WORKER
+        assert span.parent_id == decode.span_id
+        assert span.attributes["foreign_start"] == 1000.0
+        assert span.attributes["worker"] == 1
+
+    def test_empty_records_is_noop(self):
+        tracer, _ = fake_tracer()
+        with tracer.frame(0):
+            assert tracer.attach_worker_spans([]) == []
+
+    def test_requires_open_frame(self):
+        tracer, _ = fake_tracer()
+        with pytest.raises(PipelineError):
+            tracer.attach_worker_spans(
+                [{"name": "x", "start": 0.0, "end": 1.0}]
+            )
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer, _ = fake_tracer()
+        with tracer.frame(0):
+            tracer.record("encode", 0.020)
+        path = tmp_path / "trace.jsonl"
+        count = tracer.export_jsonl(path)
+        assert count == 2
+        spans = load_jsonl(path)
+        assert len(spans) == 2
+        stage = [s for s in spans if s["kind"] == KIND_STAGE][0]
+        assert stage["name"] == "encode"
+        assert stage["duration"] == 0.020
+
+    def test_open_spans_are_not_exported(self):
+        tracer, _ = fake_tracer()
+        with tracer.frame(0):
+            assert tracer.to_jsonl() == ""
+
+    def test_corrupt_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_id": 0}\nnot json\n')
+        with pytest.raises(PipelineError, match=":2:"):
+            load_jsonl(path)
+
+
+class TestAggregate:
+    def _trace(self, per_frame_stages):
+        tracer, _ = fake_tracer()
+        for index, stages in enumerate(per_frame_stages):
+            with tracer.frame(index):
+                for name, seconds in stages.items():
+                    tracer.record(name, seconds)
+        return tracer
+
+    def test_per_stage_stats_exact(self):
+        tracer = self._trace([
+            {"encode": 0.010, "decode": 0.030},
+            {"encode": 0.020, "decode": 0.010},
+        ])
+        report = aggregate(tracer.spans)
+        assert report.frames == 2
+        encode = report.stage("encode")
+        assert encode.frames == 2
+        assert encode.total == pytest.approx(0.030)
+        assert encode.mean == pytest.approx(0.015)
+        assert encode.max == 0.020
+        assert report.end_to_end_max == pytest.approx(0.040)
+
+    def test_critical_path_census(self):
+        tracer = self._trace([
+            {"encode": 0.010, "decode": 0.030},
+            {"encode": 0.020, "decode": 0.010},
+            {"encode": 0.005, "decode": 0.050},
+        ])
+        report = aggregate(tracer.spans)
+        assert report.critical_path() == {"decode": 2, "encode": 1}
+
+    def test_shares_sum_to_one(self):
+        tracer = self._trace([
+            {"encode": 0.010, "network": 0.040, "decode": 0.050},
+        ])
+        report = aggregate(tracer.spans)
+        assert sum(s.share for s in report.stages) == pytest.approx(1.0)
+
+    def test_percentiles_use_nearest_rank(self):
+        # 20 frames of distinct totals: p95 must be element int(0.95*19)
+        # of the sorted list — the SessionSummary convention.
+        frames = [{"decode": 0.001 * (i + 1)} for i in range(20)]
+        report = aggregate(self._trace(frames).spans)
+        assert report.end_to_end_p95 == pytest.approx(0.019)
+        assert report.end_to_end_p50 == pytest.approx(0.010)
+
+    def test_accepts_jsonl_dicts(self, tmp_path):
+        tracer = self._trace([{"encode": 0.010}])
+        path = tmp_path / "t.jsonl"
+        tracer.export_jsonl(path)
+        report = aggregate(load_jsonl(path))
+        assert report.frames == 1
+        assert report.stage("encode").total == 0.010
+
+    def test_wall_and_worker_spans_do_not_count_as_stages(self):
+        tracer, clock = fake_tracer()
+        with tracer.frame(0):
+            with tracer.span("decode_wall"):
+                clock.advance(1.0)
+            tracer.record("decode", 0.030)
+        report = aggregate(tracer.spans)
+        assert [s.name for s in report.stages] == ["decode"]
+        assert report.end_to_end_max == 0.030
+
+    def test_unknown_stage_raises(self):
+        report = aggregate(self._trace([{"encode": 0.01}]).spans)
+        with pytest.raises(PipelineError):
+            report.stage("nope")
+
+    def test_empty_stream(self):
+        report = aggregate([])
+        assert report.frames == 0
+        assert report.stages == []
+        assert report.end_to_end_p95 == float("inf")
+
+
+class TestNullTracer:
+    def test_is_branch_free_no_op(self):
+        with NULL_TRACER.frame(0) as root:
+            assert root is None
+            with NULL_TRACER.span("decode") as span:
+                assert span is None
+            assert NULL_TRACER.record("encode", 0.01) is None
+            assert NULL_TRACER.attach_worker_spans(
+                [{"name": "x", "start": 0, "end": 1}]
+            ) == []
+        assert NULL_TRACER.enabled is False

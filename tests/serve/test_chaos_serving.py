@@ -1,0 +1,177 @@
+"""Chaos x serving: the pooled decode path under network faults.
+
+The resilience chaos suite (tests/core/test_resilience.py) exercises
+loss, outage, and corruption through the *sequential* decode path;
+the serving smoke suite exercises the pool on a clean link.  This
+module combines them: burst loss plus a scripted outage while decode
+reconstruction is offloaded to a worker pool.  The receiver guarantees
+must survive the composition — a surface on screen every frame, all
+content failures concealed rather than crashing the pool — and the
+whole run must trace cleanly (worker spans re-parented under frames,
+exported as the CI chaos artifact when ``REPRO_TRACE_OUT`` is set).
+
+``REPRO_CHAOS_SEED`` sweeps the fault RNG in CI; the guarantees must
+hold for every seed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.body.model import BodyModel
+from repro.body.motion import talking
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.core.concealment import ResilienceConfig
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.session import TelepresenceSession
+from repro.geometry.camera import Intrinsics
+from repro.net.faults import (
+    BitCorruption,
+    FaultPlan,
+    GilbertElliottLoss,
+    ScheduledOutage,
+)
+from repro.net.link import NetworkLink
+from repro.net.trace import BandwidthTrace
+from repro.net.transport import TransportPolicy
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import aggregate, load_jsonl
+from repro.obs.tracer import KIND_WORKER, Tracer
+from repro.serve import ServingConfig
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+FRAMES = 60  # 2 s at 30 FPS; outage window [0.7 s, 1.3 s)
+
+
+def _chaos_link(seed):
+    return NetworkLink(
+        trace=BandwidthTrace.constant(20.0),
+        propagation_delay=0.020,
+        jitter=0.002,
+        policy=TransportPolicy.interactive(),
+        faults=FaultPlan(
+            [
+                GilbertElliottLoss(
+                    p_good_to_bad=0.05,
+                    p_bad_to_good=0.4,
+                    loss_good=0.0,
+                    loss_bad=0.7,
+                ),
+                BitCorruption(rate=0.02),
+                ScheduledOutage.single(0.7, 0.6),
+            ],
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_ds():
+    model = BodyModel(template_resolution=48, template_vertices=2000)
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(96, 72, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    return RGBDSequenceDataset(
+        model=model,
+        motion=talking(n_frames=FRAMES),
+        rig=rig,
+        samples_per_pixel=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_served_run(chaos_ds):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    session = TelepresenceSession(
+        dataset=chaos_ds,
+        # Plain (non-temporal) variant: the temporal decoder carries
+        # receiver state and is deliberately not offloadable, so it
+        # would bypass the pool this module exists to stress.
+        pipeline=KeypointSemanticPipeline(resolution=24),
+        link=_chaos_link(CHAOS_SEED),
+        resilience=ResilienceConfig(),
+        serving=ServingConfig(workers=2),
+        tracer=tracer,
+        metrics=registry,
+    )
+    summary = session.run()
+    return session, summary, tracer, registry
+
+
+class TestChaosThroughPool:
+    def test_surface_every_frame(self, chaos_served_run):
+        session, summary, _, _ = chaos_served_run
+        assert len(session.reports) == FRAMES
+        assert all(
+            r.decoded is not None and r.decoded.surface is not None
+            for r in session.reports
+        )
+        # The chaos plan actually bit: frames were lost and concealed.
+        assert summary.delivery_rate < 1.0
+        assert summary.concealed_rate > 0.0
+
+    def test_content_failures_never_crash_the_pool(
+        self, chaos_served_run
+    ):
+        session, summary, _, registry = chaos_served_run
+        # Corrupted or undecodable frames surface as concealments in
+        # the report stream, not ServingErrors out of session.run().
+        assert registry.value("session.frames") == FRAMES
+        assert registry.value("session.concealed") == round(
+            summary.concealed_rate * FRAMES
+        )
+        assert registry.value("serve.pool.worker_deaths",
+                              default=0) == 0
+
+    def test_engine_and_session_accounting_agree(
+        self, chaos_served_run
+    ):
+        _, summary, _, registry = chaos_served_run
+        delivered = registry.value("session.delivered")
+        assert delivered == round(summary.delivery_rate * FRAMES)
+        # Every delivered frame that decoded was served through the
+        # engine: by a worker, inline, or out of the mesh cache.
+        # (Corrupted arrivals fail before reaching a decoder.)
+        served = (
+            registry.value("serve.engine.offloaded", default=0)
+            + registry.value("serve.engine.inline_decodes", default=0)
+        )
+        failures = registry.value("session.decode_failures",
+                                  default=0)
+        assert served >= delivered - failures
+        assert registry.value("serve.engine.offloaded", default=0) > 0
+
+    def test_worker_spans_survive_the_chaos(self, chaos_served_run):
+        _, _, tracer, _ = chaos_served_run
+        workers = [
+            s for s in tracer.spans if s.kind == KIND_WORKER
+        ]
+        assert workers, "no pooled reconstructions were traced"
+        pids = {s.attributes["pid"] for s in workers}
+        assert os.getpid() not in pids
+
+    def test_trace_exports_as_ci_artifact(self, chaos_served_run,
+                                          tmp_path):
+        """Writes the JSONL artifact CI uploads.  ``REPRO_TRACE_OUT``
+        overrides the destination so the workflow can collect it."""
+        _, _, tracer, _ = chaos_served_run
+        out = os.environ.get("REPRO_TRACE_OUT")
+        path = out if out else tmp_path / "chaos_trace.jsonl"
+        count = tracer.export_jsonl(path)
+        assert count == sum(
+            1 for s in tracer.spans if s.end is not None
+        )
+        rows = load_jsonl(path)
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)  # every line is standalone JSON
+        report = aggregate(rows)
+        assert report.frames == FRAMES
+        assert report.critical_path()  # at least one dominant stage

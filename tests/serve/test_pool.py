@@ -6,6 +6,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.obs.clock import monotonic
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.body.motion import talking
 from repro.errors import PipelineError, ServingError
@@ -187,8 +188,8 @@ class TestSharedMemoryHygiene:
         job = pool.submit("s", 0, pose=poses[0], resolution=32)
         # Let the worker finish and flush the shared-memory reply
         # without ever calling result().
-        deadline = time.monotonic() + 30.0
-        while time.monotonic() < deadline and \
+        deadline = monotonic() + 30.0
+        while monotonic() < deadline and \
                 pool._responses.empty():
             time.sleep(0.05)
         pool.close()
