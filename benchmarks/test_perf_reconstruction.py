@@ -33,6 +33,8 @@ from repro.bench.harness import ExperimentTable, safe_rate
 from repro.bench.results import BenchRecord, current_commit, write_records
 from repro.body.motion import talking
 from repro.body.pose import BodyPose
+from repro.geometry.capsule_kernel import kernel_available
+from repro.geometry.sdf import FusedCapsuleUnion, evaluate_batch
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / \
     "BENCH_reconstruction.json"
@@ -164,6 +166,127 @@ def test_perf_reconstruction_sweep(perf_sweep, benchmark):
             f"fused+warm only {speedup:.2f}x faster than the reference "
             f"closure chain at resolution {resolution}"
         )
+    register(benchmark, table.render)
+
+
+# --- batched kernel throughput ------------------------------------
+
+# Ragged per-problem point counts are kept small on purpose: with a
+# handful of thousands of points per problem the per-call fixed cost
+# (FFI crossing, argument marshalling, output allocation) is a visible
+# fraction of the work, which is exactly what cross-stream batching
+# amortizes.  The serving pool's coalesced dispatches look like this —
+# many medium refinement-level queries, not one giant grid.
+BATCH_SIZES = (1, 8, 64)
+N_PROBLEMS = 64
+BATCH_REPEATS = 3 if os.environ.get("REPRO_BENCH_QUICK") else 5
+BATCH_LATTICE = 256  # resolution whose extraction lattice we sample
+
+
+def _batch_problems(rng, backend):
+    """N_PROBLEMS pose-derived fused fields with ragged query sets."""
+    axis = np.linspace(-1.0, 1.0, BATCH_LATTICE)
+    problems = []
+    for _ in range(N_PROBLEMS):
+        pose = BodyPose.random(rng=rng, scale=0.5)
+        fld = PosedBodyField(pose=pose, fused=True)
+        base = fld._base_sdf
+        fused = FusedCapsuleUnion(
+            heads=base._a,
+            tails=base._b,
+            radii_head=base._ra,
+            radii_tail=base._rb,
+            blend=base.blend,
+            ellipsoid_center=base._ell_center,
+            ellipsoid_radii=base._ell_radii,
+            backend=backend,
+        )
+        count = int(rng.integers(256, 1025))
+        ijk = rng.integers(0, BATCH_LATTICE, size=(count, 3))
+        problems.append((fused, axis[ijk]))
+    return problems
+
+
+def _time_batched(problems, batch_size):
+    """Best-of-N seconds to evaluate every problem in ``batch_size``
+    chunks through :func:`evaluate_batch`."""
+    best = float("inf")
+    for _ in range(BATCH_REPEATS):
+        start = perf_counter()
+        for i in range(0, len(problems), batch_size):
+            evaluate_batch(problems[i:i + batch_size])
+        best = min(best, perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def batch_sweep():
+    rng = np.random.default_rng(21)
+    backends = ["numpy"] + (["c"] if kernel_available() else [])
+    sweep = {}
+    for backend in backends:
+        problems = _batch_problems(rng, backend)
+        evaluations = sum(len(p) for _, p in problems)
+        timings = {
+            b: _time_batched(problems, b) for b in BATCH_SIZES
+        }
+        # Exactness first: a throughput number for a wrong answer is
+        # worthless.  Batched output must be bit-identical to solo.
+        solo = [fn(p) for fn, p in problems]
+        batched = evaluate_batch(problems)
+        for want, got in zip(solo, batched):
+            assert np.array_equal(want, got)
+        sweep[backend] = {
+            "timings": timings,
+            "evaluations": evaluations,
+        }
+    return sweep
+
+
+def test_perf_batched_kernel_throughput(batch_sweep, benchmark):
+    """Evaluations/sec through the ragged batch API at batch sizes
+    1/8/64 on both backends, persisted to BENCH_reconstruction.json.
+    On the C backend, batching must amortize per-call overhead:
+    throughput at batch 8 and 64 must be >= the batch-1 (solo) rate."""
+    commit = current_commit()
+    table = ExperimentTable(
+        title="Perf — batched capsule kernel (evaluations/sec)",
+        columns=["backend"] + [f"batch {b}" for b in BATCH_SIZES],
+        paper_note=(
+            "ragged cross-stream batches; amortized FFI/dispatch cost"
+        ),
+    )
+    records = []
+    for backend, run in batch_sweep.items():
+        evaluations = run["evaluations"]
+        rates = {
+            b: evaluations / run["timings"][b] for b in BATCH_SIZES
+        }
+        for b in BATCH_SIZES:
+            records.append(
+                BenchRecord(
+                    workload=f"kernel-evals-{backend}-b{b}",
+                    resolution=BATCH_LATTICE,
+                    seconds=run["timings"][b],
+                    evaluations=evaluations,
+                    commit=commit,
+                )
+            )
+        table.add_row(
+            backend,
+            *(f"{rates[b]:,.0f}" for b in BATCH_SIZES),
+        )
+    table.show()
+    write_records(BENCH_PATH, records)
+
+    if "c" in batch_sweep:
+        run = batch_sweep["c"]
+        for b in (8, 64):
+            assert run["timings"][b] <= run["timings"][1], (
+                f"C batched throughput at batch {b} fell below the "
+                f"solo rate: {run['timings'][b]:.4f}s vs "
+                f"{run['timings'][1]:.4f}s for the same work"
+            )
     register(benchmark, table.render)
 
 

@@ -117,21 +117,39 @@ class PosedBodyField:
         stacked = np.vstack(anchors)
         return stacked.min(axis=0) - margin, stacked.max(axis=0) + margin
 
-    def __call__(self, points: np.ndarray) -> np.ndarray:
-        """Signed distance at world ``points`` (N, 3)."""
-        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        if points.ndim != 2 or points.shape[1] != 3:
-            raise GeometryError("query points must be (N, 3)")
+    def _warp(self, points: np.ndarray) -> np.ndarray:
+        """Inverse-warp queries by the expression displacement evaluated
+        in the head's rest frame, so expression geometry survives the
+        implicit representation.  First-order warp: d(x - D(x)) ~ d(x).
+        Identity (the same array) when no expression is active."""
         if not self._has_expression:
-            return self._base_sdf(points)
-        # Inverse-warp queries by the expression displacement evaluated
-        # in the head's rest frame, so expression geometry survives the
-        # implicit representation.  First-order warp: d(x - D(x)) ~ d(x).
+            return points
         rest_anchor = rest_joint_positions()[JOINT_INDEX["head"]]
         local = apply_rigid(self._head_transform_inverse, points) + rest_anchor
         displacement = expression_displacement(
             local, self.expression.coefficients
         )
         head_rotation = self._head_transform_inverse[:3, :3].T
-        warped = points - displacement @ head_rotation.T
-        return self._base_sdf(warped)
+        return points - displacement @ head_rotation.T
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance at world ``points`` (N, 3)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise GeometryError("query points must be (N, 3)")
+        return self._base_sdf(self._warp(points))
+
+    def kernel_problem(self, points: np.ndarray):
+        """This field's query as a batchable ``(fused_sdf, points)``
+        problem for :func:`repro.geometry.sdf.evaluate_batch` — the
+        expression warp is applied here so the packed problem is
+        exactly the arithmetic :meth:`__call__` would run.  ``None``
+        when the field is not fused-kernel-backed."""
+        from repro.geometry.sdf import FusedCapsuleUnion
+
+        if not isinstance(self._base_sdf, FusedCapsuleUnion):
+            return None
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise GeometryError("query points must be (N, 3)")
+        return self._base_sdf, self._warp(points)

@@ -102,6 +102,16 @@ class KeypointMeshReconstructor:
     warm_start: bool = True
     max_seed_dilation: int = 3
 
+    # Serving seam: when set, each frame's PosedBodyField is passed
+    # through this callable and the *returned* SDF is what extraction
+    # evaluates.  The reconstruction pool uses it to route field
+    # queries through a cross-stream batching proxy; the proxy must be
+    # arithmetic-transparent (same values as the raw field) or the
+    # output mesh changes.
+    field_hook: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     _prev_stats: Optional[ExtractionStats] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -167,9 +177,12 @@ class KeypointMeshReconstructor:
         if self.warm_start:
             seeds = self._seed_from_previous(lo, hi, anchors, expr_key)
 
+        fld_eval = (
+            fld if self.field_hook is None else self.field_hook(fld)
+        )
         stats = ExtractionStats()
         mesh = extract_surface(
-            fld,
+            fld_eval,
             (lo, hi),
             self.resolution,
             seed_cells=seeds,
@@ -182,7 +195,7 @@ class KeypointMeshReconstructor:
             # dilation bound, but never trade a frame for the shortcut).
             stats = ExtractionStats()
             mesh = extract_surface(
-                fld, (lo, hi), self.resolution, stats=stats
+                fld_eval, (lo, hi), self.resolution, stats=stats
             )
             evaluations += stats.field_evaluations
             warm = False

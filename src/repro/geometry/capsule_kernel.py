@@ -9,9 +9,27 @@ contraction off), so the two backends agree to machine precision and
 either can stand in for the other — machines without a toolchain simply
 fall back to NumPy.
 
+The library exports two entry points sharing one per-problem evaluator:
+
+* ``capsule_union_sdf`` — one (primitive set, query points) problem,
+  the original single-problem call.
+* ``capsule_union_sdf_batch`` — a ragged batch of independent problems
+  in a single call.  Per-problem primitive counts and point counts are
+  described by offset arrays (problem ``b`` owns points
+  ``pts_off[b]:pts_off[b+1]`` and primitives
+  ``prim_off[b]:prim_off[b+1]``), and problems are fanned across
+  POSIX threads when more than one core is available.  Because every
+  problem runs the identical per-problem evaluator and writes a
+  disjoint output slice, batched results are bit-identical to the
+  equivalent sequence of solo calls regardless of thread scheduling.
+
 The compiled library is cached in a per-user temp directory keyed by a
 hash of the source, so the cost of compilation is paid once per source
-revision.  Set ``REPRO_DISABLE_C_KERNEL=1`` to force the NumPy backend.
+revision.  A failed build is cached (with a one-line warning) so no
+process retries the compiler on every call; set
+``REPRO_DISABLE_C_KERNEL=1`` to force the NumPy backend — the variable
+is consulted on every lookup, so it is honored even after a successful
+earlier load.
 """
 
 from __future__ import annotations
@@ -22,14 +40,23 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["compiled_capsule_kernel", "kernel_available"]
+__all__ = [
+    "CapsuleKernel",
+    "batch_threads",
+    "compiled_capsule_kernel",
+    "kernel_available",
+    "reset_kernel_cache",
+]
 
 _SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
+#include <pthread.h>
 
 /* Fused rounded-cone capsule union with a polynomial smooth-min fold.
 
@@ -38,8 +65,13 @@ _SOURCE = r"""
    operation for operation, so results match to ~1 ulp.  A cheap
    squared-distance bound skips the exact distance (and the fold step)
    for primitives that are provably further than the blend radius above
-   the running minimum -- such steps are exact no-ops in the fold.  */
-void capsule_union_sdf(
+   the running minimum -- such steps are exact no-ops in the fold.
+
+   eval_problem is the one evaluator both entry points share: the solo
+   call wraps it directly and the ragged batch call loops (or threads)
+   over per-problem slices, so batched output is bit-identical to the
+   equivalent sequence of solo calls.  */
+static void eval_problem(
     const double *pts, int64_t n,
     const double *a, const double *ab, const double *denom,
     const double *ra, const double *dr, const double *rmax,
@@ -110,11 +142,109 @@ void capsule_union_sdf(
         out[i] = acc;
     }
 }
+
+void capsule_union_sdf(
+    const double *pts, int64_t n,
+    const double *a, const double *ab, const double *denom,
+    const double *ra, const double *dr, const double *rmax,
+    int64_t k_prims,
+    const double *ell_center, const double *ell_radii, int has_ell,
+    double kb, double *out)
+{
+    eval_problem(pts, n, a, ab, denom, ra, dr, rmax, k_prims,
+                 ell_center, ell_radii, has_ell, kb, out);
+}
+
+/* Ragged batch: problem b owns query points pts_off[b]:pts_off[b+1]
+   (rows of pts / out) and primitives prim_off[b]:prim_off[b+1] (rows
+   of a / ab / denom / ra / dr / rmax); ell_center / ell_radii /
+   has_ell / kb are indexed per problem.  Output slices are disjoint,
+   so the strided thread partition below is race-free and the result
+   is independent of scheduling. */
+typedef struct {
+    const double *pts; const int64_t *pts_off;
+    const double *a; const double *ab; const double *denom;
+    const double *ra; const double *dr; const double *rmax;
+    const int64_t *prim_off;
+    const double *ell_center; const double *ell_radii;
+    const int32_t *has_ell; const double *kb;
+    int64_t n_problems; double *out;
+    int64_t first; int64_t stride;
+} batch_slice;
+
+static void *run_batch_slice(void *arg)
+{
+    batch_slice *s = (batch_slice *)arg;
+    for (int64_t b = s->first; b < s->n_problems; b += s->stride) {
+        int64_t p0 = s->pts_off[b], p1 = s->pts_off[b + 1];
+        int64_t k0 = s->prim_off[b], k1 = s->prim_off[b + 1];
+        eval_problem(s->pts + 3 * p0, p1 - p0,
+                     s->a + 3 * k0, s->ab + 3 * k0, s->denom + k0,
+                     s->ra + k0, s->dr + k0, s->rmax + k0, k1 - k0,
+                     s->ell_center + 3 * b, s->ell_radii + 3 * b,
+                     (int)s->has_ell[b], s->kb[b], s->out + p0);
+    }
+    return 0;
+}
+
+void capsule_union_sdf_batch(
+    const double *pts, const int64_t *pts_off,
+    const double *a, const double *ab, const double *denom,
+    const double *ra, const double *dr, const double *rmax,
+    const int64_t *prim_off,
+    const double *ell_center, const double *ell_radii,
+    const int32_t *has_ell, const double *kb,
+    int64_t n_problems, int32_t n_threads, double *out)
+{
+    if (n_problems <= 0) return;
+    int64_t workers = n_threads;
+    if (workers > n_problems) workers = n_problems;
+    if (workers <= 1) {
+        batch_slice s = {pts, pts_off, a, ab, denom, ra, dr, rmax,
+                         prim_off, ell_center, ell_radii, has_ell, kb,
+                         n_problems, out, 0, 1};
+        run_batch_slice(&s);
+        return;
+    }
+    enum { MAX_THREADS = 64 };
+    if (workers > MAX_THREADS) workers = MAX_THREADS;
+    pthread_t threads[MAX_THREADS];
+    batch_slice slices[MAX_THREADS];
+    int64_t spawned = 0;
+    for (int64_t w = 0; w < workers; ++w) {
+        slices[w] = (batch_slice){pts, pts_off, a, ab, denom, ra, dr,
+                                  rmax, prim_off, ell_center, ell_radii,
+                                  has_ell, kb, n_problems, out,
+                                  w, workers};
+        if (w == workers - 1 ||
+            pthread_create(&threads[w], 0, run_batch_slice,
+                           &slices[w]) != 0) {
+            /* Last slice (and any failed spawn) runs inline. */
+            run_batch_slice(&slices[w]);
+            break;
+        }
+        spawned += 1;
+    }
+    for (int64_t w = 0; w < spawned; ++w)
+        pthread_join(threads[w], 0);
+}
 """
 
-# Tri-state cache: None = not yet attempted, False = unavailable,
-# otherwise the loaded ctypes function.
-_KERNEL: Optional[object] = None
+
+@dataclass(frozen=True)
+class CapsuleKernel:
+    """The compiled entry points: ``solo`` (one problem per call) and
+    ``batch`` (ragged multi-problem call); ``batch`` is None when the
+    loaded library predates batching."""
+
+    solo: object
+    batch: Optional[object] = None
+
+
+# Tri-state cache: None = not yet attempted, False-y = unavailable
+# (negative result cached so a missing toolchain is probed only once
+# per process), otherwise the loaded CapsuleKernel.
+_KERNEL: Optional[CapsuleKernel] = None
 _ATTEMPTED = False
 
 
@@ -129,7 +259,7 @@ def _cache_dir(digest: str) -> Path:
     return Path(tempfile.gettempdir()) / f"repro-kernels-{user}" / digest
 
 
-def _build() -> Optional[object]:
+def _build() -> Optional[CapsuleKernel]:
     """Compile (or reuse) the shared library; None when impossible."""
     digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
     directory = _cache_dir(digest)
@@ -144,7 +274,8 @@ def _build() -> Optional[object]:
             subprocess.run(
                 [
                     compiler, "-O2", "-shared", "-fPIC",
-                    "-ffp-contract=off", "-o", str(tmp), str(src), "-lm",
+                    "-ffp-contract=off", "-o", str(tmp), str(src),
+                    "-lm", "-lpthread",
                 ],
                 check=True,
                 capture_output=True,
@@ -155,10 +286,12 @@ def _build() -> Optional[object]:
             return None
     try:
         lib = ctypes.CDLL(str(lib_path))
-        fn = lib.capsule_union_sdf
-        fn.restype = None
         double_p = ctypes.POINTER(ctypes.c_double)
-        fn.argtypes = [
+        int64_p = ctypes.POINTER(ctypes.c_int64)
+        int32_p = ctypes.POINTER(ctypes.c_int32)
+        solo = lib.capsule_union_sdf
+        solo.restype = None
+        solo.argtypes = [
             double_p, ctypes.c_int64,  # points, n
             double_p, double_p, double_p,  # a, ab, denom
             double_p, double_p, double_p,  # ra, dr, rmax
@@ -166,22 +299,75 @@ def _build() -> Optional[object]:
             double_p, double_p, ctypes.c_int,  # ellipsoid
             ctypes.c_double, double_p,  # blend, out
         ]
-        return fn
+        try:
+            batch = lib.capsule_union_sdf_batch
+            batch.restype = None
+            batch.argtypes = [
+                double_p, int64_p,  # points, point offsets
+                double_p, double_p, double_p,  # a, ab, denom
+                double_p, double_p, double_p,  # ra, dr, rmax
+                int64_p,  # primitive offsets
+                double_p, double_p, int32_p,  # ellipsoids, has_ell
+                double_p,  # blend per problem
+                ctypes.c_int64, ctypes.c_int32,  # n_problems, threads
+                double_p,  # out
+            ]
+        except AttributeError:  # pragma: no cover - stale library
+            batch = None
+        return CapsuleKernel(solo=solo, batch=batch)
     except Exception:
         return None
 
 
-def compiled_capsule_kernel() -> Optional[object]:
-    """The compiled kernel function, or None when unavailable."""
+def compiled_capsule_kernel() -> Optional[CapsuleKernel]:
+    """The compiled kernel entry points, or None when unavailable.
+
+    The build (or the discovery that no toolchain exists) happens at
+    most once per process; ``REPRO_DISABLE_C_KERNEL`` is re-read on
+    every call, so flipping it mid-process takes effect immediately —
+    including after a successful earlier load.
+    """
     global _KERNEL, _ATTEMPTED
     if os.environ.get("REPRO_DISABLE_C_KERNEL"):
         return None
     if not _ATTEMPTED:
         _ATTEMPTED = True
         _KERNEL = _build()
+        if _KERNEL is None:
+            warnings.warn(
+                "C capsule kernel build failed; using the NumPy "
+                "backend for this process (negative result cached)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return _KERNEL
 
 
 def kernel_available() -> bool:
     """Whether the compiled backend can be used on this machine."""
     return compiled_capsule_kernel() is not None
+
+
+def batch_threads() -> int:
+    """Worker threads for one batched kernel call.
+
+    ``REPRO_BATCH_THREADS`` overrides; the default is the visible CPU
+    count (1 on single-core boxes, where the batch call degrades to an
+    in-thread loop with zero spawn cost).
+    """
+    override = os.environ.get("REPRO_BATCH_THREADS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def reset_kernel_cache() -> None:
+    """Forget the cached build outcome (tests only — the whole point
+    of the cache is that production processes probe the toolchain
+    exactly once)."""
+    global _KERNEL, _ATTEMPTED
+    _KERNEL = None
+    _ATTEMPTED = False

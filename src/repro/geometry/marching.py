@@ -59,7 +59,13 @@ class ExtractionStats:
 
 
 class _CountingSDF:
-    """Wrap an SDF callable, counting how many points it evaluates."""
+    """Wrap an SDF callable, counting how many points it evaluates.
+
+    The wrapped callable may itself be a batching proxy (the serving
+    pool's cross-stream coalescer): the count is taken from the points
+    handed in *here*, before any batching, so ``field_evaluations``
+    stays exact no matter how the downstream evaluation is grouped.
+    """
 
     def __init__(self, sdf: Callable[[np.ndarray], np.ndarray]):
         self._sdf = sdf
@@ -68,6 +74,36 @@ class _CountingSDF:
     def __call__(self, points: np.ndarray) -> np.ndarray:
         self.count += len(points)
         return self._sdf(points)
+
+
+class _QueryScratch:
+    """Reusable buffers for the per-level corner queries.
+
+    A coarse-to-fine extraction calls :func:`_evaluate_corners` once
+    per refinement level, and each call used to allocate a fresh
+    query-point array (and, on the dense-dedup branch, a full scratch
+    volume).  One scratch instance per extraction grows geometrically
+    to the largest level and is reused by every later pass.  Scratch
+    views hand out the *same memory*, so callers must consume a view
+    before requesting the next one — which the level-by-level cascade
+    does by construction.
+    """
+
+    def __init__(self) -> None:
+        self._points = np.empty((0, 3))
+        self._dense = np.empty(0)
+
+    def points(self, n: int) -> np.ndarray:
+        """An uninitialised (n, 3) float64 view."""
+        if len(self._points) < n:
+            self._points = np.empty((max(n, 2 * len(self._points)), 3))
+        return self._points[:n]
+
+    def dense(self, n: int) -> np.ndarray:
+        """An uninitialised (n,) float64 view."""
+        if len(self._dense) < n:
+            self._dense = np.empty(max(n, 2 * len(self._dense)))
+        return self._dense[:n]
 
 # Cube corner offsets, corner c = (x, y, z) bit pattern.
 _CUBE_CORNERS = np.array(
@@ -229,6 +265,7 @@ def extract_surface(
     hi = lo + extent
 
     counting = _CountingSDF(sdf)
+    scratch = _QueryScratch()
     if resolution <= dense_threshold:
         mesh, surface_cells = _extract_dense(
             counting, lo, extent, resolution, iso
@@ -236,12 +273,13 @@ def extract_surface(
         warm = False
     elif seed_cells is not None and len(seed_cells):
         mesh, surface_cells = _extract_seeded(
-            counting, lo, extent, resolution, iso, seed_cells
+            counting, lo, extent, resolution, iso, seed_cells, scratch
         )
         warm = True
     else:
         mesh, surface_cells = _extract_sparse(
-            counting, lo, extent, resolution, iso, base_resolution
+            counting, lo, extent, resolution, iso, base_resolution,
+            scratch
         )
         warm = False
 
@@ -360,6 +398,7 @@ def _extract_seeded(
     resolution: int,
     iso: float,
     seed_cells: np.ndarray,
+    scratch: Optional[_QueryScratch] = None,
 ) -> tuple:
     """Finest-level-only extraction over caller-provided candidate cells."""
     spacing = extent / resolution
@@ -390,7 +429,7 @@ def _extract_seeded(
         axis=1,
     )
     corner_values = _evaluate_corners(
-        sdf, cells, lo, spacing, resolution + 1
+        sdf, cells, lo, spacing, resolution + 1, scratch
     )
     cells, corner_values = _active_cells(cells, corner_values, iso, 0.0)
     grid_shape = np.array([resolution + 1] * 3)
@@ -405,6 +444,7 @@ def _extract_sparse(
     resolution: int,
     iso: float,
     base_resolution: int,
+    scratch: Optional[_QueryScratch] = None,
 ) -> tuple:
     # Build the level schedule: base, base*2, ..., resolution.  The
     # finest level must be an exact power-of-two multiple of the base.
@@ -437,7 +477,7 @@ def _extract_sparse(
         # Subdivide each active cell into its 8 children.
         children = (cells[:, None, :] * 2 + _CUBE_CORNERS[None]).reshape(-1, 3)
         corner_values = _evaluate_corners(
-            sdf, children, lo, spacing, level + 1
+            sdf, children, lo, spacing, level + 1, scratch
         )
         keep_margin = level != levels[-1]
         cells, corner_values = _active_cells(
@@ -463,7 +503,8 @@ _DENSE_DEDUP_LIMIT = 24_000_000
 
 
 def _evaluate_corners(
-    sdf, cells: np.ndarray, lo: np.ndarray, spacing: float, n_corners: int
+    sdf, cells: np.ndarray, lo: np.ndarray, spacing: float,
+    n_corners: int, scratch: Optional[_QueryScratch] = None,
 ) -> np.ndarray:
     """Evaluate the SDF at the 8 corners of each cell, deduplicated.
 
@@ -472,6 +513,15 @@ def _evaluate_corners(
     order, so they are interchangeable: a scatter/gather through a
     dense scratch array over the cells' bounding box when that fits
     comfortably in memory, and a sort-based ``np.unique`` otherwise.
+
+    With a ``scratch``, the query-point array (and the dense gather
+    volume) live in reused buffers instead of fresh allocations each
+    refinement level.  The points are built in place as
+    ``copy; += bbox; *= spacing; += lo``, which is bit-identical to
+    the direct expression ``lo + (coords + bbox) * spacing``: the
+    integer-valued float64 additions are exact below 2**53 and IEEE
+    addition is commutative, so only the allocations change, never a
+    single output bit.
     """
     bbox_lo = cells.min(axis=0)
     shape = cells.max(axis=0) - bbox_lo + 2  # corner grid of the bbox
@@ -490,8 +540,21 @@ def _evaluate_corners(
         mask = np.zeros(int(shape.prod()), dtype=bool)
         mask[flat.ravel()] = True
         corner_local = np.argwhere(mask.reshape(tuple(shape)))
-        values = sdf(lo + (corner_local + bbox_lo) * spacing)
-        dense = np.empty(int(shape.prod()))
+        points = (
+            scratch.points(len(corner_local))
+            if scratch is not None
+            else np.empty((len(corner_local), 3))
+        )
+        points[:] = corner_local
+        points += bbox_lo
+        points *= spacing
+        points += lo
+        values = sdf(points)
+        dense = (
+            scratch.dense(int(shape.prod()))
+            if scratch is not None
+            else np.empty(int(shape.prod()))
+        )
         dense[mask] = values
         return dense[flat]
     n = n_corners
@@ -504,12 +567,18 @@ def _evaluate_corners(
     ).astype(dtype)
     linear = (base[:, None] + offsets[None, :]).ravel()
     unique, inverse = np.unique(linear, return_inverse=True)
-    coords = np.empty((len(unique), 3))
+    coords = (
+        scratch.points(len(unique))
+        if scratch is not None
+        else np.empty((len(unique), 3))
+    )
     coords[:, 0] = unique // (n * n)
     rem = unique % (n * n)
     coords[:, 1] = rem // n
     coords[:, 2] = rem % n
-    unique_values = sdf(lo + coords * spacing)
+    coords *= spacing
+    coords += lo
+    unique_values = sdf(coords)
     return unique_values[inverse].reshape(-1, 8)
 
 def _active_cells(

@@ -38,6 +38,14 @@ class ServingConfig:
         start_method: ``multiprocessing`` start method (``None`` =
             platform default; Linux forks, which is what keeps worker
             startup cheap enough to build a pool per session run).
+        coalesce: let workers batch compatible queued jobs of
+            different streams into one cross-stream kernel dispatch
+            (byte-identical output; see
+            :class:`repro.serve.pool.ReconstructionPool`).
+        coalesce_window: seconds a worker waits for additional
+            compatible jobs after receiving one (0 = batch only the
+            existing backlog, adding no latency).
+        max_batch: most jobs one coalesced dispatch may hold.
     """
 
     workers: int = 2
@@ -46,6 +54,9 @@ class ServingConfig:
     cache_bits: int = 12
     job_timeout: float = 300.0
     start_method: Optional[str] = None
+    coalesce: bool = True
+    coalesce_window: float = 0.0
+    max_batch: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -56,3 +67,7 @@ class ServingConfig:
             raise PipelineError("cache_bits must be in [1, 31]")
         if self.job_timeout <= 0:
             raise PipelineError("job_timeout must be positive")
+        if self.coalesce_window < 0:
+            raise PipelineError("coalesce_window must be >= 0")
+        if self.max_batch < 1:
+            raise PipelineError("max_batch must be >= 1")

@@ -104,6 +104,9 @@ class ServingEngine:
                 job_timeout=config.job_timeout,
                 start_method=config.start_method,
                 registry=self.metrics,
+                coalesce=config.coalesce,
+                coalesce_window=config.coalesce_window,
+                max_batch=config.max_batch,
             )
             if config.workers >= 1
             else None

@@ -26,12 +26,28 @@ throughput:
   re-seeds), and every shared-memory segment a worker produced is
   copied-or-unlinked exactly once — including results that arrive
   after their job was abandoned by a timeout or ``close``.
+* **Cross-stream batching.**  When several *different* streams with
+  the same reconstructor config are queued on one worker, the worker
+  coalesces them (up to ``max_batch``, waiting at most
+  ``coalesce_window`` seconds for stragglers) and reconstructs them
+  together: each job runs in its own thread, and a combining barrier
+  (:class:`_FieldBatchCoordinator`) merges the concurrent implicit-
+  field queries into single ragged calls through
+  :func:`repro.geometry.sdf.evaluate_batch`, amortizing per-call
+  kernel overhead across streams.  Every stream still runs its own
+  solo arithmetic — the batch only changes *when* kernel invocations
+  happen — so coalesced meshes are byte-identical to uncoalesced
+  ones, and per-stream FIFO order is preserved (two jobs of one
+  stream never share a batch; a control message or incompatible job
+  pulled during collection is stashed and handled right after the
+  batch, never before it).
 """
 
 from __future__ import annotations
 
 import os
 import queue
+import threading
 import time
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -53,6 +69,10 @@ __all__ = ["PoolResult", "ReconstructionPool"]
 _VERTEX_BYTES = 24  # 3 × float64
 _FACE_BYTES = 24    # 3 × int64
 
+# serve.pool.batch.size histogram bounds: powers of two around the
+# default max_batch, so bucket counts read directly as batch sizes.
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
 
 @dataclass
 class PoolResult:
@@ -72,6 +92,8 @@ class PoolResult:
         spans: worker-side span records (name/start/end in the worker's
             clock domain, plus worker identity) for re-parenting under
             the consuming frame's trace.
+        batch_size: how many stream jobs shared the worker dispatch
+            that produced this result (1 = solo, no coalescing).
     """
 
     mesh: TriangleMesh
@@ -81,17 +103,336 @@ class PoolResult:
     warm_started: bool
     worker: int
     spans: Tuple[Dict[str, object], ...] = ()
+    batch_size: int = 1
 
 
-def _worker_main(worker_id: int, requests, responses) -> None:
+class _FieldBatchCoordinator:
+    """Combining barrier that merges concurrent field queries.
+
+    ``parties`` reconstruction threads run one coalesced batch.  Each
+    thread's implicit-field evaluation lands here as a ``(sdf,
+    points)`` problem and blocks; once every thread still working has
+    a problem parked (threads that finished their whole job ``leave``
+    and stop being counted), the last arrival executes all parked
+    problems as one :func:`repro.geometry.sdf.evaluate_batch` call and
+    wakes the others.  Each problem keeps its own solo arithmetic, so
+    values are bit-identical to unbatched evaluation; only the FFI
+    crossings are shared.
+    """
+
+    def __init__(self, parties: int) -> None:
+        self._cond = threading.Condition()
+        self._active = parties
+        self._waiting: List[_BatchSlot] = []
+
+    def evaluate(self, problem) -> np.ndarray:
+        slot = _BatchSlot(problem)
+        with self._cond:
+            self._waiting.append(slot)
+            if len(self._waiting) >= self._active:
+                self._flush_locked()
+            else:
+                self._cond.wait_for(lambda: slot.done)
+        if slot.error is not None:
+            raise slot.error
+        return slot.value
+
+    def leave(self) -> None:
+        """A thread finished its job: stop waiting on it.  If every
+        remaining thread is already parked, the batch flushes now."""
+        with self._cond:
+            self._active -= 1
+            if self._waiting and len(self._waiting) >= self._active:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        from repro.geometry.sdf import evaluate_batch
+
+        slots, self._waiting = self._waiting, []
+        try:
+            values = evaluate_batch([s.problem for s in slots])
+            for slot, value in zip(slots, values):
+                slot.value = value
+                slot.done = True
+        except Exception as exc:  # pragma: no cover - defensive
+            for slot in slots:
+                slot.error = exc
+                slot.done = True
+        self._cond.notify_all()
+
+
+class _BatchSlot:
+    __slots__ = ("problem", "value", "error", "done")
+
+    def __init__(self, problem) -> None:
+        self.problem = problem
+        self.value = None
+        self.error = None
+        self.done = False
+
+
+class _BatchedField:
+    """Arithmetic-transparent SDF proxy installed as the
+    reconstructor's ``field_hook`` during coalesced execution: queries
+    go through the batch coordinator (pre-warped into a packable
+    kernel problem when the field supports it) instead of straight to
+    the field."""
+
+    def __init__(self, coordinator: _FieldBatchCoordinator, fld) -> None:
+        self._coordinator = coordinator
+        self._fld = fld
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        problem = None
+        kernel_problem = getattr(self._fld, "kernel_problem", None)
+        if kernel_problem is not None:
+            problem = kernel_problem(points)
+        if problem is None:
+            problem = (self._fld, points)
+        return self._coordinator.evaluate(problem)
+
+
+def _worker_main(
+    worker_id: int,
+    requests,
+    responses,
+    coalesce: bool = False,
+    coalesce_window: float = 0.0,
+    max_batch: int = 1,
+) -> None:
     """Worker loop: per-stream reconstructors keyed for warm-start."""
     # Imported here so the module stays importable without triggering
     # the avatar stack at parent import time.
     from repro.avatar.reconstructor import KeypointMeshReconstructor
 
     reconstructors: Dict[str, Tuple[tuple, object]] = {}
+
+    def get_reconstructor(stream, config):
+        held = reconstructors.get(stream)
+        if held is None or held[0] != config:
+            resolution, expression_channels, blend = config
+            held = (
+                config,
+                KeypointMeshReconstructor(
+                    resolution=resolution,
+                    expression_channels=expression_channels,
+                    blend=blend,
+                ),
+            )
+            reconstructors[stream] = held
+        return held[1]
+
+    def decode_params(pose_blob, shape_blob, expr_blob):
+        pose = BodyPose.from_flat(
+            np.frombuffer(pose_blob, dtype="<f8")
+        )
+        shape = (
+            None
+            if shape_blob is None
+            else ShapeParams(
+                betas=np.frombuffer(shape_blob, dtype="<f8")
+            )
+        )
+        expression = (
+            None
+            if expr_blob is None
+            else ExpressionParams(
+                coefficients=np.frombuffer(expr_blob, dtype="<f8")
+            )
+        )
+        return pose, shape, expression
+
+    def ship_err(job_id, exc):
+        responses.put(
+            (
+                "err",
+                job_id,
+                worker_id,
+                f"{type(exc).__name__}: {exc}",
+                # Content-level failures (the reconstruction itself
+                # rejected the input) must stay concealable, i.e.
+                # plain PipelineError in the parent; anything else
+                # is an infrastructure-grade surprise.
+                isinstance(exc, PipelineError),
+            )
+        )
+
+    def ship_ok(job_id, stream, frame_index, result, cpu_seconds,
+                span_start, span_end, batch_size, batch_leader,
+                batch_streams):
+        # Span records in the *worker's* clock domain; the parent
+        # re-parents them under the consuming frame's trace
+        # (Tracer.attach_worker_spans rebases the timestamps).
+        spans = [
+            {
+                "name": "worker_reconstruct",
+                "start": span_start,
+                "end": span_end,
+                "worker": worker_id,
+                "pid": os.getpid(),
+                "stream": stream,
+                "frame_index": frame_index,
+                "warm_started": bool(result.warm_started),
+            },
+        ]
+        if batch_size > 1:
+            spans.append(
+                {
+                    "name": "worker_batch",
+                    "start": span_start,
+                    "end": span_end,
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                    "stream": stream,
+                    "batch_size": batch_size,
+                    "batch_leader": bool(batch_leader),
+                    "batch_streams": ",".join(batch_streams),
+                },
+            )
+        mesh = result.mesh
+        nv, nf = mesh.num_vertices, mesh.num_faces
+        size = max(nv * _VERTEX_BYTES + nf * _FACE_BYTES, 1)
+        shm = SharedMemory(create=True, size=size)
+        shm.buf[: nv * _VERTEX_BYTES] = np.ascontiguousarray(
+            mesh.vertices, dtype="<f8"
+        ).tobytes()
+        shm.buf[
+            nv * _VERTEX_BYTES: nv * _VERTEX_BYTES + nf * _FACE_BYTES
+        ] = np.ascontiguousarray(mesh.faces, dtype="<i8").tobytes()
+        name = shm.name
+        shm.close()
+        # Ownership transfers to the parent (which copies the
+        # arrays out and unlinks); unregister here so the worker's
+        # resource tracker does not report the segment as leaked.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(
+                f"/{name}" if not name.startswith("/") else name,
+                "shared_memory",
+            )
+        except Exception:  # pragma: no cover
+            pass
+        responses.put(
+            (
+                "ok",
+                job_id,
+                worker_id,
+                name,
+                nv,
+                nf,
+                result.seconds,
+                cpu_seconds,
+                result.field_evaluations,
+                result.warm_started,
+                tuple(spans),
+                batch_size,
+                batch_leader,
+            )
+        )
+
+    def run_solo(message):
+        (_, job_id, stream, frame_index, config,
+         pose_blob, shape_blob, expr_blob) = message
+        try:
+            reconstructor = get_reconstructor(stream, config)
+            pose, shape, expression = decode_params(
+                pose_blob, shape_blob, expr_blob
+            )
+            cpu_start = time.thread_time()
+            span_start = perf_counter()
+            result = reconstructor.reconstruct(
+                pose=pose, shape=shape, expression=expression
+            )
+            span_end = perf_counter()
+            cpu_seconds = time.thread_time() - cpu_start
+            ship_ok(job_id, stream, frame_index, result, cpu_seconds,
+                    span_start, span_end, 1, True, ())
+        except Exception as exc:  # surface, don't kill the worker
+            ship_err(job_id, exc)
+
+    def run_coalesced(batch):
+        # Per-job preparation happens on the worker's main thread, each
+        # job's failures charged to that job alone — a bad config in
+        # one stream must not fail its batchmates.
+        prepared = []
+        for message in batch:
+            (_, job_id, stream, frame_index, config,
+             pose_blob, shape_blob, expr_blob) = message
+            try:
+                reconstructor = get_reconstructor(stream, config)
+                params = decode_params(pose_blob, shape_blob, expr_blob)
+                prepared.append(
+                    (job_id, stream, frame_index, reconstructor, params)
+                )
+            except Exception as exc:
+                ship_err(job_id, exc)
+        if not prepared:
+            return
+        coordinator = _FieldBatchCoordinator(len(prepared))
+        outcomes = [None] * len(prepared)
+
+        def run_one(index, entry):
+            job_id, stream, frame_index, reconstructor, params = entry
+            pose, shape, expression = params
+            try:
+                reconstructor.field_hook = (
+                    lambda fld: _BatchedField(coordinator, fld)
+                )
+                try:
+                    # thread_time, not process_time: each job charges
+                    # only the CPU its own thread burned (the shared
+                    # kernel call lands on whichever thread flushed
+                    # the barrier).
+                    cpu_start = time.thread_time()
+                    span_start = perf_counter()
+                    result = reconstructor.reconstruct(
+                        pose=pose, shape=shape, expression=expression
+                    )
+                    span_end = perf_counter()
+                    cpu_seconds = time.thread_time() - cpu_start
+                finally:
+                    reconstructor.field_hook = None
+                outcomes[index] = (
+                    "ok", result, cpu_seconds, span_start, span_end
+                )
+            except Exception as exc:
+                outcomes[index] = ("err", exc)
+            finally:
+                coordinator.leave()
+
+        threads = [
+            threading.Thread(
+                target=run_one, args=(i, entry), daemon=True
+            )
+            for i, entry in enumerate(prepared)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        batch_streams = tuple(entry[1] for entry in prepared)
+        for i, entry in enumerate(prepared):
+            job_id, stream, frame_index = entry[:3]
+            outcome = outcomes[i]
+            if outcome is None or outcome[0] == "err":
+                ship_err(
+                    job_id,
+                    outcome[1] if outcome else
+                    RuntimeError("batch thread died"),
+                )
+            else:
+                _, result, cpu_seconds, span_start, span_end = outcome
+                ship_ok(job_id, stream, frame_index, result,
+                        cpu_seconds, span_start, span_end,
+                        len(prepared), i == 0, batch_streams)
+
+    pending = None
     while True:
-        message = requests.get()
+        if pending is not None:
+            message, pending = pending, None
+        else:
+            message = requests.get()
         kind = message[0]
         if kind == "stop":
             return
@@ -109,114 +450,45 @@ def _worker_main(worker_id: int, requests, responses) -> None:
             continue
         if kind != "job":
             continue
-        (_, job_id, stream, frame_index, config,
-         pose_blob, shape_blob, expr_blob) = message
-        try:
-            held = reconstructors.get(stream)
-            if held is None or held[0] != config:
-                resolution, expression_channels, blend = config
-                held = (
-                    config,
-                    KeypointMeshReconstructor(
-                        resolution=resolution,
-                        expression_channels=expression_channels,
-                        blend=blend,
-                    ),
-                )
-                reconstructors[stream] = held
-            reconstructor = held[1]
-            pose = BodyPose.from_flat(
-                np.frombuffer(pose_blob, dtype="<f8")
-            )
-            shape = (
-                None
-                if shape_blob is None
-                else ShapeParams(
-                    betas=np.frombuffer(shape_blob, dtype="<f8")
-                )
-            )
-            expression = (
-                None
-                if expr_blob is None
-                else ExpressionParams(
-                    coefficients=np.frombuffer(expr_blob, dtype="<f8")
-                )
-            )
-            cpu_start = time.process_time()
-            span_start = perf_counter()
-            result = reconstructor.reconstruct(
-                pose=pose, shape=shape, expression=expression
-            )
-            span_end = perf_counter()
-            cpu_seconds = time.process_time() - cpu_start
-            # Span record in the *worker's* clock domain; the parent
-            # re-parents it under the consuming frame's trace
-            # (Tracer.attach_worker_spans rebases the timestamps).
-            spans = (
-                {
-                    "name": "worker_reconstruct",
-                    "start": span_start,
-                    "end": span_end,
-                    "worker": worker_id,
-                    "pid": os.getpid(),
-                    "stream": stream,
-                    "frame_index": frame_index,
-                    "warm_started": bool(result.warm_started),
-                },
-            )
-            mesh = result.mesh
-            nv, nf = mesh.num_vertices, mesh.num_faces
-            size = max(nv * _VERTEX_BYTES + nf * _FACE_BYTES, 1)
-            shm = SharedMemory(create=True, size=size)
-            shm.buf[: nv * _VERTEX_BYTES] = np.ascontiguousarray(
-                mesh.vertices, dtype="<f8"
-            ).tobytes()
-            shm.buf[
-                nv * _VERTEX_BYTES: nv * _VERTEX_BYTES + nf * _FACE_BYTES
-            ] = np.ascontiguousarray(mesh.faces, dtype="<i8").tobytes()
-            name = shm.name
-            shm.close()
-            # Ownership transfers to the parent (which copies the
-            # arrays out and unlinks); unregister here so the worker's
-            # resource tracker does not report the segment as leaked.
-            try:
-                from multiprocessing import resource_tracker
-
-                resource_tracker.unregister(
-                    f"/{name}" if not name.startswith("/") else name,
-                    "shared_memory",
-                )
-            except Exception:  # pragma: no cover
-                pass
-            responses.put(
-                (
-                    "ok",
-                    job_id,
-                    worker_id,
-                    name,
-                    nv,
-                    nf,
-                    result.seconds,
-                    cpu_seconds,
-                    result.field_evaluations,
-                    result.warm_started,
-                    spans,
-                )
-            )
-        except Exception as exc:  # surface, don't kill the worker
-            responses.put(
-                (
-                    "err",
-                    job_id,
-                    worker_id,
-                    f"{type(exc).__name__}: {exc}",
-                    # Content-level failures (the reconstruction itself
-                    # rejected the input) must stay concealable, i.e.
-                    # plain PipelineError in the parent; anything else
-                    # is an infrastructure-grade surprise.
-                    isinstance(exc, PipelineError),
-                )
-            )
+        batch = [message]
+        if coalesce and max_batch > 1:
+            # Coalesce compatible queued jobs: same reconstructor
+            # config, each from a *different* stream (two jobs of one
+            # stream must stay sequential for warm-start exactness and
+            # per-stream FIFO).  The first control message or
+            # incompatible job ends collection and is stashed so it is
+            # handled right after this batch — queue order between a
+            # stream's jobs, and between a reset and later jobs, is
+            # preserved.
+            streams = {message[2]}
+            config = message[4]
+            deadline = monotonic() + coalesce_window
+            while len(batch) < max_batch:
+                try:
+                    if coalesce_window > 0:
+                        remaining = deadline - monotonic()
+                        if remaining > 0:
+                            extra = requests.get(timeout=remaining)
+                        else:
+                            extra = requests.get_nowait()
+                    else:
+                        extra = requests.get_nowait()
+                except queue.Empty:
+                    break
+                if (
+                    extra[0] == "job"
+                    and extra[2] not in streams
+                    and extra[4] == config
+                ):
+                    batch.append(extra)
+                    streams.add(extra[2])
+                else:
+                    pending = extra
+                    break
+        if len(batch) == 1:
+            run_solo(batch[0])
+        else:
+            run_coalesced(batch)
 
 
 class ReconstructionPool:
@@ -227,6 +499,14 @@ class ReconstructionPool:
         job_timeout: default seconds to wait for one job's result.
         start_method: ``multiprocessing`` start method (``None`` =
             platform default).
+        coalesce: let a worker batch compatible queued jobs of
+            *different* streams into one cross-stream kernel dispatch.
+            Coalesced output is byte-identical to solo output; disable
+            only to pin down scheduling in experiments.
+        coalesce_window: seconds a worker waits for additional
+            compatible jobs after receiving one (0 = batch only what
+            is already queued, adding no latency for lone jobs).
+        max_batch: most jobs one coalesced dispatch may hold.
 
     Use as a context manager, or call :meth:`close` explicitly; worker
     processes are daemonic, so a leaked pool cannot outlive the parent.
@@ -238,15 +518,28 @@ class ReconstructionPool:
         job_timeout: float = 300.0,
         start_method: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        coalesce: bool = True,
+        coalesce_window: float = 0.0,
+        max_batch: int = 8,
     ) -> None:
         if workers < 1:
             raise PipelineError("a reconstruction pool needs >= 1 worker")
         if job_timeout <= 0:
             raise PipelineError("job_timeout must be positive")
+        if coalesce_window < 0:
+            raise PipelineError("coalesce_window must be >= 0")
+        if max_batch < 1:
+            raise PipelineError("max_batch must be >= 1")
         self.workers = workers
         self.job_timeout = job_timeout
+        self.coalesce = coalesce
+        self.coalesce_window = coalesce_window
+        self.max_batch = max_batch
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.metrics.set("serve.pool.workers", workers)
+        self.metrics.histogram(
+            "serve.pool.batch.size", buckets=_BATCH_SIZE_BUCKETS
+        )
         self._context = get_context(start_method)
         self._requests = [self._context.Queue() for _ in range(workers)]
         self._responses = self._context.Queue()
@@ -268,7 +561,14 @@ class ReconstructionPool:
     def _spawn_worker(self, worker: int):
         process = self._context.Process(
             target=_worker_main,
-            args=(worker, self._requests[worker], self._responses),
+            args=(
+                worker,
+                self._requests[worker],
+                self._responses,
+                self.coalesce,
+                self.coalesce_window,
+                self.max_batch,
+            ),
             daemon=True,
             name=f"reconstruction-worker-{worker}",
         )
@@ -440,7 +740,20 @@ class ReconstructionPool:
             return True
         if kind == "ok":
             (_, _, worker, shm_name, nv, nf,
-             seconds, cpu_seconds, evaluations, warm, spans) = message
+             seconds, cpu_seconds, evaluations, warm, spans,
+             batch_size, batch_leader) = message
+            if batch_leader:
+                # One observation per dispatch (the leader speaks for
+                # the batch), so the histogram reads as batches, not
+                # jobs.
+                self.metrics.observe(
+                    "serve.pool.batch.size", batch_size
+                )
+            self.metrics.inc(
+                "serve.pool.batch.coalesced"
+                if batch_size > 1
+                else "serve.pool.batch.solo"
+            )
             shm = SharedMemory(name=shm_name)
             try:
                 vertices = np.array(
@@ -470,6 +783,7 @@ class ReconstructionPool:
                     warm_started=bool(warm),
                     worker=worker,
                     spans=tuple(spans),
+                    batch_size=int(batch_size),
                 ),
             )
         else:

@@ -1,0 +1,106 @@
+"""Compiled-kernel cache behaviour.
+
+The build (or the discovery that no toolchain exists) must run at most
+once per process: a failed build is cached with a one-line warning so
+the compiler is never retried per call, and ``REPRO_DISABLE_C_KERNEL``
+is consulted on every lookup so it is honored even after a successful
+earlier load.
+"""
+
+import warnings
+
+import pytest
+
+from repro.geometry import capsule_kernel
+from repro.geometry.capsule_kernel import (
+    CapsuleKernel,
+    compiled_capsule_kernel,
+    kernel_available,
+    reset_kernel_cache,
+)
+
+needs_kernel = pytest.mark.skipif(
+    not kernel_available(),
+    reason="C capsule kernel unavailable (no toolchain or disabled)",
+)
+
+
+@pytest.fixture()
+def fresh_cache(monkeypatch):
+    """Run a test against an empty kernel cache, restoring the
+    process-wide cache state afterwards."""
+    saved = (capsule_kernel._KERNEL, capsule_kernel._ATTEMPTED)
+    reset_kernel_cache()
+    monkeypatch.delenv("REPRO_DISABLE_C_KERNEL", raising=False)
+    yield
+    capsule_kernel._KERNEL, capsule_kernel._ATTEMPTED = saved
+
+
+class TestNegativeResultCache:
+    def test_failed_build_not_retried(self, fresh_cache, monkeypatch):
+        calls = []
+
+        def failing_build():
+            calls.append(1)
+            return None
+
+        monkeypatch.setattr(capsule_kernel, "_build", failing_build)
+        with pytest.warns(RuntimeWarning, match="build failed"):
+            assert compiled_capsule_kernel() is None
+        # Subsequent calls neither rebuild nor warn again.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for _ in range(5):
+                assert compiled_capsule_kernel() is None
+        assert len(calls) == 1
+
+    def test_successful_build_probed_once(self, fresh_cache,
+                                          monkeypatch):
+        if capsule_kernel._build() is None:
+            pytest.skip("no toolchain on this machine")
+        reset_kernel_cache()
+        calls = []
+        real_build = capsule_kernel._build
+
+        def counting_build():
+            calls.append(1)
+            return real_build()
+
+        monkeypatch.setattr(capsule_kernel, "_build", counting_build)
+        first = compiled_capsule_kernel()
+        assert isinstance(first, CapsuleKernel)
+        for _ in range(5):
+            assert compiled_capsule_kernel() is first
+        assert len(calls) == 1
+
+
+class TestDisableEnv:
+    def test_disable_honored_after_successful_load(self, fresh_cache,
+                                                   monkeypatch):
+        kernel = compiled_capsule_kernel()
+        if kernel is None:
+            pytest.skip("no toolchain on this machine")
+        monkeypatch.setenv("REPRO_DISABLE_C_KERNEL", "1")
+        assert compiled_capsule_kernel() is None
+        assert not kernel_available()
+        # Lifting the variable restores the already-loaded kernel
+        # without another build attempt.
+        monkeypatch.delenv("REPRO_DISABLE_C_KERNEL")
+        assert compiled_capsule_kernel() is kernel
+
+    def test_disable_skips_build_entirely(self, fresh_cache,
+                                          monkeypatch):
+        def exploding_build():  # pragma: no cover - must not run
+            raise AssertionError("build attempted while disabled")
+
+        monkeypatch.setattr(capsule_kernel, "_build", exploding_build)
+        monkeypatch.setenv("REPRO_DISABLE_C_KERNEL", "1")
+        assert compiled_capsule_kernel() is None
+
+
+@needs_kernel
+class TestLoadedKernelShape:
+    def test_both_entry_points_present(self):
+        kernel = compiled_capsule_kernel()
+        assert kernel.solo is not None
+        assert kernel.batch is not None

@@ -16,7 +16,7 @@ import pytest
 
 from repro.errors import GeometryError
 from repro.geometry.capsule_kernel import kernel_available
-from repro.geometry.sdf import FusedCapsuleUnion
+from repro.geometry.sdf import FusedCapsuleUnion, evaluate_batch
 
 TOLERANCE = 1e-9
 RESOLUTIONS = (64, 128, 256)
@@ -97,6 +97,115 @@ class TestCKernelVsClosureChain:
         points = _lattice_sample(rng, resolution)
         gap = np.abs(with_kernel(points) - pure(points))
         assert float(gap.max()) <= TOLERANCE
+
+
+BATCH_SIZES = (1, 8, 64)
+
+
+def _random_batch(rng, batch_size, backend):
+    """A ragged batch: varying primitive counts (including degenerate
+    segments), varying point counts (including a zero-point problem),
+    mixed with/without ellipsoid."""
+    problems = []
+    for b in range(batch_size):
+        body = _random_body(rng, num_segments=int(rng.integers(1, 24)))
+        if b % 3 == 2:
+            body.pop("ellipsoid_center")
+            body.pop("ellipsoid_radii")
+        n_points = int(rng.integers(1, 2048))
+        if batch_size > 1 and b == 1:
+            n_points = 0  # ragged extreme: an empty problem mid-batch
+        points = rng.uniform(-1.0, 1.0, size=(n_points, 3))
+        problems.append(
+            (FusedCapsuleUnion(**body, backend=backend), points)
+        )
+    return problems
+
+
+class TestBatchedEvaluation:
+    """The ragged batch API: bit-identical to solo, 1e-9 to reference.
+
+    The batched call promises it only changes *when* kernel work
+    happens, never *what* is computed — so batched-vs-solo is asserted
+    with array_equal (bitwise), while batched-vs-closure-chain keeps
+    the backend tolerance.
+    """
+
+    @needs_kernel
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_c_batched_bit_identical_to_solo(self, batch_size):
+        rng = np.random.default_rng(3000 + batch_size)
+        problems = _random_batch(rng, batch_size, backend="c")
+        batched = evaluate_batch(problems)
+        for (fn, points), got in zip(problems, batched):
+            assert np.array_equal(got, fn(points))
+
+    @needs_kernel
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_c_batched_matches_reference(self, batch_size):
+        rng = np.random.default_rng(4000 + batch_size)
+        problems = _random_batch(rng, batch_size, backend="c")
+        batched = evaluate_batch(problems)
+        for (fn, points), got in zip(problems, batched):
+            if not len(points):
+                assert len(got) == 0
+                continue
+            gap = np.abs(got - fn.reference()(points))
+            assert float(gap.max()) <= TOLERANCE
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_numpy_batched_bit_identical_to_solo(self, batch_size):
+        rng = np.random.default_rng(5000 + batch_size)
+        problems = _random_batch(rng, batch_size, backend="numpy")
+        batched = evaluate_batch(problems)
+        for (fn, points), got in zip(problems, batched):
+            assert np.array_equal(got, fn(points))
+
+    @needs_kernel
+    def test_backends_agree_in_batch(self):
+        """The same ragged bodies through a C batch and through NumPy
+        solo calls stay within the differential tolerance."""
+        rng = np.random.default_rng(6000)
+        bodies = [
+            _random_body(rng, num_segments=int(rng.integers(2, 24)))
+            for _ in range(8)
+        ]
+        point_sets = [
+            rng.uniform(-1.0, 1.0, size=(int(rng.integers(64, 1024)), 3))
+            for _ in bodies
+        ]
+        c_problems = [
+            (FusedCapsuleUnion(**body, backend="c"), points)
+            for body, points in zip(bodies, point_sets)
+        ]
+        batched = evaluate_batch(c_problems)
+        for body, points, got in zip(bodies, point_sets, batched):
+            pure = FusedCapsuleUnion(**body, backend="numpy")
+            gap = np.abs(got - pure(points))
+            assert float(gap.max()) <= TOLERANCE
+
+    @needs_kernel
+    def test_mixed_backend_batch(self):
+        """A batch mixing C-backed, NumPy-backed, and plain-callable
+        problems evaluates each exactly as its solo path would."""
+        rng = np.random.default_rng(7000)
+        body = _random_body(rng, num_segments=6)
+        c_fn = FusedCapsuleUnion(**body, backend="c")
+        np_fn = FusedCapsuleUnion(**body, backend="numpy")
+
+        def plain(points):
+            return np.linalg.norm(points, axis=1) - 0.5
+
+        points = rng.uniform(-1.0, 1.0, size=(512, 3))
+        batched = evaluate_batch(
+            [(c_fn, points), (np_fn, points), (plain, points)]
+        )
+        assert np.array_equal(batched[0], c_fn(points))
+        assert np.array_equal(batched[1], np_fn(points))
+        assert np.array_equal(batched[2], plain(points))
+
+    def test_empty_batch(self):
+        assert evaluate_batch([]) == []
 
 
 class TestBackendSelection:

@@ -178,6 +178,108 @@ class TestTimeout:
             pool.result(job)
 
 
+class TestCoalescing:
+    def test_coalesced_output_byte_identical(self, poses):
+        """Cross-stream batching changes *when* kernel calls happen,
+        never *what* is computed: meshes, evaluation counts, and the
+        warm-start behaviour of a coalesced run match the sequential
+        reconstructor byte for byte — while the batch metrics prove
+        real coalescing occurred."""
+        streams = ["a", "b", "c", "d"]
+        expected = {}
+        for stream in streams:
+            sequential = KeypointMeshReconstructor(resolution=48)
+            expected[stream] = [
+                sequential.reconstruct(pose=pose) for pose in poses
+            ]
+        with ReconstructionPool(
+            workers=1, coalesce_window=0.25, max_batch=8
+        ) as pool:
+            got = {stream: [] for stream in streams}
+            for i, pose in enumerate(poses):
+                jobs = [
+                    (s, pool.submit(s, i, pose=pose, resolution=48))
+                    for s in streams
+                ]
+                for stream, job in jobs:
+                    got[stream].append(pool.result(job))
+            coalesced = pool.metrics.value("serve.pool.batch.coalesced")
+            size_hist = pool.metrics.histogram("serve.pool.batch.size")
+        for stream in streams:
+            for have, want in zip(got[stream], expected[stream]):
+                assert np.array_equal(have.mesh.vertices,
+                                      want.mesh.vertices)
+                assert np.array_equal(have.mesh.faces, want.mesh.faces)
+                assert have.field_evaluations == want.field_evaluations
+                assert have.warm_started == want.warm_started
+        # The window plus the submit backlog guarantee real batches.
+        assert coalesced > 0
+        assert any(
+            r.batch_size > 1 for rs in got.values() for r in rs
+        )
+        assert size_hist.count > 0
+
+    def test_same_stream_jobs_never_coalesce(self, poses):
+        """Two frames of one stream must stay sequential (warm-start
+        exactness and per-stream FIFO), so a backlog of a single
+        stream yields solo dispatches only — in frame order."""
+        with ReconstructionPool(
+            workers=1, coalesce_window=0.25, max_batch=8
+        ) as pool:
+            jobs = [
+                pool.submit("solo-stream", i, pose=poses[i % len(poses)],
+                            resolution=48)
+                for i in range(3)
+            ]
+            results = [pool.result(job) for job in jobs]
+            assert all(r.batch_size == 1 for r in results)
+            assert pool.metrics.value("serve.pool.batch.coalesced") == 0
+            assert pool.metrics.value("serve.pool.batch.solo") == 3
+            # Frame order preserved: the second job warm-starts off
+            # the first at a resolution where warm start engages.
+        with ReconstructionPool(
+            workers=1, coalesce_window=0.25, max_batch=8
+        ) as pool:
+            first = pool.submit("s", 0, pose=poses[0], resolution=128)
+            second = pool.submit("s", 1, pose=poses[1], resolution=128)
+            assert not pool.result(first).warm_started
+            assert pool.result(second).warm_started
+
+    def test_coalescing_disabled(self, poses):
+        with ReconstructionPool(
+            workers=1, coalesce=False, max_batch=8
+        ) as pool:
+            jobs = [
+                pool.submit(f"s{i}", 0, pose=poses[0], resolution=32)
+                for i in range(3)
+            ]
+            results = [pool.result(job) for job in jobs]
+            assert all(r.batch_size == 1 for r in results)
+            assert pool.metrics.value("serve.pool.batch.coalesced") == 0
+
+    def test_bad_job_fails_alone_in_batch(self, poses):
+        """A content-level failure coalesced with healthy jobs errs
+        only its own stream; batchmates complete normally."""
+        with ReconstructionPool(
+            workers=1, coalesce_window=0.25, max_batch=8
+        ) as pool:
+            good = [
+                pool.submit(f"ok{i}", 0, pose=poses[0], resolution=48)
+                for i in range(2)
+            ]
+            bad = pool.submit("bad", 0, pose=poses[0], resolution=4)
+            with pytest.raises(PipelineError, match="resolution"):
+                pool.result(bad)
+            for job in good:
+                assert pool.result(job).mesh.num_vertices > 0
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            ReconstructionPool(workers=1, coalesce_window=-0.1)
+        with pytest.raises(PipelineError):
+            ReconstructionPool(workers=1, max_batch=0)
+
+
 class TestSharedMemoryHygiene:
     def test_close_reaps_in_flight_results(self, poses):
         """A result nobody collects — submitted, completed, then the
