@@ -33,7 +33,7 @@ from repro.net.trace import BandwidthTrace
 from repro.obs.registry import MetricsRegistry
 
 __all__ = ["Participant", "PairReport", "MultiPartySummary",
-           "MultiPartySession"]
+           "MultiPartySession", "MultiPartyStepper"]
 
 _session_ids = itertools.count()
 
@@ -211,74 +211,28 @@ class MultiPartySession:
         sender's decode is submitted to the engine before any result
         is awaited, so independent streams reconstruct concurrently
         (and repeated avatar states come from the cache)."""
-        from repro.serve.config import ServingConfig
-        from repro.serve.engine import ServingEngine
-
-        owns_engine = isinstance(self.serving, ServingConfig)
-        engine = (
-            ServingEngine(self.serving, registry=self.metrics)
-            if owns_engine
-            else self.serving
-        )
-        if not isinstance(engine, ServingEngine):
-            raise PipelineError(
-                "serving must be a ServingConfig or ServingEngine, got "
-                f"{type(self.serving).__name__}"
-            )
-        engine.reset_session(self.session_id)
-
-        stats: Dict[tuple, dict] = {
-            key: {"latencies": [], "delivered": 0, "payload": []}
-            for key in self._links
-        }
-        uplink_bytes: Dict[str, float] = {
-            p.name: 0.0 for p in self.participants
-        }
-        tickets: Dict[str, object] = {}
+        stepper = MultiPartyStepper(self, frames)
         try:
-            for index in range(frames):
-                encoded_frames = {}
-                tickets = {}
-                for sender in self.participants:
-                    frame = sender.dataset.frame(index)
-                    encoded = sender.pipeline.encode(frame)
-                    sender.pipeline.validate_payload(encoded)
-                    encoded_frames[sender.name] = encoded
-                    if self.decode:
-                        tickets[sender.name] = engine.submit(
-                            sender.pipeline,
-                            encoded,
-                            session=self.session_id,
-                            sender=sender.name,
-                        )
-                for sender in self.participants:
-                    fps = sender.dataset.fps
-                    now = index / fps
-                    encoded = encoded_frames[sender.name]
-                    decode_time = 0.0
-                    if self.decode:
-                        decoded = engine.collect(
-                            tickets.pop(sender.name)
-                        )
-                        decode_time = decoded.timing.total
-                    self._fan_out(
-                        index, now, sender, encoded, decode_time,
-                        stats, uplink_bytes,
-                    )
-            serving_summary = engine.serving_summary()
-        except BaseException:
-            # A failed submit/collect must not abandon the tick's
-            # other tickets: their pool jobs would keep running and
-            # their shared-memory results would never be reaped
-            # (especially on a shared engine that outlives this run).
-            self._drain_tickets(engine, tickets)
-            raise
+            while stepper.remaining:
+                stepper.tick()
+            summary = stepper.summary()
         finally:
-            if owns_engine:
-                engine.close()
-        return self._summarize(
-            frames, stats, uplink_bytes, serving=serving_summary
-        )
+            stepper.close()
+        return summary
+
+    def stepper(
+        self, frames: int, engine=None
+    ) -> "MultiPartyStepper":
+        """Gateway-driveable stepping: one :meth:`MultiPartyStepper.
+        tick` per frame tick, under external control.
+
+        Args:
+            frames: total frame ticks, as for :meth:`run`.
+            engine: a shared :class:`repro.serve.ServingEngine`
+                overriding the meeting's own ``serving`` opt-in (the
+                gateway passes its edge-node engine).
+        """
+        return MultiPartyStepper(self, frames, engine=engine)
 
     @staticmethod
     def _drain_tickets(engine, tickets: Dict[str, object]) -> None:
@@ -371,3 +325,144 @@ class MultiPartySession:
             ),
             serving=dict(serving or {}),
         )
+
+
+class MultiPartyStepper:
+    """Externally driven tick loop for one :class:`MultiPartySession`.
+
+    Each :meth:`tick` runs one frame tick of the serving loop: every
+    sender encodes and submits before any result is collected, so the
+    tick's reconstructions overlap on the engine's pool.  A gateway
+    interleaves many meetings' ticks on one shared engine; the
+    meeting's own :meth:`MultiPartySession.run` is ``while remaining:
+    tick()`` over one of these.
+
+    Args:
+        meeting: the meeting to drive (setup — pipeline and link
+            resets, metric reset — happens here, exactly as ``run``
+            would do it).
+        frames: total frame ticks.
+        engine: shared engine overriding the meeting's ``serving``
+            opt-in; the stepper never closes an engine it was handed.
+    """
+
+    def __init__(
+        self,
+        meeting: MultiPartySession,
+        frames: int,
+        engine=None,
+    ) -> None:
+        from repro.serve.config import ServingConfig
+        from repro.serve.engine import ServingEngine
+
+        meeting._check_run(frames)
+        self.meeting = meeting
+        if engine is not None:
+            self._engine, self._owns_engine = engine, False
+        else:
+            self._owns_engine = isinstance(
+                meeting.serving, ServingConfig
+            )
+            self._engine = (
+                ServingEngine(meeting.serving,
+                              registry=meeting.metrics)
+                if self._owns_engine
+                else meeting.serving
+            )
+        if not isinstance(self._engine, ServingEngine):
+            raise PipelineError(
+                "serving must be a ServingConfig or ServingEngine, "
+                f"got {type(meeting.serving).__name__}"
+            )
+        self._engine.reset_session(meeting.session_id)
+        self._stats: Dict[tuple, dict] = {
+            key: {"latencies": [], "delivered": 0, "payload": []}
+            for key in meeting._links
+        }
+        self._uplink_bytes: Dict[str, float] = {
+            p.name: 0.0 for p in meeting.participants
+        }
+        self._frames = frames
+        self._index = 0
+        self._closed = False
+
+    @property
+    def remaining(self) -> int:
+        return self._frames - self._index
+
+    @property
+    def engine(self):
+        return self._engine
+
+    def tick(self) -> None:
+        """Run one frame tick: encode + submit every sender, then
+        collect + fan out.
+
+        A failed submit/collect does not abandon the tick's other
+        tickets: their pool jobs would keep running and their
+        shared-memory results would never be reaped (especially on a
+        shared engine that outlives this meeting), so they are drained
+        before the error propagates.
+        """
+        if self._closed:
+            raise PipelineError("stepper is closed")
+        if self.remaining <= 0:
+            raise PipelineError("no ticks remaining")
+        meeting = self.meeting
+        engine = self._engine
+        index = self._index
+        self._index += 1
+        tickets: Dict[str, object] = {}
+        try:
+            encoded_frames = {}
+            for sender in meeting.participants:
+                frame = sender.dataset.frame(index)
+                encoded = sender.pipeline.encode(frame)
+                sender.pipeline.validate_payload(encoded)
+                encoded_frames[sender.name] = encoded
+                if meeting.decode:
+                    tickets[sender.name] = engine.submit(
+                        sender.pipeline,
+                        encoded,
+                        session=meeting.session_id,
+                        sender=sender.name,
+                    )
+            for sender in meeting.participants:
+                fps = sender.dataset.fps
+                now = index / fps
+                encoded = encoded_frames[sender.name]
+                decode_time = 0.0
+                if meeting.decode:
+                    decoded = engine.collect(
+                        tickets.pop(sender.name)
+                    )
+                    decode_time = decoded.timing.total
+                meeting._fan_out(
+                    index, now, sender, encoded, decode_time,
+                    self._stats, self._uplink_bytes,
+                )
+        except BaseException:
+            meeting._drain_tickets(engine, tickets)
+            raise
+
+    def summary(self) -> MultiPartySummary:
+        """Summarise the ticks run so far (serving counters read from
+        the engine unless the stepper was already closed and owned
+        it)."""
+        serving = (
+            self._engine.serving_summary()
+            if not (self._closed and self._owns_engine)
+            else {}
+        )
+        return self.meeting._summarize(
+            self._index, self._stats, self._uplink_bytes,
+            serving=serving,
+        )
+
+    def close(self) -> None:
+        """Release the engine if this stepper owns it; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_engine:
+            self._engine.close()

@@ -18,6 +18,7 @@ deliveries resume.
 from __future__ import annotations
 
 import itertools
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -46,7 +47,12 @@ from repro.net.link import NetworkLink
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 
-__all__ = ["FrameReport", "SessionSummary", "TelepresenceSession"]
+__all__ = [
+    "FrameReport",
+    "SessionStepper",
+    "SessionSummary",
+    "TelepresenceSession",
+]
 
 _session_ids = itertools.count()
 
@@ -75,7 +81,12 @@ class FrameReport:
         stale_age: frames since the receiver last displayed fresh
             content (0 for a fresh frame).
         semantic_level: name of the pipeline that encoded this frame
-            (differs from the primary during ladder degradation).
+            (differs from the primary during ladder degradation;
+            ``"shed"`` for frames a gateway dropped before encoding).
+        infrastructure_failed: True when a contained serving-
+            infrastructure failure (worker death, job timeout) cost
+            this frame its decode — only ever set under a gateway,
+            which conceals the failure instead of propagating it.
     """
 
     frame_index: int
@@ -88,6 +99,7 @@ class FrameReport:
     concealed: bool = False
     stale_age: int = 0
     semantic_level: str = ""
+    infrastructure_failed: bool = False
 
     @property
     def end_to_end(self) -> float:
@@ -271,230 +283,42 @@ class TelepresenceSession:
         the loop body never executes and :meth:`summary` reports a
         zero-frame session instead of dividing by nothing.
         """
-        total = len(self.dataset)
-        count = total - start if frames is None else frames
-        if count < 0 or start < 0 or start + count > total:
-            raise PipelineError("frame range out of bounds")
-        self.pipeline.reset()
-        resilience = self.resilience
-        fallback = resilience.fallback if resilience else None
-        use_checksum = (
-            resilience is not None
-            and resilience.checksum
-            and self.link is not None
-        )
-        conceal = (
-            resilience is not None
-            and resilience.conceal
-            and self.decode
-        )
-        if fallback is not None:
-            fallback.reset()
-        if self._controller is not None:
-            self._controller.reset()
-        if self.link is not None:
-            self.link.reset()
-        engine, owns_engine = self._resolve_engine()
-        if engine is not None:
-            engine.reset_session(self.session_id)
-        self.reports = []
-        self.metrics.reset("session.")
-        fps = self.dataset.fps
-        stale_age = 0
-
+        stepper = SessionStepper(self, frames=frames, start=start)
         try:
-            self._frame_loop(
-                count, start, fps, stale_age, fallback,
-                use_checksum, conceal, engine,
-            )
+            while stepper.remaining:
+                stepper.step()
         finally:
-            if owns_engine and engine is not None:
-                engine.close()
+            stepper.close()
         self._ran = True
         return self.summary()
 
-    def _frame_loop(
+    def stepper(
         self,
-        count: int,
-        start: int,
-        fps: float,
-        stale_age: int,
-        fallback,
-        use_checksum: bool,
-        conceal: bool,
-        engine,
-    ) -> None:
-        tracer = self.tracer
-        metrics = self.metrics
-        for offset in range(count):
-            index = start + offset
-            capture_time = index / fps
-            with tracer.frame(index, session=self.session_id):
-                with tracer.span("capture"):
-                    frame = self.dataset.frame(index)
-                degraded = (
-                    self._controller is not None
-                    and self._controller.degraded
-                )
-                level_pipeline = fallback if degraded else self.pipeline
-                with tracer.span("encode", level=level_pipeline.name):
-                    encoded = level_pipeline.encode(frame)
-                    level_pipeline.validate_payload(encoded)
-                    sender_factor = (
-                        self.sender_edge.device.speed_factor
-                        if self.sender_edge is not None
-                        else 1.0
-                    )
-                    breakdown = LatencyBreakdown(
-                        stages={
-                            stage: seconds / sender_factor
-                            for stage, seconds
-                            in encoded.timing.stages.items()
-                        }
-                    )
-                    wire_payload = (
-                        seal_frame(
-                            encoded.payload,
-                            frame_index=index,
-                            level=1 if degraded else 0,
-                        )
-                        if use_checksum
-                        else encoded.payload
-                    )
+        frames: Optional[int] = None,
+        start: int = 0,
+        engine=None,
+        pipelined: bool = False,
+    ) -> "SessionStepper":
+        """Gateway-driveable stepping: set the run up (exactly as
+        :meth:`run` would) and hand control of the frame loop to the
+        caller.
 
-                delivered = True
-                received_payload: Optional[bytes] = wire_payload
-                corrupted = False
-                with tracer.span(
-                    "transport", payload_bytes=len(wire_payload)
-                ):
-                    if self.link is not None:
-                        report = self.link.send_frame(
-                            index, wire_payload, now=capture_time
-                        )
-                        delivered = report.delivered
-                        received_payload = report.payload
-                        if delivered:
-                            breakdown.add("network", report.latency)
-                    if delivered and use_checksum:
-                        try:
-                            _, received_payload = open_frame(
-                                received_payload
-                            )
-                        except CodecError:
-                            # Bit corruption in flight: the checksum
-                            # turns it into a typed, concealable event
-                            # instead of a garbage reconstruction.
-                            corrupted = True
-
-                decoded = None
-                decode_failed = corrupted
-                if delivered and not corrupted and self.decode:
-                    received = EncodedFrame(
-                        frame_index=index,
-                        payload=bytes(received_payload),
-                        timing=encoded.timing,
-                        metadata=encoded.metadata,
-                    )
-                    with tracer.span("decode"):
-                        if engine is not None:
-                            # Serving path: worker death / timeout
-                            # raises a ServingError out of the session
-                            # (infrastructure failure, never masked as
-                            # a content failure), but the same
-                            # content-level failures the legacy branch
-                            # conceals — a delta whose reference was
-                            # lost, decoded inline or pooled — still
-                            # freeze the display instead of crashing
-                            # the run.
-                            try:
-                                decoded = engine.decode(
-                                    level_pipeline,
-                                    received,
-                                    session=self.session_id,
-                                    sender="sender",
-                                )
-                            except ServingError:
-                                raise
-                            except PipelineError:
-                                decode_failed = True
-                            if decoded is not None:
-                                tracer.attach_worker_spans(
-                                    decoded.metadata.get(
-                                        "worker_spans", ()
-                                    )
-                                )
-                        else:
-                            try:
-                                decoded = level_pipeline.decode(
-                                    received
-                                )
-                            except PipelineError:
-                                # A frame that arrived but cannot be
-                                # decoded (a delta whose reference was
-                                # lost) is displayed as a freeze, not
-                                # a crash; the sender's periodic
-                                # keyframes bound the outage.
-                                decode_failed = True
-                    if decoded is not None:
-                        self._add_receiver_stages(breakdown, decoded)
-
-                concealed = False
-                if decoded is None and conceal:
-                    concealment = level_pipeline.conceal(index)
-                    if concealment is None and level_pipeline is not \
-                            self.pipeline:
-                        concealment = self.pipeline.conceal(index)
-                    if concealment is not None:
-                        concealed = True
-                        decoded = concealment
-                        self._add_receiver_stages(
-                            breakdown, concealment
-                        )
-
-                fresh = decoded is not None and not concealed
-                if self.decode:
-                    stale_age = 0 if fresh else stale_age + 1
-                else:
-                    stale_age = 0 if delivered else stale_age + 1
-                if self._controller is not None:
-                    self._controller.record(
-                        fresh if self.decode else delivered
-                    )
-                # Exact stage spans, mirroring the frame's final
-                # breakdown: per-stage span sums reconcile with
-                # ``SessionSummary.mean_stage_breakdown`` to the bit.
-                for stage, seconds in breakdown.stages.items():
-                    tracer.record(stage, seconds)
-                self.reports.append(
-                    FrameReport(
-                        frame_index=index,
-                        payload_bytes=len(wire_payload),
-                        breakdown=breakdown,
-                        delivered=delivered,
-                        decoded=decoded,
-                        decode_failed=decode_failed,
-                        corrupted=corrupted,
-                        concealed=concealed,
-                        stale_age=stale_age,
-                        semantic_level=level_pipeline.name,
-                    )
-                )
-                metrics.inc("session.frames")
-                if delivered:
-                    metrics.inc("session.delivered")
-                    metrics.observe(
-                        "session.end_to_end_seconds", breakdown.total
-                    )
-                    if decode_failed:
-                        metrics.inc("session.decode_failures")
-                if corrupted:
-                    metrics.inc("session.corrupted")
-                if concealed:
-                    metrics.inc("session.concealed")
-                if fallback is not None \
-                        and level_pipeline is fallback:
-                    metrics.inc("session.fallback_frames")
+        Args:
+            frames / start: frame range, as for :meth:`run`.
+            engine: a shared :class:`repro.serve.ServingEngine` that
+                overrides the session's own ``serving`` opt-in — the
+                gateway passes its edge-node engine here so every
+                multiplexed session shares one pool and cache.
+            pipelined: split the decode into submit (at
+                :meth:`SessionStepper.begin_frame`) and collect (at
+                :meth:`SessionStepper.complete_frame`), so a driver
+                can overlap many streams' reconstructions on the pool
+                before collecting any of them.
+        """
+        return SessionStepper(
+            self, frames=frames, start=start, engine=engine,
+            pipelined=pipelined,
+        )
 
     def summary(self) -> SessionSummary:
         """Aggregate the reports collected by :meth:`run`.
@@ -622,3 +446,524 @@ class TelepresenceSession:
                 fallback_count / frames if frames else 0.0
             ),
         )
+
+
+@dataclass
+class _PendingFrame:
+    """A frame begun by :meth:`SessionStepper.begin_frame`, awaiting
+    :meth:`SessionStepper.complete_frame`.
+
+    Holds the open tracer-frame scope (an :class:`ExitStack`), so the
+    frame's trace stays open across the submit/collect gap and closes
+    exactly when the frame completes — or when an exception unwinds
+    the completion.
+    """
+
+    index: int
+    scope: ExitStack
+    level_pipeline: HolographicPipeline
+    degraded: bool
+    encoded: EncodedFrame
+    breakdown: LatencyBreakdown
+    wire_payload: bytes
+    delivered: bool
+    received_payload: Optional[bytes]
+    corrupted: bool
+    ticket: object = None
+    submit_failed: bool = False
+    infrastructure_error: Optional[ServingError] = None
+
+
+class SessionStepper:
+    """Externally driven frame loop for one
+    :class:`TelepresenceSession`.
+
+    :meth:`TelepresenceSession.run` is ``while remaining: step()`` over
+    one of these — the legacy loop body, byte for byte.  A gateway
+    instead drives :meth:`begin_frame` / :meth:`complete_frame`
+    directly, which splits each frame at the sender/receiver boundary:
+    ``begin`` covers capture, encode and transport (and, in pipelined
+    mode, the serving-pool submit), ``complete`` covers decode,
+    concealment and reporting.  Between the two calls the frame's
+    reconstruction can overlap with every other stream on the shared
+    pool.
+
+    Args:
+        session: the session to drive.  Setup (pipeline resets, report
+            clearing, metric reset) happens here, exactly as
+            :meth:`TelepresenceSession.run` would do it.
+        frames / start: frame range, as for ``run``.
+        engine: optional shared serving engine overriding the
+            session's own ``serving`` opt-in; the stepper never closes
+            an engine it was handed.
+        pipelined: submit reconstruction at ``begin`` and collect at
+            ``complete`` (requires ``engine``); off, decode happens
+            synchronously inside ``complete`` — the legacy order.
+    """
+
+    def __init__(
+        self,
+        session: TelepresenceSession,
+        frames: Optional[int] = None,
+        start: int = 0,
+        engine=None,
+        pipelined: bool = False,
+    ) -> None:
+        self.session = session
+        total = len(session.dataset)
+        count = total - start if frames is None else frames
+        if count < 0 or start < 0 or start + count > total:
+            raise PipelineError("frame range out of bounds")
+        session.pipeline.reset()
+        resilience = session.resilience
+        self._fallback = resilience.fallback if resilience else None
+        self._use_checksum = (
+            resilience is not None
+            and resilience.checksum
+            and session.link is not None
+        )
+        self._conceal = (
+            resilience is not None
+            and resilience.conceal
+            and session.decode
+        )
+        if self._fallback is not None:
+            self._fallback.reset()
+        if session._controller is not None:
+            session._controller.reset()
+        if session.link is not None:
+            session.link.reset()
+        if engine is not None:
+            self._engine, self._owns_engine = engine, False
+        else:
+            self._engine, self._owns_engine = session._resolve_engine()
+        if self._engine is not None:
+            self._engine.reset_session(session.session_id)
+        if pipelined and self._engine is None:
+            raise PipelineError(
+                "pipelined stepping requires a serving engine"
+            )
+        self._pipelined = pipelined
+        session.reports = []
+        session.metrics.reset("session.")
+        self._fps = session.dataset.fps
+        self._stale_age = 0
+        self._start = start
+        self._count = count
+        self._offset = 0
+        self._closed = False
+
+    # -- introspection ---------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Frames not yet begun (or shed)."""
+        return self._count - self._offset
+
+    @property
+    def next_index(self) -> int:
+        return self._start + self._offset
+
+    @property
+    def engine(self):
+        return self._engine
+
+    # -- the frame, split at the sender/receiver boundary ----------
+
+    def begin_frame(
+        self,
+        pipeline: Optional[HolographicPipeline] = None,
+        contain_infrastructure: bool = False,
+    ) -> _PendingFrame:
+        """Capture, encode and transport the next frame.
+
+        Args:
+            pipeline: force this frame's encoding pipeline (the
+                gateway's QoS ladder passes the fallback here to drop
+                a stream to keypoints->text without waiting for the
+                session's own hysteresis controller).  ``None`` keeps
+                the session's controller-driven choice — the legacy
+                behaviour.
+            contain_infrastructure: treat a :class:`ServingError` from
+                the pool submit as this frame's failure (concealed at
+                ``complete``) instead of propagating — the gateway's
+                containment boundary.  Off by default so direct use
+                keeps legacy semantics.
+        """
+        if self._closed:
+            raise PipelineError("stepper is closed")
+        if self.remaining <= 0:
+            raise PipelineError("no frames remaining")
+        session = self.session
+        tracer = session.tracer
+        index = self._start + self._offset
+        self._offset += 1
+        capture_time = index / self._fps
+        scope = ExitStack()
+        scope.enter_context(
+            tracer.frame(index, session=session.session_id)
+        )
+        try:
+            with tracer.span("capture"):
+                frame = session.dataset.frame(index)
+            if pipeline is not None:
+                level_pipeline = pipeline
+                degraded = (
+                    self._fallback is not None
+                    and pipeline is self._fallback
+                )
+            else:
+                degraded = (
+                    session._controller is not None
+                    and session._controller.degraded
+                )
+                level_pipeline = (
+                    self._fallback if degraded else session.pipeline
+                )
+            with tracer.span("encode", level=level_pipeline.name):
+                encoded = level_pipeline.encode(frame)
+                level_pipeline.validate_payload(encoded)
+                sender_factor = (
+                    session.sender_edge.device.speed_factor
+                    if session.sender_edge is not None
+                    else 1.0
+                )
+                breakdown = LatencyBreakdown(
+                    stages={
+                        stage: seconds / sender_factor
+                        for stage, seconds
+                        in encoded.timing.stages.items()
+                    }
+                )
+                wire_payload = (
+                    seal_frame(
+                        encoded.payload,
+                        frame_index=index,
+                        level=1 if degraded else 0,
+                    )
+                    if self._use_checksum
+                    else encoded.payload
+                )
+
+            delivered = True
+            received_payload: Optional[bytes] = wire_payload
+            corrupted = False
+            with tracer.span(
+                "transport", payload_bytes=len(wire_payload)
+            ):
+                if session.link is not None:
+                    report = session.link.send_frame(
+                        index, wire_payload, now=capture_time
+                    )
+                    delivered = report.delivered
+                    received_payload = report.payload
+                    if delivered:
+                        breakdown.add("network", report.latency)
+                if delivered and self._use_checksum:
+                    try:
+                        _, received_payload = open_frame(
+                            received_payload
+                        )
+                    except CodecError:
+                        # Bit corruption in flight: the checksum
+                        # turns it into a typed, concealable event
+                        # instead of a garbage reconstruction.
+                        corrupted = True
+
+            pending = _PendingFrame(
+                index=index,
+                scope=scope,
+                level_pipeline=level_pipeline,
+                degraded=degraded,
+                encoded=encoded,
+                breakdown=breakdown,
+                wire_payload=wire_payload,
+                delivered=delivered,
+                received_payload=received_payload,
+                corrupted=corrupted,
+            )
+            if (
+                self._pipelined
+                and delivered
+                and not corrupted
+                and session.decode
+            ):
+                received = EncodedFrame(
+                    frame_index=index,
+                    payload=bytes(received_payload),
+                    timing=encoded.timing,
+                    metadata=encoded.metadata,
+                )
+                with tracer.span("submit"):
+                    try:
+                        pending.ticket = self._engine.submit(
+                            level_pipeline,
+                            received,
+                            session=session.session_id,
+                            sender="sender",
+                        )
+                    except ServingError as exc:
+                        if not contain_infrastructure:
+                            raise
+                        pending.infrastructure_error = exc
+                    except PipelineError:
+                        pending.submit_failed = True
+            elif delivered and not corrupted and session.decode:
+                # Synchronous mode: defer the decode (and the received
+                # EncodedFrame construction) to complete_frame so the
+                # back-to-back step() path matches the legacy loop's
+                # operation order exactly.
+                pending.ticket = None
+            return pending
+        except BaseException:
+            scope.close()
+            raise
+
+    def complete_frame(
+        self,
+        pending: _PendingFrame,
+        queue_wait: float = 0.0,
+        contain_infrastructure: bool = False,
+    ) -> FrameReport:
+        """Decode (or collect), conceal, record and report one frame.
+
+        Args:
+            pending: the frame returned by :meth:`begin_frame`.
+            queue_wait: seconds the frame spent parked in a gateway
+                queue between begin and complete; charged to the
+                frame's latency breakdown as a ``gateway_queue`` stage
+                when positive.
+            contain_infrastructure: conceal a :class:`ServingError`
+                from the decode/collect (worker death, job timeout)
+                instead of propagating it — the report carries
+                ``infrastructure_failed=True``.
+        """
+        session = self.session
+        tracer = session.tracer
+        metrics = session.metrics
+        index = pending.index
+        level_pipeline = pending.level_pipeline
+        breakdown = pending.breakdown
+        delivered = pending.delivered
+        corrupted = pending.corrupted
+        with pending.scope:
+            decoded = None
+            decode_failed = corrupted or pending.submit_failed
+            infra_failed = pending.infrastructure_error is not None
+            if (
+                delivered
+                and not corrupted
+                and session.decode
+                and not pending.submit_failed
+                and not infra_failed
+            ):
+                if self._pipelined:
+                    with tracer.span("decode"):
+                        try:
+                            decoded = self._engine.collect(
+                                pending.ticket
+                            )
+                        except ServingError as exc:
+                            if not contain_infrastructure:
+                                raise
+                            infra_failed = True
+                            pending.infrastructure_error = exc
+                        except PipelineError:
+                            decode_failed = True
+                        if decoded is not None:
+                            tracer.attach_worker_spans(
+                                decoded.metadata.get(
+                                    "worker_spans", ()
+                                )
+                            )
+                else:
+                    received = EncodedFrame(
+                        frame_index=index,
+                        payload=bytes(pending.received_payload),
+                        timing=pending.encoded.timing,
+                        metadata=pending.encoded.metadata,
+                    )
+                    with tracer.span("decode"):
+                        if self._engine is not None:
+                            # Serving path: worker death / timeout
+                            # raises a ServingError out of the session
+                            # (infrastructure failure, never masked as
+                            # a content failure) unless the caller
+                            # contains it, but the same content-level
+                            # failures the legacy branch conceals — a
+                            # delta whose reference was lost, decoded
+                            # inline or pooled — still freeze the
+                            # display instead of crashing the run.
+                            try:
+                                decoded = self._engine.decode(
+                                    level_pipeline,
+                                    received,
+                                    session=session.session_id,
+                                    sender="sender",
+                                )
+                            except ServingError as exc:
+                                if not contain_infrastructure:
+                                    raise
+                                infra_failed = True
+                                pending.infrastructure_error = exc
+                            except PipelineError:
+                                decode_failed = True
+                            if decoded is not None:
+                                tracer.attach_worker_spans(
+                                    decoded.metadata.get(
+                                        "worker_spans", ()
+                                    )
+                                )
+                        else:
+                            try:
+                                decoded = level_pipeline.decode(
+                                    received
+                                )
+                            except PipelineError:
+                                # A frame that arrived but cannot be
+                                # decoded (a delta whose reference was
+                                # lost) is displayed as a freeze, not
+                                # a crash; the sender's periodic
+                                # keyframes bound the outage.
+                                decode_failed = True
+                if decoded is not None:
+                    session._add_receiver_stages(breakdown, decoded)
+
+            concealed = False
+            if decoded is None and self._conceal:
+                concealment = level_pipeline.conceal(index)
+                if concealment is None and level_pipeline is not \
+                        session.pipeline:
+                    concealment = session.pipeline.conceal(index)
+                if concealment is not None:
+                    concealed = True
+                    decoded = concealment
+                    session._add_receiver_stages(
+                        breakdown, concealment
+                    )
+
+            if queue_wait > 0.0:
+                breakdown.add("gateway_queue", queue_wait)
+            fresh = decoded is not None and not concealed
+            if session.decode:
+                self._stale_age = 0 if fresh else self._stale_age + 1
+            else:
+                self._stale_age = (
+                    0 if delivered else self._stale_age + 1
+                )
+            if session._controller is not None:
+                session._controller.record(
+                    fresh if session.decode else delivered
+                )
+            # Exact stage spans, mirroring the frame's final
+            # breakdown: per-stage span sums reconcile with
+            # ``SessionSummary.mean_stage_breakdown`` to the bit.
+            for stage, seconds in breakdown.stages.items():
+                tracer.record(stage, seconds)
+            report = FrameReport(
+                frame_index=index,
+                payload_bytes=len(pending.wire_payload),
+                breakdown=breakdown,
+                delivered=delivered,
+                decoded=decoded,
+                decode_failed=decode_failed,
+                corrupted=corrupted,
+                concealed=concealed,
+                stale_age=self._stale_age,
+                semantic_level=level_pipeline.name,
+                infrastructure_failed=infra_failed,
+            )
+            session.reports.append(report)
+            metrics.inc("session.frames")
+            if delivered:
+                metrics.inc("session.delivered")
+                metrics.observe(
+                    "session.end_to_end_seconds", breakdown.total
+                )
+                if decode_failed:
+                    metrics.inc("session.decode_failures")
+            if corrupted:
+                metrics.inc("session.corrupted")
+            if concealed:
+                metrics.inc("session.concealed")
+            if infra_failed:
+                metrics.inc("session.infrastructure_failures")
+            if self._fallback is not None \
+                    and level_pipeline is self._fallback:
+                metrics.inc("session.fallback_frames")
+            return report
+
+    def step(self) -> FrameReport:
+        """Begin and complete the next frame back to back — the legacy
+        loop body."""
+        return self.complete_frame(self.begin_frame())
+
+    def shed_frame(self) -> FrameReport:
+        """Drop the next frame before encoding it — gateway load
+        shedding.
+
+        The frame is charged to the report stream as undelivered with
+        zero payload and semantic level ``"shed"``; receiver-side
+        concealment still covers the display (the freeze the viewer
+        actually sees), but the degradation controller is *not* fed —
+        sheds are the gateway's decision, and feeding them back into
+        the session's own hysteresis would double-degrade the stream.
+        """
+        if self._closed:
+            raise PipelineError("stepper is closed")
+        if self.remaining <= 0:
+            raise PipelineError("no frames remaining")
+        session = self.session
+        tracer = session.tracer
+        metrics = session.metrics
+        index = self._start + self._offset
+        self._offset += 1
+        with tracer.frame(index, session=session.session_id,
+                          shed=True):
+            decoded = None
+            concealed = False
+            if self._conceal:
+                concealment = session.pipeline.conceal(index)
+                if concealment is not None:
+                    concealed = True
+                    decoded = concealment
+            fresh = False
+            if session.decode:
+                self._stale_age = (
+                    0 if fresh else self._stale_age + 1
+                )
+            else:
+                self._stale_age += 1
+            report = FrameReport(
+                frame_index=index,
+                payload_bytes=0,
+                breakdown=LatencyBreakdown(),
+                delivered=False,
+                decoded=decoded,
+                concealed=concealed,
+                stale_age=self._stale_age,
+                semantic_level="shed",
+            )
+            session.reports.append(report)
+            metrics.inc("session.frames")
+            metrics.inc("session.shed")
+            if concealed:
+                metrics.inc("session.concealed")
+            return report
+
+    # -- lifecycle -------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine if this stepper owns it; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_engine and self._engine is not None:
+            self._engine.close()
+
+    def finish(self) -> SessionSummary:
+        """Close and summarise — the tail of
+        :meth:`TelepresenceSession.run`."""
+        self.close()
+        self.session._ran = True
+        return self.session.summary()

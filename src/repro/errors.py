@@ -42,5 +42,30 @@ class ServingError(PipelineError):
     """
 
 
+class AdmissionError(ServingError):
+    """A session could not be admitted to a serving gateway.
+
+    Raised (or recorded on the stream handle) when the gateway's
+    capacity tokens are exhausted and the admission queue is full, or
+    when a queued session's admission deadline expires before a token
+    frees up.  Carries the machine-readable reason so callers can
+    distinguish an immediate reject from a queue-deadline expiry.
+    """
+
+    def __init__(self, message: str, reason: str = "rejected") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class BackpressureError(ServingError):
+    """A per-stream bound refused new work instead of queueing it.
+
+    Raised by :meth:`repro.serve.pool.ReconstructionPool.submit` when
+    one stream already has ``max_inflight_per_stream`` jobs queued on
+    its worker — the typed alternative to unbounded memory growth
+    behind a slow or wedged worker.
+    """
+
+
 class FittingError(SemHoloError):
     """Model fitting (IK / optimisation) failed to converge or got bad input."""

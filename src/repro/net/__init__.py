@@ -37,6 +37,7 @@ from repro.net.packet import (
     packetize,
     reassemble,
 )
+from repro.net.qos import DEFAULT_LEVEL_COSTS, QOS_LEVELS, StreamQoS
 from repro.net.trace import BandwidthTrace
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "BandwidthCollapse",
     "BandwidthTrace",
     "BitCorruption",
+    "DEFAULT_LEVEL_COSTS",
     "DEFAULT_MTU",
     "DeliveryReport",
     "DeviceProfile",
@@ -60,12 +62,14 @@ __all__ = [
     "OracleRateController",
     "Packet",
     "PacketFate",
+    "QOS_LEVELS",
     "QualityLevel",
     "RTX3080",
     "RandomLoss",
     "RateController",
     "Reordering",
     "ScheduledOutage",
+    "StreamQoS",
     "ThroughputRateController",
     "TransportPolicy",
     "packetize",

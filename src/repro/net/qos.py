@@ -1,0 +1,179 @@
+"""Per-stream QoS ladder state for gateway-driven degradation.
+
+PR 2's :class:`repro.core.concealment.DegradationController` reacts to
+*network* feedback: a stream degrades itself when its own deliveries
+stop.  A gateway multiplexing many streams over one reconstruction
+pool faces a different signal — *compute* pressure shared by every
+stream — and must walk each stream down a quality ladder explicitly,
+lowest priority first, before shedding anyone.  :class:`StreamQoS`
+holds that per-stream ladder state: the current rung, the modeled
+service cost of serving the stream at that rung, and the recovery
+hysteresis that stops a stream from flapping between rungs at the
+watermark boundary.
+
+The ladder itself is a tuple of named levels, best first::
+
+    ("primary", "reduced", "fallback", "shed")
+
+``primary`` is the stream's own pipeline, ``reduced`` a lower
+extraction-resolution variant, ``fallback`` the semantic floor
+(keypoints -> text, reusing the session's resilience fallback), and
+``shed`` drops the frame entirely.  Streams that lack a rung (no
+reduced pipeline configured, no resilience fallback) simply omit it —
+the ladder is whatever subset the gateway can actually serve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import PipelineError
+
+__all__ = [
+    "QOS_LEVELS",
+    "DEFAULT_LEVEL_COSTS",
+    "StreamQoS",
+]
+
+#: The full ladder, best rung first.
+QOS_LEVELS: Tuple[str, ...] = (
+    "primary", "reduced", "fallback", "shed",
+)
+
+#: Modeled service cost of one frame at each rung, in units of one
+#: primary-quality reconstruction.  The numbers encode the paper's
+#: semantic hierarchy: halving extraction resolution roughly halves
+#: field evaluations, the text fallback costs a token lookup, and a
+#: shed frame never reaches the pool at all.
+DEFAULT_LEVEL_COSTS: Dict[str, float] = {
+    "primary": 1.0,
+    "reduced": 0.5,
+    "fallback": 0.1,
+    "shed": 0.0,
+}
+
+
+class StreamQoS:
+    """One stream's position on the degradation ladder.
+
+    Args:
+        levels: the rungs available to this stream, best first; must
+            be a non-empty ordered subset of :data:`QOS_LEVELS`.
+        costs: modeled per-frame service cost by level (defaults to
+            :data:`DEFAULT_LEVEL_COSTS`); the gateway sums these
+            across streams to project pool load.
+        recover_after: consecutive calm ticks (no pressure) required
+            before the stream climbs one rung back up — the same
+            hysteresis idea as ``DegradationController.recover_after``,
+            applied to compute pressure instead of delivery feedback.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[str] = QOS_LEVELS,
+        costs: Optional[Dict[str, float]] = None,
+        recover_after: int = 2,
+    ) -> None:
+        levels = tuple(levels)
+        if not levels:
+            raise PipelineError("a QoS ladder needs at least one rung")
+        order = {name: i for i, name in enumerate(QOS_LEVELS)}
+        unknown = [l for l in levels if l not in order]
+        if unknown:
+            raise PipelineError(
+                f"unknown QoS level(s) {unknown!r}; expected a subset "
+                f"of {QOS_LEVELS!r}"
+            )
+        ranks = [order[l] for l in levels]
+        if ranks != sorted(ranks) or len(set(ranks)) != len(ranks):
+            raise PipelineError(
+                "QoS levels must be an ordered subset of "
+                f"{QOS_LEVELS!r} (best first, no repeats)"
+            )
+        if recover_after < 1:
+            raise PipelineError("recover_after must be >= 1")
+        self.levels = levels
+        self.costs = dict(DEFAULT_LEVEL_COSTS)
+        if costs:
+            self.costs.update(costs)
+        for level in levels:
+            if self.costs.get(level, -1.0) < 0:
+                raise PipelineError(
+                    f"QoS level {level!r} needs a cost >= 0"
+                )
+        self.recover_after = recover_after
+        self._rung = 0
+        self._calm = 0
+        self.degradations = 0
+        self.recoveries = 0
+
+    # -- state ------------------------------------------------------
+
+    @property
+    def rung(self) -> int:
+        return self._rung
+
+    @property
+    def level(self) -> str:
+        return self.levels[self._rung]
+
+    @property
+    def cost(self) -> float:
+        """Modeled service cost of one frame at the current rung."""
+        return self.costs[self.level]
+
+    @property
+    def degraded(self) -> bool:
+        return self._rung > 0
+
+    @property
+    def can_degrade(self) -> bool:
+        return self._rung < len(self.levels) - 1
+
+    def cost_below(self) -> float:
+        """Cost one rung down (current cost when already at the
+        floor) — what the gateway's pressure projection uses to decide
+        whether degrading this stream helps."""
+        if not self.can_degrade:
+            return self.cost
+        return self.costs[self.levels[self._rung + 1]]
+
+    # -- transitions ------------------------------------------------
+
+    def degrade(self) -> str:
+        """Step one rung down (toward ``shed``); returns the new
+        level.  A no-op at the floor."""
+        if self.can_degrade:
+            self._rung += 1
+            self.degradations += 1
+        self._calm = 0
+        return self.level
+
+    def note_pressure(self) -> None:
+        """This tick saw pressure: reset the recovery hysteresis."""
+        self._calm = 0
+
+    def note_calm(self) -> bool:
+        """This tick was calm; returns True when the stream has been
+        calm long enough to climb a rung (call :meth:`recover`)."""
+        self._calm += 1
+        return self.degraded and self._calm >= self.recover_after
+
+    def recover(self) -> str:
+        """Step one rung up (toward ``primary``); returns the new
+        level.  A no-op at the top."""
+        if self._rung > 0:
+            self._rung -= 1
+            self.recoveries += 1
+        self._calm = 0
+        return self.level
+
+    def reset(self) -> None:
+        self._rung = 0
+        self._calm = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamQoS(level={self.level!r}, rung={self._rung}, "
+            f"calm={self._calm})"
+        )

@@ -4,22 +4,37 @@ Turns the session layer from a single-threaded loop into a
 throughput-oriented executor: a process pool with sticky per-stream
 warm-start state and shared-memory mesh transfer
 (:mod:`repro.serve.pool`), a cross-session pose-bucketed mesh cache
-(:mod:`repro.serve.cache`), and the engine gluing both behind an
-opt-in :class:`ServingConfig` (:mod:`repro.serve.engine`).
+(:mod:`repro.serve.cache`), the engine gluing both behind an opt-in
+:class:`ServingConfig` (:mod:`repro.serve.engine`), and the gateway
+multiplexing many sessions over one engine with admission control,
+QoS-ladder backpressure and failure containment
+(:mod:`repro.serve.gateway`, :mod:`repro.serve.admission`).
 """
 
+from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheStats, MeshCache
 from repro.serve.config import ServingConfig
 from repro.serve.engine import DecodeTicket, ServingEngine, ServingStats
+from repro.serve.gateway import (
+    GatewayConfig,
+    GatewayStream,
+    GatewaySummary,
+    HoloGateway,
+)
 from repro.serve.pool import PoolResult, ReconstructionPool
 
 __all__ = [
+    "AdmissionController",
     "CacheStats",
     "MeshCache",
     "ServingConfig",
     "DecodeTicket",
     "ServingEngine",
     "ServingStats",
+    "GatewayConfig",
+    "GatewayStream",
+    "GatewaySummary",
+    "HoloGateway",
     "PoolResult",
     "ReconstructionPool",
 ]

@@ -1,0 +1,178 @@
+"""Admission control for the serving gateway.
+
+A gateway multiplexing sessions over one reconstruction pool has a
+hard capacity: past some number of concurrent streams, every stream's
+latency collapses together.  The :class:`AdmissionController` makes
+that boundary explicit with a token model — ``capacity`` streams may
+be active at once; an arrival past that either waits in a bounded
+priority queue with a deadline, or is refused immediately with a
+typed :class:`repro.errors.AdmissionError` naming the reason.
+
+Every decision is appended to :attr:`AdmissionController.decisions`
+(plain dicts, insertion-ordered), so a fixed arrival schedule under a
+:class:`repro.obs.clock.FakeClock` produces a byte-reproducible
+decision log — the property the gateway's overload tests and the CI
+trace artifact assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, PipelineError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Token-based admission with a bounded, deadline-bearing queue.
+
+    Args:
+        capacity: streams that may hold a token (be active) at once.
+        queue_limit: arrivals that may wait for a token (0 disables
+            queueing: a full gateway rejects immediately).
+        queue_timeout: seconds a queued arrival may wait before its
+            admission expires with ``AdmissionError(reason=
+            "deadline")``.  Measured against the timestamps the caller
+            passes in — the gateway feeds its injectable-clock
+            readings, so expiry is deterministic under a fake clock.
+        registry: metrics registry for the ``serve.gateway.admission*``
+            counters; a private one is created when omitted.
+
+    Promotion order is priority first (higher wins), then arrival
+    order — a starving low-priority stream is never promoted past a
+    later high-priority one, and ties resolve deterministically by
+    arrival sequence.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        queue_limit: int = 0,
+        queue_timeout: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise PipelineError("admission capacity must be >= 1")
+        if queue_limit < 0:
+            raise PipelineError("queue_limit must be >= 0")
+        if queue_limit > 0 and queue_timeout <= 0:
+            raise PipelineError(
+                "a bounded admission queue needs a positive "
+                "queue_timeout; an entry that can never expire would "
+                "wait forever"
+            )
+        self.capacity = capacity
+        self.queue_limit = queue_limit
+        self.queue_timeout = queue_timeout
+        self.metrics = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._active: Dict[str, int] = {}
+        # (priority, seq, key, deadline); kept in arrival order and
+        # scanned for the best candidate, so the log reads in time
+        # order and promotion is O(queue) — queues are small by
+        # construction.
+        self._queue: List[Tuple[int, int, str, float]] = []
+        self._seq = 0
+        self.decisions: List[dict] = []
+
+    # -- introspection ----------------------------------------------
+
+    @property
+    def active(self) -> int:
+        return len(self._active)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def tokens_free(self) -> int:
+        return self.capacity - len(self._active)
+
+    def _log(self, key: str, action: str, now: float, **extra) -> None:
+        self.decisions.append(
+            {"stream": key, "action": action, "now": now, **extra}
+        )
+
+    # -- the admission protocol -------------------------------------
+
+    def request(self, key: str, priority: int = 0,
+                now: float = 0.0) -> str:
+        """Ask for a token; returns ``"admitted"`` or ``"queued"``.
+
+        Raises:
+            AdmissionError: with ``reason="rejected"`` when every
+                token is held and the queue is full (or queueing is
+                disabled), or ``reason="duplicate"`` for a key already
+                active or queued.
+        """
+        if key in self._active or any(
+            entry[2] == key for entry in self._queue
+        ):
+            raise AdmissionError(
+                f"stream {key!r} is already admitted or queued",
+                reason="duplicate",
+            )
+        if len(self._active) < self.capacity:
+            self._active[key] = priority
+            self._log(key, "admit", now, priority=priority)
+            self.metrics.inc("serve.gateway.admitted")
+            return "admitted"
+        if len(self._queue) < self.queue_limit:
+            self._queue.append(
+                (priority, self._seq, key, now + self.queue_timeout)
+            )
+            self._seq += 1
+            self._log(
+                key, "queue", now,
+                priority=priority,
+                deadline=now + self.queue_timeout,
+            )
+            self.metrics.inc("serve.gateway.queued")
+            return "queued"
+        self._log(key, "reject", now, priority=priority)
+        self.metrics.inc("serve.gateway.rejected")
+        raise AdmissionError(
+            f"gateway at capacity ({self.capacity} active, "
+            f"{len(self._queue)} queued); stream {key!r} rejected",
+            reason="rejected",
+        )
+
+    def release(self, key: str, now: float = 0.0) -> None:
+        """Return a token (stream finished or was evicted)."""
+        if self._active.pop(key, None) is not None:
+            self._log(key, "release", now)
+
+    def poll(self, now: float) -> Tuple[List[str], List[str]]:
+        """Expire overdue queue entries, then promote into free
+        tokens; returns ``(promoted_keys, expired_keys)``.
+
+        Expiry runs first so a deadline never silently converts into
+        an admission in the same tick the entry went stale.
+        """
+        expired = [
+            entry[2] for entry in self._queue if now > entry[3]
+        ]
+        if expired:
+            self._queue = [
+                entry for entry in self._queue if entry[2] not in
+                set(expired)
+            ]
+            for key in expired:
+                self._log(key, "expire", now)
+                self.metrics.inc("serve.gateway.expired")
+        promoted: List[str] = []
+        while self._queue and len(self._active) < self.capacity:
+            best = min(
+                range(len(self._queue)),
+                key=lambda i: (-self._queue[i][0], self._queue[i][1]),
+            )
+            priority, _, key, _ = self._queue.pop(best)
+            self._active[key] = priority
+            self._log(key, "promote", now, priority=priority)
+            self.metrics.inc("serve.gateway.promoted")
+            promoted.append(key)
+        return promoted, expired

@@ -46,6 +46,16 @@ class ServingConfig:
             compatible jobs after receiving one (0 = batch only the
             existing backlog, adding no latency).
         max_batch: most jobs one coalesced dispatch may hold.
+        max_inflight_per_stream: most outstanding pool jobs one stream
+            may hold before submissions fail with a typed
+            :class:`repro.errors.BackpressureError` (``None`` =
+            unbounded legacy behaviour; see
+            :class:`repro.serve.pool.ReconstructionPool`).
+
+    Knob *combinations* are validated at construction — a config that
+    cannot mean what it says (a coalesce window with coalescing off,
+    an unknown start method) is refused with a clear error instead of
+    silently misbehaving at serve time.
     """
 
     workers: int = 2
@@ -57,6 +67,9 @@ class ServingConfig:
     coalesce: bool = True
     coalesce_window: float = 0.0
     max_batch: int = 8
+    max_inflight_per_stream: Optional[int] = 64
+
+    _START_METHODS = (None, "fork", "spawn", "forkserver")
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -71,3 +84,27 @@ class ServingConfig:
             raise PipelineError("coalesce_window must be >= 0")
         if self.max_batch < 1:
             raise PipelineError("max_batch must be >= 1")
+        if self.coalesce_window > 0 and not self.coalesce:
+            raise PipelineError(
+                "coalesce_window > 0 has no effect with coalesce="
+                "False; enable coalescing or drop the window"
+            )
+        if self.coalesce_window > 0 and self.workers == 0:
+            raise PipelineError(
+                "coalesce_window > 0 has no effect with workers=0 "
+                "(in-process serving never batches); drop the window "
+                "or use a worker pool"
+            )
+        if self.start_method not in self._START_METHODS:
+            raise PipelineError(
+                f"unknown start_method {self.start_method!r}; expected "
+                "one of None, 'fork', 'spawn', 'forkserver'"
+            )
+        if (
+            self.max_inflight_per_stream is not None
+            and self.max_inflight_per_stream < 1
+        ):
+            raise PipelineError(
+                "max_inflight_per_stream must be >= 1 (or None for "
+                "unbounded)"
+            )

@@ -107,6 +107,7 @@ class ServingEngine:
                 coalesce=config.coalesce,
                 coalesce_window=config.coalesce_window,
                 max_batch=config.max_batch,
+                max_inflight_per_stream=config.max_inflight_per_stream,
             )
             if config.workers >= 1
             else None

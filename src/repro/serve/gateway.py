@@ -1,0 +1,628 @@
+"""The serving gateway: many sessions, one pool, overload as a state.
+
+A single :class:`repro.serve.ServingEngine` already lets N sessions
+share a reconstruction pool and mesh cache, but nothing above it said
+*how many* N may be, what happens to arrival N+1, or which stream
+pays when the pool falls behind.  :class:`HoloGateway` is that layer:
+an asyncio supervisor multiplexing :class:`repro.core.session.
+TelepresenceSession` steppers over one shared engine, with overload
+as a first-class, tested state rather than an emergent hang.
+
+Three mechanisms, in the order they engage:
+
+* **Admission control** (:class:`repro.serve.admission.
+  AdmissionController`): ``max_sessions`` capacity tokens; past that,
+  arrivals wait in a bounded priority queue with a deadline or are
+  refused with a typed :class:`repro.errors.AdmissionError`.
+* **QoS ladder + shedding** (:class:`repro.net.qos.StreamQoS`): when
+  projected pool load crosses ``high_watermark``, streams walk down a
+  per-stream quality ladder — lower extraction resolution, then the
+  semantic keypoints->text fallback (PR 2's degradation machinery),
+  then deterministic shedding — lowest priority first, later arrivals
+  first.  Recovery climbs back with hysteresis once load stays under
+  ``low_watermark``.
+* **Failure containment**: every frame steps with
+  ``contain_infrastructure=True``, so a worker death or job timeout is
+  concealed on the one stream it hit (``FrameReport.
+  infrastructure_failed``) and the pool slot is healed via
+  :meth:`repro.serve.pool.ReconstructionPool.ensure_workers`; other
+  streams' cadence is untouched.  Receiver-side completion runs in an
+  executor thread, so a wedged collect never stalls the event loop —
+  under the real clock a ``watchdog_timeout`` parks the wedged
+  stream's future and the loop moves on.
+
+Determinism: every timestamp the gateway reads comes from the
+injectable :mod:`repro.obs.clock`, and pacing goes through the active
+clock's ``sleep`` — under a :class:`repro.obs.clock.FakeClock` a whole
+overload scenario (admission deadlines, ladder walks, shed patterns,
+the decision log) is a pure function of the arrival schedule.  Pool
+load is then *modeled* via ``service_rate`` (primary-frame costs per
+second) instead of measured, so the knee of the overload curve is
+reproducible to the byte.
+
+Concurrency note: deterministic runs (fake clock) await each stream's
+completion before stepping the next, so the shared engine is touched
+by one thread at a time.  Under the real clock a parked (wedged)
+stream's executor thread may briefly overlap the next stream's step;
+the window is bounded by the pool's own job timeout and engine state
+corruption is limited to advisory counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Optional
+
+from repro.core.session import SessionSummary, TelepresenceSession
+from repro.errors import AdmissionError, PipelineError
+from repro.net.qos import StreamQoS
+from repro.obs.clock import SystemClock, get_clock, monotonic
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.admission import AdmissionController
+from repro.serve.engine import ServingEngine
+
+__all__ = [
+    "GatewayConfig",
+    "GatewayStream",
+    "GatewaySummary",
+    "HoloGateway",
+]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """How the gateway admits, schedules and sheds.
+
+    Attributes:
+        max_sessions: capacity tokens — streams active at once.
+        queue_limit: arrivals that may wait for a token (0 = reject
+            immediately at capacity).
+        queue_timeout: seconds a queued arrival may wait before its
+            admission expires (``AdmissionError(reason="deadline")``).
+        tick_interval: seconds between gateway ticks; every admitted
+            stream advances one frame per tick.
+        service_rate: modeled reconstruction capacity in primary-frame
+            costs per second.  Set, the gateway projects pool load
+            analytically (deterministic under a fake clock); ``None``
+            reads the real pool's inflight depth instead.
+        high_watermark / low_watermark: projected-load thresholds (in
+            primary-frame costs) that start degradation and allow
+            recovery; the gap is the flap-damping band.
+        recover_after: calm ticks below the low watermark before a
+            degraded stream climbs one rung.
+        watchdog_timeout: real-clock seconds one stream's completion
+            may hold the tick before being parked as wedged (fake
+            clocks rely on the pool's own injectable job deadline
+            instead).
+    """
+
+    max_sessions: int = 8
+    queue_limit: int = 8
+    queue_timeout: float = 2.0
+    tick_interval: float = 1.0 / 30.0
+    service_rate: Optional[float] = None
+    high_watermark: float = 8.0
+    low_watermark: float = 2.0
+    recover_after: int = 2
+    watchdog_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise PipelineError("max_sessions must be >= 1")
+        if self.queue_limit < 0:
+            raise PipelineError("queue_limit must be >= 0")
+        if self.queue_limit > 0 and self.queue_timeout <= 0:
+            raise PipelineError(
+                "queue_limit > 0 needs a positive queue_timeout"
+            )
+        if self.tick_interval <= 0:
+            raise PipelineError("tick_interval must be positive")
+        if self.service_rate is not None and self.service_rate <= 0:
+            raise PipelineError(
+                "service_rate must be positive (or None to read the "
+                "real pool depth)"
+            )
+        if self.low_watermark < 0:
+            raise PipelineError("low_watermark must be >= 0")
+        if self.high_watermark <= self.low_watermark:
+            raise PipelineError(
+                "high_watermark must exceed low_watermark (the gap "
+                "is the hysteresis band)"
+            )
+        if self.recover_after < 1:
+            raise PipelineError("recover_after must be >= 1")
+        if self.watchdog_timeout <= 0:
+            raise PipelineError("watchdog_timeout must be positive")
+
+
+@dataclass
+class GatewayStream:
+    """One stream's gateway-side state and final report.
+
+    ``state`` walks ``queued -> active -> finished`` for the happy
+    path; terminal alternatives are ``rejected`` (no token, queue
+    full), ``expired`` (queue deadline passed) and ``failed`` (an
+    uncontained error escaped the stream's stepper).
+    """
+
+    name: str
+    session: TelepresenceSession
+    priority: int
+    arrival: int
+    qos: StreamQoS
+    pipelines: Dict[str, object]
+    frames: Optional[int]
+    start: int
+    state: str = "queued"
+    stepper: object = None
+    parked: object = None
+    frames_done: int = 0
+    shed: int = 0
+    contained: int = 0
+    error: Optional[Exception] = None
+    summary: Optional[SessionSummary] = None
+
+
+@dataclass
+class GatewaySummary:
+    """What a gateway run produced.
+
+    Attributes:
+        ticks: gateway ticks executed.
+        streams: per-stream reports (every stream ever offered,
+            including rejected/expired ones), in arrival order.
+        serving: the shared engine's counters at the end of the run.
+        decisions: the chronological decision log (admission, ladder,
+            shed, containment) — byte-reproducible under a fake clock.
+    """
+
+    ticks: int
+    streams: List[GatewayStream]
+    serving: Dict[str, float]
+    decisions: List[dict]
+
+    def stream(self, name: str) -> GatewayStream:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise PipelineError(f"no stream {name!r}")
+
+    def finished(self) -> List[GatewayStream]:
+        return [s for s in self.streams if s.state == "finished"]
+
+    def mean_interactive_fraction(self) -> float:
+        """Delivered-frame interactive fraction, averaged over
+        finished streams (shed frames are undelivered and therefore
+        excluded — they are concealed stills, not late frames)."""
+        fractions = [
+            s.summary.interactive_fraction
+            for s in self.finished()
+            if s.summary is not None and s.summary.delivery_rate > 0
+        ]
+        return (
+            sum(fractions) / len(fractions) if fractions else 0.0
+        )
+
+
+class HoloGateway:
+    """Asyncio gateway multiplexing session steppers over one engine.
+
+    Args:
+        engine: the shared :class:`ServingEngine` every admitted
+            stream decodes through; the gateway never closes it.
+        config: admission/scheduling knobs
+            (:class:`GatewayConfig`).
+        tracer: opt-in tracer for gateway ticks (separate from any
+            per-session tracers, which the steppers keep using).
+        metrics: registry for ``serve.gateway.*``; defaults to the
+            engine's registry so one scrape covers the whole edge
+            node.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        config: Optional[GatewayConfig] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not isinstance(engine, ServingEngine):
+            raise PipelineError(
+                "HoloGateway needs a ServingEngine, got "
+                f"{type(engine).__name__}"
+            )
+        self.engine = engine
+        self.config = config if config is not None else GatewayConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = (
+            metrics if metrics is not None else engine.metrics
+        )
+        self._admission = AdmissionController(
+            capacity=self.config.max_sessions,
+            queue_limit=self.config.queue_limit,
+            queue_timeout=self.config.queue_timeout,
+            registry=self.metrics,
+        )
+        #: chronological decision log, shared with the admission
+        #: controller so one trace covers admission and QoS alike.
+        self.decisions = self._admission.decisions
+        self._streams: Dict[str, GatewayStream] = {}
+        self._arrivals = itertools.count()
+        self._backlog = 0.0
+        self._ticks = 0
+
+    # -- registration ----------------------------------------------
+
+    def add_session(
+        self,
+        session: TelepresenceSession,
+        priority: int = 0,
+        frames: Optional[int] = None,
+        start: int = 0,
+        reduced=None,
+    ) -> str:
+        """Offer one session to the gateway.
+
+        Returns ``"admitted"`` or ``"queued"``; raises
+        :class:`AdmissionError` (and records the stream as
+        ``rejected``) when neither a token nor a queue slot is free.
+
+        Args:
+            session: the session to multiplex; its ``session_id``
+                names the stream.
+            priority: higher admits, recovers and survives shedding
+                first.
+            frames / start: the stream's frame range.
+            reduced: optional lower extraction-resolution pipeline for
+                the ladder's middle rung; without one the ladder goes
+                straight from primary to the semantic fallback.
+        """
+        name = session.session_id
+        if name in self._streams:
+            raise AdmissionError(
+                f"stream {name!r} already offered", reason="duplicate"
+            )
+        pipelines: Dict[str, object] = {"primary": session.pipeline}
+        levels = ["primary"]
+        if reduced is not None:
+            pipelines["reduced"] = reduced
+            levels.append("reduced")
+        fallback = (
+            session.resilience.fallback
+            if session.resilience is not None
+            else None
+        )
+        if fallback is not None:
+            pipelines["fallback"] = fallback
+            levels.append("fallback")
+        levels.append("shed")
+        stream = GatewayStream(
+            name=name,
+            session=session,
+            priority=priority,
+            arrival=next(self._arrivals),
+            qos=StreamQoS(
+                levels=tuple(levels),
+                recover_after=self.config.recover_after,
+            ),
+            pipelines=pipelines,
+            frames=frames,
+            start=start,
+        )
+        self._streams[name] = stream
+        try:
+            state = self._admission.request(
+                name, priority=priority, now=monotonic()
+            )
+        except AdmissionError as exc:
+            stream.state = "rejected"
+            stream.error = exc
+            raise
+        stream.state = state
+        if state == "admitted":
+            self._activate(stream)
+        return state
+
+    def _activate(self, stream: GatewayStream) -> None:
+        stream.stepper = stream.session.stepper(
+            frames=stream.frames,
+            start=stream.start,
+            engine=self.engine,
+            pipelined=True,
+        )
+        stream.state = "active"
+        self.metrics.set(
+            "serve.gateway.active", len(self._active_streams())
+        )
+
+    # -- scheduling helpers ----------------------------------------
+
+    def _active_streams(self) -> List[GatewayStream]:
+        """Active streams in scheduling order: priority desc, arrival
+        asc — the order frames step and recoveries are granted."""
+        return sorted(
+            (
+                s for s in self._streams.values()
+                if s.state == "active"
+            ),
+            key=lambda s: (-s.priority, s.arrival),
+        )
+
+    def _shed_order(self, active: List[GatewayStream]
+                    ) -> List[GatewayStream]:
+        """Degradation order: lowest priority first, later arrivals
+        first within a priority — the exact mirror of scheduling
+        order, so who pays under overload is deterministic."""
+        return sorted(
+            active, key=lambda s: (s.priority, -s.arrival)
+        )
+
+    def _log(self, stream: str, action: str, now: float,
+             **extra) -> None:
+        self.decisions.append(
+            {"stream": stream, "action": action, "now": now, **extra}
+        )
+
+    def _pressure(self, active: List[GatewayStream]) -> float:
+        """Projected end-of-tick pool load, in primary-frame costs."""
+        config = self.config
+        if config.service_rate is not None:
+            offered = sum(
+                s.qos.cost for s in active if s.parked is None
+            )
+            return max(
+                0.0,
+                self._backlog + offered
+                - config.service_rate * config.tick_interval,
+            )
+        pool = self.engine.pool
+        return float(pool.inflight) if pool is not None else 0.0
+
+    def _walk_ladder(self, active: List[GatewayStream],
+                     now: float) -> None:
+        """Apply the QoS ladder for this tick's projected load."""
+        config = self.config
+        projected = self._pressure(active)
+        self.metrics.set("serve.gateway.pressure", projected)
+        if projected > config.high_watermark:
+            for stream in self._shed_order(active):
+                if projected <= config.high_watermark:
+                    break
+                if not stream.qos.can_degrade:
+                    continue
+                relief = stream.qos.cost - stream.qos.cost_below()
+                previous = stream.qos.level
+                level = stream.qos.degrade()
+                projected -= relief
+                self._log(
+                    stream.name, "degrade", now,
+                    level=level, was=previous,
+                )
+                self.metrics.inc("serve.gateway.degraded")
+            for stream in active:
+                stream.qos.note_pressure()
+        elif projected <= config.low_watermark:
+            due = [s for s in active if s.qos.note_calm()]
+            if due:
+                stream = due[0]  # highest priority recovers first
+                previous = stream.qos.level
+                level = stream.qos.recover()
+                self._log(
+                    stream.name, "recover", now,
+                    level=level, was=previous,
+                )
+                self.metrics.inc("serve.gateway.recovered")
+
+    # -- the tick --------------------------------------------------
+
+    async def _step_stream(self, stream: GatewayStream,
+                           now: float) -> float:
+        """Advance one stream one frame; returns the service cost its
+        frame put on the pool."""
+        config = self.config
+        if stream.qos.level == "shed":
+            report = stream.stepper.shed_frame()
+            stream.shed += 1
+            stream.frames_done += 1
+            self.metrics.inc("serve.gateway.shed")
+            self._log(stream.name, "shed", now,
+                      frame=report.frame_index)
+            return 0.0
+        pipeline = stream.pipelines[stream.qos.level]
+        queue_wait = (
+            self._backlog / config.service_rate
+            if config.service_rate is not None
+            else 0.0
+        )
+        pending = stream.stepper.begin_frame(
+            pipeline=pipeline, contain_infrastructure=True
+        )
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            None,
+            partial(
+                stream.stepper.complete_frame,
+                pending,
+                queue_wait=queue_wait,
+                contain_infrastructure=True,
+            ),
+        )
+        if isinstance(get_clock(), SystemClock):
+            try:
+                report = await asyncio.wait_for(
+                    asyncio.shield(future),
+                    config.watchdog_timeout,
+                )
+            except asyncio.TimeoutError:
+                # The executor thread is stuck in a collect; park it
+                # (the pool's own job deadline bounds the thread) and
+                # keep the loop moving for every other stream.
+                stream.parked = future
+                self.metrics.inc("serve.gateway.watchdog_fired")
+                self._log(stream.name, "watchdog", now)
+                return stream.qos.cost
+        else:
+            report = await future
+        stream.frames_done += 1
+        if report.infrastructure_failed:
+            stream.contained += 1
+            self.metrics.inc("serve.gateway.contained")
+            self._log(
+                stream.name, "contain", now,
+                frame=report.frame_index,
+            )
+            if self.engine.pool is not None:
+                self.engine.pool.ensure_workers()
+        return stream.qos.cost
+
+    def _reap_parked(self, now: float) -> None:
+        """Resolve wedged streams whose executor future completed."""
+        for stream in self._streams.values():
+            if stream.parked is None or not stream.parked.done():
+                continue
+            future, stream.parked = stream.parked, None
+            try:
+                report = future.result()
+            except Exception as exc:
+                stream.error = exc
+                stream.state = "failed"
+                self._finish(stream, now, failed=True)
+                continue
+            stream.frames_done += 1
+            if report.infrastructure_failed:
+                stream.contained += 1
+                self.metrics.inc("serve.gateway.contained")
+                if self.engine.pool is not None:
+                    self.engine.pool.ensure_workers()
+            self._log(stream.name, "unparked", now)
+
+    def _finish(self, stream: GatewayStream, now: float,
+                failed: bool = False) -> None:
+        if not failed:
+            stream.summary = stream.stepper.finish()
+            stream.state = "finished"
+        else:
+            stream.stepper.close()
+        self._admission.release(stream.name, now=now)
+        self.metrics.set(
+            "serve.gateway.active", len(self._active_streams())
+        )
+
+    async def _tick_once(self) -> None:
+        config = self.config
+        tick = self._ticks
+        self._ticks += 1
+        now = monotonic()
+        with self.tracer.frame(tick, session="gateway"):
+            with self.tracer.span("admission"):
+                self._reap_parked(now)
+                promoted, expired = self._admission.poll(now)
+                for name in promoted:
+                    self._streams[name].state = "admitted"
+                    self._activate(self._streams[name])
+                for name in expired:
+                    stream = self._streams[name]
+                    stream.state = "expired"
+                    stream.error = AdmissionError(
+                        f"stream {name!r} waited past its admission "
+                        "deadline",
+                        reason="deadline",
+                    )
+            active = self._active_streams()
+            with self.tracer.span("qos"):
+                self._walk_ladder(active, now)
+            offered = 0.0
+            for stream in active:
+                if stream.parked is not None:
+                    continue
+                with self.tracer.span("step", stream=stream.name,
+                                      level=stream.qos.level):
+                    offered += await self._step_stream(stream, now)
+                if (
+                    stream.state == "active"
+                    and stream.parked is None
+                    and stream.stepper.remaining == 0
+                ):
+                    self._finish(stream, now)
+                    self._log(stream.name, "finish", now)
+            if config.service_rate is not None:
+                self._backlog = max(
+                    0.0,
+                    self._backlog + offered
+                    - config.service_rate * config.tick_interval,
+                )
+                self.metrics.set(
+                    "serve.gateway.backlog", self._backlog
+                )
+            self.metrics.inc("serve.gateway.ticks")
+        await self._pace()
+
+    async def _pace(self) -> None:
+        clock = get_clock()
+        if isinstance(clock, SystemClock):
+            await asyncio.sleep(self.config.tick_interval)
+        else:
+            # Deterministic pacing: advance the fake clock exactly one
+            # tick, then yield once so other loop tasks interleave.
+            clock.sleep(self.config.tick_interval)
+            await asyncio.sleep(0)
+
+    # -- running ---------------------------------------------------
+
+    def _work_remaining(self) -> bool:
+        return any(
+            s.state in ("active", "queued", "admitted")
+            or s.parked is not None
+            for s in self._streams.values()
+        )
+
+    async def run(self, max_ticks: Optional[int] = None
+                  ) -> GatewaySummary:
+        """Drive every offered stream to completion (or until
+        ``max_ticks``); returns the gateway summary."""
+        while self._work_remaining() and (
+            max_ticks is None or self._ticks < max_ticks
+        ):
+            await self._tick_once()
+        return self.summary()
+
+    def run_sync(self, max_ticks: Optional[int] = None
+                 ) -> GatewaySummary:
+        """:meth:`run` under ``asyncio.run`` — the test/bench entry
+        point."""
+        return asyncio.run(self.run(max_ticks=max_ticks))
+
+    # -- reporting -------------------------------------------------
+
+    def summary(self) -> GatewaySummary:
+        streams = sorted(
+            self._streams.values(), key=lambda s: s.arrival
+        )
+        return GatewaySummary(
+            ticks=self._ticks,
+            streams=streams,
+            serving=self.engine.serving_summary(),
+            decisions=list(self.decisions),
+        )
+
+    def decision_jsonl(self) -> str:
+        """The decision log, one canonical JSON object per line —
+        byte-reproducible for a fixed arrival schedule under a fake
+        clock."""
+        return "\n".join(
+            json.dumps(entry, sort_keys=True)
+            for entry in self.decisions
+        )
+
+    def export_decisions(self, path) -> int:
+        """Write the decision log as JSONL; returns the line count."""
+        text = self.decision_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return 0 if not text else text.count("\n") + 1

@@ -59,7 +59,7 @@ import numpy as np
 from repro.body.expression import ExpressionParams
 from repro.body.pose import BodyPose
 from repro.body.shape import ShapeParams
-from repro.errors import PipelineError, ServingError
+from repro.errors import BackpressureError, PipelineError, ServingError
 from repro.geometry.mesh import TriangleMesh
 from repro.obs.clock import monotonic, perf_counter
 from repro.obs.registry import MetricsRegistry
@@ -507,6 +507,12 @@ class ReconstructionPool:
             compatible jobs after receiving one (0 = batch only what
             is already queued, adding no latency for lone jobs).
         max_batch: most jobs one coalesced dispatch may hold.
+        max_inflight_per_stream: most jobs one stream may have queued
+            or running at once.  A slow worker behind a fast submitter
+            used to grow the request queue without bound; past this
+            many outstanding jobs, :meth:`submit` raises a typed
+            :class:`repro.errors.BackpressureError` instead.  ``None``
+            restores the unbounded legacy behaviour.
 
     Use as a context manager, or call :meth:`close` explicitly; worker
     processes are daemonic, so a leaked pool cannot outlive the parent.
@@ -521,6 +527,7 @@ class ReconstructionPool:
         coalesce: bool = True,
         coalesce_window: float = 0.0,
         max_batch: int = 8,
+        max_inflight_per_stream: Optional[int] = 64,
     ) -> None:
         if workers < 1:
             raise PipelineError("a reconstruction pool needs >= 1 worker")
@@ -530,11 +537,20 @@ class ReconstructionPool:
             raise PipelineError("coalesce_window must be >= 0")
         if max_batch < 1:
             raise PipelineError("max_batch must be >= 1")
+        if (
+            max_inflight_per_stream is not None
+            and max_inflight_per_stream < 1
+        ):
+            raise PipelineError(
+                "max_inflight_per_stream must be >= 1 (or None for "
+                "unbounded)"
+            )
         self.workers = workers
         self.job_timeout = job_timeout
         self.coalesce = coalesce
         self.coalesce_window = coalesce_window
         self.max_batch = max_batch
+        self.max_inflight_per_stream = max_inflight_per_stream
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.metrics.set("serve.pool.workers", workers)
         self.metrics.histogram(
@@ -549,6 +565,7 @@ class ReconstructionPool:
         self._next_job = 0
         self._stream_worker: Dict[str, int] = {}
         self._stream_counts = [0] * workers
+        self._stream_inflight: Dict[str, int] = {}
         self._pending: Dict[int, Tuple[str, int, int]] = {}
         self._done: Dict[int, Tuple[str, object]] = {}
         # Jobs abandoned by a timeout or close: their late results are
@@ -590,6 +607,30 @@ class ReconstructionPool:
             self.metrics.inc("serve.pool.streams_routed")
         return worker
 
+    # -- inflight accounting ---------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Jobs submitted but not yet resolved (the pool's depth)."""
+        return len(self._pending)
+
+    def stream_inflight(self, stream: str) -> int:
+        """Outstanding jobs of one stream."""
+        return self._stream_inflight.get(stream, 0)
+
+    def _forget_pending(self, job_id: int):
+        """Remove one pending entry, keeping the per-stream inflight
+        count exact; returns the entry (or None)."""
+        entry = self._pending.pop(job_id, None)
+        if entry is not None:
+            stream = entry[0]
+            count = self._stream_inflight.get(stream, 0) - 1
+            if count > 0:
+                self._stream_inflight[stream] = count
+            else:
+                self._stream_inflight.pop(stream, None)
+        return entry
+
     # -- job lifecycle ---------------------------------------------
 
     def submit(
@@ -606,6 +647,28 @@ class ReconstructionPool:
         """Queue one reconstruction; returns a job id for :meth:`result`."""
         if self._closed:
             raise ServingError("pool is closed")
+        bound = self.max_inflight_per_stream
+        if (
+            bound is not None
+            and self._stream_inflight.get(stream, 0) >= bound
+        ):
+            # The backlog may just not have been reaped yet: drain
+            # whatever already responded before refusing.
+            while (
+                self._stream_inflight.get(stream, 0) >= bound
+                and self._drain(block_seconds=0.0)
+            ):
+                pass
+        if (
+            bound is not None
+            and self._stream_inflight.get(stream, 0) >= bound
+        ):
+            self.metrics.inc("serve.pool.backpressure")
+            raise BackpressureError(
+                f"stream {stream!r} already has {bound} jobs in "
+                f"flight; refusing frame {frame_index} instead of "
+                "queueing without bound behind a slow worker"
+            )
         worker = self.worker_for(stream)
         if not self._processes[worker].is_alive():
             raise ServingError(
@@ -633,6 +696,9 @@ class ReconstructionPool:
             )
         )
         self._pending[job_id] = (stream, frame_index, worker)
+        self._stream_inflight[stream] = (
+            self._stream_inflight.get(stream, 0) + 1
+        )
         self.jobs_per_worker[worker] += 1
         self.metrics.inc("serve.pool.submitted")
         return job_id
@@ -681,7 +747,7 @@ class ReconstructionPool:
                     # kept), then terminate and respawn the worker so
                     # the streams pinned to it do not queue behind the
                     # wedge and time out too.
-                    del self._pending[job_id]
+                    self._forget_pending(job_id)
                     self._abandoned.add(job_id)
                     self.metrics.inc("serve.pool.timeouts")
                     self._respawn_worker(worker)
@@ -726,7 +792,7 @@ class ReconstructionPool:
             return False
         kind = message[0]
         job_id = message[1]
-        self._pending.pop(job_id, None)
+        self._forget_pending(job_id)
         if job_id in self._abandoned:
             self._abandoned.discard(job_id)
             if kind == "ok":
@@ -807,7 +873,7 @@ class ReconstructionPool:
             if w == worker
         ]
         for job_id in dead:
-            stream, frame_index, _ = self._pending.pop(job_id)
+            stream, frame_index, _ = self._forget_pending(job_id)
             self._done[job_id] = (
                 "err",
                 ServingError(
@@ -840,6 +906,31 @@ class ReconstructionPool:
             pass
         self._processes[worker] = self._spawn_worker(worker)
 
+    def ensure_workers(self) -> int:
+        """Respawn every dead worker in place; returns the count.
+
+        The heal path for a long-lived serving layer (the gateway):
+        a worker killed by the OS fails its in-flight jobs with typed
+        errors, and this call brings the slot back so the streams
+        pinned to it resume on the next submit (warm-start re-seeds on
+        the fresh process).  A healthy pool is a no-op.
+        """
+        if self._closed:
+            raise ServingError("pool is closed")
+        respawned = 0
+        for worker, process in enumerate(self._processes):
+            if not process.is_alive():
+                # Reap results the worker flushed before dying so its
+                # pending jobs resolve from real responses where
+                # possible, then convert the remainder to typed errors
+                # and start a replacement.
+                while self._drain(block_seconds=0.0):
+                    pass
+                self.metrics.inc("serve.pool.worker_deaths")
+                self._respawn_worker(worker)
+                respawned += 1
+        return respawned
+
     def crash_worker(self, worker: int, exit_code: int = 17) -> None:
         """Test hook: make one worker die abruptly (fault injection)."""
         self._requests[worker].put(("crash", exit_code))
@@ -865,6 +956,7 @@ class ReconstructionPool:
         self._closed = True
         self._abandoned.update(self._pending)
         self._pending.clear()
+        self._stream_inflight.clear()
         for process, requests in zip(self._processes, self._requests):
             if process.is_alive():
                 try:

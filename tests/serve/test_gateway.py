@@ -1,0 +1,631 @@
+"""The serving gateway: admission, QoS ladder, failure containment.
+
+Overload is exercised as a *deterministic* state: every timed decision
+(admission deadlines, ladder walks, shed patterns) runs against a
+:class:`repro.obs.clock.FakeClock`, so a fixed arrival schedule yields
+a byte-reproducible decision log — asserted here, and exported by the
+CI overload job as a JSONL artifact when ``REPRO_GATEWAY_TRACE`` is
+set.
+
+``REPRO_GATEWAY_SEED`` sweeps the arrival-schedule RNG in CI; the
+ladder-order and reproducibility invariants must hold for every seed.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.body.model import BodyModel
+from repro.body.motion import talking
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.core.concealment import ResilienceConfig
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.session import TelepresenceSession
+from repro.core.text_pipeline import TextSemanticPipeline
+from repro.errors import AdmissionError, PipelineError
+from repro.geometry.camera import Intrinsics
+from repro.net.link import NetworkLink
+from repro.net.qos import QOS_LEVELS, StreamQoS
+from repro.net.trace import BandwidthTrace
+from repro.obs.clock import FakeClock, use_clock
+from repro.serve import (
+    AdmissionController,
+    GatewayConfig,
+    HoloGateway,
+    ServingConfig,
+    ServingEngine,
+)
+
+GATEWAY_SEED = int(os.environ.get("REPRO_GATEWAY_SEED", "7"))
+
+
+@pytest.fixture(scope="module")
+def gateway_model():
+    return BodyModel(template_resolution=48, template_vertices=2000)
+
+
+@pytest.fixture(scope="module")
+def gateway_ds(gateway_model):
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(96, 72, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    return RGBDSequenceDataset(
+        model=gateway_model,
+        motion=talking(n_frames=10),
+        rig=rig,
+        samples_per_pixel=4.0,
+    )
+
+
+def _session(ds, model, name, seed=0, link=None):
+    return TelepresenceSession(
+        ds,
+        KeypointSemanticPipeline(resolution=24, seed=seed),
+        link=link,
+        resilience=ResilienceConfig(
+            fallback=TextSemanticPipeline(model=model, points=100),
+        ),
+        session_id=name,
+    )
+
+
+def _reduced(seed=0):
+    return KeypointSemanticPipeline(resolution=12, seed=seed)
+
+
+class TestStreamQoS:
+    def test_ladder_walks_in_order_and_recovers(self):
+        qos = StreamQoS(recover_after=2)
+        assert qos.level == "primary" and not qos.degraded
+        assert [qos.degrade() for _ in range(4)] == \
+            ["reduced", "fallback", "shed", "shed"]
+        assert not qos.can_degrade
+        # Hysteresis: one calm tick is not enough.
+        assert not qos.note_calm()
+        assert qos.note_calm()
+        assert qos.recover() == "fallback"
+        # Pressure resets the calm streak.
+        assert not qos.note_calm()
+        qos.note_pressure()
+        assert not qos.note_calm()
+
+    def test_costs_fall_down_the_ladder(self):
+        qos = StreamQoS()
+        costs = [qos.cost]
+        while qos.can_degrade:
+            qos.degrade()
+            costs.append(qos.cost)
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == 0.0  # shed frames never reach the pool
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            StreamQoS(levels=())
+        with pytest.raises(PipelineError):
+            StreamQoS(levels=("primary", "turbo"))
+        with pytest.raises(PipelineError):
+            StreamQoS(levels=("fallback", "primary"))
+        with pytest.raises(PipelineError):
+            StreamQoS(recover_after=0)
+        # Subsets are fine (a stream without a reduced pipeline).
+        StreamQoS(levels=("primary", "fallback", "shed"))
+        assert QOS_LEVELS == ("primary", "reduced", "fallback", "shed")
+
+
+class TestAdmissionController:
+    def test_tokens_queue_and_typed_reject(self):
+        admission = AdmissionController(
+            capacity=2, queue_limit=1, queue_timeout=1.0
+        )
+        assert admission.request("a", now=0.0) == "admitted"
+        assert admission.request("b", now=0.0) == "admitted"
+        assert admission.request("c", now=0.0) == "queued"
+        with pytest.raises(AdmissionError) as excinfo:
+            admission.request("d", now=0.0)
+        assert excinfo.value.reason == "rejected"
+        with pytest.raises(AdmissionError) as excinfo:
+            admission.request("a", now=0.0)
+        assert excinfo.value.reason == "duplicate"
+
+    def test_promotion_prefers_priority_then_arrival(self):
+        admission = AdmissionController(
+            capacity=1, queue_limit=3, queue_timeout=10.0
+        )
+        admission.request("active", now=0.0)
+        admission.request("low-early", priority=0, now=0.0)
+        admission.request("high-late", priority=5, now=0.1)
+        admission.request("low-late", priority=0, now=0.2)
+        admission.release("active", now=0.3)
+        promoted, expired = admission.poll(now=0.3)
+        assert promoted == ["high-late"] and expired == []
+        admission.release("high-late", now=0.4)
+        promoted, _ = admission.poll(now=0.4)
+        assert promoted == ["low-early"]  # arrival order breaks ties
+
+    def test_deadline_expires_before_promotion(self):
+        admission = AdmissionController(
+            capacity=1, queue_limit=1, queue_timeout=0.5
+        )
+        admission.request("active", now=0.0)
+        admission.request("waiting", now=0.0)
+        admission.release("active", now=1.0)
+        promoted, expired = admission.poll(now=1.0)
+        assert promoted == [] and expired == ["waiting"]
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            AdmissionController(capacity=0)
+        with pytest.raises(PipelineError):
+            AdmissionController(capacity=1, queue_limit=-1)
+        with pytest.raises(PipelineError):
+            AdmissionController(capacity=1, queue_limit=1,
+                                queue_timeout=0.0)
+
+
+class TestGatewayConfig:
+    def test_knob_combinations_validated(self):
+        with pytest.raises(PipelineError):
+            GatewayConfig(max_sessions=0)
+        with pytest.raises(PipelineError):
+            GatewayConfig(queue_limit=1, queue_timeout=0.0)
+        with pytest.raises(PipelineError):
+            GatewayConfig(tick_interval=0.0)
+        with pytest.raises(PipelineError):
+            GatewayConfig(service_rate=0.0)
+        with pytest.raises(PipelineError):
+            GatewayConfig(high_watermark=1.0, low_watermark=2.0)
+        with pytest.raises(PipelineError):
+            GatewayConfig(recover_after=0)
+        with pytest.raises(PipelineError):
+            GatewayConfig(watchdog_timeout=0.0)
+        GatewayConfig()  # defaults are self-consistent
+
+
+class TestStepperByteIdentity:
+    def test_gateway_off_path_is_byte_identical(self, gateway_ds,
+                                                gateway_model):
+        """run() is now a stepper loop; the legacy opt-out path must
+        be byte-identical: same reports, same summary, same payloads,
+        with a lossy seeded link exercising concealment and the
+        degradation ladder."""
+        def link():
+            return NetworkLink(
+                trace=BandwidthTrace.constant(10.0),
+                propagation_delay=0.02,
+                loss_rate=0.3,
+                seed=11,
+            )
+
+        first = _session(gateway_ds, gateway_model, "ident",
+                         link=link())
+        second = _session(gateway_ds, gateway_model, "ident",
+                          link=link())
+        # A fake clock per run zeroes the *measured* timing component
+        # so the comparison is over every deterministic field — the
+        # modeled latencies, payloads and delivery decisions.
+        with use_clock(FakeClock()):
+            summary_run = first.run(frames=8)
+        with use_clock(FakeClock()):
+            stepper = second.stepper(frames=8)
+            while stepper.remaining:
+                stepper.step()
+            summary_step = stepper.finish()
+        assert summary_run == summary_step
+        assert len(first.reports) == len(second.reports)
+        for a, b in zip(first.reports, second.reports):
+            assert a.payload_bytes == b.payload_bytes
+            assert a.delivered == b.delivered
+            assert a.concealed == b.concealed
+            assert a.semantic_level == b.semantic_level
+            assert a.breakdown.stages == b.breakdown.stages
+            assert not a.infrastructure_failed
+
+
+def _overload_gateway(ds, model, seed, trace_path=None):
+    """A seeded deep-overload scenario on a fake clock: 4 streams
+    whose primary cost is ~13x the modeled service rate — past the
+    fallback knee, so shedding must engage.  Priorities and arrival
+    order are drawn from the seed."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(4)
+    priorities = rng.integers(0, 3, size=4)
+    with use_clock(FakeClock()):
+        engine = ServingEngine(ServingConfig(workers=0))
+        gateway = HoloGateway(
+            engine,
+            GatewayConfig(
+                max_sessions=4,
+                queue_limit=2,
+                queue_timeout=1.0,
+                tick_interval=0.1,
+                service_rate=3.0,  # 0.3 primary-costs per tick
+                high_watermark=0.5,
+                low_watermark=0.2,
+                recover_after=2,
+            ),
+        )
+        for index in order:
+            gateway.add_session(
+                _session(ds, model, f"ov{index}", seed=int(index)),
+                priority=int(priorities[index]),
+                frames=8,
+                reduced=_reduced(seed=int(index)),
+            )
+        summary = gateway.run_sync(max_ticks=40)
+        decisions = gateway.decision_jsonl()
+        if trace_path is not None:
+            gateway.export_decisions(trace_path)
+        engine.close()
+    return summary, decisions
+
+
+class TestQosLadderUnderOverload:
+    def test_ladder_order_and_byte_reproducibility(self, gateway_ds,
+                                                   gateway_model,
+                                                   tmp_path):
+        """Satellite: under sustained 2x overload the gateway walks
+        each stream down the ladder strictly in order (resolution drop
+        -> semantic switch -> shed), and the whole decision log is
+        byte-reproducible for a fixed seed."""
+        summary, first_log = _overload_gateway(
+            gateway_ds, gateway_model, GATEWAY_SEED,
+            trace_path=tmp_path / "gateway_trace.jsonl",
+        )
+        _, second_log = _overload_gateway(
+            gateway_ds, gateway_model, GATEWAY_SEED
+        )
+        assert first_log == second_log  # bytes, not semantics
+
+        # Every stream finished despite overload: shedding kept the
+        # loop live instead of letting the backlog run away.
+        assert all(s.state == "finished" for s in summary.streams)
+        assert summary.ticks <= 40
+
+        # Ladder order per stream: every degrade steps exactly one
+        # rung down that stream's ladder (resolution drop before the
+        # semantic switch before shedding), every recover exactly one
+        # rung back up — never skipping, never reordering.
+        for stream in summary.streams:
+            ladder = list(stream.qos.levels)
+            for entry in summary.decisions:
+                if entry["stream"] != stream.name:
+                    continue
+                if entry["action"] == "degrade":
+                    assert ladder.index(entry["level"]) == \
+                        ladder.index(entry["was"]) + 1
+                elif entry["action"] == "recover":
+                    assert ladder.index(entry["level"]) == \
+                        ladder.index(entry["was"]) - 1
+
+        # Somebody degraded and somebody shed: the scenario really is
+        # past the knee.
+        actions = {d["action"] for d in summary.decisions}
+        assert "degrade" in actions
+        assert any(s.shed > 0 for s in summary.streams)
+        # Shed frames are recorded, undelivered, and typed.
+        shed_stream = next(s for s in summary.streams if s.shed > 0)
+        shed_reports = [
+            r for r in shed_stream.session.reports
+            if r.semantic_level == "shed"
+        ]
+        assert len(shed_reports) == shed_stream.shed
+        assert all(not r.delivered and r.payload_bytes == 0
+                   for r in shed_reports)
+
+    def test_degradation_hits_lowest_priority_first(self, gateway_ds,
+                                                    gateway_model):
+        with use_clock(FakeClock()):
+            engine = ServingEngine(ServingConfig(workers=0))
+            gateway = HoloGateway(
+                engine,
+                GatewayConfig(
+                    max_sessions=2,
+                    tick_interval=0.1,
+                    service_rate=10.0,  # capacity 1/tick, offered 2
+                    high_watermark=0.8,
+                    low_watermark=0.3,
+                ),
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "vip", seed=0),
+                priority=5, frames=5, reduced=_reduced(0),
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "best-effort",
+                         seed=1),
+                priority=0, frames=5, reduced=_reduced(1),
+            )
+            summary = gateway.run_sync(max_ticks=30)
+            engine.close()
+        first_degrade = next(
+            d for d in summary.decisions if d["action"] == "degrade"
+        )
+        assert first_degrade["stream"] == "best-effort"
+        vip = summary.stream("vip")
+        low = summary.stream("best-effort")
+        assert vip.qos.degradations <= low.qos.degradations
+
+    def test_recovery_after_load_drops(self, gateway_ds,
+                                       gateway_model):
+        """Once the short stream finishes, pressure falls under the
+        low watermark and the survivor climbs back up with
+        hysteresis."""
+        with use_clock(FakeClock()):
+            engine = ServingEngine(ServingConfig(workers=0))
+            gateway = HoloGateway(
+                engine,
+                GatewayConfig(
+                    max_sessions=2,
+                    tick_interval=0.1,
+                    service_rate=15.0,  # capacity 1.5/tick
+                    high_watermark=0.4,
+                    low_watermark=0.2,
+                    recover_after=2,
+                ),
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "long", seed=0),
+                priority=0, frames=10, reduced=_reduced(0),
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "short", seed=1),
+                priority=1, frames=2, reduced=_reduced(1),
+            )
+            summary = gateway.run_sync(max_ticks=40)
+            engine.close()
+        survivor = summary.stream("long")
+        assert survivor.qos.recoveries >= 1
+        recover_ticks = [
+            d["now"] for d in summary.decisions
+            if d["action"] == "recover" and d["stream"] == "long"
+        ]
+        finish_tick = next(
+            d["now"] for d in summary.decisions
+            if d["action"] == "finish" and d["stream"] == "short"
+        )
+        assert all(t > finish_tick for t in recover_ticks)
+
+
+class TestFailureContainment:
+    def test_worker_death_isolated_to_one_stream(self, gateway_ds,
+                                                 gateway_model):
+        """Satellite: kill a worker mid-run with N sessions on the
+        gateway — exactly one stream conceals the failure, every other
+        stream's cadence is untouched, and the pool slot is healed so
+        the victim finishes too."""
+        frames = 6
+        engine = ServingEngine(
+            ServingConfig(workers=4, job_timeout=60.0)
+        )
+        gateway = HoloGateway(
+            engine, GatewayConfig(max_sessions=4, tick_interval=0.001)
+        )
+        names = [f"chaos{i}" for i in range(4)]
+        for i, name in enumerate(names):
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, name, seed=i),
+                frames=frames,
+            )
+        # Two clean ticks first, so the victim has receiver-side state
+        # to conceal from when the crash lands.
+        gateway.run_sync(max_ticks=2)
+        victim = names[0]
+        worker = engine.pool.worker_for(f"{victim}|sender")
+        engine.pool.crash_worker(worker)
+        engine.pool._processes[worker].join(timeout=10)
+        summary = gateway.run_sync()
+        engine.close()
+
+        assert all(s.state == "finished" for s in summary.streams)
+        contained = {
+            s.name: sum(
+                1 for r in s.session.reports if r.infrastructure_failed
+            )
+            for s in summary.streams
+        }
+        # Exactly one stream took the hit...
+        assert contained[victim] >= 1
+        assert all(count == 0 for name, count in contained.items()
+                   if name != victim)
+        # ...and concealed it instead of crashing or stalling.
+        victim_reports = summary.stream(victim).session.reports
+        assert len(victim_reports) == frames
+        failed = [r for r in victim_reports if r.infrastructure_failed]
+        assert all(r.concealed for r in failed)
+        # Everyone else's cadence is untouched: every frame fresh.
+        for stream in summary.streams:
+            if stream.name == victim:
+                continue
+            reports = stream.session.reports
+            assert len(reports) == frames
+            assert all(r.displayed_fresh for r in reports)
+            assert stream.session.metrics.value(
+                "session.infrastructure_failures"
+            ) == 0
+        # The slot was healed: the victim kept decoding after the
+        # contained frame(s).
+        assert summary.stream(victim).contained == len(failed)
+        tail = victim_reports[-1]
+        assert tail.displayed_fresh
+        assert summary.serving["workers"] == 4
+
+    def test_uncontained_direct_use_still_raises(self, gateway_ds,
+                                                 gateway_model,
+                                                 ):
+        """Without a gateway the legacy contract holds: a dead worker
+        raises a typed ServingError out of the session run."""
+        from repro.errors import ServingError
+
+        engine = ServingEngine(ServingConfig(workers=1))
+        session = _session(gateway_ds, gateway_model, "direct", seed=0)
+        try:
+            engine.pool.crash_worker(0)
+            engine.pool._processes[0].join(timeout=10)
+            with pytest.raises(ServingError):
+                stepper = session.stepper(frames=2, engine=engine,
+                                          pipelined=True)
+                while stepper.remaining:
+                    stepper.step()
+        finally:
+            engine.close()
+
+
+class TestOverloadMatrix:
+    def test_many_session_overload_smoke(self, gateway_ds,
+                                         gateway_model, tmp_path):
+        """The CI overload matrix: offer REPRO_GATEWAY_SESSIONS
+        seeded sessions (64 in CI) to an 8-token gateway under
+        sustained overload.  Every stream must reach a terminal state
+        with no unhandled exception and no event-loop stall, the
+        token/queue/reject accounting must add up, and the decision
+        log is exported as a JSONL artifact via
+        REPRO_GATEWAY_TRACE."""
+        n_sessions = int(
+            os.environ.get("REPRO_GATEWAY_SESSIONS", "12")
+        )
+        frames = 4
+        rng = np.random.default_rng(GATEWAY_SEED)
+        order = rng.permutation(n_sessions)
+        priorities = rng.integers(0, 4, size=n_sessions)
+        rejected = 0
+        with use_clock(FakeClock()):
+            engine = ServingEngine(ServingConfig(workers=0))
+            gateway = HoloGateway(
+                engine,
+                GatewayConfig(
+                    max_sessions=8,
+                    queue_limit=8,
+                    queue_timeout=2.0,
+                    tick_interval=0.1,
+                    service_rate=40.0,  # 4 primary costs/tick vs 8
+                    high_watermark=1.0,
+                    low_watermark=0.25,
+                ),
+            )
+            for index in order:
+                try:
+                    gateway.add_session(
+                        _session(gateway_ds, gateway_model,
+                                 f"m{index}", seed=int(index)),
+                        priority=int(priorities[index]),
+                        frames=frames,
+                        reduced=_reduced(seed=int(index)),
+                    )
+                except AdmissionError as exc:
+                    assert exc.reason == "rejected"
+                    rejected += 1
+            summary = gateway.run_sync(max_ticks=200)
+            trace = os.environ.get(
+                "REPRO_GATEWAY_TRACE", tmp_path / "matrix.jsonl"
+            )
+            lines = gateway.export_decisions(trace)
+            engine.close()
+
+        assert len(summary.streams) == n_sessions
+        terminal = {"finished", "rejected", "expired"}
+        states = {s.name: s.state for s in summary.streams}
+        assert set(states.values()) <= terminal, states
+        by_state = {
+            state: sum(1 for v in states.values() if v == state)
+            for state in terminal
+        }
+        assert by_state["rejected"] == rejected
+        assert by_state["finished"] >= 8  # every token was used
+        assert (
+            by_state["finished"] + by_state["rejected"]
+            + by_state["expired"] == n_sessions
+        )
+        for stream in summary.streams:
+            if stream.state == "finished":
+                assert len(stream.session.reports) == frames
+        # Overload really engaged, and the artifact has the story.
+        assert any(
+            d["action"] in ("degrade", "shed")
+            for d in summary.decisions
+        )
+        assert lines == len(summary.decisions)
+
+
+class TestGatewayAdmissionFlow:
+    def test_rejected_and_expired_streams_reported(self, gateway_ds,
+                                                   gateway_model):
+        with use_clock(FakeClock()):
+            engine = ServingEngine(ServingConfig(workers=0))
+            gateway = HoloGateway(
+                engine,
+                GatewayConfig(
+                    max_sessions=1, queue_limit=1, queue_timeout=0.05,
+                    tick_interval=0.1, service_rate=100.0,
+                    high_watermark=5.0, low_watermark=1.0,
+                ),
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "first", seed=0),
+                frames=6,
+            )
+            assert gateway.add_session(
+                _session(gateway_ds, gateway_model, "second", seed=1),
+                frames=2,
+            ) == "queued"
+            with pytest.raises(AdmissionError) as excinfo:
+                gateway.add_session(
+                    _session(gateway_ds, gateway_model, "third",
+                             seed=2),
+                    frames=2,
+                )
+            assert excinfo.value.reason == "rejected"
+            summary = gateway.run_sync(max_ticks=30)
+            engine.close()
+        assert summary.stream("first").state == "finished"
+        second = summary.stream("second")
+        assert second.state == "expired"
+        assert isinstance(second.error, AdmissionError)
+        assert second.error.reason == "deadline"
+        third = summary.stream("third")
+        assert third.state == "rejected"
+        assert summary.stream("first").summary.frames == 6
+
+    def test_queued_stream_promoted_when_token_frees(self, gateway_ds,
+                                                     gateway_model):
+        with use_clock(FakeClock()):
+            engine = ServingEngine(ServingConfig(workers=0))
+            gateway = HoloGateway(
+                engine,
+                GatewayConfig(
+                    max_sessions=1, queue_limit=1, queue_timeout=5.0,
+                    tick_interval=0.1, service_rate=100.0,
+                    high_watermark=5.0, low_watermark=1.0,
+                ),
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "running",
+                         seed=0),
+                frames=3,
+            )
+            gateway.add_session(
+                _session(gateway_ds, gateway_model, "waiting",
+                         seed=1),
+                frames=3,
+            )
+            summary = gateway.run_sync(max_ticks=30)
+            engine.close()
+        assert summary.stream("running").state == "finished"
+        waiting = summary.stream("waiting")
+        assert waiting.state == "finished"
+        assert waiting.summary.frames == 3
+        promote = next(
+            d for d in summary.decisions
+            if d["action"] == "promote"
+        )
+        assert promote["stream"] == "waiting"
+        # The queue wait is visible in the decision log timeline.
+        finish_first = next(
+            d["now"] for d in summary.decisions
+            if d["action"] == "finish" and d["stream"] == "running"
+        )
+        assert promote["now"] >= finish_first

@@ -9,7 +9,7 @@ import pytest
 from repro.obs.clock import monotonic
 from repro.avatar.reconstructor import KeypointMeshReconstructor
 from repro.body.motion import talking
-from repro.errors import PipelineError, ServingError
+from repro.errors import BackpressureError, PipelineError, ServingError
 from repro.serve.pool import ReconstructionPool
 
 
@@ -278,6 +278,95 @@ class TestCoalescing:
             ReconstructionPool(workers=1, coalesce_window=-0.1)
         with pytest.raises(PipelineError):
             ReconstructionPool(workers=1, max_batch=0)
+
+
+class TestBackpressure:
+    def test_per_stream_inflight_bound_is_typed(self, poses):
+        """Past ``max_inflight_per_stream`` outstanding jobs, submit
+        raises a typed BackpressureError instead of queueing without
+        bound behind a slow worker (the satellite regression)."""
+        with ReconstructionPool(
+            workers=1, max_inflight_per_stream=2
+        ) as pool:
+            pool.stall_worker(0, 1.5)
+            jobs = [
+                pool.submit("s", i, pose=poses[0], resolution=32)
+                for i in range(2)
+            ]
+            assert pool.stream_inflight("s") == 2
+            assert pool.inflight == 2
+            with pytest.raises(BackpressureError, match="'s'"):
+                pool.submit("s", 2, pose=poses[0], resolution=32)
+            # Typed and ordered: BackpressureError is a ServingError
+            # (infrastructure, not content).
+            assert issubclass(BackpressureError, ServingError)
+            assert pool.metrics.value("serve.pool.backpressure") == 1
+            # Another stream is not punished for this stream's
+            # backlog.
+            other = pool.submit("t", 0, pose=poses[0], resolution=32)
+            # Draining restores headroom: once results are reaped the
+            # stream submits again.
+            for job in jobs:
+                pool.result(job)
+            assert pool.stream_inflight("s") == 0
+            retry = pool.submit("s", 2, pose=poses[0], resolution=32)
+            pool.result(retry)
+            pool.result(other)
+
+    def test_unbounded_legacy_mode(self, poses):
+        with ReconstructionPool(
+            workers=1, max_inflight_per_stream=None
+        ) as pool:
+            jobs = [
+                pool.submit("s", i, pose=poses[0], resolution=32)
+                for i in range(8)
+            ]
+            for job in jobs:
+                pool.result(job)
+
+    def test_validation(self):
+        with pytest.raises(PipelineError, match="max_inflight"):
+            ReconstructionPool(workers=1, max_inflight_per_stream=0)
+
+
+class TestHeal:
+    def test_ensure_workers_respawns_dead_slots(self, poses):
+        """The gateway's heal path: a dead worker slot is respawned in
+        place, after which the streams pinned to it submit again."""
+        with ReconstructionPool(workers=2) as pool:
+            pool.reconstruct("a", 0, pose=poses[0], resolution=32)
+            pool.crash_worker(0, exit_code=9)
+            pool._processes[0].join(timeout=10)
+            assert pool.ensure_workers() == 1
+            assert pool._processes[0].is_alive()
+            # Sticky pinning survives the respawn.
+            assert pool.worker_for("a") == 0
+            result = pool.reconstruct("a", 1, pose=poses[0],
+                                      resolution=32)
+            assert result.worker == 0
+            # Healthy pool: a no-op.
+            assert pool.ensure_workers() == 0
+
+    def test_ensure_workers_fails_in_flight_jobs_typed(self, poses):
+        with ReconstructionPool(workers=1) as pool:
+            pool.reconstruct("a", 0, pose=poses[0], resolution=32)
+            job = pool.submit("a", 1, pose=poses[0], resolution=32)
+            pool.crash_worker(0)
+            pool._processes[0].join(timeout=10)
+            pool.ensure_workers()
+            # The in-flight job either finished before the crash
+            # landed or resolves as a typed ServingError; never a
+            # hang.
+            try:
+                pool.result(job, timeout=10.0)
+            except ServingError:
+                pass
+
+    def test_closed_pool_refuses_heal(self):
+        pool = ReconstructionPool(workers=1)
+        pool.close()
+        with pytest.raises(ServingError, match="closed"):
+            pool.ensure_workers()
 
 
 class TestSharedMemoryHygiene:
