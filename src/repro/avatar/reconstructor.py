@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.obs.clock import perf_counter
 from repro.obs.registry import get_registry
+from repro.obs.tracer import KIND_EXTRACT
 from repro.avatar.implicit import PosedBodyField
 from repro.body.expression import ExpressionParams
 from repro.body.pose import BodyPose
@@ -29,16 +30,21 @@ from repro.body.shape import ShapeParams
 from repro.errors import PipelineError
 from repro.geometry.marching import (
     ExtractionStats,
-    dilate_cells,
     extract_surface,
+    remap_cells,
 )
 from repro.geometry.mesh import TriangleMesh
+from repro.geometry.octree import extract_surface_octree, level_schedule
 
 __all__ = ["ReconstructionResult", "KeypointMeshReconstructor",
            "SUPPORTED_RESOLUTIONS"]
 
 # The resolutions evaluated in the paper (§4.1).
 SUPPORTED_RESOLUTIONS = (128, 256, 512, 1024)
+
+# Exact-bucket boundaries for the octree leaf-depth histogram: one
+# bucket per depth, deep enough for 1024 = 32 << 5.
+_DEPTH_BUCKETS = tuple(float(d) for d in range(9))
 
 
 @dataclass
@@ -54,6 +60,13 @@ class ReconstructionResult:
             never query the field, e.g. temporal warps).
         warm_started: whether extraction was seeded from the previous
             frame's surface cells instead of the full cascade.
+        cells_refined: octree mode only — cells subdivided across all
+            refinement levels (0 on the dense path).
+        cells_skipped_gaze: octree mode only — straddling cells the
+            gaze LOD budget stopped early (0 without a budget).
+        extract_spans: octree mode only — per-refinement-level timing
+            records (``extract_octree`` span kind) for trace
+            attachment; pool workers forward these with the result.
     """
 
     mesh: TriangleMesh
@@ -61,6 +74,9 @@ class ReconstructionResult:
     seconds: float
     field_evaluations: int = 0
     warm_started: bool = False
+    cells_refined: int = 0
+    cells_skipped_gaze: int = 0
+    extract_spans: tuple = ()
 
     @property
     def fps(self) -> float:
@@ -93,6 +109,14 @@ class KeypointMeshReconstructor:
         max_seed_dilation: motion bound (in finest-level cells) beyond
             which warm-starting is abandoned for the frame — dilating
             further would cost more than the cascade saves.
+        extraction: ``"dense"`` keeps the coarse-to-fine cascade
+            byte-for-byte as before; ``"octree"`` switches to
+            :func:`repro.geometry.octree.extract_surface_octree`, which
+            refines per cell, batches each level's corner queries into
+            one kernel flush, and honours the per-frame gaze LOD budget
+            installed via :meth:`set_depth_budget`.
+        octree_base: root-grid resolution of the octree (depth 0);
+            ignored on the dense path.
     """
 
     resolution: int = 128
@@ -101,6 +125,14 @@ class KeypointMeshReconstructor:
     fused: bool = True
     warm_start: bool = True
     max_seed_dilation: int = 3
+    extraction: str = "dense"
+    octree_base: int = 32
+
+    #: per-frame gaze LOD policy (octree mode only); install with
+    #: :meth:`set_depth_budget`, cleared with None.  Deliberately not a
+    #: dataclass field: it is frame state, not configuration, so pool
+    #: config tuples and equality stay budget-agnostic.
+    depth_budget = None
 
     # Serving seam: when set, each frame's PosedBodyField is passed
     # through this callable and the *returned* SDF is what extraction
@@ -129,6 +161,31 @@ class KeypointMeshReconstructor:
             raise PipelineError("expression_channels must be >= 0")
         if self.max_seed_dilation < 0:
             raise PipelineError("max_seed_dilation must be >= 0")
+        if self.extraction not in ("dense", "octree"):
+            raise PipelineError(
+                f"extraction must be 'dense' or 'octree', "
+                f"got {self.extraction!r}"
+            )
+        if self.octree_base < 2:
+            raise PipelineError("octree_base must be at least 2")
+        if self.extraction == "octree" \
+                and self.octree_base > self.resolution:
+            raise PipelineError(
+                "octree_base cannot exceed the resolution"
+            )
+
+    def set_depth_budget(self, budget) -> None:
+        """Install this frame's gaze LOD policy (octree mode only).
+
+        ``budget`` is any object with a ``target_depths(centers,
+        max_depth)`` method — typically a :class:`repro.gaze.lod.
+        GazeDepthBudget` — or ``None`` to refine everything to full
+        depth again.  The budget is per-frame viewer state, so it
+        deliberately lives outside the dataclass config (two
+        reconstructors with different budgets still compare equal and
+        share pool job configs).
+        """
+        self.depth_budget = budget
 
     def reset(self) -> None:
         """Drop warm-start state (e.g. at a scene cut or new speaker)."""
@@ -173,30 +230,57 @@ class KeypointMeshReconstructor:
             ).copy()
         )
 
+        octree = self.extraction == "octree"
         seeds = None
-        if self.warm_start:
+        if self.warm_start and not octree:
             seeds = self._seed_from_previous(lo, hi, anchors, expr_key)
 
         fld_eval = (
             fld if self.field_hook is None else self.field_hook(fld)
         )
         stats = ExtractionStats()
-        mesh = extract_surface(
-            fld_eval,
-            (lo, hi),
-            self.resolution,
-            seed_cells=seeds,
-            stats=stats,
-        )
+        if octree:
+            seed_leaves = (
+                self._octree_seed(lo, hi, anchors, expr_key)
+                if self.warm_start
+                else None
+            )
+            mesh = extract_surface_octree(
+                fld_eval,
+                (lo, hi),
+                self.resolution,
+                base_resolution=self.octree_base,
+                budget=self.depth_budget,
+                seed_leaves=seed_leaves,
+                stats=stats,
+            )
+        else:
+            mesh = extract_surface(
+                fld_eval,
+                (lo, hi),
+                self.resolution,
+                seed_cells=seeds,
+                stats=stats,
+            )
         evaluations = stats.field_evaluations
         warm = stats.warm_started
         if warm and mesh.num_faces == 0:
             # The seed missed the surface (should not happen within the
             # dilation bound, but never trade a frame for the shortcut).
             stats = ExtractionStats()
-            mesh = extract_surface(
-                fld_eval, (lo, hi), self.resolution, stats=stats
-            )
+            if octree:
+                mesh = extract_surface_octree(
+                    fld_eval,
+                    (lo, hi),
+                    self.resolution,
+                    base_resolution=self.octree_base,
+                    budget=self.depth_budget,
+                    stats=stats,
+                )
+            else:
+                mesh = extract_surface(
+                    fld_eval, (lo, hi), self.resolution, stats=stats
+                )
             evaluations += stats.field_evaluations
             warm = False
         seconds = perf_counter() - start
@@ -211,12 +295,37 @@ class KeypointMeshReconstructor:
         registry = get_registry()
         registry.inc("avatar.reconstructions")
         registry.inc("avatar.field_evaluations", evaluations)
+        extract_spans: tuple = ()
+        if octree:
+            registry.inc(
+                "session.extract.cells_refined", stats.cells_refined
+            )
+            registry.inc(
+                "session.extract.cells_skipped_gaze",
+                stats.cells_skipped_gaze,
+            )
+            if stats.leaf_depths is not None and len(stats.leaf_depths):
+                histogram = registry.histogram(
+                    "session.extract.depth", buckets=_DEPTH_BUCKETS
+                )
+                depths, counts = np.unique(
+                    stats.leaf_depths, return_counts=True
+                )
+                for depth, count in zip(depths, counts):
+                    histogram.observe(float(depth), int(count))
+            extract_spans = tuple(
+                {**span, "kind": KIND_EXTRACT}
+                for span in stats.level_spans
+            )
         return ReconstructionResult(
             mesh=mesh,
             resolution=self.resolution,
             seconds=seconds,
             field_evaluations=evaluations,
             warm_started=warm,
+            cells_refined=stats.cells_refined,
+            cells_skipped_gaze=stats.cells_skipped_gaze,
+            extract_spans=extract_spans,
         )
 
     @staticmethod
@@ -276,16 +385,112 @@ class KeypointMeshReconstructor:
         )
         if dilation > self.max_seed_dilation:
             return None
-        centers = (
-            prev.origin
-            + (prev.surface_cells.astype(np.float64) + 0.5) * prev.spacing
+        seeds = remap_cells(
+            prev.surface_cells,
+            prev.origin,
+            prev.spacing,
+            lo,
+            spacing,
+            self.resolution,
+            dilation=dilation,
         )
-        mapped = np.floor((centers - lo) / spacing).astype(np.int64)
-        inside = np.all(
-            (mapped >= -dilation) & (mapped < self.resolution + dilation),
-            axis=1,
-        )
-        mapped = np.clip(mapped[inside], 0, self.resolution - 1)
-        if not len(mapped):
+        return seeds if len(seeds) else None
+
+    def _octree_seed(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        anchors: np.ndarray,
+        expr_key: Optional[np.ndarray],
+    ) -> Optional[list]:
+        """Per-depth warm seeds for the octree extractor.
+
+        Maps the previous frame's straddling leaf set into this frame's
+        per-depth grids, dilated by the motion bound.  Each leaf seeds
+        at ``min(previous depth, current budget target at its centre)``
+        — when the gaze moved onto a region the seed refines deeper
+        from where it stopped; when it moved away, the leaf is coarsened
+        to the new target.  ``None`` means cold start (first frame,
+        grid mismatch, expression change, or too-large motion).
+        """
+        prev = self._prev_stats
+        if (
+            prev is None
+            or prev.leaf_cells is None
+            or prev.leaf_depths is None
+            or not len(prev.leaf_cells)
+            or prev.resolution != self.resolution
+        ):
             return None
-        return dilate_cells(mapped, dilation, self.resolution)
+        levels = level_schedule(self.resolution, self.octree_base)
+        if prev.leaf_levels != levels:
+            return None
+        if (expr_key is None) != (self._prev_expression is None):
+            return None
+        if expr_key is not None and not np.array_equal(
+            expr_key, self._prev_expression
+        ):
+            return None
+        if (
+            self._prev_anchors is None
+            or self._prev_anchors.shape != anchors.shape
+        ):
+            return None
+        delta = float(
+            np.linalg.norm(anchors - self._prev_anchors, axis=1).max()
+        )
+        extent = float((hi - lo).max())
+        max_depth = len(levels) - 1
+        prev_extent = prev.spacing * prev.resolution
+        depths = prev.leaf_depths
+        cells = prev.leaf_cells
+
+        if self.depth_budget is not None:
+            per_depth_spacing = np.array(
+                [prev_extent / level for level in levels]
+            )
+            centers = (
+                prev.origin
+                + (cells.astype(np.float64) + 0.5)
+                * per_depth_spacing[depths][:, None]
+            )
+            targets = np.asarray(
+                self.depth_budget.target_depths(centers, max_depth),
+                dtype=np.int64,
+            )
+            seed_depths = np.minimum(depths, targets)
+        else:
+            seed_depths = np.minimum(depths, max_depth)
+
+        seed_leaves = []
+        for src_depth in np.unique(depths):
+            src_spacing = prev_extent / levels[src_depth]
+            at_src = depths == src_depth
+            for dst_depth in np.unique(seed_depths[at_src]):
+                group = cells[at_src & (seed_depths == dst_depth)]
+                dst_level = levels[dst_depth]
+                dst_spacing = extent / dst_level
+                # Same motion bound as the dense warm path, expressed
+                # in destination-depth cells: 2x the largest anchor
+                # displacement (blend-zone slack) plus half a source
+                # cell (centre-to-surface offset), ceil'd because
+                # |floor(u) - floor(v)| <= ceil(|u - v|).
+                dilation = int(
+                    np.ceil(
+                        (2.0 * delta + 0.5 * src_spacing) / dst_spacing
+                    )
+                )
+                if dilation > self.max_seed_dilation:
+                    return None
+                mapped = remap_cells(
+                    group,
+                    prev.origin,
+                    src_spacing,
+                    lo,
+                    dst_spacing,
+                    dst_level,
+                    dilation=dilation,
+                )
+                if len(mapped):
+                    seed_leaves.append((int(dst_depth), mapped))
+        return seed_leaves or None

@@ -78,6 +78,16 @@ class TemporalReconstructor:
         self.__post_init__()
         self.base.reset()
 
+    def set_depth_budget(self, budget) -> None:
+        """Install a gaze depth budget on the base reconstructor.
+
+        Keyframes run the base's full extraction, so an octree-mode
+        base picks the budget up there (and its leaf set seeds the next
+        keyframe); warps re-pose the cached mesh and never query the
+        field, so the budget has nothing to do between keyframes.
+        """
+        self.base.set_depth_budget(budget)
+
     def reconstruct(
         self,
         pose: Optional[BodyPose] = None,

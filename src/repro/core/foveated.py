@@ -67,6 +67,15 @@ class FoveatedHybridPipeline(HolographicPipeline):
         viewer_camera: the remote viewer's head pose (updated per
             frame via :meth:`set_gaze`).
         seed: detection noise seed.
+        peripheral_octree: run the peripheral reconstruction through
+            the octree extractor with a gaze depth budget — the same
+            gaze cone that selects the foveal submesh also caps the
+            octree depth outside it, so the periphery refines
+            ``peripheral_depth_drop`` levels shallower than the cone
+            interior.
+        peripheral_depth_drop: refinement levels dropped outside the
+            cone (octree mode only).
+        octree_base: octree root-grid resolution (octree mode only).
     """
 
     output_format = "mesh"
@@ -77,6 +86,9 @@ class FoveatedHybridPipeline(HolographicPipeline):
         peripheral_resolution: int = 64,
         viewer_camera: Optional[Camera] = None,
         seed: int = 0,
+        peripheral_octree: bool = False,
+        peripheral_depth_drop: int = 1,
+        octree_base: int = 32,
     ) -> None:
         self.foveation = FoveationModel(
             foveal_radius_degrees=foveal_radius_degrees
@@ -87,9 +99,18 @@ class FoveatedHybridPipeline(HolographicPipeline):
         self.tracker = KeypointTracker()
         self.pose_smoother = PoseSmoother()
         self.fitter = PoseFitter()
-        self.reconstructor = KeypointMeshReconstructor(
-            resolution=peripheral_resolution
-        )
+        self.peripheral_octree = peripheral_octree
+        self.peripheral_depth_drop = peripheral_depth_drop
+        if peripheral_octree:
+            self.reconstructor = KeypointMeshReconstructor(
+                resolution=peripheral_resolution,
+                extraction="octree",
+                octree_base=min(octree_base, peripheral_resolution),
+            )
+        else:
+            self.reconstructor = KeypointMeshReconstructor(
+                resolution=peripheral_resolution
+            )
         self.viewer_camera = viewer_camera or Camera.looking_at(
             Intrinsics.from_fov(320, 240, 90.0),
             eye=(0.0, 1.6, 2.5),
@@ -98,10 +119,13 @@ class FoveatedHybridPipeline(HolographicPipeline):
         self.gaze_angles = np.zeros(2)
         self._seed = seed
         self._rng = np.random.default_rng(seed)
+        octree_tag = "-octree" if peripheral_octree else ""
         self.name = (
             f"foveated-{foveal_radius_degrees:g}deg-"
-            f"p{peripheral_resolution}"
+            f"p{peripheral_resolution}{octree_tag}"
         )
+        if peripheral_octree:
+            self._update_depth_budget()
 
     def reset(self) -> None:
         self.tracker.reset()
@@ -115,6 +139,20 @@ class FoveatedHybridPipeline(HolographicPipeline):
         self.gaze_angles = np.asarray(gaze_angles, dtype=np.float64)
         if camera is not None:
             self.viewer_camera = camera
+        if self.peripheral_octree:
+            self._update_depth_budget()
+
+    def _update_depth_budget(self) -> None:
+        from repro.gaze.lod import GazeDepthBudget
+
+        self.reconstructor.set_depth_budget(
+            GazeDepthBudget.from_view(
+                self.foveation,
+                self.viewer_camera,
+                self.gaze_angles,
+                peripheral_drop=self.peripheral_depth_drop,
+            )
+        )
 
     def encode(self, frame: DatasetFrame) -> EncodedFrame:
         timing = LatencyBreakdown()

@@ -1,0 +1,153 @@
+"""Gaze-driven level-of-detail policy for octree surface extraction.
+
+Bridges the gaze layer to the geometry layer: a
+:class:`GazeDepthBudget` captures one viewer's gaze cone (eye position,
+world-space direction, cone half-angle) and converts it into per-cell
+octree depth targets — cells whose centres fall inside the cone refine
+to the full depth, everything peripheral stops ``peripheral_drop``
+levels early.  The budget is a small immutable value object so it can
+be built once per frame from a :class:`~repro.gaze.foveation.
+FoveationModel` + camera (or a :class:`~repro.gaze.traces.GazeTrace`
+sample) and shipped to pool workers as a plain tuple of floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SemHoloError
+from repro.gaze.foveation import FoveationModel
+
+__all__ = ["GazeDepthBudget"]
+
+
+@dataclass(frozen=True, eq=False)
+class GazeDepthBudget:
+    """Per-cell octree depth targets from one viewer's gaze cone.
+
+    Attributes:
+        eye: (3,) world-space eye position.
+        direction: (3,) world-space gaze direction (normalised on
+            construction).
+        cone_degrees: half-angle of the full-detail cone; mirrors
+            :attr:`FoveationModel.foveal_radius_degrees`.
+        peripheral_drop: how many refinement levels cells outside the
+            cone stop early (clamped so the target never drops below
+            depth 0).
+    """
+
+    eye: np.ndarray
+    direction: np.ndarray
+    cone_degrees: float
+    peripheral_drop: int = 1
+
+    def __post_init__(self) -> None:
+        eye = np.asarray(self.eye, dtype=np.float64).reshape(3)
+        direction = np.asarray(
+            self.direction, dtype=np.float64
+        ).reshape(3)
+        norm = float(np.linalg.norm(direction))
+        if norm <= 0:
+            raise SemHoloError("gaze direction must be non-zero")
+        if not 0 < self.cone_degrees < 90:
+            raise SemHoloError("cone half-angle must be in (0, 90)")
+        if self.peripheral_drop < 0:
+            raise SemHoloError("peripheral_drop must be >= 0")
+        object.__setattr__(self, "eye", eye)
+        object.__setattr__(self, "direction", direction / norm)
+
+    def target_depths(
+        self, centers: np.ndarray, max_depth: int
+    ) -> np.ndarray:
+        """Octree depth target for each cell centre.
+
+        Args:
+            centers: (M, 3) world-space cell centres.
+            max_depth: the extraction's deepest level.
+
+        Returns:
+            (M,) int64 targets: ``max_depth`` inside the cone,
+            ``max(max_depth - peripheral_drop, 0)`` outside.
+        """
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        to_centers = centers - self.eye
+        distances = np.linalg.norm(to_centers, axis=1)
+        unit = to_centers / np.maximum(distances[:, None], 1e-12)
+        cos_angle = unit @ self.direction
+        in_cone = cos_angle >= np.cos(np.deg2rad(self.cone_degrees))
+        peripheral = max(int(max_depth) - self.peripheral_drop, 0)
+        return np.where(in_cone, int(max_depth), peripheral).astype(
+            np.int64
+        )
+
+    @classmethod
+    def from_view(
+        cls,
+        foveation: FoveationModel,
+        camera,
+        gaze_angles: np.ndarray,
+        peripheral_drop: int = 1,
+    ) -> "GazeDepthBudget":
+        """Budget for a viewer's current head pose + eye angles."""
+        return cls(
+            eye=np.asarray(camera.position, dtype=np.float64),
+            direction=foveation.gaze_direction(camera, gaze_angles),
+            cone_degrees=foveation.foveal_radius_degrees,
+            peripheral_drop=peripheral_drop,
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace,
+        camera,
+        at_time: Optional[float] = None,
+        foveation: Optional[FoveationModel] = None,
+        peripheral_drop: int = 1,
+    ) -> "GazeDepthBudget":
+        """Budget from a :class:`~repro.gaze.traces.GazeTrace` sample.
+
+        Uses the last sample at or before ``at_time`` (the first sample
+        when ``at_time`` precedes the trace, the final sample when
+        ``at_time`` is omitted), so trace-driven sessions can look up
+        the gaze state for each frame timestamp.
+        """
+        samples = trace.samples
+        if at_time is None:
+            sample = samples[-1]
+        else:
+            times = np.array([s.time for s in samples])
+            index = int(np.searchsorted(times, at_time, side="right")) - 1
+            sample = samples[max(index, 0)]
+        model = foveation if foveation is not None else FoveationModel()
+        return cls.from_view(
+            model, camera, sample.angle, peripheral_drop
+        )
+
+    def to_wire(self) -> tuple:
+        """Flatten to an 8-float tuple for pool job messages."""
+        return (
+            float(self.eye[0]),
+            float(self.eye[1]),
+            float(self.eye[2]),
+            float(self.direction[0]),
+            float(self.direction[1]),
+            float(self.direction[2]),
+            float(self.cone_degrees),
+            float(self.peripheral_drop),
+        )
+
+    @classmethod
+    def from_wire(cls, wire) -> "GazeDepthBudget":
+        """Inverse of :meth:`to_wire`."""
+        if len(wire) != 8:
+            raise SemHoloError("gaze wire tuple must have 8 entries")
+        return cls(
+            eye=np.array(wire[0:3], dtype=np.float64),
+            direction=np.array(wire[3:6], dtype=np.float64),
+            cone_degrees=float(wire[6]),
+            peripheral_drop=int(wire[7]),
+        )

@@ -29,6 +29,7 @@ __all__ = [
     "extract_surface",
     "ExtractionStats",
     "dilate_cells",
+    "remap_cells",
 ]
 
 
@@ -41,6 +42,11 @@ class ExtractionStats:
     actually performed, whether it ran from a warm seed, and the finest-
     level surface cells (with their grid frame) that a subsequent frame
     can use as its seed.
+
+    The octree extractor (:func:`repro.geometry.octree.
+    extract_surface_octree`) fills the same fields plus the leaf-set
+    fields below; the dense/sparse paths never touch them, so existing
+    consumers see an unchanged object.
     """
 
     field_evaluations: int = 0
@@ -56,6 +62,20 @@ class ExtractionStats:
     spacing: float = 0.0
     #: finest-level cells per axis.
     resolution: int = 0
+    #: octree only: (L, 3) cell coords of every retained leaf, each on
+    #: the grid of its own depth (see ``leaf_depths``/``leaf_levels``).
+    leaf_cells: Optional[np.ndarray] = None
+    #: octree only: (L,) refinement depth of each leaf cell.
+    leaf_depths: Optional[np.ndarray] = None
+    #: octree only: cells per axis at each depth (index = depth).
+    leaf_levels: Optional[tuple] = None
+    #: octree only: cells subdivided into children across all levels.
+    cells_refined: int = 0
+    #: octree only: straddling cells the gaze LOD policy stopped early.
+    cells_skipped_gaze: int = 0
+    #: octree only: per-level timing records (name/start/end/depth/
+    #: cells/evaluations dicts) for ``extract_octree`` span reporting.
+    level_spans: list = field(default_factory=list)
 
 
 class _CountingSDF:
@@ -75,6 +95,24 @@ class _CountingSDF:
         self.count += len(points)
         return self._sdf(points)
 
+    def kernel_problem(self, points: np.ndarray):
+        """Batchable ``(sdf, points)`` problem for the wrapped field.
+
+        Mirrors the wrapped field's ``kernel_problem`` seam so octree
+        flushes routed through :func:`repro.geometry.sdf.
+        evaluate_packed` stay packable.  The count is taken here for the
+        packed path; when this returns ``None`` the caller falls back to
+        :meth:`__call__`, which counts instead — exactly one count per
+        evaluation either way.
+        """
+        inner = getattr(self._sdf, "kernel_problem", None)
+        if inner is None:
+            return None
+        problem = inner(points)
+        if problem is not None:
+            self.count += len(points)
+        return problem
+
 
 class _QueryScratch:
     """Reusable buffers for the per-level corner queries.
@@ -87,22 +125,31 @@ class _QueryScratch:
     views hand out the *same memory*, so callers must consume a view
     before requesting the next one — which the level-by-level cascade
     does by construction.
+
+    ``ragged=True`` switches to exact growth for ragged flush sequences
+    (the octree extractor): per-level query counts there are not
+    monotone, so doubling past the largest request would permanently
+    over-allocate; exact growth caps the buffer at the largest flush
+    actually seen while still reusing it for every other level.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, ragged: bool = False) -> None:
+        self._ragged = ragged
         self._points = np.empty((0, 3))
         self._dense = np.empty(0)
 
     def points(self, n: int) -> np.ndarray:
         """An uninitialised (n, 3) float64 view."""
         if len(self._points) < n:
-            self._points = np.empty((max(n, 2 * len(self._points)), 3))
+            grow = n if self._ragged else max(n, 2 * len(self._points))
+            self._points = np.empty((grow, 3))
         return self._points[:n]
 
     def dense(self, n: int) -> np.ndarray:
         """An uninitialised (n,) float64 view."""
         if len(self._dense) < n:
-            self._dense = np.empty(max(n, 2 * len(self._dense)))
+            grow = n if self._ragged else max(n, 2 * len(self._dense))
+            self._dense = np.empty(grow)
         return self._dense[:n]
 
 # Cube corner offsets, corner c = (x, y, z) bit pattern.
@@ -294,16 +341,22 @@ def extract_surface(
 
 
 def dilate_cells(
-    cells: np.ndarray, dilation: int, resolution: int
+    cells: np.ndarray, dilation: int, resolution
 ) -> np.ndarray:
     """Grow a cell set by a Chebyshev (L-inf) ball of radius ``dilation``.
 
     Used to widen a previous frame's surface cells by the inter-frame
     motion bound before seeding :func:`extract_surface`.  Cells are
     clipped to ``[0, resolution)`` and deduplicated; the result is
-    sorted by linear grid index.
+    sorted by linear grid index.  ``resolution`` may be a scalar or a
+    per-axis ``(3,)`` array — octree warm-start seeding clips against
+    the grid of each refinement depth, which need not be the finest
+    (or even a cubic) grid.
     """
     cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+    resolution = np.broadcast_to(
+        np.asarray(resolution, dtype=np.int64), (3,)
+    )
     if not len(cells):
         return cells
     cells = np.clip(cells, 0, resolution - 1)
@@ -331,12 +384,64 @@ def dilate_cells(
     return np.argwhere(volume) + lo
 
 
-def _straddling(
-    cells: np.ndarray, corner_values: np.ndarray, iso: float
+def remap_cells(
+    cells: np.ndarray,
+    src_origin: np.ndarray,
+    src_spacing: float,
+    dst_origin: np.ndarray,
+    dst_spacing: float,
+    dst_resolution,
+    dilation: int = 0,
 ) -> np.ndarray:
+    """Map cells from one uniform grid into another, then dilate.
+
+    The source and destination grids may differ in origin, spacing and
+    per-axis extent — this is the coordinate mapping warm-start seeding
+    needs when the previous frame's cells live on a different (or, for
+    octree leaves, per-depth non-uniform) grid than the one being
+    refined.  Each source cell is represented by its centre, mapped by
+    ``floor((centre - dst_origin) / dst_spacing)``, discarded when it
+    lands more than ``dilation`` cells outside the destination grid,
+    clipped, and finally grown by :func:`dilate_cells`.  The result is
+    deduplicated and sorted by destination linear index; empty input
+    (or no survivor) maps to an empty ``(0, 3)`` array.
+    """
+    cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+    dst_resolution = np.broadcast_to(
+        np.asarray(dst_resolution, dtype=np.int64), (3,)
+    )
+    if not len(cells):
+        return np.zeros((0, 3), dtype=np.int64)
+    centers = (
+        np.asarray(src_origin, dtype=np.float64)
+        + (cells.astype(np.float64) + 0.5) * float(src_spacing)
+    )
+    mapped = np.floor(
+        (centers - np.asarray(dst_origin, dtype=np.float64))
+        / float(dst_spacing)
+    ).astype(np.int64)
+    inside = np.all(
+        (mapped >= -dilation) & (mapped < dst_resolution + dilation),
+        axis=1,
+    )
+    mapped = np.clip(mapped[inside], 0, dst_resolution - 1)
+    if not len(mapped):
+        return np.zeros((0, 3), dtype=np.int64)
+    return dilate_cells(mapped, dilation, dst_resolution)
+
+
+def _straddling(
+    cells: np.ndarray,
+    corner_values: np.ndarray,
+    iso: float,
+    return_values: bool = False,
+):
     vmin = corner_values.min(axis=1)
     vmax = corner_values.max(axis=1)
-    return cells[(vmin <= iso) & (vmax >= iso)]
+    mask = (vmin <= iso) & (vmax >= iso)
+    if return_values:
+        return cells[mask], corner_values[mask]
+    return cells[mask]
 
 
 def _sort_cells(

@@ -1,0 +1,420 @@
+"""Octree-adaptive isosurface extraction with gaze-driven LOD.
+
+The dense coarse-to-fine cascade in :mod:`repro.geometry.marching`
+refines *every* active cell to the finest resolution.  The octree
+extractor here keeps the same level schedule but makes refinement a
+per-cell decision: cells straddling (or within a safety margin of) the
+iso level subdivide, everything else is pruned, and an optional depth
+budget — :class:`repro.gaze.lod.GazeDepthBudget` — lets cells outside
+the viewer's gaze cone stop one or two levels early, so peripheral
+body regions cost a fraction of the foveal ones.
+
+Per refinement level all corner queries are gathered into a single
+flush routed through :func:`repro.geometry.sdf.evaluate_packed`, so a
+C-backed fused field sees one ragged-batch kernel call per level (not
+one per cell), and a serving-pool batching proxy keeps coalescing
+cross-stream work exactly as before.
+
+Crack-free mixed-depth polygonisation ("constrained corner sampling"):
+every retained leaf — straddling or margin — expands its 8 corner
+values onto the *finest* lattice via trilinear interpolation, and each
+fine-lattice corner keeps exactly one value, resolved coarsest-leaf
+first.  Hanging nodes on a coarse face are thereby constrained to the
+coarse leaf's interpolant, which makes the resolved scalar field
+single-valued; running the existing marching-tetrahedra tables over
+that field is then automatically watertight across depth transitions.
+Same-depth neighbours agree bitwise on shared faces because the
+interpolation weights at sub-lattice boundaries are exact 0/1.
+
+When every leaf lands at the maximum depth (no budget, or the whole
+surface in-cone) the mixed path is skipped and the output is
+bit-identical to :func:`repro.geometry.marching.extract_surface`'s
+sparse cascade — asserted by the differential test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.marching import (
+    _CUBE_CORNERS,
+    _CountingSDF,
+    _QueryScratch,
+    _active_cells,
+    _evaluate_corners,
+    _gather_corner_values,
+    _polygonise,
+    _sort_cells,
+    ExtractionStats,
+)
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.sdf import evaluate_packed
+from repro.obs.clock import perf_counter
+
+__all__ = ["extract_surface_octree", "level_schedule"]
+
+
+def level_schedule(resolution: int, base_resolution: int) -> tuple:
+    """Per-depth grid resolutions: ``(base, ..., resolution)``.
+
+    Identical to the sparse cascade's schedule: halve while even and
+    above the base, so depth ``d`` has ``resolution >> (max_depth - d)``
+    cells per axis and every level nests exactly in the next.
+    """
+    levels = [int(resolution)]
+    while levels[-1] > base_resolution and levels[-1] % 2 == 0:
+        levels.append(levels[-1] // 2)
+    levels.reverse()
+    return tuple(levels)
+
+
+class _PackedField:
+    """Route each corner flush through the ragged-batch entry point."""
+
+    def __init__(self, sdf: Callable[[np.ndarray], np.ndarray]):
+        self._sdf = sdf
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        return evaluate_packed(self._sdf, points)
+
+
+# Corner order (_CUBE_CORNERS) -> raster (x, y, z) order, so a leaf's 8
+# values reshape to the (2, 2, 2) trilinear tensor.
+_SUB_PERM = (0, 4, 3, 7, 1, 5, 2, 6)
+
+
+def extract_surface_octree(
+    sdf: Callable[[np.ndarray], np.ndarray],
+    bounds: Tuple[np.ndarray, np.ndarray],
+    resolution: int,
+    iso: float = 0.0,
+    base_resolution: int = 32,
+    budget=None,
+    seed_leaves: Optional[Sequence] = None,
+    stats: Optional[ExtractionStats] = None,
+) -> TriangleMesh:
+    """Extract the zero level set via octree refinement.
+
+    Args:
+        sdf: callable mapping (N, 3) points to (N,) signed distances;
+            fields exposing ``kernel_problem`` additionally get their
+            per-level flushes packed into single batch kernel calls.
+        bounds: (min_corner, max_corner) of the sampling box (cubified
+            exactly like :func:`~repro.geometry.marching.
+            extract_surface`).
+        resolution: cells per axis at the deepest level.
+        iso: iso value.
+        base_resolution: dense resolution of the root grid (depth 0).
+        budget: optional per-cell LOD policy with a
+            ``target_depths(centers, max_depth) -> (M,) int`` method
+            (:class:`repro.gaze.lod.GazeDepthBudget`); cells whose
+            target is at or above the current depth stop refining
+            there.  ``None`` refines every active cell to the deepest
+            level, which reproduces the sparse cascade bit for bit.
+        seed_leaves: optional warm start — a sequence of
+            ``(depth, cells)`` pairs naming candidate cells per depth
+            (e.g. the previous frame's leaf set mapped and dilated by
+            the motion bound).  When given, the dense root pass is
+            skipped and refinement begins from the seeds.
+        stats: optional :class:`~repro.geometry.marching.
+            ExtractionStats` filled in place, including the octree-only
+            leaf-set, refinement-counter and level-span fields.
+
+    Returns:
+        The extracted :class:`TriangleMesh`.
+    """
+    lo = np.asarray(bounds[0], dtype=np.float64)
+    hi = np.asarray(bounds[1], dtype=np.float64)
+    if np.any(hi <= lo):
+        raise GeometryError("bounds max must exceed min on every axis")
+    if resolution < 2:
+        raise GeometryError("resolution must be at least 2")
+    extent = float((hi - lo).max())
+    hi = lo + extent
+
+    levels = level_schedule(resolution, base_resolution)
+    max_depth = len(levels) - 1
+    counting = _CountingSDF(sdf)
+    packed = _PackedField(counting)
+    scratch = _QueryScratch(ragged=True)
+
+    pending: dict = {}
+    warm = False
+    if seed_leaves is not None:
+        for depth, cells in seed_leaves:
+            cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+            if len(cells):
+                pending.setdefault(
+                    min(int(depth), max_depth), []
+                ).append(cells)
+        warm = bool(pending)
+
+    leaves = []  # (depth, cells, corner_values), appended coarse-first
+    cells_refined = 0
+    cells_skipped_gaze = 0
+    level_spans = []
+    carried: Optional[np.ndarray] = None  # children for the next depth
+
+    for depth, level in enumerate(levels):
+        spacing = extent / level
+        t0 = perf_counter()
+        evals_before = counting.count
+
+        if depth == 0 and not warm:
+            # Dense root pass, mirroring the sparse cascade exactly.
+            axis = np.linspace(0.0, extent, level + 1)
+            grid = np.stack(
+                np.meshgrid(axis, axis, axis, indexing="ij"), axis=-1
+            ).reshape(-1, 3) + lo
+            values = packed(grid).reshape(level + 1, level + 1, level + 1)
+            cells = np.stack(
+                np.meshgrid(
+                    np.arange(level),
+                    np.arange(level),
+                    np.arange(level),
+                    indexing="ij",
+                ),
+                axis=-1,
+            ).reshape(-1, 3)
+            corner_values = _gather_corner_values(values, cells)
+        else:
+            groups = []
+            if carried is not None and len(carried):
+                groups.append(carried)
+            groups.extend(pending.pop(depth, ()))
+            if not groups:
+                carried = None
+                continue
+            cells = np.concatenate(groups, axis=0)
+            cells = cells[np.all((cells >= 0) & (cells < level), axis=1)]
+            if not len(cells):
+                carried = None
+                continue
+            # Merge children and seeds through the linear index; the
+            # cell *set* alone determines the output (corner dedup and
+            # the final sort are both linear-index driven), so the sort
+            # here changes no result bit.
+            linear = (
+                cells[:, 0] * level + cells[:, 1]
+            ) * level + cells[:, 2]
+            if len(linear) > 1 and not np.all(linear[1:] > linear[:-1]):
+                linear = np.unique(linear)
+            cells = np.stack(
+                [
+                    linear // (level * level),
+                    (linear // level) % level,
+                    linear % level,
+                ],
+                axis=1,
+            )
+            corner_values = _evaluate_corners(
+                packed, cells, lo, spacing, level + 1, scratch
+            )
+
+        if depth != max_depth:
+            cells, corner_values = _active_cells(
+                cells, corner_values, iso, spacing
+            )
+        elif not leaves:
+            # Pure finest-depth extraction: only straddling cells can
+            # emit triangles, exactly like the sparse cascade.
+            cells, corner_values = _active_cells(
+                cells, corner_values, iso, 0.0
+            )
+        # else: depths mix.  Keep every *evaluated* finest cell as a
+        # candidate — coarser neighbours' interpolants overwrite face
+        # corner values during resolution, which can flip borderline
+        # straddle decisions, so filtering on the raw values here would
+        # punch pinholes along depth transitions.  The resolved-value
+        # straddle test in _polygonise_mixed does the real filtering.
+
+        # Per-cell stop decision.  Margin (non-straddling) cells that
+        # stop are retained as leaves too: their interpolated values
+        # close the resolved field around straddling neighbours, which
+        # the watertightness of the mixed polygonisation relies on.
+        if depth == max_depth:
+            stop = np.ones(len(cells), dtype=bool)
+        elif budget is None:
+            stop = np.zeros(len(cells), dtype=bool)
+        else:
+            centers = lo + (cells.astype(np.float64) + 0.5) * spacing
+            targets = np.asarray(
+                budget.target_depths(centers, max_depth), dtype=np.int64
+            )
+            stop = targets <= depth
+            strad = (corner_values.min(axis=1) <= iso) & (
+                corner_values.max(axis=1) >= iso
+            )
+            cells_skipped_gaze += int(np.count_nonzero(stop & strad))
+
+        if np.any(stop):
+            leaves.append((depth, cells[stop], corner_values[stop]))
+        refine = cells[~stop]
+        cells_refined += len(refine)
+        if len(refine) and depth < max_depth:
+            carried = (
+                refine[:, None, :] * 2 + _CUBE_CORNERS[None]
+            ).reshape(-1, 3)
+        else:
+            carried = None
+
+        level_spans.append(
+            {
+                "name": "extract.level",
+                "start": t0,
+                "end": perf_counter(),
+                "depth": depth,
+                "cells": int(len(cells)),
+                "evaluations": int(counting.count - evals_before),
+            }
+        )
+
+    spacing_fine = extent / resolution
+    empty = TriangleMesh(
+        vertices=np.zeros((0, 3)), faces=np.zeros((0, 3), dtype=np.int64)
+    )
+    if not leaves:
+        mesh = empty
+        surface = np.zeros((0, 3), dtype=np.int64)
+    elif len(leaves) == 1 and leaves[0][0] == max_depth:
+        # Uniform-depth leaf set: classic finest-lattice polygonisation,
+        # bit-identical to the sparse cascade / seeded extraction.
+        _, cells, vals = leaves[0]
+        cells, vals = _sort_cells(cells, vals, resolution)
+        grid_shape = np.array([resolution + 1] * 3)
+        mesh = _polygonise(
+            cells, vals, grid_shape, lo, spacing_fine, iso
+        )
+        surface = cells
+    else:
+        mesh, surface = _polygonise_mixed(
+            leaves, levels, lo, extent, resolution, iso
+        )
+
+    if stats is not None:
+        strad_cells = []
+        strad_depths = []
+        for depth, cells, vals in leaves:
+            mask = (vals.min(axis=1) <= iso) & (vals.max(axis=1) >= iso)
+            strad_cells.append(cells[mask])
+            strad_depths.append(
+                np.full(int(np.count_nonzero(mask)), depth, dtype=np.int64)
+            )
+        stats.field_evaluations = counting.count
+        stats.warm_started = warm
+        stats.surface_cells = surface
+        stats.origin = lo
+        stats.spacing = spacing_fine
+        stats.resolution = resolution
+        stats.leaf_cells = (
+            np.concatenate(strad_cells, axis=0)
+            if strad_cells
+            else np.zeros((0, 3), dtype=np.int64)
+        )
+        stats.leaf_depths = (
+            np.concatenate(strad_depths)
+            if strad_depths
+            else np.zeros(0, dtype=np.int64)
+        )
+        stats.leaf_levels = levels
+        stats.cells_refined = cells_refined
+        stats.cells_skipped_gaze = cells_skipped_gaze
+        stats.level_spans = level_spans
+    return mesh
+
+
+def _polygonise_mixed(
+    leaves: list,
+    levels: tuple,
+    lo: np.ndarray,
+    extent: float,
+    resolution: int,
+    iso: float,
+) -> tuple:
+    """Polygonise a mixed-depth leaf set on the finest lattice.
+
+    Every leaf contributes trilinearly interpolated values at all fine-
+    lattice corners it covers, plus its covered fine cells as polygon
+    candidates.  Contributions are concatenated coarse-first and each
+    fine corner keeps its *first* value (``np.unique`` first-occurrence
+    semantics), so hanging nodes are constrained to the coarsest
+    covering leaf's interpolant and the resolved field is single-valued
+    — plain marching tetrahedra over it is watertight across depth
+    transitions.
+    """
+    gs = resolution + 1
+    id_parts = []
+    val_parts = []
+    cand_parts = []
+    for depth, cells, corner_values in leaves:
+        s = resolution // levels[depth]
+        base = cells * s
+        if s == 1:
+            corner_coords = base[:, None, :] + _CUBE_CORNERS[None]
+            ids = (
+                corner_coords[..., 0] * gs + corner_coords[..., 1]
+            ) * gs + corner_coords[..., 2]
+            id_parts.append(ids.reshape(-1))
+            val_parts.append(corner_values.reshape(-1))
+            cand_parts.append(
+                (base[:, 0] * resolution + base[:, 1]) * resolution
+                + base[:, 2]
+            )
+            continue
+        # Trilinear expansion onto the (s+1)^3 covered fine corners.
+        # Endpoint weights are exactly 0/1, so shared faces between
+        # same-depth leaves reproduce the evaluated corner values (and
+        # each other) bit for bit.
+        t = np.arange(s + 1, dtype=np.float64) / s
+        w = np.stack([1.0 - t, t], axis=1)
+        tensor = corner_values[:, _SUB_PERM].reshape(-1, 2, 2, 2)
+        sub = np.einsum("xa,yb,zc,mabc->mxyz", w, w, w, tensor)
+        off = np.arange(s + 1, dtype=np.int64)
+        ix = base[:, 0, None, None, None] + off[None, :, None, None]
+        iy = base[:, 1, None, None, None] + off[None, None, :, None]
+        iz = base[:, 2, None, None, None] + off[None, None, None, :]
+        ids = (ix * gs + iy) * gs + iz
+        id_parts.append(ids.reshape(-1))
+        val_parts.append(sub.reshape(-1))
+        co = np.arange(s, dtype=np.int64)
+        cx = base[:, 0, None, None, None] + co[None, :, None, None]
+        cy = base[:, 1, None, None, None] + co[None, None, :, None]
+        cz = base[:, 2, None, None, None] + co[None, None, None, :]
+        cand_parts.append(
+            ((cx * resolution + cy) * resolution + cz).reshape(-1)
+        )
+
+    all_ids = np.concatenate(id_parts)
+    all_vals = np.concatenate(val_parts)
+    # return_index yields the first occurrence of each id; with the
+    # coarse-first concatenation above, that is the coarsest leaf.
+    uids, first = np.unique(all_ids, return_index=True)
+    uvals = all_vals[first]
+
+    cand = np.unique(np.concatenate(cand_parts))
+    cand_cells = np.stack(
+        [
+            cand // (resolution * resolution),
+            (cand // resolution) % resolution,
+            cand % resolution,
+        ],
+        axis=1,
+    )
+    corner_coords = cand_cells[:, None, :] + _CUBE_CORNERS[None]
+    corner_ids = (
+        corner_coords[..., 0] * gs + corner_coords[..., 1]
+    ) * gs + corner_coords[..., 2]
+    corner_vals = uvals[np.searchsorted(uids, corner_ids)]
+    strad = (corner_vals.min(axis=1) <= iso) & (
+        corner_vals.max(axis=1) >= iso
+    )
+    cells = cand_cells[strad]
+    vals = corner_vals[strad]
+    grid_shape = np.array([gs] * 3)
+    mesh = _polygonise(
+        cells, vals, grid_shape, lo, extent / resolution, iso
+    )
+    return mesh, cells

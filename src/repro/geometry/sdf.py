@@ -30,6 +30,7 @@ __all__ = [
     "scale_sdf",
     "FusedCapsuleUnion",
     "evaluate_batch",
+    "evaluate_packed",
 ]
 
 # An SDF is any callable mapping (N, 3) points to (N,) signed distances
@@ -562,3 +563,25 @@ def evaluate_batch(problems):
     for b, i in enumerate(packable):
         results[i] = out[pts_off[b]:pts_off[b + 1]].copy()
     return results
+
+
+def evaluate_packed(sdf: SDF, points: np.ndarray) -> np.ndarray:
+    """Evaluate one flush of points through the batch entry point.
+
+    Fields exposing a ``kernel_problem(points)`` seam (e.g.
+    :class:`repro.avatar.implicit.PosedBodyField`) are converted to a
+    single-problem :func:`evaluate_batch` call, which the batch
+    contract guarantees is bit-identical to the solo evaluation;
+    everything else — plain callables, and batching proxies like the
+    serving pool's cross-stream coalescer, which deliberately has no
+    ``kernel_problem`` of its own — falls through to ``sdf(points)``.
+    The octree extractor routes every per-level corner flush through
+    here so refinement rides the ragged-batch kernel when one is
+    available without losing pool-level coalescing when it is not.
+    """
+    kernel_problem = getattr(sdf, "kernel_problem", None)
+    if kernel_problem is not None:
+        problem = kernel_problem(points)
+        if problem is not None:
+            return evaluate_batch([problem])[0]
+    return sdf(points)

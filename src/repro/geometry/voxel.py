@@ -70,6 +70,47 @@ class VoxelGrid:
         occupancy[idx[:, 0], idx[:, 1], idx[:, 2]] = True
         return cls(origin=origin, voxel_size=voxel_size, occupancy=occupancy)
 
+    @classmethod
+    def from_cells(
+        cls,
+        cells: np.ndarray,
+        origin: np.ndarray,
+        voxel_size: float,
+        resolution,
+    ) -> "VoxelGrid":
+        """Occupancy grid from integer cell coordinates.
+
+        Bridges the surface extractor's active-cell sets (octree leaf
+        cells, sparse surface cells) into the voxel domain, e.g. for
+        per-cell quality levels or occupancy-coded transport.
+
+        Args:
+            cells: (N, 3) integer cell coordinates.
+            origin: world position of cell [0,0,0]'s corner.
+            voxel_size: edge length of each cell.
+            resolution: cells per axis — a scalar or a 3-sequence.
+        """
+        if voxel_size <= 0:
+            raise GeometryError("voxel_size must be positive")
+        shape = np.broadcast_to(
+            np.asarray(resolution, dtype=np.int64), (3,)
+        )
+        if np.any(shape <= 0):
+            raise GeometryError("resolution must be positive")
+        cells = np.asarray(cells, dtype=np.int64).reshape(-1, 3)
+        if len(cells) and (
+            np.any(cells < 0) or np.any(cells >= shape)
+        ):
+            raise GeometryError("cells fall outside the grid")
+        occupancy = np.zeros(tuple(shape), dtype=bool)
+        if len(cells):
+            occupancy[cells[:, 0], cells[:, 1], cells[:, 2]] = True
+        return cls(
+            origin=np.asarray(origin, dtype=np.float64),
+            voxel_size=voxel_size,
+            occupancy=occupancy,
+        )
+
     def occupied_indices(self) -> np.ndarray:
         """Integer coordinates (N, 3) of occupied voxels, lexicographic order."""
         return np.argwhere(self.occupancy)

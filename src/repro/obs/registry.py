@@ -101,10 +101,21 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
 
-    def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` at once.
+
+        The batched form exists for per-frame distributions like the
+        octree leaf-depth histogram, where one extraction contributes
+        thousands of identical small-integer observations; one bucket
+        update keeps the series exact at no per-leaf cost.
+        """
+        if count < 0:
+            raise PipelineError("observation count must be >= 0")
+        self.bucket_counts[
+            bisect.bisect_left(self.buckets, value)
+        ] += count
+        self.count += count
+        self.sum += value * count
 
     @property
     def mean(self) -> float:
@@ -173,8 +184,8 @@ class MetricsRegistry:
     def set(self, name: str, value: float) -> None:
         self.gauge(name).set(value)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: float, count: int = 1) -> None:
+        self.histogram(name).observe(value, count)
 
     # -- query surface ---------------------------------------------
 

@@ -33,6 +33,7 @@ KIND_FRAME = "frame"    # one per trace: the frame's root
 KIND_WALL = "wall"      # measured wall-clock phase
 KIND_STAGE = "stage"    # exact stage cost from a LatencyBreakdown
 KIND_WORKER = "worker"  # forwarded from a pool worker process
+KIND_EXTRACT = "extract_octree"  # one octree refinement level
 
 
 @dataclass
@@ -215,6 +216,12 @@ class Tracer:
         aligns with the current span's start, keeping the trace's
         timeline consistent while the raw readings survive in
         ``attributes`` as ``foreign_start`` / ``foreign_end``.
+
+        A record may carry a ``kind`` key to override the default
+        ``worker`` kind — octree refinement-level records ship as
+        ``extract_octree`` so critical-path reports attribute time to
+        individual refinement levels; the key is consumed, not copied
+        into attributes.
         """
         if not self._stack:
             raise PipelineError(
@@ -231,7 +238,7 @@ class Tracer:
             extra = {
                 k: v
                 for k, v in record.items()
-                if k not in ("name", "start", "end")
+                if k not in ("name", "start", "end", "kind")
             }
             span = Span(
                 trace_id=parent.trace_id,
@@ -240,7 +247,7 @@ class Tracer:
                 name=str(record["name"]),
                 start=float(record["start"]) + offset,
                 end=float(record["end"]) + offset,
-                kind=KIND_WORKER,
+                kind=str(record.get("kind", KIND_WORKER)),
                 attributes={
                     **extra,
                     **attributes,

@@ -120,11 +120,17 @@ class MeshCache:
         resolution: int,
         expression_channels: int,
         blend: float,
+        extraction: str = "dense",
+        octree_base: int = 32,
+        gaze: Optional[tuple] = None,
     ) -> bytes:
         """The bucket key for one reconstruction request.
 
         Everything that influences the output mesh participates:
-        quantised parameters plus the reconstructor configuration.
+        quantised parameters plus the reconstructor configuration —
+        including the extraction mode and, for gaze-budgeted octree
+        extraction, the wire-encoded gaze cone (a foveated mesh must
+        never satisfy a request looking elsewhere).
         """
         pose = pose or BodyPose.identity()
         shape = shape or ShapeParams.neutral()
@@ -135,6 +141,11 @@ class MeshCache:
                 "<IIdB", resolution, expression_channels, blend, self.bits
             )
         )
+        if extraction != "dense":
+            digest.update(extraction.encode("utf-8"))
+            digest.update(struct.pack("<I", octree_base))
+            if gaze is not None:
+                digest.update(struct.pack("<8d", *gaze))
         self._update_family(
             digest, self._rotation_grid, _ROTATION_RANGE,
             pose.joint_rotations,

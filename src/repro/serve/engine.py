@@ -174,6 +174,7 @@ class ServingEngine:
         key = None
         if self.cache is not None:
             start = perf_counter()
+            budget = getattr(reconstructor, "depth_budget", None)
             key = self.cache.key(
                 pose=payload.pose,
                 shape=payload.shape,
@@ -181,6 +182,11 @@ class ServingEngine:
                 resolution=reconstructor.resolution,
                 expression_channels=reconstructor.expression_channels,
                 blend=reconstructor.blend,
+                extraction=getattr(
+                    reconstructor, "extraction", "dense"
+                ),
+                octree_base=getattr(reconstructor, "octree_base", 32),
+                gaze=None if budget is None else budget.to_wire(),
             )
             mesh = self.cache.get(key)
             lookup_seconds = perf_counter() - start
@@ -198,6 +204,7 @@ class ServingEngine:
                     lookup_seconds=lookup_seconds,
                 )
         if self.pool is not None:
+            budget = getattr(reconstructor, "depth_budget", None)
             job_id = self.pool.submit(
                 stream=stream,
                 frame_index=encoded.frame_index,
@@ -207,6 +214,11 @@ class ServingEngine:
                 resolution=reconstructor.resolution,
                 expression_channels=reconstructor.expression_channels,
                 blend=reconstructor.blend,
+                extraction=getattr(
+                    reconstructor, "extraction", "dense"
+                ),
+                octree_base=getattr(reconstructor, "octree_base", 32),
+                gaze=None if budget is None else budget.to_wire(),
             )
             return DecodeTicket(
                 ticket_id=ticket_id,
@@ -313,7 +325,10 @@ class ServingEngine:
         from repro.avatar.reconstructor import KeypointMeshReconstructor
 
         base = pipeline.reconstructor
-        config = (base.resolution, base.expression_channels, base.blend)
+        extraction = getattr(base, "extraction", "dense")
+        octree_base = getattr(base, "octree_base", 32)
+        config = (base.resolution, base.expression_channels, base.blend,
+                  extraction, octree_base)
         held = self._local.get(stream)
         if held is None or held[0] != config:
             held = (
@@ -322,9 +337,15 @@ class ServingEngine:
                     resolution=base.resolution,
                     expression_channels=base.expression_channels,
                     blend=base.blend,
+                    extraction=extraction,
+                    octree_base=octree_base,
                 ),
             )
             self._local[stream] = held
+        # The gaze budget is per frame, not config: track the source
+        # reconstructor's current budget without rebuilding (which
+        # would discard warm-start state).
+        held[1].set_depth_budget(getattr(base, "depth_budget", None))
         return held[1]
 
     # -- reporting / lifecycle -------------------------------------

@@ -204,22 +204,33 @@ def _worker_main(
     # Imported here so the module stays importable without triggering
     # the avatar stack at parent import time.
     from repro.avatar.reconstructor import KeypointMeshReconstructor
+    from repro.gaze.lod import GazeDepthBudget
 
     reconstructors: Dict[str, Tuple[tuple, object]] = {}
 
-    def get_reconstructor(stream, config):
+    def get_reconstructor(stream, config, gaze):
         held = reconstructors.get(stream)
         if held is None or held[0] != config:
-            resolution, expression_channels, blend = config
+            (resolution, expression_channels, blend,
+             extraction, octree_base) = config
             held = (
                 config,
                 KeypointMeshReconstructor(
                     resolution=resolution,
                     expression_channels=expression_channels,
                     blend=blend,
+                    extraction=extraction,
+                    octree_base=octree_base,
                 ),
             )
             reconstructors[stream] = held
+        # The gaze budget rides per *job*, not in the config: two
+        # streams looking different ways still share a coalesced
+        # dispatch, and a moving gaze must not discard the stream's
+        # warm-start state.
+        held[1].set_depth_budget(
+            None if gaze is None else GazeDepthBudget.from_wire(gaze)
+        )
         return held[1]
 
     def decode_params(pose_blob, shape_blob, expr_blob):
@@ -289,6 +300,19 @@ def _worker_main(
                     "batch_streams": ",".join(batch_streams),
                 },
             )
+        # Octree refinement-level spans recorded by the extractor;
+        # they already carry a "kind" override so the parent's tracer
+        # attributes time to individual levels.
+        for record in getattr(result, "extract_spans", ()):
+            spans.append(
+                {
+                    **record,
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                    "stream": stream,
+                    "frame_index": frame_index,
+                }
+            )
         mesh = result.mesh
         nv, nf = mesh.num_vertices, mesh.num_faces
         size = max(nv * _VERTEX_BYTES + nf * _FACE_BYTES, 1)
@@ -333,9 +357,9 @@ def _worker_main(
 
     def run_solo(message):
         (_, job_id, stream, frame_index, config,
-         pose_blob, shape_blob, expr_blob) = message
+         pose_blob, shape_blob, expr_blob, gaze) = message
         try:
-            reconstructor = get_reconstructor(stream, config)
+            reconstructor = get_reconstructor(stream, config, gaze)
             pose, shape, expression = decode_params(
                 pose_blob, shape_blob, expr_blob
             )
@@ -358,9 +382,9 @@ def _worker_main(
         prepared = []
         for message in batch:
             (_, job_id, stream, frame_index, config,
-             pose_blob, shape_blob, expr_blob) = message
+             pose_blob, shape_blob, expr_blob, gaze) = message
             try:
-                reconstructor = get_reconstructor(stream, config)
+                reconstructor = get_reconstructor(stream, config, gaze)
                 params = decode_params(pose_blob, shape_blob, expr_blob)
                 prepared.append(
                     (job_id, stream, frame_index, reconstructor, params)
@@ -437,8 +461,18 @@ def _worker_main(
         if kind == "stop":
             return
         if kind == "crash":
-            # Test hook: die exactly like a segfaulted/OOM-killed
-            # worker would, without cleaning anything up.
+            # Test hook: die like a segfaulted/OOM-killed worker,
+            # without cleaning up warm state or shared-memory
+            # segments.  The response queue IS flushed first: its
+            # write lock is shared with every surviving worker, and
+            # dying between the feeder thread's send and its lock
+            # release (a single-core scheduler makes that window
+            # wide — the parent wakes on the send and can deliver
+            # this crash before the feeder runs again) would wedge
+            # all future results, which is not the failure mode the
+            # hook exists to inject.
+            responses.close()
+            responses.join_thread()
             os._exit(message[1])
         if kind == "stall":
             # Test hook: wedge the worker for a while, like a job
@@ -643,8 +677,17 @@ class ReconstructionPool:
         resolution: int = 128,
         expression_channels: int = 0,
         blend: float = 0.035,
+        extraction: str = "dense",
+        octree_base: int = 32,
+        gaze: Optional[tuple] = None,
     ) -> int:
-        """Queue one reconstruction; returns a job id for :meth:`result`."""
+        """Queue one reconstruction; returns a job id for :meth:`result`.
+
+        ``extraction``/``octree_base`` are reconstructor config (part
+        of the coalescing compatibility key); ``gaze`` is an optional
+        :meth:`repro.gaze.lod.GazeDepthBudget.to_wire` tuple applied
+        per job, so streams with different gazes still coalesce.
+        """
         if self._closed:
             raise ServingError("pool is closed")
         bound = self.max_inflight_per_stream
@@ -685,7 +728,8 @@ class ReconstructionPool:
                 job_id,
                 stream,
                 frame_index,
-                (resolution, expression_channels, blend),
+                (resolution, expression_channels, blend,
+                 extraction, octree_base),
                 pose.flatten().astype("<f8").tobytes(),
                 None
                 if shape is None
@@ -693,6 +737,7 @@ class ReconstructionPool:
                 None
                 if expression is None
                 else expression.coefficients.astype("<f8").tobytes(),
+                None if gaze is None else tuple(gaze),
             )
         )
         self._pending[job_id] = (stream, frame_index, worker)

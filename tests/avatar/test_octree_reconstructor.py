@@ -1,0 +1,168 @@
+"""Octree extraction mode of the keypoint-mesh reconstructor."""
+
+import numpy as np
+import pytest
+
+import repro.avatar.reconstructor as reconstructor_module
+from repro.avatar.reconstructor import KeypointMeshReconstructor
+from repro.avatar.temporal import TemporalReconstructor
+from repro.body.motion import talking
+from repro.body.pose import BodyPose
+from repro.errors import PipelineError
+from repro.gaze.lod import GazeDepthBudget
+from repro.obs.registry import MetricsRegistry, set_registry
+from repro.obs.tracer import KIND_EXTRACT
+
+
+def _budget(drop=2):
+    return GazeDepthBudget(
+        eye=np.array([0.0, 1.5, 3.0]),
+        direction=np.array([0.0, 0.0, -1.0]),
+        cone_degrees=10.0,
+        peripheral_drop=drop,
+    )
+
+
+class TestConfig:
+    def test_invalid_extraction_mode(self):
+        with pytest.raises(PipelineError):
+            KeypointMeshReconstructor(extraction="quadtree")
+
+    def test_octree_base_must_fit(self):
+        with pytest.raises(PipelineError):
+            KeypointMeshReconstructor(
+                resolution=64, extraction="octree", octree_base=128
+            )
+
+    def test_octree_base_minimum(self):
+        with pytest.raises(PipelineError):
+            KeypointMeshReconstructor(
+                extraction="octree", octree_base=1
+            )
+
+
+class TestDensePathUntouched:
+    def test_dense_mode_never_calls_octree(self, monkeypatch):
+        """With extraction off the dense path must be byte-identical
+        to the pre-octree code: the octree entry point is provably
+        never invoked."""
+
+        def sentinel(*args, **kwargs):
+            raise AssertionError(
+                "extract_surface_octree called in dense mode"
+            )
+
+        monkeypatch.setattr(
+            reconstructor_module, "extract_surface_octree", sentinel
+        )
+        rec = KeypointMeshReconstructor(resolution=48)
+        frames = talking(n_frames=2)
+        for frame in frames:
+            result = rec.reconstruct(pose=frame.pose)
+            assert result.mesh.num_faces > 0
+            assert result.cells_refined == 0
+            assert result.cells_skipped_gaze == 0
+            assert result.extract_spans == ()
+
+
+class TestOctreeMatchesDense:
+    def test_cold_and_warm_frames_identical(self):
+        frames = talking(n_frames=3)
+        dense = KeypointMeshReconstructor(resolution=96)
+        octree = KeypointMeshReconstructor(
+            resolution=96, extraction="octree"
+        )
+        for frame in frames:
+            rd = dense.reconstruct(pose=frame.pose)
+            ro = octree.reconstruct(pose=frame.pose)
+            assert np.array_equal(rd.mesh.vertices, ro.mesh.vertices)
+            assert np.array_equal(rd.mesh.faces, ro.mesh.faces)
+            assert rd.warm_started == ro.warm_started
+
+    def test_warm_start_saves_evaluations(self):
+        frames = talking(n_frames=3)
+        rec = KeypointMeshReconstructor(
+            resolution=96, extraction="octree"
+        )
+        evals = [
+            rec.reconstruct(pose=f.pose).field_evaluations
+            for f in frames
+        ]
+        assert sum(evals[1:]) < 2 * evals[0]
+        assert rec.reconstruct(pose=frames[-1].pose).warm_started
+
+    def test_reset_forces_cold_frame(self):
+        frames = talking(n_frames=2)
+        rec = KeypointMeshReconstructor(
+            resolution=96, extraction="octree"
+        )
+        rec.reconstruct(pose=frames[0].pose)
+        assert rec.reconstruct(pose=frames[1].pose).warm_started
+        rec.reset()
+        assert not rec.reconstruct(pose=frames[1].pose).warm_started
+
+
+class TestGazeBudget:
+    def test_budget_reduces_evaluations(self):
+        pose = BodyPose.identity()
+        full = KeypointMeshReconstructor(
+            resolution=96, extraction="octree"
+        ).reconstruct(pose=pose)
+        fov = KeypointMeshReconstructor(
+            resolution=96, extraction="octree"
+        )
+        fov.set_depth_budget(_budget())
+        result = fov.reconstruct(pose=pose)
+        assert result.field_evaluations < full.field_evaluations
+        assert result.cells_skipped_gaze > 0
+        assert result.mesh.num_faces > 0
+
+    def test_budget_is_not_config(self):
+        """The budget must not participate in dataclass equality (pool
+        configs and cache keys treat it separately)."""
+        a = KeypointMeshReconstructor(
+            resolution=64, extraction="octree"
+        )
+        b = KeypointMeshReconstructor(
+            resolution=64, extraction="octree"
+        )
+        a.set_depth_budget(_budget())
+        assert a == b
+
+    def test_metrics_and_spans_recorded(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            rec = KeypointMeshReconstructor(
+                resolution=64, extraction="octree"
+            )
+            rec.set_depth_budget(_budget())
+            result = rec.reconstruct(pose=BodyPose.identity())
+        finally:
+            set_registry(previous)
+        assert registry.value("session.extract.cells_refined") > 0
+        assert registry.value(
+            "session.extract.cells_skipped_gaze"
+        ) == result.cells_skipped_gaze > 0
+        depth = registry.histogram("session.extract.depth").snapshot()
+        assert depth["count"] > 0
+        assert result.extract_spans
+        for span in result.extract_spans:
+            assert span["kind"] == KIND_EXTRACT
+            assert span["name"] == "extract.level"
+            assert span["end"] >= span["start"]
+            assert span["evaluations"] >= 0
+
+
+class TestTemporalPassthrough:
+    def test_budget_reaches_base_reconstructor(self):
+        temporal = TemporalReconstructor(
+            base=KeypointMeshReconstructor(
+                resolution=64, extraction="octree"
+            )
+        )
+        budget = _budget()
+        temporal.set_depth_budget(budget)
+        assert temporal.base.depth_budget is budget
+        result = temporal.reconstruct(pose=BodyPose.identity())
+        assert result.cells_skipped_gaze > 0

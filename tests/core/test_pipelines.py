@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.body.pose import BodyPose
 from repro.core.foveated import FoveatedHybridPipeline, merge_meshes
 from repro.core.keypoint_pipeline import KeypointSemanticPipeline
 from repro.core.text_pipeline import TextSemanticPipeline
@@ -227,3 +228,42 @@ class TestFoveatedPipeline:
             pipe.validate_payload(
                 EncodedFrame(frame_index=0, payload="not bytes")
             )
+
+    def test_octree_periphery_saves_evaluations(self, talking_ds):
+        """With peripheral_octree on, the same gaze cone that selects
+        the foveal submesh caps octree depth outside it."""
+        dense = FoveatedHybridPipeline(
+            foveal_radius_degrees=12.0, peripheral_resolution=64
+        )
+        octree = FoveatedHybridPipeline(
+            foveal_radius_degrees=12.0,
+            peripheral_resolution=64,
+            peripheral_octree=True,
+            peripheral_depth_drop=2,
+        )
+        assert octree.name.endswith("-octree")
+        assert octree.reconstructor.depth_budget is not None
+        dense.reset()
+        octree.reset()
+        frame = talking_ds.frame(0)
+        decoded = octree.decode(octree.encode(frame))
+        assert decoded.surface.num_faces > 1000
+        d_evals = dense.reconstructor.reconstruct(
+            pose=BodyPose.identity()
+        ).field_evaluations
+        o_evals = octree.reconstructor.reconstruct(
+            pose=BodyPose.identity()
+        ).field_evaluations
+        assert o_evals < d_evals
+
+    def test_set_gaze_refreshes_budget(self):
+        pipe = FoveatedHybridPipeline(
+            foveal_radius_degrees=12.0,
+            peripheral_resolution=48,
+            peripheral_octree=True,
+        )
+        before = pipe.reconstructor.depth_budget
+        pipe.set_gaze(np.array([0.3, -0.1]))
+        after = pipe.reconstructor.depth_budget
+        assert after is not before
+        assert not np.allclose(before.direction, after.direction)

@@ -1,0 +1,169 @@
+"""Tests for the gaze-driven octree depth budget."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemHoloError
+from repro.gaze.foveation import FoveationModel
+from repro.gaze.lod import GazeDepthBudget
+from repro.gaze.traces import generate_gaze_trace
+from repro.geometry.camera import Camera, Intrinsics
+
+
+def _camera():
+    return Camera.looking_at(
+        Intrinsics.from_fov(320, 240, 90.0),
+        eye=(0.0, 1.5, 2.5),
+        target=(0.0, 1.2, 0.0),
+    )
+
+
+def _budget(drop=1):
+    return GazeDepthBudget(
+        eye=np.array([0.0, 0.0, 2.0]),
+        direction=np.array([0.0, 0.0, -1.0]),
+        cone_degrees=10.0,
+        peripheral_drop=drop,
+    )
+
+
+class TestConeMath:
+    def test_in_cone_gets_full_depth(self):
+        budget = _budget()
+        targets = budget.target_depths(
+            np.array([[0.0, 0.0, 0.0]]), max_depth=3
+        )
+        assert targets.tolist() == [3]
+
+    def test_peripheral_drops_levels(self):
+        budget = _budget(drop=2)
+        # 90 degrees off-axis: well outside a 10-degree cone.
+        targets = budget.target_depths(
+            np.array([[5.0, 0.0, 2.0]]), max_depth=3
+        )
+        assert targets.tolist() == [1]
+
+    def test_drop_clamps_at_zero(self):
+        budget = _budget(drop=9)
+        targets = budget.target_depths(
+            np.array([[5.0, 0.0, 2.0]]), max_depth=2
+        )
+        assert targets.tolist() == [0]
+
+    def test_cone_boundary_vectorised(self):
+        budget = _budget()
+        centers = np.array(
+            [
+                [0.0, 0.0, 1.0],   # dead ahead
+                [0.1, 0.0, 1.0],   # ~5.7 degrees: inside
+                [0.5, 0.0, 1.0],   # ~26.6 degrees: outside
+            ]
+        )
+        assert budget.target_depths(centers, 4).tolist() == [4, 4, 3]
+
+    def test_direction_normalised(self):
+        budget = GazeDepthBudget(
+            eye=np.zeros(3),
+            direction=np.array([0.0, 0.0, -5.0]),
+            cone_degrees=10.0,
+        )
+        assert np.isclose(np.linalg.norm(budget.direction), 1.0)
+
+
+class TestValidation:
+    def test_zero_direction_rejected(self):
+        with pytest.raises(SemHoloError):
+            GazeDepthBudget(
+                eye=np.zeros(3),
+                direction=np.zeros(3),
+                cone_degrees=10.0,
+            )
+
+    def test_cone_range_enforced(self):
+        for bad in (0.0, 90.0, -5.0):
+            with pytest.raises(SemHoloError):
+                GazeDepthBudget(
+                    eye=np.zeros(3),
+                    direction=np.array([0, 0, 1.0]),
+                    cone_degrees=bad,
+                )
+
+    def test_negative_drop_rejected(self):
+        with pytest.raises(SemHoloError):
+            GazeDepthBudget(
+                eye=np.zeros(3),
+                direction=np.array([0, 0, 1.0]),
+                cone_degrees=10.0,
+                peripheral_drop=-1,
+            )
+
+
+class TestFromView:
+    def test_matches_foveation_direction(self):
+        camera = _camera()
+        model = FoveationModel(foveal_radius_degrees=12.0)
+        angles = np.array([0.1, -0.05])
+        budget = GazeDepthBudget.from_view(model, camera, angles)
+        assert np.allclose(budget.eye, camera.position)
+        assert np.allclose(
+            budget.direction, model.gaze_direction(camera, angles)
+        )
+        assert budget.cone_degrees == 12.0
+
+
+class TestFromTrace:
+    def test_uses_sample_at_or_before_time(self):
+        trace = generate_gaze_trace(duration=1.0, rate_hz=60.0, seed=3)
+        camera = _camera()
+        t = trace.samples[30].time
+        budget = GazeDepthBudget.from_trace(trace, camera, at_time=t)
+        expected = GazeDepthBudget.from_view(
+            FoveationModel(), camera, trace.samples[30].angle
+        )
+        assert np.allclose(budget.direction, expected.direction)
+
+    def test_time_before_trace_uses_first_sample(self):
+        trace = generate_gaze_trace(duration=1.0, rate_hz=60.0, seed=3)
+        camera = _camera()
+        budget = GazeDepthBudget.from_trace(
+            trace, camera, at_time=-1.0
+        )
+        expected = GazeDepthBudget.from_view(
+            FoveationModel(), camera, trace.samples[0].angle
+        )
+        assert np.allclose(budget.direction, expected.direction)
+
+    def test_no_time_uses_final_sample(self):
+        trace = generate_gaze_trace(duration=1.0, rate_hz=60.0, seed=3)
+        camera = _camera()
+        budget = GazeDepthBudget.from_trace(trace, camera)
+        expected = GazeDepthBudget.from_view(
+            FoveationModel(), camera, trace.samples[-1].angle
+        )
+        assert np.allclose(budget.direction, expected.direction)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        budget = _budget(drop=2)
+        wire = budget.to_wire()
+        assert len(wire) == 8
+        assert all(isinstance(v, float) for v in wire)
+        back = GazeDepthBudget.from_wire(wire)
+        assert np.array_equal(back.eye, budget.eye)
+        assert np.array_equal(back.direction, budget.direction)
+        assert back.cone_degrees == budget.cone_degrees
+        assert back.peripheral_drop == budget.peripheral_drop
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SemHoloError):
+            GazeDepthBudget.from_wire((1.0, 2.0))
+
+    def test_wire_targets_identical(self):
+        budget = _budget()
+        back = GazeDepthBudget.from_wire(budget.to_wire())
+        centers = np.random.default_rng(0).uniform(-2, 2, (128, 3))
+        assert np.array_equal(
+            budget.target_depths(centers, 3),
+            back.target_depths(centers, 3),
+        )

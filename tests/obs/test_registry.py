@@ -50,6 +50,30 @@ class TestHistogram:
         histogram.observe(0.1)
         assert histogram.bucket_counts == [1, 0, 0]
 
+    def test_batched_observation_counts(self):
+        """One observe(value, count) equals count repeated observes —
+        the form the per-frame octree depth histogram uses."""
+        batched = Histogram(buckets=(1.0, 2.0, 3.0))
+        looped = Histogram(buckets=(1.0, 2.0, 3.0))
+        for value, count in ((1.0, 3), (2.0, 1200), (4.0, 7)):
+            batched.observe(value, count=count)
+            for _ in range(count):
+                looped.observe(value)
+        assert batched.bucket_counts == looped.bucket_counts
+        assert batched.count == looped.count == 1210
+        assert batched.sum == pytest.approx(looped.sum)
+
+    def test_zero_count_is_noop(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.5, count=0)
+        assert histogram.count == 0
+        assert histogram.bucket_counts == [0, 0]
+
+    def test_negative_count_rejected(self):
+        histogram = Histogram(buckets=(1.0,))
+        with pytest.raises(PipelineError):
+            histogram.observe(0.5, count=-1)
+
     def test_mean(self):
         histogram = Histogram(buckets=(1.0,))
         assert histogram.mean == 0.0

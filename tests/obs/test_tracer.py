@@ -119,6 +119,25 @@ class TestWorkerSpans:
         assert span.attributes["foreign_start"] == 1000.0
         assert span.attributes["worker"] == 1
 
+    def test_kind_override_from_record(self):
+        """A record's ``kind`` key overrides the worker default (octree
+        refinement-level spans ship as ``extract_octree``) and is
+        consumed rather than copied into attributes."""
+        tracer, _ = fake_tracer()
+        records = [
+            {"name": "extract.level", "start": 10.0, "end": 10.1,
+             "kind": "extract_octree", "depth": 2},
+            {"name": "worker_reconstruct", "start": 10.0,
+             "end": 10.3, "worker": 0},
+        ]
+        with tracer.frame(0):
+            with tracer.span("decode"):
+                attached = tracer.attach_worker_spans(records)
+        assert attached[0].kind == "extract_octree"
+        assert attached[0].attributes["depth"] == 2
+        assert "kind" not in attached[0].attributes
+        assert attached[1].kind == KIND_WORKER
+
     def test_empty_records_is_noop(self):
         tracer, _ = fake_tracer()
         with tracer.frame(0):
