@@ -7,6 +7,7 @@ from repro.avatar.reconstructor import (
     KeypointMeshReconstructor,
     ReconstructionResult,
 )
+from repro.avatar.store import AvatarRecord, AvatarStore, StoreStats
 from repro.avatar.temporal import TemporalReconstructor
 from repro.avatar.texture import (
     LearnedTextureModel,
@@ -15,12 +16,15 @@ from repro.avatar.texture import (
 )
 
 __all__ = [
+    "AvatarRecord",
+    "AvatarStore",
     "KeypointMeshReconstructor",
     "LearnedTextureModel",
     "ModelFreeReconstructor",
     "PosedBodyField",
     "ReconstructionResult",
     "SUPPORTED_RESOLUTIONS",
+    "StoreStats",
     "TemporalReconstructor",
     "project_texture",
     "transfer_texture",

@@ -18,7 +18,7 @@ import hashlib
 import struct
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.body.shape import ShapeParams
 from repro.compression.quantize import QuantizationGrid
 from repro.errors import PipelineError
 from repro.geometry.mesh import TriangleMesh
+from repro.obs.clock import monotonic
 from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CacheStats", "MeshCache"]
@@ -104,6 +105,11 @@ class MeshCache:
             registry if registry is not None else MetricsRegistry()
         )
         self._entries: "OrderedDict[bytes, TriangleMesh]" = OrderedDict()
+        #: insertion timestamp per entry, for the eviction-age
+        #: histogram (how long entries survive before LRU pushes them
+        #: out — a shrinking age under load means the capacity is too
+        #: small for the working set).
+        self._inserted: Dict[bytes, float] = {}
         self._rotation_grid = _range_grid(*_ROTATION_RANGE, bits)
         self._translation_grid = _range_grid(*_TRANSLATION_RANGE, bits)
         self._shape_grid = _range_grid(*_SHAPE_RANGE, bits)
@@ -208,19 +214,43 @@ class MeshCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = mesh.copy()
+            self._gauges()
             return
         self._entries[key] = mesh.copy()
+        self._inserted[key] = monotonic()
         self.stats.inserts += 1
         self.metrics.inc("serve.cache.inserts")
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            born = self._inserted.pop(evicted, None)
+            if born is not None:
+                self.metrics.observe(
+                    "serve.cache.eviction_age", monotonic() - born
+                )
             self.stats.evictions += 1
             self.metrics.inc("serve.cache.evictions")
         self.metrics.set("serve.cache.size", len(self._entries))
+        self._gauges()
+
+    @property
+    def bytes_held(self) -> int:
+        """Bytes the cached meshes occupy (vertices + faces)."""
+        return sum(
+            mesh.vertices.nbytes + mesh.faces.nbytes
+            for mesh in self._entries.values()
+        )
+
+    def _gauges(self) -> None:
+        self.metrics.set("serve.cache.entries", len(self._entries))
+        self.metrics.set(
+            "serve.cache.capacity_bytes", self.bytes_held
+        )
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
+        self._inserted.clear()
+        self._gauges()
 
     def bucket_widths(self) -> Tuple[float, float, float, float]:
         """Bucket width per family (rotation, translation, shape,

@@ -51,6 +51,28 @@ class ServingConfig:
             :class:`repro.errors.BackpressureError` (``None`` =
             unbounded legacy behaviour; see
             :class:`repro.serve.pool.ReconstructionPool`).
+        store: serve returning users from the persistent
+            :class:`repro.avatar.AvatarStore` — one canonical mesh per
+            identity, re-posed per frame by linear blend skinning with
+            zero field evaluations.  Off by default: the legacy path
+            stays byte-identical.
+        store_capacity: maximum identities before the store evicts
+            (LRU; the evicted arena is unlinked).
+        store_bits: quantisation bit depth of the identity-key
+            buckets (shape + expression basis).
+        store_tolerance: maximum sampled |SDF| (metres) a reposed
+            mesh may show before the hit is refused and the frame is
+            re-extracted (then republished).
+        store_check_every: validate every Nth hit of an identity
+            against the sampled SDF (0 = never: the steady state
+            spends exactly zero field evaluations and accuracy rests
+            on the pose gates alone).
+        store_max_pose_distance: mean per-joint geodesic distance (rad)
+            between a frame's pose and the canonical pose beyond which
+            the store refuses the hit and re-extracts.
+        store_path: load the store's disk snapshot from this path at
+            boot when it exists (cross-restart persistence; saving is
+            explicit via ``ServingEngine.save_store``).
 
     Knob *combinations* are validated at construction — a config that
     cannot mean what it says (a coalesce window with coalescing off,
@@ -68,6 +90,13 @@ class ServingConfig:
     coalesce_window: float = 0.0
     max_batch: int = 8
     max_inflight_per_stream: Optional[int] = 64
+    store: bool = False
+    store_capacity: int = 256
+    store_bits: int = 12
+    store_tolerance: float = 0.02
+    store_check_every: int = 0
+    store_max_pose_distance: float = 0.6
+    store_path: Optional[str] = None
 
     _START_METHODS = (None, "fork", "spawn", "forkserver")
 
@@ -107,4 +136,23 @@ class ServingConfig:
             raise PipelineError(
                 "max_inflight_per_stream must be >= 1 (or None for "
                 "unbounded)"
+            )
+        if self.store_capacity < 1:
+            raise PipelineError("store_capacity must be >= 1")
+        if not 1 <= self.store_bits <= 31:
+            raise PipelineError("store_bits must be in [1, 31]")
+        if self.store_tolerance <= 0:
+            raise PipelineError("store_tolerance must be positive")
+        if self.store_check_every < 0:
+            raise PipelineError(
+                "store_check_every must be >= 0 (0 = never validate)"
+            )
+        if self.store_max_pose_distance <= 0:
+            raise PipelineError(
+                "store_max_pose_distance must be positive"
+            )
+        if self.store_path is not None and not self.store:
+            raise PipelineError(
+                "store_path has no effect with store=False; enable "
+                "the avatar store or drop the path"
             )

@@ -16,9 +16,11 @@ the decode really is a pure function of the transmitted parameters.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Deque, Dict, Optional, Set
 
+from repro.avatar.store import AvatarStore
 from repro.obs.clock import perf_counter
 from repro.obs.registry import MetricsRegistry
 from repro.core.pipeline import DecodedFrame, EncodedFrame, \
@@ -59,13 +61,17 @@ class DecodeTicket:
     pipeline: HolographicPipeline
     encoded: EncodedFrame
     stream: str
-    mode: str  # "inline" | "hit" | "pool" | "local"
+    # "inline" | "hit" | "pool" | "local" | "store_pool" | "store_local"
+    mode: str
     payload: object = None
     key: Optional[bytes] = None
     job_id: Optional[int] = None
     cached_mesh: object = None
     decompress_seconds: float = 0.0
     lookup_seconds: float = 0.0
+    store_key: Optional[bytes] = None
+    store_record: object = None
+    store_lookup_seconds: float = 0.0
 
 
 class ServingEngine:
@@ -112,9 +118,26 @@ class ServingEngine:
             if config.workers >= 1
             else None
         )
+        self.store = (
+            AvatarStore(
+                capacity=config.store_capacity,
+                bits=config.store_bits,
+                tolerance=config.store_tolerance,
+                check_every=config.store_check_every,
+                max_pose_distance=config.store_max_pose_distance,
+                path=config.store_path,
+                registry=self.metrics,
+            )
+            if config.store
+            else None
+        )
         self.stats = ServingStats()
         self._local: Dict[str, tuple] = {}
         self._session_streams: Dict[str, Set[str]] = {}
+        # Sliding window of store-hit outcomes per session, feeding
+        # the gateway's service-rate model (a skinning-only stream is
+        # far cheaper than field extraction).
+        self._store_recent: Dict[str, Deque[float]] = {}
         self._closed = False
 
     # -- stream bookkeeping ----------------------------------------
@@ -133,6 +156,7 @@ class ServingEngine:
             if self.pool is not None:
                 self.pool.reset_stream(stream)
             self._local.pop(stream, None)
+        self._store_recent.pop(session, None)
 
     # -- decode ----------------------------------------------------
 
@@ -203,6 +227,72 @@ class ServingEngine:
                     decompress_seconds=decompress_seconds,
                     lookup_seconds=lookup_seconds,
                 )
+        store_key = None
+        store_record = None
+        store_lookup_seconds = 0.0
+        if self.store is not None:
+            # A gaze depth budget shapes the *extraction* (foveated
+            # octree detail); the canonical mesh is budget-free, so
+            # gaze-driven frames keep the legacy path rather than
+            # serve full-detail geometry the budget asked to avoid.
+            if getattr(reconstructor, "depth_budget", None) is None:
+                start = perf_counter()
+                store_key = self.store.key(
+                    payload.shape,
+                    payload.expression,
+                    reconstructor.resolution,
+                    reconstructor.expression_channels,
+                    reconstructor.blend,
+                    extraction=getattr(
+                        reconstructor, "extraction", "dense"
+                    ),
+                    octree_base=getattr(
+                        reconstructor, "octree_base", 32
+                    ),
+                )
+                store_record = self.store.get(
+                    store_key, pose=payload.pose
+                )
+                store_lookup_seconds = perf_counter() - start
+        if store_record is not None:
+            if self.pool is not None:
+                job_id = self.pool.submit_repose(
+                    stream=stream,
+                    frame_index=encoded.frame_index,
+                    pose=payload.pose,
+                    shape=payload.shape,
+                    arena=store_record.arena,
+                    nv=store_record.nv,
+                    nf=store_record.nf,
+                    k=store_record.k,
+                )
+                return DecodeTicket(
+                    ticket_id=ticket_id,
+                    pipeline=pipeline,
+                    encoded=encoded,
+                    stream=stream,
+                    mode="store_pool",
+                    payload=payload,
+                    key=key,
+                    job_id=job_id,
+                    decompress_seconds=decompress_seconds,
+                    store_key=store_key,
+                    store_record=store_record,
+                    store_lookup_seconds=store_lookup_seconds,
+                )
+            return DecodeTicket(
+                ticket_id=ticket_id,
+                pipeline=pipeline,
+                encoded=encoded,
+                stream=stream,
+                mode="store_local",
+                payload=payload,
+                key=key,
+                decompress_seconds=decompress_seconds,
+                store_key=store_key,
+                store_record=store_record,
+                store_lookup_seconds=store_lookup_seconds,
+            )
         if self.pool is not None:
             budget = getattr(reconstructor, "depth_budget", None)
             job_id = self.pool.submit(
@@ -230,6 +320,8 @@ class ServingEngine:
                 key=key,
                 job_id=job_id,
                 decompress_seconds=decompress_seconds,
+                store_key=store_key,
+                store_lookup_seconds=store_lookup_seconds,
             )
         return DecodeTicket(
             ticket_id=ticket_id,
@@ -240,6 +332,8 @@ class ServingEngine:
             payload=payload,
             key=key,
             decompress_seconds=decompress_seconds,
+            store_key=store_key,
+            store_lookup_seconds=store_lookup_seconds,
         )
 
     def collect(self, ticket: DecodeTicket) -> DecodedFrame:
@@ -266,6 +360,8 @@ class ServingEngine:
                 warm_started=False,
                 cache_hit=True,
             )
+        elif ticket.mode in ("store_pool", "store_local"):
+            mesh = self._collect_store(ticket, timing, metadata)
         elif ticket.mode == "pool":
             result = self.pool.result(ticket.job_id)
             mesh = result.mesh
@@ -301,6 +397,31 @@ class ServingEngine:
             )
             if self.cache is not None and ticket.key is not None:
                 self.cache.put(ticket.key, mesh)
+        if (
+            self.store is not None
+            and ticket.store_key is not None
+            and ticket.mode in ("pool", "local")
+        ):
+            # Store miss: the full extraction just paid for this
+            # identity's canonical mesh — publish it so every later
+            # frame (any worker, any session) is skinning-only.
+            start = perf_counter()
+            self.store.publish(
+                ticket.store_key,
+                mesh,
+                ticket.payload.pose,
+                ticket.payload.shape,
+            )
+            timing.add("store_publish", perf_counter() - start)
+            metadata["store_published"] = True
+        if self.store is not None and ticket.mode != "hit":
+            # Cache hits stay out of the ratio: they are already free
+            # and say nothing about how often this session's frames
+            # can be served by skinning alone.
+            self._note_store_outcome(
+                ticket.stream,
+                ticket.mode in ("store_pool", "store_local"),
+            )
         pipeline._record_decode_state(ticket.payload, mesh)
         return DecodedFrame(
             frame_index=ticket.encoded.frame_index,
@@ -308,6 +429,106 @@ class ServingEngine:
             timing=timing,
             metadata=metadata,
         )
+
+    def _collect_store(self, ticket, timing, metadata):
+        """Finish a store-hit decode: skinning-only re-pose (pool
+        worker via the shared arena, or in-process), an optional
+        sampled-SDF validation pass, and — when validation refuses the
+        hit — a full re-extraction republished as the identity's new
+        canonical mesh."""
+        pipeline = ticket.pipeline
+        payload = ticket.payload
+        record = ticket.store_record
+        timing.add("store_lookup", ticket.store_lookup_seconds)
+        if ticket.mode == "store_pool":
+            result = self.pool.result(ticket.job_id)
+            mesh = result.mesh
+            timing.add("store_repose", result.seconds)
+            metadata.update(
+                worker=result.worker, worker_spans=result.spans
+            )
+        else:
+            start = perf_counter()
+            mesh = self.store.repose(
+                record, payload.pose, payload.shape
+            )
+            timing.add("store_repose", perf_counter() - start)
+        evaluations = 0
+        if self.store.validation_due(record):
+            reconstructor = pipeline.reconstructor
+            start = perf_counter()
+            ok, spent, error = self.store.validate(
+                mesh,
+                payload.pose,
+                payload.shape,
+                expression=payload.expression,
+                expression_channels=reconstructor.expression_channels,
+                blend=reconstructor.blend,
+            )
+            timing.add("store_validate", perf_counter() - start)
+            evaluations += spent
+            metadata["store_validation_error"] = error
+            if not ok:
+                # The skinning drifted past tolerance: re-extract at
+                # this frame's pose and republish, so the canonical
+                # mesh tracks the user instead of compounding error.
+                local = self._local_reconstructor(
+                    ticket.stream, pipeline
+                )
+                result = local.reconstruct(
+                    pose=payload.pose,
+                    shape=payload.shape,
+                    expression=payload.expression,
+                )
+                mesh = result.mesh
+                evaluations += result.field_evaluations
+                self.stats.reconstructions += 1
+                self.metrics.inc("serve.engine.reconstructions")
+                timing.add("mesh_reconstruction", result.seconds)
+                start = perf_counter()
+                self.store.publish(
+                    ticket.store_key,
+                    mesh,
+                    payload.pose,
+                    payload.shape,
+                )
+                timing.add("store_publish", perf_counter() - start)
+                metadata["store_republished"] = True
+        metadata.update(
+            field_evaluations=evaluations,
+            warm_started=False,
+            cache_hit=False,
+            store_hit=True,
+        )
+        if self.cache is not None and ticket.key is not None:
+            self.cache.put(ticket.key, mesh)
+        return mesh
+
+    def _note_store_outcome(self, stream: str, hit: bool) -> None:
+        session = stream.split("|", 1)[0]
+        recent = self._store_recent.setdefault(
+            session, deque(maxlen=32)
+        )
+        recent.append(1.0 if hit else 0.0)
+
+    def store_hit_ratio(self, session: str) -> float:
+        """Recent store-hit fraction of one session's offloaded
+        decodes, in [0, 1] — the gateway scales its modeled service
+        cost by this (skinning-only frames are far cheaper than field
+        extraction).  0.0 until the session has history."""
+        recent = self._store_recent.get(session)
+        if not recent:
+            return 0.0
+        return sum(recent) / len(recent)
+
+    def save_store(self, path=None):
+        """Write the avatar store's disk snapshot (see
+        :meth:`repro.avatar.AvatarStore.save`); returns the path."""
+        if self.store is None:
+            raise PipelineError(
+                "serving engine has no avatar store (store=False)"
+            )
+        return self.store.save(path)
 
     def decode(
         self,
@@ -383,7 +604,13 @@ class ServingEngine:
                     metrics.value("serve.cache.evictions")
                 ),
                 cache_size=len(self.cache),
+                cache_capacity_bytes=int(
+                    metrics.value("serve.cache.capacity_bytes")
+                ),
             )
+        summary["store_enabled"] = self.store is not None
+        if self.store is not None:
+            summary.update(self.store.summary())
         return summary
 
     def close(self) -> None:
@@ -393,6 +620,8 @@ class ServingEngine:
         self._closed = True
         if self.pool is not None:
             self.pool.close()
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "ServingEngine":
         return self

@@ -99,6 +99,13 @@ class GatewayConfig:
             may hold the tick before being parked as wedged (fake
             clocks rely on the pool's own injectable job deadline
             instead).
+        store_cost_factor: modeled cost of a skinning-only (avatar
+            store hit) frame relative to a full extraction.  A
+            stream's cost is interpolated between this floor and 1.0
+            by its recent store hit ratio, so an edge node of
+            returning users admits and retains far more streams
+            before degrading.  Only applies when the engine's avatar
+            store is on; 1.0 disables the discount.
     """
 
     max_sessions: int = 8
@@ -110,6 +117,7 @@ class GatewayConfig:
     low_watermark: float = 2.0
     recover_after: int = 2
     watchdog_timeout: float = 30.0
+    store_cost_factor: float = 0.15
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -138,6 +146,11 @@ class GatewayConfig:
             raise PipelineError("recover_after must be >= 1")
         if self.watchdog_timeout <= 0:
             raise PipelineError("watchdog_timeout must be positive")
+        if not 0.0 < self.store_cost_factor <= 1.0:
+            raise PipelineError(
+                "store_cost_factor must be in (0, 1] (1.0 disables "
+                "the skinning-only discount)"
+            )
 
 
 @dataclass
@@ -368,12 +381,29 @@ class HoloGateway:
             {"stream": stream, "action": action, "now": now, **extra}
         )
 
+    def _cost_multiplier(self, stream: GatewayStream) -> float:
+        """Scale one stream's modeled cost by how often its frames
+        are served skinning-only from the avatar store: a returning
+        user at the full hit ratio costs ``store_cost_factor`` of an
+        extraction frame, a cold user the full 1.0."""
+        factor = self.config.store_cost_factor
+        if factor >= 1.0 or self.engine.store is None:
+            return 1.0
+        if stream.qos.level not in ("primary", "reduced"):
+            return 1.0
+        ratio = self.engine.store_hit_ratio(stream.name)
+        return 1.0 - (1.0 - factor) * ratio
+
+    def _stream_cost(self, stream: GatewayStream) -> float:
+        return stream.qos.cost * self._cost_multiplier(stream)
+
     def _pressure(self, active: List[GatewayStream]) -> float:
         """Projected end-of-tick pool load, in primary-frame costs."""
         config = self.config
         if config.service_rate is not None:
             offered = sum(
-                s.qos.cost for s in active if s.parked is None
+                self._stream_cost(s) for s in active
+                if s.parked is None
             )
             return max(
                 0.0,
@@ -395,7 +425,9 @@ class HoloGateway:
                     break
                 if not stream.qos.can_degrade:
                     continue
-                relief = stream.qos.cost - stream.qos.cost_below()
+                relief = self._cost_multiplier(stream) * (
+                    stream.qos.cost - stream.qos.cost_below()
+                )
                 previous = stream.qos.level
                 level = stream.qos.degrade()
                 projected -= relief
@@ -465,7 +497,7 @@ class HoloGateway:
                 stream.parked = future
                 self.metrics.inc("serve.gateway.watchdog_fired")
                 self._log(stream.name, "watchdog", now)
-                return stream.qos.cost
+                return self._stream_cost(stream)
         else:
             report = await future
         stream.frames_done += 1
@@ -478,7 +510,7 @@ class HoloGateway:
             )
             if self.engine.pool is not None:
                 self.engine.pool.ensure_workers()
-        return stream.qos.cost
+        return self._stream_cost(stream)
 
     def _reap_parked(self, now: float) -> None:
         """Resolve wedged streams whose executor future completed."""

@@ -50,6 +50,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
+from types import SimpleNamespace
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
 from typing import Dict, List, Optional, Set, Tuple
@@ -204,9 +205,15 @@ def _worker_main(
     # Imported here so the module stays importable without triggering
     # the avatar stack at parent import time.
     from repro.avatar.reconstructor import KeypointMeshReconstructor
+    from repro.avatar.store import arena_views, repose_vertices
     from repro.gaze.lod import GazeDepthBudget
 
     reconstructors: Dict[str, Tuple[tuple, object]] = {}
+    # Canonical-avatar arenas this worker has attached, by segment
+    # name: every repose job of one identity reads the same mapping —
+    # one attach, N zero-copy reads.  The store (parent) owns the
+    # segments; attachments are read-only and never unlink.
+    arenas: Dict[str, tuple] = {}
 
     def get_reconstructor(stream, config, gaze):
         held = reconstructors.get(stream)
@@ -375,6 +382,69 @@ def _worker_main(
         except Exception as exc:  # surface, don't kill the worker
             ship_err(job_id, exc)
 
+    def attach_arena(name, nv, nf, k):
+        held = arenas.get(name)
+        if held is not None:
+            return held[1]
+        try:
+            shm = SharedMemory(name=name)
+        except FileNotFoundError:
+            # The parent evicted the identity between submit and
+            # execution — a content-level refusal the session can
+            # conceal (the next frame misses the store and
+            # re-extracts), not an infrastructure failure.
+            raise PipelineError(
+                f"canonical avatar arena {name!r} is gone "
+                "(evicted or store closed)"
+            )
+        # Attaching re-registers the segment with the resource
+        # tracker, but pool workers inherit the *parent's* tracker
+        # (both fork and spawn ship ``tracker_fd`` in the preparation
+        # data), so the registration set already holds the name from
+        # the store's create: a no-op.  Crucially we must NOT
+        # unregister here — that would cancel the store's own
+        # registration and turn its later ``unlink`` into a tracker
+        # KeyError.  Worker death therefore never reclaims an arena;
+        # only the owning store unlinks.
+        views = arena_views(shm.buf, nv, nf, k)
+        arenas[name] = (shm, views)
+        return views
+
+    def run_repose(message):
+        """Pose-delta-only reconstruction: LBS of the shared canonical
+        mesh — zero field evaluations, no extractor, no warm-start
+        state touched."""
+        (_, job_id, stream, frame_index, _config,
+         pose_blob, shape_blob, arena, nv, nf, k) = message
+        try:
+            views = attach_arena(arena, nv, nf, k)
+            pose, shape, _ = decode_params(pose_blob, shape_blob, None)
+            cpu_start = time.thread_time()
+            span_start = perf_counter()
+            warped = repose_vertices(
+                views["vertices"],
+                views["indices"],
+                views["weights"],
+                views["inverse_transforms"],
+                pose,
+                shape,
+            )
+            mesh = TriangleMesh(
+                vertices=warped, faces=np.array(views["faces"])
+            )
+            span_end = perf_counter()
+            cpu_seconds = time.thread_time() - cpu_start
+            result = SimpleNamespace(
+                mesh=mesh,
+                seconds=span_end - span_start,
+                field_evaluations=0,
+                warm_started=False,
+            )
+            ship_ok(job_id, stream, frame_index, result, cpu_seconds,
+                    span_start, span_end, 1, True, ())
+        except Exception as exc:
+            ship_err(job_id, exc)
+
     def run_coalesced(batch):
         # Per-job preparation happens on the worker's main thread, each
         # job's failures charged to that job alone — a bad config in
@@ -481,6 +551,9 @@ def _worker_main(
             continue
         if kind == "reset":
             reconstructors.pop(message[1], None)
+            continue
+        if kind == "repose":
+            run_repose(message)
             continue
         if kind != "job":
             continue
@@ -590,6 +663,19 @@ class ReconstructionPool:
         self.metrics.histogram(
             "serve.pool.batch.size", buckets=_BATCH_SIZE_BUCKETS
         )
+        # Start the shared-memory resource tracker *before* forking
+        # workers: forked children inherit it, so a worker attaching a
+        # store arena registers with the parent's tracker (a no-op —
+        # the name is already registered by the owning store) instead
+        # of lazily starting a private tracker that would unlink the
+        # arena when the worker exits.  Spawn/forkserver children are
+        # handed the tracker fd by multiprocessing itself.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover
+            pass
         self._context = get_context(start_method)
         self._requests = [self._context.Queue() for _ in range(workers)]
         self._responses = self._context.Queue()
@@ -667,27 +753,10 @@ class ReconstructionPool:
 
     # -- job lifecycle ---------------------------------------------
 
-    def submit(
-        self,
-        stream: str,
-        frame_index: int,
-        pose: Optional[BodyPose] = None,
-        shape: Optional[ShapeParams] = None,
-        expression: Optional[ExpressionParams] = None,
-        resolution: int = 128,
-        expression_channels: int = 0,
-        blend: float = 0.035,
-        extraction: str = "dense",
-        octree_base: int = 32,
-        gaze: Optional[tuple] = None,
-    ) -> int:
-        """Queue one reconstruction; returns a job id for :meth:`result`.
-
-        ``extraction``/``octree_base`` are reconstructor config (part
-        of the coalescing compatibility key); ``gaze`` is an optional
-        :meth:`repro.gaze.lod.GazeDepthBudget.to_wire` tuple applied
-        per job, so streams with different gazes still coalesce.
-        """
+    def _admit_job(self, stream: str, frame_index: int) -> int:
+        """Shared admission path of every submit flavour: closed
+        check, per-stream backpressure bound, sticky routing, dead
+        worker check.  Returns the worker index."""
         if self._closed:
             raise ServingError("pool is closed")
         bound = self.max_inflight_per_stream
@@ -719,6 +788,40 @@ class ReconstructionPool:
                 f"{self._processes[worker].exitcode}); cannot submit "
                 f"frame {frame_index} of stream {stream!r}"
             )
+        return worker
+
+    def _register_job(
+        self, job_id: int, stream: str, frame_index: int, worker: int
+    ) -> None:
+        self._pending[job_id] = (stream, frame_index, worker)
+        self._stream_inflight[stream] = (
+            self._stream_inflight.get(stream, 0) + 1
+        )
+        self.jobs_per_worker[worker] += 1
+        self.metrics.inc("serve.pool.submitted")
+
+    def submit(
+        self,
+        stream: str,
+        frame_index: int,
+        pose: Optional[BodyPose] = None,
+        shape: Optional[ShapeParams] = None,
+        expression: Optional[ExpressionParams] = None,
+        resolution: int = 128,
+        expression_channels: int = 0,
+        blend: float = 0.035,
+        extraction: str = "dense",
+        octree_base: int = 32,
+        gaze: Optional[tuple] = None,
+    ) -> int:
+        """Queue one reconstruction; returns a job id for :meth:`result`.
+
+        ``extraction``/``octree_base`` are reconstructor config (part
+        of the coalescing compatibility key); ``gaze`` is an optional
+        :meth:`repro.gaze.lod.GazeDepthBudget.to_wire` tuple applied
+        per job, so streams with different gazes still coalesce.
+        """
+        worker = self._admit_job(stream, frame_index)
         job_id = self._next_job
         self._next_job += 1
         pose = pose or BodyPose.identity()
@@ -740,12 +843,53 @@ class ReconstructionPool:
                 None if gaze is None else tuple(gaze),
             )
         )
-        self._pending[job_id] = (stream, frame_index, worker)
-        self._stream_inflight[stream] = (
-            self._stream_inflight.get(stream, 0) + 1
+        self._register_job(job_id, stream, frame_index, worker)
+        return job_id
+
+    def submit_repose(
+        self,
+        stream: str,
+        frame_index: int,
+        pose: Optional[BodyPose] = None,
+        shape: Optional[ShapeParams] = None,
+        arena: str = "",
+        nv: int = 0,
+        nf: int = 0,
+        k: int = 4,
+    ) -> int:
+        """Queue a skinning-only re-pose of a canonical mesh held in
+        the shared-memory ``arena`` published by an
+        :class:`repro.avatar.AvatarStore`.
+
+        The worker attaches the arena read-only (zero-copy) and warps
+        the canonical vertices with linear blend skinning — no SDF
+        field evaluations.  Admission (backpressure, sticky routing,
+        dead-worker checks) matches :meth:`submit`, so repose and
+        full-extraction jobs share one FIFO per stream.
+        """
+        worker = self._admit_job(stream, frame_index)
+        job_id = self._next_job
+        self._next_job += 1
+        pose = pose or BodyPose.identity()
+        self._requests[worker].put(
+            (
+                "repose",
+                job_id,
+                stream,
+                frame_index,
+                None,
+                pose.flatten().astype("<f8").tobytes(),
+                None
+                if shape is None
+                else shape.betas.astype("<f8").tobytes(),
+                arena,
+                int(nv),
+                int(nf),
+                int(k),
+            )
         )
-        self.jobs_per_worker[worker] += 1
-        self.metrics.inc("serve.pool.submitted")
+        self._register_job(job_id, stream, frame_index, worker)
+        self.metrics.inc("serve.pool.repose_submitted")
         return job_id
 
     def result(

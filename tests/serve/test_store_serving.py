@@ -1,0 +1,408 @@
+"""Avatar store through the serving stack: zero-eval returning-user
+frames on both kernel backends, one-publish/N-reader sharing across
+pool workers, worker-kill arena lifecycle, restart persistence via
+``ServingConfig.store_path``, the store-off legacy sentinel, cache
+observability gauges, and the gateway's skinning-only cost discount.
+"""
+
+import numpy as np
+import pytest
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.avatar import AvatarStore, KeypointMeshReconstructor
+from repro.body.pose import BodyPose
+from repro.body.shape import ShapeParams
+from repro.compression.lzma_codec import SemanticKeypointPayload
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.pipeline import EncodedFrame
+from repro.errors import PipelineError
+from repro.net.qos import StreamQoS
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServingConfig, ServingEngine
+from repro.serve.cache import MeshCache
+from repro.serve.gateway import GatewayConfig, GatewayStream, HoloGateway
+from repro.serve.pool import ReconstructionPool
+import repro.serve.engine as engine_module
+
+
+def _shape(seed=7):
+    rng = np.random.default_rng(seed)
+    return ShapeParams(betas=rng.uniform(-1.5, 1.5, 10))
+
+
+def _frame(pipe, index, angle, shape):
+    pose = BodyPose.identity()
+    pose.joint_rotations[16] = [0.0, 0.0, angle]
+    payload = SemanticKeypointPayload(
+        pose=pose, shape=shape, frame_index=index
+    )
+    return EncodedFrame(
+        frame_index=index, payload=pipe.codec.compress(payload)
+    )
+
+
+class TestReturningUserSteadyState:
+    @pytest.mark.parametrize("backend", ["c", "numpy"])
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_zero_field_evaluations_after_first_frame(
+        self, backend, workers, monkeypatch
+    ):
+        """The acceptance criterion: once the canonical mesh is
+        published, every returning-user frame is skinning-only —
+        ``field_evaluations == 0`` — on both kernel backends, both
+        in-process and through the pool."""
+        if backend == "numpy":
+            monkeypatch.setenv("REPRO_DISABLE_C_KERNEL", "1")
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        shape = _shape()
+        config = ServingConfig(workers=workers, store=True)
+        with ServingEngine(config) as engine:
+            cold = engine.decode(pipe, _frame(pipe, 0, 0.0, shape))
+            assert cold.metadata["field_evaluations"] > 0
+            assert cold.metadata.get("store_published") is True
+            for i, angle in enumerate([0.1, 0.2, 0.3], start=1):
+                out = engine.decode(
+                    pipe, _frame(pipe, i, angle, shape)
+                )
+                assert out.metadata["field_evaluations"] == 0
+                assert out.metadata["store_hit"] is True
+                assert "store_repose" in out.timing.stages
+            summary = engine.serving_summary()
+            assert summary["store_enabled"] is True
+            assert summary["store_hits"] == 3
+            assert summary["store_misses"] == 1
+            assert summary["store_publishes"] == 1
+
+    def test_pose_gate_republishes(self):
+        """A frame past the pose gates re-extracts and republishes,
+        so the canonical mesh tracks the user."""
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        shape = _shape()
+        config = ServingConfig(
+            workers=0, store=True, store_max_pose_distance=0.01
+        )
+        with ServingEngine(config) as engine:
+            engine.decode(pipe, _frame(pipe, 0, 0.0, shape))
+            far = engine.decode(pipe, _frame(pipe, 1, 2.0, shape))
+            assert far.metadata["field_evaluations"] > 0
+            assert far.metadata.get("store_published") is True
+            summary = engine.serving_summary()
+            assert summary["store_pose_rejections"] == 1
+            assert summary["store_republishes"] == 1
+            # Back at the new canonical pose: skinning-only again.
+            warm = engine.decode(pipe, _frame(pipe, 2, 2.01, shape))
+            assert warm.metadata["field_evaluations"] == 0
+
+    def test_validation_failure_reextracts(self):
+        """With an impossible tolerance every validated hit fails,
+        re-extracts, and republishes — the engine never serves a mesh
+        the sampled SDF refused."""
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        shape = _shape()
+        config = ServingConfig(
+            workers=0, store=True,
+            store_check_every=1, store_tolerance=1e-9,
+        )
+        with ServingEngine(config) as engine:
+            engine.decode(pipe, _frame(pipe, 0, 0.0, shape))
+            out = engine.decode(pipe, _frame(pipe, 1, 0.1, shape))
+            assert out.metadata.get("store_republished") is True
+            assert out.metadata["field_evaluations"] > 0
+            summary = engine.serving_summary()
+            assert summary["store_validation_failures"] == 1
+
+
+class TestArenaSharingAcrossWorkers:
+    def test_one_publish_many_zero_copy_readers(self):
+        """One canonical publish serves every pool worker: N streams
+        of one identity re-pose on distinct workers against the same
+        arena, with exactly one publish and zero re-extractions."""
+        shape = _shape()
+        pose = BodyPose.identity()
+        mesh = KeypointMeshReconstructor(resolution=32).reconstruct(
+            pose, shape
+        ).mesh
+        registry = MetricsRegistry()
+        store = AvatarStore(registry=registry)
+        key = store.key(shape, None, 32, 0, 0.035)
+        record = store.publish(key, mesh, pose, shape)
+        pool = ReconstructionPool(workers=2, registry=registry)
+        try:
+            target = BodyPose.identity()
+            target.joint_rotations[16] = [0.0, 0.0, 0.3]
+            jobs = [
+                pool.submit_repose(
+                    f"stream{i}", i, pose=target, shape=shape,
+                    arena=record.arena, nv=record.nv,
+                    nf=record.nf, k=record.k,
+                )
+                for i in range(4)
+            ]
+            workers = set()
+            for job in jobs:
+                result = pool.result(job, timeout=60)
+                workers.add(result.worker)
+                assert result.field_evaluations == 0
+                assert result.mesh.num_vertices == record.nv
+            assert workers == {0, 1}
+            assert registry.value("avatar.store.publishes") == 1
+            assert registry.value("serve.pool.repose_submitted") == 4
+        finally:
+            pool.close()
+            store.close()
+
+    def test_worker_death_never_reclaims_the_arena(self):
+        """Killing a worker that holds an arena attachment must not
+        unlink the store's segment (the PR 3 reclaim rule extended to
+        store arenas): the parent still owns it, a respawned worker
+        can re-attach, and only ``store.close`` unlinks."""
+        shape = _shape()
+        pose = BodyPose.identity()
+        mesh = KeypointMeshReconstructor(resolution=32).reconstruct(
+            pose, shape
+        ).mesh
+        store = AvatarStore()
+        key = store.key(shape, None, 32, 0, 0.035)
+        record = store.publish(key, mesh, pose, shape)
+        pool = ReconstructionPool(workers=1)
+        try:
+            target = BodyPose.identity()
+            target.joint_rotations[16] = [0.0, 0.0, 0.2]
+            job = pool.submit_repose(
+                "s", 0, pose=target, shape=shape,
+                arena=record.arena, nv=record.nv,
+                nf=record.nf, k=record.k,
+            )
+            pool.result(job, timeout=60)  # worker now holds a view
+            pool.crash_worker(0)
+            pool._processes[0].join(timeout=30)
+            assert not pool._processes[0].is_alive()
+            pool.ensure_workers()
+            # The arena survived the crash: still attachable...
+            probe = SharedMemory(name=record.arena)
+            probe.close()
+            # ...and the respawned worker re-attaches and serves.
+            job = pool.submit_repose(
+                "s", 1, pose=target, shape=shape,
+                arena=record.arena, nv=record.nv,
+                nf=record.nf, k=record.k,
+            )
+            result = pool.result(job, timeout=60)
+            assert result.field_evaluations == 0
+        finally:
+            pool.close()
+            arena = record.arena
+            store.close()
+        # No leak: the owning store's close is what unlinks.
+        with pytest.raises(FileNotFoundError):
+            SharedMemory(name=arena)
+
+    def test_evicted_arena_fails_with_typed_error(self):
+        """A repose job racing an eviction gets a content-level
+        PipelineError naming the arena, not a hang or a crash."""
+        shape = _shape()
+        pose = BodyPose.identity()
+        mesh = KeypointMeshReconstructor(resolution=32).reconstruct(
+            pose, shape
+        ).mesh
+        store = AvatarStore()
+        key = store.key(shape, None, 32, 0, 0.035)
+        record = store.publish(key, mesh, pose, shape)
+        arena, nv, nf, k = record.arena, record.nv, record.nf, record.k
+        store.close()  # arena gone before the worker attaches
+        pool = ReconstructionPool(workers=1)
+        try:
+            job = pool.submit_repose(
+                "s", 0, pose=pose, shape=shape,
+                arena=arena, nv=nv, nf=nf, k=k,
+            )
+            with pytest.raises(PipelineError, match="gone"):
+                pool.result(job, timeout=60)
+        finally:
+            pool.close()
+
+
+class TestRestartPersistence:
+    def test_store_survives_engine_restart(self, tmp_path):
+        """Boot -> serve -> save; a brand-new engine restores the
+        snapshot and serves the returning user skinning-only from
+        frame one."""
+        snapshot = tmp_path / "avatars.npz"
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        shape = _shape()
+        config = ServingConfig(
+            workers=0, store=True, store_path=str(snapshot)
+        )
+        with ServingEngine(config) as engine:
+            engine.decode(pipe, _frame(pipe, 0, 0.0, shape))
+            engine.save_store()
+        assert snapshot.exists()
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        with ServingEngine(config) as engine:
+            summary = engine.serving_summary()
+            assert summary["store_restored"] == 1
+            out = engine.decode(pipe, _frame(pipe, 0, 0.1, shape))
+            assert out.metadata["field_evaluations"] == 0
+            assert out.metadata["store_hit"] is True
+
+    def test_store_path_without_store_refused(self):
+        with pytest.raises(PipelineError, match="store_path"):
+            ServingConfig(store_path="/tmp/x.npz")
+
+    def test_save_store_without_store_refused(self):
+        with ServingEngine(ServingConfig(workers=0)) as engine:
+            with pytest.raises(PipelineError, match="no avatar store"):
+                engine.save_store()
+
+
+class TestStoreOffLegacySentinel:
+    def test_disabled_store_never_constructed_or_consulted(
+        self, monkeypatch
+    ):
+        """Store off (the default) must leave the legacy path
+        provably untouched: the AvatarStore class is never
+        instantiated and the repose submit path never fires."""
+
+        def store_sentinel(*args, **kwargs):
+            raise AssertionError(
+                "AvatarStore constructed with store=False"
+            )
+
+        def repose_sentinel(*args, **kwargs):
+            raise AssertionError(
+                "submit_repose called with store=False"
+            )
+
+        monkeypatch.setattr(
+            engine_module, "AvatarStore", store_sentinel
+        )
+        monkeypatch.setattr(
+            ReconstructionPool, "submit_repose", repose_sentinel
+        )
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        shape = _shape()
+        with ServingEngine(ServingConfig(workers=0)) as engine:
+            for i in range(2):
+                out = engine.decode(
+                    pipe, _frame(pipe, i, 0.1 * i, shape)
+                )
+                assert "store_hit" not in out.metadata
+                assert "store_published" not in out.metadata
+            summary = engine.serving_summary()
+            assert summary["store_enabled"] is False
+            assert "store_hits" not in summary
+
+
+class TestCacheObservability:
+    def test_capacity_bytes_and_entry_gauges(self):
+        registry = MetricsRegistry()
+        cache = MeshCache(capacity=8, registry=registry)
+        mesh = KeypointMeshReconstructor(resolution=32).reconstruct(
+            BodyPose.identity(), _shape()
+        ).mesh
+        key = cache.key(None, None, None, 32, 0, 0.035)
+        cache.put(key, mesh)
+        held = mesh.vertices.nbytes + mesh.faces.nbytes
+        assert registry.value("serve.cache.entries") == 1
+        assert registry.value("serve.cache.capacity_bytes") == held
+        assert cache.bytes_held == held
+        cache.clear()
+        assert registry.value("serve.cache.entries") == 0
+        assert registry.value("serve.cache.capacity_bytes") == 0
+
+    def test_eviction_age_histogram(self):
+        registry = MetricsRegistry()
+        cache = MeshCache(capacity=1, registry=registry)
+        mesh = KeypointMeshReconstructor(resolution=32).reconstruct(
+            BodyPose.identity(), _shape()
+        ).mesh
+        pose_a = BodyPose.identity()
+        pose_b = BodyPose.identity()
+        pose_b.joint_rotations[16] = [0.0, 0.0, 0.5]
+        cache.put(cache.key(pose_a, None, None, 32, 0, 0.035), mesh)
+        cache.put(cache.key(pose_b, None, None, 32, 0, 0.035), mesh)
+        histogram = registry.histogram("serve.cache.eviction_age")
+        assert histogram.count == 1
+        assert cache.stats.evictions == 1
+
+    def test_summary_reconciles_store_and_cache(self):
+        """`serving_summary` must attribute every offloaded decode to
+        exactly one of: cache hit, store hit, or reconstruction."""
+        pipe = KeypointSemanticPipeline(resolution=32, seed=0)
+        shape = _shape()
+        with ServingEngine(
+            ServingConfig(workers=0, store=True)
+        ) as engine:
+            angles = [0.0, 0.1, 0.1, 0.2]  # one exact recurrence
+            for i, angle in enumerate(angles):
+                engine.decode(pipe, _frame(pipe, i, angle, shape))
+            summary = engine.serving_summary()
+            assert summary["cache_capacity_bytes"] > 0
+            attributed = (
+                summary["cache_hits"]
+                + summary["store_hits"]
+                + summary["reconstructions"]
+            )
+            assert attributed == summary["offloaded"]
+
+
+class TestGatewayStoreDiscount:
+    def _stream(self, name="s"):
+        return GatewayStream(
+            name=name,
+            session=None,
+            priority=0,
+            arrival=0,
+            qos=StreamQoS(levels=("primary", "fallback", "shed")),
+            pipelines={},
+            frames=None,
+            start=0,
+        )
+
+    def test_cost_factor_validation(self):
+        with pytest.raises(PipelineError, match="store_cost_factor"):
+            GatewayConfig(store_cost_factor=0.0)
+        with pytest.raises(PipelineError, match="store_cost_factor"):
+            GatewayConfig(store_cost_factor=1.5)
+
+    def test_multiplier_follows_hit_ratio(self):
+        with ServingEngine(
+            ServingConfig(workers=0, store=True)
+        ) as engine:
+            gateway = HoloGateway(
+                engine, GatewayConfig(store_cost_factor=0.2)
+            )
+            stream = self._stream()
+            # No history: full price.
+            assert gateway._cost_multiplier(stream) == 1.0
+            for _ in range(4):
+                engine._note_store_outcome("s|sender", True)
+            assert engine.store_hit_ratio("s") == 1.0
+            assert gateway._cost_multiplier(stream) == \
+                pytest.approx(0.2)
+            assert gateway._stream_cost(stream) == pytest.approx(0.2)
+            # Mixed history interpolates.
+            engine._note_store_outcome("s|sender", False)
+            ratio = engine.store_hit_ratio("s")
+            assert 0.0 < ratio < 1.0
+            assert gateway._cost_multiplier(stream) == \
+                pytest.approx(1.0 - 0.8 * ratio)
+
+    def test_discount_only_on_extraction_levels(self):
+        with ServingEngine(
+            ServingConfig(workers=0, store=True)
+        ) as engine:
+            gateway = HoloGateway(
+                engine, GatewayConfig(store_cost_factor=0.2)
+            )
+            engine._note_store_outcome("s|sender", True)
+            stream = self._stream()
+            stream.qos.degrade()  # -> fallback: text, no extraction
+            assert gateway._cost_multiplier(stream) == 1.0
+
+    def test_store_off_engine_is_full_price(self):
+        with ServingEngine(ServingConfig(workers=0)) as engine:
+            gateway = HoloGateway(
+                engine, GatewayConfig(store_cost_factor=0.2)
+            )
+            assert gateway._cost_multiplier(self._stream()) == 1.0
