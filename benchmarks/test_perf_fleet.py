@@ -1,0 +1,179 @@
+"""Perf: the fleet scenario matrix and the broadcast caching tier.
+
+Runs every named fleet profile (mobile / edge / datacenter / mixed /
+webinar-100) for one seed, regenerates the per-fleet goodput /
+concealment / interactive-fraction table (the EXPERIMENTS.md table),
+and persists per-profile records to ``BENCH_fleet.json``.
+
+The acceptance measurement rides along: the webinar cell runs the
+full N=100 audience even under ``REPRO_BENCH_QUICK`` (shrinking the
+audience would un-measure the claim) and its record's ``evaluations``
+field is the engine's reconstruction count, asserted equal to
+``delivered_frames x tiers`` — one reconstruction per (sender frame,
+gaze-LOD tier), never per receiver.
+
+Environment knobs:
+    REPRO_BENCH_QUICK: shrink the frame counts (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from conftest import register
+from repro.bench.harness import ExperimentTable
+from repro.bench.results import (
+    BenchRecord,
+    current_commit,
+    write_records,
+)
+from repro.obs.clock import perf_counter
+from repro.scenarios import FLEET_PROFILES, FleetScenario
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_fleet.json"
+
+SEED = 0
+if os.environ.get("REPRO_BENCH_QUICK"):
+    MEETING_FRAMES, WEBINAR_FRAMES = 3, 3
+else:
+    MEETING_FRAMES, WEBINAR_FRAMES = 6, 4
+# The webinar audience is the measurement — never shrunk.
+WEBINAR_RECEIVERS = 100
+
+
+def _run_cell(name):
+    profile = FLEET_PROFILES[name]
+    if profile.topology == "webinar":
+        scenario = FleetScenario(
+            name,
+            seed=SEED,
+            frames=WEBINAR_FRAMES,
+            receivers=WEBINAR_RECEIVERS,
+        )
+    else:
+        scenario = FleetScenario(
+            name, seed=SEED, frames=MEETING_FRAMES
+        )
+    # The scenario installs its own FakeClock internally; these outer
+    # readings hit the real clock and measure actual wall time.
+    start = perf_counter()
+    result = scenario.run()
+    return result, perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {name: _run_cell(name) for name in sorted(FLEET_PROFILES)}
+
+
+def _meeting_row(result):
+    served = [c for c in result.clients if c.status == "finished"]
+    count = max(len(served), 1)
+    return {
+        "size": f"{len(result.clients)} clients",
+        "goodput": sum(c.goodput_mbps for c in served) / count,
+        "concealed": sum(c.concealed_rate for c in served) / count,
+        "interactive": (
+            sum(c.interactive_fraction for c in served) / count
+        ),
+        "reconstructions": sum(c.frames for c in served),
+        "resolution": max(
+            (c.resolution for c in served), default=16
+        ),
+    }
+
+
+def _webinar_row(result):
+    b = result.broadcast
+    receivers = b.per_receiver
+    count = max(len(receivers), 1)
+    return {
+        "size": f"{b.receivers} receivers",
+        "goodput": sum(r.goodput_mbps for r in receivers) / count,
+        "concealed": sum(r.concealed_rate for r in receivers) / count,
+        "interactive": (
+            sum(r.interactive_fraction for r in receivers) / count
+        ),
+        "reconstructions": b.reconstructions,
+        "resolution": 16,
+    }
+
+
+def test_fleet_matrix_table_and_records(matrix, benchmark):
+    commit = current_commit()
+    table = ExperimentTable(
+        title="Perf — fleet scenario matrix (per profile)",
+        columns=["profile", "topology", "size", "goodput mbps",
+                 "concealed", "interactive frac", "reconstructions",
+                 "wall s"],
+        paper_note=(
+            "trace-driven fleets under a fake clock; webinar-100 "
+            "reconstructs once per (frame, gaze-LOD tier) for the "
+            "whole audience"
+        ),
+    )
+    records = []
+    for name, (result, wall) in matrix.items():
+        row = (
+            _webinar_row(result)
+            if result.topology == "webinar"
+            else _meeting_row(result)
+        )
+        table.add_row(
+            name,
+            result.topology,
+            row["size"],
+            f"{row['goodput']:.3f}",
+            f"{row['concealed']:.3f}",
+            f"{row['interactive']:.3f}",
+            str(row["reconstructions"]),
+            f"{wall:.2f}",
+        )
+        records.append(
+            BenchRecord(
+                workload=f"fleet-{name}",
+                resolution=row["resolution"],
+                seconds=wall,
+                evaluations=row["reconstructions"],
+                commit=commit,
+            )
+        )
+    table.show()
+    write_records(BENCH_PATH, records)
+    register(benchmark, lambda: None)
+    assert BENCH_PATH.exists()
+
+
+def test_webinar_100_caching_invariant(matrix):
+    """The acceptance criterion, measured at full scale: N=100
+    receivers, reconstructions == delivered_frames x tiers exactly."""
+    result, _ = matrix["webinar-100"]
+    b = result.broadcast
+    assert b.receivers == WEBINAR_RECEIVERS
+    assert b.tiers >= 3
+    assert b.reconstructions == b.delivered_frames * b.tiers
+    assert b.reconstructions == b.unique_pairs
+    assert b.cache_hits == (
+        b.delivered_frames * b.receivers - b.unique_pairs
+    )
+    # Every receiver is served every delivered frame.
+    assert all(
+        r.delivered_rate == b.delivered_frames / b.frames
+        for r in b.per_receiver
+    )
+
+
+def test_meeting_cells_finish_all_budgeted_clients(matrix):
+    for name, (result, _) in matrix.items():
+        if result.topology != "meeting":
+            continue
+        for client in result.clients:
+            assert client.status in ("finished", "shed"), (
+                f"{name}/{client.name}: {client.status}"
+            )
+            if client.status == "shed":
+                assert client.reason == "no_compute"

@@ -56,6 +56,12 @@ class KeypointSemanticPipeline(HolographicPipeline):
             back to freezing the last mesh (the concealment floor).
         conceal_damping: per-frame damping of the extrapolated pose
             velocity in (0, 1]; lower values brake the motion sooner.
+        extraction: receiver surface extraction — ``"dense"`` keeps
+            the legacy coarse-to-fine cascade byte for byte,
+            ``"octree"`` refines per cell and honours a gaze LOD
+            budget installed on the reconstructor (the broadcast
+            caching tier groups receivers by that budget).
+        octree_base: octree root-grid resolution (octree mode only).
         seed: detection noise seed.
     """
 
@@ -70,6 +76,8 @@ class KeypointSemanticPipeline(HolographicPipeline):
         expression_channels: int = 0,
         max_extrapolation_frames: int = 12,
         conceal_damping: float = 0.85,
+        extraction: str = "dense",
+        octree_base: int = 32,
         seed: int = 0,
     ) -> None:
         if max_extrapolation_frames < 0:
@@ -91,6 +99,8 @@ class KeypointSemanticPipeline(HolographicPipeline):
         base = KeypointMeshReconstructor(
             resolution=resolution,
             expression_channels=expression_channels,
+            extraction=extraction,
+            octree_base=octree_base,
         )
         self.reconstructor = (
             TemporalReconstructor(base=base) if temporal else base
@@ -101,6 +111,11 @@ class KeypointSemanticPipeline(HolographicPipeline):
         self._reset_concealment()
         self.name = (
             f"keypoint-r{resolution}"
+            + (
+                f"-octree{octree_base}"
+                if extraction == "octree"
+                else ""
+            )
             + ("-temporal" if temporal else "")
             + ("" if compressed else "-raw")
         )

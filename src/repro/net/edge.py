@@ -45,6 +45,29 @@ class DeviceProfile:
         if self.memory_gb <= 0:
             raise NetworkError("memory_gb must be positive")
 
+    def derate(self, fraction: float) -> "DeviceProfile":
+        """This device at a fractional compute budget.
+
+        Fleet scenarios model a client that only gets ``fraction`` of
+        an edge device (a shared edge node, a throttled headset) as
+        the same device with its speed scaled down.  ``fraction`` must
+        be in (0, 1]; a zero budget is an admission decision, not a
+        device — callers shed such clients with a typed reason instead
+        of constructing an infinitely slow profile.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise NetworkError(
+                "compute budget fraction must be in (0, 1], got "
+                f"{fraction}"
+            )
+        if fraction == 1.0:
+            return self
+        return DeviceProfile(
+            name=f"{self.name}@{fraction:g}",
+            speed_factor=self.speed_factor * fraction,
+            memory_gb=self.memory_gb,
+        )
+
 
 A100 = DeviceProfile(name="A100", speed_factor=1.0, memory_gb=40.0)
 RTX3080 = DeviceProfile(name="RTX3080", speed_factor=0.5, memory_gb=10.0)

@@ -84,6 +84,34 @@ class BandwidthTrace:
             t += interval
         return cls(times=times, mbps=rates)
 
+    @classmethod
+    def from_csv(cls, text: str) -> "BandwidthTrace":
+        """Replay a recorded capacity trace.
+
+        Each non-empty line is one ``time, mbps`` sample (comma or
+        whitespace separated; ``#`` starts a comment).  This is the
+        loader behind the fleet scenario link profiles: a recorded
+        cellular/WiFi trace pasted into a profile replays identically
+        on every run — no randomness involved.
+        """
+        times: List[float] = []
+        rates: List[float] = []
+        for number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            if len(parts) != 2:
+                raise NetworkError(
+                    f"trace line {number} must be 'time, mbps', "
+                    f"got {raw.strip()!r}"
+                )
+            times.append(float(parts[0]))
+            rates.append(float(parts[1]))
+        if not times:
+            raise NetworkError("trace text has no samples")
+        return cls(times=times, mbps=rates)
+
     def at(self, time: float) -> float:
         """Capacity (Mbps) at ``time`` (clamped to the trace ends)."""
         if time <= 0:

@@ -1,0 +1,58 @@
+"""Trace-driven fleet scenarios (ROADMAP item 5).
+
+Named fleet profiles — recorded-trace mobile clients, random-walk edge
+WiFi, flat datacenter pipes, and a webinar broadcast with a shared
+caching reconstruction tier — composed from :mod:`repro.net` and
+:mod:`repro.serve` and driven under a fake clock so every (profile,
+seed) cell is byte-reproducible.  The CI scenario matrix runs
+:func:`~repro.scenarios.runner.run_matrix` over profiles x seeds and
+diffs the summaries and decision logs.
+"""
+
+from repro.scenarios.profiles import (
+    CLIENT_PROFILES,
+    ClientProfile,
+    DATACENTER_LINK,
+    EDGE_LINK,
+    FLEET_PROFILES,
+    FleetClientSpec,
+    FleetProfile,
+    LinkProfile,
+    MOBILE_LINK,
+    MOBILE_LTE_TRACE_CSV,
+    RESOLUTION_RUNGS,
+    budget_edge,
+    budget_resolution,
+    derive_seed,
+    fleet_profile,
+    select_resolution,
+)
+from repro.scenarios.runner import (
+    ClientResult,
+    FleetResult,
+    FleetScenario,
+    run_matrix,
+)
+
+__all__ = [
+    "CLIENT_PROFILES",
+    "ClientProfile",
+    "ClientResult",
+    "DATACENTER_LINK",
+    "EDGE_LINK",
+    "FLEET_PROFILES",
+    "FleetClientSpec",
+    "FleetProfile",
+    "FleetResult",
+    "FleetScenario",
+    "LinkProfile",
+    "MOBILE_LINK",
+    "MOBILE_LTE_TRACE_CSV",
+    "RESOLUTION_RUNGS",
+    "budget_edge",
+    "budget_resolution",
+    "derive_seed",
+    "fleet_profile",
+    "run_matrix",
+    "select_resolution",
+]

@@ -1,0 +1,405 @@
+"""Named link, client and fleet profiles for scenario runs.
+
+A *fleet profile* is a declarative description of one experiment cell:
+which link class each client sits behind (a recorded LTE replay, a
+random-walk edge WiFi, a flat datacenter pipe), what fraction of an
+edge device each client is budgeted, and which topology the cell runs
+(a small meeting through the gateway, or a webinar broadcast through
+the caching tier).  Everything is derived from a single master seed
+through :func:`derive_seed`, so one integer pins every random stream
+in the cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import AdmissionError, NetworkError
+from repro.net.abr import QualityLevel, ThroughputRateController
+from repro.net.bwe import HarmonicMeanEstimator
+from repro.net.edge import A100, RTX3080, DeviceProfile, EdgeServer
+from repro.net.faults import FaultPlan, GilbertElliottLoss
+from repro.net.link import NetworkLink, TransportPolicy
+from repro.net.trace import BandwidthTrace
+
+__all__ = [
+    "CLIENT_PROFILES",
+    "ClientProfile",
+    "DATACENTER_LINK",
+    "EDGE_LINK",
+    "FLEET_PROFILES",
+    "FleetClientSpec",
+    "FleetProfile",
+    "LinkProfile",
+    "MOBILE_LINK",
+    "MOBILE_LTE_TRACE_CSV",
+    "RESOLUTION_RUNGS",
+    "budget_edge",
+    "budget_resolution",
+    "derive_seed",
+    "fleet_profile",
+    "select_resolution",
+]
+
+
+def derive_seed(master: int, *parts) -> int:
+    """A stable child seed for one named random stream.
+
+    Hashes ``(master, *parts)`` with BLAKE2s so every link, fault plan
+    and pipeline in a fleet gets an independent stream that is still a
+    pure function of the master seed — renumbering clients or adding a
+    profile never perturbs unrelated streams the way ``master + i``
+    schemes do.
+    """
+    digest = hashlib.blake2s(
+        "|".join(str(p) for p in (master, *parts)).encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+# A recorded-style LTE capacity trace (time s, Mbps): a stable stretch,
+# a deep handover dip, recovery.  Replayed via
+# :meth:`repro.net.trace.BandwidthTrace.from_csv` so mobile cells
+# exercise the replay loader rather than a synthetic walk.
+MOBILE_LTE_TRACE_CSV = """\
+# time_s  mbps   (LTE drive-style capacity, 1 Hz samples)
+0.0   14.2
+1.0   13.1
+2.0   11.8
+3.0   12.6
+4.0   10.4
+5.0    8.9
+6.0    7.2
+7.0    5.1
+8.0    3.4   # entering handover dip
+9.0    1.9
+10.0   1.2
+11.0   1.6
+12.0   2.8
+13.0   4.9
+14.0   7.6
+15.0   9.8
+16.0  11.5
+17.0  12.9
+18.0  13.6
+19.0  12.2
+20.0  10.7
+21.0  11.9
+22.0  13.4
+23.0  14.8
+24.0  13.9
+25.0  12.5
+26.0  11.1
+27.0  12.0
+28.0  13.2
+29.0  14.0
+"""
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """One named class of network path.
+
+    Attributes:
+        name: profile label.
+        mean_mbps: mean capacity of synthetic traces.
+        volatility: random-walk volatility (0 = flat).
+        replay_csv: recorded trace text; when set it wins over the
+            synthetic generators.
+        propagation_delay / jitter / loss_rate: path characteristics
+            (see :class:`repro.net.link.NetworkLink`).
+        bursty: attach a Gilbert-Elliott burst-loss fault plan.
+    """
+
+    name: str
+    mean_mbps: float = 25.0
+    volatility: float = 0.0
+    replay_csv: Optional[str] = None
+    propagation_delay: float = 0.020
+    jitter: float = 0.002
+    loss_rate: float = 0.0
+    bursty: bool = False
+
+    def build_trace(self, duration: float, seed: int) -> BandwidthTrace:
+        """The capacity trace for one run of this profile."""
+        if self.replay_csv is not None:
+            return BandwidthTrace.from_csv(self.replay_csv)
+        if self.volatility > 0:
+            return BandwidthTrace.random_walk(
+                mean_mbps=self.mean_mbps,
+                duration=duration,
+                volatility=self.volatility,
+                seed=derive_seed(seed, self.name, "trace"),
+            )
+        return BandwidthTrace.constant(self.mean_mbps)
+
+    def build_link(
+        self,
+        duration: float,
+        seed: int,
+        faults: Optional[FaultPlan] = None,
+    ) -> NetworkLink:
+        """A fresh link for one run of this profile.
+
+        The link's jitter/loss streams and any burst-loss plan are
+        seeded from ``seed`` through :func:`derive_seed`, so the same
+        (profile, seed) pair always produces the same packet fates.
+        """
+        if faults is None and self.bursty:
+            faults = FaultPlan(
+                injectors=[GilbertElliottLoss()],
+                seed=derive_seed(seed, self.name, "faults"),
+            )
+        return NetworkLink(
+            trace=self.build_trace(duration, seed),
+            propagation_delay=self.propagation_delay,
+            jitter=self.jitter,
+            loss_rate=self.loss_rate,
+            policy=TransportPolicy.interactive(),
+            faults=faults,
+            seed=derive_seed(seed, self.name, "link"),
+        )
+
+
+MOBILE_LINK = LinkProfile(
+    name="mobile-lte",
+    replay_csv=MOBILE_LTE_TRACE_CSV,
+    propagation_delay=0.040,
+    jitter=0.004,
+    bursty=True,
+)
+EDGE_LINK = LinkProfile(
+    name="edge-wifi",
+    mean_mbps=40.0,
+    volatility=0.15,
+    propagation_delay=0.010,
+    jitter=0.002,
+    loss_rate=0.001,
+)
+DATACENTER_LINK = LinkProfile(
+    name="datacenter",
+    mean_mbps=1000.0,
+    propagation_delay=0.002,
+    jitter=0.0005,
+)
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One named class of client: its path, device and compute share.
+
+    Attributes:
+        name: profile label.
+        link: the network path class.
+        device: the edge device serving this client.
+        compute_budget: fraction of the device this client gets, in
+            [0, 1]; 0 means the client cannot be served at all and is
+            shed at admission with a typed reason.
+    """
+
+    name: str
+    link: LinkProfile
+    device: DeviceProfile
+    compute_budget: float = 1.0
+
+
+CLIENT_PROFILES: Dict[str, ClientProfile] = {
+    "mobile": ClientProfile(
+        name="mobile", link=MOBILE_LINK, device=RTX3080,
+        compute_budget=0.35,
+    ),
+    "edge": ClientProfile(
+        name="edge", link=EDGE_LINK, device=RTX3080,
+        compute_budget=0.7,
+    ),
+    "datacenter": ClientProfile(
+        name="datacenter", link=DATACENTER_LINK, device=A100,
+        compute_budget=1.0,
+    ),
+}
+
+
+# The compute-budget QoS ladder: minimum budget fraction -> extraction
+# resolution.  Monotone by construction — a smaller budget can only
+# move down the ladder.
+RESOLUTION_RUNGS: Tuple[Tuple[float, int], ...] = (
+    (0.75, 32),
+    (0.40, 24),
+    (0.0, 16),
+)
+
+# The bandwidth ABR ladder over the same resolutions.  Semantic
+# payloads are resolution-independent on the wire, so the bitrates
+# model the companion media streams each rung implies.
+ABR_LADDER: Tuple[QualityLevel, ...] = (
+    QualityLevel(name="r16", bitrate_mbps=0.6, quality_score=1.0),
+    QualityLevel(name="r24", bitrate_mbps=1.2, quality_score=2.0),
+    QualityLevel(name="r32", bitrate_mbps=2.0, quality_score=3.0),
+)
+_LADDER_RESOLUTION = {"r16": 16, "r24": 24, "r32": 32}
+
+
+def budget_resolution(budget: float) -> int:
+    """The highest extraction resolution a compute budget affords.
+
+    Raises:
+        AdmissionError: with ``reason="no_compute"`` when the budget
+            is zero or negative — such a client is an admission
+            decision, not a slow device, and must not wedge the tick.
+    """
+    if budget <= 0:
+        raise AdmissionError(
+            f"client compute budget {budget:g} cannot serve any rung",
+            reason="no_compute",
+        )
+    for floor, resolution in RESOLUTION_RUNGS:
+        if budget >= floor:
+            return resolution
+    return RESOLUTION_RUNGS[-1][1]
+
+
+def budget_edge(
+    device: DeviceProfile, budget: float, name: str = "edge"
+) -> EdgeServer:
+    """An edge server representing ``budget`` of ``device``."""
+    if budget <= 0:
+        raise AdmissionError(
+            f"client compute budget {budget:g} cannot be scheduled",
+            reason="no_compute",
+        )
+    return EdgeServer(device=device.derate(budget), name=name)
+
+
+def select_resolution(
+    trace: BandwidthTrace,
+    duration: float,
+    budget: float,
+    interval: float = 1.0,
+    safety: float = 0.8,
+) -> int:
+    """Joint bandwidth x compute rung selection for one client.
+
+    Feeds the capacity trace through a conservative harmonic-mean
+    estimator and the damped throughput controller, then caps the
+    bandwidth rung by what the compute budget affords — the delivered
+    resolution is monotone non-decreasing in both inputs.
+    """
+    estimator = HarmonicMeanEstimator()
+    controller = ThroughputRateController(ABR_LADDER, safety=safety)
+    level = controller.select(estimator.update(trace.at(0.0)))
+    t = interval
+    while t < duration:
+        level = controller.select(estimator.update(trace.at(t)))
+        t += interval
+    abr_resolution = _LADDER_RESOLUTION[level.name]
+    return min(abr_resolution, budget_resolution(budget))
+
+
+@dataclass(frozen=True)
+class FleetClientSpec:
+    """``count`` clients of one profile inside a fleet.
+
+    ``budget_override`` replaces the profile's compute budget (e.g. a
+    zero-budget client exercising the typed-shed path)."""
+
+    profile: str
+    count: int = 1
+    budget_override: Optional[float] = None
+
+    def resolve(self) -> ClientProfile:
+        base = CLIENT_PROFILES[self.profile]
+        if self.budget_override is None:
+            return base
+        return ClientProfile(
+            name=base.name,
+            link=base.link,
+            device=base.device,
+            compute_budget=self.budget_override,
+        )
+
+
+@dataclass(frozen=True)
+class FleetProfile:
+    """One named scenario-matrix cell.
+
+    Attributes:
+        name: cell label (CI matrix key).
+        topology: ``"meeting"`` drives the clients through the
+            gateway; ``"webinar"`` runs the broadcast caching tier.
+        clients: meeting-topology client mix.
+        frames: sender frames per run.
+        receivers / tiers: webinar audience size and gaze-LOD ladder.
+        resolution / octree_base: webinar receiver extraction grid.
+        uplink: webinar sender uplink profile (None = ideal).
+        outage: optional (start, duration) seconds of scheduled
+            sender-uplink blackout (the chaos-x-broadcast case).
+    """
+
+    name: str
+    topology: str = "meeting"
+    clients: Tuple[FleetClientSpec, ...] = ()
+    frames: int = 6
+    receivers: int = 0
+    tiers: int = 3
+    resolution: int = 16
+    octree_base: int = 8
+    uplink: Optional[LinkProfile] = field(default=None)
+    outage: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("meeting", "webinar"):
+            raise NetworkError(
+                f"unknown topology {self.topology!r}"
+            )
+        if self.topology == "meeting" and not self.clients:
+            raise NetworkError("a meeting fleet needs clients")
+        if self.topology == "webinar" and self.receivers < 1:
+            raise NetworkError("a webinar fleet needs receivers")
+
+
+FLEET_PROFILES: Dict[str, FleetProfile] = {
+    "mobile": FleetProfile(
+        name="mobile",
+        clients=(FleetClientSpec(profile="mobile", count=3),),
+    ),
+    "edge": FleetProfile(
+        name="edge",
+        clients=(FleetClientSpec(profile="edge", count=3),),
+    ),
+    "datacenter": FleetProfile(
+        name="datacenter",
+        clients=(FleetClientSpec(profile="datacenter", count=3),),
+    ),
+    "mixed": FleetProfile(
+        name="mixed",
+        clients=(
+            FleetClientSpec(profile="mobile"),
+            FleetClientSpec(profile="edge"),
+            FleetClientSpec(profile="datacenter"),
+            FleetClientSpec(profile="mobile", budget_override=0.1),
+        ),
+    ),
+    "webinar-100": FleetProfile(
+        name="webinar-100",
+        topology="webinar",
+        frames=4,
+        receivers=100,
+        tiers=3,
+        resolution=16,
+        octree_base=8,
+        uplink=DATACENTER_LINK,
+    ),
+}
+
+
+def fleet_profile(name: str) -> FleetProfile:
+    """Look up a named fleet profile."""
+    try:
+        return FLEET_PROFILES[name]
+    except KeyError:
+        raise NetworkError(
+            f"unknown fleet profile {name!r}; have "
+            f"{sorted(FLEET_PROFILES)}"
+        ) from None

@@ -1,0 +1,477 @@
+"""The fleet scenario runner: one cell = (profile, seed) -> result.
+
+Drives a named :class:`~repro.scenarios.profiles.FleetProfile` through
+the existing machinery — meeting cells through the
+:class:`~repro.serve.gateway.HoloGateway`, webinar cells through the
+:class:`~repro.serve.broadcast.BroadcastSession` — entirely under a
+:class:`~repro.obs.clock.FakeClock`, so a cell is a pure function of
+(profile, seed): two runs produce byte-identical summaries and
+decision logs, which is what the CI scenario matrix asserts.
+
+Environment knobs (mirroring the gateway matrix):
+
+- ``REPRO_FLEET_PROFILES``: comma-separated profile names.
+- ``REPRO_FLEET_SEEDS``: comma-separated integer seeds.
+- ``REPRO_FLEET_FRAMES`` / ``REPRO_FLEET_RECEIVERS``: overrides.
+- ``REPRO_FLEET_TRACE``: directory to export per-cell summary JSON
+  and decision JSONL artifacts into.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.body.model import BodyModel
+from repro.body.motion import talking
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.core.concealment import ResilienceConfig
+from repro.core.keypoint_pipeline import KeypointSemanticPipeline
+from repro.core.session import TelepresenceSession
+from repro.core.text_pipeline import TextSemanticPipeline
+from repro.errors import AdmissionError, NetworkError
+from repro.geometry.camera import Intrinsics
+from repro.net.faults import FaultPlan, ScheduledOutage
+from repro.obs.clock import FakeClock, use_clock
+from repro.scenarios.profiles import (
+    FLEET_PROFILES,
+    FleetProfile,
+    budget_edge,
+    derive_seed,
+    fleet_profile,
+    select_resolution,
+)
+from repro.serve import (
+    BroadcastReceiver,
+    BroadcastSession,
+    GatewayConfig,
+    HoloGateway,
+    ServingConfig,
+    ServingEngine,
+)
+
+__all__ = [
+    "ClientResult",
+    "FleetResult",
+    "FleetScenario",
+    "run_matrix",
+]
+
+# How far the bandwidth estimator samples each client's capacity trace
+# before the rung decision (seconds of trace, not of session).
+_BWE_HORIZON = 30.0
+# Spare ticks past the frame budget so draining queues can finish.
+_TICK_SLACK = 20
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """One meeting client's outcome.
+
+    ``status`` is the gateway stream state (``finished``/``failed``/
+    ...) or ``"shed"`` for clients rejected before ever reaching the
+    gateway; ``reason`` carries the typed admission reason for those.
+    """
+
+    name: str
+    profile: str
+    status: str
+    budget: float
+    resolution: int = 0
+    reason: Optional[str] = None
+    frames: int = 0
+    shed_frames: int = 0
+    goodput_mbps: float = 0.0
+    delivery_rate: float = 0.0
+    concealed_rate: float = 0.0
+    interactive_fraction: float = 0.0
+    mean_end_to_end: float = 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "profile": self.profile,
+            "status": self.status,
+            "budget": self.budget,
+            "resolution": self.resolution,
+            "reason": self.reason,
+            "frames": self.frames,
+            "shed_frames": self.shed_frames,
+            "goodput_mbps": round(self.goodput_mbps, 6),
+            "delivery_rate": round(self.delivery_rate, 6),
+            "concealed_rate": round(self.concealed_rate, 6),
+            "interactive_fraction": round(
+                self.interactive_fraction, 6
+            ),
+            "mean_end_to_end": round(self.mean_end_to_end, 6),
+        }
+
+
+@dataclass
+class FleetResult:
+    """What one scenario cell produced.
+
+    Attributes:
+        profile: the fleet profile name.
+        seed: the master seed.
+        topology: ``"meeting"`` or ``"webinar"``.
+        clients: meeting per-client outcomes (empty for webinar).
+        broadcast: the webinar summary (None for meetings).
+        decisions: the cell's decision log entries, in order —
+            scenario-level admission decisions first, then the
+            gateway/broadcast log.
+    """
+
+    profile: str
+    seed: int
+    topology: str
+    clients: List[ClientResult] = field(default_factory=list)
+    broadcast: Optional[object] = None
+    decisions: List[dict] = field(default_factory=list)
+
+    def summary(self) -> Dict:
+        """Nested plain-dict summary of the cell."""
+        out: Dict = {
+            "profile": self.profile,
+            "seed": self.seed,
+            "topology": self.topology,
+        }
+        if self.topology == "meeting":
+            out["clients"] = [c.as_dict() for c in self.clients]
+            served = [
+                c for c in self.clients if c.status == "finished"
+            ]
+            out["served_clients"] = len(served)
+            out["shed_clients"] = sum(
+                1 for c in self.clients if c.status == "shed"
+            )
+            out["mean_interactive_fraction"] = round(
+                sum(c.interactive_fraction for c in served)
+                / len(served)
+                if served
+                else 0.0,
+                6,
+            )
+        else:
+            out["broadcast"] = self.broadcast.as_dict()
+        return out
+
+    def summary_json(self) -> str:
+        """Canonical JSON — byte-identical for same (profile, seed)."""
+        return json.dumps(
+            self.summary(), sort_keys=True, separators=(",", ":")
+        )
+
+    def decision_jsonl(self) -> str:
+        """Canonical JSONL decision log for the cell."""
+        return "\n".join(
+            json.dumps(entry, sort_keys=True)
+            for entry in self.decisions
+        )
+
+    def export(self, directory: str) -> Tuple[str, str]:
+        """Write the cell's summary + decision artifacts; returns
+        their paths."""
+        os.makedirs(directory, exist_ok=True)
+        stem = f"{self.profile}-s{self.seed}"
+        summary_path = os.path.join(directory, f"{stem}.summary.json")
+        decisions_path = os.path.join(
+            directory, f"{stem}.decisions.jsonl"
+        )
+        with open(summary_path, "w", encoding="utf-8") as handle:
+            handle.write(self.summary_json() + "\n")
+        text = self.decision_jsonl()
+        with open(decisions_path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return summary_path, decisions_path
+
+
+def _fleet_dataset(frames: int) -> RGBDSequenceDataset:
+    """The shared small capture sequence driving every cell."""
+    model = BodyModel(template_resolution=48, template_vertices=2000)
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(96, 72, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    return RGBDSequenceDataset(
+        model, talking(n_frames=frames), rig, samples_per_pixel=1.0
+    )
+
+
+class FleetScenario:
+    """One (fleet profile, seed) scenario cell.
+
+    Args:
+        profile: a :class:`~repro.scenarios.profiles.FleetProfile` or
+            its registry name.
+        seed: the master seed; every random stream in the cell derives
+            from it.
+        frames / receivers: optional overrides of the profile.
+    """
+
+    def __init__(
+        self,
+        profile,
+        seed: int = 0,
+        frames: Optional[int] = None,
+        receivers: Optional[int] = None,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = fleet_profile(profile)
+        if not isinstance(profile, FleetProfile):
+            raise NetworkError(
+                "profile must be a FleetProfile or registry name"
+            )
+        self.profile = profile
+        self.seed = seed
+        self.frames = frames if frames is not None else profile.frames
+        self.receivers = (
+            receivers if receivers is not None else profile.receivers
+        )
+        if self.frames < 1:
+            raise NetworkError("a scenario needs at least one frame")
+
+    def run(self) -> FleetResult:
+        """Run the cell under a fresh fake clock."""
+        with use_clock(FakeClock()):
+            if self.profile.topology == "webinar":
+                return self._run_webinar()
+            return self._run_meeting()
+
+    # -- meeting ---------------------------------------------------
+
+    def _run_meeting(self) -> FleetResult:
+        profile = self.profile
+        frames = self.frames
+        dataset = _fleet_dataset(frames)
+        model = dataset.model
+        result = FleetResult(
+            profile=profile.name, seed=self.seed, topology="meeting"
+        )
+        engine = ServingEngine(ServingConfig(workers=0))
+        try:
+            gateway = HoloGateway(
+                engine,
+                GatewayConfig(
+                    max_sessions=8,
+                    queue_limit=8,
+                    service_rate=500.0,
+                ),
+            )
+            admitted: List[Tuple[str, str, float, int]] = []
+            index = 0
+            for spec in profile.clients:
+                resolved = spec.resolve()
+                for _ in range(spec.count):
+                    name = f"{resolved.name}{index}"
+                    index += 1
+                    budget = resolved.compute_budget
+                    trace = resolved.link.build_trace(
+                        _BWE_HORIZON,
+                        derive_seed(self.seed, name),
+                    )
+                    try:
+                        resolution = select_resolution(
+                            trace, _BWE_HORIZON, budget
+                        )
+                        edge = budget_edge(
+                            resolved.device, budget, name=name
+                        )
+                    except AdmissionError as exc:
+                        # Typed shed: the client never reaches the
+                        # gateway, the tick never sees it.
+                        result.decisions.append(
+                            {
+                                "action": "shed_client",
+                                "client": name,
+                                "profile": resolved.name,
+                                "reason": exc.reason,
+                            }
+                        )
+                        result.clients.append(
+                            ClientResult(
+                                name=name,
+                                profile=resolved.name,
+                                status="shed",
+                                budget=budget,
+                                reason=exc.reason,
+                            )
+                        )
+                        continue
+                    link = resolved.link.build_link(
+                        _BWE_HORIZON, derive_seed(self.seed, name)
+                    )
+                    pipeline = KeypointSemanticPipeline(
+                        resolution=resolution,
+                        seed=derive_seed(self.seed, name, "pipe"),
+                    )
+                    reduced = KeypointSemanticPipeline(
+                        resolution=max(resolution // 2, 8),
+                        seed=derive_seed(self.seed, name, "reduced"),
+                    )
+                    session = TelepresenceSession(
+                        dataset,
+                        pipeline,
+                        link=link,
+                        receiver_edge=edge,
+                        resilience=ResilienceConfig(
+                            fallback=TextSemanticPipeline(
+                                model=model, points=100
+                            )
+                        ),
+                        session_id=name,
+                    )
+                    gateway.add_session(
+                        session, frames=frames, reduced=reduced
+                    )
+                    result.decisions.append(
+                        {
+                            "action": "admit_client",
+                            "client": name,
+                            "profile": resolved.name,
+                            "resolution": resolution,
+                        }
+                    )
+                    admitted.append(
+                        (name, resolved.name, budget, resolution)
+                    )
+            summary = gateway.run_sync(
+                max_ticks=frames * 4 + _TICK_SLACK
+            )
+            result.decisions.extend(summary.decisions)
+            for name, profile_name, budget, resolution in admitted:
+                stream = summary.stream(name)
+                session_summary = stream.summary
+                fields = {}
+                if session_summary is not None:
+                    mean_e2e = session_summary.mean_end_to_end
+                    fields = {
+                        "frames": session_summary.frames,
+                        "goodput_mbps": session_summary.bandwidth_mbps,
+                        "delivery_rate": session_summary.delivery_rate,
+                        "concealed_rate": session_summary.concealed_rate,
+                        "interactive_fraction": (
+                            session_summary.interactive_fraction
+                        ),
+                        "mean_end_to_end": (
+                            0.0 if mean_e2e != mean_e2e else mean_e2e
+                        ),
+                    }
+                result.clients.append(
+                    ClientResult(
+                        name=name,
+                        profile=profile_name,
+                        status=stream.state,
+                        budget=budget,
+                        resolution=resolution,
+                        shed_frames=stream.shed,
+                        **fields,
+                    )
+                )
+        finally:
+            engine.close()
+        return result
+
+    # -- webinar ---------------------------------------------------
+
+    def _run_webinar(self) -> FleetResult:
+        profile = self.profile
+        frames = self.frames
+        receivers = self.receivers
+        dataset = _fleet_dataset(frames)
+        uplink = None
+        if profile.uplink is not None:
+            faults = None
+            if profile.outage is not None:
+                start, duration = profile.outage
+                faults = FaultPlan(
+                    injectors=[
+                        ScheduledOutage.single(start, duration)
+                    ],
+                    seed=derive_seed(self.seed, "outage"),
+                )
+            uplink = profile.uplink.build_link(
+                max(frames / dataset.fps, _BWE_HORIZON),
+                derive_seed(self.seed, "uplink"),
+                faults=faults,
+            )
+        audience = [
+            BroadcastReceiver(
+                name=f"r{i:03d}", tier=i % profile.tiers
+            )
+            for i in range(receivers)
+        ]
+        result = FleetResult(
+            profile=profile.name, seed=self.seed, topology="webinar"
+        )
+        with BroadcastSession(
+            dataset,
+            audience,
+            tiers=profile.tiers,
+            uplink=uplink,
+            resolution=profile.resolution,
+            octree_base=profile.octree_base,
+            seed=derive_seed(self.seed, "webinar"),
+        ) as broadcast:
+            summary = broadcast.run(frames=frames)
+            result.broadcast = summary
+            result.decisions.extend(broadcast._decisions)
+        return result
+
+
+def _env_list(name: str) -> Optional[List[str]]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else None
+
+
+def run_matrix(
+    profiles: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    frames: Optional[int] = None,
+    receivers: Optional[int] = None,
+) -> Dict[Tuple[str, int], FleetResult]:
+    """Run the scenario matrix: every (profile, seed) cell.
+
+    Explicit arguments win; otherwise the ``REPRO_FLEET_*`` knobs
+    apply, then the full registry with seed 0.  When
+    ``REPRO_FLEET_TRACE`` names a directory, each cell's summary and
+    decision log are exported there.
+    """
+    if profiles is None:
+        profiles = _env_list("REPRO_FLEET_PROFILES") or sorted(
+            FLEET_PROFILES
+        )
+    if seeds is None:
+        env_seeds = _env_list("REPRO_FLEET_SEEDS")
+        seeds = (
+            [int(s) for s in env_seeds] if env_seeds else [0]
+        )
+    if frames is None:
+        frames = _env_int("REPRO_FLEET_FRAMES")
+    if receivers is None:
+        receivers = _env_int("REPRO_FLEET_RECEIVERS")
+    trace_dir = os.environ.get("REPRO_FLEET_TRACE", "").strip()
+    results: Dict[Tuple[str, int], FleetResult] = {}
+    for name in profiles:
+        for seed in seeds:
+            cell = FleetScenario(
+                name, seed=seed, frames=frames, receivers=receivers
+            )
+            result = cell.run()
+            results[(name, seed)] = result
+            if trace_dir:
+                result.export(trace_dir)
+    return results

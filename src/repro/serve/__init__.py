@@ -8,10 +8,20 @@ warm-start state and shared-memory mesh transfer
 :class:`ServingConfig` (:mod:`repro.serve.engine`), and the gateway
 multiplexing many sessions over one engine with admission control,
 QoS-ladder backpressure and failure containment
-(:mod:`repro.serve.gateway`, :mod:`repro.serve.admission`).
+(:mod:`repro.serve.gateway`, :mod:`repro.serve.admission`), and the
+broadcast session fanning one sender out to N receivers through the
+caching tier, one reconstruction per (frame, gaze-LOD tier)
+(:mod:`repro.serve.broadcast`).
 """
 
 from repro.serve.admission import AdmissionController
+from repro.serve.broadcast import (
+    BroadcastReceiver,
+    BroadcastSession,
+    BroadcastSummary,
+    ReceiverSummary,
+    gaze_tiers,
+)
 from repro.serve.cache import CacheStats, MeshCache
 from repro.serve.config import ServingConfig
 from repro.serve.engine import DecodeTicket, ServingEngine, ServingStats
@@ -25,6 +35,11 @@ from repro.serve.pool import PoolResult, ReconstructionPool
 
 __all__ = [
     "AdmissionController",
+    "BroadcastReceiver",
+    "BroadcastSession",
+    "BroadcastSummary",
+    "ReceiverSummary",
+    "gaze_tiers",
     "CacheStats",
     "MeshCache",
     "ServingConfig",

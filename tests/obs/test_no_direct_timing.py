@@ -76,3 +76,111 @@ def test_no_direct_timer_reads_outside_obs_clock():
         "direct process-timer reads found (use repro.obs.clock):\n"
         + "\n".join(violations)
     )
+
+
+# -- seed-determinism audit (fleet scenarios) -----------------------
+#
+# Trace replay and the fleet runner promise: identical seeds give
+# identical runs.  Any path that falls back to the *global* random
+# state or the wall clock breaks that silently, so the whole
+# simulation layer is scanned for unseeded randomness the same way it
+# is scanned for timers.  Patterns are built by concatenation so this
+# file does not match itself.
+
+_RANDOM_TREES = (
+    Path("src") / "repro" / "net",
+    Path("src") / "repro" / "scenarios",
+    Path("src") / "repro" / "serve",
+)
+
+# np.random.<draw>() — anything except the seedable constructors.
+_NP_GLOBAL_DRAW = re.compile(
+    r"\bnp\s*\.\s*ran" + r"dom\s*\.\s*"
+    r"(?!default_rng\b|Generator\b|SeedSequence\b)\w+"
+)
+# The stdlib global random module (seeded process-wide, shared).
+_STDLIB_RANDOM = re.compile(
+    r"^\s*(?:import\s+ran" + r"dom\b|from\s+ran" + r"dom\s+import)"
+)
+# Unseeded default_rng() — a fresh OS-entropy stream per call.
+_UNSEEDED_RNG = re.compile(
+    r"\bdefault_" + r"rng\s*\(\s*\)"
+)
+# Wall-clock reads (the timer sweep above covers perf/monotonic;
+# time.time is the remaining wall-clock read).
+_WALL_CLOCK = re.compile(r"\btime\s*\.\s*ti" + r"me\s*\(")
+
+
+def _randomness_violations():
+    found = []
+    for tree in _RANDOM_TREES:
+        root = REPO_ROOT / tree
+        assert root.is_dir(), f"audit tree vanished: {tree}"
+        for path in sorted(root.rglob("*.py")):
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if line.lstrip().startswith("#"):
+                    continue
+                if (
+                    _NP_GLOBAL_DRAW.search(line)
+                    or _STDLIB_RANDOM.search(line)
+                    or _UNSEEDED_RNG.search(line)
+                    or _WALL_CLOCK.search(line)
+                ):
+                    found.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: "
+                        f"{line.strip()}"
+                    )
+    return found
+
+
+def test_audit_covers_the_simulation_layer():
+    scanned = [
+        path
+        for tree in _RANDOM_TREES
+        for path in (REPO_ROOT / tree).rglob("*.py")
+    ]
+    names = {p.name for p in scanned}
+    # The paths the satellite names: trace replay, bwe, abr, and the
+    # new scenarios package.
+    for required in ("trace.py", "bwe.py", "abr.py", "runner.py",
+                     "profiles.py", "broadcast.py"):
+        assert required in names, f"{required} missing from audit"
+
+
+def test_audit_patterns_catch_known_bad_idioms():
+    bad = [
+        "x = np." + "random.normal(0, 1)",
+        "import ran" + "dom",
+        "from ran" + "dom import choice",
+        "rng = np." + "random.default_rng()",
+        "now = time." + "time()",
+    ]
+    for line in bad:
+        assert (
+            _NP_GLOBAL_DRAW.search(line)
+            or _STDLIB_RANDOM.search(line)
+            or _UNSEEDED_RNG.search(line)
+            or _WALL_CLOCK.search(line)
+        ), f"audit pattern missed: {line}"
+    good = [
+        "rng = np." + "random.default_rng(seed)",
+        "gen: np." + "random.Generator = rng",
+        "seq = np." + "random.SeedSequence(7)",
+    ]
+    for line in good:
+        assert not (
+            _NP_GLOBAL_DRAW.search(line)
+            or _STDLIB_RANDOM.search(line)
+            or _UNSEEDED_RNG.search(line)
+            or _WALL_CLOCK.search(line)
+        ), f"audit pattern false-positive: {line}"
+
+
+def test_no_unseeded_randomness_in_simulation_layer():
+    violations = _randomness_violations()
+    assert not violations, (
+        "unseeded randomness / wall-clock reads in the simulation "
+        "layer (inject an rng or Clock):\n" + "\n".join(violations)
+    )

@@ -1,0 +1,142 @@
+"""Chaos-x-broadcast regression (satellite: outage recovery at scale).
+
+The webinar topology rides through a 2 s mid-stream blackout on the
+sender uplink (the PR 2 scheduled-outage fault plan).  Required
+behaviour: every receiver conceals through the outage with its own
+pipeline state, recovers within the <=10-frame bound the moment the
+uplink returns, and the decision log shows **no cross-receiver
+divergence** — the outage is a property of the broadcast, so every
+receiver's projected decision sequence is identical.
+"""
+
+import json
+
+import pytest
+
+from repro.net.faults import FaultPlan, ScheduledOutage
+from repro.obs.clock import FakeClock, use_clock
+from repro.scenarios import (
+    DATACENTER_LINK,
+    FleetProfile,
+    FleetScenario,
+)
+from repro.serve import BroadcastReceiver, BroadcastSession
+from tests.scenarios.test_fleet_runner import small_dataset
+
+FRAMES = 90  # 3 s at 30 fps
+OUTAGE = (0.5, 2.0)  # 2 s blackout starting mid-stream
+RECOVERY_BOUND = 10  # frames
+
+
+def _outage_uplink(seed=0):
+    return DATACENTER_LINK.build_link(
+        duration=FRAMES / 30.0,
+        seed=seed,
+        faults=FaultPlan(
+            injectors=[ScheduledOutage.single(*OUTAGE)],
+            seed=seed,
+        ),
+    )
+
+
+def _run(seed=0, receivers=12, tiers=3):
+    audience = [
+        BroadcastReceiver(name=f"r{i:03d}", tier=i % tiers)
+        for i in range(receivers)
+    ]
+    with use_clock(FakeClock()):
+        with BroadcastSession(
+            small_dataset(FRAMES),
+            audience,
+            tiers=tiers,
+            uplink=_outage_uplink(seed),
+            resolution=16,
+            octree_base=8,
+        ) as broadcast:
+            summary = broadcast.run()
+            return summary, broadcast.decision_jsonl()
+
+
+@pytest.fixture(scope="module")
+def outage_run():
+    return _run()
+
+
+class TestOutageRecovery:
+    def test_outage_is_observed(self, outage_run):
+        summary, _ = outage_run
+        # The blackout removes a contiguous ~2 s of frames.
+        assert summary.delivered_frames < FRAMES
+        assert FRAMES - summary.delivered_frames >= 30
+        for receiver in summary.per_receiver:
+            assert receiver.outages >= 1
+            assert receiver.concealed_rate > 0.0
+
+    def test_every_receiver_recovers_within_bound(self, outage_run):
+        summary, _ = outage_run
+        for receiver in summary.per_receiver:
+            assert receiver.max_recovery_frames <= RECOVERY_BOUND, (
+                f"{receiver.receiver} took "
+                f"{receiver.max_recovery_frames} frames to recover"
+            )
+
+    def test_caching_invariant_survives_the_outage(self, outage_run):
+        summary, _ = outage_run
+        # Delivered frames still reconstruct exactly once per tier.
+        assert (
+            summary.unique_pairs
+            == summary.delivered_frames * summary.tiers
+        )
+        assert summary.reconstructions == summary.unique_pairs
+
+
+class TestNoCrossReceiverDivergence:
+    def test_projected_decision_sequences_identical(self, outage_run):
+        """Strip the identity fields from every receiver-level entry:
+        what remains (frame, action, conceal method, reason) must be
+        the same sequence for every receiver — nobody drifts."""
+        _, jsonl = outage_run
+        per_receiver = {}
+        for line in jsonl.splitlines():
+            entry = json.loads(line)
+            name = entry.get("receiver")
+            if name is None:
+                continue
+            projected = {
+                k: v
+                for k, v in entry.items()
+                if k not in ("receiver", "tier")
+            }
+            per_receiver.setdefault(name, []).append(projected)
+        assert len(per_receiver) == 12
+        sequences = list(per_receiver.values())
+        assert all(seq == sequences[0] for seq in sequences[1:])
+
+    def test_same_seed_byte_identical(self):
+        a_summary, a_log = _run(seed=4, receivers=6)
+        b_summary, b_log = _run(seed=4, receivers=6)
+        assert a_summary.summary_json() == b_summary.summary_json()
+        assert a_log == b_log
+
+
+class TestThroughRunner:
+    def test_outage_profile_via_fleet_scenario(self):
+        """The runner wires a profile-declared outage into the uplink
+        fault plan; the recovery bound holds end to end."""
+        profile = FleetProfile(
+            name="webinar-chaos",
+            topology="webinar",
+            frames=FRAMES,
+            receivers=9,
+            tiers=3,
+            resolution=16,
+            octree_base=8,
+            uplink=DATACENTER_LINK,
+            outage=OUTAGE,
+        )
+        result = FleetScenario(profile, seed=2).run()
+        summary = result.broadcast
+        assert summary.delivered_frames < FRAMES
+        for receiver in summary.per_receiver:
+            assert receiver.outages >= 1
+            assert receiver.max_recovery_frames <= RECOVERY_BOUND

@@ -1,0 +1,168 @@
+"""Property-based compute-budget tests (satellite: QoS monotonicity).
+
+Degrading a client's compute budget must never *increase* what it is
+served: the delivered resolution is monotone non-decreasing in the
+budget, the same-rung end-to-end latency is monotone non-increasing,
+and a zero budget is a typed admission decision — the client is shed
+with ``reason="no_compute"`` before the gateway tick ever sees it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionError
+from repro.net.edge import A100, RTX3080
+from repro.net.trace import BandwidthTrace
+from repro.scenarios import (
+    FleetClientSpec,
+    FleetProfile,
+    FleetScenario,
+    budget_resolution,
+    select_resolution,
+)
+
+budgets = st.floats(
+    min_value=1e-6, max_value=1.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+class TestLadderProperties:
+    @given(a=budgets, b=budgets)
+    @settings(max_examples=200, deadline=None)
+    def test_resolution_monotone_in_budget(self, a, b):
+        low, high = sorted((a, b))
+        assert budget_resolution(low) <= budget_resolution(high)
+
+    @given(budget=budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_resolution_is_a_known_rung(self, budget):
+        assert budget_resolution(budget) in (16, 24, 32)
+
+    @given(a=budgets, b=budgets, mbps=st.floats(0.1, 200.0))
+    @settings(max_examples=100, deadline=None)
+    def test_joint_selection_monotone_in_budget(self, a, b, mbps):
+        trace = BandwidthTrace.constant(mbps)
+        low, high = sorted((a, b))
+        assert select_resolution(
+            trace, 10.0, low
+        ) <= select_resolution(trace, 10.0, high)
+
+    @given(budget=budgets, device=st.sampled_from([A100, RTX3080]))
+    @settings(max_examples=100, deadline=None)
+    def test_derate_monotone_in_budget(self, budget, device):
+        derated = device.derate(budget)
+        assert derated.speed_factor <= device.speed_factor
+        assert derated.speed_factor == pytest.approx(
+            device.speed_factor * budget
+        )
+        # Memory is a property of the device, not the share.
+        assert derated.memory_gb == device.memory_gb
+
+    @given(
+        budget=st.floats(
+            max_value=0.0, allow_nan=False, allow_infinity=False
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonpositive_budget_always_typed(self, budget):
+        with pytest.raises(AdmissionError) as info:
+            budget_resolution(budget)
+        assert info.value.reason == "no_compute"
+
+
+def _sweep_profile(budget_by_name):
+    return FleetProfile(
+        name="budget-sweep",
+        clients=tuple(
+            FleetClientSpec(
+                profile="datacenter", budget_override=budget
+            )
+            for budget in budget_by_name
+        ),
+    )
+
+
+class TestEndToEnd:
+    def test_same_rung_latency_orders_by_budget(self):
+        """Same pipeline, ideal link, only the compute budget varies:
+        the derated receiver is strictly slower per frame — the
+        compute share is the only difference, so the ordering is
+        exact, not statistical."""
+        from repro.body.model import BodyModel
+        from repro.core.keypoint_pipeline import (
+            KeypointSemanticPipeline,
+        )
+        from repro.core.session import TelepresenceSession
+        from repro.obs.clock import FakeClock, use_clock
+        from repro.scenarios import budget_edge
+        from tests.scenarios.test_fleet_runner import small_dataset
+
+        dataset = small_dataset(3)
+        means = {}
+        # auto_tick gives every measured stage a positive,
+        # deterministic cost so the edge derating has something to
+        # scale (a zero-tick fake clock measures every stage as 0).
+        for budget in (1.0, 0.5):
+            with use_clock(FakeClock(auto_tick=1e-6)):
+                session = TelepresenceSession(
+                    dataset,
+                    KeypointSemanticPipeline(resolution=16, seed=0),
+                    receiver_edge=budget_edge(
+                        RTX3080, budget, name="rx"
+                    ),
+                )
+                session.run()
+                means[budget] = session.summary().mean_end_to_end
+        assert means[0.5] > means[1.0]
+
+    def test_fleet_interactive_fraction_monotone_weakly(self):
+        """At fleet level (independent jitter streams per client) the
+        guarantee is weak monotonicity: a smaller budget never makes a
+        client *more* interactive."""
+        result = FleetScenario(
+            _sweep_profile([1.0, 0.8]), seed=3, frames=3
+        ).run()
+        full, derated = result.clients
+        assert full.status == derated.status == "finished"
+        assert full.resolution == derated.resolution == 32
+        assert (
+            derated.interactive_fraction <= full.interactive_fraction
+        )
+
+    def test_degrading_budget_never_raises_resolution(self):
+        result = FleetScenario(
+            _sweep_profile([1.0, 0.5, 0.2]), seed=3, frames=3
+        ).run()
+        resolutions = [c.resolution for c in result.clients]
+        assert resolutions == sorted(resolutions, reverse=True)
+        assert resolutions == [32, 24, 16]
+
+    def test_zero_budget_client_is_shed_not_wedged(self):
+        """The zero-budget client is shed with the typed reason while
+        its fleet-mates run to completion — the gateway tick never
+        sees the unserveable client."""
+        result = FleetScenario(
+            _sweep_profile([1.0, 0.0, 0.6]), seed=3, frames=3
+        ).run()
+        by_status = {c.name: c for c in result.clients}
+        shed = [c for c in result.clients if c.status == "shed"]
+        assert len(shed) == 1
+        assert shed[0].budget == 0.0
+        assert shed[0].reason == "no_compute"
+        finished = [
+            c for c in result.clients if c.status == "finished"
+        ]
+        assert len(finished) == 2
+        assert all(c.frames == 3 for c in finished)
+        # The shed decision is in the log, typed.
+        shed_entries = [
+            e
+            for e in result.decisions
+            if e.get("action") == "shed_client"
+        ]
+        assert len(shed_entries) == 1
+        assert shed_entries[0]["reason"] == "no_compute"
+        assert shed_entries[0]["client"] == shed[0].name
+        assert by_status[shed[0].name].frames == 0

@@ -1,0 +1,127 @@
+"""Fleet scenario runner tests: byte-reproducibility of matrix cells,
+env-knob handling, artifact export and the webinar invariant through
+the runner."""
+
+import json
+import os
+
+import pytest
+
+from repro.body.model import BodyModel
+from repro.body.motion import talking
+from repro.capture.dataset import RGBDSequenceDataset
+from repro.capture.noise import DepthNoiseModel
+from repro.capture.rig import CaptureRig
+from repro.errors import NetworkError
+from repro.geometry.camera import Intrinsics
+from repro.scenarios import FleetScenario, run_matrix
+
+
+def small_dataset(frames):
+    model = BodyModel(template_resolution=48, template_vertices=2000)
+    rig = CaptureRig.ring(
+        num_cameras=2,
+        intrinsics=Intrinsics.from_fov(96, 72, 70.0),
+        noise=DepthNoiseModel.ideal(),
+    )
+    return RGBDSequenceDataset(
+        model, talking(n_frames=frames), rig, samples_per_pixel=1.0
+    )
+
+
+class TestByteReproducibility:
+    @pytest.mark.parametrize("profile", ["mixed", "webinar-100"])
+    def test_same_seed_byte_identical(self, profile):
+        """The acceptance criterion: two runs of any matrix cell with
+        the same seed produce byte-identical summaries and decision
+        logs."""
+        kwargs = (
+            {"frames": 2, "receivers": 12}
+            if profile == "webinar-100"
+            else {"frames": 3}
+        )
+        a = FleetScenario(profile, seed=11, **kwargs).run()
+        b = FleetScenario(profile, seed=11, **kwargs).run()
+        assert a.summary_json() == b.summary_json()
+        assert a.decision_jsonl() == b.decision_jsonl()
+        assert a.summary_json()  # non-trivial
+
+    def test_summary_json_is_canonical(self):
+        result = FleetScenario("datacenter", seed=0, frames=2).run()
+        text = result.summary_json()
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestMeetingTopology:
+    def test_mixed_fleet_serves_every_budgeted_client(self):
+        result = FleetScenario("mixed", seed=0, frames=3).run()
+        assert result.topology == "meeting"
+        statuses = {c.name: c.status for c in result.clients}
+        assert all(s == "finished" for s in statuses.values())
+        # The heterogeneous budgets land on different rungs.
+        resolutions = {
+            c.profile: c.resolution for c in result.clients
+        }
+        assert resolutions["datacenter"] == 32
+        assert resolutions["mobile"] == 16
+        summary = result.summary()
+        assert summary["served_clients"] == len(result.clients)
+        assert summary["shed_clients"] == 0
+        assert 0.0 <= summary["mean_interactive_fraction"] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            FleetScenario("mixed", frames=0)
+        with pytest.raises(NetworkError):
+            FleetScenario(object())
+
+
+class TestWebinarThroughRunner:
+    def test_webinar_invariant_with_receiver_override(self):
+        result = FleetScenario(
+            "webinar-100", seed=5, frames=2, receivers=24
+        ).run()
+        assert result.topology == "webinar"
+        b = result.broadcast
+        assert b.receivers == 24
+        assert b.reconstructions == b.delivered_frames * b.tiers
+        assert b.reconstructions == b.unique_pairs
+        assert b.cache_hits == b.delivered_frames * 24 - b.unique_pairs
+
+
+class TestMatrix:
+    def test_explicit_arguments(self):
+        results = run_matrix(
+            profiles=["datacenter"], seeds=[1, 2], frames=2
+        )
+        assert set(results) == {("datacenter", 1), ("datacenter", 2)}
+        for result in results.values():
+            assert result.summary_json()
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_PROFILES", "datacenter")
+        monkeypatch.setenv("REPRO_FLEET_SEEDS", "3,4")
+        monkeypatch.setenv("REPRO_FLEET_FRAMES", "2")
+        monkeypatch.delenv("REPRO_FLEET_TRACE", raising=False)
+        results = run_matrix()
+        assert set(results) == {("datacenter", 3), ("datacenter", 4)}
+
+    def test_trace_artifact_export(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FLEET_PROFILES", "webinar-100")
+        monkeypatch.setenv("REPRO_FLEET_SEEDS", "7")
+        monkeypatch.setenv("REPRO_FLEET_FRAMES", "2")
+        monkeypatch.setenv("REPRO_FLEET_RECEIVERS", "9")
+        monkeypatch.setenv("REPRO_FLEET_TRACE", str(tmp_path))
+        results = run_matrix()
+        result = results[("webinar-100", 7)]
+        summary_path = tmp_path / "webinar-100-s7.summary.json"
+        decisions_path = tmp_path / "webinar-100-s7.decisions.jsonl"
+        assert summary_path.read_text() == (
+            result.summary_json() + "\n"
+        )
+        lines = decisions_path.read_text().splitlines()
+        assert lines == result.decision_jsonl().splitlines()
+        for line in lines:
+            json.loads(line)

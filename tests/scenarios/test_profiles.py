@@ -1,0 +1,159 @@
+"""Profile-layer tests: trace replay, seed derivation, link building,
+the compute-budget QoS ladder and the fleet registry."""
+
+import pytest
+
+from repro.errors import AdmissionError, NetworkError
+from repro.net.edge import A100, RTX3080
+from repro.net.trace import BandwidthTrace
+from repro.scenarios import (
+    CLIENT_PROFILES,
+    EDGE_LINK,
+    FLEET_PROFILES,
+    MOBILE_LINK,
+    MOBILE_LTE_TRACE_CSV,
+    LinkProfile,
+    budget_edge,
+    budget_resolution,
+    derive_seed,
+    fleet_profile,
+    select_resolution,
+)
+
+
+class TestTraceReplay:
+    def test_from_csv_parses_the_mobile_trace(self):
+        trace = BandwidthTrace.from_csv(MOBILE_LTE_TRACE_CSV)
+        assert len(trace.times) == 30
+        assert trace.times[0] == 0.0
+        # The handover dip is in the replay, comments stripped.
+        assert trace.at(8.0) == 3.4
+        assert trace.at(10.5) == 1.2
+
+    def test_from_csv_accepts_comma_and_whitespace(self):
+        trace = BandwidthTrace.from_csv("0, 10\n1.0 20  # note\n")
+        assert trace.mbps == [10.0, 20.0]
+
+    def test_from_csv_rejects_malformed_lines(self):
+        with pytest.raises(NetworkError, match="line 2"):
+            BandwidthTrace.from_csv("0 10\n1 2 3\n")
+        with pytest.raises(NetworkError, match="no samples"):
+            BandwidthTrace.from_csv("# only comments\n")
+        # Inherits the standard trace validation.
+        with pytest.raises(NetworkError, match="start at time 0"):
+            BandwidthTrace.from_csv("1.0 10\n2.0 20\n")
+
+    def test_replay_profile_is_deterministic(self):
+        a = MOBILE_LINK.build_trace(30.0, seed=1)
+        b = MOBILE_LINK.build_trace(30.0, seed=2)
+        # A recorded replay ignores the seed entirely.
+        assert a.times == b.times and a.mbps == b.mbps
+
+
+class TestSeedDerivation:
+    def test_stable_and_distinct(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+        assert derive_seed(7, "a", "x") != derive_seed(7, "a", "y")
+        assert 0 <= derive_seed(0) < 2**32
+
+    def test_synthetic_link_profile_reseeds(self):
+        same1 = EDGE_LINK.build_trace(20.0, seed=5)
+        same2 = EDGE_LINK.build_trace(20.0, seed=5)
+        other = EDGE_LINK.build_trace(20.0, seed=6)
+        assert same1.mbps == same2.mbps
+        assert same1.mbps != other.mbps
+
+    def test_build_link_same_seed_same_packet_fates(self):
+        def fates(seed):
+            link = MOBILE_LINK.build_link(30.0, seed)
+            return [
+                link.send_frame(i, b"x" * 800, now=i / 30.0).delivered
+                for i in range(60)
+            ]
+
+        assert fates(3) == fates(3)
+
+
+class TestComputeBudgetLadder:
+    def test_rung_mapping(self):
+        assert budget_resolution(1.0) == 32
+        assert budget_resolution(0.75) == 32
+        assert budget_resolution(0.5) == 24
+        assert budget_resolution(0.2) == 16
+        assert budget_resolution(0.01) == 16
+
+    def test_zero_budget_is_a_typed_admission_error(self):
+        for budget in (0.0, -0.5):
+            with pytest.raises(AdmissionError) as info:
+                budget_resolution(budget)
+            assert info.value.reason == "no_compute"
+            with pytest.raises(AdmissionError) as info:
+                budget_edge(A100, budget)
+            assert info.value.reason == "no_compute"
+
+    def test_budget_edge_derates_the_device(self):
+        edge = budget_edge(RTX3080, 0.5, name="client")
+        assert edge.device.speed_factor == pytest.approx(
+            RTX3080.speed_factor * 0.5
+        )
+        assert "RTX3080@0.5" == edge.device.name
+        full = budget_edge(A100, 1.0)
+        assert full.device is A100
+
+    def test_derate_validation(self):
+        with pytest.raises(NetworkError):
+            RTX3080.derate(0.0)
+        with pytest.raises(NetworkError):
+            RTX3080.derate(-0.1)
+        with pytest.raises(NetworkError):
+            RTX3080.derate(1.5)
+        assert RTX3080.derate(1.0) is RTX3080
+
+    def test_select_resolution_joint_caps(self):
+        fat = BandwidthTrace.constant(100.0)
+        thin = BandwidthTrace.constant(0.5)
+        assert select_resolution(fat, 10.0, 1.0) == 32
+        # Bandwidth caps the rung even with full compute.
+        assert select_resolution(thin, 10.0, 1.0) == 16
+        # Compute caps the rung even with full bandwidth.
+        assert select_resolution(fat, 10.0, 0.5) == 24
+        with pytest.raises(AdmissionError):
+            select_resolution(fat, 10.0, 0.0)
+
+
+class TestFleetRegistry:
+    def test_registry_names(self):
+        assert set(FLEET_PROFILES) == {
+            "mobile", "edge", "datacenter", "mixed", "webinar-100",
+        }
+        assert set(CLIENT_PROFILES) == {
+            "mobile", "edge", "datacenter",
+        }
+
+    def test_webinar_profile_shape(self):
+        webinar = fleet_profile("webinar-100")
+        assert webinar.topology == "webinar"
+        assert webinar.receivers >= 100
+        assert webinar.tiers >= 3
+
+    def test_unknown_profile(self):
+        with pytest.raises(NetworkError, match="unknown fleet"):
+            fleet_profile("nope")
+
+    def test_profile_validation(self):
+        from repro.scenarios import FleetProfile
+
+        with pytest.raises(NetworkError):
+            FleetProfile(name="bad", topology="ring")
+        with pytest.raises(NetworkError):
+            FleetProfile(name="bad", topology="meeting", clients=())
+        with pytest.raises(NetworkError):
+            FleetProfile(name="bad", topology="webinar", receivers=0)
+
+    def test_bursty_profile_attaches_fault_plan(self):
+        link = MOBILE_LINK.build_link(30.0, seed=0)
+        assert link.faults is not None
+        smooth = LinkProfile(name="flat", mean_mbps=10.0)
+        assert smooth.build_link(30.0, seed=0).faults is None
